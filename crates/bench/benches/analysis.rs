@@ -1,0 +1,73 @@
+//! Benchmarks of the graph-analysis substrate: SCC detection, RecMII, and
+//! the swing ordering, across loop sizes.
+
+use clasp_ddg::{find_sccs, rec_mii, swing_order};
+use clasp_loopgen::{generate_corpus, livermore, CorpusConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn corpus_of(loops: usize) -> Vec<clasp_ddg::Ddg> {
+    generate_corpus(CorpusConfig {
+        loops,
+        scc_loops: loops / 4,
+        seed: 11,
+    })
+}
+
+fn bench_scc(c: &mut Criterion) {
+    let corpus = corpus_of(200);
+    c.bench_function("scc/corpus-200", |b| {
+        b.iter(|| {
+            corpus
+                .iter()
+                .map(|g| find_sccs(std::hint::black_box(g)).non_trivial_count())
+                .sum::<usize>()
+        })
+    });
+}
+
+fn bench_recmii(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recmii");
+    for k in [5u32, 16, 20, 23] {
+        let g = livermore(k);
+        group.bench_with_input(BenchmarkId::new("livermore", k), &g, |b, g| {
+            b.iter(|| rec_mii(std::hint::black_box(g)))
+        });
+    }
+    let corpus = corpus_of(200);
+    group.bench_function("corpus-200", |b| {
+        b.iter(|| {
+            corpus
+                .iter()
+                .map(|g| rec_mii(std::hint::black_box(g)) as u64)
+                .sum::<u64>()
+        })
+    });
+    group.finish();
+}
+
+fn bench_ordering(c: &mut Criterion) {
+    let corpus = corpus_of(200);
+    c.bench_function("swing-order/corpus-200", |b| {
+        b.iter(|| {
+            corpus
+                .iter()
+                .map(|g| swing_order(std::hint::black_box(g)).len())
+                .sum::<usize>()
+        })
+    });
+}
+
+fn bench_corpus_generation(c: &mut Criterion) {
+    c.bench_function("loopgen/500-loops", |b| {
+        b.iter(|| corpus_of(std::hint::black_box(500)).len())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_scc,
+    bench_recmii,
+    bench_ordering,
+    bench_corpus_generation
+);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! End-to-end throughput of the figure-regeneration pipeline: how fast a
+//! paper figure's data series can be produced, per machine family. One
+//! bench per experiment family (Figures 12-19, Table 3, grid).
+
+use clasp::{compile_loop, unified_ii, PipelineConfig};
+use clasp_loopgen::{generate_corpus, CorpusConfig};
+use clasp_machine::presets;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn mini_corpus() -> Vec<clasp_ddg::Ddg> {
+    generate_corpus(CorpusConfig {
+        loops: 50,
+        scc_loops: 12,
+        seed: 41,
+    })
+}
+
+/// Count loops matching the unified II — the y-axis value at x=0 of every
+/// figure — over the mini corpus.
+fn matched(corpus: &[clasp_ddg::Ddg], m: &clasp_machine::MachineSpec) -> usize {
+    corpus
+        .iter()
+        .filter(|g| {
+            let u = unified_ii(g, m, Default::default()).unwrap();
+            compile_loop(g, m, PipelineConfig::default())
+                .map(|c| c.ii() == u)
+                .unwrap_or(false)
+        })
+        .count()
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let corpus = mini_corpus();
+    let cases = [
+        ("fig12-2c-gp", presets::two_cluster_gp(2, 1)),
+        ("fig13-4c-gp", presets::four_cluster_gp(4, 2)),
+        ("fig14-2c-1bus", presets::two_cluster_gp(1, 1)),
+        ("fig16-4c-2bus", presets::four_cluster_gp(2, 2)),
+        ("fig17-4c-1port", presets::four_cluster_gp(4, 1)),
+        ("fig18-2c-fs", presets::two_cluster_fs(2, 1)),
+        ("fig19-4c-fs", presets::four_cluster_fs(4, 2)),
+        ("table3-6c", presets::six_cluster_gp(6, 3)),
+        ("table3-8c", presets::eight_cluster_gp(7, 3)),
+        ("grid-4c", presets::four_cluster_grid(2)),
+    ];
+    let mut group = c.benchmark_group("figure-series");
+    group.sample_size(10);
+    for (name, m) in cases {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &m, |b, m| {
+            b.iter(|| matched(&corpus, m))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Benchmarks of the iterative modulo scheduler: unified baselines and
+//! clustered (annotated) scheduling.
+
+use clasp_core::{assign, AssignConfig};
+use clasp_loopgen::{generate_corpus, CorpusConfig};
+use clasp_machine::presets;
+use clasp_sched::{iterative_schedule, schedule_unified, SchedulerConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_unified(c: &mut Criterion) {
+    let corpus = generate_corpus(CorpusConfig {
+        loops: 100,
+        scc_loops: 23,
+        seed: 31,
+    });
+    let m = presets::unified_gp(16);
+    c.bench_function("sched/unified-16w-corpus-100", |b| {
+        b.iter(|| {
+            corpus
+                .iter()
+                .filter_map(|g| schedule_unified(g, &m, SchedulerConfig::default()))
+                .map(|s| u64::from(s.ii()))
+                .sum::<u64>()
+        })
+    });
+}
+
+fn bench_clustered(c: &mut Criterion) {
+    let corpus = generate_corpus(CorpusConfig {
+        loops: 60,
+        scc_loops: 14,
+        seed: 32,
+    });
+    let m = presets::four_cluster_gp(4, 2);
+    // Pre-assign once; bench only phase 2.
+    let assignments: Vec<_> = corpus
+        .iter()
+        .map(|g| assign(g, &m, AssignConfig::default()).unwrap())
+        .collect();
+    c.bench_function("sched/clustered-4c-corpus-60", |b| {
+        b.iter(|| {
+            assignments
+                .iter()
+                .filter_map(|a| {
+                    iterative_schedule(&a.graph, &m, &a.map, a.ii, SchedulerConfig::default())
+                })
+                .count()
+        })
+    });
+}
+
+criterion_group!(benches, bench_unified, bench_clustered);
+criterion_main!(benches);

@@ -1,0 +1,9 @@
+//! # clasp-bench
+//!
+//! Criterion performance benchmarks for the CLASP workspace. This crate
+//! has no library content; see the `benches/` directory:
+//!
+//! - `analysis`: SCC detection, RecMII, swing ordering, corpus generation;
+//! - `assignment`: the four assigner variants and every machine family;
+//! - `scheduling`: unified baselines and clustered phase-2 scheduling;
+//! - `figures`: end-to-end figure-series regeneration throughput.

@@ -1,0 +1,660 @@
+//! The cluster assignment algorithm (paper §4).
+//!
+//! Flow per initiation interval (Fig. 5): walk the nodes in priority order
+//! (SCC sets by decreasing RecMII, swing-ordered within each set, §4.1);
+//! tentatively place each node on every feasible cluster and keep the best
+//! by the selection cascade of Fig. 10 (§4.2); on a node with no feasible
+//! cluster, either fail the II (non-iterative) or force it onto the
+//! cluster chosen by Fig. 11, removing the conflicting nodes (§4.3.1),
+//! with the anti-repetition rule A (§4.3.2) and a finite budget keeping
+//! the process out of cycles. A failed II attempt restarts from scratch at
+//! II + 1.
+
+use crate::config::AssignConfig;
+use crate::result::{materialize, AssignStats, Assignment};
+use crate::state::{edge_needs_copy, AssignState};
+use crate::trace::{AssignTrace, Sink, TraceEvent};
+use clasp_ddg::{find_sccs, swing_order_with, Ddg, NodeId, SccInfo};
+use clasp_machine::{ClusterId, MachineSpec};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Errors from [`assign`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AssignError {
+    /// The input graph is malformed (dangling edge or zero-distance cycle).
+    BadGraph(clasp_ddg::GraphError),
+    /// Some operation kind has no function unit anywhere on the machine.
+    InfeasibleOp(NodeId),
+    /// No valid assignment was found up to the II cap.
+    IiExhausted {
+        /// Largest II attempted.
+        max_ii: u32,
+    },
+}
+
+impl fmt::Display for AssignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AssignError::BadGraph(e) => write!(f, "invalid dependence graph: {e}"),
+            AssignError::InfeasibleOp(n) => {
+                write!(f, "operation {n} cannot execute on any cluster")
+            }
+            AssignError::IiExhausted { max_ii } => {
+                write!(f, "no assignment found up to II = {max_ii}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AssignError {}
+
+/// One tentative placement: a fully applied state snapshot plus the
+/// metrics the selection cascade reads.
+struct Tentative<'g> {
+    cluster: ClusterId,
+    state: AssignState<'g>,
+    new_copies: u32,
+    pcr_ok: bool,
+    free_fu: u32,
+}
+
+/// The paper's `Select(LIST, criteria)` (Fig. 9): filter, but keep the old
+/// list when the filter would empty it.
+fn select<T, F: Fn(&T) -> bool>(list: &mut Vec<T>, keep: F) {
+    if list.iter().any(&keep) {
+        list.retain(|t| keep(t));
+    }
+}
+
+/// Assign every operation of `g` to a cluster of `machine`, inserting the
+/// required copy operations; the result's working graph and cluster map
+/// feed any traditional modulo scheduler.
+///
+/// # Errors
+///
+/// See [`AssignError`].
+///
+/// # Examples
+///
+/// ```
+/// use clasp_ddg::{Ddg, OpKind};
+/// use clasp_machine::presets;
+/// use clasp_core::{assign, AssignConfig};
+///
+/// let mut g = Ddg::new("pair");
+/// let a = g.add(OpKind::Load);
+/// let b = g.add(OpKind::FpAdd);
+/// g.add_dep(a, b);
+/// let m = presets::two_cluster_gp(2, 1);
+/// let asg = assign(&g, &m, AssignConfig::default())?;
+/// assert!(asg.map.cluster_of(a).is_some());
+/// # Ok::<(), clasp_core::AssignError>(())
+/// ```
+pub fn assign(
+    g: &Ddg,
+    machine: &MachineSpec,
+    config: AssignConfig,
+) -> Result<Assignment, AssignError> {
+    assign_from(g, machine, config, 1)
+}
+
+/// As [`assign`], but never below `min_ii` — the re-entry point of Fig. 5
+/// when the scheduling phase fails at the assignment's II and the whole
+/// process restarts with a larger one.
+///
+/// # Errors
+///
+/// See [`AssignError`].
+pub fn assign_from(
+    g: &Ddg,
+    machine: &MachineSpec,
+    config: AssignConfig,
+    min_ii: u32,
+) -> Result<Assignment, AssignError> {
+    assign_impl(g, machine, config, min_ii, &mut Sink(None))
+}
+
+/// As [`assign_from`], additionally returning the full decision log —
+/// every cascade filter, forced placement, and removal — for explaining
+/// the assignment (see the `explain` example and the CLI's `--explain`).
+pub fn assign_traced(
+    g: &Ddg,
+    machine: &MachineSpec,
+    config: AssignConfig,
+    min_ii: u32,
+) -> (Result<Assignment, AssignError>, AssignTrace) {
+    let mut trace = AssignTrace::default();
+    let result = assign_impl(g, machine, config, min_ii, &mut Sink(Some(&mut trace)));
+    (result, trace)
+}
+
+fn assign_impl(
+    g: &Ddg,
+    machine: &MachineSpec,
+    config: AssignConfig,
+    min_ii: u32,
+    sink: &mut Sink<'_>,
+) -> Result<Assignment, AssignError> {
+    g.validate().map_err(AssignError::BadGraph)?;
+    for (n, op) in g.nodes() {
+        if !machine
+            .cluster_ids()
+            .any(|c| machine.cluster(c).can_execute(op.kind))
+        {
+            return Err(AssignError::InfeasibleOp(n));
+        }
+    }
+
+    let sccs = find_sccs(g);
+    let order = match config.ordering {
+        crate::config::Ordering::SccSwing => swing_order_with(g, &sccs),
+        crate::config::Ordering::SwingOnly => clasp_ddg::swing_order_flat(g),
+        crate::config::Ordering::BottomUp => clasp_ddg::bottom_up_order(g),
+    };
+    // Fig. 5: start from the MII of the equally wide unified machine.
+    let mii = machine.unified_equivalent().mii(g).max(1).max(min_ii);
+    let max_ii = config
+        .max_ii
+        .unwrap_or_else(|| clasp_sched_max_ii_bound(g, mii));
+
+    let mut stats = AssignStats::default();
+    for ii in mii..=max_ii {
+        stats.ii_attempts += 1;
+        sink.log(|| TraceEvent::IiAttempt { ii });
+        if let Some(state) = attempt(g, machine, &sccs, &order, ii, config, &mut stats, sink) {
+            stats.copies = state.cpm.live_count();
+            return Ok(materialize(g, &state, ii, stats));
+        }
+        sink.log(|| TraceEvent::AttemptFailed { ii });
+    }
+    Err(AssignError::IiExhausted { max_ii })
+}
+
+/// Generous II cap (mirrors `clasp_sched::max_ii_bound`, duplicated here
+/// to keep the crate graph acyclic: `clasp-core` must not depend on
+/// `clasp-sched`).
+fn clasp_sched_max_ii_bound(g: &Ddg, mii: u32) -> u32 {
+    let total_lat: u32 = g.edges().map(|(_, e)| e.latency).sum();
+    mii.saturating_add(total_lat)
+        .saturating_add(g.node_count() as u32)
+        .max(mii + 1)
+}
+
+/// One assignment attempt at a fixed II. Returns the completed state or
+/// `None` (bump II).
+#[allow(clippy::too_many_arguments)]
+fn attempt<'g>(
+    g: &'g Ddg,
+    machine: &'g MachineSpec,
+    sccs: &SccInfo,
+    order: &[NodeId],
+    ii: u32,
+    config: AssignConfig,
+    stats: &mut AssignStats,
+    sink: &mut Sink<'_>,
+) -> Option<AssignState<'g>> {
+    let mut st = AssignState::new(g, machine, ii);
+    let mut history: HashMap<NodeId, HashSet<ClusterId>> = HashMap::new();
+    let n = g.node_count();
+    if n == 0 {
+        return Some(st);
+    }
+    let mut budget: u64 = u64::from(config.budget_factor).max(1) * n as u64;
+
+    loop {
+        let Some(&node) = order.iter().find(|v| !st.map.is_assigned(**v)) else {
+            return Some(st); // all assigned
+        };
+        if budget == 0 {
+            return None;
+        }
+        budget -= 1;
+
+        let kind = g.op(node).kind;
+        let executing: Vec<ClusterId> = machine
+            .cluster_ids()
+            .filter(|&c| machine.cluster(c).can_execute(kind))
+            .collect();
+
+        // Tentatively place on every cluster (Fig. 10 line 1: feasible =
+        // the operation plus all required copies fit).
+        let mut cands: Vec<Tentative<'g>> = Vec::with_capacity(executing.len());
+        for &c in &executing {
+            let mut s2 = st.clone();
+            if let Ok(new_copies) = s2.try_assign(node, c) {
+                let pcr_ok = s2.pcr(c) <= s2.mrt.mrc(c);
+                let free_fu = s2.mrt.free_fu_slots(c);
+                cands.push(Tentative {
+                    cluster: c,
+                    state: s2,
+                    new_copies,
+                    pcr_ok,
+                    free_fu,
+                });
+            }
+        }
+
+        if !cands.is_empty() {
+            sink.log(|| TraceEvent::Feasible {
+                node,
+                clusters: cands.iter().map(|t| t.cluster).collect(),
+            });
+            let chosen = choose(node, cands, &st, sccs, config, &history, sink);
+            sink.log(|| TraceEvent::Assigned {
+                node,
+                cluster: chosen.cluster,
+                new_copies: chosen.new_copies,
+            });
+            record_history(&mut history, node, chosen.cluster, &executing);
+            st = chosen.state;
+            continue;
+        }
+
+        // No feasible cluster.
+        if !config.iterative {
+            return None;
+        }
+        stats.forced += 1;
+        let c = choose_forced_cluster(node, &st, &history, &executing)?;
+        sink.log(|| TraceEvent::Forced { node, cluster: c });
+        if !force_assign(&mut st, node, c, stats, sink) {
+            return None;
+        }
+        record_history(&mut history, node, c, &executing);
+    }
+}
+
+/// Rule A bookkeeping (§4.3.2): remember the cluster; once a node has
+/// visited every executing cluster, clear its list.
+fn record_history(
+    history: &mut HashMap<NodeId, HashSet<ClusterId>>,
+    node: NodeId,
+    cluster: ClusterId,
+    executing: &[ClusterId],
+) {
+    let set = history.entry(node).or_default();
+    set.insert(cluster);
+    if executing.iter().all(|c| set.contains(c)) {
+        set.clear();
+    }
+}
+
+/// The selection cascade of Fig. 10 (plus rule A) over feasible
+/// tentatives. `cands` is in cluster-index order, so "first in LIST" is
+/// the front element after filtering.
+#[allow(clippy::too_many_arguments)]
+fn choose<'g>(
+    node: NodeId,
+    mut cands: Vec<Tentative<'g>>,
+    before: &AssignState<'g>,
+    sccs: &SccInfo,
+    config: AssignConfig,
+    history: &HashMap<NodeId, HashSet<ClusterId>>,
+    sink: &mut Sink<'_>,
+) -> Tentative<'g> {
+    let log_stage = |rule: &'static str, cands: &[Tentative<'g>], sink: &mut Sink<'_>| {
+        sink.log(|| TraceEvent::Select {
+            node,
+            rule,
+            remaining: cands.iter().map(|t| t.cluster).collect(),
+        });
+    };
+    // (A) avoid clusters this node was previously assigned to.
+    if config.iterative {
+        if let Some(visited) = history.get(&node) {
+            select(&mut cands, |t| !visited.contains(&t.cluster));
+            log_stage("rule A (anti-repetition)", &cands, sink);
+        }
+    }
+    if config.heuristic {
+        // Line 4: keep SCCs together.
+        if sccs.in_recurrence(node) {
+            let members = &sccs.sccs[sccs.component(node)].nodes;
+            let on: HashSet<ClusterId> = members
+                .iter()
+                .filter(|&&m| m != node)
+                .filter_map(|&m| before.cluster_of(m))
+                .collect();
+            if !on.is_empty() {
+                select(&mut cands, |t| on.contains(&t.cluster));
+                log_stage("SCC together (line 4)", &cands, sink);
+            }
+        }
+        // Line 6: predicted copy requests within reservable room.
+        if config.pcr_prediction {
+            select(&mut cands, |t| t.pcr_ok);
+            log_stage("PCR <= MRC (line 6)", &cands, sink);
+        }
+        // Line 7: fewest required copies generated.
+        if let Some(min_copies) = cands.iter().map(|t| t.new_copies).min() {
+            select(&mut cands, |t| t.new_copies == min_copies);
+            log_stage("fewest copies (line 7)", &cands, sink);
+        }
+        // Line 8: most free resources.
+        if let Some(max_free) = cands.iter().map(|t| t.free_fu).max() {
+            select(&mut cands, |t| t.free_fu == max_free);
+            log_stage("most free resources (line 8)", &cands, sink);
+        }
+    }
+    cands.into_iter().next().expect("cands non-empty")
+}
+
+/// Fig. 11: choose the cluster to force `node` onto when nothing is
+/// feasible. Returns `None` only if the node can execute nowhere (caught
+/// earlier, defensive here).
+fn choose_forced_cluster(
+    node: NodeId,
+    st: &AssignState<'_>,
+    history: &HashMap<NodeId, HashSet<ClusterId>>,
+    executing: &[ClusterId],
+) -> Option<ClusterId> {
+    let mut list: Vec<ClusterId> = executing.to_vec();
+    if list.is_empty() {
+        return None;
+    }
+    // (A) anti-repetition.
+    if let Some(visited) = history.get(&node) {
+        select(&mut list, |c| !visited.contains(c));
+    }
+    // Line 3: clusters where the operation itself fits.
+    let kind = st.graph().op(node).kind;
+    select(&mut list, |&c| st.mrt.can_reserve_op(c, kind));
+    // Line 4: minimize conflicting predecessors/successors.
+    let conflicts: Vec<u32> = list.iter().map(|&c| conflict_count(st, node, c)).collect();
+    if let Some(&min) = conflicts.iter().min() {
+        let keep: Vec<ClusterId> = list
+            .iter()
+            .zip(&conflicts)
+            .filter(|&(_, &k)| k == min)
+            .map(|(&c, _)| c)
+            .collect();
+        if !keep.is_empty() {
+            list = keep;
+        }
+    }
+    list.first().copied()
+}
+
+/// How many already-assigned value-carrying neighbours of `node` would
+/// need removal if `node` were forced onto `c`: those whose required copy
+/// cannot be reserved (evaluated sequentially on a scratch state).
+fn conflict_count(st: &AssignState<'_>, node: NodeId, c: ClusterId) -> u32 {
+    let g = st.graph();
+    let machine = st.machine();
+    let mut scratch = st.clone();
+    let mut conflicts = 0u32;
+    for (eid, e) in g.pred_edges(node) {
+        if !edge_needs_copy(g, eid) {
+            continue;
+        }
+        if let Some(home) = scratch.cluster_of(e.src) {
+            if home != c
+                && scratch
+                    .cpm
+                    .ensure_value_at(&mut scratch.mrt, machine, e.src, home, c)
+                    .is_err()
+            {
+                conflicts += 1;
+            }
+        }
+    }
+    for (eid, e) in g.succ_edges(node) {
+        if !edge_needs_copy(g, eid) {
+            continue;
+        }
+        if let Some(tc) = scratch.cluster_of(e.dst) {
+            if tc != c
+                && scratch
+                    .cpm
+                    .ensure_value_at(&mut scratch.mrt, machine, node, c, tc)
+                    .is_err()
+            {
+                conflicts += 1;
+            }
+        }
+    }
+    conflicts
+}
+
+/// §4.3.1: force `node` onto `c`, removing whatever conflicts — first
+/// nodes occupying the FU capacity `node` needs, then neighbours whose
+/// required copies do not fit. Returns false if the cluster structurally
+/// cannot host the node.
+fn force_assign(
+    st: &mut AssignState<'_>,
+    node: NodeId,
+    c: ClusterId,
+    stats: &mut AssignStats,
+    sink: &mut Sink<'_>,
+) -> bool {
+    let g = st.graph();
+    let kind = g.op(node).kind;
+    if !st.machine().cluster(c).can_execute(kind) {
+        return false;
+    }
+    // Make room for the operation itself: evict the most recently
+    // assigned occupants until it fits.
+    while !st.mrt.can_reserve_op(c, kind) {
+        let Some(victim) = st.assigned_on(c).into_iter().next() else {
+            return false; // empty cluster yet no room: capacity is zero
+        };
+        sink.log(|| TraceEvent::Removed {
+            node: victim,
+            cluster: c,
+        });
+        st.unassign(victim);
+        stats.removals += 1;
+    }
+    // Place, removing copy-conflicting neighbours until it sticks.
+    loop {
+        let mut s2 = st.clone();
+        match s2.try_assign(node, c) {
+            Ok(_) => {
+                *st = s2;
+                return true;
+            }
+            Err(_) => {
+                // Remove the most recently assigned crossing neighbour.
+                let mut neighbors: Vec<NodeId> = Vec::new();
+                for (eid, e) in g.pred_edges(node).chain(g.succ_edges(node)) {
+                    if !edge_needs_copy(g, eid) {
+                        continue;
+                    }
+                    let other = if e.src == node { e.dst } else { e.src };
+                    if let Some(cl) = st.cluster_of(other) {
+                        if cl != c && !neighbors.contains(&other) {
+                            neighbors.push(other);
+                        }
+                    }
+                }
+                neighbors.sort_by_key(|v| std::cmp::Reverse(st.assign_seq(*v)));
+                let Some(victim) = neighbors.first().copied() else {
+                    // No crossing neighbour left, yet placement fails:
+                    // shouldn't happen (op room was made) — bail out.
+                    return false;
+                };
+                sink.log(|| TraceEvent::Removed {
+                    node: victim,
+                    cluster: st.cluster_of(victim).expect("assigned"),
+                });
+                st.unassign(victim);
+                stats.removals += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Variant;
+    use crate::result::validate_assignment;
+    use clasp_ddg::OpKind;
+    use clasp_machine::presets;
+
+    fn fig6() -> Ddg {
+        let mut g = Ddg::new("fig6");
+        let a = g.add_named(OpKind::IntAlu, "A");
+        let b = g.add_named(OpKind::IntAlu, "B");
+        let c = g.add_named(OpKind::Load, "C");
+        let d = g.add_named(OpKind::IntAlu, "D");
+        let e = g.add_named(OpKind::IntAlu, "E");
+        let f = g.add_named(OpKind::IntAlu, "F");
+        g.add_dep(a, b);
+        g.add_dep(b, c);
+        g.add_dep(c, d);
+        g.add_dep(d, e);
+        g.add_dep(e, f);
+        g.add_dep_carried(d, b, 1);
+        g
+    }
+
+    #[test]
+    fn figure6_keeps_scc_together() {
+        let g = fig6();
+        let m = presets::two_cluster_gp(2, 1);
+        let asg = assign(&g, &m, AssignConfig::default()).unwrap();
+        validate_assignment(&g, &m, &asg).unwrap();
+        // B (1), C (2), D (3) share a cluster.
+        let cb = asg.map.cluster_of(NodeId(1)).unwrap();
+        assert_eq!(asg.map.cluster_of(NodeId(2)), Some(cb));
+        assert_eq!(asg.map.cluster_of(NodeId(3)), Some(cb));
+        // No copy lands inside the critical cycle: RecMII of the working
+        // graph must still be 4.
+        assert_eq!(clasp_ddg::rec_mii(&asg.graph), 4);
+        assert_eq!(asg.ii, 4);
+    }
+
+    #[test]
+    fn single_cluster_machine_needs_no_copies() {
+        let g = fig6();
+        let m = presets::unified_gp(8);
+        let asg = assign(&g, &m, AssignConfig::default()).unwrap();
+        assert_eq!(asg.stats.copies, 0);
+        assert_eq!(asg.graph.node_count(), g.node_count());
+        validate_assignment(&g, &m, &asg).unwrap();
+    }
+
+    #[test]
+    fn all_variants_produce_valid_assignments() {
+        let g = fig6();
+        let m = presets::two_cluster_gp(2, 1);
+        for v in Variant::ALL {
+            let asg = assign(&g, &m, AssignConfig::from(v)).unwrap_or_else(|e| panic!("{v}: {e}"));
+            validate_assignment(&g, &m, &asg).unwrap_or_else(|e| panic!("{v}: {e}"));
+        }
+    }
+
+    #[test]
+    fn wide_independent_loop_spreads_over_clusters() {
+        // 16 independent ops on a 4x4 machine: II 1 requires all four
+        // clusters to be used.
+        let mut g = Ddg::new("wide");
+        for _ in 0..16 {
+            g.add(OpKind::IntAlu);
+        }
+        let m = presets::four_cluster_gp(4, 2);
+        let asg = assign(&g, &m, AssignConfig::default()).unwrap();
+        validate_assignment(&g, &m, &asg).unwrap();
+        assert_eq!(asg.ii, 1);
+        let used: HashSet<ClusterId> = asg.map.iter().map(|(_, c)| c).collect();
+        assert_eq!(used.len(), 4);
+    }
+
+    #[test]
+    fn grid_machine_assigns_with_routing() {
+        let mut g = Ddg::new("spread");
+        // A producer fanning out to many consumers forces communication.
+        let p = g.add(OpKind::Load);
+        let mut consumers = Vec::new();
+        for _ in 0..6 {
+            let c = g.add(OpKind::FpAdd);
+            g.add_dep(p, c);
+            consumers.push(c);
+        }
+        for (i, &c) in consumers.iter().enumerate() {
+            let s = g.add(OpKind::Store);
+            g.add_dep(c, s);
+            let _ = i;
+        }
+        let m = presets::four_cluster_grid(2);
+        let asg = assign(&g, &m, AssignConfig::default()).unwrap();
+        validate_assignment(&g, &m, &asg).unwrap();
+    }
+
+    #[test]
+    fn infeasible_op_reported() {
+        let mut g = Ddg::new("fp");
+        g.add(OpKind::FpSqrt);
+        let m = clasp_machine::MachineSpec::new(
+            "nofp",
+            vec![clasp_machine::ClusterSpec::specialized(1, 2, 0)],
+            clasp_machine::Interconnect::None,
+        );
+        assert!(matches!(
+            assign(&g, &m, AssignConfig::default()),
+            Err(AssignError::InfeasibleOp(_))
+        ));
+    }
+
+    #[test]
+    fn bad_graph_reported() {
+        let mut g = Ddg::new("cyc");
+        let a = g.add(OpKind::IntAlu);
+        let b = g.add(OpKind::IntAlu);
+        g.add_dep(a, b);
+        g.add_dep(b, a); // zero-distance cycle
+        let m = presets::two_cluster_gp(2, 1);
+        assert!(matches!(
+            assign(&g, &m, AssignConfig::default()),
+            Err(AssignError::BadGraph(_))
+        ));
+    }
+
+    #[test]
+    fn empty_graph_trivially_assigns() {
+        let g = Ddg::new("empty");
+        let m = presets::two_cluster_gp(2, 1);
+        let asg = assign(&g, &m, AssignConfig::default()).unwrap();
+        assert_eq!(asg.graph.node_count(), 0);
+        assert_eq!(asg.ii, 1);
+    }
+
+    #[test]
+    fn fs_machine_places_classes_correctly() {
+        let mut g = Ddg::new("fsload");
+        // 4 loads: two FS clusters have 1 memory unit each -> II >= 2.
+        let mut prev = None;
+        for _ in 0..4 {
+            let l = g.add(OpKind::Load);
+            if let Some(p) = prev {
+                let s = g.add(OpKind::FpAdd);
+                g.add_dep(p, s);
+            }
+            prev = Some(l);
+        }
+        let m = presets::two_cluster_fs(2, 1);
+        let asg = assign(&g, &m, AssignConfig::default()).unwrap();
+        validate_assignment(&g, &m, &asg).unwrap();
+        assert!(asg.ii >= 2);
+    }
+
+    #[test]
+    fn select_keeps_list_when_filter_empties() {
+        let mut list = vec![1, 2, 3];
+        select(&mut list, |&x| x > 10);
+        assert_eq!(list, vec![1, 2, 3]);
+        select(&mut list, |&x| x >= 2);
+        assert_eq!(list, vec![2, 3]);
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let g = fig6();
+        let m = presets::two_cluster_gp(2, 1);
+        let asg = assign(&g, &m, AssignConfig::default()).unwrap();
+        assert!(asg.stats.ii_attempts >= 1);
+        assert_eq!(asg.stats.copies, asg.map.copy_count());
+    }
+}

@@ -1,0 +1,495 @@
+//! Copy management: creating, sharing, routing, and releasing the explicit
+//! inter-cluster copy operations the assignment phase inserts.
+//!
+//! Copies are identified by synthetic [`NodeId`]s allocated past the
+//! original graph's node range (they become real graph nodes only when the
+//! final assignment is materialized). Three invariants drive the design:
+//!
+//! - **Sharing.** On broadcast buses, one copy per produced value serves
+//!   every destination cluster (extra destinations cost one write port
+//!   each). On point-to-point fabrics each hop is its own copy.
+//! - **Routing.** A value needed on a cluster with no direct link is
+//!   routed as a chain of copies along a shortest available path; interior
+//!   hops make the value available for later consumers too.
+//! - **Reference counting.** Every consumer edge holds one *use* of the
+//!   delivery at its cluster; chains hold uses of their upstream hop.
+//!   Releasing the last use frees the copy's MRT resources recursively, so
+//!   the iterative assigner can cleanly undo decisions (§4.3).
+
+use clasp_ddg::NodeId;
+use clasp_machine::{ClusterId, Interconnect, LinkId, MachineSpec};
+use clasp_mrt::{CountMrt, Full};
+use std::collections::HashMap;
+
+/// One live copy operation (not yet a graph node).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CopyRecord {
+    /// The original operation whose value this copy transports.
+    pub producer: NodeId,
+    /// Cluster the copy reads from (the producer's cluster, or an
+    /// intermediate hop).
+    pub src: ClusterId,
+    /// Destination clusters (several only on broadcast buses).
+    pub targets: Vec<ClusterId>,
+    /// Dedicated link (point-to-point fabrics only).
+    pub link: Option<LinkId>,
+}
+
+/// Where a value is obtainable on a given cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Delivery {
+    /// Delivered by this copy (keyed into [`CopyManager::copies`]).
+    Copy(NodeId),
+}
+
+/// Tracks all live copies, value availability, and per-target use counts.
+///
+/// All resource effects go through the [`CountMrt`] passed to each call,
+/// so cloning a `CopyManager` together with its MRT snapshots the entire
+/// copy state (used for tentative assignments).
+#[derive(Debug, Clone, Default)]
+pub struct CopyManager {
+    next_id: u32,
+    copies: HashMap<NodeId, CopyRecord>,
+    /// (producer, cluster) -> delivering copy, for clusters other than the
+    /// producer's own.
+    avail: HashMap<(NodeId, ClusterId), Delivery>,
+    /// (copy, target cluster) -> number of uses (consumer edges + chained
+    /// hops).
+    users: HashMap<(NodeId, ClusterId), u32>,
+}
+
+impl CopyManager {
+    /// Create a manager allocating copy ids from `first_copy_id` upward
+    /// (pass the original graph's node count).
+    pub fn new(first_copy_id: u32) -> Self {
+        CopyManager {
+            next_id: first_copy_id,
+            ..Self::default()
+        }
+    }
+
+    /// Number of live copy operations.
+    pub fn live_count(&self) -> usize {
+        self.copies.len()
+    }
+
+    /// Number of live copies transporting `producer`'s value (the paper's
+    /// `RC(N)`).
+    pub fn rc(&self, producer: NodeId) -> u32 {
+        self.copies
+            .values()
+            .filter(|c| c.producer == producer)
+            .count() as u32
+    }
+
+    /// Iterate over live copies in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &CopyRecord)> + '_ {
+        let mut ids: Vec<_> = self.copies.keys().copied().collect();
+        ids.sort();
+        ids.into_iter().map(move |id| (id, &self.copies[&id]))
+    }
+
+    /// The copy delivering `producer`'s value to `cluster`, if the value
+    /// has been copied there.
+    pub fn delivery(&self, producer: NodeId, cluster: ClusterId) -> Option<NodeId> {
+        self.avail
+            .get(&(producer, cluster))
+            .map(|Delivery::Copy(id)| *id)
+    }
+
+    /// The copy record for `id`.
+    pub fn record(&self, id: NodeId) -> Option<&CopyRecord> {
+        self.copies.get(&id)
+    }
+
+    /// Make `producer`'s value (whose home cluster is `home`) available on
+    /// `target`, reserving any new resources in `mrt`, and register one
+    /// use. Returns the number of new copy operations created (0 when an
+    /// existing delivery or broadcast extension sufficed).
+    ///
+    /// # Errors
+    ///
+    /// [`Full`] if the needed ports/bus/link slots are not available. The
+    /// MRT may be left with partial chain reservations on error — callers
+    /// snapshot state before tentative work, per the assigner's design.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target == home`.
+    pub fn ensure_value_at(
+        &mut self,
+        mrt: &mut CountMrt,
+        machine: &MachineSpec,
+        producer: NodeId,
+        home: ClusterId,
+        target: ClusterId,
+    ) -> Result<u32, Full> {
+        assert_ne!(target, home, "value already lives on {target}");
+        if let Some(Delivery::Copy(id)) = self.avail.get(&(producer, target)) {
+            *self.users.get_mut(&(*id, target)).expect("user entry") += 1;
+            return Ok(0);
+        }
+        match machine.interconnect() {
+            Interconnect::None => Err(Full),
+            Interconnect::Bus { .. } => {
+                // Reuse the single broadcast copy when one exists.
+                let existing = self
+                    .copies
+                    .iter()
+                    .find(|(_, c)| c.producer == producer)
+                    .map(|(&id, _)| id);
+                match existing {
+                    Some(id) => {
+                        mrt.add_copy_target(id, target)?;
+                        self.copies
+                            .get_mut(&id)
+                            .expect("live copy")
+                            .targets
+                            .push(target);
+                        self.avail.insert((producer, target), Delivery::Copy(id));
+                        self.users.insert((id, target), 1);
+                        Ok(0)
+                    }
+                    None => {
+                        let id = self.alloc_id();
+                        mrt.reserve_copy(id, home, &[target], None)?;
+                        self.copies.insert(
+                            id,
+                            CopyRecord {
+                                producer,
+                                src: home,
+                                targets: vec![target],
+                                link: None,
+                            },
+                        );
+                        self.avail.insert((producer, target), Delivery::Copy(id));
+                        self.users.insert((id, target), 1);
+                        Ok(1)
+                    }
+                }
+            }
+            Interconnect::PointToPoint { .. } => {
+                self.route_p2p(mrt, machine, producer, home, target)
+            }
+        }
+    }
+
+    /// Point-to-point delivery: hop-by-hop copies along the shortest path
+    /// from the nearest cluster already holding the value.
+    fn route_p2p(
+        &mut self,
+        mrt: &mut CountMrt,
+        machine: &MachineSpec,
+        producer: NodeId,
+        home: ClusterId,
+        target: ClusterId,
+    ) -> Result<u32, Full> {
+        let ic = machine.interconnect();
+        let k = machine.cluster_count();
+        // Candidate sources: home plus every cluster with a delivery.
+        let mut sources = vec![home];
+        for &(p, c) in self.avail.keys() {
+            if p == producer {
+                sources.push(c);
+            }
+        }
+        // Shortest path among all candidate sources; ties prefer sources
+        // that already hold the value via a copy (cheaper bookkeeping is
+        // identical, but fewer upstream uses), then lower cluster id.
+        let mut best: Option<Vec<ClusterId>> = None;
+        for &s in &sources {
+            if let Some(path) = ic.route(s, target, k) {
+                let better = match &best {
+                    None => true,
+                    Some(b) => path.len() < b.len(),
+                };
+                if better {
+                    best = Some(path);
+                }
+            }
+        }
+        let path = best.ok_or(Full)?;
+        debug_assert!(path.len() >= 2, "target != source guaranteed");
+        let mut created = 0u32;
+        for hop in path.windows(2) {
+            let (u, v) = (hop[0], hop[1]);
+            // Interior clusters of the path may coincidentally already
+            // hold the value (only when the path started at `home` but an
+            // interior delivery exists); reuse it.
+            if self.avail.contains_key(&(producer, v)) {
+                continue;
+            }
+            let link = ic.link_between(u, v).expect("path follows links");
+            let id = self.alloc_id();
+            mrt.reserve_copy(id, u, &[v], Some(link))?;
+            self.copies.insert(
+                id,
+                CopyRecord {
+                    producer,
+                    src: u,
+                    targets: vec![v],
+                    link: Some(link),
+                },
+            );
+            self.avail.insert((producer, v), Delivery::Copy(id));
+            // Interior hops start with zero uses; the next hop (or the
+            // final consumer, below) registers the actual use.
+            self.users.insert((id, v), 0);
+            created += 1;
+            // The hop reads the value at `u`: that is a use of u's
+            // delivery (unless u is the home cluster).
+            if u != home {
+                if let Some(Delivery::Copy(up)) = self.avail.get(&(producer, u)) {
+                    *self.users.get_mut(&(*up, u)).expect("chain upstream") += 1;
+                }
+            }
+        }
+        // Register the final consumer's use at the target.
+        let Delivery::Copy(last) = self.avail[&(producer, target)];
+        *self.users.get_mut(&(last, target)).expect("final hop") += 1;
+        Ok(created)
+    }
+
+    /// Release one use of `producer`'s delivery at `target`; frees copies
+    /// (and upstream chain hops) whose use count reaches zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no delivery of `producer` at `target` exists.
+    pub fn release_value_use(
+        &mut self,
+        mrt: &mut CountMrt,
+        producer: NodeId,
+        home: ClusterId,
+        target: ClusterId,
+    ) {
+        let Delivery::Copy(id) = *self
+            .avail
+            .get(&(producer, target))
+            .expect("no delivery to release");
+        let n = self.users.get_mut(&(id, target)).expect("user entry");
+        *n -= 1;
+        if *n > 0 {
+            return;
+        }
+        self.users.remove(&(id, target));
+        self.avail.remove(&(producer, target));
+        let record = self.copies.get_mut(&id).expect("live copy");
+        if record.targets.len() > 1 {
+            // Broadcast copy still serving other clusters: drop one target.
+            let pos = record
+                .targets
+                .iter()
+                .position(|&t| t == target)
+                .expect("target present");
+            record.targets.remove(pos);
+            mrt.remove_copy_target(id, target);
+        } else {
+            let src = record.src;
+            self.copies.remove(&id);
+            mrt.release(id);
+            // A chain hop read the value at `src`: release that use too.
+            if src != home && self.avail.contains_key(&(producer, src)) {
+                self.release_value_use(mrt, producer, home, src);
+            }
+        }
+    }
+
+    fn alloc_id(&mut self) -> NodeId {
+        let id = NodeId(self.next_id);
+        self.next_id += 1;
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clasp_machine::presets;
+
+    fn setup_bus() -> (MachineSpec, CountMrt, CopyManager) {
+        let m = presets::four_cluster_gp(4, 2);
+        let mrt = CountMrt::new(&m, 2);
+        (m, mrt, CopyManager::new(100))
+    }
+
+    #[test]
+    fn bused_copy_created_once_and_shared() {
+        let (m, mut mrt, mut cpm) = setup_bus();
+        let p = NodeId(0);
+        let home = ClusterId(0);
+        assert_eq!(
+            cpm.ensure_value_at(&mut mrt, &m, p, home, ClusterId(1))
+                .unwrap(),
+            1
+        );
+        assert_eq!(cpm.live_count(), 1);
+        assert_eq!(cpm.rc(p), 1);
+        // Second target: extend, no new copy.
+        assert_eq!(
+            cpm.ensure_value_at(&mut mrt, &m, p, home, ClusterId(2))
+                .unwrap(),
+            0
+        );
+        assert_eq!(cpm.live_count(), 1);
+        let id = cpm.delivery(p, ClusterId(1)).unwrap();
+        assert_eq!(cpm.record(id).unwrap().targets.len(), 2);
+        // Same target twice: just a use.
+        assert_eq!(
+            cpm.ensure_value_at(&mut mrt, &m, p, home, ClusterId(1))
+                .unwrap(),
+            0
+        );
+    }
+
+    #[test]
+    fn release_frees_in_reverse() {
+        let (m, mut mrt, mut cpm) = setup_bus();
+        let p = NodeId(0);
+        let home = ClusterId(0);
+        cpm.ensure_value_at(&mut mrt, &m, p, home, ClusterId(1))
+            .unwrap();
+        cpm.ensure_value_at(&mut mrt, &m, p, home, ClusterId(1))
+            .unwrap();
+        cpm.ensure_value_at(&mut mrt, &m, p, home, ClusterId(2))
+            .unwrap();
+        let free_bus_before = mrt.free_bus_slots();
+        // Two uses at C1: first release keeps everything.
+        cpm.release_value_use(&mut mrt, p, home, ClusterId(1));
+        assert_eq!(cpm.live_count(), 1);
+        assert_eq!(mrt.free_bus_slots(), free_bus_before);
+        // Second release drops the C1 target but keeps the copy (C2 left).
+        cpm.release_value_use(&mut mrt, p, home, ClusterId(1));
+        assert_eq!(cpm.live_count(), 1);
+        assert_eq!(cpm.delivery(p, ClusterId(1)), None);
+        // Releasing C2 frees the copy and its bus slot.
+        cpm.release_value_use(&mut mrt, p, home, ClusterId(2));
+        assert_eq!(cpm.live_count(), 0);
+        assert_eq!(mrt.free_bus_slots(), free_bus_before + 1);
+        assert_eq!(cpm.rc(p), 0);
+    }
+
+    #[test]
+    fn p2p_direct_hop() {
+        let m = presets::four_cluster_grid(2);
+        let mut mrt = CountMrt::new(&m, 2);
+        let mut cpm = CopyManager::new(100);
+        let p = NodeId(0);
+        let created = cpm
+            .ensure_value_at(&mut mrt, &m, p, ClusterId(0), ClusterId(1))
+            .unwrap();
+        assert_eq!(created, 1);
+        let id = cpm.delivery(p, ClusterId(1)).unwrap();
+        assert!(cpm.record(id).unwrap().link.is_some());
+    }
+
+    #[test]
+    fn p2p_diagonal_builds_chain_and_shares_interior() {
+        let m = presets::four_cluster_grid(2);
+        let mut mrt = CountMrt::new(&m, 4);
+        let mut cpm = CopyManager::new(100);
+        let p = NodeId(0);
+        // C0 -> C3 is two hops.
+        let created = cpm
+            .ensure_value_at(&mut mrt, &m, p, ClusterId(0), ClusterId(3))
+            .unwrap();
+        assert_eq!(created, 2);
+        assert_eq!(cpm.live_count(), 2);
+        // The interior hop (C1 or C2) now holds the value: a consumer
+        // there reuses it.
+        let interior = if cpm.delivery(p, ClusterId(1)).is_some() {
+            ClusterId(1)
+        } else {
+            ClusterId(2)
+        };
+        let created2 = cpm
+            .ensure_value_at(&mut mrt, &m, p, ClusterId(0), interior)
+            .unwrap();
+        assert_eq!(created2, 0);
+        // Releasing the diagonal consumer frees only the last hop.
+        cpm.release_value_use(&mut mrt, p, ClusterId(0), ClusterId(3));
+        assert_eq!(cpm.live_count(), 1);
+        // Releasing the interior consumer frees the rest.
+        cpm.release_value_use(&mut mrt, p, ClusterId(0), interior);
+        assert_eq!(cpm.live_count(), 0);
+    }
+
+    #[test]
+    fn chain_release_cascades() {
+        let m = presets::four_cluster_grid(2);
+        let mut mrt = CountMrt::new(&m, 4);
+        let mut cpm = CopyManager::new(100);
+        let p = NodeId(0);
+        cpm.ensure_value_at(&mut mrt, &m, p, ClusterId(0), ClusterId(3))
+            .unwrap();
+        assert_eq!(cpm.live_count(), 2);
+        // Single release cascades through the whole chain.
+        cpm.release_value_use(&mut mrt, p, ClusterId(0), ClusterId(3));
+        assert_eq!(cpm.live_count(), 0);
+        // All link slots returned.
+        for i in 0..4 {
+            assert_eq!(mrt.free_link_slots(clasp_machine::LinkId(i)), 4);
+        }
+    }
+
+    #[test]
+    fn exhausted_bus_reports_full() {
+        let m = presets::two_cluster_gp(1, 1);
+        let mut mrt = CountMrt::new(&m, 1); // 1 bus slot total
+        let mut cpm = CopyManager::new(100);
+        cpm.ensure_value_at(&mut mrt, &m, NodeId(0), ClusterId(0), ClusterId(1))
+            .unwrap();
+        assert_eq!(
+            cpm.ensure_value_at(&mut mrt, &m, NodeId(1), ClusterId(0), ClusterId(1)),
+            Err(Full)
+        );
+    }
+
+    #[test]
+    fn no_interconnect_is_full() {
+        let m = presets::unified_gp(4);
+        let mut mrt = CountMrt::new(&m, 4);
+        let mut cpm = CopyManager::new(10);
+        // Unified machines have one cluster; fabricate a two-cluster call
+        // against a no-fabric machine to check the guard.
+        let m2 = clasp_machine::MachineSpec::new(
+            "2c-nofabric",
+            vec![
+                clasp_machine::ClusterSpec::general(2),
+                clasp_machine::ClusterSpec::general(2),
+            ],
+            clasp_machine::Interconnect::None,
+        );
+        let mut mrt2 = CountMrt::new(&m2, 4);
+        assert_eq!(
+            cpm.ensure_value_at(&mut mrt2, &m2, NodeId(0), ClusterId(0), ClusterId(1)),
+            Err(Full)
+        );
+        let _ = (m, &mut mrt);
+    }
+
+    #[test]
+    fn rc_counts_p2p_copies_individually() {
+        let m = presets::four_cluster_grid(2);
+        let mut mrt = CountMrt::new(&m, 4);
+        let mut cpm = CopyManager::new(100);
+        let p = NodeId(0);
+        cpm.ensure_value_at(&mut mrt, &m, p, ClusterId(0), ClusterId(1))
+            .unwrap();
+        cpm.ensure_value_at(&mut mrt, &m, p, ClusterId(0), ClusterId(2))
+            .unwrap();
+        assert_eq!(cpm.rc(p), 2);
+    }
+
+    #[test]
+    fn iter_is_sorted_by_id() {
+        let (m, mut mrt, mut cpm) = setup_bus();
+        cpm.ensure_value_at(&mut mrt, &m, NodeId(0), ClusterId(0), ClusterId(1))
+            .unwrap();
+        cpm.ensure_value_at(&mut mrt, &m, NodeId(1), ClusterId(2), ClusterId(3))
+            .unwrap();
+        let ids: Vec<u32> = cpm.iter().map(|(id, _)| id.0).collect();
+        assert_eq!(ids, vec![100, 101]);
+    }
+}

@@ -1,0 +1,391 @@
+//! Mutable assignment state: the counting MRT, the cluster map, the copy
+//! manager, and per-edge use bookkeeping.
+//!
+//! The assigner snapshots this state (it is `Clone`) before every
+//! tentative placement, so failed tentatives are discarded wholesale
+//! rather than unwound action by action.
+
+use crate::copies::CopyManager;
+use clasp_ddg::{Ddg, EdgeId, NodeId};
+use clasp_machine::{ClusterId, MachineSpec};
+use clasp_mrt::{ClusterMap, CountMrt, Full};
+use std::collections::HashMap;
+
+/// Whether a dependence edge carries a register value that must be copied
+/// when its endpoints land on different clusters. Stores and branches
+/// produce no register result, and self edges never cross clusters.
+pub fn edge_needs_copy(g: &Ddg, eid: EdgeId) -> bool {
+    let e = g.edge(eid);
+    e.src != e.dst && g.op(e.src).kind.produces_value()
+}
+
+/// The assigner's working state at one initiation interval.
+#[derive(Debug, Clone)]
+pub struct AssignState<'g> {
+    g: &'g Ddg,
+    machine: &'g MachineSpec,
+    /// Counting reservation table (FUs, ports, buses, links).
+    pub mrt: CountMrt,
+    /// Cluster of every assigned node.
+    pub map: ClusterMap,
+    /// Live copies and value availability.
+    pub cpm: CopyManager,
+    /// Per crossing edge: the (producer, target-cluster) delivery use it
+    /// holds.
+    edge_uses: HashMap<EdgeId, (NodeId, ClusterId)>,
+    seq: u64,
+    seq_of: HashMap<NodeId, u64>,
+}
+
+impl<'g> AssignState<'g> {
+    /// Fresh state for assigning `g` onto `machine` at `ii`.
+    pub fn new(g: &'g Ddg, machine: &'g MachineSpec, ii: u32) -> Self {
+        AssignState {
+            g,
+            machine,
+            mrt: CountMrt::new(machine, ii),
+            map: ClusterMap::new(),
+            cpm: CopyManager::new(g.node_count() as u32),
+            edge_uses: HashMap::new(),
+            seq: 0,
+            seq_of: HashMap::new(),
+        }
+    }
+
+    /// The graph being assigned.
+    pub fn graph(&self) -> &'g Ddg {
+        self.g
+    }
+
+    /// The target machine.
+    pub fn machine(&self) -> &'g MachineSpec {
+        self.machine
+    }
+
+    /// The II this state was built for.
+    pub fn ii(&self) -> u32 {
+        self.mrt.ii()
+    }
+
+    /// Cluster of `n`, if assigned.
+    pub fn cluster_of(&self, n: NodeId) -> Option<ClusterId> {
+        self.map.cluster_of(n)
+    }
+
+    /// Number of assigned original nodes.
+    pub fn assigned_count(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Monotonic sequence number of `n`'s assignment (later = larger);
+    /// used to pick most-recently-assigned victims.
+    pub fn assign_seq(&self, n: NodeId) -> Option<u64> {
+        self.seq_of.get(&n).copied()
+    }
+
+    /// Try to assign `n` to cluster `c`: reserve a function-unit slot and
+    /// every *required copy* — a delivery for each already-assigned
+    /// value-carrying neighbour on another cluster. Returns the number of
+    /// new copy operations created.
+    ///
+    /// # Errors
+    ///
+    /// [`Full`] when the operation or any required copy does not fit. The
+    /// state is left partially modified — callers clone before trying
+    /// (tentative-assignment discipline).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is already assigned.
+    pub fn try_assign(&mut self, n: NodeId, c: ClusterId) -> Result<u32, Full> {
+        assert!(!self.map.is_assigned(n), "{n} already assigned");
+        let kind = self.g.op(n).kind;
+        if !self.machine.cluster(c).can_execute(kind) {
+            return Err(Full);
+        }
+        self.mrt.reserve_op(n, c, kind)?;
+        let mut created = 0u32;
+        // Required copies from assigned producers into `c`.
+        let preds: Vec<(EdgeId, NodeId)> =
+            self.g.pred_edges(n).map(|(eid, e)| (eid, e.src)).collect();
+        for (eid, src) in preds {
+            if !edge_needs_copy(self.g, eid) {
+                continue;
+            }
+            if let Some(home) = self.map.cluster_of(src) {
+                if home != c {
+                    created +=
+                        self.cpm
+                            .ensure_value_at(&mut self.mrt, self.machine, src, home, c)?;
+                    self.edge_uses.insert(eid, (src, c));
+                }
+            }
+        }
+        // Required copies of `n`'s value to assigned consumers elsewhere.
+        let succs: Vec<(EdgeId, NodeId)> =
+            self.g.succ_edges(n).map(|(eid, e)| (eid, e.dst)).collect();
+        for (eid, dst) in succs {
+            if !edge_needs_copy(self.g, eid) {
+                continue;
+            }
+            if let Some(tc) = self.map.cluster_of(dst) {
+                if tc != c {
+                    created += self
+                        .cpm
+                        .ensure_value_at(&mut self.mrt, self.machine, n, c, tc)?;
+                    self.edge_uses.insert(eid, (n, tc));
+                }
+            }
+        }
+        self.map.assign(n, c);
+        self.seq += 1;
+        self.seq_of.insert(n, self.seq);
+        Ok(created)
+    }
+
+    /// Remove `n`'s assignment, releasing its function-unit slot and every
+    /// copy use held by its incident edges (cascading frees unused
+    /// copies).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not assigned.
+    pub fn unassign(&mut self, n: NodeId) {
+        assert!(self.map.is_assigned(n), "{n} not assigned");
+        let incident: Vec<EdgeId> = self
+            .g
+            .pred_edges(n)
+            .map(|(eid, _)| eid)
+            .chain(self.g.succ_edges(n).map(|(eid, _)| eid))
+            .collect();
+        for eid in incident {
+            if let Some((producer, target)) = self.edge_uses.remove(&eid) {
+                let home = self
+                    .map
+                    .cluster_of(producer)
+                    .expect("producer of a live use is assigned");
+                self.cpm
+                    .release_value_use(&mut self.mrt, producer, home, target);
+            }
+        }
+        self.mrt.release(n);
+        self.map.unassign(n);
+        self.seq_of.remove(&n);
+    }
+
+    /// Distinct value-consuming successors of `n` that are not yet
+    /// assigned (the paper's `UnassignedSuccessors(N)`).
+    pub fn unassigned_value_succs(&self, n: NodeId) -> u32 {
+        if !self.g.op(n).kind.produces_value() {
+            return 0;
+        }
+        let mut seen: Vec<NodeId> = Vec::new();
+        for (eid, e) in self.g.succ_edges(n) {
+            if !edge_needs_copy(self.g, eid) {
+                continue;
+            }
+            if !self.map.is_assigned(e.dst) && !seen.contains(&e.dst) {
+                seen.push(e.dst);
+            }
+        }
+        seen.len() as u32
+    }
+
+    /// The paper's `UpperBound(N)`: the worst-case number of *additional*
+    /// copies `n`'s value could still require. At most one total on
+    /// broadcast buses; at most `ClusterCount - 1` total otherwise.
+    pub fn upper_bound(&self, n: NodeId) -> u32 {
+        if !self.g.op(n).kind.produces_value() {
+            return 0;
+        }
+        let rc = self.cpm.rc(n);
+        if self.machine.interconnect().is_broadcast() {
+            1u32.saturating_sub(rc)
+        } else {
+            (self.machine.cluster_count() as u32 - 1).saturating_sub(rc)
+        }
+    }
+
+    /// The paper's *predicted copy requests* for cluster `c` (§4.2):
+    /// `sum over assigned N on c of min(UpperBound(N),
+    /// UnassignedSuccessors(N))`.
+    pub fn pcr(&self, c: ClusterId) -> u32 {
+        self.map
+            .iter()
+            .filter(|&(_, cl)| cl == c)
+            .map(|(n, _)| self.upper_bound(n).min(self.unassigned_value_succs(n)))
+            .sum()
+    }
+
+    /// Nodes currently assigned to cluster `c`, most recent first.
+    pub fn assigned_on(&self, c: ClusterId) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self
+            .map
+            .iter()
+            .filter(|&(_, cl)| cl == c)
+            .map(|(n, _)| n)
+            .collect();
+        v.sort_by_key(|n| std::cmp::Reverse(self.seq_of.get(n).copied().unwrap_or(0)));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clasp_ddg::OpKind;
+    use clasp_machine::presets;
+
+    fn cross_pair() -> Ddg {
+        let mut g = Ddg::new("pair");
+        let a = g.add(OpKind::IntAlu);
+        let b = g.add(OpKind::IntAlu);
+        g.add_dep(a, b);
+        g
+    }
+
+    #[test]
+    fn same_cluster_needs_no_copy() {
+        let g = cross_pair();
+        let m = presets::two_cluster_gp(2, 1);
+        let mut st = AssignState::new(&g, &m, 4);
+        st.try_assign(NodeId(0), ClusterId(0)).unwrap();
+        let created = st.try_assign(NodeId(1), ClusterId(0)).unwrap();
+        assert_eq!(created, 0);
+        assert_eq!(st.cpm.live_count(), 0);
+    }
+
+    #[test]
+    fn crossing_edge_creates_copy_either_order() {
+        let m = presets::two_cluster_gp(2, 1);
+        // Producer first.
+        let g = cross_pair();
+        let mut st = AssignState::new(&g, &m, 4);
+        st.try_assign(NodeId(0), ClusterId(0)).unwrap();
+        assert_eq!(st.try_assign(NodeId(1), ClusterId(1)).unwrap(), 1);
+        assert_eq!(st.cpm.live_count(), 1);
+        // Consumer first.
+        let mut st2 = AssignState::new(&g, &m, 4);
+        st2.try_assign(NodeId(1), ClusterId(1)).unwrap();
+        assert_eq!(st2.try_assign(NodeId(0), ClusterId(0)).unwrap(), 1);
+        assert_eq!(st2.cpm.live_count(), 1);
+    }
+
+    #[test]
+    fn unassign_releases_everything() {
+        let g = cross_pair();
+        let m = presets::two_cluster_gp(2, 1);
+        let mut st = AssignState::new(&g, &m, 2);
+        st.try_assign(NodeId(0), ClusterId(0)).unwrap();
+        st.try_assign(NodeId(1), ClusterId(1)).unwrap();
+        let free_before = st.mrt.free_bus_slots();
+        st.unassign(NodeId(1));
+        assert_eq!(st.cpm.live_count(), 0);
+        assert_eq!(st.mrt.free_bus_slots(), free_before + 1);
+        assert!(!st.map.is_assigned(NodeId(1)));
+        assert!(st.map.is_assigned(NodeId(0)));
+        // Reassign on the same cluster: no copy needed this time.
+        assert_eq!(st.try_assign(NodeId(1), ClusterId(0)).unwrap(), 0);
+    }
+
+    #[test]
+    fn unassign_producer_frees_copies_of_its_value() {
+        let mut g = Ddg::new("fan");
+        let p = g.add(OpKind::Load);
+        let c1 = g.add(OpKind::IntAlu);
+        let c2 = g.add(OpKind::IntAlu);
+        g.add_dep(p, c1);
+        g.add_dep(p, c2);
+        let m = presets::four_cluster_gp(4, 2);
+        let mut st = AssignState::new(&g, &m, 2);
+        st.try_assign(p, ClusterId(0)).unwrap();
+        st.try_assign(c1, ClusterId(1)).unwrap();
+        st.try_assign(c2, ClusterId(2)).unwrap();
+        assert_eq!(st.cpm.live_count(), 1); // broadcast, 2 targets
+        st.unassign(p);
+        assert_eq!(st.cpm.live_count(), 0);
+    }
+
+    #[test]
+    fn store_edges_need_no_copy() {
+        let mut g = Ddg::new("st");
+        let s = g.add(OpKind::Store);
+        let l = g.add(OpKind::Load);
+        g.add_dep(s, l); // memory-order dependence, no value
+        let m = presets::two_cluster_gp(2, 1);
+        let mut st = AssignState::new(&g, &m, 2);
+        st.try_assign(s, ClusterId(0)).unwrap();
+        assert_eq!(st.try_assign(l, ClusterId(1)).unwrap(), 0);
+        assert_eq!(st.cpm.live_count(), 0);
+    }
+
+    #[test]
+    fn pcr_and_upper_bound() {
+        let mut g = Ddg::new("fan");
+        let p = g.add(OpKind::Load);
+        let c1 = g.add(OpKind::IntAlu);
+        let c2 = g.add(OpKind::IntAlu);
+        g.add_dep(p, c1);
+        g.add_dep(p, c2);
+        let m = presets::four_cluster_gp(4, 2);
+        let mut st = AssignState::new(&g, &m, 2);
+        st.try_assign(p, ClusterId(0)).unwrap();
+        // Broadcast: at most 1 copy ever; 2 unassigned consumers.
+        assert_eq!(st.upper_bound(p), 1);
+        assert_eq!(st.unassigned_value_succs(p), 2);
+        assert_eq!(st.pcr(ClusterId(0)), 1);
+        st.try_assign(c1, ClusterId(1)).unwrap(); // copy now exists
+        assert_eq!(st.upper_bound(p), 0);
+        assert_eq!(st.pcr(ClusterId(0)), 0);
+    }
+
+    #[test]
+    fn pcr_p2p_upper_bound_scales_with_clusters() {
+        let mut g = Ddg::new("fan");
+        let p = g.add(OpKind::Load);
+        let c1 = g.add(OpKind::IntAlu);
+        g.add_dep(p, c1);
+        let m = presets::four_cluster_grid(2);
+        let mut st = AssignState::new(&g, &m, 4);
+        st.try_assign(p, ClusterId(0)).unwrap();
+        assert_eq!(st.upper_bound(p), 3); // ClusterCount - 1
+        assert_eq!(st.pcr(ClusterId(0)), 1); // min(3, 1 unassigned succ)
+    }
+
+    #[test]
+    fn infeasible_cluster_class_rejected() {
+        let mut g = Ddg::new("fp");
+        let f = g.add(OpKind::FpAdd);
+        let m = clasp_machine::MachineSpec::new(
+            "het",
+            vec![
+                clasp_machine::ClusterSpec::specialized(1, 2, 0), // no FP
+                clasp_machine::ClusterSpec::specialized(1, 2, 1),
+            ],
+            clasp_machine::Interconnect::Bus {
+                buses: 1,
+                read_ports: 1,
+                write_ports: 1,
+            },
+        );
+        let mut st = AssignState::new(&g, &m, 2);
+        assert_eq!(st.try_assign(f, ClusterId(0)), Err(Full));
+        // State untouched enough to use the other cluster.
+        assert!(st.try_assign(f, ClusterId(1)).is_ok());
+    }
+
+    #[test]
+    fn assigned_on_orders_most_recent_first() {
+        let mut g = Ddg::new("three");
+        let a = g.add(OpKind::IntAlu);
+        let b = g.add(OpKind::IntAlu);
+        let c = g.add(OpKind::IntAlu);
+        let m = presets::two_cluster_gp(2, 1);
+        let mut st = AssignState::new(&g, &m, 2);
+        st.try_assign(a, ClusterId(0)).unwrap();
+        st.try_assign(b, ClusterId(0)).unwrap();
+        st.try_assign(c, ClusterId(1)).unwrap();
+        assert_eq!(st.assigned_on(ClusterId(0)), vec![b, a]);
+        assert_eq!(st.assigned_on(ClusterId(1)), vec![c]);
+    }
+}

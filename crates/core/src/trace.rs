@@ -1,0 +1,231 @@
+//! Decision tracing for the assigner: a structured record of every
+//! selection-cascade filter, forced placement, and removal, for
+//! explaining *why* an operation landed on its cluster.
+
+use clasp_ddg::NodeId;
+use clasp_machine::ClusterId;
+use std::fmt;
+
+/// One assigner decision event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A new II attempt started (fresh state).
+    IiAttempt {
+        /// The initiation interval being attempted.
+        ii: u32,
+    },
+    /// Tentative placement succeeded on these clusters (Fig. 10 line 1's
+    /// feasible LIST).
+    Feasible {
+        /// The node under assignment.
+        node: NodeId,
+        /// Clusters whose tentative assignment succeeded.
+        clusters: Vec<ClusterId>,
+    },
+    /// A selection stage ran; `remaining` survived (unchanged when the
+    /// filter would have emptied the list, per Fig. 9).
+    Select {
+        /// The node under assignment.
+        node: NodeId,
+        /// Which cascade rule ran (e.g. `"rule A"`, `"SCC together"`).
+        rule: &'static str,
+        /// Clusters remaining after the stage.
+        remaining: Vec<ClusterId>,
+    },
+    /// The node's assignment was finalized.
+    Assigned {
+        /// The node.
+        node: NodeId,
+        /// Chosen cluster.
+        cluster: ClusterId,
+        /// Copies newly created by this assignment.
+        new_copies: u32,
+    },
+    /// No cluster was feasible; the Fig. 11 path chose a cluster to
+    /// force.
+    Forced {
+        /// The node.
+        node: NodeId,
+        /// Cluster the node was forced onto.
+        cluster: ClusterId,
+    },
+    /// A previously assigned node was removed to make room (§4.3.1).
+    Removed {
+        /// The removed node.
+        node: NodeId,
+        /// The cluster it was removed from.
+        cluster: ClusterId,
+    },
+    /// The attempt at this II gave up (budget exhausted or non-iterative
+    /// failure); the next event, if any, is a larger II attempt.
+    AttemptFailed {
+        /// The II that failed.
+        ii: u32,
+    },
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn list(cs: &[ClusterId]) -> String {
+            cs.iter()
+                .map(|c| c.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        }
+        match self {
+            TraceEvent::IiAttempt { ii } => write!(f, "== attempt II = {ii}"),
+            TraceEvent::Feasible { node, clusters } => {
+                write!(f, "{node}: feasible on [{}]", list(clusters))
+            }
+            TraceEvent::Select {
+                node,
+                rule,
+                remaining,
+            } => write!(f, "{node}:   {rule} -> [{}]", list(remaining)),
+            TraceEvent::Assigned {
+                node,
+                cluster,
+                new_copies,
+            } => write!(f, "{node}: assigned to {cluster} (+{new_copies} copies)"),
+            TraceEvent::Forced { node, cluster } => {
+                write!(f, "{node}: FORCED onto {cluster}")
+            }
+            TraceEvent::Removed { node, cluster } => {
+                write!(f, "{node}: removed from {cluster}")
+            }
+            TraceEvent::AttemptFailed { ii } => write!(f, "== attempt at II = {ii} failed"),
+        }
+    }
+}
+
+/// The full decision log of one [`crate::assign_traced`] run.
+#[derive(Debug, Clone, Default)]
+pub struct AssignTrace {
+    /// Events in decision order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl AssignTrace {
+    /// Events concerning one node (selection, assignment, removal).
+    pub fn for_node(&self, node: NodeId) -> Vec<&TraceEvent> {
+        self.events
+            .iter()
+            .filter(|e| match e {
+                TraceEvent::Feasible { node: n, .. }
+                | TraceEvent::Select { node: n, .. }
+                | TraceEvent::Assigned { node: n, .. }
+                | TraceEvent::Forced { node: n, .. }
+                | TraceEvent::Removed { node: n, .. } => *n == node,
+                _ => false,
+            })
+            .collect()
+    }
+
+    /// Number of removals recorded.
+    pub fn removals(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Removed { .. }))
+            .count()
+    }
+}
+
+impl fmt::Display for AssignTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for e in &self.events {
+            writeln!(f, "{e}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Internal sink passed through the assigner: no-op when tracing is off.
+#[derive(Debug, Default)]
+pub(crate) struct Sink<'a>(pub(crate) Option<&'a mut AssignTrace>);
+
+impl Sink<'_> {
+    #[inline]
+    pub(crate) fn log(&mut self, make: impl FnOnce() -> TraceEvent) {
+        if let Some(tr) = self.0.as_deref_mut() {
+            tr.events.push(make());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assign::assign_traced;
+    use crate::config::AssignConfig;
+    use clasp_ddg::{Ddg, OpKind};
+    use clasp_machine::presets;
+
+    fn fan_out() -> Ddg {
+        let mut g = Ddg::new("fan");
+        let p = g.add(OpKind::Load);
+        for _ in 0..9 {
+            let c = g.add(OpKind::IntAlu);
+            g.add_dep(p, c);
+        }
+        g
+    }
+
+    #[test]
+    fn trace_records_every_assignment() {
+        let g = fan_out();
+        let m = presets::two_cluster_gp(2, 1);
+        let (res, trace) = assign_traced(&g, &m, AssignConfig::default(), 1);
+        let asg = res.unwrap();
+        let assigned = trace
+            .events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Assigned { .. } | TraceEvent::Forced { .. }))
+            .count();
+        // Every node got at least one (possibly more after removals).
+        assert!(assigned >= g.node_count(), "{assigned} events");
+        assert_eq!(asg.stats.removals as usize, trace.removals());
+        // First event is the II attempt.
+        assert!(matches!(trace.events[0], TraceEvent::IiAttempt { .. }));
+    }
+
+    #[test]
+    fn for_node_filters() {
+        let g = fan_out();
+        let m = presets::two_cluster_gp(2, 1);
+        let (_, trace) = assign_traced(&g, &m, AssignConfig::default(), 1);
+        let events = trace.for_node(clasp_ddg::NodeId(0));
+        assert!(!events.is_empty());
+        assert!(events
+            .iter()
+            .all(|e| !matches!(e, TraceEvent::IiAttempt { .. })));
+    }
+
+    #[test]
+    fn traced_and_untraced_agree() {
+        let g = fan_out();
+        let m = presets::four_cluster_gp(4, 2);
+        let plain = crate::assign::assign(&g, &m, AssignConfig::default()).unwrap();
+        let (traced, _) = assign_traced(&g, &m, AssignConfig::default(), 1);
+        let traced = traced.unwrap();
+        assert_eq!(plain.ii, traced.ii);
+        for n in g.node_ids() {
+            assert_eq!(plain.map.cluster_of(n), traced.map.cluster_of(n));
+        }
+    }
+
+    #[test]
+    fn display_renders_events() {
+        let e = TraceEvent::Assigned {
+            node: clasp_ddg::NodeId(3),
+            cluster: clasp_machine::ClusterId(1),
+            new_copies: 2,
+        };
+        assert_eq!(e.to_string(), "n3: assigned to C1 (+2 copies)");
+        let t = AssignTrace {
+            events: vec![e, TraceEvent::AttemptFailed { ii: 5 }],
+        };
+        let text = t.to_string();
+        assert!(text.contains("assigned to C1"));
+        assert!(text.contains("II = 5 failed"));
+    }
+}

@@ -1,0 +1,446 @@
+//! Node ordering for assignment and scheduling priority (paper §4.1).
+//!
+//! The ordering has two levels:
+//!
+//! 1. **Set formation**: nodes are partitioned into priority sets — one set
+//!    per non-trivial SCC, sorted by decreasing per-SCC RecMII (the most
+//!    constraining recurrence first), followed by one final set holding
+//!    every node outside any recurrence.
+//! 2. **Within-set ordering**: the Swing Modulo Scheduler's ordering
+//!    heuristic (Llosa et al., PACT 1996), which lists a node only after
+//!    all of its predecessors *or* all of its successors whenever possible,
+//!    by alternating top-down and bottom-up sweeps along the critical path.
+
+use crate::graph::{Ddg, NodeId};
+use crate::mii::{rec_mii_with, scc_rec_mii};
+use crate::scc::{find_sccs, SccInfo};
+
+/// Longest-path depths and heights of every node at a given II.
+///
+/// `depth(v)` is the longest effective-latency path from any source to `v`;
+/// `height(v)` the longest path from `v` to any sink. Effective latency of
+/// an edge is `latency - ii * distance` (never allowed to push values below
+/// zero at sources/sinks).
+#[derive(Debug, Clone)]
+pub struct DepthHeight {
+    /// Per node (indexed by `NodeId::index`): longest path from a source.
+    pub depth: Vec<i64>,
+    /// Per node: longest path to a sink.
+    pub height: Vec<i64>,
+}
+
+/// Compute [`DepthHeight`] at initiation interval `ii`.
+///
+/// Uses Bellman-Ford style relaxation; requires that the graph has no
+/// positive cycle at `ii` (i.e. `ii >= RecMII`), which holds for any
+/// validated loop at its MII.
+pub fn depth_height(g: &Ddg, ii: u32) -> DepthHeight {
+    let n = g.node_count();
+    let mut depth = vec![0i64; n];
+    let mut height = vec![0i64; n];
+    let edges: Vec<(usize, usize, i64)> = g
+        .edges()
+        .map(|(_, e)| {
+            (
+                e.src.index(),
+                e.dst.index(),
+                i64::from(e.latency) - i64::from(ii) * i64::from(e.distance),
+            )
+        })
+        .collect();
+    for _ in 0..n {
+        let mut changed = false;
+        for &(u, v, w) in &edges {
+            if depth[u] + w > depth[v] {
+                depth[v] = depth[u] + w;
+                changed = true;
+            }
+            if height[v] + w > height[u] {
+                height[u] = height[v] + w;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    DepthHeight { depth, height }
+}
+
+/// The priority sets of §4.1: each non-trivial SCC (most constraining
+/// first, by per-SCC RecMII, ties broken towards larger components), then
+/// a final set with all remaining nodes.
+///
+/// Empty sets are never produced; a graph with no recurrences yields a
+/// single set with every node.
+pub fn priority_sets(g: &Ddg, sccs: &SccInfo) -> Vec<Vec<NodeId>> {
+    let mut scc_sets: Vec<(u32, usize, Vec<NodeId>)> = sccs
+        .non_trivial()
+        .map(|(idx, scc)| (scc_rec_mii(g, sccs, idx), scc.len(), scc.nodes.clone()))
+        .collect();
+    // Decreasing RecMII, then decreasing size, then first-node id for
+    // determinism.
+    scc_sets.sort_by(|a, b| b.0.cmp(&a.0).then(b.1.cmp(&a.1)).then(a.2[0].cmp(&b.2[0])));
+    let mut out: Vec<Vec<NodeId>> = scc_sets.into_iter().map(|(_, _, s)| s).collect();
+    let rest: Vec<NodeId> = g.node_ids().filter(|&n| !sccs.in_recurrence(n)).collect();
+    if !rest.is_empty() {
+        out.push(rest);
+    }
+    out
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    TopDown,
+    BottomUp,
+}
+
+/// Compute the full assignment/scheduling order of §4.1: priority sets in
+/// order, each internally ordered by the swing heuristic.
+///
+/// The returned list contains every node exactly once.
+///
+/// # Examples
+///
+/// ```
+/// use clasp_ddg::{Ddg, OpKind, swing_order};
+///
+/// // Figure 6 of the paper: SCC {B, C, D} must come first.
+/// let mut g = Ddg::new("fig6");
+/// let a = g.add_named(OpKind::IntAlu, "A");
+/// let b = g.add_named(OpKind::IntAlu, "B");
+/// let c = g.add_named(OpKind::Load, "C");
+/// let d = g.add_named(OpKind::IntAlu, "D");
+/// let e = g.add_named(OpKind::IntAlu, "E");
+/// let f = g.add_named(OpKind::IntAlu, "F");
+/// g.add_dep(a, b);
+/// g.add_dep(b, c);
+/// g.add_dep(c, d);
+/// g.add_dep(d, e);
+/// g.add_dep(e, f);
+/// g.add_dep_carried(d, b, 1);
+/// let order = swing_order(&g);
+/// let first_three: Vec<_> = order[..3].to_vec();
+/// assert!(first_three.contains(&b));
+/// assert!(first_three.contains(&c));
+/// assert!(first_three.contains(&d));
+/// ```
+pub fn swing_order(g: &Ddg) -> Vec<NodeId> {
+    let sccs = find_sccs(g);
+    swing_order_with(g, &sccs)
+}
+
+/// Swing ordering *without* the SCC-first set formation: the whole graph
+/// is treated as one set. Used by the ordering ablation to isolate the
+/// benefit of assigning critical recurrences first (§4.1).
+pub fn swing_order_flat(g: &Ddg) -> Vec<NodeId> {
+    let sccs = find_sccs(g);
+    let mii = rec_mii_with(g, &sccs);
+    let dh = depth_height(g, mii);
+    let all: Vec<NodeId> = g.node_ids().collect();
+    let mut ordered = vec![false; g.node_count()];
+    let mut order = Vec::with_capacity(g.node_count());
+    order_one_set(g, &dh, &all, &mut ordered, &mut order);
+    order
+}
+
+/// The §3 strawman ordering: plain bottom-up over intra-iteration edges —
+/// a node is listed before its (distance-0) predecessors, sinks first.
+pub fn bottom_up_order(g: &Ddg) -> Vec<NodeId> {
+    // Reverse topological order over distance-0 edges (Kahn on the
+    // reversed graph); loop-carried edges are ignored, like the example in
+    // §3.1 (F, E, D, C, B, A for Figure 6).
+    let n = g.node_count();
+    let mut outdeg = vec![0usize; n];
+    for (_, e) in g.edges() {
+        if e.distance == 0 {
+            outdeg[e.src.index()] += 1;
+        }
+    }
+    let mut queue: std::collections::VecDeque<usize> = (0..n).filter(|&i| outdeg[i] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(i) = queue.pop_front() {
+        order.push(NodeId(i as u32));
+        for (_, e) in g.pred_edges(NodeId(i as u32)) {
+            if e.distance == 0 {
+                outdeg[e.src.index()] -= 1;
+                if outdeg[e.src.index()] == 0 {
+                    queue.push_back(e.src.index());
+                }
+            }
+        }
+    }
+    debug_assert_eq!(order.len(), n, "graph validated acyclic over d0 edges");
+    order
+}
+
+/// As [`swing_order`], reusing a precomputed SCC decomposition.
+pub fn swing_order_with(g: &Ddg, sccs: &SccInfo) -> Vec<NodeId> {
+    let mii = rec_mii_with(g, sccs);
+    let dh = depth_height(g, mii);
+    let sets = priority_sets(g, sccs);
+    let n = g.node_count();
+    let mut ordered = vec![false; n];
+    let mut order: Vec<NodeId> = Vec::with_capacity(n);
+
+    for set in sets {
+        order_one_set(g, &dh, &set, &mut ordered, &mut order);
+    }
+    debug_assert_eq!(order.len(), n);
+    order
+}
+
+/// Swing-order the nodes of `set` given the already ordered context,
+/// appending to `order` and marking `ordered`.
+fn order_one_set(
+    g: &Ddg,
+    dh: &DepthHeight,
+    set: &[NodeId],
+    ordered: &mut [bool],
+    order: &mut Vec<NodeId>,
+) {
+    let mut in_set = vec![false; g.node_count()];
+    for &v in set {
+        in_set[v.index()] = true;
+    }
+    let mut remaining: usize = set.iter().filter(|v| !ordered[v.index()]).count();
+    if remaining == 0 {
+        return;
+    }
+
+    // Initial frontier: nodes of the set adjacent to already-ordered nodes.
+    let preds_of_ordered: Vec<NodeId> = set
+        .iter()
+        .copied()
+        .filter(|&v| !ordered[v.index()] && g.successors(v).any(|s| ordered[s.index()]))
+        .collect();
+    let succs_of_ordered: Vec<NodeId> = set
+        .iter()
+        .copied()
+        .filter(|&v| !ordered[v.index()] && g.predecessors(v).any(|p| ordered[p.index()]))
+        .collect();
+
+    let (mut frontier, mut dir) = if !succs_of_ordered.is_empty() {
+        (succs_of_ordered, Direction::TopDown)
+    } else if !preds_of_ordered.is_empty() {
+        (preds_of_ordered, Direction::BottomUp)
+    } else {
+        // Fresh start: begin top-down from the most critical node (highest
+        // height; ties lowest id for determinism).
+        let start = set
+            .iter()
+            .copied()
+            .filter(|&v| !ordered[v.index()])
+            .max_by(|&a, &b| {
+                dh.height[a.index()]
+                    .cmp(&dh.height[b.index()])
+                    .then(b.cmp(&a))
+            })
+            .expect("non-empty set");
+        (vec![start], Direction::TopDown)
+    };
+
+    while remaining > 0 {
+        frontier.retain(|&v| !ordered[v.index()]);
+        if frontier.is_empty() {
+            // Swing: flip direction, new frontier = unordered neighbours of
+            // ordered nodes in the opposite sense; if still empty, restart
+            // from the most critical unordered node.
+            dir = match dir {
+                Direction::TopDown => Direction::BottomUp,
+                Direction::BottomUp => Direction::TopDown,
+            };
+            frontier = set
+                .iter()
+                .copied()
+                .filter(|&v| !ordered[v.index()])
+                .filter(|&v| match dir {
+                    Direction::TopDown => g.predecessors(v).any(|p| ordered[p.index()]),
+                    Direction::BottomUp => g.successors(v).any(|s| ordered[s.index()]),
+                })
+                .collect();
+            if frontier.is_empty() {
+                let start = set
+                    .iter()
+                    .copied()
+                    .filter(|&v| !ordered[v.index()])
+                    .max_by(|&a, &b| {
+                        dh.height[a.index()]
+                            .cmp(&dh.height[b.index()])
+                            .then(b.cmp(&a))
+                    })
+                    .expect("remaining > 0");
+                frontier = vec![start];
+                dir = Direction::TopDown;
+            }
+            continue;
+        }
+
+        // Pick the most critical frontier node for the current direction.
+        let pick = match dir {
+            Direction::TopDown => frontier
+                .iter()
+                .copied()
+                .max_by(|&a, &b| {
+                    dh.height[a.index()]
+                        .cmp(&dh.height[b.index()])
+                        .then(dh.depth[a.index()].cmp(&dh.depth[b.index()]))
+                        .then(b.cmp(&a))
+                })
+                .expect("non-empty frontier"),
+            Direction::BottomUp => frontier
+                .iter()
+                .copied()
+                .max_by(|&a, &b| {
+                    dh.depth[a.index()]
+                        .cmp(&dh.depth[b.index()])
+                        .then(dh.height[a.index()].cmp(&dh.height[b.index()]))
+                        .then(b.cmp(&a))
+                })
+                .expect("non-empty frontier"),
+        };
+
+        ordered[pick.index()] = true;
+        order.push(pick);
+        remaining -= 1;
+        frontier.retain(|&v| v != pick);
+
+        // Extend the frontier in the sweep direction, staying inside the set.
+        let extend: Vec<NodeId> = match dir {
+            Direction::TopDown => g.successors(pick).collect(),
+            Direction::BottomUp => g.predecessors(pick).collect(),
+        };
+        for v in extend {
+            if in_set[v.index()] && !ordered[v.index()] && !frontier.contains(&v) {
+                frontier.push(v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::OpKind;
+
+    fn fig6() -> (Ddg, [NodeId; 6]) {
+        let mut g = Ddg::new("fig6");
+        let a = g.add_named(OpKind::IntAlu, "A");
+        let b = g.add_named(OpKind::IntAlu, "B");
+        let c = g.add_named(OpKind::Load, "C");
+        let d = g.add_named(OpKind::IntAlu, "D");
+        let e = g.add_named(OpKind::IntAlu, "E");
+        let f = g.add_named(OpKind::IntAlu, "F");
+        g.add_dep(a, b);
+        g.add_dep(b, c);
+        g.add_dep(c, d);
+        g.add_dep(d, e);
+        g.add_dep(e, f);
+        g.add_dep_carried(d, b, 1);
+        (g, [a, b, c, d, e, f])
+    }
+
+    #[test]
+    fn order_is_a_permutation() {
+        let (g, _) = fig6();
+        let mut order = swing_order(&g);
+        assert_eq!(order.len(), g.node_count());
+        order.sort();
+        order.dedup();
+        assert_eq!(order.len(), g.node_count());
+    }
+
+    #[test]
+    fn scc_nodes_come_first() {
+        let (g, [_, b, c, d, ..]) = fig6();
+        let order = swing_order(&g);
+        let first: Vec<_> = order[..3].to_vec();
+        for n in [b, c, d] {
+            assert!(first.contains(&n), "{n} should be in the first three");
+        }
+    }
+
+    #[test]
+    fn priority_sets_sorted_by_recmii() {
+        // Two SCCs: one with RecMII 9 (FpDiv self-loop), one with RecMII 2.
+        let mut g = Ddg::new("two");
+        let slow = g.add(OpKind::FpDiv);
+        g.add_dep_carried(slow, slow, 1);
+        let a = g.add(OpKind::IntAlu);
+        let b = g.add(OpKind::IntAlu);
+        g.add_dep(a, b);
+        g.add_dep_carried(b, a, 1);
+        let free = g.add(OpKind::Store);
+        let sccs = find_sccs(&g);
+        let sets = priority_sets(&g, &sccs);
+        assert_eq!(sets.len(), 3);
+        assert_eq!(sets[0], vec![slow]);
+        assert_eq!(sets[1].len(), 2);
+        assert_eq!(sets[2], vec![free]);
+    }
+
+    #[test]
+    fn listed_after_all_preds_or_all_succs_on_dag() {
+        // On a pure DAG the swing property must hold exactly.
+        let mut g = Ddg::new("dag");
+        let a = g.add(OpKind::Load);
+        let b = g.add(OpKind::IntAlu);
+        let c = g.add(OpKind::IntAlu);
+        let d = g.add(OpKind::Store);
+        g.add_dep(a, b);
+        g.add_dep(a, c);
+        g.add_dep(b, d);
+        g.add_dep(c, d);
+        let order = swing_order(&g);
+        let pos: std::collections::HashMap<_, _> =
+            order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        for n in g.node_ids() {
+            let preds: Vec<_> = g.predecessors(n).collect();
+            let succs: Vec<_> = g.successors(n).collect();
+            let after_preds = preds.iter().all(|p| pos[p] < pos[&n]);
+            let after_succs = succs.iter().all(|s| pos[s] < pos[&n]);
+            assert!(
+                after_preds || after_succs || (preds.is_empty() && succs.is_empty()),
+                "node {n} ordered before all preds and all succs"
+            );
+        }
+    }
+
+    #[test]
+    fn depth_height_simple_chain() {
+        let mut g = Ddg::new("chain");
+        let a = g.add(OpKind::Load); // lat 2
+        let b = g.add(OpKind::FpMult); // lat 3
+        let c = g.add(OpKind::Store);
+        g.add_dep(a, b);
+        g.add_dep(b, c);
+        let dh = depth_height(&g, 1);
+        assert_eq!(dh.depth[a.index()], 0);
+        assert_eq!(dh.depth[b.index()], 2);
+        assert_eq!(dh.depth[c.index()], 5);
+        assert_eq!(dh.height[a.index()], 5);
+        assert_eq!(dh.height[b.index()], 3);
+        assert_eq!(dh.height[c.index()], 0);
+    }
+
+    #[test]
+    fn disconnected_components_all_ordered() {
+        let mut g = Ddg::new("disc");
+        let mut ids = Vec::new();
+        for _ in 0..4 {
+            let a = g.add(OpKind::IntAlu);
+            let b = g.add(OpKind::IntAlu);
+            g.add_dep(a, b);
+            ids.push((a, b));
+        }
+        let order = swing_order(&g);
+        assert_eq!(order.len(), 8);
+    }
+
+    #[test]
+    fn single_node_graph() {
+        let mut g = Ddg::new("one");
+        let a = g.add(OpKind::Branch);
+        assert_eq!(swing_order(&g), vec![a]);
+    }
+}

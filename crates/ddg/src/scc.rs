@@ -1,0 +1,274 @@
+//! Strongly-connected-component analysis (Tarjan's algorithm).
+//!
+//! Recurrences in a modulo-scheduled loop correspond to SCCs of the
+//! dependence graph (loop-carried edges included). A *non-trivial* SCC is
+//! one that actually contains a dependence cycle: two or more nodes, or a
+//! single node with a self edge.
+
+use crate::graph::{Ddg, NodeId};
+
+/// One strongly connected component: the member nodes in discovery order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scc {
+    /// Nodes belonging to this component.
+    pub nodes: Vec<NodeId>,
+    /// Whether the component contains a cycle (size >= 2, or a self edge).
+    pub non_trivial: bool,
+}
+
+impl Scc {
+    /// Number of member nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the component has no nodes (never produced by [`find_sccs`]).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+/// The SCC decomposition of a [`Ddg`].
+#[derive(Debug, Clone)]
+pub struct SccInfo {
+    /// All components in reverse topological discovery order.
+    pub sccs: Vec<Scc>,
+    /// For each node (by index), the index into `sccs` of its component.
+    pub component_of: Vec<usize>,
+}
+
+impl SccInfo {
+    /// The component index of a node.
+    pub fn component(&self, n: NodeId) -> usize {
+        self.component_of[n.index()]
+    }
+
+    /// Whether two nodes share a component.
+    pub fn same_component(&self, a: NodeId, b: NodeId) -> bool {
+        self.component(a) == self.component(b)
+    }
+
+    /// Whether `n` belongs to a non-trivial (cyclic) component.
+    pub fn in_recurrence(&self, n: NodeId) -> bool {
+        self.sccs[self.component(n)].non_trivial
+    }
+
+    /// Iterate over the non-trivial components.
+    pub fn non_trivial(&self) -> impl Iterator<Item = (usize, &Scc)> + '_ {
+        self.sccs.iter().enumerate().filter(|(_, s)| s.non_trivial)
+    }
+
+    /// Count of non-trivial components.
+    pub fn non_trivial_count(&self) -> usize {
+        self.non_trivial().count()
+    }
+
+    /// Total nodes across non-trivial components.
+    pub fn nodes_in_recurrences(&self) -> usize {
+        self.non_trivial().map(|(_, s)| s.len()).sum()
+    }
+}
+
+/// Compute the SCC decomposition of `g` using an iterative Tarjan walk
+/// (explicit stack, so deep graphs cannot overflow the call stack).
+///
+/// All edges participate regardless of dependence distance: loop-carried
+/// edges are precisely what closes recurrence cycles.
+///
+/// # Examples
+///
+/// ```
+/// use clasp_ddg::{Ddg, OpKind, find_sccs};
+///
+/// let mut g = Ddg::new("rec");
+/// let a = g.add(OpKind::IntAlu);
+/// let b = g.add(OpKind::IntAlu);
+/// let c = g.add(OpKind::IntAlu);
+/// g.add_dep(a, b);
+/// g.add_dep_carried(b, a, 1); // a <-> b recurrence
+/// g.add_dep(b, c);
+/// let info = find_sccs(&g);
+/// assert_eq!(info.non_trivial_count(), 1);
+/// assert!(info.same_component(a, b));
+/// assert!(!info.same_component(a, c));
+/// ```
+pub fn find_sccs(g: &Ddg) -> SccInfo {
+    const UNVISITED: u32 = u32::MAX;
+    let n = g.node_count();
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index: u32 = 0;
+    let mut sccs: Vec<Scc> = Vec::new();
+    let mut component_of = vec![usize::MAX; n];
+
+    // Precomputed adjacency so each frame step is O(1).
+    let adj: Vec<Vec<usize>> = (0..n)
+        .map(|v| {
+            g.succ_edges(NodeId(v as u32))
+                .map(|(_, e)| e.dst.index())
+                .collect()
+        })
+        .collect();
+
+    // Iterative DFS frames: (node, iterator position into succ list).
+    let mut frames: Vec<(usize, usize)> = Vec::new();
+
+    for start in 0..n {
+        if index[start] != UNVISITED {
+            continue;
+        }
+        frames.push((start, 0));
+        index[start] = next_index;
+        lowlink[start] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start] = true;
+
+        while let Some(&mut (v, ref mut pos)) = frames.last_mut() {
+            let succs = &adj[v];
+            if *pos < succs.len() {
+                let w = succs[*pos];
+                *pos += 1;
+                if index[w] == UNVISITED {
+                    index[w] = next_index;
+                    lowlink[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    frames.push((w, 0));
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(index[w]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&mut (parent, _)) = frames.last_mut() {
+                    lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                }
+                if lowlink[v] == index[v] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        component_of[w] = sccs.len();
+                        comp.push(NodeId(w as u32));
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp.reverse();
+                    let non_trivial =
+                        comp.len() > 1 || g.succ_edges(comp[0]).any(|(_, e)| e.dst == comp[0]);
+                    sccs.push(Scc {
+                        nodes: comp,
+                        non_trivial,
+                    });
+                }
+            }
+        }
+    }
+
+    SccInfo { sccs, component_of }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::OpKind;
+
+    #[test]
+    fn acyclic_graph_all_trivial() {
+        let mut g = Ddg::new("dag");
+        let a = g.add(OpKind::Load);
+        let b = g.add(OpKind::IntAlu);
+        let c = g.add(OpKind::Store);
+        g.add_dep(a, b);
+        g.add_dep(b, c);
+        let info = find_sccs(&g);
+        assert_eq!(info.sccs.len(), 3);
+        assert_eq!(info.non_trivial_count(), 0);
+        assert_eq!(info.nodes_in_recurrences(), 0);
+    }
+
+    #[test]
+    fn self_loop_is_non_trivial() {
+        let mut g = Ddg::new("self");
+        let a = g.add(OpKind::FpAdd);
+        g.add_dep_carried(a, a, 1);
+        let info = find_sccs(&g);
+        assert_eq!(info.non_trivial_count(), 1);
+        assert!(info.in_recurrence(a));
+    }
+
+    #[test]
+    fn paper_figure6_scc() {
+        // B, C, D form the SCC of the introductory example.
+        let mut g = Ddg::new("fig6");
+        let a = g.add_named(OpKind::IntAlu, "A");
+        let b = g.add_named(OpKind::IntAlu, "B");
+        let c = g.add_named(OpKind::Load, "C");
+        let d = g.add_named(OpKind::IntAlu, "D");
+        let e = g.add_named(OpKind::IntAlu, "E");
+        let f = g.add_named(OpKind::IntAlu, "F");
+        g.add_dep(a, b);
+        g.add_dep(b, c);
+        g.add_dep(c, d);
+        g.add_dep(d, e);
+        g.add_dep(e, f);
+        g.add_dep_carried(d, b, 1);
+        let info = find_sccs(&g);
+        assert_eq!(info.non_trivial_count(), 1);
+        let (_, scc) = info.non_trivial().next().unwrap();
+        let mut members = scc.nodes.clone();
+        members.sort();
+        assert_eq!(members, vec![b, c, d]);
+        assert_eq!(info.nodes_in_recurrences(), 3);
+        assert!(!info.in_recurrence(a));
+        assert!(!info.in_recurrence(e));
+        assert!(!info.in_recurrence(f));
+    }
+
+    #[test]
+    fn two_separate_recurrences() {
+        let mut g = Ddg::new("two");
+        let a = g.add(OpKind::IntAlu);
+        let b = g.add(OpKind::IntAlu);
+        let c = g.add(OpKind::FpAdd);
+        let d = g.add(OpKind::FpMult);
+        g.add_dep(a, b);
+        g.add_dep_carried(b, a, 1);
+        g.add_dep(c, d);
+        g.add_dep_carried(d, c, 2);
+        g.add_dep(b, c); // connect, but one-directional
+        let info = find_sccs(&g);
+        assert_eq!(info.non_trivial_count(), 2);
+        assert!(!info.same_component(a, c));
+    }
+
+    #[test]
+    fn component_indices_cover_all_nodes() {
+        let mut g = Ddg::new("cover");
+        for _ in 0..10 {
+            g.add(OpKind::IntAlu);
+        }
+        let info = find_sccs(&g);
+        assert!(info.component_of.iter().all(|&c| c != usize::MAX));
+        let total: usize = info.sccs.iter().map(|s| s.len()).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow() {
+        // 100k-node chain exercises the iterative DFS.
+        let mut g = Ddg::new("deep");
+        let mut prev = g.add(OpKind::IntAlu);
+        for _ in 0..100_000 {
+            let n = g.add(OpKind::IntAlu);
+            g.add_dep(prev, n);
+            prev = n;
+        }
+        let info = find_sccs(&g);
+        assert_eq!(info.sccs.len(), 100_001);
+    }
+}

@@ -1,0 +1,28 @@
+use clasp::{compile_loop, unified_ii, PipelineConfig};
+use clasp_loopgen::{generate_corpus, CorpusConfig};
+use clasp_machine::presets;
+
+fn main() {
+    let corpus = generate_corpus(CorpusConfig::default());
+    let m = presets::two_cluster_gp(2, 1);
+    for g in &corpus {
+        let u = unified_ii(g, &m, Default::default());
+        let c = compile_loop(g, &m, PipelineConfig::default());
+        match (&u, &c) {
+            (None, _) => println!(
+                "{}: BASELINE FAIL (n={}, e={})",
+                g.name(),
+                g.node_count(),
+                g.edge_count()
+            ),
+            (_, Err(e)) => println!(
+                "{}: PIPELINE FAIL {e} (n={}, e={})",
+                g.name(),
+                g.node_count(),
+                g.edge_count()
+            ),
+            _ => {}
+        }
+    }
+    println!("done");
+}

@@ -1,0 +1,136 @@
+//! CLASP experiment harness.
+//!
+//! Regenerates every table and figure of Nystrom & Eichenberger (MICRO
+//! 1998). Run with `cargo run -p clasp-experiments --release -- <id>`,
+//! where `<id>` is one of:
+//!
+//! `table1 table2 fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19 table3
+//! grid ablate-order ablate-pcr ablate-budget ablate-sched registers baseline-post
+//! all quick`
+//!
+//! Options: `--loops N` (corpus subset), `--seed S` (corpus seed).
+//! CSV output lands in `results/`.
+
+mod experiments;
+mod runner;
+
+use clasp_ddg::Ddg;
+use clasp_loopgen::{generate_corpus, CorpusConfig};
+
+fn corpus(loops: Option<usize>, seed: Option<u64>) -> Vec<Ddg> {
+    let mut cfg = CorpusConfig::default();
+    if let Some(n) = loops {
+        // Keep the paper's 301/1327 recurrence fraction.
+        cfg.scc_loops = (n * 301).div_ceil(1327).min(n);
+        cfg.loops = n;
+    }
+    if let Some(s) = seed {
+        cfg.seed = s;
+    }
+    generate_corpus(cfg)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut ids: Vec<String> = Vec::new();
+    let mut loops: Option<usize> = None;
+    let mut seed: Option<u64> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--loops" => {
+                i += 1;
+                loops = Some(args[i].parse().expect("--loops takes a number"));
+            }
+            "--seed" => {
+                i += 1;
+                seed = Some(args[i].parse().expect("--seed takes a number"));
+            }
+            other => ids.push(other.to_string()),
+        }
+        i += 1;
+    }
+    if ids.is_empty() {
+        ids.push("all".to_string());
+    }
+
+    let t0 = std::time::Instant::now();
+    let corpus = corpus(loops, seed);
+    println!(
+        "corpus: {} loops generated in {:.1?}",
+        corpus.len(),
+        t0.elapsed()
+    );
+
+    for id in &ids {
+        match id.as_str() {
+            "table1" => experiments::table1(&corpus),
+            "table2" => experiments::table2(),
+            "fig12" => {
+                experiments::fig12(&corpus);
+            }
+            "fig13" => {
+                experiments::fig13(&corpus);
+            }
+            "fig14" => {
+                experiments::fig14(&corpus);
+            }
+            "fig15" => {
+                experiments::fig15(&corpus);
+            }
+            "fig16" => {
+                experiments::fig16(&corpus);
+            }
+            "fig17" => {
+                experiments::fig17(&corpus);
+            }
+            "fig18" => {
+                experiments::fig18(&corpus);
+            }
+            "fig19" => {
+                experiments::fig19(&corpus);
+            }
+            "table3" => experiments::table3(&corpus),
+            "grid" => {
+                experiments::grid(&corpus);
+            }
+            "ablate-order" => experiments::ablate_order(&corpus),
+            "ablate-pcr" => experiments::ablate_pcr(&corpus),
+            "ablate-budget" => experiments::ablate_budget(&corpus),
+            "ablate-sched" => experiments::ablate_sched(&corpus),
+            "registers" => experiments::registers(&corpus),
+            "baseline-post" => experiments::baseline_post(&corpus),
+            "all" => {
+                experiments::table1(&corpus);
+                experiments::table2();
+                experiments::fig12(&corpus);
+                experiments::fig13(&corpus);
+                experiments::fig14(&corpus);
+                experiments::fig15(&corpus);
+                experiments::fig16(&corpus);
+                experiments::fig17(&corpus);
+                experiments::fig18(&corpus);
+                experiments::fig19(&corpus);
+                experiments::table3(&corpus);
+                experiments::grid(&corpus);
+                experiments::ablate_order(&corpus);
+                experiments::ablate_pcr(&corpus);
+                experiments::ablate_budget(&corpus);
+                experiments::ablate_sched(&corpus);
+                experiments::registers(&corpus);
+                experiments::baseline_post(&corpus);
+            }
+            "quick" => {
+                // Smoke-test subset: headline experiments only.
+                experiments::table1(&corpus);
+                experiments::fig12(&corpus);
+                experiments::grid(&corpus);
+            }
+            other => {
+                eprintln!("unknown experiment id: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    println!("\ntotal: {:.1?}", t0.elapsed());
+}

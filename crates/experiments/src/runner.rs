@@ -1,0 +1,214 @@
+//! Shared experiment harness: run a corpus through the pipeline on a set
+//! of machine/config series and histogram the II deviation from the
+//! equally wide unified machine — the metric every figure of the paper's
+//! evaluation reports.
+
+use clasp::{compile_loop, PipelineConfig};
+use clasp_ddg::Ddg;
+use clasp_machine::MachineSpec;
+use clasp_sched::{schedule_unified, SchedulerConfig};
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::path::Path;
+
+/// One experiment series (one line in a paper figure).
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// deviation (clustered II - unified II) -> loop count.
+    pub hist: BTreeMap<i64, usize>,
+    /// Loops where the pipeline or the baseline failed outright.
+    pub fails: usize,
+    /// Total loops attempted.
+    pub loops: usize,
+}
+
+impl Series {
+    /// Percentage of loops at exactly deviation `d`.
+    pub fn pct_at(&self, d: i64) -> f64 {
+        if self.loops == 0 {
+            return 0.0;
+        }
+        100.0 * *self.hist.get(&d).unwrap_or(&0) as f64 / self.loops as f64
+    }
+
+    /// Percentage of loops with deviation `<= d`.
+    pub fn pct_within(&self, d: i64) -> f64 {
+        if self.loops == 0 {
+            return 0.0;
+        }
+        let n: usize = self
+            .hist
+            .iter()
+            .filter(|&(&k, _)| k <= d)
+            .map(|(_, &v)| v)
+            .sum();
+        100.0 * n as f64 / self.loops as f64
+    }
+
+    /// Largest observed deviation.
+    #[allow(dead_code)]
+    pub fn max_deviation(&self) -> i64 {
+        self.hist.keys().copied().max().unwrap_or(0)
+    }
+}
+
+/// A series request: label, clustered machine, pipeline configuration.
+pub type SeriesSpec = (String, MachineSpec, PipelineConfig);
+
+/// Unified-baseline IIs for a corpus on one unified machine, computed in
+/// parallel.
+fn unified_baseline(
+    corpus: &[Ddg],
+    unified: &MachineSpec,
+    sched: SchedulerConfig,
+) -> Vec<Option<u32>> {
+    parallel_map(corpus, |g| {
+        schedule_unified(g, unified, sched).map(|s| s.ii())
+    })
+}
+
+/// Run every series over the corpus. All series must share the same
+/// unified equivalent (one baseline is computed and reused).
+///
+/// # Panics
+///
+/// Panics if the series disagree on the unified-equivalent machine shape.
+pub fn run_experiment(corpus: &[Ddg], specs: &[SeriesSpec]) -> Vec<Series> {
+    assert!(!specs.is_empty());
+    let unified = specs[0].1.unified_equivalent();
+    for (_, m, _) in specs {
+        assert_eq!(
+            m.unified_equivalent().total_issue_width(),
+            unified.total_issue_width(),
+            "series must share a baseline"
+        );
+    }
+    let baseline = unified_baseline(corpus, &unified, specs[0].2.sched);
+
+    specs
+        .iter()
+        .map(|(label, machine, config)| {
+            let deviations = parallel_map(corpus, |g| {
+                compile_loop(g, machine, *config).ok().map(|c| c.ii())
+            });
+            let mut hist = BTreeMap::new();
+            let mut fails = 0usize;
+            for (dev, base) in deviations.iter().zip(&baseline) {
+                match (dev, base) {
+                    (Some(c), Some(u)) => {
+                        *hist.entry(i64::from(*c) - i64::from(*u)).or_insert(0) += 1;
+                    }
+                    _ => fails += 1,
+                }
+            }
+            Series {
+                label: label.clone(),
+                hist,
+                fails,
+                loops: corpus.len(),
+            }
+        })
+        .collect()
+}
+
+/// Chunked scoped-thread parallel map (keeps order).
+fn parallel_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(items.len().max(1));
+    if threads <= 1 || items.len() < 8 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
+    out.resize_with(items.len(), || None);
+    let slots: Vec<(usize, &[T])> = items.chunks(chunk).enumerate().collect();
+    let mut results: Vec<(usize, Vec<R>)> = Vec::new();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = slots
+            .into_iter()
+            .map(|(i, part)| {
+                s.spawn({
+                    let f = &f;
+                    move || (i, part.iter().map(f).collect::<Vec<R>>())
+                })
+            })
+            .collect();
+        for h in handles {
+            results.push(h.join().expect("worker panicked"));
+        }
+    });
+    results.sort_by_key(|(i, _)| *i);
+    for (i, part) in results {
+        for (j, r) in part.into_iter().enumerate() {
+            out[i * chunk + j] = Some(r);
+        }
+    }
+    out.into_iter().map(|r| r.expect("filled")).collect()
+}
+
+/// Print a figure-style table: one row per series, percentage of loops at
+/// each deviation bucket (0, 1, 2, 3, 4, >=5), plus the cumulative
+/// within-1 column the paper quotes for the grid experiment.
+pub fn print_series(title: &str, series: &[Series]) {
+    println!("\n=== {title} ===");
+    println!(
+        "{:<28} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7}   {:>7} {:>6}",
+        "series", "x=0", "x=1", "x=2", "x=3", "x=4", "x>=5", "<=1", "fails"
+    );
+    for s in series {
+        let ge5: f64 = 100.0
+            * s.hist
+                .iter()
+                .filter(|&(&k, _)| k >= 5)
+                .map(|(_, &v)| v)
+                .sum::<usize>() as f64
+            / s.loops.max(1) as f64;
+        println!(
+            "{:<28} {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}%   {:>6.1}% {:>6}",
+            s.label,
+            s.pct_at(0),
+            s.pct_at(1),
+            s.pct_at(2),
+            s.pct_at(3),
+            s.pct_at(4),
+            ge5,
+            s.pct_within(1),
+            s.fails
+        );
+    }
+}
+
+/// Write the series as CSV under `results/` (deviation histogram per
+/// series, percentages).
+pub fn write_csv(id: &str, series: &[Series]) -> std::io::Result<()> {
+    let dir = Path::new("results");
+    std::fs::create_dir_all(dir)?;
+    let mut f = std::fs::File::create(dir.join(format!("{id}.csv")))?;
+    writeln!(f, "series,deviation,count,percent")?;
+    for s in series {
+        for (&d, &n) in &s.hist {
+            writeln!(
+                f,
+                "{},{},{},{:.3}",
+                s.label,
+                d,
+                n,
+                100.0 * n as f64 / s.loops.max(1) as f64
+            )?;
+        }
+        if s.fails > 0 {
+            writeln!(
+                f,
+                "{},fail,{},{:.3}",
+                s.label,
+                s.fails,
+                100.0 * s.fails as f64 / s.loops.max(1) as f64
+            )?;
+        }
+    }
+    Ok(())
+}

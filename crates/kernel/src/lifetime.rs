@@ -1,0 +1,192 @@
+//! Value lifetimes and register pressure of a modulo schedule.
+//!
+//! A value is live from its producer's issue cycle until the issue cycle
+//! of its last consumer (loop-carried consumers extend the lifetime by
+//! `distance * II`). Because iterations overlap, a lifetime longer than
+//! II forces several instances of the value to be live at once — the
+//! quantity *MaxLive* measures the worst-case simultaneous count, and
+//! drives modulo variable expansion (see [`crate::MveInfo`]).
+
+use clasp_ddg::{Ddg, NodeId};
+use clasp_sched::Schedule;
+
+/// The live range of one produced value, in schedule cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lifetime {
+    /// The producing node.
+    pub def: NodeId,
+    /// Issue cycle of the producer.
+    pub start: i64,
+    /// One past the last consuming issue cycle (at least
+    /// `start + latency`); `end - start` is the register's occupancy.
+    pub end: i64,
+}
+
+impl Lifetime {
+    /// The lifetime's length in cycles.
+    pub fn len(&self) -> i64 {
+        self.end - self.start
+    }
+
+    /// Whether the lifetime is degenerate (never happens for produced
+    /// values; present for `is_empty`/`len` API symmetry).
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+
+    /// How many instances of this value are simultaneously live in the
+    /// steady state: `ceil(len / II)`.
+    pub fn instances(&self, ii: u32) -> u32 {
+        let ii = i64::from(ii);
+        (self.len() + ii - 1).div_euclid(ii).max(1) as u32
+    }
+}
+
+/// Compute the lifetime of every value-producing node of `g` under
+/// `sched`.
+///
+/// Nodes whose kind produces no register value (stores, branches) are
+/// skipped. A producer with no consumers still occupies its result for
+/// `latency` cycles.
+///
+/// # Panics
+///
+/// Panics if some node of `g` is missing from `sched`.
+pub fn lifetimes(g: &Ddg, sched: &Schedule) -> Vec<Lifetime> {
+    let ii = i64::from(sched.ii());
+    let mut out = Vec::new();
+    for (n, op) in g.nodes() {
+        if !op.kind.produces_value() {
+            continue;
+        }
+        let start = sched.start(n).expect("node scheduled");
+        let mut end = start + i64::from(op.kind.latency());
+        for (_, e) in g.succ_edges(n) {
+            if e.src == e.dst {
+                continue;
+            }
+            let use_at =
+                sched.start(e.dst).expect("consumer scheduled") + i64::from(e.distance) * ii;
+            end = end.max(use_at);
+        }
+        out.push(Lifetime { def: n, start, end });
+    }
+    out
+}
+
+/// Register pressure of the schedule: the maximum number of
+/// simultaneously live value instances over one steady-state II window
+/// (the *MaxLive* metric of the stage-scheduling literature).
+pub fn max_live(g: &Ddg, sched: &Schedule) -> u32 {
+    let ii = i64::from(sched.ii());
+    let mut buckets = vec![0u32; ii as usize];
+    for lt in lifetimes(g, sched) {
+        // Each cycle t in [start, end) contributes one live instance at
+        // kernel row t mod II.
+        for t in lt.start..lt.end {
+            buckets[t.rem_euclid(ii) as usize] += 1;
+        }
+    }
+    buckets.into_iter().max().unwrap_or(0)
+}
+
+/// The minimum number of registers modulo variable expansion needs:
+/// the sum over values of `ceil(lifetime / II)`.
+pub fn register_requirement(g: &Ddg, sched: &Schedule) -> u32 {
+    lifetimes(g, sched)
+        .iter()
+        .map(|lt| lt.instances(sched.ii()))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clasp_ddg::OpKind;
+    use clasp_machine::presets;
+    use clasp_sched::{schedule_unified, SchedulerConfig};
+
+    fn sched_of(g: &Ddg, width: u32) -> Schedule {
+        let m = presets::unified_gp(width);
+        schedule_unified(g, &m, SchedulerConfig::default()).expect("schedules")
+    }
+
+    #[test]
+    fn chain_lifetimes_cover_latency() {
+        let mut g = Ddg::new("chain");
+        let a = g.add(OpKind::Load); // lat 2
+        let b = g.add(OpKind::Store);
+        g.add_dep(a, b);
+        let s = sched_of(&g, 4);
+        let lts = lifetimes(&g, &s);
+        assert_eq!(lts.len(), 1); // store produces nothing
+        let lt = lts[0];
+        assert_eq!(lt.def, a);
+        assert_eq!(lt.start, s.start(a).unwrap());
+        assert_eq!(lt.end, s.start(b).unwrap());
+        assert!(lt.len() >= 2);
+    }
+
+    #[test]
+    fn unconsumed_value_lives_for_its_latency() {
+        let mut g = Ddg::new("lone");
+        let a = g.add(OpKind::FpMult); // lat 3
+        let s = sched_of(&g, 4);
+        let lt = lifetimes(&g, &s)[0];
+        assert_eq!(lt.len(), 3);
+        let _ = a;
+    }
+
+    #[test]
+    fn carried_consumer_extends_lifetime() {
+        // a -> b with distance 2 at II=1: lifetime spans 2 extra IIs.
+        let mut g = Ddg::new("carried");
+        let a = g.add(OpKind::IntAlu);
+        let b = g.add(OpKind::IntAlu);
+        g.add_dep_carried(a, b, 2);
+        let s = sched_of(&g, 4);
+        let lt = lifetimes(&g, &s).into_iter().find(|l| l.def == a).unwrap();
+        let expect = s.start(b).unwrap() + 2 * i64::from(s.ii());
+        assert_eq!(lt.end, expect.max(s.start(a).unwrap() + 1));
+    }
+
+    #[test]
+    fn instances_is_ceil_len_over_ii() {
+        let lt = Lifetime {
+            def: NodeId(0),
+            start: 0,
+            end: 5,
+        };
+        assert_eq!(lt.instances(2), 3);
+        assert_eq!(lt.instances(5), 1);
+        assert_eq!(lt.instances(1), 5);
+    }
+
+    #[test]
+    fn max_live_counts_overlap() {
+        // Four independent loads at II=1 (width 4): each result lives 2
+        // cycles -> 2 instances each, all rows loaded equally.
+        let mut g = Ddg::new("loads");
+        for _ in 0..4 {
+            let l = g.add(OpKind::Load);
+            let st = g.add(OpKind::Store);
+            g.add_dep(l, st);
+        }
+        let s = sched_of(&g, 8);
+        assert_eq!(s.ii(), 1);
+        let ml = max_live(&g, &s);
+        // 4 values, each >= 2 cycles long at II=1 -> at least 8 live.
+        assert!(ml >= 8, "MaxLive {ml}");
+        assert!(register_requirement(&g, &s) >= 8);
+    }
+
+    #[test]
+    fn pressure_zero_for_storeless_graph() {
+        let mut g = Ddg::new("stores");
+        g.add(OpKind::Store);
+        g.add(OpKind::Branch);
+        let s = sched_of(&g, 4);
+        assert_eq!(max_live(&g, &s), 0);
+        assert_eq!(register_requirement(&g, &s), 0);
+    }
+}

@@ -1,0 +1,350 @@
+//! Classic DSP and linear-algebra inner loops, complementing the
+//! Livermore set with patterns it lacks: sliding windows with multiple
+//! carried distances, coupled complex-arithmetic chains, Newton
+//! iteration with long-latency recurrences, shift/xor feedback, and
+//! unrolled reductions.
+
+use clasp_ddg::{Ddg, NodeId, OpKind};
+
+/// Names of all classic kernels, in [`all_classics`] order.
+pub const CLASSIC_NAMES: [&str; 10] = [
+    "daxpy",
+    "fir4",
+    "horner",
+    "complex-mul",
+    "newton-sqrt",
+    "crc-shift",
+    "unrolled-dot2",
+    "backsub",
+    "stride-gather",
+    "smooth3",
+];
+
+/// Build every classic kernel.
+pub fn all_classics() -> Vec<Ddg> {
+    CLASSIC_NAMES.iter().map(|n| classic(n)).collect()
+}
+
+/// Build one classic kernel by name.
+///
+/// # Panics
+///
+/// Panics on an unknown name (see [`CLASSIC_NAMES`]).
+pub fn classic(name: &str) -> Ddg {
+    match name {
+        "daxpy" => daxpy(),
+        "fir4" => fir4(),
+        "horner" => horner(),
+        "complex-mul" => complex_mul(),
+        "newton-sqrt" => newton_sqrt(),
+        "crc-shift" => crc_shift(),
+        "unrolled-dot2" => unrolled_dot2(),
+        "backsub" => backsub(),
+        "stride-gather" => stride_gather(),
+        "smooth3" => smooth3(),
+        other => panic!("unknown classic kernel `{other}`"),
+    }
+}
+
+fn addr(g: &mut Ddg, users: &[NodeId]) {
+    let iv = g.add_named(OpKind::IntAlu, "i++");
+    g.add_dep_carried(iv, iv, 1);
+    for &u in users {
+        g.add_dep(iv, u);
+    }
+}
+
+/// `y[i] = a * x[i] + y[i]` — the BLAS staple; no cross-iteration data
+/// flow beyond addressing.
+fn daxpy() -> Ddg {
+    let mut g = Ddg::new("daxpy");
+    let x = g.add_named(OpKind::Load, "x[i]");
+    let y = g.add_named(OpKind::Load, "y[i]");
+    let ax = g.add_named(OpKind::FpMult, "a*x");
+    let s = g.add_named(OpKind::FpAdd, "a*x+y");
+    let st = g.add_named(OpKind::Store, "y[i]");
+    g.add_dep(x, ax);
+    g.add_dep(ax, s);
+    g.add_dep(y, s);
+    g.add_dep(s, st);
+    addr(&mut g, &[x, y, st]);
+    g
+}
+
+/// A 4-tap FIR filter over a sliding window: the *same* loaded sample is
+/// consumed again 1, 2 and 3 iterations later — carried uses at three
+/// distinct distances, the stress test for modulo variable expansion.
+fn fir4() -> Ddg {
+    let mut g = Ddg::new("fir4");
+    let x = g.add_named(OpKind::Load, "x[i]");
+    let m0 = g.add_named(OpKind::FpMult, "c0*x[i]");
+    let m1 = g.add_named(OpKind::FpMult, "c1*x[i-1]");
+    let m2 = g.add_named(OpKind::FpMult, "c2*x[i-2]");
+    let m3 = g.add_named(OpKind::FpMult, "c3*x[i-3]");
+    let a1 = g.add_named(OpKind::FpAdd, "m0+m1");
+    let a2 = g.add_named(OpKind::FpAdd, "m2+m3");
+    let a3 = g.add_named(OpKind::FpAdd, "a1+a2");
+    let st = g.add_named(OpKind::Store, "y[i]");
+    g.add_dep(x, m0);
+    g.add_dep_carried(x, m1, 1);
+    g.add_dep_carried(x, m2, 2);
+    g.add_dep_carried(x, m3, 3);
+    g.add_dep(m0, a1);
+    g.add_dep(m1, a1);
+    g.add_dep(m2, a2);
+    g.add_dep(m3, a2);
+    g.add_dep(a1, a3);
+    g.add_dep(a2, a3);
+    g.add_dep(a3, st);
+    addr(&mut g, &[x, st]);
+    g
+}
+
+/// Horner polynomial evaluation: `p = p * x + c[i]` — a
+/// multiply-accumulate recurrence whose RecMII is lat(fmul) + lat(fadd).
+fn horner() -> Ddg {
+    let mut g = Ddg::new("horner");
+    let c = g.add_named(OpKind::Load, "c[i]");
+    let mul = g.add_named(OpKind::FpMult, "p*x");
+    let acc = g.add_named(OpKind::FpAdd, "p'");
+    g.add_dep(mul, acc);
+    g.add_dep(c, acc);
+    g.add_dep_carried(acc, mul, 1);
+    addr(&mut g, &[c]);
+    g
+}
+
+/// Complex multiply-accumulate: two coupled chains sharing operands —
+/// `re += ar*br - ai*bi; im += ar*bi + ai*br`.
+fn complex_mul() -> Ddg {
+    let mut g = Ddg::new("complex-mul");
+    let ar = g.add_named(OpKind::Load, "a.re");
+    let ai = g.add_named(OpKind::Load, "a.im");
+    let br = g.add_named(OpKind::Load, "b.re");
+    let bi = g.add_named(OpKind::Load, "b.im");
+    let rr = g.add_named(OpKind::FpMult, "ar*br");
+    let ii = g.add_named(OpKind::FpMult, "ai*bi");
+    let ri = g.add_named(OpKind::FpMult, "ar*bi");
+    let ir = g.add_named(OpKind::FpMult, "ai*br");
+    let re = g.add_named(OpKind::FpAdd, "rr-ii");
+    let im = g.add_named(OpKind::FpAdd, "ri+ir");
+    let accr = g.add_named(OpKind::FpAdd, "re+=");
+    let acci = g.add_named(OpKind::FpAdd, "im+=");
+    for (a, b) in [
+        (ar, rr),
+        (br, rr),
+        (ai, ii),
+        (bi, ii),
+        (ar, ri),
+        (bi, ri),
+        (ai, ir),
+        (br, ir),
+        (rr, re),
+        (ii, re),
+        (ri, im),
+        (ir, im),
+        (re, accr),
+        (im, acci),
+    ] {
+        g.add_dep(a, b);
+    }
+    g.add_dep_carried(accr, accr, 1);
+    g.add_dep_carried(acci, acci, 1);
+    addr(&mut g, &[ar, ai, br, bi]);
+    g
+}
+
+/// One Newton-Raphson step per iteration: `r' = r * (1.5 - x*r*r/2)` —
+/// a long recurrence containing two multiplies and an add, ending in a
+/// square root normalization every iteration.
+fn newton_sqrt() -> Ddg {
+    let mut g = Ddg::new("newton-sqrt");
+    let x = g.add_named(OpKind::Load, "x[i]");
+    let rr = g.add_named(OpKind::FpMult, "r*r");
+    let xrr = g.add_named(OpKind::FpMult, "x*rr");
+    let half = g.add_named(OpKind::FpAdd, "1.5-xrr");
+    let rnew = g.add_named(OpKind::FpMult, "r*half");
+    let norm = g.add_named(OpKind::FpSqrt, "normalize");
+    let st = g.add_named(OpKind::Store, "r[i]");
+    g.add_dep(x, xrr);
+    g.add_dep(rr, xrr);
+    g.add_dep(xrr, half);
+    g.add_dep(half, rnew);
+    g.add_dep(rnew, norm);
+    g.add_dep(norm, st);
+    g.add_dep_carried(rnew, rr, 1);
+    addr(&mut g, &[x, st]);
+    g
+}
+
+/// CRC-style shift/xor feedback: an integer recurrence through shift and
+/// ALU ops — tight (RecMII 2) and integer-unit bound.
+fn crc_shift() -> Ddg {
+    let mut g = Ddg::new("crc-shift");
+    let b = g.add_named(OpKind::Load, "byte[i]");
+    let x1 = g.add_named(OpKind::IntAlu, "crc^byte");
+    let sh = g.add_named(OpKind::Shift, "crc>>1");
+    let msk = g.add_named(OpKind::IntAlu, "&poly");
+    g.add_dep(b, x1);
+    g.add_dep(x1, sh);
+    g.add_dep(sh, msk);
+    g.add_dep_carried(msk, x1, 1);
+    addr(&mut g, &[b]);
+    g
+}
+
+/// Dot product unrolled by two with independent partial sums — the
+/// classic trick to halve the reduction recurrence pressure.
+fn unrolled_dot2() -> Ddg {
+    let mut g = Ddg::new("unrolled-dot2");
+    let x0 = g.add_named(OpKind::Load, "x[2i]");
+    let y0 = g.add_named(OpKind::Load, "y[2i]");
+    let x1 = g.add_named(OpKind::Load, "x[2i+1]");
+    let y1 = g.add_named(OpKind::Load, "y[2i+1]");
+    let m0 = g.add_named(OpKind::FpMult, "x0*y0");
+    let m1 = g.add_named(OpKind::FpMult, "x1*y1");
+    let a0 = g.add_named(OpKind::FpAdd, "s0+=");
+    let a1 = g.add_named(OpKind::FpAdd, "s1+=");
+    g.add_dep(x0, m0);
+    g.add_dep(y0, m0);
+    g.add_dep(x1, m1);
+    g.add_dep(y1, m1);
+    g.add_dep(m0, a0);
+    g.add_dep(m1, a1);
+    g.add_dep_carried(a0, a0, 1);
+    g.add_dep_carried(a1, a1, 1);
+    addr(&mut g, &[x0, y0, x1, y1]);
+    g
+}
+
+/// Back-substitution inner step: `x[i] = (b[i] - sum) / a[i][i]` with
+/// the running sum carried — a divide inside the loop but outside the
+/// recurrence.
+fn backsub() -> Ddg {
+    let mut g = Ddg::new("backsub");
+    let a = g.add_named(OpKind::Load, "a[i][j]");
+    let xj = g.add_named(OpKind::Load, "x[j]");
+    let m = g.add_named(OpKind::FpMult, "a*x");
+    let acc = g.add_named(OpKind::FpAdd, "sum+=");
+    let b = g.add_named(OpKind::Load, "b[i]");
+    let sub = g.add_named(OpKind::FpAdd, "b-sum");
+    let div = g.add_named(OpKind::FpDiv, "/diag");
+    let st = g.add_named(OpKind::Store, "x[i]");
+    g.add_dep(a, m);
+    g.add_dep(xj, m);
+    g.add_dep(m, acc);
+    g.add_dep_carried(acc, acc, 1);
+    g.add_dep(b, sub);
+    g.add_dep(acc, sub);
+    g.add_dep(sub, div);
+    g.add_dep(div, st);
+    addr(&mut g, &[a, xj, b, st]);
+    g
+}
+
+/// Strided gather-scatter with integer index computation feeding the
+/// memory ops — address-arithmetic heavy.
+fn stride_gather() -> Ddg {
+    let mut g = Ddg::new("stride-gather");
+    let idx = g.add_named(OpKind::Load, "idx[i]");
+    let sh = g.add_named(OpKind::Shift, "idx*8");
+    let base = g.add_named(OpKind::IntAlu, "base+off");
+    let v = g.add_named(OpKind::Load, "a[idx]");
+    let scale = g.add_named(OpKind::FpMult, "v*s");
+    let st = g.add_named(OpKind::Store, "out[i]");
+    g.add_dep(idx, sh);
+    g.add_dep(sh, base);
+    g.add_dep(base, v);
+    g.add_dep(v, scale);
+    g.add_dep(scale, st);
+    addr(&mut g, &[idx, st]);
+    g
+}
+
+/// Three-point smoothing with the *output* fed back: `y[i] = (y[i-1] +
+/// x[i] + x[i+1]) / 3` — recurrence plus window reuse.
+fn smooth3() -> Ddg {
+    let mut g = Ddg::new("smooth3");
+    let x0 = g.add_named(OpKind::Load, "x[i]");
+    let x1 = g.add_named(OpKind::Load, "x[i+1]");
+    let s1 = g.add_named(OpKind::FpAdd, "x0+x1");
+    let s2 = g.add_named(OpKind::FpAdd, "+y[i-1]");
+    let sc = g.add_named(OpKind::FpMult, "*(1/3)");
+    let st = g.add_named(OpKind::Store, "y[i]");
+    g.add_dep(x0, s1);
+    g.add_dep(x1, s1);
+    g.add_dep(s1, s2);
+    g.add_dep(s2, sc);
+    g.add_dep(sc, st);
+    g.add_dep_carried(sc, s2, 1);
+    addr(&mut g, &[x0, x1, st]);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clasp_ddg::{find_sccs, rec_mii};
+
+    #[test]
+    fn all_classics_are_valid() {
+        let v = all_classics();
+        assert_eq!(v.len(), CLASSIC_NAMES.len());
+        for g in &v {
+            g.validate().unwrap_or_else(|e| panic!("{}: {e}", g.name()));
+            assert!(g.node_count() >= 4, "{}", g.name());
+        }
+    }
+
+    #[test]
+    fn names_are_distinct_and_match() {
+        let v = all_classics();
+        for (g, name) in v.iter().zip(CLASSIC_NAMES) {
+            assert_eq!(g.name(), name);
+        }
+    }
+
+    #[test]
+    fn horner_recmii_is_mul_plus_add() {
+        assert_eq!(rec_mii(&classic("horner")), 4); // 3 + 1
+    }
+
+    #[test]
+    fn crc_recmii_is_three() {
+        // xor(1) -> shift(1) -> mask(1) over distance 1.
+        assert_eq!(rec_mii(&classic("crc-shift")), 3);
+    }
+
+    #[test]
+    fn newton_recurrence_spans_two_multiplies() {
+        // Cycle rnew ->(d1) rr -> xrr -> half -> rnew with latencies
+        // 3 (rnew) + 3 (rr) + 3 (xrr) + 1 (half) over distance 1.
+        assert_eq!(rec_mii(&classic("newton-sqrt")), 10);
+    }
+
+    #[test]
+    fn fir_has_no_data_recurrence() {
+        let g = classic("fir4");
+        let sccs = find_sccs(&g);
+        // Only the induction self-loop.
+        assert_eq!(sccs.non_trivial_count(), 1);
+        // But the window forces carried edges at distances 1..3.
+        let max_d = g.edges().map(|(_, e)| e.distance).max().unwrap();
+        assert_eq!(max_d, 3);
+    }
+
+    #[test]
+    fn unrolled_dot_halves_pressure() {
+        // Two independent accumulators, each RecMII 1.
+        let g = classic("unrolled-dot2");
+        let sccs = find_sccs(&g);
+        assert_eq!(sccs.non_trivial_count(), 3); // 2 accs + induction
+        assert_eq!(rec_mii(&g), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown classic")]
+    fn unknown_name_panics() {
+        let _ = classic("quicksort");
+    }
+}

@@ -1,0 +1,836 @@
+//! The 24 Livermore FORTRAN kernels as data-dependence graphs.
+//!
+//! These are hand-built dataflow renderings of the kernels' inner loops
+//! (McMahon, LLNL TR UCRL-53745): operation mix, dependence shape, and
+//! loop-carried recurrences match the source loops; address arithmetic is
+//! condensed to the integer operations a Cydra-style compiler would leave
+//! after strength reduction and load-store elimination. They serve as
+//! named, realistic workloads beside the statistical corpus of
+//! [`crate::synthetic`].
+
+use clasp_ddg::{Ddg, NodeId, OpKind};
+
+/// Build one Livermore kernel's inner-loop DDG (`k` in `1..=24`).
+///
+/// # Panics
+///
+/// Panics if `k` is outside `1..=24`.
+pub fn livermore(k: u32) -> Ddg {
+    match k {
+        1 => ll1_hydro(),
+        2 => ll2_iccg(),
+        3 => ll3_inner_product(),
+        4 => ll4_banded_linear(),
+        5 => ll5_tridiag(),
+        6 => ll6_linear_recurrence(),
+        7 => ll7_state_equation(),
+        8 => ll8_adi(),
+        9 => ll9_integrate_predictors(),
+        10 => ll10_difference_predictors(),
+        11 => ll11_first_sum(),
+        12 => ll12_first_difference(),
+        13 => ll13_pic_2d(),
+        14 => ll14_pic_1d(),
+        15 => ll15_casual(),
+        16 => ll16_monte_carlo(),
+        17 => ll17_implicit_conditional(),
+        18 => ll18_explicit_hydro(),
+        19 => ll19_general_recurrence(),
+        20 => ll20_discrete_ordinates(),
+        21 => ll21_matmul(),
+        22 => ll22_planckian(),
+        23 => ll23_implicit_hydro(),
+        24 => ll24_first_min(),
+        _ => panic!("Livermore kernels are numbered 1..=24, got {k}"),
+    }
+}
+
+/// All 24 kernels, in order.
+pub fn all_livermore() -> Vec<Ddg> {
+    (1..=24).map(livermore).collect()
+}
+
+/// Shared helper: an address-increment integer op (`i = i + 1` after
+/// strength reduction), feeding the given loads/stores of the *next*
+/// iteration — the canonical induction-variable recurrence.
+fn add_induction(g: &mut Ddg, users: &[NodeId]) -> NodeId {
+    let iv = g.add_named(OpKind::IntAlu, "i++");
+    g.add_dep_carried(iv, iv, 1);
+    for &u in users {
+        g.add_dep(iv, u);
+    }
+    // The loop-back branch tests the induction variable.
+    let br = g.add_named(OpKind::Branch, "loop");
+    g.add_dep(iv, br);
+    iv
+}
+
+/// LL1 hydro fragment: `x[k] = q + y[k] * (r*z[k+10] + t*z[k+11])`.
+fn ll1_hydro() -> Ddg {
+    let mut g = Ddg::new("ll1-hydro");
+    let y = g.add_named(OpKind::Load, "y[k]");
+    let z10 = g.add_named(OpKind::Load, "z[k+10]");
+    let z11 = g.add_named(OpKind::Load, "z[k+11]");
+    let rz = g.add_named(OpKind::FpMult, "r*z10");
+    let tz = g.add_named(OpKind::FpMult, "t*z11");
+    let sum = g.add_named(OpKind::FpAdd, "rz+tz");
+    let prod = g.add_named(OpKind::FpMult, "y*sum");
+    let qp = g.add_named(OpKind::FpAdd, "q+prod");
+    let st = g.add_named(OpKind::Store, "x[k]");
+    g.add_dep(z10, rz);
+    g.add_dep(z11, tz);
+    g.add_dep(rz, sum);
+    g.add_dep(tz, sum);
+    g.add_dep(y, prod);
+    g.add_dep(sum, prod);
+    g.add_dep(prod, qp);
+    g.add_dep(qp, st);
+    add_induction(&mut g, &[y, z10, z11, st]);
+    g
+}
+
+/// LL2 ICCG (incomplete Cholesky, inner excerpt): gather/scale with a
+/// short cross-iteration dependence through the updated vector.
+fn ll2_iccg() -> Ddg {
+    let mut g = Ddg::new("ll2-iccg");
+    let x1 = g.add_named(OpKind::Load, "x[ipntp+i]");
+    let v = g.add_named(OpKind::Load, "v[i]");
+    let x2 = g.add_named(OpKind::Load, "x[ipnt+i2]");
+    let m1 = g.add_named(OpKind::FpMult, "v*x1");
+    let s1 = g.add_named(OpKind::FpAdd, "x2-v*x1");
+    let st = g.add_named(OpKind::Store, "x[i]");
+    g.add_dep(x1, m1);
+    g.add_dep(v, m1);
+    g.add_dep(m1, s1);
+    g.add_dep(x2, s1);
+    g.add_dep(s1, st);
+    // The sweep reuses x written two iterations back.
+    g.add_dep_carried(s1, x1, 2);
+    add_induction(&mut g, &[x1, v, x2, st]);
+    g
+}
+
+/// LL3 inner product: `q += z[k] * x[k]` — the classic reduction.
+fn ll3_inner_product() -> Ddg {
+    let mut g = Ddg::new("ll3-dot");
+    let z = g.add_named(OpKind::Load, "z[k]");
+    let x = g.add_named(OpKind::Load, "x[k]");
+    let m = g.add_named(OpKind::FpMult, "z*x");
+    let acc = g.add_named(OpKind::FpAdd, "q+=");
+    g.add_dep(z, m);
+    g.add_dep(x, m);
+    g.add_dep(m, acc);
+    g.add_dep_carried(acc, acc, 1);
+    add_induction(&mut g, &[z, x]);
+    g
+}
+
+/// LL4 banded linear equations: strided dot-product reduction.
+fn ll4_banded_linear() -> Ddg {
+    let mut g = Ddg::new("ll4-banded");
+    let xl = g.add_named(OpKind::Load, "x[lw]");
+    let yl = g.add_named(OpKind::Load, "y[j]");
+    let m = g.add_named(OpKind::FpMult, "x*y");
+    let acc = g.add_named(OpKind::FpAdd, "temp-=");
+    let stride = g.add_named(OpKind::IntAlu, "lw+=m");
+    g.add_dep(xl, m);
+    g.add_dep(yl, m);
+    g.add_dep(m, acc);
+    g.add_dep_carried(acc, acc, 1);
+    g.add_dep(stride, xl);
+    g.add_dep_carried(stride, stride, 1);
+    add_induction(&mut g, &[yl]);
+    g
+}
+
+/// LL5 tri-diagonal elimination: `x[i] = z[i] * (y[i] - x[i-1])` — a
+/// tight first-order recurrence through an add and a multiply.
+fn ll5_tridiag() -> Ddg {
+    let mut g = Ddg::new("ll5-tridiag");
+    let z = g.add_named(OpKind::Load, "z[i]");
+    let y = g.add_named(OpKind::Load, "y[i]");
+    let sub = g.add_named(OpKind::FpAdd, "y-x'");
+    let mul = g.add_named(OpKind::FpMult, "z*(y-x')");
+    let st = g.add_named(OpKind::Store, "x[i]");
+    g.add_dep(z, mul);
+    g.add_dep(y, sub);
+    g.add_dep(sub, mul);
+    g.add_dep(mul, st);
+    g.add_dep_carried(mul, sub, 1); // x[i-1] flows into next subtract
+    add_induction(&mut g, &[z, y, st]);
+    g
+}
+
+/// LL6 general linear recurrence equations (inner loop).
+fn ll6_linear_recurrence() -> Ddg {
+    let mut g = Ddg::new("ll6-genrec");
+    let b = g.add_named(OpKind::Load, "b[i][k]");
+    let w = g.add_named(OpKind::Load, "w[i-k]");
+    let m = g.add_named(OpKind::FpMult, "b*w");
+    let acc = g.add_named(OpKind::FpAdd, "w[i]+=");
+    let st = g.add_named(OpKind::Store, "w[i]");
+    g.add_dep(b, m);
+    g.add_dep(w, m);
+    g.add_dep(m, acc);
+    g.add_dep_carried(acc, acc, 1);
+    g.add_dep(acc, st);
+    // The gathered w was produced by an earlier iteration's store.
+    g.add_dep_carried(acc, w, 3);
+    add_induction(&mut g, &[b, w, st]);
+    g
+}
+
+/// LL7 equation of state fragment: a long parallel FP expression — the
+/// high-ILP showcase.
+fn ll7_state_equation() -> Ddg {
+    let mut g = Ddg::new("ll7-eos");
+    let u = g.add_named(OpKind::Load, "u[k]");
+    let z = g.add_named(OpKind::Load, "z[k]");
+    let y = g.add_named(OpKind::Load, "y[k]");
+    let u3 = g.add_named(OpKind::Load, "u[k+3]");
+    let u2 = g.add_named(OpKind::Load, "u[k+2]");
+    let u1 = g.add_named(OpKind::Load, "u[k+1]");
+    let m1 = g.add_named(OpKind::FpMult, "r*z");
+    let m2 = g.add_named(OpKind::FpMult, "t*u3");
+    let a1 = g.add_named(OpKind::FpAdd, "u+r*z");
+    let a2 = g.add_named(OpKind::FpAdd, "u2+u3t");
+    let m3 = g.add_named(OpKind::FpMult, "r*a2");
+    let a3 = g.add_named(OpKind::FpAdd, "u1+m3");
+    let m4 = g.add_named(OpKind::FpMult, "t*a3");
+    let a4 = g.add_named(OpKind::FpAdd, "a1+m4");
+    let m5 = g.add_named(OpKind::FpMult, "y*a4");
+    let a5 = g.add_named(OpKind::FpAdd, "u+m5");
+    let st = g.add_named(OpKind::Store, "x[k]");
+    g.add_dep(z, m1);
+    g.add_dep(u3, m2);
+    g.add_dep(u, a1);
+    g.add_dep(m1, a1);
+    g.add_dep(u2, a2);
+    g.add_dep(m2, a2);
+    g.add_dep(a2, m3);
+    g.add_dep(u1, a3);
+    g.add_dep(m3, a3);
+    g.add_dep(a3, m4);
+    g.add_dep(a1, a4);
+    g.add_dep(m4, a4);
+    g.add_dep(y, m5);
+    g.add_dep(a4, m5);
+    g.add_dep(u, a5);
+    g.add_dep(m5, a5);
+    g.add_dep(a5, st);
+    add_induction(&mut g, &[u, z, y, u3, u2, u1, st]);
+    g
+}
+
+/// LL8 ADI integration fragment: two coupled update expressions, wide and
+/// mostly parallel.
+fn ll8_adi() -> Ddg {
+    let mut g = Ddg::new("ll8-adi");
+    let du1 = g.add_named(OpKind::Load, "du1[ky]");
+    let du2 = g.add_named(OpKind::Load, "du2[ky]");
+    let du3 = g.add_named(OpKind::Load, "du3[ky]");
+    let u1 = g.add_named(OpKind::Load, "u1[kx][ky]");
+    let u2 = g.add_named(OpKind::Load, "u2[kx][ky]");
+    let u3 = g.add_named(OpKind::Load, "u3[kx][ky]");
+    let m11 = g.add_named(OpKind::FpMult, "a11*du1");
+    let m12 = g.add_named(OpKind::FpMult, "a12*du2");
+    let m13 = g.add_named(OpKind::FpMult, "a13*du3");
+    let s11 = g.add_named(OpKind::FpAdd, "m11+m12");
+    let s12 = g.add_named(OpKind::FpAdd, "s11+m13");
+    let sig1 = g.add_named(OpKind::FpMult, "sig*s12");
+    let r1 = g.add_named(OpKind::FpAdd, "u1+sig1");
+    let st1 = g.add_named(OpKind::Store, "u1[kx+1]");
+    let m21 = g.add_named(OpKind::FpMult, "a21*du1");
+    let m22 = g.add_named(OpKind::FpMult, "a22*du2");
+    let m23 = g.add_named(OpKind::FpMult, "a23*du3");
+    let s21 = g.add_named(OpKind::FpAdd, "m21+m22");
+    let s22 = g.add_named(OpKind::FpAdd, "s21+m23");
+    let sig2 = g.add_named(OpKind::FpMult, "sig*s22");
+    let r2 = g.add_named(OpKind::FpAdd, "u2+sig2");
+    let st2 = g.add_named(OpKind::Store, "u2[kx+1]");
+    for (a, b) in [
+        (du1, m11),
+        (du2, m12),
+        (du3, m13),
+        (m11, s11),
+        (m12, s11),
+        (s11, s12),
+        (m13, s12),
+        (s12, sig1),
+        (u1, r1),
+        (sig1, r1),
+        (r1, st1),
+        (du1, m21),
+        (du2, m22),
+        (du3, m23),
+        (m21, s21),
+        (m22, s21),
+        (s21, s22),
+        (m23, s22),
+        (s22, sig2),
+        (u2, r2),
+        (sig2, r2),
+        (r2, st2),
+    ] {
+        g.add_dep(a, b);
+    }
+    let _ = u3;
+    add_induction(&mut g, &[du1, du2, du3, u1, u2, u3, st1, st2]);
+    g
+}
+
+/// LL9 integrate predictors: one long dot-product-like expression over
+/// ten coefficient arrays, fully parallel across iterations.
+fn ll9_integrate_predictors() -> Ddg {
+    let mut g = Ddg::new("ll9-intpred");
+    let mut terms = Vec::new();
+    let mut loads = Vec::new();
+    for j in 0..10 {
+        let p = g.add_named(OpKind::Load, format!("px[{j}][i]"));
+        let m = g.add_named(OpKind::FpMult, format!("c{j}*px{j}"));
+        g.add_dep(p, m);
+        terms.push(m);
+        loads.push(p);
+    }
+    // Balanced reduction tree of FP adds.
+    let mut layer = terms;
+    while layer.len() > 1 {
+        let mut next = Vec::new();
+        for pair in layer.chunks(2) {
+            if pair.len() == 2 {
+                let a = g.add_named(OpKind::FpAdd, "+");
+                g.add_dep(pair[0], a);
+                g.add_dep(pair[1], a);
+                next.push(a);
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        layer = next;
+    }
+    let st = g.add_named(OpKind::Store, "px[0][i]");
+    g.add_dep(layer[0], st);
+    let mut users = loads;
+    users.push(st);
+    add_induction(&mut g, &users);
+    g
+}
+
+/// LL10 difference predictors: a chain of cascading differences with
+/// stores at each level.
+fn ll10_difference_predictors() -> Ddg {
+    let mut g = Ddg::new("ll10-diffpred");
+    let ar = g.add_named(OpKind::Load, "cx[4][i]");
+    let mut prev = ar;
+    let mut users = vec![ar];
+    for j in 0..6 {
+        let old = g.add_named(OpKind::Load, format!("px[{}][i]", j + 4));
+        let diff = g.add_named(OpKind::FpAdd, format!("d{j}"));
+        let st = g.add_named(OpKind::Store, format!("px[{}][i]", j + 5));
+        g.add_dep(prev, diff);
+        g.add_dep(old, diff);
+        g.add_dep(diff, st);
+        users.push(old);
+        users.push(st);
+        prev = diff;
+    }
+    add_induction(&mut g, &users);
+    g
+}
+
+/// LL11 first sum: `x[k] = x[k-1] + y[k]` — a pure first-order FP-add
+/// recurrence.
+fn ll11_first_sum() -> Ddg {
+    let mut g = Ddg::new("ll11-prefix");
+    let y = g.add_named(OpKind::Load, "y[k]");
+    let acc = g.add_named(OpKind::FpAdd, "x[k-1]+y");
+    let st = g.add_named(OpKind::Store, "x[k]");
+    g.add_dep(y, acc);
+    g.add_dep(acc, st);
+    g.add_dep_carried(acc, acc, 1);
+    add_induction(&mut g, &[y, st]);
+    g
+}
+
+/// LL12 first difference: `x[k] = y[k+1] - y[k]` — fully parallel.
+fn ll12_first_difference() -> Ddg {
+    let mut g = Ddg::new("ll12-diff");
+    let y1 = g.add_named(OpKind::Load, "y[k+1]");
+    let y0 = g.add_named(OpKind::Load, "y[k]");
+    let d = g.add_named(OpKind::FpAdd, "y1-y0");
+    let st = g.add_named(OpKind::Store, "x[k]");
+    g.add_dep(y1, d);
+    g.add_dep(y0, d);
+    g.add_dep(d, st);
+    add_induction(&mut g, &[y1, y0, st]);
+    g
+}
+
+/// LL13 2-D particle in cell: heavy integer indexing plus gather/scatter.
+fn ll13_pic_2d() -> Ddg {
+    let mut g = Ddg::new("ll13-pic2d");
+    let p1 = g.add_named(OpKind::Load, "p[ip][0]");
+    let p2 = g.add_named(OpKind::Load, "p[ip][1]");
+    let i1 = g.add_named(OpKind::IntAlu, "i1=int(p1)");
+    let j1 = g.add_named(OpKind::IntAlu, "j1=int(p2)");
+    let i1m = g.add_named(OpKind::Shift, "i1&64");
+    let j1m = g.add_named(OpKind::Shift, "j1&64");
+    let b = g.add_named(OpKind::Load, "b[j1][i1]");
+    let c = g.add_named(OpKind::Load, "c[j1][i1]");
+    let a1 = g.add_named(OpKind::FpAdd, "p1+b");
+    let a2 = g.add_named(OpKind::FpAdd, "p2+c");
+    let st1 = g.add_named(OpKind::Store, "p[ip][2]");
+    let st2 = g.add_named(OpKind::Store, "p[ip][3]");
+    let y = g.add_named(OpKind::Load, "y[i1]");
+    let z = g.add_named(OpKind::Load, "z[j1]");
+    let e = g.add_named(OpKind::FpAdd, "p3+y");
+    let f = g.add_named(OpKind::FpAdd, "p4+z");
+    let hl = g.add_named(OpKind::Load, "h[j2][i2]");
+    let hi = g.add_named(OpKind::FpAdd, "h+1");
+    let hs = g.add_named(OpKind::Store, "h[j2][i2]");
+    for (a, bb) in [
+        (p1, i1),
+        (p2, j1),
+        (i1, i1m),
+        (j1, j1m),
+        (i1m, b),
+        (j1m, b),
+        (i1m, c),
+        (j1m, c),
+        (p1, a1),
+        (b, a1),
+        (p2, a2),
+        (c, a2),
+        (a1, st1),
+        (a2, st2),
+        (i1m, y),
+        (j1m, z),
+        (y, e),
+        (z, f),
+        (e, hl),
+        (f, hl),
+        (hl, hi),
+        (hi, hs),
+    ] {
+        g.add_dep(a, bb);
+    }
+    add_induction(&mut g, &[p1, p2, st1, st2, hs]);
+    g
+}
+
+/// LL14 1-D particle in cell (first loop).
+fn ll14_pic_1d() -> Ddg {
+    let mut g = Ddg::new("ll14-pic1d");
+    let grd = g.add_named(OpKind::Load, "grd[k]");
+    let ix = g.add_named(OpKind::IntAlu, "ix=int(grd)");
+    let xi = g.add_named(OpKind::FpAdd, "xi=real(ix)");
+    let ex = g.add_named(OpKind::Load, "ex[ix]");
+    let dex = g.add_named(OpKind::Load, "dex[ix]");
+    let vx = g.add_named(OpKind::Load, "vx[k]");
+    let xx = g.add_named(OpKind::Load, "xx[k]");
+    let m1 = g.add_named(OpKind::FpMult, "dex*(xx-xi)");
+    let s1 = g.add_named(OpKind::FpAdd, "xx-xi");
+    let a1 = g.add_named(OpKind::FpAdd, "ex+m1");
+    let v2 = g.add_named(OpKind::FpAdd, "vx+a1");
+    let x2 = g.add_named(OpKind::FpAdd, "xx+vx'");
+    let stv = g.add_named(OpKind::Store, "vx[k]");
+    let stx = g.add_named(OpKind::Store, "xx[k]");
+    let ir = g.add_named(OpKind::IntAlu, "ir=int(x2)");
+    let rx = g.add_named(OpKind::FpAdd, "rx=x2-ir");
+    let str_ = g.add_named(OpKind::Store, "ir[k]");
+    let strx = g.add_named(OpKind::Store, "rx[k]");
+    for (a, b) in [
+        (grd, ix),
+        (ix, xi),
+        (ix, ex),
+        (ix, dex),
+        (xx, s1),
+        (xi, s1),
+        (s1, m1),
+        (dex, m1),
+        (ex, a1),
+        (m1, a1),
+        (vx, v2),
+        (a1, v2),
+        (xx, x2),
+        (v2, x2),
+        (v2, stv),
+        (x2, stx),
+        (x2, ir),
+        (ir, rx),
+        (x2, rx),
+        (ir, str_),
+        (rx, strx),
+    ] {
+        g.add_dep(a, b);
+    }
+    add_induction(&mut g, &[grd, vx, xx, stv, stx, str_, strx]);
+    g
+}
+
+/// LL15 casual Fortran (IF-converted): selects between neighbours.
+fn ll15_casual() -> Ddg {
+    let mut g = Ddg::new("ll15-casual");
+    let vy = g.add_named(OpKind::Load, "vy[j][k]");
+    let vh = g.add_named(OpKind::Load, "vh[j][k+1]");
+    let vf = g.add_named(OpKind::Load, "vf[j][k]");
+    let vg = g.add_named(OpKind::Load, "vg[j][k]");
+    let cmp1 = g.add_named(OpKind::IntAlu, "vh>vy (pred)");
+    let t1 = g.add_named(OpKind::FpAdd, "vh-vy");
+    let t2 = g.add_named(OpKind::FpMult, "t1*vf");
+    let r = g.add_named(OpKind::FpDiv, "t2/vg");
+    let sel = g.add_named(OpKind::FpAdd, "select");
+    let st = g.add_named(OpKind::Store, "vs[j][k]");
+    for (a, b) in [
+        (vy, cmp1),
+        (vh, cmp1),
+        (vh, t1),
+        (vy, t1),
+        (t1, t2),
+        (vf, t2),
+        (t2, r),
+        (vg, r),
+        (r, sel),
+        (cmp1, sel),
+        (sel, st),
+    ] {
+        g.add_dep(a, b);
+    }
+    add_induction(&mut g, &[vy, vh, vf, vg, st]);
+    g
+}
+
+/// LL16 Monte Carlo search: integer-dominated with a selection recurrence.
+fn ll16_monte_carlo() -> Ddg {
+    let mut g = Ddg::new("ll16-monte");
+    let zone = g.add_named(OpKind::Load, "zone[k]");
+    let j2 = g.add_named(OpKind::IntAlu, "j2=(n+n)*(m-1)");
+    let k2 = g.add_named(OpKind::IntAlu, "k2+=1");
+    let j4 = g.add_named(OpKind::IntAlu, "j4=j2+k/2");
+    let plan = g.add_named(OpKind::Load, "plan[j4]");
+    let cmp = g.add_named(OpKind::IntAlu, "plan<t (pred)");
+    let sel = g.add_named(OpKind::IntAlu, "select k");
+    for (a, b) in [
+        (zone, j2),
+        (j2, j4),
+        (k2, j4),
+        (j4, plan),
+        (plan, cmp),
+        (cmp, sel),
+    ] {
+        g.add_dep(a, b);
+    }
+    g.add_dep_carried(k2, k2, 1);
+    g.add_dep_carried(sel, j2, 1); // search state feeds the next probe
+    add_induction(&mut g, &[zone]);
+    g
+}
+
+/// LL17 implicit conditional computation: a serial recurrence through a
+/// conditionally updated scalar.
+fn ll17_implicit_conditional() -> Ddg {
+    let mut g = Ddg::new("ll17-implcond");
+    let vxne = g.add_named(OpKind::Load, "vxne[i]");
+    let vxnd = g.add_named(OpKind::Load, "vxnd[i]");
+    let m = g.add_named(OpKind::FpMult, "xnm*vxne");
+    let a = g.add_named(OpKind::FpAdd, "vxnd+m");
+    let xnm = g.add_named(OpKind::FpAdd, "xnm'");
+    let st = g.add_named(OpKind::Store, "vxne[i]");
+    g.add_dep(vxne, m);
+    g.add_dep(m, a);
+    g.add_dep(vxnd, a);
+    g.add_dep(a, xnm);
+    g.add_dep(xnm, st);
+    g.add_dep_carried(xnm, m, 1); // scalar carried across iterations
+    add_induction(&mut g, &[vxne, vxnd, st]);
+    g
+}
+
+/// LL18 2-D explicit hydrodynamics fragment: wide, parallel, FP heavy.
+fn ll18_explicit_hydro() -> Ddg {
+    let mut g = Ddg::new("ll18-hydro2d");
+    let za = g.add_named(OpKind::Load, "za[k][j]");
+    let zb = g.add_named(OpKind::Load, "zb[k][j]");
+    let zu = g.add_named(OpKind::Load, "zu[k][j]");
+    let zv = g.add_named(OpKind::Load, "zv[k][j]");
+    let zr = g.add_named(OpKind::Load, "zr[k][j]");
+    let zz = g.add_named(OpKind::Load, "zz[k][j]");
+    let t1 = g.add_named(OpKind::FpMult, "za*zr");
+    let t2 = g.add_named(OpKind::FpMult, "zb*zz");
+    let t3 = g.add_named(OpKind::FpAdd, "t1+t2");
+    let t4 = g.add_named(OpKind::FpMult, "s*t3");
+    let t5 = g.add_named(OpKind::FpAdd, "zu+t4");
+    let t6 = g.add_named(OpKind::FpMult, "za*zu");
+    let t7 = g.add_named(OpKind::FpMult, "zb*zv");
+    let t8 = g.add_named(OpKind::FpAdd, "t6+t7");
+    let t9 = g.add_named(OpKind::FpMult, "s*t8");
+    let t10 = g.add_named(OpKind::FpAdd, "zv+t9");
+    let st1 = g.add_named(OpKind::Store, "zu[k][j]");
+    let st2 = g.add_named(OpKind::Store, "zv[k][j]");
+    for (a, b) in [
+        (za, t1),
+        (zr, t1),
+        (zb, t2),
+        (zz, t2),
+        (t1, t3),
+        (t2, t3),
+        (t3, t4),
+        (zu, t5),
+        (t4, t5),
+        (za, t6),
+        (zu, t6),
+        (zb, t7),
+        (zv, t7),
+        (t6, t8),
+        (t7, t8),
+        (t8, t9),
+        (zv, t10),
+        (t9, t10),
+        (t5, st1),
+        (t10, st2),
+    ] {
+        g.add_dep(a, b);
+    }
+    add_induction(&mut g, &[za, zb, zu, zv, zr, zz, st1, st2]);
+    g
+}
+
+/// LL19 general linear recurrence equations: double first-order
+/// recurrence.
+fn ll19_general_recurrence() -> Ddg {
+    let mut g = Ddg::new("ll19-genrec");
+    let sa = g.add_named(OpKind::Load, "sa[k]");
+    let sb = g.add_named(OpKind::Load, "sb[k]");
+    let b5 = g.add_named(OpKind::Load, "b5[k]");
+    let m = g.add_named(OpKind::FpMult, "stb5*sa");
+    let a = g.add_named(OpKind::FpAdd, "sb-m");
+    let st = g.add_named(OpKind::Store, "b5[k]");
+    g.add_dep(sa, m);
+    g.add_dep(a, st);
+    g.add_dep(sb, a);
+    g.add_dep(m, a);
+    g.add_dep(b5, m);
+    g.add_dep_carried(a, m, 1); // stb5 carried
+    add_induction(&mut g, &[sa, sb, b5, st]);
+    g
+}
+
+/// LL20 discrete ordinates transport: recurrence containing a divide —
+/// the long-latency recurrence stress test.
+fn ll20_discrete_ordinates() -> Ddg {
+    let mut g = Ddg::new("ll20-ordinates");
+    let y = g.add_named(OpKind::Load, "y[k]");
+    let u = g.add_named(OpKind::Load, "u[k]");
+    let v = g.add_named(OpKind::Load, "v[k]");
+    let w = g.add_named(OpKind::Load, "w[k]");
+    let di = g.add_named(OpKind::FpAdd, "di=y-g/xx"); // combined
+    let dn = g.add_named(OpKind::FpDiv, "dn=0.2/di");
+    let m1 = g.add_named(OpKind::FpMult, "u*dn");
+    let m2 = g.add_named(OpKind::FpMult, "v*dn");
+    let m3 = g.add_named(OpKind::FpMult, "w*dn");
+    let a1 = g.add_named(OpKind::FpAdd, "u+m2");
+    let xx2 = g.add_named(OpKind::FpAdd, "xx'=x+m3");
+    let st = g.add_named(OpKind::Store, "xx[k+1]");
+    for (s, d) in [
+        (y, di),
+        (di, dn),
+        (u, m1),
+        (v, m2),
+        (w, m3),
+        (dn, m1),
+        (dn, m2),
+        (dn, m3),
+        (m1, a1),
+        (u, a1),
+        (m3, xx2),
+        (a1, xx2),
+        (xx2, st),
+    ] {
+        g.add_dep(s, d);
+    }
+    g.add_dep_carried(xx2, di, 1); // xx carried into next di
+    add_induction(&mut g, &[y, u, v, w, st]);
+    g
+}
+
+/// LL21 matrix product inner loop: reduction over `px[j][k] += vy[k][i] *
+/// cx[j][i]`.
+fn ll21_matmul() -> Ddg {
+    let mut g = Ddg::new("ll21-matmul");
+    let vy = g.add_named(OpKind::Load, "vy[k][i]");
+    let cx = g.add_named(OpKind::Load, "cx[j][i]");
+    let px = g.add_named(OpKind::Load, "px[j][k]");
+    let m = g.add_named(OpKind::FpMult, "vy*cx");
+    let a = g.add_named(OpKind::FpAdd, "px+=");
+    let st = g.add_named(OpKind::Store, "px[j][k]");
+    g.add_dep(vy, m);
+    g.add_dep(cx, m);
+    g.add_dep(px, a);
+    g.add_dep(m, a);
+    g.add_dep(a, st);
+    add_induction(&mut g, &[vy, cx, px, st]);
+    g
+}
+
+/// LL22 Planckian distribution: exponential approximated by a divide.
+fn ll22_planckian() -> Ddg {
+    let mut g = Ddg::new("ll22-planck");
+    let y = g.add_named(OpKind::Load, "y[k]");
+    let u = g.add_named(OpKind::Load, "u[k]");
+    let v = g.add_named(OpKind::Load, "v[k]");
+    let d = g.add_named(OpKind::FpDiv, "u/v");
+    let sx = g.add_named(OpKind::Store, "x[k]=d");
+    let ex = g.add_named(OpKind::FpDiv, "exp(x)~");
+    let den = g.add_named(OpKind::FpAdd, "ex-1");
+    let w = g.add_named(OpKind::FpDiv, "y/den");
+    let sw = g.add_named(OpKind::Store, "w[k]");
+    for (a, b) in [
+        (u, d),
+        (v, d),
+        (d, sx),
+        (d, ex),
+        (ex, den),
+        (y, w),
+        (den, w),
+        (w, sw),
+    ] {
+        g.add_dep(a, b);
+    }
+    add_induction(&mut g, &[y, u, v, sx, sw]);
+    g
+}
+
+/// LL23 2-D implicit hydrodynamics fragment: neighbour stencil with a
+/// sweep recurrence.
+fn ll23_implicit_hydro() -> Ddg {
+    let mut g = Ddg::new("ll23-hydro2di");
+    let za = g.add_named(OpKind::Load, "za[j][k]");
+    let zu = g.add_named(OpKind::Load, "zz[j][k-1]");
+    let zb = g.add_named(OpKind::Load, "zb[j][k]");
+    let zr = g.add_named(OpKind::Load, "zz[j-1][k]");
+    let zv = g.add_named(OpKind::Load, "zv[j][k]");
+    let zzl = g.add_named(OpKind::Load, "zz[j][k]");
+    let m1 = g.add_named(OpKind::FpMult, "za*zu");
+    let m2 = g.add_named(OpKind::FpMult, "zb*zr");
+    let a1 = g.add_named(OpKind::FpAdd, "m1+m2");
+    let m3 = g.add_named(OpKind::FpMult, "zv*a1");
+    let a2 = g.add_named(OpKind::FpAdd, "qa");
+    let a3 = g.add_named(OpKind::FpAdd, "zz+0.175*(qa-zz)");
+    let st = g.add_named(OpKind::Store, "zz[j][k]");
+    for (a, b) in [
+        (za, m1),
+        (zu, m1),
+        (zb, m2),
+        (zr, m2),
+        (m1, a1),
+        (m2, a1),
+        (zv, m3),
+        (a1, m3),
+        (m3, a2),
+        (zzl, a3),
+        (a2, a3),
+        (a3, st),
+    ] {
+        g.add_dep(a, b);
+    }
+    // The k-sweep makes zz[j][k-1] the previous iteration's output.
+    g.add_dep_carried(a3, zu, 1);
+    add_induction(&mut g, &[za, zb, zr, zv, zzl, st]);
+    g
+}
+
+/// LL24 first minimum: compare/select recurrence over an index.
+fn ll24_first_min() -> Ddg {
+    let mut g = Ddg::new("ll24-argmin");
+    let x = g.add_named(OpKind::Load, "x[k]");
+    let cmp = g.add_named(OpKind::IntAlu, "x<xmin");
+    let selv = g.add_named(OpKind::FpAdd, "xmin'");
+    let seli = g.add_named(OpKind::IntAlu, "m'");
+    g.add_dep(x, cmp);
+    g.add_dep(cmp, selv);
+    g.add_dep(x, selv);
+    g.add_dep(cmp, seli);
+    g.add_dep_carried(selv, cmp, 1); // xmin carried
+    g.add_dep_carried(seli, seli, 1);
+    add_induction(&mut g, &[x]);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clasp_ddg::{find_sccs, rec_mii};
+
+    #[test]
+    fn all_kernels_are_valid() {
+        for k in 1..=24 {
+            let g = livermore(k);
+            g.validate().unwrap_or_else(|e| panic!("LL{k}: {e}"));
+            assert!(g.node_count() >= 4, "LL{k} too small");
+            assert!(g.edge_count() >= g.node_count() - 1, "LL{k} too sparse");
+        }
+    }
+
+    #[test]
+    fn recurrence_kernels_have_sccs() {
+        // These kernels are defined by their recurrences.
+        for k in [3, 5, 6, 11, 17, 19, 20, 23, 24] {
+            let g = livermore(k);
+            let sccs = find_sccs(&g);
+            // Beyond the induction-variable self-loop, a real FP/select
+            // recurrence must exist.
+            assert!(
+                sccs.non_trivial_count() >= 2,
+                "LL{k} should carry a data recurrence"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_kernels_have_only_induction_scc() {
+        for k in [1, 7, 9, 12, 18] {
+            let g = livermore(k);
+            let sccs = find_sccs(&g);
+            assert_eq!(
+                sccs.non_trivial_count(),
+                1,
+                "LL{k} should only have the induction recurrence"
+            );
+        }
+    }
+
+    #[test]
+    fn ll5_recmii_reflects_tight_recurrence() {
+        // x[i] = z[i]*(y[i]-x[i-1]): cycle = fadd(1) + fmul(3) over d=1.
+        let g = livermore(5);
+        assert_eq!(rec_mii(&g), 4);
+    }
+
+    #[test]
+    fn ll20_recmii_includes_divide() {
+        let g = livermore(20);
+        // di -> dn(div,9) ... -> xx2 -> di: at least 9 + chain.
+        assert!(rec_mii(&g) >= 9, "divide must dominate the recurrence");
+    }
+
+    #[test]
+    fn ll3_reduction_recmii_is_one() {
+        // The accumulator self-loop: fadd latency 1 / distance 1.
+        let g = livermore(3);
+        assert_eq!(rec_mii(&g), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "numbered 1..=24")]
+    fn kernel_zero_panics() {
+        let _ = livermore(0);
+    }
+
+    #[test]
+    fn all_livermore_returns_24() {
+        let v = all_livermore();
+        assert_eq!(v.len(), 24);
+        let names: std::collections::HashSet<_> = v.iter().map(|g| g.name().to_string()).collect();
+        assert_eq!(names.len(), 24, "kernel names must be distinct");
+    }
+}

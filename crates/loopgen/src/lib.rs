@@ -1,0 +1,37 @@
+//! # clasp-loopgen — benchmark loop corpus
+//!
+//! Workloads for the CLASP reproduction of Nystrom & Eichenberger (MICRO
+//! 1998). The paper's 1327 Cydra-5-compiled Fortran loops are proprietary
+//! and lost; this crate substitutes:
+//!
+//! - [`generate_corpus`]: a seeded synthetic corpus calibrated to the
+//!   paper's Table 1 graph statistics (1327 loops, 301 with recurrences,
+//!   matching node/edge/SCC distributions);
+//! - [`livermore`]: hand-built dataflow renderings of the 24 Livermore
+//!   FORTRAN kernels, used by the examples and as sanity anchors;
+//! - [`classic`]: ten classic DSP/linear-algebra inner loops (FIR,
+//!   Horner, complex MAC, CRC feedback, ...) covering dependence shapes
+//!   the Livermore set lacks.
+//!
+//! # Examples
+//!
+//! ```
+//! use clasp_loopgen::{corpus_stats, generate_corpus, CorpusConfig};
+//!
+//! let corpus = generate_corpus(CorpusConfig { loops: 100, scc_loops: 23, seed: 1 });
+//! let stats = corpus_stats(&corpus);
+//! assert_eq!(stats.loops_with_sccs, 23);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod classics;
+mod kernels;
+mod stats;
+mod synthetic;
+
+pub use classics::{all_classics, classic, CLASSIC_NAMES};
+pub use kernels::{all_livermore, livermore};
+pub use stats::{corpus_stats, CorpusStats, Row};
+pub use synthetic::{generate_corpus, generate_loop, CorpusConfig};

@@ -1,0 +1,172 @@
+//! Corpus statistics — the reproduction of the paper's Table 1.
+
+use clasp_ddg::{find_sccs, Ddg};
+use std::fmt;
+
+/// Min/avg/max triple for one statistic row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Row {
+    /// Smallest observed value.
+    pub min: f64,
+    /// Mean over the population.
+    pub avg: f64,
+    /// Largest observed value.
+    pub max: f64,
+}
+
+impl Row {
+    fn from_values(values: &[f64]) -> Row {
+        if values.is_empty() {
+            return Row {
+                min: 0.0,
+                avg: 0.0,
+                max: 0.0,
+            };
+        }
+        Row {
+            min: values.iter().copied().fold(f64::INFINITY, f64::min),
+            avg: values.iter().sum::<f64>() / values.len() as f64,
+            max: values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+}
+
+impl fmt::Display for Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:>5} {:>7.1} {:>5}", self.min, self.avg, self.max)
+    }
+}
+
+/// The four rows of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorpusStats {
+    /// Loops measured.
+    pub loops: usize,
+    /// Loops containing at least one non-trivial SCC.
+    pub loops_with_sccs: usize,
+    /// Operations per loop.
+    pub nodes: Row,
+    /// Non-trivial SCCs per loop.
+    pub sccs_per_loop: Row,
+    /// Nodes in non-trivial SCCs, over loops that have any.
+    pub nodes_in_sccs: Row,
+    /// Dependence edges per loop.
+    pub edges: Row,
+}
+
+/// Measure a corpus (the reproduction of Table 1).
+///
+/// # Examples
+///
+/// ```
+/// use clasp_loopgen::{corpus_stats, generate_corpus, CorpusConfig};
+///
+/// let corpus = generate_corpus(CorpusConfig { loops: 50, scc_loops: 12, seed: 3 });
+/// let stats = corpus_stats(&corpus);
+/// assert_eq!(stats.loops, 50);
+/// assert_eq!(stats.loops_with_sccs, 12);
+/// ```
+pub fn corpus_stats(corpus: &[Ddg]) -> CorpusStats {
+    let mut nodes = Vec::with_capacity(corpus.len());
+    let mut edges = Vec::with_capacity(corpus.len());
+    let mut sccs_per_loop = Vec::with_capacity(corpus.len());
+    let mut nodes_in_sccs = Vec::new();
+    let mut loops_with = 0usize;
+    for g in corpus {
+        nodes.push(g.node_count() as f64);
+        edges.push(g.edge_count() as f64);
+        let sccs = find_sccs(g);
+        let k = sccs.non_trivial_count();
+        sccs_per_loop.push(k as f64);
+        if k > 0 {
+            loops_with += 1;
+            nodes_in_sccs.push(sccs.nodes_in_recurrences() as f64);
+        }
+    }
+    CorpusStats {
+        loops: corpus.len(),
+        loops_with_sccs: loops_with,
+        nodes: Row::from_values(&nodes),
+        sccs_per_loop: Row::from_values(&sccs_per_loop),
+        nodes_in_sccs: Row::from_values(&nodes_in_sccs),
+        edges: Row::from_values(&edges),
+    }
+}
+
+impl fmt::Display for CorpusStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} loops ({} containing SCCs)",
+            self.loops, self.loops_with_sccs
+        )?;
+        writeln!(
+            f,
+            "{:<28} {:>5} {:>7} {:>5}",
+            "Statistic", "Min", "Avg", "Max"
+        )?;
+        writeln!(f, "{:<28} {}", "Nodes", self.nodes)?;
+        writeln!(f, "{:<28} {}", "SCCs per loop", self.sccs_per_loop)?;
+        writeln!(
+            f,
+            "{:<28} {}",
+            "Nodes in non-trivial SCCs", self.nodes_in_sccs
+        )?;
+        write!(f, "{:<28} {}", "Edges", self.edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{generate_corpus, CorpusConfig};
+
+    #[test]
+    fn empty_corpus() {
+        let s = corpus_stats(&[]);
+        assert_eq!(s.loops, 0);
+        assert_eq!(s.nodes.avg, 0.0);
+    }
+
+    #[test]
+    fn default_corpus_approximates_table1() {
+        let corpus = generate_corpus(CorpusConfig::default());
+        let s = corpus_stats(&corpus);
+        assert_eq!(s.loops, 1327);
+        assert_eq!(s.loops_with_sccs, 301);
+        assert_eq!(s.nodes.min, 2.0);
+        assert!(s.nodes.max <= 161.0);
+        assert!(
+            (13.0..=22.0).contains(&s.nodes.avg),
+            "node avg {:.1} vs paper 17.5",
+            s.nodes.avg
+        );
+        assert!(
+            (0.25..=0.6).contains(&s.sccs_per_loop.avg),
+            "SCCs/loop avg {:.2} vs paper 0.4",
+            s.sccs_per_loop.avg
+        );
+        assert!(s.sccs_per_loop.max <= 6.0);
+        assert!(s.nodes_in_sccs.min >= 2.0);
+        assert!(s.nodes_in_sccs.max <= 48.0);
+        assert!(
+            (16.0..=30.0).contains(&s.edges.avg),
+            "edge avg {:.1} vs paper 22.5",
+            s.edges.avg
+        );
+        assert_eq!(s.edges.min, 1.0);
+    }
+
+    #[test]
+    fn display_renders_all_rows() {
+        let corpus = generate_corpus(CorpusConfig {
+            loops: 20,
+            scc_loops: 5,
+            seed: 9,
+        });
+        let text = corpus_stats(&corpus).to_string();
+        assert!(text.contains("Nodes"));
+        assert!(text.contains("SCCs per loop"));
+        assert!(text.contains("Edges"));
+    }
+}

@@ -1,0 +1,342 @@
+//! The synthetic loop corpus.
+//!
+//! The paper evaluates on 1327 innermost Fortran loops (Perfect Club,
+//! SPEC-89, Livermore) compiled by the Cydra 5 compiler — an artifact that
+//! no longer exists. This module generates a seeded, reproducible corpus
+//! calibrated to the paper's published Table 1 statistics:
+//!
+//! | statistic | min | avg | max |
+//! |-----------|-----|-----|-----|
+//! | nodes | 2 | 17.5 | 161 |
+//! | SCCs per loop | 0 | 0.4 | 6 |
+//! | nodes in non-trivial SCCs | 2 | 9.0 | 48 |
+//! | edges | 1 | 22.5 | 232 |
+//!
+//! 301 of the 1327 loops contain recurrences. Loop bodies are shaped like
+//! strength-reduced Fortran kernels: integer address arithmetic feeding
+//! loads, FP expression trees, stores as sinks, and recurrences built as
+//! latency chains closed by a loop-carried edge. (The Cydra 5's hardware
+//! loop control means compiled bodies carry no induction-variable
+//! recurrence, which is why Table 1's SCC count can be zero.)
+
+use clasp_ddg::{Ddg, NodeId, OpKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Corpus generation parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorpusConfig {
+    /// Number of loops (the paper: 1327).
+    pub loops: usize,
+    /// Number of loops containing recurrences (the paper: 301).
+    pub scc_loops: usize,
+    /// RNG seed; the default corpus is fully reproducible.
+    pub seed: u64,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        CorpusConfig {
+            loops: 1327,
+            scc_loops: 301,
+            seed: 0x1998_C1A5,
+        }
+    }
+}
+
+/// Generate the corpus: `config.loops` loops, of which `config.scc_loops`
+/// contain recurrences, deterministically from `config.seed`.
+///
+/// # Examples
+///
+/// ```
+/// use clasp_loopgen::{generate_corpus, CorpusConfig};
+///
+/// let corpus = generate_corpus(CorpusConfig { loops: 10, scc_loops: 3, seed: 7 });
+/// assert_eq!(corpus.len(), 10);
+/// assert!(corpus.iter().all(|g| g.validate().is_ok()));
+/// ```
+pub fn generate_corpus(config: CorpusConfig) -> Vec<Ddg> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    // Spread the recurrence-bearing loops evenly through the corpus.
+    let mut out = Vec::with_capacity(config.loops);
+    for i in 0..config.loops {
+        let with_scc = config.loops > 0
+            && (i * config.scc_loops) / config.loops != ((i + 1) * config.scc_loops) / config.loops;
+        out.push(generate_loop(&mut rng, i, with_scc));
+    }
+    out
+}
+
+/// Log-normal-ish node count in `[2, 161]` with mean near 17.5.
+fn sample_node_count(rng: &mut StdRng) -> usize {
+    // Box-Muller.
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    let n = (2.43 + 0.86 * z).exp();
+    (n.round() as i64).clamp(2, 161) as usize
+}
+
+/// One synthetic loop.
+pub fn generate_loop(rng: &mut StdRng, index: usize, with_scc: bool) -> Ddg {
+    // Recurrence-bearing loops skew larger (they need room for their
+    // SCCs; the original suite's recurrence loops average 9 SCC nodes).
+    let n = if with_scc {
+        sample_node_count(rng).max(sample_node_count(rng))
+    } else {
+        sample_node_count(rng)
+    };
+    let mut g = Ddg::new(format!("synth-{index:04}"));
+
+    // Recurrence layout: disjoint index ranges, each closed by one
+    // loop-carried edge.
+    let scc_ranges: Vec<(usize, usize)> = if with_scc && n >= 2 {
+        plan_scc_ranges(rng, n)
+    } else {
+        Vec::new()
+    };
+    let in_scc = {
+        let mut v = vec![false; n];
+        for &(lo, hi) in &scc_ranges {
+            for slot in v.iter_mut().take(hi).skip(lo) {
+                *slot = true;
+            }
+        }
+        v
+    };
+
+    // Operation kinds. Nodes inside recurrences must produce values.
+    let mut kinds = Vec::with_capacity(n);
+    for (i, &scc) in in_scc.iter().enumerate() {
+        // The first node must produce a value so every loop has at least
+        // one data edge (Table 1: edges min = 1).
+        kinds.push(sample_kind(rng, scc || i == 0));
+    }
+    // At most one branch, as the final op.
+    let mut seen_branch = false;
+    for k in kinds.iter_mut() {
+        if *k == OpKind::Branch {
+            if seen_branch {
+                *k = OpKind::IntAlu;
+            }
+            seen_branch = true;
+        }
+    }
+
+    let ids: Vec<NodeId> = kinds.iter().map(|&k| g.add(k)).collect();
+
+    // Forward data edges: each non-root picks 1-3 earlier value producers.
+    for i in 1..n {
+        let preds = match rng.gen_range(0..100) {
+            0..=74 => 1,
+            75..=94 => 2,
+            _ => 3,
+        };
+        let producers: Vec<usize> = (0..i).filter(|&j| kinds[j].produces_value()).collect();
+        if producers.is_empty() {
+            continue;
+        }
+        for _ in 0..preds {
+            let j = producers[rng.gen_range(0..producers.len())];
+            g.add_dep(ids[j], ids[i]);
+        }
+    }
+
+    // Close each recurrence: a forward chain through the range plus one
+    // carried back edge.
+    for &(lo, hi) in &scc_ranges {
+        for w in lo..hi - 1 {
+            g.add_dep(ids[w], ids[w + 1]);
+        }
+        let distance = if rng.gen_bool(0.8) {
+            1
+        } else {
+            rng.gen_range(2..=4)
+        };
+        g.add_dep_carried(ids[hi - 1], ids[lo], distance);
+    }
+
+    debug_assert!(g.validate().is_ok());
+    g
+}
+
+/// Disjoint recurrence ranges: 1-6 SCCs, sizes 2..=10, total <= min(n, 48).
+fn plan_scc_ranges(rng: &mut StdRng, n: usize) -> Vec<(usize, usize)> {
+    let budget = n.min(48);
+    if budget < 2 {
+        return Vec::new();
+    }
+    // Mostly one recurrence; occasionally several (Table 1 max: 6).
+    let want = match rng.gen_range(0..100) {
+        0..=49 => 1,
+        50..=76 => 2,
+        77..=89 => 3,
+        90..=95 => 4,
+        96..=98 => 5,
+        _ => 6,
+    };
+    let mut ranges = Vec::new();
+    let mut cursor = 0usize;
+    let mut used = 0usize;
+    for _ in 0..want {
+        let remaining = budget - used;
+        if remaining < 2 || cursor + 2 > n {
+            break;
+        }
+        // Size distribution tuned to Table 1's 9.0 average nodes in
+        // recurrences per SCC-bearing loop (max 48 total).
+        let desired = match rng.gen_range(0..100) {
+            0..=29 => rng.gen_range(2..=3),
+            30..=64 => rng.gen_range(4..=6),
+            65..=89 => rng.gen_range(7..=10),
+            _ => rng.gen_range(11..=16),
+        };
+        let max_size = remaining.min(16).min(n - cursor);
+        let size = desired.min(max_size);
+        if size < 2 {
+            break;
+        }
+        // Leave a gap before the next recurrence when room allows.
+        let gap_room = n - cursor - size;
+        let gap = if gap_room > 0 {
+            rng.gen_range(0..=gap_room.min(2))
+        } else {
+            0
+        };
+        let lo = cursor + gap;
+        if lo + size > n {
+            break;
+        }
+        ranges.push((lo, lo + size));
+        cursor = lo + size + 1; // at least one node between recurrences
+        used += size;
+    }
+    ranges
+}
+
+/// Operation mix of a strength-reduced Fortran inner loop.
+fn sample_kind(rng: &mut StdRng, must_produce_value: bool) -> OpKind {
+    loop {
+        let k = match rng.gen_range(0..100) {
+            0..=21 => OpKind::Load,
+            22..=33 => OpKind::Store,
+            34..=54 => OpKind::IntAlu,
+            55..=58 => OpKind::Shift,
+            59..=60 => OpKind::Branch,
+            61..=80 => OpKind::FpAdd,
+            81..=94 => OpKind::FpMult,
+            95..=97 => OpKind::FpDiv,
+            _ => OpKind::FpSqrt,
+        };
+        if !must_produce_value || k.produces_value() {
+            return k;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clasp_ddg::find_sccs;
+
+    fn small_corpus() -> Vec<Ddg> {
+        generate_corpus(CorpusConfig {
+            loops: 200,
+            scc_loops: 45,
+            seed: 42,
+        })
+    }
+
+    #[test]
+    fn corpus_is_reproducible() {
+        let a = small_corpus();
+        let b = small_corpus();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.node_count(), y.node_count());
+            assert_eq!(x.edge_count(), y.edge_count());
+        }
+    }
+
+    #[test]
+    fn corpus_loops_are_valid() {
+        for g in small_corpus() {
+            g.validate().unwrap_or_else(|e| panic!("{}: {e}", g.name()));
+            assert!(g.node_count() >= 2);
+            assert!(g.edge_count() >= 1, "{} has no edges", g.name());
+        }
+    }
+
+    #[test]
+    fn scc_loop_count_matches_request() {
+        let corpus = small_corpus();
+        let with = corpus
+            .iter()
+            .filter(|g| find_sccs(g).non_trivial_count() > 0)
+            .count();
+        assert_eq!(with, 45);
+    }
+
+    #[test]
+    fn node_counts_within_table1_range() {
+        let corpus = small_corpus();
+        for g in &corpus {
+            assert!((2..=161).contains(&g.node_count()), "{}", g.name());
+        }
+        let avg: f64 =
+            corpus.iter().map(|g| g.node_count() as f64).sum::<f64>() / corpus.len() as f64;
+        assert!(
+            (10.0..=26.0).contains(&avg),
+            "avg node count {avg:.1} far from Table 1's 17.5"
+        );
+    }
+
+    #[test]
+    fn scc_sizes_within_table1_range() {
+        let corpus = small_corpus();
+        for g in &corpus {
+            let sccs = find_sccs(g);
+            assert!(sccs.non_trivial_count() <= 6, "{}", g.name());
+            let nodes = sccs.nodes_in_recurrences();
+            assert!(nodes <= 48, "{}: {nodes} SCC nodes", g.name());
+        }
+    }
+
+    #[test]
+    fn branch_at_most_one_per_loop() {
+        for g in small_corpus() {
+            let branches = g
+                .nodes()
+                .filter(|(_, op)| op.kind == OpKind::Branch)
+                .count();
+            assert!(branches <= 1, "{}", g.name());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate_corpus(CorpusConfig {
+            loops: 50,
+            scc_loops: 10,
+            seed: 1,
+        });
+        let b = generate_corpus(CorpusConfig {
+            loops: 50,
+            scc_loops: 10,
+            seed: 2,
+        });
+        let same = a
+            .iter()
+            .zip(&b)
+            .filter(|(x, y)| x.node_count() == y.node_count())
+            .count();
+        assert!(same < 50, "seeds should change the corpus");
+    }
+
+    #[test]
+    fn default_config_matches_paper_counts() {
+        let c = CorpusConfig::default();
+        assert_eq!(c.loops, 1327);
+        assert_eq!(c.scc_loops, 301);
+    }
+}

@@ -1,0 +1,178 @@
+//! Cluster and function-unit descriptions (paper §2.1, Figure 1).
+
+use clasp_ddg::{FuClass, OpKind};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a cluster within a machine (dense index).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct ClusterId(pub u32);
+
+impl ClusterId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ClusterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C{}", self.0)
+    }
+}
+
+/// The function units of one cluster.
+///
+/// The paper evaluates two styles:
+///
+/// - *general purpose* (GP): `general` units, each able to execute any
+///   operation;
+/// - *fully specified* (FS): dedicated `memory` / `integer` / `float`
+///   units.
+///
+/// Mixed clusters (some GP plus some dedicated units) are expressible too;
+/// the resource model treats GP units as an overflow pool.
+///
+/// # Examples
+///
+/// ```
+/// use clasp_machine::ClusterSpec;
+///
+/// let gp = ClusterSpec::general(4);
+/// assert_eq!(gp.issue_width(), 4);
+/// let fs = ClusterSpec::specialized(1, 2, 1); // paper's FS cluster
+/// assert_eq!(fs.issue_width(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Number of general-purpose units (execute any operation).
+    pub general: u32,
+    /// Number of dedicated memory units.
+    pub memory: u32,
+    /// Number of dedicated integer units.
+    pub integer: u32,
+    /// Number of dedicated floating-point units.
+    pub float: u32,
+}
+
+impl ClusterSpec {
+    /// A cluster of `n` general-purpose units.
+    pub fn general(n: u32) -> Self {
+        ClusterSpec {
+            general: n,
+            ..Self::default()
+        }
+    }
+
+    /// A fully specialized cluster with the given dedicated unit counts.
+    pub fn specialized(memory: u32, integer: u32, float: u32) -> Self {
+        ClusterSpec {
+            general: 0,
+            memory,
+            integer,
+            float,
+        }
+    }
+
+    /// Total function units (= operations issueable per cycle, excluding
+    /// copies, which use ports rather than issue slots).
+    pub fn issue_width(&self) -> u32 {
+        self.general + self.memory + self.integer + self.float
+    }
+
+    /// Dedicated units of a class.
+    pub fn dedicated(&self, class: FuClass) -> u32 {
+        match class {
+            FuClass::Memory => self.memory,
+            FuClass::Integer => self.integer,
+            FuClass::Float => self.float,
+        }
+    }
+
+    /// Whether this cluster can execute the operation at all (some unit
+    /// class exists for it). Copies are always executable (they use
+    /// interconnect resources, not FUs).
+    pub fn can_execute(&self, kind: OpKind) -> bool {
+        match kind.fu_class() {
+            None => true,
+            Some(c) => self.general > 0 || self.dedicated(c) > 0,
+        }
+    }
+
+    /// Merge another cluster's units into this one (used to build the
+    /// unified-equivalent machine).
+    pub fn merge(&self, other: &ClusterSpec) -> ClusterSpec {
+        ClusterSpec {
+            general: self.general + other.general,
+            memory: self.memory + other.memory,
+            integer: self.integer + other.integer,
+            float: self.float + other.float,
+        }
+    }
+}
+
+impl fmt::Display for ClusterSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.memory + self.integer + self.float == 0 {
+            write!(f, "{}xGP", self.general)
+        } else if self.general == 0 {
+            write!(f, "{}M/{}I/{}F", self.memory, self.integer, self.float)
+        } else {
+            write!(
+                f,
+                "{}xGP+{}M/{}I/{}F",
+                self.general, self.memory, self.integer, self.float
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths() {
+        assert_eq!(ClusterSpec::general(4).issue_width(), 4);
+        assert_eq!(ClusterSpec::specialized(1, 2, 1).issue_width(), 4);
+        assert_eq!(ClusterSpec::specialized(1, 1, 1).issue_width(), 3);
+    }
+
+    #[test]
+    fn can_execute_gp() {
+        let gp = ClusterSpec::general(2);
+        for k in OpKind::REAL_OPS {
+            assert!(gp.can_execute(k));
+        }
+        assert!(gp.can_execute(OpKind::Copy));
+    }
+
+    #[test]
+    fn can_execute_fs() {
+        let fs = ClusterSpec::specialized(1, 0, 1);
+        assert!(fs.can_execute(OpKind::Load));
+        assert!(fs.can_execute(OpKind::FpMult));
+        assert!(!fs.can_execute(OpKind::IntAlu));
+        assert!(fs.can_execute(OpKind::Copy));
+    }
+
+    #[test]
+    fn merge_sums_units() {
+        let a = ClusterSpec::general(4);
+        let b = ClusterSpec::specialized(1, 2, 1);
+        let m = a.merge(&b);
+        assert_eq!(m.general, 4);
+        assert_eq!(m.memory, 1);
+        assert_eq!(m.issue_width(), 8);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(ClusterSpec::general(4).to_string(), "4xGP");
+        assert_eq!(ClusterSpec::specialized(1, 2, 1).to_string(), "1M/2I/1F");
+        assert_eq!(ClusterId(2).to_string(), "C2");
+    }
+}

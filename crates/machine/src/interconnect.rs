@@ -1,0 +1,347 @@
+//! Inter-cluster communication fabric (paper §2.1, Figures 2-4).
+//!
+//! A copy operation moves one value between clusters. It always consumes
+//! one *read port* on the source cluster's register file and one *write
+//! port* on each destination cluster, plus transport:
+//!
+//! - on a **bused** machine, one bus for one cycle; the value is broadcast,
+//!   so a single copy can be written into several clusters at once (each
+//!   destination needing its own write port);
+//! - on a **point-to-point** machine, the entire link between the two
+//!   clusters for one cycle; data reaches exactly the linked cluster.
+
+use crate::cluster::ClusterId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a point-to-point link (dense index into the machine's
+/// link table).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct LinkId(pub u32);
+
+impl LinkId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// A bidirectional dedicated connection between two clusters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Link {
+    /// One endpoint.
+    pub a: ClusterId,
+    /// The other endpoint.
+    pub b: ClusterId,
+}
+
+impl Link {
+    /// Whether the link touches cluster `c`.
+    pub fn touches(&self, c: ClusterId) -> bool {
+        self.a == c || self.b == c
+    }
+
+    /// The endpoint opposite to `c`, if `c` is an endpoint.
+    pub fn other(&self, c: ClusterId) -> Option<ClusterId> {
+        if self.a == c {
+            Some(self.b)
+        } else if self.b == c {
+            Some(self.a)
+        } else {
+            None
+        }
+    }
+}
+
+/// The communication fabric of a clustered machine.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Interconnect {
+    /// No inter-cluster communication (unified, single-cluster machines).
+    None,
+    /// `buses` broadcast buses shared by all clusters; each cluster owns
+    /// `read_ports` register-file read ports and `write_ports` write ports
+    /// feeding/draining the buses.
+    Bus {
+        /// Number of shared broadcast buses.
+        buses: u32,
+        /// Bus read ports per cluster (source side of a copy).
+        read_ports: u32,
+        /// Bus write ports per cluster (destination side of a copy).
+        write_ports: u32,
+    },
+    /// Dedicated point-to-point connections; each cluster owns `read_ports`
+    /// / `write_ports` shared across its links.
+    PointToPoint {
+        /// The link table.
+        links: Vec<Link>,
+        /// Link read ports per cluster.
+        read_ports: u32,
+        /// Link write ports per cluster.
+        write_ports: u32,
+    },
+}
+
+impl Interconnect {
+    /// Whether copies broadcast (one copy may serve several destination
+    /// clusters). True for buses, false for point-to-point and `None`.
+    pub fn is_broadcast(&self) -> bool {
+        matches!(self, Interconnect::Bus { .. })
+    }
+
+    /// Number of shared buses (0 for non-bused fabrics).
+    pub fn bus_count(&self) -> u32 {
+        match self {
+            Interconnect::Bus { buses, .. } => *buses,
+            _ => 0,
+        }
+    }
+
+    /// The point-to-point link table (empty for other fabrics).
+    pub fn links(&self) -> &[Link] {
+        match self {
+            Interconnect::PointToPoint { links, .. } => links,
+            _ => &[],
+        }
+    }
+
+    /// Read ports per cluster (0 when there is no fabric).
+    pub fn read_ports(&self) -> u32 {
+        match self {
+            Interconnect::None => 0,
+            Interconnect::Bus { read_ports, .. }
+            | Interconnect::PointToPoint { read_ports, .. } => *read_ports,
+        }
+    }
+
+    /// Write ports per cluster (0 when there is no fabric).
+    pub fn write_ports(&self) -> u32 {
+        match self {
+            Interconnect::None => 0,
+            Interconnect::Bus { write_ports, .. }
+            | Interconnect::PointToPoint { write_ports, .. } => *write_ports,
+        }
+    }
+
+    /// For point-to-point fabrics: the link connecting `from` and `to`,
+    /// if one exists.
+    pub fn link_between(&self, from: ClusterId, to: ClusterId) -> Option<LinkId> {
+        self.links()
+            .iter()
+            .position(|l| (l.a == from && l.b == to) || (l.a == to && l.b == from))
+            .map(|i| LinkId(i as u32))
+    }
+
+    /// For point-to-point fabrics: the neighbours of cluster `c`.
+    pub fn neighbors(&self, c: ClusterId) -> Vec<ClusterId> {
+        self.links().iter().filter_map(|l| l.other(c)).collect()
+    }
+
+    /// Whether any value can move from `from` to `to` in one hop.
+    ///
+    /// On bused machines every pair is one hop apart; point-to-point needs
+    /// a direct link.
+    pub fn directly_connected(&self, from: ClusterId, to: ClusterId) -> bool {
+        match self {
+            Interconnect::None => false,
+            Interconnect::Bus { buses, .. } => *buses > 0 && from != to,
+            Interconnect::PointToPoint { .. } => self.link_between(from, to).is_some(),
+        }
+    }
+
+    /// BFS shortest hop path `from -> to` over the fabric, inclusive of
+    /// both endpoints. Returns `None` when unreachable. On bused machines
+    /// every distinct pair is `[from, to]`.
+    pub fn route(
+        &self,
+        from: ClusterId,
+        to: ClusterId,
+        cluster_count: usize,
+    ) -> Option<Vec<ClusterId>> {
+        if from == to {
+            return Some(vec![from]);
+        }
+        match self {
+            Interconnect::None => None,
+            Interconnect::Bus { buses, .. } => {
+                if *buses > 0 {
+                    Some(vec![from, to])
+                } else {
+                    None
+                }
+            }
+            Interconnect::PointToPoint { .. } => {
+                let mut prev: Vec<Option<ClusterId>> = vec![None; cluster_count];
+                let mut seen = vec![false; cluster_count];
+                let mut queue = std::collections::VecDeque::new();
+                seen[from.index()] = true;
+                queue.push_back(from);
+                while let Some(c) = queue.pop_front() {
+                    if c == to {
+                        let mut path = vec![to];
+                        let mut cur = to;
+                        while let Some(p) = prev[cur.index()] {
+                            path.push(p);
+                            cur = p;
+                        }
+                        path.reverse();
+                        return Some(path);
+                    }
+                    for nb in self.neighbors(c) {
+                        if !seen[nb.index()] {
+                            seen[nb.index()] = true;
+                            prev[nb.index()] = Some(c);
+                            queue.push_back(nb);
+                        }
+                    }
+                }
+                None
+            }
+        }
+    }
+}
+
+impl fmt::Display for Interconnect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Interconnect::None => write!(f, "no interconnect"),
+            Interconnect::Bus {
+                buses,
+                read_ports,
+                write_ports,
+            } => write!(f, "{buses} bus(es), {read_ports}R/{write_ports}W ports"),
+            Interconnect::PointToPoint {
+                links,
+                read_ports,
+                write_ports,
+            } => write!(
+                f,
+                "{} p2p link(s), {read_ports}R/{write_ports}W ports",
+                links.len()
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> Interconnect {
+        // 2x2 grid: 0-1, 0-2, 1-3, 2-3 (no diagonal).
+        Interconnect::PointToPoint {
+            links: vec![
+                Link {
+                    a: ClusterId(0),
+                    b: ClusterId(1),
+                },
+                Link {
+                    a: ClusterId(0),
+                    b: ClusterId(2),
+                },
+                Link {
+                    a: ClusterId(1),
+                    b: ClusterId(3),
+                },
+                Link {
+                    a: ClusterId(2),
+                    b: ClusterId(3),
+                },
+            ],
+            read_ports: 2,
+            write_ports: 2,
+        }
+    }
+
+    #[test]
+    fn bus_is_broadcast() {
+        let b = Interconnect::Bus {
+            buses: 2,
+            read_ports: 1,
+            write_ports: 1,
+        };
+        assert!(b.is_broadcast());
+        assert!(b.directly_connected(ClusterId(0), ClusterId(1)));
+        assert_eq!(
+            b.route(ClusterId(0), ClusterId(1), 2),
+            Some(vec![ClusterId(0), ClusterId(1)])
+        );
+    }
+
+    #[test]
+    fn grid_neighbors() {
+        let g = grid();
+        let mut n0 = g.neighbors(ClusterId(0));
+        n0.sort();
+        assert_eq!(n0, vec![ClusterId(1), ClusterId(2)]);
+        assert!(g.directly_connected(ClusterId(0), ClusterId(1)));
+        assert!(!g.directly_connected(ClusterId(0), ClusterId(3)));
+    }
+
+    #[test]
+    fn grid_diagonal_routes_in_two_hops() {
+        let g = grid();
+        let path = g.route(ClusterId(0), ClusterId(3), 4).unwrap();
+        assert_eq!(path.len(), 3);
+        assert_eq!(path[0], ClusterId(0));
+        assert_eq!(path[2], ClusterId(3));
+        assert!(g.directly_connected(path[0], path[1]));
+        assert!(g.directly_connected(path[1], path[2]));
+    }
+
+    #[test]
+    fn link_lookup() {
+        let g = grid();
+        assert_eq!(g.link_between(ClusterId(0), ClusterId(1)), Some(LinkId(0)));
+        assert_eq!(g.link_between(ClusterId(1), ClusterId(0)), Some(LinkId(0)));
+        assert_eq!(g.link_between(ClusterId(0), ClusterId(3)), None);
+    }
+
+    #[test]
+    fn none_has_no_connectivity() {
+        let n = Interconnect::None;
+        assert!(!n.directly_connected(ClusterId(0), ClusterId(1)));
+        assert_eq!(n.route(ClusterId(0), ClusterId(1), 2), None);
+        assert_eq!(
+            n.route(ClusterId(0), ClusterId(0), 1),
+            Some(vec![ClusterId(0)])
+        );
+        assert_eq!(n.bus_count(), 0);
+        assert_eq!(n.read_ports(), 0);
+    }
+
+    #[test]
+    fn unreachable_route() {
+        let g = Interconnect::PointToPoint {
+            links: vec![Link {
+                a: ClusterId(0),
+                b: ClusterId(1),
+            }],
+            read_ports: 1,
+            write_ports: 1,
+        };
+        assert_eq!(g.route(ClusterId(0), ClusterId(2), 3), None);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            Interconnect::Bus {
+                buses: 2,
+                read_ports: 1,
+                write_ports: 1
+            }
+            .to_string(),
+            "2 bus(es), 1R/1W ports"
+        );
+        assert!(grid().to_string().contains("4 p2p link(s)"));
+    }
+}

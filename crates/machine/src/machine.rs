@@ -1,0 +1,325 @@
+//! Whole-machine descriptions and the resource-constrained MII bound.
+
+use crate::cluster::{ClusterId, ClusterSpec};
+use crate::interconnect::Interconnect;
+use clasp_ddg::{rec_mii, Ddg, FuClass, OpKind};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A clustered (or unified) VLIW machine description.
+///
+/// # Examples
+///
+/// ```
+/// use clasp_machine::{presets, MachineSpec};
+///
+/// let m = presets::two_cluster_gp(2, 1); // Fig. 2: 2x4 GP, 2 buses, 1 port
+/// assert_eq!(m.cluster_count(), 2);
+/// assert_eq!(m.total_issue_width(), 8);
+/// let u = m.unified_equivalent();
+/// assert_eq!(u.cluster_count(), 1);
+/// assert_eq!(u.total_issue_width(), 8);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MachineSpec {
+    name: String,
+    clusters: Vec<ClusterSpec>,
+    interconnect: Interconnect,
+}
+
+impl MachineSpec {
+    /// Create a machine from parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clusters` is empty, or if any point-to-point link
+    /// references a cluster out of range.
+    pub fn new(
+        name: impl Into<String>,
+        clusters: Vec<ClusterSpec>,
+        interconnect: Interconnect,
+    ) -> Self {
+        assert!(!clusters.is_empty(), "a machine needs at least one cluster");
+        for l in interconnect.links() {
+            assert!(
+                l.a.index() < clusters.len() && l.b.index() < clusters.len(),
+                "link endpoint out of range"
+            );
+        }
+        MachineSpec {
+            name: name.into(),
+            clusters,
+            interconnect,
+        }
+    }
+
+    /// The machine's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of clusters.
+    pub fn cluster_count(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Whether this machine has a single cluster (no copies ever needed).
+    pub fn is_unified(&self) -> bool {
+        self.clusters.len() == 1
+    }
+
+    /// The cluster description for `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range.
+    pub fn cluster(&self, c: ClusterId) -> &ClusterSpec {
+        &self.clusters[c.index()]
+    }
+
+    /// Iterate over cluster ids.
+    pub fn cluster_ids(&self) -> impl Iterator<Item = ClusterId> + 'static {
+        (0..self.clusters.len() as u32).map(ClusterId)
+    }
+
+    /// The communication fabric.
+    pub fn interconnect(&self) -> &Interconnect {
+        &self.interconnect
+    }
+
+    /// Sum of issue widths across clusters.
+    pub fn total_issue_width(&self) -> u32 {
+        self.clusters.iter().map(ClusterSpec::issue_width).sum()
+    }
+
+    /// The equally wide non-clustered machine the paper compares against:
+    /// all function units merged into one cluster, no interconnect.
+    pub fn unified_equivalent(&self) -> MachineSpec {
+        let merged = self
+            .clusters
+            .iter()
+            .fold(ClusterSpec::default(), |acc, c| acc.merge(c));
+        MachineSpec {
+            name: format!("{} (unified)", self.name),
+            clusters: vec![merged],
+            interconnect: Interconnect::None,
+        }
+    }
+
+    /// Machine-wide dedicated units of a class.
+    pub fn total_dedicated(&self, class: FuClass) -> u32 {
+        self.clusters.iter().map(|c| c.dedicated(class)).sum()
+    }
+
+    /// Machine-wide general-purpose units.
+    pub fn total_general(&self) -> u32 {
+        self.clusters.iter().map(|c| c.general).sum()
+    }
+
+    /// Resource-constrained MII lower bound for `g` on this machine,
+    /// ignoring copies (they are not known before assignment): the
+    /// smallest II such that each FU class fits, letting class overflow
+    /// spill onto general-purpose units.
+    ///
+    /// Returns at least 1. Returns `u32::MAX` if some operation kind
+    /// cannot execute anywhere on the machine.
+    pub fn res_mii(&self, g: &Ddg) -> u32 {
+        let mut per_class = [0u64; 3];
+        let mut total = 0u64;
+        for (_, op) in g.nodes() {
+            if let Some(c) = op.kind.fu_class() {
+                per_class[c.index()] += 1;
+                total += 1;
+            }
+        }
+        if total == 0 {
+            return 1;
+        }
+        let ded: [u64; 3] = [
+            u64::from(self.total_dedicated(FuClass::Memory)),
+            u64::from(self.total_dedicated(FuClass::Integer)),
+            u64::from(self.total_dedicated(FuClass::Float)),
+        ];
+        let gp = u64::from(self.total_general());
+        // Feasibility check: a class with ops needs dedicated or GP units.
+        for i in 0..3 {
+            if per_class[i] > 0 && ded[i] == 0 && gp == 0 {
+                return u32::MAX;
+            }
+        }
+        // fits(ii) = sum over classes of overflow beyond dedicated units
+        // must fit in the GP pool.
+        let fits = |ii: u64| -> bool {
+            let mut overflow = 0u64;
+            for i in 0..3 {
+                overflow += per_class[i].saturating_sub(ded[i] * ii);
+            }
+            overflow <= gp * ii
+        };
+        let (mut lo, mut hi) = (1u64, total);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if fits(mid) {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        u32::try_from(lo).unwrap_or(u32::MAX)
+    }
+
+    /// The minimum initiation interval `MII = max(RecMII, ResMII)` for `g`
+    /// on this machine (paper §3, computed for the unified equivalent at
+    /// the start of Fig. 5's process).
+    pub fn mii(&self, g: &Ddg) -> u32 {
+        rec_mii(g).max(self.res_mii(g))
+    }
+
+    /// Whether every operation of `g` can execute on at least one cluster.
+    pub fn can_execute_all(&self, g: &Ddg) -> bool {
+        g.nodes()
+            .all(|(_, op)| self.clusters.iter().any(|c| c.can_execute(op.kind)))
+    }
+
+    /// Clusters able to execute `kind` at all.
+    pub fn executing_clusters(&self, kind: OpKind) -> Vec<ClusterId> {
+        self.cluster_ids()
+            .filter(|&c| self.cluster(c).can_execute(kind))
+            .collect()
+    }
+}
+
+impl fmt::Display for MachineSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: [", self.name)?;
+        for (i, c) in self.clusters.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "], {}", self.interconnect)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    fn mixed_loop() -> Ddg {
+        let mut g = Ddg::new("mixed");
+        let l1 = g.add(OpKind::Load);
+        let l2 = g.add(OpKind::Load);
+        let m = g.add(OpKind::FpMult);
+        let a = g.add(OpKind::FpAdd);
+        let s = g.add(OpKind::Store);
+        let i = g.add(OpKind::IntAlu);
+        g.add_dep(l1, m);
+        g.add_dep(l2, m);
+        g.add_dep(m, a);
+        g.add_dep(a, s);
+        g.add_dep(i, l1);
+        g
+    }
+
+    #[test]
+    fn res_mii_gp_is_ceiling_of_ops_over_width() {
+        let g = mixed_loop(); // 6 ops
+        let m2 = presets::two_cluster_gp(2, 1); // width 8
+        assert_eq!(m2.res_mii(&g), 1);
+        let narrow = MachineSpec::new("w2", vec![ClusterSpec::general(2)], Interconnect::None);
+        assert_eq!(narrow.res_mii(&g), 3); // ceil(6/2)
+    }
+
+    #[test]
+    fn res_mii_fs_respects_classes() {
+        // 2 mem ops + 1 store = 3 memory-class, 1 int, 2 float.
+        let g = mixed_loop();
+        let m = MachineSpec::new(
+            "fs",
+            vec![ClusterSpec::specialized(1, 1, 1)],
+            Interconnect::None,
+        );
+        assert_eq!(m.res_mii(&g), 3); // memory class: 3 ops / 1 unit
+    }
+
+    #[test]
+    fn res_mii_gp_overflow_pool() {
+        // FS units cover some; GP pool absorbs the overflow.
+        let g = mixed_loop();
+        let m = MachineSpec::new(
+            "mix",
+            vec![ClusterSpec {
+                general: 1,
+                memory: 1,
+                integer: 1,
+                float: 1,
+            }],
+            Interconnect::None,
+        );
+        // ii=2: mem overflow = 3-2 = 1, int 0, float 0 -> 1 <= 2. OK.
+        assert_eq!(m.res_mii(&g), 2);
+    }
+
+    #[test]
+    fn res_mii_infeasible_class() {
+        let mut g = Ddg::new("fp");
+        g.add(OpKind::FpAdd);
+        let m = MachineSpec::new(
+            "nofp",
+            vec![ClusterSpec::specialized(1, 1, 0)],
+            Interconnect::None,
+        );
+        assert_eq!(m.res_mii(&g), u32::MAX);
+        assert!(!m.can_execute_all(&g));
+    }
+
+    #[test]
+    fn unified_equivalent_merges() {
+        let m = presets::four_cluster_fs(4, 2);
+        let u = m.unified_equivalent();
+        assert!(u.is_unified());
+        assert_eq!(u.total_issue_width(), 16);
+        assert_eq!(u.total_dedicated(FuClass::Memory), 4);
+        assert_eq!(u.interconnect(), &Interconnect::None);
+    }
+
+    #[test]
+    fn mii_is_max_of_bounds() {
+        let mut g = Ddg::new("rec");
+        let a = g.add(OpKind::FpDiv);
+        g.add_dep_carried(a, a, 1); // RecMII 9
+        let m = presets::two_cluster_gp(2, 1);
+        assert_eq!(m.mii(&g), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cluster")]
+    fn empty_machine_panics() {
+        let _ = MachineSpec::new("bad", vec![], Interconnect::None);
+    }
+
+    #[test]
+    fn executing_clusters_filters() {
+        let m = MachineSpec::new(
+            "het",
+            vec![ClusterSpec::specialized(1, 1, 0), ClusterSpec::general(2)],
+            Interconnect::Bus {
+                buses: 1,
+                read_ports: 1,
+                write_ports: 1,
+            },
+        );
+        assert_eq!(m.executing_clusters(OpKind::FpAdd), vec![ClusterId(1)]);
+        assert_eq!(m.executing_clusters(OpKind::Load).len(), 2);
+    }
+
+    #[test]
+    fn display_contains_parts() {
+        let m = presets::two_cluster_gp(2, 1);
+        let s = m.to_string();
+        assert!(s.contains("4xGP"));
+        assert!(s.contains("2 bus(es)"));
+    }
+}

@@ -1,0 +1,180 @@
+//! The machine configurations evaluated in the paper (§2.1, §5, §6).
+
+use crate::cluster::{ClusterId, ClusterSpec};
+use crate::interconnect::{Interconnect, Link};
+use crate::machine::MachineSpec;
+
+/// A `clusters`-cluster machine of 4 GP units each, with `buses` broadcast
+/// buses and `ports` read and write bus ports per cluster.
+///
+/// Figures 2 and 3 use `n_cluster_gp(2, 2, 1)` and `n_cluster_gp(4, 4, 2)`.
+pub fn n_cluster_gp(clusters: u32, buses: u32, ports: u32) -> MachineSpec {
+    MachineSpec::new(
+        format!("{clusters}c-gp-{buses}b-{ports}p"),
+        (0..clusters).map(|_| ClusterSpec::general(4)).collect(),
+        Interconnect::Bus {
+            buses,
+            read_ports: ports,
+            write_ports: ports,
+        },
+    )
+}
+
+/// The two-cluster bused machine of Figure 2: 2 clusters x 4 GP units.
+pub fn two_cluster_gp(buses: u32, ports: u32) -> MachineSpec {
+    n_cluster_gp(2, buses, ports)
+}
+
+/// The four-cluster bused machine of Figure 3: 4 clusters x 4 GP units.
+pub fn four_cluster_gp(buses: u32, ports: u32) -> MachineSpec {
+    n_cluster_gp(4, buses, ports)
+}
+
+/// Six-cluster GP machine (Table 3 row 3).
+pub fn six_cluster_gp(buses: u32, ports: u32) -> MachineSpec {
+    n_cluster_gp(6, buses, ports)
+}
+
+/// Eight-cluster GP machine (Table 3 row 4).
+pub fn eight_cluster_gp(buses: u32, ports: u32) -> MachineSpec {
+    n_cluster_gp(8, buses, ports)
+}
+
+/// A `clusters`-cluster machine of fully specified units — one memory, two
+/// integer, one floating-point per cluster (the paper's FS cluster) — with
+/// `buses` buses and `ports` read/write bus ports per cluster.
+pub fn n_cluster_fs(clusters: u32, buses: u32, ports: u32) -> MachineSpec {
+    MachineSpec::new(
+        format!("{clusters}c-fs-{buses}b-{ports}p"),
+        (0..clusters)
+            .map(|_| ClusterSpec::specialized(1, 2, 1))
+            .collect(),
+        Interconnect::Bus {
+            buses,
+            read_ports: ports,
+            write_ports: ports,
+        },
+    )
+}
+
+/// Two-cluster FS machine (Figure 18's configurations).
+pub fn two_cluster_fs(buses: u32, ports: u32) -> MachineSpec {
+    n_cluster_fs(2, buses, ports)
+}
+
+/// Four-cluster FS machine (Figure 19's configurations).
+pub fn four_cluster_fs(buses: u32, ports: u32) -> MachineSpec {
+    n_cluster_fs(4, buses, ports)
+}
+
+/// The four-cluster grid machine of Figure 4: 2x2 clusters of three FS
+/// units (one memory, one integer, one floating-point), each cluster
+/// connected by a dedicated point-to-point link to its horizontal and
+/// vertical neighbour only (no diagonal, no buses).
+///
+/// Clusters are laid out
+///
+/// ```text
+///   C0 - C1
+///   |     |
+///   C2 - C3
+/// ```
+///
+/// The paper does not state the grid's port count; we give each cluster
+/// `ports` read and write ports shared across its two links (default used
+/// by the experiments: 2, one per link).
+pub fn four_cluster_grid(ports: u32) -> MachineSpec {
+    MachineSpec::new(
+        format!("4c-grid-{ports}p"),
+        (0..4).map(|_| ClusterSpec::specialized(1, 1, 1)).collect(),
+        Interconnect::PointToPoint {
+            links: vec![
+                Link {
+                    a: ClusterId(0),
+                    b: ClusterId(1),
+                },
+                Link {
+                    a: ClusterId(0),
+                    b: ClusterId(2),
+                },
+                Link {
+                    a: ClusterId(1),
+                    b: ClusterId(3),
+                },
+                Link {
+                    a: ClusterId(2),
+                    b: ClusterId(3),
+                },
+            ],
+            read_ports: ports,
+            write_ports: ports,
+        },
+    )
+}
+
+/// A unified (non-clustered) machine of `width` GP units.
+pub fn unified_gp(width: u32) -> MachineSpec {
+    MachineSpec::new(
+        format!("unified-{width}gp"),
+        vec![ClusterSpec::general(width)],
+        Interconnect::None,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let m = two_cluster_gp(2, 1);
+        assert_eq!(m.cluster_count(), 2);
+        assert_eq!(m.total_issue_width(), 8);
+        assert_eq!(m.interconnect().bus_count(), 2);
+        assert_eq!(m.interconnect().read_ports(), 1);
+
+        let m4 = four_cluster_gp(4, 2);
+        assert_eq!(m4.cluster_count(), 4);
+        assert_eq!(m4.total_issue_width(), 16);
+    }
+
+    #[test]
+    fn fs_cluster_shape() {
+        let m = two_cluster_fs(2, 1);
+        let c = m.cluster(ClusterId(0));
+        assert_eq!((c.memory, c.integer, c.float, c.general), (1, 2, 1, 0));
+    }
+
+    #[test]
+    fn grid_shape() {
+        let m = four_cluster_grid(2);
+        assert_eq!(m.cluster_count(), 4);
+        assert_eq!(m.total_issue_width(), 12); // 3 FUs per cluster
+        assert_eq!(m.interconnect().links().len(), 4);
+        assert!(!m.interconnect().is_broadcast());
+        // Every cluster has exactly two neighbours.
+        for c in m.cluster_ids() {
+            assert_eq!(m.interconnect().neighbors(c).len(), 2, "{c}");
+        }
+        // Diagonal pairs are not directly connected.
+        assert!(!m
+            .interconnect()
+            .directly_connected(ClusterId(0), ClusterId(3)));
+        assert!(!m
+            .interconnect()
+            .directly_connected(ClusterId(1), ClusterId(2)));
+    }
+
+    #[test]
+    fn six_and_eight_cluster_widths() {
+        assert_eq!(six_cluster_gp(6, 3).total_issue_width(), 24);
+        assert_eq!(eight_cluster_gp(7, 3).total_issue_width(), 32);
+    }
+
+    #[test]
+    fn unified_is_unified() {
+        let u = unified_gp(8);
+        assert!(u.is_unified());
+        assert_eq!(u.total_issue_width(), 8);
+    }
+}

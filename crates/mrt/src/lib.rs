@@ -1,0 +1,27 @@
+//! # clasp-mrt — modulo reservation tables
+//!
+//! Resource bookkeeping for the CLASP reproduction of Nystrom &
+//! Eichenberger (MICRO 1998). Two MRT flavours model the same machine at a
+//! fixed initiation interval:
+//!
+//! - [`CountMrt`]: capacity counting for the *assignment* phase, where
+//!   operations have clusters but no cycles yet; supports the paper's
+//!   MRC (maximum reservable copies) query and node-keyed release for the
+//!   iterative assigner;
+//! - [`TimeMrt`]: a `cycle mod II` x resource-instance grid for the
+//!   *scheduling* phase, with conflict reporting and force-place eviction
+//!   for the iterative modulo scheduler.
+//!
+//! The crate also hosts [`ClusterMap`], the cluster-annotation layer the
+//! assigner produces and the scheduler consumes.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod count;
+mod map;
+mod table;
+
+pub use count::{CountMrt, Full};
+pub use map::{ClusterMap, CopyMeta};
+pub use table::{Conflict, SlotRequest, TimeMrt};

@@ -1,0 +1,166 @@
+//! The cluster-annotation layer shared by the assigner and the scheduler.
+//!
+//! The assignment phase outputs a working graph (the original operations
+//! plus inserted copy nodes) together with a [`ClusterMap`] that records
+//! which cluster every node lives on and, for copy nodes, their transport
+//! metadata ([`CopyMeta`]). The modulo scheduler consumes both without any
+//! knowledge of how the assignment was made.
+
+use clasp_ddg::NodeId;
+use clasp_machine::{ClusterId, LinkId};
+use std::collections::BTreeMap;
+
+/// Transport metadata for one copy node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CopyMeta {
+    /// Cluster the value is read from (one read port).
+    pub src: ClusterId,
+    /// Clusters the value is written to (one write port each). On bused
+    /// machines a broadcast copy may have several targets; on
+    /// point-to-point machines exactly one.
+    pub targets: Vec<ClusterId>,
+    /// The dedicated link used, for point-to-point machines.
+    pub link: Option<LinkId>,
+}
+
+/// Cluster assignment of every node of a working graph.
+///
+/// # Examples
+///
+/// ```
+/// use clasp_mrt::ClusterMap;
+/// use clasp_ddg::NodeId;
+/// use clasp_machine::ClusterId;
+///
+/// let mut map = ClusterMap::new();
+/// map.assign(NodeId(0), ClusterId(1));
+/// assert_eq!(map.cluster_of(NodeId(0)), Some(ClusterId(1)));
+/// assert_eq!(map.cluster_of(NodeId(9)), None);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClusterMap {
+    cluster_of: BTreeMap<NodeId, ClusterId>,
+    copies: BTreeMap<NodeId, CopyMeta>,
+}
+
+impl ClusterMap {
+    /// An empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record that `n` lives on cluster `c` (overwrites any previous
+    /// assignment).
+    pub fn assign(&mut self, n: NodeId, c: ClusterId) {
+        self.cluster_of.insert(n, c);
+    }
+
+    /// Remove `n`'s assignment (and copy metadata if it was a copy).
+    pub fn unassign(&mut self, n: NodeId) {
+        self.cluster_of.remove(&n);
+        self.copies.remove(&n);
+    }
+
+    /// The cluster `n` is assigned to, if any.
+    pub fn cluster_of(&self, n: NodeId) -> Option<ClusterId> {
+        self.cluster_of.get(&n).copied()
+    }
+
+    /// Whether `n` has been assigned.
+    pub fn is_assigned(&self, n: NodeId) -> bool {
+        self.cluster_of.contains_key(&n)
+    }
+
+    /// Attach copy metadata to a copy node (which must also be assigned a
+    /// cluster — by convention its *source* cluster, where it consumes a
+    /// read port).
+    pub fn set_copy_meta(&mut self, n: NodeId, meta: CopyMeta) {
+        self.copies.insert(n, meta);
+    }
+
+    /// Copy metadata for `n`, if `n` is a copy node.
+    pub fn copy_meta(&self, n: NodeId) -> Option<&CopyMeta> {
+        self.copies.get(&n)
+    }
+
+    /// Mutable copy metadata for `n`.
+    pub fn copy_meta_mut(&mut self, n: NodeId) -> Option<&mut CopyMeta> {
+        self.copies.get_mut(&n)
+    }
+
+    /// Iterate over all assigned `(node, cluster)` pairs in node order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, ClusterId)> + '_ {
+        self.cluster_of.iter().map(|(&n, &c)| (n, c))
+    }
+
+    /// Iterate over all copy nodes and their metadata in node order.
+    pub fn copies(&self) -> impl Iterator<Item = (NodeId, &CopyMeta)> + '_ {
+        self.copies.iter().map(|(&n, m)| (n, m))
+    }
+
+    /// Number of assigned nodes.
+    pub fn len(&self) -> usize {
+        self.cluster_of.len()
+    }
+
+    /// Whether no node is assigned.
+    pub fn is_empty(&self) -> bool {
+        self.cluster_of.is_empty()
+    }
+
+    /// Number of copy nodes recorded.
+    pub fn copy_count(&self) -> usize {
+        self.copies.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assign_and_unassign() {
+        let mut m = ClusterMap::new();
+        m.assign(NodeId(3), ClusterId(0));
+        assert!(m.is_assigned(NodeId(3)));
+        assert_eq!(m.len(), 1);
+        m.unassign(NodeId(3));
+        assert!(!m.is_assigned(NodeId(3)));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn copy_meta_roundtrip() {
+        let mut m = ClusterMap::new();
+        let meta = CopyMeta {
+            src: ClusterId(0),
+            targets: vec![ClusterId(1), ClusterId(2)],
+            link: None,
+        };
+        m.assign(NodeId(5), ClusterId(0));
+        m.set_copy_meta(NodeId(5), meta.clone());
+        assert_eq!(m.copy_meta(NodeId(5)), Some(&meta));
+        assert_eq!(m.copy_count(), 1);
+        m.unassign(NodeId(5));
+        assert_eq!(m.copy_meta(NodeId(5)), None);
+        assert_eq!(m.copy_count(), 0);
+    }
+
+    #[test]
+    fn overwrite_assignment() {
+        let mut m = ClusterMap::new();
+        m.assign(NodeId(1), ClusterId(0));
+        m.assign(NodeId(1), ClusterId(2));
+        assert_eq!(m.cluster_of(NodeId(1)), Some(ClusterId(2)));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn iteration_is_ordered() {
+        let mut m = ClusterMap::new();
+        m.assign(NodeId(2), ClusterId(0));
+        m.assign(NodeId(0), ClusterId(1));
+        let order: Vec<_> = m.iter().map(|(n, _)| n).collect();
+        assert_eq!(order, vec![NodeId(0), NodeId(2)]);
+    }
+}

@@ -1,0 +1,570 @@
+//! The time-indexed modulo reservation table used during scheduling.
+//!
+//! Rows are cycles modulo II; columns are concrete resource instances:
+//! every function unit of every cluster, every bus, every point-to-point
+//! link, and every bus/link read and write port of every cluster. The
+//! iterative modulo scheduler places operations at `cycle mod II`, and on
+//! conflict evicts the current holders (Rau's force-place).
+
+use clasp_ddg::{NodeId, OpKind};
+use clasp_machine::{ClusterId, LinkId, MachineSpec};
+use std::collections::HashMap;
+
+/// A resource request for placing one node at one row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SlotRequest {
+    /// A real operation needing one function unit on its cluster.
+    Fu {
+        /// The cluster the operation is assigned to.
+        cluster: ClusterId,
+        /// The operation kind (decides dedicated-vs-GP unit eligibility).
+        kind: OpKind,
+    },
+    /// A copy needing one read port at the source, one write port per
+    /// target, and one bus (`link == None`) or the given link.
+    Copy {
+        /// Source cluster.
+        src: ClusterId,
+        /// Destination clusters (several only on broadcast buses).
+        targets: Vec<ClusterId>,
+        /// Dedicated link for point-to-point machines.
+        link: Option<LinkId>,
+    },
+}
+
+/// Column layout bookkeeping: offsets of each resource group.
+#[derive(Debug, Clone)]
+struct Layout {
+    /// Per cluster: (mem, int, float, gp) starting offsets.
+    fu_base: Vec<[usize; 4]>,
+    /// Per cluster: (mem, int, float, gp) counts.
+    fu_count: Vec<[usize; 4]>,
+    read_base: Vec<usize>,
+    read_count: usize,
+    write_base: Vec<usize>,
+    write_count: usize,
+    bus_base: usize,
+    bus_count: usize,
+    link_base: usize,
+    link_count: usize,
+    total: usize,
+}
+
+impl Layout {
+    fn new(m: &MachineSpec) -> Self {
+        let mut off = 0usize;
+        let mut fu_base = Vec::new();
+        let mut fu_count = Vec::new();
+        for c in m.cluster_ids() {
+            let s = m.cluster(c);
+            let counts = [
+                s.memory as usize,
+                s.integer as usize,
+                s.float as usize,
+                s.general as usize,
+            ];
+            let base = [
+                off,
+                off + counts[0],
+                off + counts[0] + counts[1],
+                off + counts[0] + counts[1] + counts[2],
+            ];
+            off += counts.iter().sum::<usize>();
+            fu_base.push(base);
+            fu_count.push(counts);
+        }
+        let read_count = m.interconnect().read_ports() as usize;
+        let read_base: Vec<usize> = m
+            .cluster_ids()
+            .map(|c| off + c.index() * read_count)
+            .collect();
+        off += read_count * m.cluster_count();
+        let write_count = m.interconnect().write_ports() as usize;
+        let write_base: Vec<usize> = m
+            .cluster_ids()
+            .map(|c| off + c.index() * write_count)
+            .collect();
+        off += write_count * m.cluster_count();
+        let bus_base = off;
+        let bus_count = m.interconnect().bus_count() as usize;
+        off += bus_count;
+        let link_base = off;
+        let link_count = m.interconnect().links().len();
+        off += link_count;
+        Layout {
+            fu_base,
+            fu_count,
+            read_base,
+            read_count,
+            write_base,
+            write_count,
+            bus_base,
+            bus_count,
+            link_base,
+            link_count,
+            total: off,
+        }
+    }
+
+    /// Column ranges an op of `kind` may use on `cluster`: dedicated class
+    /// instances first, then the GP pool.
+    fn fu_ranges(&self, cluster: ClusterId, kind: OpKind) -> Vec<(usize, usize)> {
+        let ci = cluster.index();
+        let mut out = Vec::with_capacity(2);
+        if let Some(class) = kind.fu_class() {
+            let k = class.index();
+            if self.fu_count[ci][k] > 0 {
+                out.push((self.fu_base[ci][k], self.fu_count[ci][k]));
+            }
+            if self.fu_count[ci][3] > 0 {
+                out.push((self.fu_base[ci][3], self.fu_count[ci][3]));
+            }
+        }
+        out
+    }
+
+    fn read_range(&self, c: ClusterId) -> (usize, usize) {
+        (self.read_base[c.index()], self.read_count)
+    }
+
+    fn write_range(&self, c: ClusterId) -> (usize, usize) {
+        (self.write_base[c.index()], self.write_count)
+    }
+
+    fn bus_range(&self) -> (usize, usize) {
+        (self.bus_base, self.bus_count)
+    }
+
+    fn link_col(&self, l: LinkId) -> (usize, usize) {
+        debug_assert!(l.index() < self.link_count);
+        (self.link_base + l.index(), 1)
+    }
+}
+
+/// The set of nodes blocking a placement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Conflict {
+    /// Current holders that would need to be evicted (deduplicated). Empty
+    /// means the request can never fit (a needed resource has zero
+    /// instances).
+    pub blockers: Vec<NodeId>,
+}
+
+/// Time-indexed MRT for `machine` at a fixed II.
+///
+/// # Examples
+///
+/// ```
+/// use clasp_mrt::{SlotRequest, TimeMrt};
+/// use clasp_machine::{presets, ClusterId};
+/// use clasp_ddg::{NodeId, OpKind};
+///
+/// let m = presets::unified_gp(2);
+/// let mut mrt = TimeMrt::new(&m, 2);
+/// let req = SlotRequest::Fu { cluster: ClusterId(0), kind: OpKind::IntAlu };
+/// assert!(mrt.try_place(NodeId(0), 0, &req).is_ok());
+/// assert!(mrt.try_place(NodeId(1), 0, &req).is_ok());
+/// // Row 0 is full (2 GP units); a third op conflicts.
+/// assert!(mrt.try_place(NodeId(2), 0, &req).is_err());
+/// assert!(mrt.try_place(NodeId(2), 1, &req).is_ok());
+/// ```
+#[derive(Debug, Clone)]
+pub struct TimeMrt {
+    ii: u32,
+    layout: Layout,
+    /// `grid[col][row]` = current holder.
+    grid: Vec<Vec<Option<NodeId>>>,
+    /// node -> (row, columns held).
+    placed: HashMap<NodeId, (u32, Vec<usize>)>,
+}
+
+impl TimeMrt {
+    /// Create an empty table for `machine` at initiation interval `ii`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ii == 0`.
+    pub fn new(machine: &MachineSpec, ii: u32) -> Self {
+        assert!(ii > 0, "II must be positive");
+        let layout = Layout::new(machine);
+        TimeMrt {
+            ii,
+            grid: vec![vec![None; ii as usize]; layout.total],
+            layout,
+            placed: HashMap::new(),
+        }
+    }
+
+    /// The initiation interval.
+    pub fn ii(&self) -> u32 {
+        self.ii
+    }
+
+    /// The row (`cycle mod II`) and nothing else for a placed node.
+    pub fn row_of(&self, node: NodeId) -> Option<u32> {
+        self.placed.get(&node).map(|&(r, _)| r)
+    }
+
+    /// Number of nodes currently placed.
+    pub fn placed_count(&self) -> usize {
+        self.placed.len()
+    }
+
+    fn free_col_in(&self, base: usize, count: usize, row: usize) -> Option<usize> {
+        (base..base + count).find(|&c| self.grid[c][row].is_none())
+    }
+
+    /// Columns needed for `req` at `row`, or the blockers preventing it.
+    ///
+    /// Resource groups are claimed greedily: within a group the first free
+    /// instance; if none is free the group contributes its holders as
+    /// blockers (choosing the instance whose holder set is smallest, i.e.
+    /// one node).
+    fn plan(&self, row: usize, req: &SlotRequest) -> Result<Vec<usize>, Conflict> {
+        let mut cols = Vec::new();
+        let mut blockers: Vec<NodeId> = Vec::new();
+        let claim =
+            |groups: &[(usize, usize)], cols: &mut Vec<usize>, blockers: &mut Vec<NodeId>| {
+                // A request may span several eligible ranges (dedicated + GP):
+                // take the first free column across all of them.
+                let mut found = None;
+                for &(base, count) in groups {
+                    if let Some(c) = self.free_col_in(base, count, row) {
+                        if !cols.contains(&c) {
+                            found = Some(c);
+                            break;
+                        }
+                        // Column already claimed by this same request (e.g.
+                        // two targets on one cluster cannot share a port).
+                        if let Some(c2) = (base..base + count)
+                            .find(|&cc| self.grid[cc][row].is_none() && !cols.contains(&cc))
+                        {
+                            found = Some(c2);
+                            break;
+                        }
+                    }
+                }
+                match found {
+                    Some(c) => {
+                        cols.push(c);
+                        true
+                    }
+                    None => {
+                        // Pick a victim instance: the first column of the first
+                        // non-empty group; report its holder.
+                        for &(base, count) in groups {
+                            if count > 0 {
+                                let victim_col = base;
+                                if let Some(owner) = self.grid[victim_col][row] {
+                                    if !blockers.contains(&owner) {
+                                        blockers.push(owner);
+                                    }
+                                }
+                                return false;
+                            }
+                        }
+                        false
+                    }
+                }
+            };
+
+        let ok = match req {
+            SlotRequest::Fu { cluster, kind } => {
+                let ranges = self.layout.fu_ranges(*cluster, *kind);
+                if ranges.is_empty() {
+                    return Err(Conflict {
+                        blockers: Vec::new(),
+                    });
+                }
+                claim(&ranges, &mut cols, &mut blockers)
+            }
+            SlotRequest::Copy { src, targets, link } => {
+                let mut ok = true;
+                let r = self.layout.read_range(*src);
+                if r.1 == 0 {
+                    return Err(Conflict {
+                        blockers: Vec::new(),
+                    });
+                }
+                ok &= claim(&[r], &mut cols, &mut blockers);
+                for &t in targets {
+                    let w = self.layout.write_range(t);
+                    if w.1 == 0 {
+                        return Err(Conflict {
+                            blockers: Vec::new(),
+                        });
+                    }
+                    ok &= claim(&[w], &mut cols, &mut blockers);
+                }
+                match link {
+                    Some(l) => {
+                        ok &= claim(&[self.layout.link_col(*l)], &mut cols, &mut blockers);
+                    }
+                    None => {
+                        let b = self.layout.bus_range();
+                        if b.1 == 0 {
+                            return Err(Conflict {
+                                blockers: Vec::new(),
+                            });
+                        }
+                        ok &= claim(&[b], &mut cols, &mut blockers);
+                    }
+                }
+                ok
+            }
+        };
+
+        if ok {
+            Ok(cols)
+        } else {
+            Err(Conflict { blockers })
+        }
+    }
+
+    /// Try to place `node` at `row` (must be `< II`). On success the
+    /// resources are held until [`TimeMrt::remove`].
+    ///
+    /// # Errors
+    ///
+    /// A [`Conflict`] naming the nodes that block the placement (empty if
+    /// the request is structurally impossible on this machine).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= II` or `node` is already placed.
+    pub fn try_place(&mut self, node: NodeId, row: u32, req: &SlotRequest) -> Result<(), Conflict> {
+        assert!(row < self.ii, "row out of range");
+        assert!(!self.placed.contains_key(&node), "{node} already placed");
+        let cols = self.plan(row as usize, req)?;
+        for &c in &cols {
+            debug_assert!(self.grid[c][row as usize].is_none());
+            self.grid[c][row as usize] = Some(node);
+        }
+        self.placed.insert(node, (row, cols));
+        Ok(())
+    }
+
+    /// Place `node` at `row`, evicting whoever is in the way; returns the
+    /// evicted nodes. The caller re-schedules them later (Rau's iterative
+    /// force-place).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request is structurally impossible (a needed resource
+    /// has zero instances on this machine), if `row >= II`, or if `node`
+    /// is already placed.
+    pub fn place_evicting(&mut self, node: NodeId, row: u32, req: &SlotRequest) -> Vec<NodeId> {
+        let mut evicted = Vec::new();
+        loop {
+            match self.try_place(node, row, req) {
+                Ok(()) => return evicted,
+                Err(Conflict { blockers }) => {
+                    assert!(
+                        !blockers.is_empty(),
+                        "request impossible on this machine: {req:?}"
+                    );
+                    for b in blockers {
+                        self.remove(b);
+                        evicted.push(b);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Remove `node`'s placement (no-op if absent).
+    pub fn remove(&mut self, node: NodeId) {
+        if let Some((row, cols)) = self.placed.remove(&node) {
+            for c in cols {
+                debug_assert_eq!(self.grid[c][row as usize], Some(node));
+                self.grid[c][row as usize] = None;
+            }
+        }
+    }
+
+    /// Clear all placements.
+    pub fn clear(&mut self) {
+        for col in &mut self.grid {
+            col.fill(None);
+        }
+        self.placed.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clasp_machine::presets;
+
+    fn fu(cluster: u32, kind: OpKind) -> SlotRequest {
+        SlotRequest::Fu {
+            cluster: ClusterId(cluster),
+            kind,
+        }
+    }
+
+    #[test]
+    fn fs_units_fill_by_class() {
+        let m = presets::two_cluster_fs(2, 1); // 1 mem, 2 int, 1 fp
+        let mut mrt = TimeMrt::new(&m, 1);
+        assert!(mrt.try_place(NodeId(0), 0, &fu(0, OpKind::Load)).is_ok());
+        // Only one memory unit: second load conflicts and names blocker.
+        let e = mrt
+            .try_place(NodeId(1), 0, &fu(0, OpKind::Store))
+            .unwrap_err();
+        assert_eq!(e.blockers, vec![NodeId(0)]);
+        // Integer units: two fit.
+        assert!(mrt.try_place(NodeId(2), 0, &fu(0, OpKind::IntAlu)).is_ok());
+        assert!(mrt.try_place(NodeId(3), 0, &fu(0, OpKind::Shift)).is_ok());
+        assert!(mrt.try_place(NodeId(4), 0, &fu(0, OpKind::Branch)).is_err());
+    }
+
+    #[test]
+    fn gp_units_take_anything() {
+        let m = presets::two_cluster_gp(2, 1); // 4 GP per cluster
+        let mut mrt = TimeMrt::new(&m, 1);
+        for (i, k) in [OpKind::Load, OpKind::FpMult, OpKind::IntAlu, OpKind::Store]
+            .into_iter()
+            .enumerate()
+        {
+            assert!(mrt.try_place(NodeId(i as u32), 0, &fu(0, k)).is_ok());
+        }
+        assert!(mrt.try_place(NodeId(9), 0, &fu(0, OpKind::FpAdd)).is_err());
+        // Other cluster independent.
+        assert!(mrt.try_place(NodeId(10), 0, &fu(1, OpKind::FpAdd)).is_ok());
+    }
+
+    #[test]
+    fn rows_are_independent() {
+        let m = presets::unified_gp(1);
+        let mut mrt = TimeMrt::new(&m, 3);
+        for r in 0..3 {
+            assert!(mrt.try_place(NodeId(r), r, &fu(0, OpKind::IntAlu)).is_ok());
+        }
+        assert!(mrt.try_place(NodeId(9), 1, &fu(0, OpKind::IntAlu)).is_err());
+    }
+
+    #[test]
+    fn copy_claims_ports_and_bus() {
+        let m = presets::two_cluster_gp(1, 1);
+        let mut mrt = TimeMrt::new(&m, 2);
+        let req = SlotRequest::Copy {
+            src: ClusterId(0),
+            targets: vec![ClusterId(1)],
+            link: None,
+        };
+        assert!(mrt.try_place(NodeId(0), 0, &req).is_ok());
+        // Same row: bus and ports busy.
+        let e = mrt.try_place(NodeId(1), 0, &req).unwrap_err();
+        assert_eq!(e.blockers, vec![NodeId(0)]);
+        // Other row fine.
+        assert!(mrt.try_place(NodeId(1), 1, &req).is_ok());
+    }
+
+    #[test]
+    fn reverse_copy_same_row_needs_distinct_ports() {
+        // Copy C0->C1 and copy C1->C0 share only the bus.
+        let m = presets::two_cluster_gp(2, 1); // 2 buses
+        let mut mrt = TimeMrt::new(&m, 1);
+        let fwd = SlotRequest::Copy {
+            src: ClusterId(0),
+            targets: vec![ClusterId(1)],
+            link: None,
+        };
+        let rev = SlotRequest::Copy {
+            src: ClusterId(1),
+            targets: vec![ClusterId(0)],
+            link: None,
+        };
+        assert!(mrt.try_place(NodeId(0), 0, &fwd).is_ok());
+        assert!(mrt.try_place(NodeId(1), 0, &rev).is_ok());
+    }
+
+    #[test]
+    fn broadcast_copy_claims_every_target_port() {
+        let m = presets::four_cluster_gp(4, 1);
+        let mut mrt = TimeMrt::new(&m, 1);
+        let req = SlotRequest::Copy {
+            src: ClusterId(0),
+            targets: vec![ClusterId(1), ClusterId(2), ClusterId(3)],
+            link: None,
+        };
+        assert!(mrt.try_place(NodeId(0), 0, &req).is_ok());
+        // C1's write port is taken.
+        let other = SlotRequest::Copy {
+            src: ClusterId(2),
+            targets: vec![ClusterId(1)],
+            link: None,
+        };
+        let e = mrt.try_place(NodeId(1), 0, &other).unwrap_err();
+        assert_eq!(e.blockers, vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn link_copies_are_exclusive() {
+        let m = presets::four_cluster_grid(2);
+        let l = m
+            .interconnect()
+            .link_between(ClusterId(0), ClusterId(1))
+            .unwrap();
+        let mut mrt = TimeMrt::new(&m, 1);
+        let req = SlotRequest::Copy {
+            src: ClusterId(0),
+            targets: vec![ClusterId(1)],
+            link: Some(l),
+        };
+        assert!(mrt.try_place(NodeId(0), 0, &req).is_ok());
+        let back = SlotRequest::Copy {
+            src: ClusterId(1),
+            targets: vec![ClusterId(0)],
+            link: Some(l),
+        };
+        assert!(mrt.try_place(NodeId(1), 0, &back).is_err());
+    }
+
+    #[test]
+    fn eviction_returns_and_frees() {
+        let m = presets::unified_gp(1);
+        let mut mrt = TimeMrt::new(&m, 1);
+        mrt.try_place(NodeId(0), 0, &fu(0, OpKind::IntAlu)).unwrap();
+        let evicted = mrt.place_evicting(NodeId(1), 0, &fu(0, OpKind::Load));
+        assert_eq!(evicted, vec![NodeId(0)]);
+        assert_eq!(mrt.row_of(NodeId(0)), None);
+        assert_eq!(mrt.row_of(NodeId(1)), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "impossible")]
+    fn impossible_request_panics_on_eviction() {
+        let m = presets::unified_gp(1); // no interconnect
+        let mut mrt = TimeMrt::new(&m, 1);
+        let req = SlotRequest::Copy {
+            src: ClusterId(0),
+            targets: vec![ClusterId(0)],
+            link: None,
+        };
+        let _ = mrt.place_evicting(NodeId(0), 0, &req);
+    }
+
+    #[test]
+    fn remove_and_clear() {
+        let m = presets::two_cluster_gp(2, 1);
+        let mut mrt = TimeMrt::new(&m, 2);
+        mrt.try_place(NodeId(0), 1, &fu(0, OpKind::Load)).unwrap();
+        assert_eq!(mrt.placed_count(), 1);
+        mrt.remove(NodeId(0));
+        assert_eq!(mrt.placed_count(), 0);
+        mrt.try_place(NodeId(0), 1, &fu(0, OpKind::Load)).unwrap();
+        mrt.clear();
+        assert_eq!(mrt.placed_count(), 0);
+        assert!(mrt.try_place(NodeId(1), 1, &fu(0, OpKind::Load)).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "row out of range")]
+    fn row_bound_checked() {
+        let m = presets::unified_gp(1);
+        let mut mrt = TimeMrt::new(&m, 2);
+        let _ = mrt.try_place(NodeId(0), 2, &fu(0, OpKind::IntAlu));
+    }
+}

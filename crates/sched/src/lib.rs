@@ -1,0 +1,43 @@
+//! # clasp-sched — iterative modulo scheduling
+//!
+//! The "phase 2" scheduler of the CLASP reproduction of Nystrom &
+//! Eichenberger (MICRO 1998): an implementation of Rau's iterative modulo
+//! scheduler (MICRO-27, 1994) whose priority function is the swing
+//! ordering. It is deliberately ignorant of clustering: cluster
+//! assignments and copy transport arrive pre-computed in a
+//! [`clasp_mrt::ClusterMap`], exactly as the paper prescribes.
+//!
+//! - [`iterative_schedule`]: one attempt at a fixed II;
+//! - [`schedule_in_range`]: search upward over II;
+//! - [`schedule_unified`]: the unified-machine baseline the paper compares
+//!   every clustered result against;
+//! - [`validate_schedule`]: independent checker for dependence and
+//!   resource correctness.
+//!
+//! # Examples
+//!
+//! ```
+//! use clasp_ddg::{Ddg, OpKind};
+//! use clasp_machine::presets;
+//! use clasp_sched::{schedule_unified, SchedulerConfig};
+//!
+//! let mut g = Ddg::new("acc");
+//! let a = g.add(OpKind::FpAdd);
+//! g.add_dep_carried(a, a, 1); // accumulator recurrence
+//! let m = presets::unified_gp(8);
+//! let s = schedule_unified(&g, &m, SchedulerConfig::default()).unwrap();
+//! assert_eq!(s.ii(), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod iterative;
+mod schedule;
+mod swing;
+
+pub use iterative::{
+    iterative_schedule, max_ii_bound, schedule_in_range, schedule_unified, SchedulerConfig,
+};
+pub use schedule::{slot_request, unified_map, validate_schedule, Schedule, ScheduleError};
+pub use swing::{schedule_with, swing_schedule, SchedulerKind};

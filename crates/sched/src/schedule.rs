@@ -1,0 +1,307 @@
+//! Modulo-schedule result type and validation.
+
+use clasp_ddg::{Ddg, NodeId, OpKind};
+use clasp_machine::{ClusterId, MachineSpec};
+use clasp_mrt::{ClusterMap, SlotRequest, TimeMrt};
+use std::collections::HashMap;
+
+/// A complete modulo schedule: an issue cycle for every node of the
+/// working graph at a fixed initiation interval.
+///
+/// Cycle `t` maps to kernel row `t mod II` and stage `t / II`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    ii: u32,
+    time: HashMap<NodeId, i64>,
+}
+
+impl Schedule {
+    /// Build a schedule from parts (used by schedulers; prefer reading
+    /// schedules produced by [`crate::iterative_schedule`]).
+    pub fn new(ii: u32, time: HashMap<NodeId, i64>) -> Self {
+        assert!(ii > 0, "II must be positive");
+        Schedule { ii, time }
+    }
+
+    /// The initiation interval.
+    pub fn ii(&self) -> u32 {
+        self.ii
+    }
+
+    /// Issue cycle of `n`, if scheduled.
+    pub fn start(&self, n: NodeId) -> Option<i64> {
+        self.time.get(&n).copied()
+    }
+
+    /// Kernel row (`start mod II`) of `n`.
+    pub fn kernel_row(&self, n: NodeId) -> Option<u32> {
+        self.start(n)
+            .map(|t| (t.rem_euclid(i64::from(self.ii))) as u32)
+    }
+
+    /// Pipeline stage (`start div II`) of `n`.
+    pub fn stage(&self, n: NodeId) -> Option<i64> {
+        self.start(n).map(|t| t.div_euclid(i64::from(self.ii)))
+    }
+
+    /// Number of scheduled nodes.
+    pub fn len(&self) -> usize {
+        self.time.len()
+    }
+
+    /// Whether the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.time.is_empty()
+    }
+
+    /// Number of pipeline stages (max stage - min stage + 1); 0 if empty.
+    pub fn stage_count(&self) -> i64 {
+        let stages: Vec<i64> = self.time.keys().filter_map(|&n| self.stage(n)).collect();
+        match (stages.iter().min(), stages.iter().max()) {
+            (Some(lo), Some(hi)) => hi - lo + 1,
+            _ => 0,
+        }
+    }
+
+    /// Iterate over `(node, cycle)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, i64)> + '_ {
+        self.time.iter().map(|(&n, &t)| (n, t))
+    }
+}
+
+/// Errors found by [`validate_schedule`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// A node has no scheduled cycle.
+    Unscheduled(NodeId),
+    /// A dependence `src -> dst` is violated:
+    /// `t(dst) < t(src) + latency - distance * II`.
+    DependenceViolated {
+        /// Producer.
+        src: NodeId,
+        /// Consumer.
+        dst: NodeId,
+        /// Slack (negative by how many cycles).
+        slack: i64,
+    },
+    /// Two or more nodes overuse a resource in some kernel row.
+    ResourceOveruse(NodeId),
+    /// A node is assigned to no cluster in the map.
+    MissingAssignment(NodeId),
+    /// A copy node is missing its transport metadata.
+    MissingCopyMeta(NodeId),
+}
+
+impl std::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScheduleError::Unscheduled(n) => write!(f, "{n} has no scheduled cycle"),
+            ScheduleError::DependenceViolated { src, dst, slack } => {
+                write!(f, "dependence {src} -> {dst} violated by {} cycles", -slack)
+            }
+            ScheduleError::ResourceOveruse(n) => {
+                write!(f, "{n} overuses a resource in its kernel row")
+            }
+            ScheduleError::MissingAssignment(n) => write!(f, "{n} has no cluster"),
+            ScheduleError::MissingCopyMeta(n) => write!(f, "copy {n} has no metadata"),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// The resource request a node makes, derived from its kind and cluster
+/// annotation.
+pub fn slot_request(g: &Ddg, map: &ClusterMap, n: NodeId) -> Result<SlotRequest, ScheduleError> {
+    let kind = g.op(n).kind;
+    if kind.is_copy() {
+        let meta = map.copy_meta(n).ok_or(ScheduleError::MissingCopyMeta(n))?;
+        Ok(SlotRequest::Copy {
+            src: meta.src,
+            targets: meta.targets.clone(),
+            link: meta.link,
+        })
+    } else {
+        let cluster = map
+            .cluster_of(n)
+            .ok_or(ScheduleError::MissingAssignment(n))?;
+        Ok(SlotRequest::Fu { cluster, kind })
+    }
+}
+
+/// Check that `sched` is a valid modulo schedule of `g` on `machine` under
+/// the cluster annotation `map`: every node scheduled, every dependence
+/// satisfied at this II, and all kernel-row resource use within capacity.
+///
+/// # Errors
+///
+/// The first violation found, as a [`ScheduleError`].
+pub fn validate_schedule(
+    g: &Ddg,
+    machine: &MachineSpec,
+    map: &ClusterMap,
+    sched: &Schedule,
+) -> Result<(), ScheduleError> {
+    let ii = i64::from(sched.ii());
+    for n in g.node_ids() {
+        if sched.start(n).is_none() {
+            return Err(ScheduleError::Unscheduled(n));
+        }
+    }
+    for (_, e) in g.edges() {
+        let ts = sched.start(e.src).expect("checked above");
+        let td = sched.start(e.dst).expect("checked above");
+        let slack = td - (ts + i64::from(e.latency) - i64::from(e.distance) * ii);
+        if slack < 0 {
+            return Err(ScheduleError::DependenceViolated {
+                src: e.src,
+                dst: e.dst,
+                slack,
+            });
+        }
+    }
+    // Replay all placements into a fresh MRT.
+    let mut mrt = TimeMrt::new(machine, sched.ii());
+    for n in g.node_ids() {
+        let req = slot_request(g, map, n)?;
+        let row = sched.kernel_row(n).expect("checked above");
+        if mrt.try_place(n, row, &req).is_err() {
+            return Err(ScheduleError::ResourceOveruse(n));
+        }
+    }
+    Ok(())
+}
+
+/// Build the trivial cluster map for a unified (single-cluster) machine:
+/// every node on cluster 0, no copies.
+///
+/// # Panics
+///
+/// Panics if `g` contains copy nodes (a unified loop has none) or
+/// `machine` is not unified.
+pub fn unified_map(g: &Ddg, machine: &MachineSpec) -> ClusterMap {
+    assert!(machine.is_unified(), "machine must be unified");
+    let mut map = ClusterMap::new();
+    for (n, op) in g.nodes() {
+        assert!(
+            !matches!(op.kind, OpKind::Copy),
+            "unified loops contain no copies"
+        );
+        map.assign(n, ClusterId(0));
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clasp_machine::presets;
+
+    fn tiny() -> (Ddg, NodeId, NodeId) {
+        let mut g = Ddg::new("tiny");
+        let a = g.add(OpKind::Load);
+        let b = g.add(OpKind::FpAdd);
+        g.add_dep(a, b);
+        (g, a, b)
+    }
+
+    #[test]
+    fn schedule_accessors() {
+        let mut t = HashMap::new();
+        t.insert(NodeId(0), 0i64);
+        t.insert(NodeId(1), 5i64);
+        let s = Schedule::new(2, t);
+        assert_eq!(s.ii(), 2);
+        assert_eq!(s.kernel_row(NodeId(1)), Some(1));
+        assert_eq!(s.stage(NodeId(1)), Some(2));
+        assert_eq!(s.stage_count(), 3);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn validate_good_schedule() {
+        let (g, a, b) = tiny();
+        let m = presets::unified_gp(2);
+        let map = unified_map(&g, &m);
+        let mut t = HashMap::new();
+        t.insert(a, 0i64);
+        t.insert(b, 2i64);
+        let s = Schedule::new(1, t);
+        assert_eq!(validate_schedule(&g, &m, &map, &s), Ok(()));
+    }
+
+    #[test]
+    fn validate_catches_dependence_violation() {
+        let (g, a, b) = tiny();
+        let m = presets::unified_gp(2);
+        let map = unified_map(&g, &m);
+        let mut t = HashMap::new();
+        t.insert(a, 0i64);
+        t.insert(b, 1i64); // load latency is 2
+        let s = Schedule::new(1, t);
+        assert!(matches!(
+            validate_schedule(&g, &m, &map, &s),
+            Err(ScheduleError::DependenceViolated { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_catches_resource_overuse() {
+        let (g, a, b) = tiny();
+        let m = presets::unified_gp(1); // one unit
+        let map = unified_map(&g, &m);
+        let mut t = HashMap::new();
+        t.insert(a, 0i64);
+        t.insert(b, 2i64); // row 0 at II=2... use II=2: rows 0 and 0
+        let s = Schedule::new(2, t);
+        assert!(matches!(
+            validate_schedule(&g, &m, &map, &s),
+            Err(ScheduleError::ResourceOveruse(_))
+        ));
+    }
+
+    #[test]
+    fn validate_catches_unscheduled() {
+        let (g, a, _) = tiny();
+        let m = presets::unified_gp(2);
+        let map = unified_map(&g, &m);
+        let mut t = HashMap::new();
+        t.insert(a, 0i64);
+        let s = Schedule::new(1, t);
+        assert!(matches!(
+            validate_schedule(&g, &m, &map, &s),
+            Err(ScheduleError::Unscheduled(_))
+        ));
+    }
+
+    #[test]
+    fn loop_carried_dependences_relax_with_ii() {
+        // b -> a carried distance 1: t(a) >= t(b) + 1 - II.
+        let mut g = Ddg::new("rec");
+        let a = g.add(OpKind::IntAlu);
+        let b = g.add(OpKind::IntAlu);
+        g.add_dep(a, b);
+        g.add_dep_carried(b, a, 1);
+        let m = presets::unified_gp(2);
+        let map = unified_map(&g, &m);
+        let mut t = HashMap::new();
+        t.insert(a, 0i64);
+        t.insert(b, 1i64);
+        let ok = Schedule::new(2, t.clone());
+        assert_eq!(validate_schedule(&g, &m, &map, &ok), Ok(()));
+        let bad = Schedule::new(1, t); // t(a)=0 < 1 + 1 - 1 = 1
+        assert!(matches!(
+            validate_schedule(&g, &m, &map, &bad),
+            Err(ScheduleError::DependenceViolated { .. })
+        ));
+    }
+
+    #[test]
+    fn negative_cycles_use_euclidean_rows() {
+        let mut t = HashMap::new();
+        t.insert(NodeId(0), -3i64);
+        let s = Schedule::new(2, t);
+        assert_eq!(s.kernel_row(NodeId(0)), Some(1));
+        assert_eq!(s.stage(NodeId(0)), Some(-2));
+    }
+}

@@ -1,0 +1,308 @@
+//! Parser for the `.machine` clustered-machine description format.
+//!
+//! ```text
+//! # four clusters of 4 GP units over 4 buses, 2 ports each way
+//! machine my4c
+//! cluster 4gp
+//! cluster 4gp
+//! cluster 4gp
+//! cluster 4gp
+//! bus 4 ports 2 2
+//! ```
+//!
+//! or a point-to-point grid of fully specified clusters:
+//!
+//! ```text
+//! machine grid
+//! cluster 1m 1i 1f
+//! cluster 1m 1i 1f
+//! cluster 1m 1i 1f
+//! cluster 1m 1i 1f
+//! link 0 1
+//! link 0 2
+//! link 1 3
+//! link 2 3
+//! ports 2 2
+//! ```
+//!
+//! Statements (one per line, `#` comments):
+//!
+//! - `machine <name>` — optional display name;
+//! - `cluster <units>...` — one cluster; units are `<n>gp`, `<n>m`,
+//!   `<n>i`, `<n>f` (mixable: `cluster 2gp 1m`);
+//! - `bus <count> [ports <read> <write>]` — broadcast buses (ports
+//!   default to 1 1);
+//! - `link <a> <b>` — a dedicated connection between clusters `a` and
+//!   `b` (0-based); implies a point-to-point fabric;
+//! - `ports <read> <write>` — port counts for a point-to-point fabric.
+
+use clasp_machine::{ClusterId, ClusterSpec, Interconnect, Link, MachineSpec};
+use std::fmt;
+
+/// A machine-description parse failure with its 1-based line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineParseError {
+    /// 1-based line number (0 for whole-file problems).
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for MachineParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for MachineParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> MachineParseError {
+    MachineParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_unit(line: usize, token: &str, spec: &mut ClusterSpec) -> Result<(), MachineParseError> {
+    let split = token
+        .find(|c: char| !c.is_ascii_digit())
+        .ok_or_else(|| err(line, format!("unit `{token}` needs a type suffix")))?;
+    let (num, suffix) = token.split_at(split);
+    let n: u32 = num
+        .parse()
+        .map_err(|_| err(line, format!("bad unit count in `{token}`")))?;
+    match suffix {
+        "gp" => spec.general += n,
+        "m" | "mem" => spec.memory += n,
+        "i" | "int" => spec.integer += n,
+        "f" | "fp" => spec.float += n,
+        _ => return Err(err(line, format!("unknown unit type `{suffix}`"))),
+    }
+    Ok(())
+}
+
+/// Parse a `.machine` description into a [`MachineSpec`].
+///
+/// # Errors
+///
+/// A [`MachineParseError`] naming the offending line.
+///
+/// # Examples
+///
+/// ```
+/// let text = "machine tiny\ncluster 2gp\ncluster 2gp\nbus 1 ports 1 1\n";
+/// let m = clasp_text::parse_machine(text)?;
+/// assert_eq!(m.cluster_count(), 2);
+/// assert_eq!(m.total_issue_width(), 4);
+/// # Ok::<(), clasp_text::MachineParseError>(())
+/// ```
+pub fn parse_machine(text: &str) -> Result<MachineSpec, MachineParseError> {
+    let mut name = String::from("machine");
+    let mut clusters: Vec<ClusterSpec> = Vec::new();
+    let mut buses: Option<(u32, u32, u32)> = None;
+    let mut links: Vec<(usize, u32, u32)> = Vec::new();
+    let mut p2p_ports: Option<(u32, u32)> = None;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = match raw.find('#') {
+            Some(p) => &raw[..p],
+            None => raw,
+        }
+        .trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut toks = line.split_whitespace();
+        match toks.next().expect("non-empty") {
+            "machine" => {
+                name = toks
+                    .next()
+                    .ok_or_else(|| err(line_no, "machine needs a name"))?
+                    .to_string();
+            }
+            "cluster" => {
+                let mut spec = ClusterSpec::default();
+                let mut any = false;
+                for t in toks {
+                    parse_unit(line_no, t, &mut spec)?;
+                    any = true;
+                }
+                if !any || spec.issue_width() == 0 {
+                    return Err(err(line_no, "cluster needs at least one unit"));
+                }
+                clusters.push(spec);
+            }
+            "bus" => {
+                let count: u32 = toks
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| err(line_no, "bus needs a count"))?;
+                let (mut r, mut w) = (1u32, 1u32);
+                if let Some(kw) = toks.next() {
+                    if kw != "ports" {
+                        return Err(err(line_no, "expected `ports <read> <write>`"));
+                    }
+                    r = toks
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| err(line_no, "ports needs a read count"))?;
+                    w = toks
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| err(line_no, "ports needs a write count"))?;
+                }
+                buses = Some((count, r, w));
+            }
+            "link" => {
+                let a: u32 = toks
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| err(line_no, "link needs two cluster indices"))?;
+                let b: u32 = toks
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| err(line_no, "link needs two cluster indices"))?;
+                if a == b {
+                    return Err(err(line_no, "a link must join two distinct clusters"));
+                }
+                links.push((line_no, a, b));
+            }
+            "ports" => {
+                let r: u32 = toks
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| err(line_no, "ports needs a read count"))?;
+                let w: u32 = toks
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| err(line_no, "ports needs a write count"))?;
+                p2p_ports = Some((r, w));
+            }
+            other => return Err(err(line_no, format!("unknown statement `{other}`"))),
+        }
+    }
+
+    if clusters.is_empty() {
+        return Err(err(0, "a machine needs at least one cluster"));
+    }
+    if buses.is_some() && !links.is_empty() {
+        return Err(err(0, "choose buses or links, not both"));
+    }
+    for &(line_no, a, b) in &links {
+        if a as usize >= clusters.len() || b as usize >= clusters.len() {
+            return Err(err(line_no, "link endpoint out of range"));
+        }
+    }
+
+    let interconnect = if let Some((count, r, w)) = buses {
+        Interconnect::Bus {
+            buses: count,
+            read_ports: r,
+            write_ports: w,
+        }
+    } else if !links.is_empty() {
+        let (r, w) = p2p_ports.unwrap_or((1, 1));
+        Interconnect::PointToPoint {
+            links: links
+                .iter()
+                .map(|&(_, a, b)| Link {
+                    a: ClusterId(a),
+                    b: ClusterId(b),
+                })
+                .collect(),
+            read_ports: r,
+            write_ports: w,
+        }
+    } else {
+        Interconnect::None
+    };
+
+    Ok(MachineSpec::new(name, clusters, interconnect))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bused_machine() {
+        let m = parse_machine("machine two\ncluster 4gp\ncluster 4gp\nbus 2 ports 1 1\n").unwrap();
+        assert_eq!(m.name(), "two");
+        assert_eq!(m.cluster_count(), 2);
+        assert_eq!(m.interconnect().bus_count(), 2);
+        assert!(m.interconnect().is_broadcast());
+    }
+
+    #[test]
+    fn fs_units_and_mixed() {
+        let m = parse_machine("cluster 1m 2i 1f\ncluster 2gp 1m\nbus 1\n").unwrap();
+        let c0 = m.cluster(ClusterId(0));
+        assert_eq!((c0.memory, c0.integer, c0.float, c0.general), (1, 2, 1, 0));
+        let c1 = m.cluster(ClusterId(1));
+        assert_eq!((c1.general, c1.memory), (2, 1));
+        // Default bus ports are 1/1.
+        assert_eq!(m.interconnect().read_ports(), 1);
+    }
+
+    #[test]
+    fn grid_machine() {
+        let text = "cluster 1m 1i 1f\ncluster 1m 1i 1f\ncluster 1m 1i 1f\ncluster 1m 1i 1f\n\
+                    link 0 1\nlink 0 2\nlink 1 3\nlink 2 3\nports 2 2\n";
+        let m = parse_machine(text).unwrap();
+        assert_eq!(m.interconnect().links().len(), 4);
+        assert!(!m.interconnect().is_broadcast());
+        assert_eq!(m.interconnect().read_ports(), 2);
+    }
+
+    #[test]
+    fn single_cluster_no_fabric() {
+        let m = parse_machine("cluster 8gp\n").unwrap();
+        assert!(m.is_unified());
+        assert_eq!(m.interconnect(), &Interconnect::None);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_machine("")
+            .unwrap_err()
+            .message
+            .contains("at least one"));
+        assert!(parse_machine("cluster\n")
+            .unwrap_err()
+            .message
+            .contains("at least one unit"));
+        assert!(parse_machine("cluster 4xx\n")
+            .unwrap_err()
+            .message
+            .contains("unknown unit"));
+        assert!(parse_machine("cluster 4gp\nfrob\n")
+            .unwrap_err()
+            .message
+            .contains("unknown statement"));
+        assert!(parse_machine("cluster 4gp\ncluster 4gp\nbus 1\nlink 0 1\n")
+            .unwrap_err()
+            .message
+            .contains("not both"));
+        assert!(parse_machine("cluster 4gp\ncluster 4gp\nlink 0 5\n")
+            .unwrap_err()
+            .message
+            .contains("out of range"));
+        assert!(parse_machine("cluster 4gp\ncluster 4gp\nlink 1 1\n")
+            .unwrap_err()
+            .message
+            .contains("distinct"));
+        let e = parse_machine("cluster 4gp\nbus x\n").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn matches_preset_shapes() {
+        use clasp_machine::presets;
+        let m = parse_machine("machine 2c\ncluster 4gp\ncluster 4gp\nbus 2 ports 1 1\n").unwrap();
+        let p = presets::two_cluster_gp(2, 1);
+        assert_eq!(m.cluster_count(), p.cluster_count());
+        assert_eq!(m.total_issue_width(), p.total_issue_width());
+        assert_eq!(m.interconnect(), p.interconnect());
+    }
+}

@@ -1,0 +1,174 @@
+//! Writer for the `.clasp` loop format: renders a [`Ddg`] back to text
+//! that [`crate::parse_loop`] reproduces exactly (up to generated ids).
+
+use clasp_ddg::{Ddg, NodeId, OpKind};
+use std::fmt::Write as _;
+
+fn kind_token(k: OpKind) -> &'static str {
+    match k {
+        OpKind::IntAlu => "alu",
+        OpKind::Shift => "shift",
+        OpKind::Branch => "br",
+        OpKind::Load => "load",
+        OpKind::Store => "store",
+        OpKind::FpAdd => "fadd",
+        OpKind::FpMult => "fmul",
+        OpKind::FpDiv => "fdiv",
+        OpKind::FpSqrt => "fsqrt",
+        OpKind::Copy => "alu", // copies are not part of the input format
+    }
+}
+
+fn ident(n: NodeId) -> String {
+    format!("n{}", n.0)
+}
+
+/// Render `g` as a `.clasp` loop description.
+///
+/// Node ids are generated (`n0`, `n1`, ...); human labels are preserved
+/// as quoted strings. Copy nodes (never present in hand-written input)
+/// are rendered as `alu` ops so round-tripping a *working* graph still
+/// yields a valid parse, though normally only original loops are written.
+///
+/// # Examples
+///
+/// ```
+/// use clasp_ddg::{Ddg, OpKind};
+///
+/// let mut g = Ddg::new("tiny");
+/// let a = g.add(OpKind::Load);
+/// let b = g.add(OpKind::FpAdd);
+/// g.add_dep(a, b);
+/// let text = clasp_text::write_loop(&g);
+/// let back = clasp_text::parse_loop(&text)?;
+/// assert_eq!(back.node_count(), 2);
+/// assert_eq!(back.edge_count(), 1);
+/// # Ok::<(), clasp_text::ParseError>(())
+/// ```
+pub fn write_loop(g: &Ddg) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "loop {}", sanitize(g.name()));
+    let _ = writeln!(s);
+    for (n, op) in g.nodes() {
+        let _ = write!(s, "op {} {}", ident(n), kind_token(op.kind));
+        if let Some(name) = &op.name {
+            let _ = write!(s, " \"{}\"", name.replace('"', "'"));
+        }
+        let _ = writeln!(s);
+    }
+    let _ = writeln!(s);
+    for (_, e) in g.edges() {
+        let _ = write!(s, "dep {} -> {}", ident(e.src), ident(e.dst));
+        if e.distance != 0 {
+            let _ = write!(s, " @{}", e.distance);
+        }
+        if e.latency != g.op(e.src).kind.latency() {
+            let _ = write!(s, " !{}", e.latency);
+        }
+        let _ = writeln!(s);
+    }
+    s
+}
+
+fn sanitize(name: &str) -> String {
+    let cleaned: String = name
+        .chars()
+        .map(|c| {
+            if c.is_whitespace() || c == '#' {
+                '_'
+            } else {
+                c
+            }
+        })
+        .collect();
+    if cleaned.is_empty() {
+        "loop".to_string()
+    } else {
+        cleaned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_loop;
+
+    fn roundtrip(g: &Ddg) -> Ddg {
+        parse_loop(&write_loop(g)).expect("round-trip parses")
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let mut g = Ddg::new("rt");
+        let a = g.add_named(OpKind::Load, "x[i]");
+        let b = g.add(OpKind::FpMult);
+        let c = g.add(OpKind::Store);
+        g.add_dep(a, b);
+        g.add_dep(b, c);
+        g.add_dep_carried(b, b, 2);
+        let back = roundtrip(&g);
+        assert_eq!(back.name(), "rt");
+        assert_eq!(back.node_count(), 3);
+        assert_eq!(back.edge_count(), 3);
+        assert_eq!(back.op(a).label(), "x[i]");
+        let carried = back.edges().find(|(_, e)| e.distance == 2).unwrap();
+        assert_eq!(carried.1.latency, OpKind::FpMult.latency());
+    }
+
+    #[test]
+    fn custom_latency_survives() {
+        let mut g = Ddg::new("lat");
+        let a = g.add(OpKind::IntAlu);
+        let b = g.add(OpKind::IntAlu);
+        g.add_edge(clasp_ddg::DepEdge {
+            src: a,
+            dst: b,
+            latency: 5,
+            distance: 0,
+        });
+        let back = roundtrip(&g);
+        let (_, e) = back.edges().next().unwrap();
+        assert_eq!(e.latency, 5);
+    }
+
+    #[test]
+    fn awkward_names_are_sanitized() {
+        let mut g = Ddg::new("has spaces # and hash");
+        g.add(OpKind::Load);
+        let back = roundtrip(&g);
+        assert_eq!(back.name(), "has_spaces___and_hash");
+    }
+
+    #[test]
+    fn quotes_in_labels_are_replaced() {
+        let mut g = Ddg::new("q");
+        g.add_named(OpKind::Load, "x\"quoted\"");
+        let back = roundtrip(&g);
+        assert_eq!(back.op(clasp_ddg::NodeId(0)).label(), "x'quoted'");
+    }
+
+    #[test]
+    fn livermore_style_roundtrip() {
+        // Round-trip a structurally rich graph.
+        let mut g = Ddg::new("rich");
+        let ids: Vec<_> = (0..10)
+            .map(|i| {
+                g.add(match i % 5 {
+                    0 => OpKind::Load,
+                    1 => OpKind::IntAlu,
+                    2 => OpKind::FpMult,
+                    3 => OpKind::FpAdd,
+                    _ => OpKind::Store,
+                })
+            })
+            .collect();
+        for w in ids.windows(2) {
+            g.add_dep(w[0], w[1]);
+        }
+        g.add_dep_carried(ids[8], ids[1], 1);
+        let back = roundtrip(&g);
+        assert_eq!(back.node_count(), g.node_count());
+        assert_eq!(back.edge_count(), g.edge_count());
+        assert_eq!(clasp_ddg::rec_mii(&back), clasp_ddg::rec_mii(&g));
+    }
+}

@@ -1,0 +1,62 @@
+//! Design-space exploration for one loop.
+//!
+//! Sweeps cluster count, bus count, and port count for a single kernel and
+//! prints the achieved II everywhere — the per-loop view of the paper's
+//! Figures 14-17, useful when sizing an interconnect for a known workload.
+//!
+//! Run with: `cargo run --release --example design_space [kernel 1..24]`
+
+use clasp::{compile_loop, unified_ii, PipelineConfig};
+use clasp_loopgen::livermore;
+use clasp_machine::presets;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let kernel: u32 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(7); // LL7: the high-ILP equation-of-state fragment
+    let g = livermore(kernel);
+    println!(
+        "kernel: {} ({} ops, {} deps)\n",
+        g.name(),
+        g.node_count(),
+        g.edge_count()
+    );
+
+    for clusters in [2u32, 4, 6, 8] {
+        let baseline = unified_ii(
+            &g,
+            &presets::n_cluster_gp(clusters, 1, 1),
+            Default::default(),
+        )
+        .expect("baseline");
+        println!(
+            "{} clusters x 4 GP (unified {}-wide II = {baseline}):",
+            clusters,
+            clusters * 4
+        );
+        print!("{:>10}", "buses\\ports");
+        for ports in [1u32, 2, 4] {
+            print!(" {ports:>6}");
+        }
+        println!();
+        for buses in [1u32, 2, 4, 8] {
+            print!("{buses:>11}");
+            for ports in [1u32, 2, 4] {
+                let m = presets::n_cluster_gp(clusters, buses, ports);
+                match compile_loop(&g, &m, PipelineConfig::default()) {
+                    Ok(c) => {
+                        let star = if c.ii() == baseline { "" } else { "*" };
+                        print!(" {:>5}{}", c.ii(), if star.is_empty() { " " } else { star });
+                    }
+                    Err(_) => print!(" {:>6}", "-"),
+                }
+            }
+            println!();
+        }
+        println!();
+    }
+    println!("'*' = II above the equally wide unified machine.");
+    Ok(())
+}

@@ -1,0 +1,335 @@
+//! `clasp-cli` — compile `.clasp` loop descriptions for clustered VLIW
+//! machines from the command line.
+//!
+//! ```text
+//! clasp-cli analyze  <loop.clasp>
+//! clasp-cli compile  <loop.clasp> [options]
+//! clasp-cli simulate <loop.clasp> [options] [--iterations N]
+//! clasp-cli machines
+//!
+//! options:
+//!   --machine <preset>    2c-gp | 4c-gp | 6c-gp | 8c-gp | 2c-fs | 4c-fs |
+//!                         grid | unified (default: 2c-gp)
+//!   --machine-file <path> load a custom `.machine` description instead
+//!   --buses N             override bus count (bused presets)
+//!   --ports N             override read/write port count
+//!   --variant <v>         simple | simple-iterative | heuristic |
+//!                         heuristic-iterative (default)
+//!   --scheduler <s>       iterative (default) | swing
+//!   --iterations N        iterations to emit/simulate (default 16)
+//!   --dot                 dump the working graph as Graphviz DOT
+//!   --kernel              print the kernel table
+//!   --explain             print the assignment decision log
+//! ```
+
+use clasp::{compile_loop, unified_ii, PipelineConfig};
+use clasp_core::Variant;
+use clasp_ddg::{find_sccs, rec_mii, swing_order, Ddg};
+use clasp_kernel::{kernel_table, max_live, register_requirement, verify_pipelined, MveInfo};
+use clasp_machine::{presets, MachineSpec};
+use clasp_sched::SchedulerKind;
+use std::process::ExitCode;
+
+struct Options {
+    machine: String,
+    machine_file: Option<String>,
+    buses: Option<u32>,
+    ports: Option<u32>,
+    variant: Variant,
+    scheduler: SchedulerKind,
+    iterations: i64,
+    dot: bool,
+    kernel: bool,
+    explain: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            machine: "2c-gp".into(),
+            machine_file: None,
+            buses: None,
+            ports: None,
+            variant: Variant::HeuristicIterative,
+            scheduler: SchedulerKind::Iterative,
+            iterations: 16,
+            dot: false,
+            kernel: false,
+            explain: false,
+        }
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: clasp-cli <analyze|compile|simulate|machines> [loop.clasp] [options]\n\
+         see `clasp-cli machines` for presets; options: --machine --buses --ports\n\
+         --variant --scheduler --iterations --dot --kernel --explain"
+    );
+    ExitCode::from(2)
+}
+
+fn build_machine(opts: &Options) -> Result<MachineSpec, String> {
+    if let Some(path) = &opts.machine_file {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        return clasp_text::parse_machine(&text).map_err(|e| format!("{path}: {e}"));
+    }
+    let b = |d: u32| opts.buses.unwrap_or(d);
+    let p = |d: u32| opts.ports.unwrap_or(d);
+    Ok(match opts.machine.as_str() {
+        "2c-gp" => presets::two_cluster_gp(b(2), p(1)),
+        "4c-gp" => presets::four_cluster_gp(b(4), p(2)),
+        "6c-gp" => presets::six_cluster_gp(b(6), p(3)),
+        "8c-gp" => presets::eight_cluster_gp(b(7), p(3)),
+        "2c-fs" => presets::two_cluster_fs(b(2), p(1)),
+        "4c-fs" => presets::four_cluster_fs(b(4), p(2)),
+        "grid" => presets::four_cluster_grid(p(2)),
+        "unified" => presets::unified_gp(8),
+        other => return Err(format!("unknown machine preset `{other}`")),
+    })
+}
+
+fn parse_variant(s: &str) -> Result<Variant, String> {
+    Ok(match s {
+        "simple" => Variant::Simple,
+        "simple-iterative" => Variant::SimpleIterative,
+        "heuristic" => Variant::Heuristic,
+        "heuristic-iterative" => Variant::HeuristicIterative,
+        other => return Err(format!("unknown variant `{other}`")),
+    })
+}
+
+fn load_loop(path: &str) -> Result<Ddg, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    clasp_text::parse_loop(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn analyze(g: &Ddg) {
+    println!(
+        "loop {}: {} ops, {} deps, RecMII = {}",
+        g.name(),
+        g.node_count(),
+        g.edge_count(),
+        rec_mii(g)
+    );
+    let sccs = find_sccs(g);
+    for (i, scc) in sccs.non_trivial() {
+        let names: Vec<&str> = scc.nodes.iter().map(|&n| g.op(n).label()).collect();
+        println!(
+            "  recurrence (RecMII {}): {{{}}}",
+            clasp_ddg::scc_rec_mii(g, &sccs, i),
+            names.join(", ")
+        );
+    }
+    let order: Vec<&str> = swing_order(g).iter().map(|&n| g.op(n).label()).collect();
+    println!("  assignment order: {}", order.join(", "));
+}
+
+fn compile(g: &Ddg, opts: &Options) -> Result<(), String> {
+    let machine = build_machine(opts)?;
+    let config = PipelineConfig {
+        assign: opts.variant.into(),
+        scheduler: opts.scheduler,
+        ..PipelineConfig::default()
+    };
+    if opts.explain {
+        let (res, trace) = clasp_core::assign_traced(g, &machine, config.assign, 1);
+        res.map_err(|e| e.to_string())?;
+        println!("assignment decision log:");
+        for event in &trace.events {
+            let mut line = event.to_string();
+            for (n, op) in g.nodes() {
+                line = line.replace(&format!("{n}:"), &format!("{}:", op.label()));
+            }
+            println!("  {line}");
+        }
+        println!();
+    }
+    let compiled = compile_loop(g, &machine, config).map_err(|e| e.to_string())?;
+    let baseline = unified_ii(g, &machine, config.sched);
+    let wg = &compiled.assignment.graph;
+    let map = &compiled.assignment.map;
+
+    println!("machine:   {machine}");
+    println!("variant:   {} / {} scheduler", opts.variant, opts.scheduler);
+    println!(
+        "II:        {} (unified baseline: {})",
+        compiled.ii(),
+        baseline.map_or("-".into(), |u| u.to_string())
+    );
+    println!(
+        "copies:    {} inserted; II attempts {}, removals {}",
+        compiled.assignment.copy_count(),
+        compiled.assignment.stats.ii_attempts,
+        compiled.assignment.stats.removals
+    );
+    println!(
+        "registers: MaxLive {}, MVE requirement {}, kernel unroll {}x",
+        max_live(wg, &compiled.schedule),
+        register_requirement(wg, &compiled.schedule),
+        MveInfo::compute(wg, &compiled.schedule).unroll()
+    );
+    println!("\nplacement:");
+    for c in machine.cluster_ids() {
+        let names: Vec<String> = compiled
+            .assignment
+            .nodes_on(c)
+            .iter()
+            .map(|&n| wg.op(n).label().to_string())
+            .collect();
+        println!("  {c}: {}", names.join(", "));
+    }
+    if opts.kernel {
+        println!();
+        print!(
+            "{}",
+            kernel_table(wg, map, &compiled.schedule, machine.cluster_count())
+        );
+    }
+    if opts.dot {
+        println!("\n{}", wg.to_dot());
+    }
+    Ok(())
+}
+
+fn simulate(g: &Ddg, opts: &Options) -> Result<(), String> {
+    let machine = build_machine(opts)?;
+    let config = PipelineConfig {
+        assign: opts.variant.into(),
+        scheduler: opts.scheduler,
+        ..PipelineConfig::default()
+    };
+    let compiled = compile_loop(g, &machine, config).map_err(|e| e.to_string())?;
+    verify_pipelined(
+        &compiled.assignment.graph,
+        &compiled.assignment.map,
+        &compiled.schedule,
+        opts.iterations,
+    )
+    .map_err(|e| e.to_string())?;
+    println!(
+        "ok: pipelined execution (II = {}) matches sequential execution over {} iterations",
+        compiled.ii(),
+        opts.iterations
+    );
+    Ok(())
+}
+
+fn machines() {
+    println!("presets (defaults in parentheses; override with --buses/--ports):");
+    for (name, m) in [
+        ("2c-gp", presets::two_cluster_gp(2, 1)),
+        ("4c-gp", presets::four_cluster_gp(4, 2)),
+        ("6c-gp", presets::six_cluster_gp(6, 3)),
+        ("8c-gp", presets::eight_cluster_gp(7, 3)),
+        ("2c-fs", presets::two_cluster_fs(2, 1)),
+        ("4c-fs", presets::four_cluster_fs(4, 2)),
+        ("grid", presets::four_cluster_grid(2)),
+        ("unified", presets::unified_gp(8)),
+    ] {
+        println!("  {name:<8} {m}");
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    if cmd == "machines" {
+        machines();
+        return ExitCode::SUCCESS;
+    }
+    let Some(path) = args.get(1) else {
+        return usage();
+    };
+    let mut opts = Options::default();
+    let mut i = 2;
+    while i < args.len() {
+        let take = |i: &mut usize| -> Option<String> {
+            *i += 1;
+            args.get(*i).cloned()
+        };
+        let flag = args[i].clone();
+        let result: Result<(), String> = match flag.as_str() {
+            "--machine" => take(&mut i)
+                .map(|v| opts.machine = v)
+                .ok_or("--machine needs a value".into()),
+            "--machine-file" => take(&mut i)
+                .map(|v| opts.machine_file = Some(v))
+                .ok_or("--machine-file needs a path".into()),
+            "--buses" => take(&mut i)
+                .and_then(|v| v.parse().ok())
+                .map(|v| opts.buses = Some(v))
+                .ok_or("--buses needs a number".into()),
+            "--ports" => take(&mut i)
+                .and_then(|v| v.parse().ok())
+                .map(|v| opts.ports = Some(v))
+                .ok_or("--ports needs a number".into()),
+            "--variant" => match take(&mut i) {
+                Some(v) => parse_variant(&v).map(|p| opts.variant = p),
+                None => Err("--variant needs a value".into()),
+            },
+            "--scheduler" => match take(&mut i).as_deref() {
+                Some("iterative") => {
+                    opts.scheduler = SchedulerKind::Iterative;
+                    Ok(())
+                }
+                Some("swing") => {
+                    opts.scheduler = SchedulerKind::Swing;
+                    Ok(())
+                }
+                _ => Err("--scheduler is `iterative` or `swing`".into()),
+            },
+            "--iterations" => take(&mut i)
+                .and_then(|v| v.parse().ok())
+                .map(|v| opts.iterations = v)
+                .ok_or("--iterations needs a number".into()),
+            "--dot" => {
+                opts.dot = true;
+                Ok(())
+            }
+            "--kernel" => {
+                opts.kernel = true;
+                Ok(())
+            }
+            "--explain" => {
+                opts.explain = true;
+                Ok(())
+            }
+            other => Err(format!("unknown option `{other}`")),
+        };
+        if let Err(e) = result {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+        i += 1;
+    }
+
+    let g = match load_loop(path) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let outcome = match cmd.as_str() {
+        "analyze" => {
+            analyze(&g);
+            Ok(())
+        }
+        "compile" => compile(&g, &opts),
+        "simulate" => simulate(&g, &opts),
+        _ => {
+            return usage();
+        }
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! # CLASP — Cluster Assignment for modulo Scheduling of Pipelined loops
+//!
+//! A from-scratch Rust reproduction of Nystrom & Eichenberger, *"Effective
+//! Cluster Assignment for Modulo Scheduling"* (MICRO-31, 1998): a
+//! pre-modulo-scheduling pass that maps loop operations onto the clusters
+//! of a clustered VLIW machine, inserts explicit inter-cluster copy
+//! operations, and hands any traditional modulo scheduler a graph it can
+//! schedule with no knowledge of clustering.
+//!
+//! This facade crate re-exports the workspace and hosts the two-phase
+//! pipeline of the paper's Figure 5:
+//!
+//! | crate | contents |
+//! |-------|----------|
+//! | [`ddg`] | dependence graphs, SCCs, RecMII, swing ordering |
+//! | [`machine`] | clustered machine models, buses/grids, ResMII |
+//! | [`mrt`] | counting + time-indexed modulo reservation tables |
+//! | [`core`] | the cluster assignment algorithm (the contribution) |
+//! | [`sched`] | Rau's iterative modulo scheduler (phase 2) |
+//! | [`loopgen`] | the synthetic loop corpus and Livermore kernels |
+//! | [`kernel`] | lifetimes, MVE, kernel emission, functional simulation |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use clasp::{compile_loop, unified_ii, PipelineConfig};
+//! use clasp_ddg::{Ddg, OpKind};
+//! use clasp_machine::presets;
+//!
+//! // sum += x[i] * y[i]
+//! let mut g = Ddg::new("dot");
+//! let x = g.add(OpKind::Load);
+//! let y = g.add(OpKind::Load);
+//! let m = g.add(OpKind::FpMult);
+//! let s = g.add(OpKind::FpAdd);
+//! g.add_dep(x, m);
+//! g.add_dep(y, m);
+//! g.add_dep(m, s);
+//! g.add_dep_carried(s, s, 1);
+//!
+//! let machine = presets::two_cluster_gp(2, 1);
+//! let compiled = compile_loop(&g, &machine, PipelineConfig::default())?;
+//! let baseline = unified_ii(&g, &machine, Default::default()).unwrap();
+//! assert_eq!(compiled.ii(), baseline); // communication fully hidden
+//! # Ok::<(), clasp::PipelineError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod pipeline;
+
+pub use pipeline::{
+    compare_with_unified, compile_loop, compile_loop_post, unified_ii, CompiledLoop,
+    PipelineConfig, PipelineError,
+};
+
+pub use clasp_core as core;
+pub use clasp_ddg as ddg;
+pub use clasp_kernel as kernel;
+pub use clasp_loopgen as loopgen;
+pub use clasp_machine as machine;
+pub use clasp_mrt as mrt;
+pub use clasp_sched as sched;

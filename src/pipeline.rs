@@ -1,0 +1,211 @@
+//! The full two-phase compilation pipeline of the paper's Figure 5:
+//! cluster assignment, then traditional modulo scheduling, escalating II
+//! and re-assigning from scratch whenever either phase fails.
+
+use clasp_core::{assign_from, post_scheduling_assign_from, AssignConfig, AssignError, Assignment};
+use clasp_ddg::Ddg;
+use clasp_machine::MachineSpec;
+use clasp_sched::{
+    max_ii_bound, schedule_unified, schedule_with, Schedule, SchedulerConfig, SchedulerKind,
+};
+use std::fmt;
+
+/// Configuration for the whole pipeline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipelineConfig {
+    /// Phase 1 (cluster assignment) knobs.
+    pub assign: AssignConfig,
+    /// Phase 2 (modulo scheduling) knobs.
+    pub sched: SchedulerConfig,
+    /// Which phase-2 scheduler to run (iterative by default; the paper's
+    /// own experiments used the iterative swing scheduler).
+    pub scheduler: SchedulerKind,
+}
+
+impl From<clasp_core::Variant> for PipelineConfig {
+    fn from(v: clasp_core::Variant) -> Self {
+        PipelineConfig {
+            assign: v.into(),
+            sched: SchedulerConfig::default(),
+            scheduler: SchedulerKind::default(),
+        }
+    }
+}
+
+/// A fully compiled loop: the cluster assignment and the modulo schedule
+/// that realizes it.
+#[derive(Debug, Clone)]
+pub struct CompiledLoop {
+    /// Phase-1 output: working graph (with copies) and cluster map.
+    pub assignment: Assignment,
+    /// Phase-2 output: issue cycles at `schedule.ii()`.
+    pub schedule: Schedule,
+}
+
+impl CompiledLoop {
+    /// The achieved initiation interval.
+    pub fn ii(&self) -> u32 {
+        self.schedule.ii()
+    }
+}
+
+/// Pipeline failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineError {
+    /// The assignment phase failed outright.
+    Assign(AssignError),
+    /// No II up to the cap produced both a valid assignment and schedule.
+    IiExhausted {
+        /// Largest II attempted.
+        max_ii: u32,
+    },
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Assign(e) => write!(f, "assignment failed: {e}"),
+            PipelineError::IiExhausted { max_ii } => {
+                write!(f, "no schedule found up to II = {max_ii}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<AssignError> for PipelineError {
+    fn from(e: AssignError) -> Self {
+        PipelineError::Assign(e)
+    }
+}
+
+/// Compile `g` for the clustered `machine`: assign clusters (inserting
+/// copies), modulo schedule the annotated graph, and on a scheduling
+/// failure restart assignment at a larger II (Figure 5).
+///
+/// # Errors
+///
+/// See [`PipelineError`].
+///
+/// # Examples
+///
+/// ```
+/// use clasp::{compile_loop, PipelineConfig};
+/// use clasp_ddg::{Ddg, OpKind};
+/// use clasp_machine::presets;
+///
+/// let mut g = Ddg::new("axpy");
+/// let x = g.add(OpKind::Load);
+/// let y = g.add(OpKind::Load);
+/// let m = g.add(OpKind::FpMult);
+/// let a = g.add(OpKind::FpAdd);
+/// let s = g.add(OpKind::Store);
+/// g.add_dep(x, m);
+/// g.add_dep(m, a);
+/// g.add_dep(y, a);
+/// g.add_dep(a, s);
+/// let machine = presets::two_cluster_gp(2, 1);
+/// let compiled = compile_loop(&g, &machine, PipelineConfig::default())?;
+/// assert!(compiled.ii() >= 1);
+/// # Ok::<(), clasp::PipelineError>(())
+/// ```
+pub fn compile_loop(
+    g: &Ddg,
+    machine: &MachineSpec,
+    config: PipelineConfig,
+) -> Result<CompiledLoop, PipelineError> {
+    let unified_mii = machine.unified_equivalent().mii(g).max(1);
+    let cap = config
+        .assign
+        .max_ii
+        .unwrap_or_else(|| max_ii_bound(g, unified_mii));
+    let mut min_ii = unified_mii;
+    while min_ii <= cap {
+        let assignment = assign_from(g, machine, config.assign, min_ii)?;
+        if let Some(schedule) = schedule_with(
+            config.scheduler,
+            &assignment.graph,
+            machine,
+            &assignment.map,
+            assignment.ii,
+            config.sched,
+        ) {
+            return Ok(CompiledLoop {
+                assignment,
+                schedule,
+            });
+        }
+        // Scheduler failed at the assignment's II: the paper restarts the
+        // whole process one II higher (a fresh assignment generally needs
+        // fewer copies at a larger II).
+        min_ii = assignment.ii + 1;
+    }
+    Err(PipelineError::IiExhausted { max_ii: cap })
+}
+
+/// Compile with the *post-scheduling partitioning* baseline (Capitanio
+/// et al., the paper's §1.4 foil) in place of the paper's assignment
+/// pass: slice a unified-order schedule across clusters, insert copies
+/// afterwards, and escalate II whenever the partition or the scheduler
+/// fails. Exists for the `baseline-post` experiment.
+///
+/// # Errors
+///
+/// See [`PipelineError`].
+pub fn compile_loop_post(
+    g: &Ddg,
+    machine: &MachineSpec,
+    config: PipelineConfig,
+) -> Result<CompiledLoop, PipelineError> {
+    let unified_mii = machine.unified_equivalent().mii(g).max(1);
+    let cap = config
+        .assign
+        .max_ii
+        .unwrap_or_else(|| max_ii_bound(g, unified_mii));
+    let mut min_ii = unified_mii;
+    while min_ii <= cap {
+        let assignment = post_scheduling_assign_from(g, machine, config.assign, min_ii)?;
+        if let Some(schedule) = schedule_with(
+            config.scheduler,
+            &assignment.graph,
+            machine,
+            &assignment.map,
+            assignment.ii,
+            config.sched,
+        ) {
+            return Ok(CompiledLoop {
+                assignment,
+                schedule,
+            });
+        }
+        min_ii = assignment.ii + 1;
+    }
+    Err(PipelineError::IiExhausted { max_ii: cap })
+}
+
+/// The paper's baseline: the II the same loop achieves on the equally
+/// wide *unified* machine. `None` for pathological inputs only.
+pub fn unified_ii(g: &Ddg, machine: &MachineSpec, sched: SchedulerConfig) -> Option<u32> {
+    let unified = machine.unified_equivalent();
+    schedule_unified(g, &unified, sched).map(|s| s.ii())
+}
+
+/// Compile on the clustered machine *and* its unified equivalent,
+/// returning `(clustered II, unified II)` — the pair every figure of the
+/// paper's evaluation is built from.
+///
+/// # Errors
+///
+/// See [`PipelineError`] (the unified baseline failing counts as
+/// exhaustion).
+pub fn compare_with_unified(
+    g: &Ddg,
+    machine: &MachineSpec,
+    config: PipelineConfig,
+) -> Result<(u32, u32), PipelineError> {
+    let unified = unified_ii(g, machine, config.sched)
+        .ok_or(PipelineError::IiExhausted { max_ii: u32::MAX })?;
+    let compiled = compile_loop(g, machine, config)?;
+    Ok((compiled.ii(), unified))
+}

