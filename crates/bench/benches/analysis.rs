@@ -1,9 +1,9 @@
-//! Benchmarks of the graph-analysis substrate: SCC detection, RecMII, and
-//! the swing ordering, across loop sizes.
+//! Benchmarks of the graph-analysis substrate: SCC detection, RecMII, the
+//! swing ordering, the amortized [`LoopAnalysis`], and corpus generation.
 
-use clasp_ddg::{find_sccs, rec_mii, swing_order};
+use clasp_bench::run;
+use clasp_ddg::{find_sccs, rec_mii, swing_order, LoopAnalysis};
 use clasp_loopgen::{generate_corpus, livermore, CorpusConfig};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn corpus_of(loops: usize) -> Vec<clasp_ddg::Ddg> {
     generate_corpus(CorpusConfig {
@@ -13,61 +13,34 @@ fn corpus_of(loops: usize) -> Vec<clasp_ddg::Ddg> {
     })
 }
 
-fn bench_scc(c: &mut Criterion) {
+fn main() {
     let corpus = corpus_of(200);
-    c.bench_function("scc/corpus-200", |b| {
-        b.iter(|| {
-            corpus
-                .iter()
-                .map(|g| find_sccs(std::hint::black_box(g)).non_trivial_count())
-                .sum::<usize>()
-        })
-    });
-}
 
-fn bench_recmii(c: &mut Criterion) {
-    let mut group = c.benchmark_group("recmii");
+    run("scc/corpus-200", 20, || {
+        corpus
+            .iter()
+            .map(|g| find_sccs(g).non_trivial_count())
+            .sum::<usize>()
+    });
+
     for k in [5u32, 16, 20, 23] {
         let g = livermore(k);
-        group.bench_with_input(BenchmarkId::new("livermore", k), &g, |b, g| {
-            b.iter(|| rec_mii(std::hint::black_box(g)))
-        });
+        run(&format!("recmii/livermore-{k}"), 50, || rec_mii(&g));
     }
-    let corpus = corpus_of(200);
-    group.bench_function("corpus-200", |b| {
-        b.iter(|| {
-            corpus
-                .iter()
-                .map(|g| rec_mii(std::hint::black_box(g)) as u64)
-                .sum::<u64>()
-        })
+    run("recmii/corpus-200", 20, || {
+        corpus.iter().map(|g| rec_mii(g) as u64).sum::<u64>()
     });
-    group.finish();
-}
 
-fn bench_ordering(c: &mut Criterion) {
-    let corpus = corpus_of(200);
-    c.bench_function("swing-order/corpus-200", |b| {
-        b.iter(|| {
-            corpus
-                .iter()
-                .map(|g| swing_order(std::hint::black_box(g)).len())
-                .sum::<usize>()
-        })
+    run("swing-order/corpus-200", 20, || {
+        corpus.iter().map(|g| swing_order(g).len()).sum::<usize>()
     });
-}
 
-fn bench_corpus_generation(c: &mut Criterion) {
-    c.bench_function("loopgen/500-loops", |b| {
-        b.iter(|| corpus_of(std::hint::black_box(500)).len())
+    run("loop-analysis/corpus-200", 20, || {
+        corpus
+            .iter()
+            .map(|g| LoopAnalysis::compute(g).order().len())
+            .sum::<usize>()
     });
-}
 
-criterion_group!(
-    benches,
-    bench_scc,
-    bench_recmii,
-    bench_ordering,
-    bench_corpus_generation
-);
-criterion_main!(benches);
+    run("loopgen/500-loops", 10, || corpus_of(500).len());
+}

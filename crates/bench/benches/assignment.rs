@@ -1,33 +1,27 @@
 //! Benchmarks of the cluster assignment phase itself: the four heuristic
 //! variants and each machine family.
 
+use clasp_bench::run;
 use clasp_core::{assign, AssignConfig, Variant};
 use clasp_loopgen::{generate_corpus, livermore, CorpusConfig};
 use clasp_machine::presets;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-fn bench_variants(c: &mut Criterion) {
+fn main() {
     let corpus = generate_corpus(CorpusConfig {
         loops: 100,
         scc_loops: 23,
         seed: 21,
     });
     let m = presets::two_cluster_gp(2, 1);
-    let mut group = c.benchmark_group("assign-variants-2c");
     for v in Variant::ALL {
-        group.bench_with_input(BenchmarkId::new("variant", v.label()), &v, |b, &v| {
-            b.iter(|| {
-                corpus
-                    .iter()
-                    .filter(|g| assign(g, &m, AssignConfig::from(v)).is_ok())
-                    .count()
-            })
+        run(&format!("assign-variants-2c/{}", v.label()), 10, || {
+            corpus
+                .iter()
+                .filter(|g| assign(g, &m, AssignConfig::from(v)).is_ok())
+                .count()
         });
     }
-    group.finish();
-}
 
-fn bench_machines(c: &mut Criterion) {
     let corpus = generate_corpus(CorpusConfig {
         loops: 100,
         scc_loops: 23,
@@ -40,32 +34,19 @@ fn bench_machines(c: &mut Criterion) {
         presets::four_cluster_grid(2),
         presets::eight_cluster_gp(7, 3),
     ];
-    let mut group = c.benchmark_group("assign-machines");
     for m in &machines {
-        group.bench_with_input(BenchmarkId::new("machine", m.name()), m, |b, m| {
-            b.iter(|| {
-                corpus
-                    .iter()
-                    .filter(|g| assign(g, m, AssignConfig::default()).is_ok())
-                    .count()
-            })
+        run(&format!("assign-machines/{}", m.name()), 10, || {
+            corpus
+                .iter()
+                .filter(|g| assign(g, m, AssignConfig::default()).is_ok())
+                .count()
         });
     }
-    group.finish();
-}
 
-fn bench_large_kernel(c: &mut Criterion) {
     // Largest Livermore kernel, tightest machine.
     let g = livermore(9);
     let m = presets::four_cluster_grid(2);
-    c.bench_function("assign/ll9-on-grid", |b| {
-        b.iter(|| {
-            assign(std::hint::black_box(&g), &m, AssignConfig::default())
-                .unwrap()
-                .ii
-        })
+    run("assign/ll9-on-grid", 20, || {
+        assign(&g, &m, AssignConfig::default()).unwrap().ii
     });
 }
-
-criterion_group!(benches, bench_variants, bench_machines, bench_large_kernel);
-criterion_main!(benches);

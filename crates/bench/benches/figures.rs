@@ -3,9 +3,9 @@
 //! bench per experiment family (Figures 12-19, Table 3, grid).
 
 use clasp::{compile_loop, unified_ii, PipelineConfig};
+use clasp_bench::run;
 use clasp_loopgen::{generate_corpus, CorpusConfig};
 use clasp_machine::presets;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn mini_corpus() -> Vec<clasp_ddg::Ddg> {
     generate_corpus(CorpusConfig {
@@ -29,7 +29,7 @@ fn matched(corpus: &[clasp_ddg::Ddg], m: &clasp_machine::MachineSpec) -> usize {
         .count()
 }
 
-fn bench_figures(c: &mut Criterion) {
+fn main() {
     let corpus = mini_corpus();
     let cases = [
         ("fig12-2c-gp", presets::two_cluster_gp(2, 1)),
@@ -43,15 +43,9 @@ fn bench_figures(c: &mut Criterion) {
         ("table3-8c", presets::eight_cluster_gp(7, 3)),
         ("grid-4c", presets::four_cluster_grid(2)),
     ];
-    let mut group = c.benchmark_group("figure-series");
-    group.sample_size(10);
     for (name, m) in cases {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &m, |b, m| {
-            b.iter(|| matched(&corpus, m))
+        run(&format!("figure-series/{name}"), 10, || {
+            matched(&corpus, &m)
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_figures);
-criterion_main!(benches);

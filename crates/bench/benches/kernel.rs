@@ -2,10 +2,10 @@
 //! functional simulation throughput.
 
 use clasp::{compile_loop, PipelineConfig};
+use clasp_bench::run;
 use clasp_kernel::{emit_program, run_program, stage_schedule, verify_pipelined};
 use clasp_loopgen::{generate_corpus, CorpusConfig};
 use clasp_machine::presets;
-use criterion::{criterion_group, criterion_main, Criterion};
 
 fn compiled_corpus() -> Vec<clasp::CompiledLoop> {
     let corpus = generate_corpus(CorpusConfig {
@@ -20,23 +20,19 @@ fn compiled_corpus() -> Vec<clasp::CompiledLoop> {
         .collect()
 }
 
-fn bench_emit(c: &mut Criterion) {
+fn main() {
     let compiled = compiled_corpus();
-    c.bench_function("kernel/emit-40-loops-x8-iters", |b| {
-        b.iter(|| {
-            compiled
-                .iter()
-                .map(|cl| {
-                    emit_program(&cl.assignment.graph, &cl.assignment.map, &cl.schedule, 8)
-                        .issue_count()
-                })
-                .sum::<usize>()
-        })
-    });
-}
 
-fn bench_simulate(c: &mut Criterion) {
-    let compiled = compiled_corpus();
+    run("kernel/emit-40-loops-x8-iters", 20, || {
+        compiled
+            .iter()
+            .map(|cl| {
+                emit_program(&cl.assignment.graph, &cl.assignment.map, &cl.schedule, 8)
+                    .issue_count()
+            })
+            .sum::<usize>()
+    });
+
     let programs: Vec<_> = compiled
         .iter()
         .map(|cl| {
@@ -46,35 +42,22 @@ fn bench_simulate(c: &mut Criterion) {
             )
         })
         .collect();
-    c.bench_function("kernel/simulate-40-loops-x8-iters", |b| {
-        b.iter(|| {
-            programs
-                .iter()
-                .map(|(g, p)| run_program(g, p).unwrap().len())
-                .sum::<usize>()
-        })
+    run("kernel/simulate-40-loops-x8-iters", 20, || {
+        programs
+            .iter()
+            .map(|(g, p)| run_program(g, p).unwrap().len())
+            .sum::<usize>()
     });
-    c.bench_function("kernel/verify-40-loops-x8-iters", |b| {
-        b.iter(|| {
-            for cl in &compiled {
-                verify_pipelined(&cl.assignment.graph, &cl.assignment.map, &cl.schedule, 8)
-                    .unwrap();
-            }
-        })
+    run("kernel/verify-40-loops-x8-iters", 20, || {
+        for cl in &compiled {
+            verify_pipelined(&cl.assignment.graph, &cl.assignment.map, &cl.schedule, 8).unwrap();
+        }
+    });
+
+    run("kernel/stage-schedule-40-loops", 20, || {
+        compiled
+            .iter()
+            .map(|cl| stage_schedule(&cl.assignment.graph, &cl.schedule).moves)
+            .sum::<usize>()
     });
 }
-
-fn bench_stage(c: &mut Criterion) {
-    let compiled = compiled_corpus();
-    c.bench_function("kernel/stage-schedule-40-loops", |b| {
-        b.iter(|| {
-            compiled
-                .iter()
-                .map(|cl| stage_schedule(&cl.assignment.graph, &cl.schedule).moves)
-                .sum::<usize>()
-        })
-    });
-}
-
-criterion_group!(benches, bench_emit, bench_simulate, bench_stage);
-criterion_main!(benches);

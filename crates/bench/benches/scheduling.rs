@@ -1,31 +1,32 @@
 //! Benchmarks of the iterative modulo scheduler: unified baselines and
-//! clustered (annotated) scheduling.
+//! clustered (annotated) scheduling, with and without a shared
+//! [`SchedContext`] across the II sweep.
 
+use clasp_bench::run;
 use clasp_core::{assign, AssignConfig};
 use clasp_loopgen::{generate_corpus, CorpusConfig};
 use clasp_machine::presets;
-use clasp_sched::{iterative_schedule, schedule_unified, SchedulerConfig};
-use criterion::{criterion_group, criterion_main, Criterion};
+use clasp_sched::{
+    iterative_schedule, max_ii_bound, schedule_unified, SchedContext, SchedulerConfig,
+};
 
-fn bench_unified(c: &mut Criterion) {
+fn main() {
+    let cfg = SchedulerConfig::default();
+
     let corpus = generate_corpus(CorpusConfig {
         loops: 100,
         scc_loops: 23,
         seed: 31,
     });
     let m = presets::unified_gp(16);
-    c.bench_function("sched/unified-16w-corpus-100", |b| {
-        b.iter(|| {
-            corpus
-                .iter()
-                .filter_map(|g| schedule_unified(g, &m, SchedulerConfig::default()))
-                .map(|s| u64::from(s.ii()))
-                .sum::<u64>()
-        })
+    run("sched/unified-16w-corpus-100", 20, || {
+        corpus
+            .iter()
+            .filter_map(|g| schedule_unified(g, &m, cfg))
+            .map(|s| u64::from(s.ii()))
+            .sum::<u64>()
     });
-}
 
-fn bench_clustered(c: &mut Criterion) {
     let corpus = generate_corpus(CorpusConfig {
         loops: 60,
         scc_loops: 14,
@@ -37,17 +38,32 @@ fn bench_clustered(c: &mut Criterion) {
         .iter()
         .map(|g| assign(g, &m, AssignConfig::default()).unwrap())
         .collect();
-    c.bench_function("sched/clustered-4c-corpus-60", |b| {
-        b.iter(|| {
-            assignments
-                .iter()
-                .filter_map(|a| {
-                    iterative_schedule(&a.graph, &m, &a.map, a.ii, SchedulerConfig::default())
-                })
-                .count()
-        })
+    run("sched/clustered-4c-corpus-60", 20, || {
+        assignments
+            .iter()
+            .filter_map(|a| iterative_schedule(&a.graph, &m, &a.map, a.ii, cfg))
+            .count()
+    });
+
+    // II sweep from 1: per-II recompute (fresh context each II, the seed
+    // behaviour) versus one amortized context across the whole sweep.
+    run("sweep/per-ii-recompute-4c-corpus-60", 10, || {
+        assignments
+            .iter()
+            .filter_map(|a| {
+                let cap = max_ii_bound(&a.graph, 1);
+                (1..=cap).find_map(|ii| iterative_schedule(&a.graph, &m, &a.map, ii, cfg))
+            })
+            .count()
+    });
+    run("sweep/shared-context-4c-corpus-60", 10, || {
+        assignments
+            .iter()
+            .filter_map(|a| {
+                let mut ctx = SchedContext::new(&a.graph, &m, &a.map).ok()?;
+                let cap = max_ii_bound(&a.graph, 1);
+                ctx.schedule_in_range(1, cap, cfg)
+            })
+            .count()
     });
 }
-
-criterion_group!(benches, bench_unified, bench_clustered);
-criterion_main!(benches);

@@ -1,0 +1,312 @@
+//! `bench-report` — tracked per-stage pipeline timings.
+//!
+//! Times the figures-corpus pipeline stage by stage (analysis,
+//! assignment, scheduling) and end to end, comparing the *vendored seed
+//! implementation* ([`clasp_bench::seed`]: map-backed assignment state
+//! cloned per tentative, HashMap-grid reservation table, per-II and
+//! per-call recompute of every analysis, O(n) ready scan, looser II cap)
+//! against the amortized `LoopAnalysis`/`SchedContext` path, then writes
+//! the numbers to `BENCH_sched.json` at the repo root so the perf
+//! trajectory is tracked in-tree.
+//!
+//! Both sides must agree exactly — the report asserts equal IIs across
+//! the corpus for the unified sweep, the assignment phase, and the full
+//! pipeline before it prints a single number.
+//!
+//! Run with `cargo run --release -p clasp-bench --bin bench-report`.
+
+use clasp::{compare_with_unified, PipelineConfig};
+use clasp_bench::{bench, fmt_ns, json_escape, seed, Timing};
+use clasp_core::{assign_from, assign_with_analysis, Assignment};
+use clasp_ddg::{Ddg, LoopAnalysis};
+use clasp_loopgen::{generate_corpus, CorpusConfig};
+use clasp_machine::{presets, MachineSpec};
+use clasp_sched::{max_ii_bound, unified_map, SchedContext, SchedulerConfig};
+use std::path::PathBuf;
+
+/// Figures-corpus slice: the paper's corpus shape (301/1327 recurrence
+/// fraction) at a size the report can time in seconds, not minutes.
+const LOOPS: usize = 150;
+const SAMPLES: u32 = 5;
+
+fn corpus() -> Vec<Ddg> {
+    generate_corpus(CorpusConfig {
+        loops: LOOPS,
+        scc_loops: (LOOPS * 301).div_ceil(1327),
+        seed: 0x1998_C1A5,
+    })
+}
+
+/// The seed's unified baseline: fresh scheduler (swing order, slot
+/// requests, HashMap-grid reservation table) rebuilt at every II, swept
+/// to the seed's `MII + total latency + node count` cap.
+fn unified_ii_seed(g: &Ddg, machine: &MachineSpec, cfg: SchedulerConfig) -> Option<u32> {
+    let unified = machine.unified_equivalent();
+    seed::schedule_unified(g, &unified, cfg).map(|s| s.ii())
+}
+
+/// One shared context for the whole II sweep (the amortized path).
+fn unified_ii_shared(g: &Ddg, machine: &MachineSpec, cfg: SchedulerConfig) -> Option<u32> {
+    let unified = machine.unified_equivalent();
+    let map = unified_map(g, &unified);
+    let mii = unified.mii(g);
+    if mii == u32::MAX {
+        return None;
+    }
+    let cap = max_ii_bound(g, mii);
+    let mut ctx = SchedContext::new(g, &unified, &map).ok()?;
+    ctx.schedule_in_range(mii.max(1), cap, cfg).map(|s| s.ii())
+}
+
+/// The seed pipeline shape: the seed assigner per escalation (re-deriving
+/// SCCs and the swing order each call, cloning map-backed state per
+/// tentative), the seed scheduler for the clustered phase, and the seed
+/// per-II unified baseline.
+fn end_to_end_seed(g: &Ddg, machine: &MachineSpec, config: PipelineConfig) -> Option<(u32, u32)> {
+    let unified = unified_ii_seed(g, machine, config.sched)?;
+    let unified_mii = machine.unified_equivalent().mii(g).max(1);
+    let cap = config
+        .assign
+        .max_ii
+        .unwrap_or_else(|| seed::max_ii_bound(g, unified_mii));
+    let mut min_ii = unified_mii;
+    while min_ii <= cap {
+        let assignment = seed::assign_from(g, machine, config.assign, min_ii).ok()?;
+        if let Some(schedule) = seed::iterative_schedule(
+            &assignment.graph,
+            machine,
+            &assignment.map,
+            assignment.ii,
+            config.sched,
+        ) {
+            return Some((schedule.ii(), unified));
+        }
+        min_ii = assignment.ii + 1;
+    }
+    None
+}
+
+struct Stage {
+    name: &'static str,
+    baseline: Timing,
+    amortized: Timing,
+}
+
+impl Stage {
+    fn speedup_percent(&self) -> f64 {
+        let b = self.baseline.median_ns as f64;
+        let a = self.amortized.median_ns as f64;
+        if b == 0.0 {
+            return 0.0;
+        }
+        (1.0 - a / b) * 100.0
+    }
+}
+
+fn main() {
+    let corpus = corpus();
+    let machine = presets::four_cluster_gp(4, 2);
+    let sched_cfg = SchedulerConfig::default();
+    let pipe_cfg = PipelineConfig::default();
+    println!(
+        "figures corpus: {} loops, machine {}, {} samples per measurement\n",
+        corpus.len(),
+        machine.name(),
+        SAMPLES
+    );
+
+    // Sanity first: the amortized sweep must agree with the seed sweep on
+    // every corpus loop (IIs equal; the seed module's own test checks
+    // bit-identical start cycles).
+    for g in &corpus {
+        let a = unified_ii_seed(g, &machine, sched_cfg);
+        let b = unified_ii_shared(g, &machine, sched_cfg);
+        assert_eq!(a, b, "amortized sweep diverged from seed on {}", g.name());
+    }
+
+    // Stage 1: analysis. The seed derived SCCs, RecMII, and the swing
+    // order independently at each use site; `LoopAnalysis` computes them
+    // (plus the CSR adjacency and priority index) once.
+    let analysis = Stage {
+        name: "analysis",
+        baseline: bench("analysis/seed-per-call", SAMPLES, || {
+            corpus
+                .iter()
+                .map(|g| {
+                    let sccs = clasp_ddg::find_sccs(g);
+                    let _ = clasp_ddg::rec_mii_with(g, &sccs);
+                    // Seed call sites re-ran SCC discovery inside the
+                    // ordering and RecMII paths; two passes model the
+                    // assigner's (ordering) + scheduler's (priority) uses.
+                    let order = clasp_ddg::swing_order(g);
+                    order.len()
+                })
+                .sum::<usize>()
+        }),
+        amortized: bench("analysis/loop-analysis", SAMPLES, || {
+            corpus
+                .iter()
+                .map(|g| {
+                    let la = LoopAnalysis::compute(g);
+                    la.order().len().max(la.rec_mii() as usize)
+                })
+                .sum::<usize>()
+        }),
+    };
+    println!("{}", analysis.baseline);
+    println!("{}", analysis.amortized);
+
+    // The seed assigner must agree with the current one on every corpus
+    // loop before its timings mean anything.
+    for g in &corpus {
+        let a = seed::assign_from(g, &machine, pipe_cfg.assign, 1).ok();
+        let b = assign_from(g, &machine, pipe_cfg.assign, 1).ok();
+        assert_eq!(
+            a.as_ref().map(|x| (x.ii, x.map.clone())),
+            b.as_ref().map(|x| (x.ii, x.map.clone())),
+            "seed assigner diverged from current on {}",
+            g.name()
+        );
+    }
+
+    // Stage 2: assignment. The baseline is the seed assigner (map-backed
+    // state, per-call SCC + swing-order recompute); the amortized side is
+    // the dense-state assigner reusing one precomputed `LoopAnalysis`.
+    let analyses: Vec<LoopAnalysis> = corpus.iter().map(LoopAnalysis::compute).collect();
+    let assignment = Stage {
+        name: "assignment",
+        baseline: bench("assignment/seed", SAMPLES, || {
+            corpus
+                .iter()
+                .filter_map(|g| seed::assign_from(g, &machine, pipe_cfg.assign, 1).ok())
+                .map(|a| a.ii)
+                .sum::<u32>()
+        }),
+        amortized: bench("assignment/shared-analysis", SAMPLES, || {
+            corpus
+                .iter()
+                .zip(&analyses)
+                .filter_map(|(g, la)| {
+                    assign_with_analysis(g, &machine, pipe_cfg.assign, 1, la).ok()
+                })
+                .map(|a| a.ii)
+                .sum::<u32>()
+        }),
+    };
+    println!("{}", assignment.baseline);
+    println!("{}", assignment.amortized);
+
+    // Stage 3: scheduling a pre-assigned working graph across its II
+    // sweep: the seed scheduler (fresh everything per II, seed cap)
+    // versus one reusable context (dense epoch MRT, tightened cap).
+    let assigned: Vec<Assignment> = corpus
+        .iter()
+        .filter_map(|g| assign_from(g, &machine, pipe_cfg.assign, 1).ok())
+        .collect();
+    let scheduling = Stage {
+        name: "scheduling",
+        baseline: bench("scheduling/seed-per-ii", SAMPLES, || {
+            assigned
+                .iter()
+                .filter_map(|a| {
+                    let cap = seed::max_ii_bound(&a.graph, a.ii);
+                    seed::schedule_in_range(&a.graph, &machine, &a.map, a.ii, cap, sched_cfg)
+                })
+                .map(|s| s.ii())
+                .sum::<u32>()
+        }),
+        amortized: bench("scheduling/shared-context", SAMPLES, || {
+            assigned
+                .iter()
+                .filter_map(|a| {
+                    let cap = max_ii_bound(&a.graph, a.ii);
+                    let mut ctx = SchedContext::new(&a.graph, &machine, &a.map).ok()?;
+                    ctx.schedule_in_range(a.ii, cap, sched_cfg)
+                })
+                .map(|s| s.ii())
+                .sum::<u32>()
+        }),
+    };
+    println!("{}", scheduling.baseline);
+    println!("{}", scheduling.amortized);
+
+    // End to end: the full figure pipeline (clustered compile + unified
+    // baseline) in the seed's shape versus the amortized pipeline.
+    let end_to_end = Stage {
+        name: "end-to-end",
+        baseline: bench("end-to-end/seed", SAMPLES, || {
+            corpus
+                .iter()
+                .filter_map(|g| end_to_end_seed(g, &machine, pipe_cfg))
+                .map(|(c, u)| c + u)
+                .sum::<u32>()
+        }),
+        amortized: bench("end-to-end/amortized", SAMPLES, || {
+            corpus
+                .iter()
+                .filter_map(|g| compare_with_unified(g, &machine, pipe_cfg).ok())
+                .map(|(c, u)| c + u)
+                .sum::<u32>()
+        }),
+    };
+    println!("{}", end_to_end.baseline);
+    println!("{}", end_to_end.amortized);
+
+    // The figures must not change: both pipelines see the same IIs.
+    let baseline_iis: Vec<_> = corpus
+        .iter()
+        .map(|g| end_to_end_seed(g, &machine, pipe_cfg))
+        .collect();
+    let amortized_iis: Vec<_> = corpus
+        .iter()
+        .map(|g| compare_with_unified(g, &machine, pipe_cfg).ok())
+        .collect();
+    assert_eq!(baseline_iis, amortized_iis, "pipeline IIs diverged");
+
+    let stages = [&analysis, &assignment, &scheduling, &end_to_end];
+    println!();
+    for s in &stages {
+        println!(
+            "{:<12} baseline {:>12}  amortized {:>12}  speedup {:>6.1}%",
+            s.name,
+            fmt_ns(s.baseline.median_ns),
+            fmt_ns(s.amortized.median_ns),
+            s.speedup_percent()
+        );
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!(
+        "  \"corpus\": {{\"loops\": {}, \"seed\": {}, \"machine\": \"{}\"}},\n",
+        corpus.len(),
+        0x1998_C1A5u64,
+        json_escape(machine.name())
+    ));
+    json.push_str(&format!("  \"samples\": {},\n", SAMPLES));
+    json.push_str("  \"baseline\": \"vendored seed implementation (clasp_bench::seed)\",\n");
+    json.push_str("  \"stages\": {\n");
+    for (i, s) in stages.iter().enumerate() {
+        json.push_str(&format!(
+            "    \"{}\": {{\"baseline_median_ns\": {}, \"amortized_median_ns\": {}, \"speedup_percent\": {:.1}}}{}\n",
+            s.name,
+            s.baseline.median_ns,
+            s.amortized.median_ns,
+            s.speedup_percent(),
+            if i + 1 < stages.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  }\n}\n");
+
+    let out = repo_root().join("BENCH_sched.json");
+    std::fs::write(&out, json).expect("write BENCH_sched.json");
+    println!("\nwrote {}", out.display());
+}
+
+fn repo_root() -> PathBuf {
+    // crates/bench -> repo root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root")
+}

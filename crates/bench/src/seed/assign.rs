@@ -1,0 +1,490 @@
+//! Seed cluster assigner (frozen copy; see the module docs in `seed`).
+//!
+//! Matches the seed commit's `clasp_core::assign_from` except that the
+//! optional decision-trace sink is stripped (the seed compiled it out to
+//! a no-op in the untraced path, so timings are unaffected). The hot
+//! path the tentpole replaced is all here: SCCs and the swing order are
+//! recomputed inside every call, the next unassigned node is found by an
+//! O(n) scan from the front of the order on every placement, each
+//! tentative clones the `HashMap`/`BTreeMap`-backed [`AssignState`], and
+//! the II search cap is the seed's looser sum-of-all-latencies formula.
+//!
+//! Results are converted to the current [`Assignment`] type (unchanged
+//! since the seed) so `bench-report` can compare outputs directly.
+
+use super::state::{edge_needs_copy, AssignState};
+use clasp_core::{AssignConfig, AssignError, AssignStats, Assignment, Ordering};
+use clasp_ddg::{find_sccs, swing_order_with, Ddg, DepEdge, NodeId, OpKind, Operation, SccInfo};
+use clasp_machine::{ClusterId, MachineSpec};
+use clasp_mrt::{ClusterMap, CopyMeta};
+use std::collections::{HashMap, HashSet};
+
+/// One tentative placement: a fully applied state snapshot plus the
+/// metrics the selection cascade reads.
+struct Tentative<'g> {
+    cluster: ClusterId,
+    state: AssignState<'g>,
+    new_copies: u32,
+    pcr_ok: bool,
+    free_fu: u32,
+}
+
+/// The paper's `Select(LIST, criteria)` (Fig. 9): filter, but keep the old
+/// list when the filter would empty it.
+fn select<T, F: Fn(&T) -> bool>(list: &mut Vec<T>, keep: F) {
+    if list.iter().any(&keep) {
+        list.retain(|t| keep(t));
+    }
+}
+
+/// Seed `assign_from`: assign every operation of `g` to a cluster of
+/// `machine`, never below `min_ii`.
+pub fn assign_from(
+    g: &Ddg,
+    machine: &MachineSpec,
+    config: AssignConfig,
+    min_ii: u32,
+) -> Result<Assignment, AssignError> {
+    g.validate().map_err(AssignError::BadGraph)?;
+    for (n, op) in g.nodes() {
+        if !machine
+            .cluster_ids()
+            .any(|c| machine.cluster(c).can_execute(op.kind))
+        {
+            return Err(AssignError::InfeasibleOp(n));
+        }
+    }
+
+    let sccs = find_sccs(g);
+    let order = match config.ordering {
+        Ordering::SccSwing => swing_order_with(g, &sccs),
+        Ordering::SwingOnly => clasp_ddg::swing_order_flat(g),
+        Ordering::BottomUp => clasp_ddg::bottom_up_order(g),
+    };
+    // Fig. 5: start from the MII of the equally wide unified machine.
+    let mii = machine.unified_equivalent().mii(g).max(1).max(min_ii);
+    let max_ii = config.max_ii.unwrap_or_else(|| seed_max_ii_bound(g, mii));
+
+    let mut stats = AssignStats::default();
+    for ii in mii..=max_ii {
+        stats.ii_attempts += 1;
+        if let Some(state) = attempt(g, machine, &sccs, &order, ii, config, &mut stats) {
+            stats.copies = state.cpm.live_count();
+            return Ok(materialize(g, &state, ii, stats));
+        }
+    }
+    Err(AssignError::IiExhausted { max_ii })
+}
+
+/// The seed's generous II cap: `mii + sum of all edge latencies + node
+/// count` (the tentpole replaced this with the sequential-schedule-length
+/// bound).
+fn seed_max_ii_bound(g: &Ddg, mii: u32) -> u32 {
+    let total_lat: u32 = g.edges().map(|(_, e)| e.latency).sum();
+    mii.saturating_add(total_lat)
+        .saturating_add(g.node_count() as u32)
+        .max(mii + 1)
+}
+
+/// One assignment attempt at a fixed II. Returns the completed state or
+/// `None` (bump II).
+fn attempt<'g>(
+    g: &'g Ddg,
+    machine: &'g MachineSpec,
+    sccs: &SccInfo,
+    order: &[NodeId],
+    ii: u32,
+    config: AssignConfig,
+    stats: &mut AssignStats,
+) -> Option<AssignState<'g>> {
+    let mut st = AssignState::new(g, machine, ii);
+    let mut history: HashMap<NodeId, HashSet<ClusterId>> = HashMap::new();
+    let n = g.node_count();
+    if n == 0 {
+        return Some(st);
+    }
+    let mut budget: u64 = u64::from(config.budget_factor).max(1) * n as u64;
+
+    loop {
+        let Some(&node) = order.iter().find(|v| !st.map.is_assigned(**v)) else {
+            return Some(st); // all assigned
+        };
+        if budget == 0 {
+            return None;
+        }
+        budget -= 1;
+
+        let kind = g.op(node).kind;
+        let executing: Vec<ClusterId> = machine
+            .cluster_ids()
+            .filter(|&c| machine.cluster(c).can_execute(kind))
+            .collect();
+
+        // Tentatively place on every cluster (Fig. 10 line 1: feasible =
+        // the operation plus all required copies fit).
+        let mut cands: Vec<Tentative<'g>> = Vec::with_capacity(executing.len());
+        for &c in &executing {
+            let mut s2 = st.clone();
+            if let Ok(new_copies) = s2.try_assign(node, c) {
+                let pcr_ok = s2.pcr(c) <= s2.mrt.mrc(c);
+                let free_fu = s2.mrt.free_fu_slots(c);
+                cands.push(Tentative {
+                    cluster: c,
+                    state: s2,
+                    new_copies,
+                    pcr_ok,
+                    free_fu,
+                });
+            }
+        }
+
+        if !cands.is_empty() {
+            let chosen = choose(node, cands, &st, sccs, config, &history);
+            record_history(&mut history, node, chosen.cluster, &executing);
+            st = chosen.state;
+            continue;
+        }
+
+        // No feasible cluster.
+        if !config.iterative {
+            return None;
+        }
+        stats.forced += 1;
+        let c = choose_forced_cluster(node, &st, &history, &executing)?;
+        if !force_assign(&mut st, node, c, stats) {
+            return None;
+        }
+        record_history(&mut history, node, c, &executing);
+    }
+}
+
+/// Rule A bookkeeping (§4.3.2): remember the cluster; once a node has
+/// visited every executing cluster, clear its list.
+fn record_history(
+    history: &mut HashMap<NodeId, HashSet<ClusterId>>,
+    node: NodeId,
+    cluster: ClusterId,
+    executing: &[ClusterId],
+) {
+    let set = history.entry(node).or_default();
+    set.insert(cluster);
+    if executing.iter().all(|c| set.contains(c)) {
+        set.clear();
+    }
+}
+
+/// The selection cascade of Fig. 10 (plus rule A) over feasible
+/// tentatives.
+fn choose<'g>(
+    node: NodeId,
+    mut cands: Vec<Tentative<'g>>,
+    before: &AssignState<'g>,
+    sccs: &SccInfo,
+    config: AssignConfig,
+    history: &HashMap<NodeId, HashSet<ClusterId>>,
+) -> Tentative<'g> {
+    // (A) avoid clusters this node was previously assigned to.
+    if config.iterative {
+        if let Some(visited) = history.get(&node) {
+            select(&mut cands, |t| !visited.contains(&t.cluster));
+        }
+    }
+    if config.heuristic {
+        // Line 4: keep SCCs together.
+        if sccs.in_recurrence(node) {
+            let members = &sccs.sccs[sccs.component(node)].nodes;
+            let on: HashSet<ClusterId> = members
+                .iter()
+                .filter(|&&m| m != node)
+                .filter_map(|&m| before.cluster_of(m))
+                .collect();
+            if !on.is_empty() {
+                select(&mut cands, |t| on.contains(&t.cluster));
+            }
+        }
+        // Line 6: predicted copy requests within reservable room.
+        if config.pcr_prediction {
+            select(&mut cands, |t| t.pcr_ok);
+        }
+        // Line 7: fewest required copies generated.
+        if let Some(min_copies) = cands.iter().map(|t| t.new_copies).min() {
+            select(&mut cands, |t| t.new_copies == min_copies);
+        }
+        // Line 8: most free resources.
+        if let Some(max_free) = cands.iter().map(|t| t.free_fu).max() {
+            select(&mut cands, |t| t.free_fu == max_free);
+        }
+    }
+    cands.into_iter().next().expect("cands non-empty")
+}
+
+/// Fig. 11: choose the cluster to force `node` onto when nothing is
+/// feasible.
+fn choose_forced_cluster(
+    node: NodeId,
+    st: &AssignState<'_>,
+    history: &HashMap<NodeId, HashSet<ClusterId>>,
+    executing: &[ClusterId],
+) -> Option<ClusterId> {
+    let mut list: Vec<ClusterId> = executing.to_vec();
+    if list.is_empty() {
+        return None;
+    }
+    // (A) anti-repetition.
+    if let Some(visited) = history.get(&node) {
+        select(&mut list, |c| !visited.contains(c));
+    }
+    // Line 3: clusters where the operation itself fits.
+    let kind = st.graph().op(node).kind;
+    select(&mut list, |&c| st.mrt.can_reserve_op(c, kind));
+    // Line 4: minimize conflicting predecessors/successors.
+    let conflicts: Vec<u32> = list.iter().map(|&c| conflict_count(st, node, c)).collect();
+    if let Some(&min) = conflicts.iter().min() {
+        let keep: Vec<ClusterId> = list
+            .iter()
+            .zip(&conflicts)
+            .filter(|&(_, &k)| k == min)
+            .map(|(&c, _)| c)
+            .collect();
+        if !keep.is_empty() {
+            list = keep;
+        }
+    }
+    list.first().copied()
+}
+
+/// How many already-assigned value-carrying neighbours of `node` would
+/// need removal if `node` were forced onto `c`.
+fn conflict_count(st: &AssignState<'_>, node: NodeId, c: ClusterId) -> u32 {
+    let g = st.graph();
+    let machine = st.machine();
+    let mut scratch = st.clone();
+    let mut conflicts = 0u32;
+    for (eid, e) in g.pred_edges(node) {
+        if !edge_needs_copy(g, eid) {
+            continue;
+        }
+        if let Some(home) = scratch.cluster_of(e.src) {
+            if home != c
+                && scratch
+                    .cpm
+                    .ensure_value_at(&mut scratch.mrt, machine, e.src, home, c)
+                    .is_err()
+            {
+                conflicts += 1;
+            }
+        }
+    }
+    for (eid, e) in g.succ_edges(node) {
+        if !edge_needs_copy(g, eid) {
+            continue;
+        }
+        if let Some(tc) = scratch.cluster_of(e.dst) {
+            if tc != c
+                && scratch
+                    .cpm
+                    .ensure_value_at(&mut scratch.mrt, machine, node, c, tc)
+                    .is_err()
+            {
+                conflicts += 1;
+            }
+        }
+    }
+    conflicts
+}
+
+/// §4.3.1: force `node` onto `c`, removing whatever conflicts.
+fn force_assign(
+    st: &mut AssignState<'_>,
+    node: NodeId,
+    c: ClusterId,
+    stats: &mut AssignStats,
+) -> bool {
+    let g = st.graph();
+    let kind = g.op(node).kind;
+    if !st.machine().cluster(c).can_execute(kind) {
+        return false;
+    }
+    // Make room for the operation itself: evict the most recently
+    // assigned occupants until it fits.
+    while !st.mrt.can_reserve_op(c, kind) {
+        let Some(victim) = st.assigned_on(c).into_iter().next() else {
+            return false; // empty cluster yet no room: capacity is zero
+        };
+        st.unassign(victim);
+        stats.removals += 1;
+    }
+    // Place, removing copy-conflicting neighbours until it sticks.
+    loop {
+        let mut s2 = st.clone();
+        match s2.try_assign(node, c) {
+            Ok(_) => {
+                *st = s2;
+                return true;
+            }
+            Err(_) => {
+                // Remove the most recently assigned crossing neighbour.
+                let mut neighbors: Vec<NodeId> = Vec::new();
+                for (eid, e) in g.pred_edges(node).chain(g.succ_edges(node)) {
+                    if !edge_needs_copy(g, eid) {
+                        continue;
+                    }
+                    let other = if e.src == node { e.dst } else { e.src };
+                    if let Some(cl) = st.cluster_of(other) {
+                        if cl != c && !neighbors.contains(&other) {
+                            neighbors.push(other);
+                        }
+                    }
+                }
+                neighbors.sort_by_key(|v| std::cmp::Reverse(st.assign_seq(*v)));
+                let Some(victim) = neighbors.first().copied() else {
+                    // No crossing neighbour left, yet placement fails:
+                    // shouldn't happen (op room was made) — bail out.
+                    return false;
+                };
+                st.unassign(victim);
+                stats.removals += 1;
+            }
+        }
+    }
+}
+
+/// Seed `materialize`: build the final [`Assignment`] from a completed
+/// state — append copy nodes to a fresh clone of the original graph and
+/// rewire every cluster-crossing value edge through its delivery chain.
+/// The output uses the current `ClusterMap` so callers can compare it
+/// against the current assigner's result directly.
+fn materialize(g: &Ddg, st: &AssignState<'_>, ii: u32, stats: AssignStats) -> Assignment {
+    let mut out = Ddg::new(g.name());
+    for (_, op) in g.nodes() {
+        out.add_op(op.clone());
+    }
+    // Copy nodes, ascending synthetic id for determinism.
+    let mut new_id: HashMap<NodeId, NodeId> = HashMap::new();
+    for (cid, rec) in st.cpm.iter() {
+        let label = format!("cp:{}", g.op(rec.producer).label());
+        let id = out.add_op(Operation::named(OpKind::Copy, label));
+        new_id.insert(cid, id);
+    }
+
+    let mut map = ClusterMap::new();
+    for (n, c) in st.map.iter() {
+        map.assign(n, c);
+    }
+    for (cid, rec) in st.cpm.iter() {
+        let id = new_id[&cid];
+        map.assign(id, rec.src);
+        map.set_copy_meta(
+            id,
+            CopyMeta {
+                src: rec.src,
+                targets: rec.targets.clone(),
+                link: rec.link,
+            },
+        );
+    }
+
+    // Feed edge into each copy: from the producer directly (first hop) or
+    // from the upstream chain copy.
+    for (cid, rec) in st.cpm.iter() {
+        let home = st
+            .map
+            .cluster_of(rec.producer)
+            .expect("producer of live copy is assigned");
+        if rec.src == home {
+            out.add_edge(DepEdge {
+                src: rec.producer,
+                dst: new_id[&cid],
+                latency: g.op(rec.producer).kind.latency(),
+                distance: 0,
+            });
+        } else {
+            let upstream = st
+                .cpm
+                .delivery(rec.producer, rec.src)
+                .expect("chain upstream exists");
+            out.add_edge(DepEdge {
+                src: new_id[&upstream],
+                dst: new_id[&cid],
+                latency: OpKind::Copy.latency(),
+                distance: 0,
+            });
+        }
+    }
+
+    // Original edges: crossing value edges consume the delivery at the
+    // consumer's cluster; everything else is kept verbatim.
+    for (eid, e) in g.edges() {
+        let src_c = st.map.cluster_of(e.src);
+        let dst_c = st.map.cluster_of(e.dst);
+        let crossing = src_c.is_some() && dst_c.is_some() && src_c != dst_c;
+        if crossing && edge_needs_copy(g, eid) {
+            let delivery = st
+                .cpm
+                .delivery(e.src, dst_c.expect("assigned"))
+                .expect("crossing edge has a delivery");
+            out.add_edge(DepEdge {
+                src: new_id[&delivery],
+                dst: e.dst,
+                latency: OpKind::Copy.latency(),
+                distance: e.distance,
+            });
+        } else {
+            out.add_edge(*e);
+        }
+    }
+
+    Assignment {
+        graph: out,
+        map,
+        ii,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clasp_core::validate_assignment;
+    use clasp_machine::presets;
+
+    fn fig6() -> Ddg {
+        let mut g = Ddg::new("fig6");
+        let a = g.add_named(OpKind::IntAlu, "A");
+        let b = g.add_named(OpKind::IntAlu, "B");
+        let c = g.add_named(OpKind::Load, "C");
+        let d = g.add_named(OpKind::IntAlu, "D");
+        let e = g.add_named(OpKind::IntAlu, "E");
+        let f = g.add_named(OpKind::IntAlu, "F");
+        g.add_dep(a, b);
+        g.add_dep(b, c);
+        g.add_dep(c, d);
+        g.add_dep(d, e);
+        g.add_dep(e, f);
+        g.add_dep_carried(d, b, 1);
+        g
+    }
+
+    /// The vendored seed assigner must agree with the current assigner on
+    /// the graphs the report runs — same II, same per-node clusters, same
+    /// copy count — and its output must pass the independent validator.
+    #[test]
+    fn seed_assigner_matches_current() {
+        let m = presets::four_cluster_gp(4, 2);
+        let cfg = AssignConfig::default();
+        for g in [fig6(), {
+            let mut g = Ddg::new("wide");
+            for _ in 0..16 {
+                g.add(OpKind::IntAlu);
+            }
+            g
+        }] {
+            let seed = assign_from(&g, &m, cfg, 1).expect("seed assigner succeeds");
+            let cur = clasp_core::assign_from(&g, &m, cfg, 1).expect("current assigner succeeds");
+            assert_eq!(seed.ii, cur.ii, "{}", g.name());
+            assert_eq!(seed.map, cur.map, "{}", g.name());
+            assert_eq!(seed.stats.copies, cur.stats.copies, "{}", g.name());
+            validate_assignment(&g, &m, &seed).expect("seed assignment validates");
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! Seed copy manager (frozen copy; see the module docs in `seed`).
+//!
+//! Identical in behavior to the current `clasp_core::CopyManager`; kept
+//! here because the seed assigner's tentative discipline clones it —
+//! together with the seed [`CountMrt`] — on every candidate cluster.
+
+use super::count::CountMrt;
+use clasp_ddg::NodeId;
+use clasp_machine::{ClusterId, Interconnect, LinkId, MachineSpec};
+use clasp_mrt::Full;
+use std::collections::HashMap;
+
+/// One live copy operation (not yet a graph node).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CopyRecord {
+    /// The original operation whose value this copy transports.
+    pub producer: NodeId,
+    /// Cluster the copy reads from.
+    pub src: ClusterId,
+    /// Destination clusters (several only on broadcast buses).
+    pub targets: Vec<ClusterId>,
+    /// Dedicated link (point-to-point fabrics only).
+    pub link: Option<LinkId>,
+}
+
+/// Where a value is obtainable on a given cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Delivery {
+    /// Delivered by this copy (keyed into [`CopyManager::copies`]).
+    Copy(NodeId),
+}
+
+/// Tracks all live copies, value availability, and per-target use counts
+/// (seed copy).
+#[derive(Debug, Clone, Default)]
+pub struct CopyManager {
+    next_id: u32,
+    copies: HashMap<NodeId, CopyRecord>,
+    /// (producer, cluster) -> delivering copy.
+    avail: HashMap<(NodeId, ClusterId), Delivery>,
+    /// (copy, target cluster) -> number of uses.
+    users: HashMap<(NodeId, ClusterId), u32>,
+}
+
+impl CopyManager {
+    /// Create a manager allocating copy ids from `first_copy_id` upward.
+    pub fn new(first_copy_id: u32) -> Self {
+        CopyManager {
+            next_id: first_copy_id,
+            ..Self::default()
+        }
+    }
+
+    /// Number of live copy operations.
+    pub fn live_count(&self) -> usize {
+        self.copies.len()
+    }
+
+    /// Number of live copies transporting `producer`'s value (`RC(N)`).
+    pub fn rc(&self, producer: NodeId) -> u32 {
+        self.copies
+            .values()
+            .filter(|c| c.producer == producer)
+            .count() as u32
+    }
+
+    /// Iterate over live copies in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &CopyRecord)> + '_ {
+        let mut ids: Vec<_> = self.copies.keys().copied().collect();
+        ids.sort();
+        ids.into_iter().map(move |id| (id, &self.copies[&id]))
+    }
+
+    /// The copy delivering `producer`'s value to `cluster`, if any.
+    pub fn delivery(&self, producer: NodeId, cluster: ClusterId) -> Option<NodeId> {
+        self.avail
+            .get(&(producer, cluster))
+            .map(|Delivery::Copy(id)| *id)
+    }
+
+    /// Make `producer`'s value available on `target` and register one use.
+    pub fn ensure_value_at(
+        &mut self,
+        mrt: &mut CountMrt,
+        machine: &MachineSpec,
+        producer: NodeId,
+        home: ClusterId,
+        target: ClusterId,
+    ) -> Result<u32, Full> {
+        assert_ne!(target, home, "value already lives on {target}");
+        if let Some(Delivery::Copy(id)) = self.avail.get(&(producer, target)) {
+            *self.users.get_mut(&(*id, target)).expect("user entry") += 1;
+            return Ok(0);
+        }
+        match machine.interconnect() {
+            Interconnect::None => Err(Full),
+            Interconnect::Bus { .. } => {
+                // Reuse the single broadcast copy when one exists.
+                let existing = self
+                    .copies
+                    .iter()
+                    .find(|(_, c)| c.producer == producer)
+                    .map(|(&id, _)| id);
+                match existing {
+                    Some(id) => {
+                        mrt.add_copy_target(id, target)?;
+                        self.copies
+                            .get_mut(&id)
+                            .expect("live copy")
+                            .targets
+                            .push(target);
+                        self.avail.insert((producer, target), Delivery::Copy(id));
+                        self.users.insert((id, target), 1);
+                        Ok(0)
+                    }
+                    None => {
+                        let id = self.alloc_id();
+                        mrt.reserve_copy(id, home, &[target], None)?;
+                        self.copies.insert(
+                            id,
+                            CopyRecord {
+                                producer,
+                                src: home,
+                                targets: vec![target],
+                                link: None,
+                            },
+                        );
+                        self.avail.insert((producer, target), Delivery::Copy(id));
+                        self.users.insert((id, target), 1);
+                        Ok(1)
+                    }
+                }
+            }
+            Interconnect::PointToPoint { .. } => {
+                self.route_p2p(mrt, machine, producer, home, target)
+            }
+        }
+    }
+
+    /// Point-to-point delivery: hop-by-hop copies along the shortest path
+    /// from the nearest cluster already holding the value.
+    fn route_p2p(
+        &mut self,
+        mrt: &mut CountMrt,
+        machine: &MachineSpec,
+        producer: NodeId,
+        home: ClusterId,
+        target: ClusterId,
+    ) -> Result<u32, Full> {
+        let ic = machine.interconnect();
+        let k = machine.cluster_count();
+        // Candidate sources: home plus every cluster with a delivery.
+        let mut sources = vec![home];
+        for &(p, c) in self.avail.keys() {
+            if p == producer {
+                sources.push(c);
+            }
+        }
+        let mut best: Option<Vec<ClusterId>> = None;
+        for &s in &sources {
+            if let Some(path) = ic.route(s, target, k) {
+                let better = match &best {
+                    None => true,
+                    Some(b) => path.len() < b.len(),
+                };
+                if better {
+                    best = Some(path);
+                }
+            }
+        }
+        let path = best.ok_or(Full)?;
+        debug_assert!(path.len() >= 2, "target != source guaranteed");
+        let mut created = 0u32;
+        for hop in path.windows(2) {
+            let (u, v) = (hop[0], hop[1]);
+            if self.avail.contains_key(&(producer, v)) {
+                continue;
+            }
+            let link = ic.link_between(u, v).expect("path follows links");
+            let id = self.alloc_id();
+            mrt.reserve_copy(id, u, &[v], Some(link))?;
+            self.copies.insert(
+                id,
+                CopyRecord {
+                    producer,
+                    src: u,
+                    targets: vec![v],
+                    link: Some(link),
+                },
+            );
+            self.avail.insert((producer, v), Delivery::Copy(id));
+            // Interior hops start with zero uses; the next hop (or the
+            // final consumer, below) registers the actual use.
+            self.users.insert((id, v), 0);
+            created += 1;
+            // The hop reads the value at `u`: that is a use of u's
+            // delivery (unless u is the home cluster).
+            if u != home {
+                if let Some(Delivery::Copy(up)) = self.avail.get(&(producer, u)) {
+                    *self.users.get_mut(&(*up, u)).expect("chain upstream") += 1;
+                }
+            }
+        }
+        // Register the final consumer's use at the target.
+        let Delivery::Copy(last) = self.avail[&(producer, target)];
+        *self.users.get_mut(&(last, target)).expect("final hop") += 1;
+        Ok(created)
+    }
+
+    /// Release one use of `producer`'s delivery at `target`; frees copies
+    /// (and upstream chain hops) whose use count reaches zero.
+    pub fn release_value_use(
+        &mut self,
+        mrt: &mut CountMrt,
+        producer: NodeId,
+        home: ClusterId,
+        target: ClusterId,
+    ) {
+        let Delivery::Copy(id) = *self
+            .avail
+            .get(&(producer, target))
+            .expect("no delivery to release");
+        let n = self.users.get_mut(&(id, target)).expect("user entry");
+        *n -= 1;
+        if *n > 0 {
+            return;
+        }
+        self.users.remove(&(id, target));
+        self.avail.remove(&(producer, target));
+        let record = self.copies.get_mut(&id).expect("live copy");
+        if record.targets.len() > 1 {
+            // Broadcast copy still serving other clusters: drop one target.
+            let pos = record
+                .targets
+                .iter()
+                .position(|&t| t == target)
+                .expect("target present");
+            record.targets.remove(pos);
+            mrt.remove_copy_target(id, target);
+        } else {
+            let src = record.src;
+            self.copies.remove(&id);
+            mrt.release(id);
+            // A chain hop read the value at `src`: release that use too.
+            if src != home && self.avail.contains_key(&(producer, src)) {
+                self.release_value_use(mrt, producer, home, src);
+            }
+        }
+    }
+
+    fn alloc_id(&mut self) -> NodeId {
+        let id = NodeId(self.next_id);
+        self.next_id += 1;
+        id
+    }
+}

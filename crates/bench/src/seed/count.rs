@@ -1,0 +1,307 @@
+//! Seed counting MRT (frozen copy; see the module docs in `seed`).
+//!
+//! Differs from the current `clasp_mrt::CountMrt` in the two ways the
+//! tentpole removed: it owns a deep [`MachineSpec`] clone (cloned again
+//! on every tentative-state snapshot) and keys reservations in a
+//! `HashMap` instead of a dense vector.
+
+use clasp_ddg::{FuClass, NodeId, OpKind};
+use clasp_machine::{ClusterId, Interconnect, LinkId, MachineSpec};
+use clasp_mrt::{CopyMeta, Full};
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Reservation {
+    Op {
+        cluster: ClusterId,
+        class: FuClass,
+    },
+    Copy {
+        src: ClusterId,
+        targets: Vec<ClusterId>,
+        link: Option<LinkId>,
+    },
+}
+
+#[derive(Debug, Clone, Default)]
+struct ClusterCounts {
+    /// Operations placed per FU class.
+    used: [u32; 3],
+    read_used: u32,
+    write_used: u32,
+}
+
+/// Counting MRT over a whole machine at a fixed II (seed copy).
+#[derive(Debug, Clone)]
+pub struct CountMrt {
+    ii: u32,
+    machine: MachineSpec,
+    clusters: Vec<ClusterCounts>,
+    bus_used: u32,
+    link_used: Vec<u32>,
+    reservations: HashMap<NodeId, Reservation>,
+}
+
+impl CountMrt {
+    /// Create an empty table for `machine` at initiation interval `ii`.
+    pub fn new(machine: &MachineSpec, ii: u32) -> Self {
+        assert!(ii > 0, "II must be positive");
+        CountMrt {
+            ii,
+            machine: machine.clone(),
+            clusters: vec![ClusterCounts::default(); machine.cluster_count()],
+            bus_used: 0,
+            link_used: vec![0; machine.interconnect().links().len()],
+            reservations: HashMap::new(),
+        }
+    }
+
+    /// The initiation interval this table was sized for.
+    pub fn ii(&self) -> u32 {
+        self.ii
+    }
+
+    /// The machine this table models.
+    pub fn machine(&self) -> &MachineSpec {
+        &self.machine
+    }
+
+    // ---- function-unit capacity ---------------------------------------
+
+    /// GP-pool slack of cluster `c` given its current per-class usage.
+    fn gp_free(&self, c: ClusterId) -> u32 {
+        let spec = self.machine.cluster(c);
+        let counts = &self.clusters[c.index()];
+        let gp_cap = spec.general * self.ii;
+        let mut overflow = 0u32;
+        for class in FuClass::ALL {
+            let ded_cap = spec.dedicated(class) * self.ii;
+            overflow += counts.used[class.index()].saturating_sub(ded_cap);
+        }
+        gp_cap.saturating_sub(overflow)
+    }
+
+    /// Free slots available to operations of `class` on cluster `c`.
+    pub fn free_class_slots(&self, c: ClusterId, class: FuClass) -> u32 {
+        let spec = self.machine.cluster(c);
+        let counts = &self.clusters[c.index()];
+        let ded_cap = spec.dedicated(class) * self.ii;
+        let ded_free = ded_cap.saturating_sub(counts.used[class.index()]);
+        ded_free + self.gp_free(c)
+    }
+
+    /// Total free FU slots on cluster `c`.
+    pub fn free_fu_slots(&self, c: ClusterId) -> u32 {
+        let spec = self.machine.cluster(c);
+        let counts = &self.clusters[c.index()];
+        let mut ded_free = 0u32;
+        for class in FuClass::ALL {
+            let ded_cap = spec.dedicated(class) * self.ii;
+            ded_free += ded_cap.saturating_sub(counts.used[class.index()]);
+        }
+        ded_free + self.gp_free(c)
+    }
+
+    /// Whether an operation of `kind` fits on cluster `c`.
+    pub fn can_reserve_op(&self, c: ClusterId, kind: OpKind) -> bool {
+        match kind.fu_class() {
+            None => true, // copies use ports, not FUs
+            Some(class) => self.free_class_slots(c, class) > 0,
+        }
+    }
+
+    /// Reserve an FU slot for `node` (of `kind`) on cluster `c`.
+    pub fn reserve_op(&mut self, node: NodeId, c: ClusterId, kind: OpKind) -> Result<(), Full> {
+        assert!(
+            !self.reservations.contains_key(&node),
+            "{node} already reserved"
+        );
+        let class = kind.fu_class().expect("copies use reserve_copy");
+        if self.free_class_slots(c, class) == 0 {
+            return Err(Full);
+        }
+        self.clusters[c.index()].used[class.index()] += 1;
+        self.reservations
+            .insert(node, Reservation::Op { cluster: c, class });
+        Ok(())
+    }
+
+    // ---- interconnect capacity -----------------------------------------
+
+    /// Free bus slots machine-wide.
+    pub fn free_bus_slots(&self) -> u32 {
+        (self.machine.interconnect().bus_count() * self.ii).saturating_sub(self.bus_used)
+    }
+
+    /// Free slots on one point-to-point link.
+    pub fn free_link_slots(&self, l: LinkId) -> u32 {
+        self.ii.saturating_sub(self.link_used[l.index()])
+    }
+
+    /// Free read-port slots on cluster `c`.
+    pub fn free_read_slots(&self, c: ClusterId) -> u32 {
+        (self.machine.interconnect().read_ports() * self.ii)
+            .saturating_sub(self.clusters[c.index()].read_used)
+    }
+
+    /// Free write-port slots on cluster `c`.
+    pub fn free_write_slots(&self, c: ClusterId) -> u32 {
+        (self.machine.interconnect().write_ports() * self.ii)
+            .saturating_sub(self.clusters[c.index()].write_used)
+    }
+
+    /// The paper's *maximum reservable copies* for cluster `c` (§4.2).
+    pub fn mrc(&self, c: ClusterId) -> u32 {
+        let read = self.free_read_slots(c);
+        match self.machine.interconnect() {
+            Interconnect::None => 0,
+            Interconnect::Bus { .. } => read.min(self.free_bus_slots()),
+            Interconnect::PointToPoint { links, .. } => {
+                let transport: u32 = links
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, l)| l.touches(c))
+                    .map(|(i, _)| self.free_link_slots(LinkId(i as u32)))
+                    .sum();
+                read.min(transport)
+            }
+        }
+    }
+
+    /// Whether a copy `src -> targets` over `link` fits.
+    pub fn can_reserve_copy(
+        &self,
+        src: ClusterId,
+        targets: &[ClusterId],
+        link: Option<LinkId>,
+    ) -> bool {
+        if self.free_read_slots(src) == 0 {
+            return false;
+        }
+        if targets.iter().any(|&t| self.free_write_slots(t) == 0) {
+            return false;
+        }
+        match link {
+            Some(l) => self.free_link_slots(l) > 0,
+            None => self.free_bus_slots() > 0,
+        }
+    }
+
+    /// Reserve a copy for `node`.
+    pub fn reserve_copy(
+        &mut self,
+        node: NodeId,
+        src: ClusterId,
+        targets: &[ClusterId],
+        link: Option<LinkId>,
+    ) -> Result<(), Full> {
+        assert!(
+            !self.reservations.contains_key(&node),
+            "{node} already reserved"
+        );
+        assert!(!targets.is_empty(), "a copy needs a target");
+        for (i, t) in targets.iter().enumerate() {
+            assert!(*t != src, "copy target equals source");
+            assert!(!targets[..i].contains(t), "duplicate copy target");
+        }
+        if !self.can_reserve_copy(src, targets, link) {
+            return Err(Full);
+        }
+        self.clusters[src.index()].read_used += 1;
+        for &t in targets {
+            self.clusters[t.index()].write_used += 1;
+        }
+        match link {
+            Some(l) => self.link_used[l.index()] += 1,
+            None => self.bus_used += 1,
+        }
+        self.reservations.insert(
+            node,
+            Reservation::Copy {
+                src,
+                targets: targets.to_vec(),
+                link,
+            },
+        );
+        Ok(())
+    }
+
+    /// Extend an existing broadcast copy with one more destination.
+    pub fn add_copy_target(&mut self, node: NodeId, target: ClusterId) -> Result<(), Full> {
+        // Check capacity before mutating the reservation.
+        if self.free_write_slots(target) == 0 {
+            return Err(Full);
+        }
+        let r = self.reservations.get_mut(&node).expect("copy not reserved");
+        match r {
+            Reservation::Copy { src, targets, link } => {
+                assert!(link.is_none(), "p2p copies cannot broadcast");
+                assert!(*src != target, "copy target equals source");
+                assert!(!targets.contains(&target), "target already present");
+                targets.push(target);
+            }
+            Reservation::Op { .. } => panic!("{node} is not a copy"),
+        }
+        self.clusters[target.index()].write_used += 1;
+        Ok(())
+    }
+
+    /// Drop one destination from a broadcast copy.
+    pub fn remove_copy_target(&mut self, node: NodeId, target: ClusterId) {
+        let r = self.reservations.get_mut(&node).expect("copy not reserved");
+        match r {
+            Reservation::Copy { targets, .. } => {
+                let pos = targets
+                    .iter()
+                    .position(|&t| t == target)
+                    .expect("target not present");
+                assert!(targets.len() > 1, "cannot remove last target");
+                targets.remove(pos);
+            }
+            Reservation::Op { .. } => panic!("{node} is not a copy"),
+        }
+        self.clusters[target.index()].write_used -= 1;
+    }
+
+    /// Release whatever `node` holds (no-op if it holds nothing).
+    pub fn release(&mut self, node: NodeId) {
+        match self.reservations.remove(&node) {
+            None => {}
+            Some(Reservation::Op { cluster, class }) => {
+                self.clusters[cluster.index()].used[class.index()] -= 1;
+            }
+            Some(Reservation::Copy { src, targets, link }) => {
+                self.clusters[src.index()].read_used -= 1;
+                for t in targets {
+                    self.clusters[t.index()].write_used -= 1;
+                }
+                match link {
+                    Some(l) => self.link_used[l.index()] -= 1,
+                    None => self.bus_used -= 1,
+                }
+            }
+        }
+    }
+
+    /// Whether `node` currently holds a reservation.
+    pub fn is_reserved(&self, node: NodeId) -> bool {
+        self.reservations.contains_key(&node)
+    }
+
+    /// The copy metadata currently reserved for `node`, if it is a copy.
+    pub fn reserved_copy(&self, node: NodeId) -> Option<CopyMeta> {
+        match self.reservations.get(&node) {
+            Some(Reservation::Copy { src, targets, link }) => Some(CopyMeta {
+                src: *src,
+                targets: targets.clone(),
+                link: *link,
+            }),
+            _ => None,
+        }
+    }
+
+    /// Number of nodes holding reservations.
+    pub fn reserved_count(&self) -> usize {
+        self.reservations.len()
+    }
+}

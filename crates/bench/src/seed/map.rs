@@ -1,0 +1,80 @@
+//! Seed cluster map (frozen copy; see the module docs in `seed`).
+//!
+//! Differs from the current `clasp_mrt::ClusterMap` in being backed by
+//! two `BTreeMap`s, which the tentpole replaced with dense vectors to
+//! make the assigner's per-tentative state clones flat memcpys.
+
+use clasp_ddg::NodeId;
+use clasp_machine::ClusterId;
+use clasp_mrt::CopyMeta;
+use std::collections::BTreeMap;
+
+/// Cluster assignment of every node of a working graph (seed copy).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClusterMap {
+    cluster_of: BTreeMap<NodeId, ClusterId>,
+    copies: BTreeMap<NodeId, CopyMeta>,
+}
+
+impl ClusterMap {
+    /// An empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record that `n` lives on cluster `c`.
+    pub fn assign(&mut self, n: NodeId, c: ClusterId) {
+        self.cluster_of.insert(n, c);
+    }
+
+    /// Remove `n`'s assignment (and copy metadata if it was a copy).
+    pub fn unassign(&mut self, n: NodeId) {
+        self.cluster_of.remove(&n);
+        self.copies.remove(&n);
+    }
+
+    /// The cluster `n` is assigned to, if any.
+    pub fn cluster_of(&self, n: NodeId) -> Option<ClusterId> {
+        self.cluster_of.get(&n).copied()
+    }
+
+    /// Whether `n` has been assigned.
+    pub fn is_assigned(&self, n: NodeId) -> bool {
+        self.cluster_of.contains_key(&n)
+    }
+
+    /// Attach copy metadata to a copy node.
+    pub fn set_copy_meta(&mut self, n: NodeId, meta: CopyMeta) {
+        self.copies.insert(n, meta);
+    }
+
+    /// Copy metadata for `n`, if `n` is a copy node.
+    pub fn copy_meta(&self, n: NodeId) -> Option<&CopyMeta> {
+        self.copies.get(&n)
+    }
+
+    /// Iterate over all assigned `(node, cluster)` pairs in node order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, ClusterId)> + '_ {
+        self.cluster_of.iter().map(|(&n, &c)| (n, c))
+    }
+
+    /// Iterate over all copy nodes and their metadata in node order.
+    pub fn copies(&self) -> impl Iterator<Item = (NodeId, &CopyMeta)> + '_ {
+        self.copies.iter().map(|(&n, m)| (n, m))
+    }
+
+    /// Number of assigned nodes.
+    pub fn len(&self) -> usize {
+        self.cluster_of.len()
+    }
+
+    /// Whether no node is assigned.
+    pub fn is_empty(&self) -> bool {
+        self.cluster_of.is_empty()
+    }
+
+    /// Number of copy nodes recorded.
+    pub fn copy_count(&self) -> usize {
+        self.copies.len()
+    }
+}

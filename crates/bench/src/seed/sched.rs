@@ -1,0 +1,506 @@
+//! Frozen seed reference implementation, for `bench-report` baselines.
+//!
+//! This module is a faithful copy of the scheduler hot path as it stood
+//! at the seed commit, kept so the tracked report measures the amortized
+//! pipeline against the code it replaced rather than against itself:
+//!
+//! - [`TimeMrt`]: the seed's `HashMap`-backed time-indexed reservation
+//!   table (`Vec<Vec<Option<NodeId>>>` grid reallocated per II, holders
+//!   in a `HashMap`, per-plan `Vec` allocations);
+//! - [`iterative_schedule`]: the seed's per-II scheduler, re-deriving
+//!   the swing order, the priority array, and every slot request — and
+//!   rebuilding the reservation table — on each attempt, with the
+//!   O(n) `find` scan for the next unscheduled node;
+//! - [`schedule_in_range`] / [`schedule_unified`] / [`max_ii_bound`]:
+//!   the seed's II sweep and its looser search cap.
+//!
+//! Do not "fix" performance here: slowing-down changes to this module
+//! falsify the report's baseline. Behavior matches the current scheduler
+//! (bit-identical schedules), which `bench-report` asserts on the corpus.
+
+use clasp_ddg::{swing_order, Ddg, NodeId, OpKind};
+use clasp_machine::{ClusterId, LinkId, MachineSpec};
+use clasp_mrt::{ClusterMap, SlotRequest};
+use clasp_sched::{slot_request, unified_map, Schedule, SchedulerConfig};
+use std::collections::HashMap;
+
+/// Column layout bookkeeping: offsets of each resource group (seed copy).
+#[derive(Debug, Clone)]
+struct Layout {
+    fu_base: Vec<[usize; 4]>,
+    fu_count: Vec<[usize; 4]>,
+    read_base: Vec<usize>,
+    read_count: usize,
+    write_base: Vec<usize>,
+    write_count: usize,
+    bus_base: usize,
+    bus_count: usize,
+    link_base: usize,
+    link_count: usize,
+    total: usize,
+}
+
+impl Layout {
+    fn new(m: &MachineSpec) -> Self {
+        let mut off = 0usize;
+        let mut fu_base = Vec::new();
+        let mut fu_count = Vec::new();
+        for c in m.cluster_ids() {
+            let s = m.cluster(c);
+            let counts = [
+                s.memory as usize,
+                s.integer as usize,
+                s.float as usize,
+                s.general as usize,
+            ];
+            let base = [
+                off,
+                off + counts[0],
+                off + counts[0] + counts[1],
+                off + counts[0] + counts[1] + counts[2],
+            ];
+            off += counts.iter().sum::<usize>();
+            fu_base.push(base);
+            fu_count.push(counts);
+        }
+        let read_count = m.interconnect().read_ports() as usize;
+        let read_base: Vec<usize> = m
+            .cluster_ids()
+            .map(|c| off + c.index() * read_count)
+            .collect();
+        off += read_count * m.cluster_count();
+        let write_count = m.interconnect().write_ports() as usize;
+        let write_base: Vec<usize> = m
+            .cluster_ids()
+            .map(|c| off + c.index() * write_count)
+            .collect();
+        off += write_count * m.cluster_count();
+        let bus_base = off;
+        let bus_count = m.interconnect().bus_count() as usize;
+        off += bus_count;
+        let link_base = off;
+        let link_count = m.interconnect().links().len();
+        off += link_count;
+        Layout {
+            fu_base,
+            fu_count,
+            read_base,
+            read_count,
+            write_base,
+            write_count,
+            bus_base,
+            bus_count,
+            link_base,
+            link_count,
+            total: off,
+        }
+    }
+
+    fn fu_ranges(&self, cluster: ClusterId, kind: OpKind) -> Vec<(usize, usize)> {
+        let ci = cluster.index();
+        let mut out = Vec::with_capacity(2);
+        if let Some(class) = kind.fu_class() {
+            let k = class.index();
+            if self.fu_count[ci][k] > 0 {
+                out.push((self.fu_base[ci][k], self.fu_count[ci][k]));
+            }
+            if self.fu_count[ci][3] > 0 {
+                out.push((self.fu_base[ci][3], self.fu_count[ci][3]));
+            }
+        }
+        out
+    }
+
+    fn read_range(&self, c: ClusterId) -> (usize, usize) {
+        (self.read_base[c.index()], self.read_count)
+    }
+
+    fn write_range(&self, c: ClusterId) -> (usize, usize) {
+        (self.write_base[c.index()], self.write_count)
+    }
+
+    fn bus_range(&self) -> (usize, usize) {
+        (self.bus_base, self.bus_count)
+    }
+
+    fn link_col(&self, l: LinkId) -> (usize, usize) {
+        debug_assert!(l.index() < self.link_count);
+        (self.link_base + l.index(), 1)
+    }
+}
+
+/// The set of nodes blocking a placement (seed copy).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Conflict {
+    /// Current holders that would need eviction; empty = impossible.
+    pub blockers: Vec<NodeId>,
+}
+
+/// The seed's time-indexed MRT: one `Vec<Vec<Option<NodeId>>>` grid per
+/// table, holders in a `HashMap`, rebuilt from scratch at every II.
+#[derive(Debug, Clone)]
+pub struct TimeMrt {
+    ii: u32,
+    layout: Layout,
+    grid: Vec<Vec<Option<NodeId>>>,
+    placed: HashMap<NodeId, (u32, Vec<usize>)>,
+}
+
+impl TimeMrt {
+    /// Create an empty table for `machine` at `ii` (seed copy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ii == 0`.
+    pub fn new(machine: &MachineSpec, ii: u32) -> Self {
+        assert!(ii > 0, "II must be positive");
+        let layout = Layout::new(machine);
+        TimeMrt {
+            ii,
+            grid: vec![vec![None; ii as usize]; layout.total],
+            layout,
+            placed: HashMap::new(),
+        }
+    }
+
+    fn free_col_in(&self, base: usize, count: usize, row: usize) -> Option<usize> {
+        (base..base + count).find(|&c| self.grid[c][row].is_none())
+    }
+
+    fn plan(&self, row: usize, req: &SlotRequest) -> Result<Vec<usize>, Conflict> {
+        let mut cols = Vec::new();
+        let mut blockers: Vec<NodeId> = Vec::new();
+        let claim =
+            |groups: &[(usize, usize)], cols: &mut Vec<usize>, blockers: &mut Vec<NodeId>| {
+                let mut found = None;
+                for &(base, count) in groups {
+                    if let Some(c) = self.free_col_in(base, count, row) {
+                        if !cols.contains(&c) {
+                            found = Some(c);
+                            break;
+                        }
+                        if let Some(c2) = (base..base + count)
+                            .find(|&cc| self.grid[cc][row].is_none() && !cols.contains(&cc))
+                        {
+                            found = Some(c2);
+                            break;
+                        }
+                    }
+                }
+                match found {
+                    Some(c) => {
+                        cols.push(c);
+                        true
+                    }
+                    None => {
+                        for &(base, count) in groups {
+                            if count > 0 {
+                                let victim_col = base;
+                                if let Some(owner) = self.grid[victim_col][row] {
+                                    if !blockers.contains(&owner) {
+                                        blockers.push(owner);
+                                    }
+                                }
+                                return false;
+                            }
+                        }
+                        false
+                    }
+                }
+            };
+
+        let ok = match req {
+            SlotRequest::Fu { cluster, kind } => {
+                let ranges = self.layout.fu_ranges(*cluster, *kind);
+                if ranges.is_empty() {
+                    return Err(Conflict {
+                        blockers: Vec::new(),
+                    });
+                }
+                claim(&ranges, &mut cols, &mut blockers)
+            }
+            SlotRequest::Copy { src, targets, link } => {
+                let mut ok = true;
+                let r = self.layout.read_range(*src);
+                if r.1 == 0 {
+                    return Err(Conflict {
+                        blockers: Vec::new(),
+                    });
+                }
+                ok &= claim(&[r], &mut cols, &mut blockers);
+                for &t in targets {
+                    let w = self.layout.write_range(t);
+                    if w.1 == 0 {
+                        return Err(Conflict {
+                            blockers: Vec::new(),
+                        });
+                    }
+                    ok &= claim(&[w], &mut cols, &mut blockers);
+                }
+                match link {
+                    Some(l) => {
+                        ok &= claim(&[self.layout.link_col(*l)], &mut cols, &mut blockers);
+                    }
+                    None => {
+                        let b = self.layout.bus_range();
+                        if b.1 == 0 {
+                            return Err(Conflict {
+                                blockers: Vec::new(),
+                            });
+                        }
+                        ok &= claim(&[b], &mut cols, &mut blockers);
+                    }
+                }
+                ok
+            }
+        };
+
+        if ok {
+            Ok(cols)
+        } else {
+            Err(Conflict { blockers })
+        }
+    }
+
+    /// Seed copy of `try_place`.
+    ///
+    /// # Errors
+    ///
+    /// A [`Conflict`] naming the blocking nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= II` or `node` is already placed.
+    pub fn try_place(&mut self, node: NodeId, row: u32, req: &SlotRequest) -> Result<(), Conflict> {
+        assert!(row < self.ii, "row out of range");
+        assert!(!self.placed.contains_key(&node), "{node} already placed");
+        let cols = self.plan(row as usize, req)?;
+        for &c in &cols {
+            debug_assert!(self.grid[c][row as usize].is_none());
+            self.grid[c][row as usize] = Some(node);
+        }
+        self.placed.insert(node, (row, cols));
+        Ok(())
+    }
+
+    /// Seed copy of `place_evicting`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request is structurally impossible.
+    pub fn place_evicting(&mut self, node: NodeId, row: u32, req: &SlotRequest) -> Vec<NodeId> {
+        let mut evicted = Vec::new();
+        loop {
+            match self.try_place(node, row, req) {
+                Ok(()) => return evicted,
+                Err(Conflict { blockers }) => {
+                    assert!(
+                        !blockers.is_empty(),
+                        "request impossible on this machine: {req:?}"
+                    );
+                    for b in blockers {
+                        self.remove(b);
+                        evicted.push(b);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Remove `node`'s placement (no-op if absent).
+    pub fn remove(&mut self, node: NodeId) {
+        if let Some((row, cols)) = self.placed.remove(&node) {
+            for c in cols {
+                debug_assert_eq!(self.grid[c][row as usize], Some(node));
+                self.grid[c][row as usize] = None;
+            }
+        }
+    }
+}
+
+/// The seed's per-II iterative scheduler: everything rebuilt per attempt.
+pub fn iterative_schedule(
+    g: &Ddg,
+    machine: &MachineSpec,
+    map: &ClusterMap,
+    ii: u32,
+    config: SchedulerConfig,
+) -> Option<Schedule> {
+    let n = g.node_count();
+    if n == 0 {
+        return Some(Schedule::new(ii, HashMap::new()));
+    }
+    let order = swing_order(g);
+    let mut priority = vec![usize::MAX; n];
+    for (pos, &node) in order.iter().enumerate() {
+        priority[node.index()] = pos;
+    }
+
+    let mut requests = Vec::with_capacity(n);
+    for node in g.node_ids() {
+        match slot_request(g, map, node) {
+            Ok(r) => requests.push(r),
+            Err(_) => return None,
+        }
+    }
+
+    let mut mrt = TimeMrt::new(machine, ii);
+    let mut time: Vec<Option<i64>> = vec![None; n];
+    let mut prev_time: Vec<i64> = vec![0; n];
+    let mut ever_scheduled = vec![false; n];
+    let mut unscheduled = n;
+    let mut budget = u64::from(config.budget_factor) * n as u64;
+    let ii_i = i64::from(ii);
+
+    while unscheduled > 0 {
+        if budget == 0 {
+            return None;
+        }
+        budget -= 1;
+
+        let node = order
+            .iter()
+            .copied()
+            .find(|v| time[v.index()].is_none())
+            .expect("unscheduled > 0");
+        let vi = node.index();
+
+        let mut estart: i64 = 0;
+        for (_, e) in g.pred_edges(node) {
+            if let Some(tp) = time[e.src.index()] {
+                estart = estart.max(tp + i64::from(e.latency) - i64::from(e.distance) * ii_i);
+            }
+        }
+
+        let mut chosen: Option<i64> = None;
+        for t in estart..estart + ii_i {
+            let row = t.rem_euclid(ii_i) as u32;
+            match mrt.try_place(node, row, &requests[vi]) {
+                Ok(()) => {
+                    chosen = Some(t);
+                    break;
+                }
+                Err(c) => {
+                    if c.blockers.is_empty() {
+                        return None;
+                    }
+                }
+            }
+        }
+
+        let t = match chosen {
+            Some(t) => t,
+            None => {
+                let slot = if ever_scheduled[vi] {
+                    estart.max(prev_time[vi] + 1)
+                } else {
+                    estart
+                };
+                let row = slot.rem_euclid(ii_i) as u32;
+                let evicted = mrt.place_evicting(node, row, &requests[vi]);
+                for ev in evicted {
+                    if time[ev.index()].take().is_some() {
+                        unscheduled += 1;
+                    }
+                }
+                slot
+            }
+        };
+
+        time[vi] = Some(t);
+        prev_time[vi] = t;
+        ever_scheduled[vi] = true;
+        unscheduled -= 1;
+
+        for (_, e) in g.succ_edges(node) {
+            if e.dst == node {
+                continue;
+            }
+            let di = e.dst.index();
+            if let Some(td) = time[di] {
+                if td < t + i64::from(e.latency) - i64::from(e.distance) * ii_i {
+                    mrt.remove(e.dst);
+                    time[di] = None;
+                    unscheduled += 1;
+                }
+            }
+        }
+    }
+
+    let result: HashMap<NodeId, i64> = g
+        .node_ids()
+        .map(|v| (v, time[v.index()].expect("all scheduled")))
+        .collect();
+    Some(Schedule::new(ii, result))
+}
+
+/// Seed II sweep: a fresh scheduler per II.
+pub fn schedule_in_range(
+    g: &Ddg,
+    machine: &MachineSpec,
+    map: &ClusterMap,
+    min_ii: u32,
+    max_ii: u32,
+    config: SchedulerConfig,
+) -> Option<Schedule> {
+    (min_ii.max(1)..=max_ii).find_map(|ii| iterative_schedule(g, machine, map, ii, config))
+}
+
+/// Seed unified baseline.
+pub fn schedule_unified(
+    g: &Ddg,
+    machine: &MachineSpec,
+    config: SchedulerConfig,
+) -> Option<Schedule> {
+    let map = unified_map(g, machine);
+    let mii = machine.mii(g);
+    if mii == u32::MAX {
+        return None;
+    }
+    let max_ii = max_ii_bound(g, mii);
+    schedule_in_range(g, machine, &map, mii, max_ii, config)
+}
+
+/// The seed's looser II search cap: `MII + total latency + node count`.
+pub fn max_ii_bound(g: &Ddg, mii: u32) -> u32 {
+    let total_lat: u32 = g.edges().map(|(_, e)| e.latency).sum();
+    mii.saturating_add(total_lat)
+        .saturating_add(g.node_count() as u32)
+        .max(mii + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clasp_machine::presets;
+    use clasp_sched::validate_schedule;
+
+    #[test]
+    fn seed_reference_matches_current_scheduler() {
+        // The baseline is only meaningful if it computes the same
+        // schedules as the shipped scheduler.
+        let mut g = Ddg::new("fig6");
+        let a = g.add(OpKind::IntAlu);
+        let b = g.add(OpKind::IntAlu);
+        let c = g.add(OpKind::Load);
+        let d = g.add(OpKind::IntAlu);
+        let e = g.add(OpKind::IntAlu);
+        let f = g.add(OpKind::IntAlu);
+        g.add_dep(a, b);
+        g.add_dep(b, c);
+        g.add_dep(c, d);
+        g.add_dep(d, e);
+        g.add_dep(e, f);
+        g.add_dep_carried(d, b, 1);
+        let m = presets::unified_gp(2);
+        let map = unified_map(&g, &m);
+        let cfg = SchedulerConfig::default();
+        let seed = schedule_unified(&g, &m, cfg).unwrap();
+        let now = clasp_sched::schedule_unified(&g, &m, cfg).unwrap();
+        assert_eq!(seed.ii(), now.ii());
+        for v in g.node_ids() {
+            assert_eq!(seed.start(v), now.start(v));
+        }
+        assert_eq!(validate_schedule(&g, &m, &map, &seed), Ok(()));
+    }
+}

@@ -1,0 +1,200 @@
+//! Seed assignment state (frozen copy; see the module docs in `seed`).
+//!
+//! This is the struct the assigner snapshots before every tentative
+//! placement. In the seed it aggregates the `MachineSpec`-owning
+//! [`CountMrt`], the `BTreeMap` [`ClusterMap`], and `HashMap` edge-use
+//! and sequence bookkeeping — so each clone rebuilds hash tables and
+//! tree nodes, the cost the tentpole's dense structures removed.
+
+use super::copies::CopyManager;
+use super::count::CountMrt;
+use super::map::ClusterMap;
+use clasp_ddg::{Ddg, EdgeId, NodeId};
+use clasp_machine::{ClusterId, MachineSpec};
+use clasp_mrt::Full;
+use std::collections::HashMap;
+
+/// Whether a dependence edge carries a register value that must be copied
+/// when its endpoints land on different clusters.
+pub fn edge_needs_copy(g: &Ddg, eid: EdgeId) -> bool {
+    let e = g.edge(eid);
+    e.src != e.dst && g.op(e.src).kind.produces_value()
+}
+
+/// The assigner's working state at one initiation interval (seed copy).
+#[derive(Debug, Clone)]
+pub struct AssignState<'g> {
+    g: &'g Ddg,
+    machine: &'g MachineSpec,
+    /// Counting reservation table (FUs, ports, buses, links).
+    pub mrt: CountMrt,
+    /// Cluster of every assigned node.
+    pub map: ClusterMap,
+    /// Live copies and value availability.
+    pub cpm: CopyManager,
+    /// Per crossing edge: the (producer, target-cluster) delivery use it
+    /// holds.
+    edge_uses: HashMap<EdgeId, (NodeId, ClusterId)>,
+    seq: u64,
+    seq_of: HashMap<NodeId, u64>,
+}
+
+impl<'g> AssignState<'g> {
+    /// Fresh state for assigning `g` onto `machine` at `ii`.
+    pub fn new(g: &'g Ddg, machine: &'g MachineSpec, ii: u32) -> Self {
+        AssignState {
+            g,
+            machine,
+            mrt: CountMrt::new(machine, ii),
+            map: ClusterMap::new(),
+            cpm: CopyManager::new(g.node_count() as u32),
+            edge_uses: HashMap::new(),
+            seq: 0,
+            seq_of: HashMap::new(),
+        }
+    }
+
+    /// The graph being assigned.
+    pub fn graph(&self) -> &'g Ddg {
+        self.g
+    }
+
+    /// The target machine.
+    pub fn machine(&self) -> &'g MachineSpec {
+        self.machine
+    }
+
+    /// Cluster of `n`, if assigned.
+    pub fn cluster_of(&self, n: NodeId) -> Option<ClusterId> {
+        self.map.cluster_of(n)
+    }
+
+    /// Monotonic sequence number of `n`'s assignment (later = larger).
+    pub fn assign_seq(&self, n: NodeId) -> Option<u64> {
+        self.seq_of.get(&n).copied()
+    }
+
+    /// Try to assign `n` to cluster `c`: reserve a function-unit slot and
+    /// every required copy. Returns the number of new copies created.
+    pub fn try_assign(&mut self, n: NodeId, c: ClusterId) -> Result<u32, Full> {
+        assert!(!self.map.is_assigned(n), "{n} already assigned");
+        let kind = self.g.op(n).kind;
+        if !self.machine.cluster(c).can_execute(kind) {
+            return Err(Full);
+        }
+        self.mrt.reserve_op(n, c, kind)?;
+        let mut created = 0u32;
+        // Required copies from assigned producers into `c`.
+        let preds: Vec<(EdgeId, NodeId)> =
+            self.g.pred_edges(n).map(|(eid, e)| (eid, e.src)).collect();
+        for (eid, src) in preds {
+            if !edge_needs_copy(self.g, eid) {
+                continue;
+            }
+            if let Some(home) = self.map.cluster_of(src) {
+                if home != c {
+                    created +=
+                        self.cpm
+                            .ensure_value_at(&mut self.mrt, self.machine, src, home, c)?;
+                    self.edge_uses.insert(eid, (src, c));
+                }
+            }
+        }
+        // Required copies of `n`'s value to assigned consumers elsewhere.
+        let succs: Vec<(EdgeId, NodeId)> =
+            self.g.succ_edges(n).map(|(eid, e)| (eid, e.dst)).collect();
+        for (eid, dst) in succs {
+            if !edge_needs_copy(self.g, eid) {
+                continue;
+            }
+            if let Some(tc) = self.map.cluster_of(dst) {
+                if tc != c {
+                    created += self
+                        .cpm
+                        .ensure_value_at(&mut self.mrt, self.machine, n, c, tc)?;
+                    self.edge_uses.insert(eid, (n, tc));
+                }
+            }
+        }
+        self.map.assign(n, c);
+        self.seq += 1;
+        self.seq_of.insert(n, self.seq);
+        Ok(created)
+    }
+
+    /// Remove `n`'s assignment, releasing its function-unit slot and every
+    /// copy use held by its incident edges.
+    pub fn unassign(&mut self, n: NodeId) {
+        assert!(self.map.is_assigned(n), "{n} not assigned");
+        let incident: Vec<EdgeId> = self
+            .g
+            .pred_edges(n)
+            .map(|(eid, _)| eid)
+            .chain(self.g.succ_edges(n).map(|(eid, _)| eid))
+            .collect();
+        for eid in incident {
+            if let Some((producer, target)) = self.edge_uses.remove(&eid) {
+                let home = self
+                    .map
+                    .cluster_of(producer)
+                    .expect("producer of a live use is assigned");
+                self.cpm
+                    .release_value_use(&mut self.mrt, producer, home, target);
+            }
+        }
+        self.mrt.release(n);
+        self.map.unassign(n);
+        self.seq_of.remove(&n);
+    }
+
+    /// Distinct value-consuming successors of `n` not yet assigned.
+    pub fn unassigned_value_succs(&self, n: NodeId) -> u32 {
+        if !self.g.op(n).kind.produces_value() {
+            return 0;
+        }
+        let mut seen: Vec<NodeId> = Vec::new();
+        for (eid, e) in self.g.succ_edges(n) {
+            if !edge_needs_copy(self.g, eid) {
+                continue;
+            }
+            if !self.map.is_assigned(e.dst) && !seen.contains(&e.dst) {
+                seen.push(e.dst);
+            }
+        }
+        seen.len() as u32
+    }
+
+    /// The paper's `UpperBound(N)`.
+    pub fn upper_bound(&self, n: NodeId) -> u32 {
+        if !self.g.op(n).kind.produces_value() {
+            return 0;
+        }
+        let rc = self.cpm.rc(n);
+        if self.machine.interconnect().is_broadcast() {
+            1u32.saturating_sub(rc)
+        } else {
+            (self.machine.cluster_count() as u32 - 1).saturating_sub(rc)
+        }
+    }
+
+    /// The paper's *predicted copy requests* for cluster `c` (§4.2).
+    pub fn pcr(&self, c: ClusterId) -> u32 {
+        self.map
+            .iter()
+            .filter(|&(_, cl)| cl == c)
+            .map(|(n, _)| self.upper_bound(n).min(self.unassigned_value_succs(n)))
+            .sum()
+    }
+
+    /// Nodes currently assigned to cluster `c`, most recent first.
+    pub fn assigned_on(&self, c: ClusterId) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self
+            .map
+            .iter()
+            .filter(|&(_, cl)| cl == c)
+            .map(|(n, _)| n)
+            .collect();
+        v.sort_by_key(|n| std::cmp::Reverse(self.seq_of.get(n).copied().unwrap_or(0)));
+        v
+    }
+}

@@ -14,7 +14,7 @@ use crate::config::AssignConfig;
 use crate::result::{materialize, AssignStats, Assignment};
 use crate::state::{edge_needs_copy, AssignState};
 use crate::trace::{AssignTrace, Sink, TraceEvent};
-use clasp_ddg::{find_sccs, swing_order_with, Ddg, NodeId, SccInfo};
+use clasp_ddg::{find_sccs, swing_order_with, Ddg, LoopAnalysis, NodeId, SccInfo};
 use clasp_machine::{ClusterId, MachineSpec};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
@@ -112,7 +112,30 @@ pub fn assign_from(
     config: AssignConfig,
     min_ii: u32,
 ) -> Result<Assignment, AssignError> {
-    assign_impl(g, machine, config, min_ii, &mut Sink(None))
+    assign_impl(g, machine, config, min_ii, None, &mut Sink(None))
+}
+
+/// As [`assign_from`], reusing a precomputed [`LoopAnalysis`] of `g`
+/// instead of re-running SCC detection and the swing ordering. The
+/// pipeline computes the analysis once per source loop and passes it to
+/// every II escalation.
+///
+/// `analysis` must have been computed from exactly this `g` (it is a pure
+/// function of the graph; any mutation invalidates it). With a
+/// non-default [`AssignConfig::ordering`] the cached order does not apply
+/// and is recomputed, but the SCC decomposition is still reused.
+///
+/// # Errors
+///
+/// See [`AssignError`].
+pub fn assign_with_analysis(
+    g: &Ddg,
+    machine: &MachineSpec,
+    config: AssignConfig,
+    min_ii: u32,
+    analysis: &LoopAnalysis,
+) -> Result<Assignment, AssignError> {
+    assign_impl(g, machine, config, min_ii, Some(analysis), &mut Sink(None))
 }
 
 /// As [`assign_from`], additionally returning the full decision log —
@@ -125,7 +148,14 @@ pub fn assign_traced(
     min_ii: u32,
 ) -> (Result<Assignment, AssignError>, AssignTrace) {
     let mut trace = AssignTrace::default();
-    let result = assign_impl(g, machine, config, min_ii, &mut Sink(Some(&mut trace)));
+    let result = assign_impl(
+        g,
+        machine,
+        config,
+        min_ii,
+        None,
+        &mut Sink(Some(&mut trace)),
+    );
     (result, trace)
 }
 
@@ -134,6 +164,7 @@ fn assign_impl(
     machine: &MachineSpec,
     config: AssignConfig,
     min_ii: u32,
+    analysis: Option<&LoopAnalysis>,
     sink: &mut Sink<'_>,
 ) -> Result<Assignment, AssignError> {
     g.validate().map_err(AssignError::BadGraph)?;
@@ -146,11 +177,29 @@ fn assign_impl(
         }
     }
 
-    let sccs = find_sccs(g);
-    let order = match config.ordering {
-        crate::config::Ordering::SccSwing => swing_order_with(g, &sccs),
-        crate::config::Ordering::SwingOnly => clasp_ddg::swing_order_flat(g),
-        crate::config::Ordering::BottomUp => clasp_ddg::bottom_up_order(g),
+    // SCCs and the priority order are II-independent: take them from the
+    // caller's LoopAnalysis when one is supplied, otherwise compute here.
+    // (A cached analysis only carries the default SccSwing order; other
+    // orderings recompute the order but still reuse the SCCs.)
+    let local_sccs;
+    let local_order;
+    let (sccs, order): (&SccInfo, &[NodeId]) = match (analysis, config.ordering) {
+        (Some(la), crate::config::Ordering::SccSwing) => (la.sccs(), la.order()),
+        (maybe_la, ordering) => {
+            let sccs = match maybe_la {
+                Some(la) => la.sccs(),
+                None => {
+                    local_sccs = find_sccs(g);
+                    &local_sccs
+                }
+            };
+            local_order = match ordering {
+                crate::config::Ordering::SccSwing => swing_order_with(g, sccs),
+                crate::config::Ordering::SwingOnly => clasp_ddg::swing_order_flat(g),
+                crate::config::Ordering::BottomUp => clasp_ddg::bottom_up_order(g),
+            };
+            (sccs, local_order.as_slice())
+        }
     };
     // Fig. 5: start from the MII of the equally wide unified machine.
     let mii = machine.unified_equivalent().mii(g).max(1).max(min_ii);
@@ -162,7 +211,7 @@ fn assign_impl(
     for ii in mii..=max_ii {
         stats.ii_attempts += 1;
         sink.log(|| TraceEvent::IiAttempt { ii });
-        if let Some(state) = attempt(g, machine, &sccs, &order, ii, config, &mut stats, sink) {
+        if let Some(state) = attempt(g, machine, sccs, order, ii, config, &mut stats, sink) {
             stats.copies = state.cpm.live_count();
             return Ok(materialize(g, &state, ii, stats));
         }
@@ -171,14 +220,22 @@ fn assign_impl(
     Err(AssignError::IiExhausted { max_ii })
 }
 
-/// Generous II cap (mirrors `clasp_sched::max_ii_bound`, duplicated here
-/// to keep the crate graph acyclic: `clasp-core` must not depend on
-/// `clasp-sched`).
+/// II cap from the sequential-schedule argument (mirrors
+/// `clasp_sched::max_ii_bound`, duplicated here to keep the crate graph
+/// acyclic: `clasp-core` must not depend on `clasp-sched`). Keep the two
+/// in sync.
 fn clasp_sched_max_ii_bound(g: &Ddg, mii: u32) -> u32 {
-    let total_lat: u32 = g.edges().map(|(_, e)| e.latency).sum();
-    mii.saturating_add(total_lat)
-        .saturating_add(g.node_count() as u32)
-        .max(mii + 1)
+    let seq: u32 = g
+        .node_ids()
+        .map(|v| {
+            g.succ_edges(v)
+                .map(|(_, e)| e.latency)
+                .max()
+                .unwrap_or(0)
+                .max(1)
+        })
+        .sum();
+    mii.saturating_add(seq).max(mii.saturating_add(1))
 }
 
 /// One assignment attempt at a fixed II. Returns the completed state or
@@ -202,10 +259,20 @@ fn attempt<'g>(
     }
     let mut budget: u64 = u64::from(config.budget_factor).max(1) * n as u64;
 
+    // Priority cursor: every order position below it is assigned, so the
+    // next node to place is found by advancing past assigned entries —
+    // O(1) amortized instead of a scan from the front. Forced placements
+    // can unassign arbitrary nodes, so they pull the cursor back to 0
+    // (they are rare; the feasible path never rewinds).
+    let mut cursor = 0usize;
     loop {
-        let Some(&node) = order.iter().find(|v| !st.map.is_assigned(**v)) else {
+        while cursor < n && st.map.is_assigned(order[cursor]) {
+            cursor += 1;
+        }
+        if cursor == n {
             return Some(st); // all assigned
-        };
+        }
+        let node = order[cursor];
         if budget == 0 {
             return None;
         }
@@ -262,6 +329,7 @@ fn attempt<'g>(
             return None;
         }
         record_history(&mut history, node, c, &executing);
+        cursor = 0;
     }
 }
 

@@ -308,15 +308,14 @@ mod tests {
     use super::*;
     use clasp_machine::presets;
 
-    fn setup_bus() -> (MachineSpec, CountMrt, CopyManager) {
-        let m = presets::four_cluster_gp(4, 2);
-        let mrt = CountMrt::new(&m, 2);
-        (m, mrt, CopyManager::new(100))
+    fn setup_bus(m: &MachineSpec) -> (CountMrt<'_>, CopyManager) {
+        (CountMrt::new(m, 2), CopyManager::new(100))
     }
 
     #[test]
     fn bused_copy_created_once_and_shared() {
-        let (m, mut mrt, mut cpm) = setup_bus();
+        let m = presets::four_cluster_gp(4, 2);
+        let (mut mrt, mut cpm) = setup_bus(&m);
         let p = NodeId(0);
         let home = ClusterId(0);
         assert_eq!(
@@ -345,7 +344,8 @@ mod tests {
 
     #[test]
     fn release_frees_in_reverse() {
-        let (m, mut mrt, mut cpm) = setup_bus();
+        let m = presets::four_cluster_gp(4, 2);
+        let (mut mrt, mut cpm) = setup_bus(&m);
         let p = NodeId(0);
         let home = ClusterId(0);
         cpm.ensure_value_at(&mut mrt, &m, p, home, ClusterId(1))
@@ -466,7 +466,7 @@ mod tests {
             cpm.ensure_value_at(&mut mrt2, &m2, NodeId(0), ClusterId(0), ClusterId(1)),
             Err(Full)
         );
-        let _ = (m, &mut mrt);
+        let _ = &mut mrt;
     }
 
     #[test]
@@ -484,7 +484,8 @@ mod tests {
 
     #[test]
     fn iter_is_sorted_by_id() {
-        let (m, mut mrt, mut cpm) = setup_bus();
+        let m = presets::four_cluster_gp(4, 2);
+        let (mut mrt, mut cpm) = setup_bus(&m);
         cpm.ensure_value_at(&mut mrt, &m, NodeId(0), ClusterId(0), ClusterId(1))
             .unwrap();
         cpm.ensure_value_at(&mut mrt, &m, NodeId(1), ClusterId(2), ClusterId(3))

@@ -9,7 +9,6 @@ use crate::copies::CopyManager;
 use clasp_ddg::{Ddg, EdgeId, NodeId};
 use clasp_machine::{ClusterId, MachineSpec};
 use clasp_mrt::{ClusterMap, CountMrt, Full};
-use std::collections::HashMap;
 
 /// Whether a dependence edge carries a register value that must be copied
 /// when its endpoints land on different clusters. Stores and branches
@@ -25,16 +24,18 @@ pub struct AssignState<'g> {
     g: &'g Ddg,
     machine: &'g MachineSpec,
     /// Counting reservation table (FUs, ports, buses, links).
-    pub mrt: CountMrt,
+    pub mrt: CountMrt<'g>,
     /// Cluster of every assigned node.
     pub map: ClusterMap,
     /// Live copies and value availability.
     pub cpm: CopyManager,
     /// Per crossing edge: the (producer, target-cluster) delivery use it
-    /// holds.
-    edge_uses: HashMap<EdgeId, (NodeId, ClusterId)>,
+    /// holds. Dense (indexed by edge id): the state is cloned on every
+    /// tentative placement, so lookups must be flat copies, not hash maps.
+    edge_uses: Vec<Option<(NodeId, ClusterId)>>,
     seq: u64,
-    seq_of: HashMap<NodeId, u64>,
+    /// Assignment sequence number per original node; 0 = unassigned.
+    seq_of: Vec<u64>,
 }
 
 impl<'g> AssignState<'g> {
@@ -46,9 +47,9 @@ impl<'g> AssignState<'g> {
             mrt: CountMrt::new(machine, ii),
             map: ClusterMap::new(),
             cpm: CopyManager::new(g.node_count() as u32),
-            edge_uses: HashMap::new(),
+            edge_uses: vec![None; g.edge_count()],
             seq: 0,
-            seq_of: HashMap::new(),
+            seq_of: vec![0; g.node_count()],
         }
     }
 
@@ -80,7 +81,10 @@ impl<'g> AssignState<'g> {
     /// Monotonic sequence number of `n`'s assignment (later = larger);
     /// used to pick most-recently-assigned victims.
     pub fn assign_seq(&self, n: NodeId) -> Option<u64> {
-        self.seq_of.get(&n).copied()
+        match self.seq_of.get(n.index()) {
+            Some(0) | None => None,
+            Some(&s) => Some(s),
+        }
     }
 
     /// Try to assign `n` to cluster `c`: reserve a function-unit slot and
@@ -105,11 +109,14 @@ impl<'g> AssignState<'g> {
         }
         self.mrt.reserve_op(n, c, kind)?;
         let mut created = 0u32;
+        // `g` is a shared borrow independent of `self`, so the edge
+        // iterators run directly against the graph while the state
+        // mutates — no per-call collection.
+        let g = self.g;
         // Required copies from assigned producers into `c`.
-        let preds: Vec<(EdgeId, NodeId)> =
-            self.g.pred_edges(n).map(|(eid, e)| (eid, e.src)).collect();
-        for (eid, src) in preds {
-            if !edge_needs_copy(self.g, eid) {
+        for (eid, e) in g.pred_edges(n) {
+            let src = e.src;
+            if !edge_needs_copy(g, eid) {
                 continue;
             }
             if let Some(home) = self.map.cluster_of(src) {
@@ -117,15 +124,14 @@ impl<'g> AssignState<'g> {
                     created +=
                         self.cpm
                             .ensure_value_at(&mut self.mrt, self.machine, src, home, c)?;
-                    self.edge_uses.insert(eid, (src, c));
+                    self.edge_uses[eid.index()] = Some((src, c));
                 }
             }
         }
         // Required copies of `n`'s value to assigned consumers elsewhere.
-        let succs: Vec<(EdgeId, NodeId)> =
-            self.g.succ_edges(n).map(|(eid, e)| (eid, e.dst)).collect();
-        for (eid, dst) in succs {
-            if !edge_needs_copy(self.g, eid) {
+        for (eid, e) in g.succ_edges(n) {
+            let dst = e.dst;
+            if !edge_needs_copy(g, eid) {
                 continue;
             }
             if let Some(tc) = self.map.cluster_of(dst) {
@@ -133,13 +139,13 @@ impl<'g> AssignState<'g> {
                     created += self
                         .cpm
                         .ensure_value_at(&mut self.mrt, self.machine, n, c, tc)?;
-                    self.edge_uses.insert(eid, (n, tc));
+                    self.edge_uses[eid.index()] = Some((n, tc));
                 }
             }
         }
         self.map.assign(n, c);
         self.seq += 1;
-        self.seq_of.insert(n, self.seq);
+        self.seq_of[n.index()] = self.seq;
         Ok(created)
     }
 
@@ -152,14 +158,13 @@ impl<'g> AssignState<'g> {
     /// Panics if `n` is not assigned.
     pub fn unassign(&mut self, n: NodeId) {
         assert!(self.map.is_assigned(n), "{n} not assigned");
-        let incident: Vec<EdgeId> = self
-            .g
+        let g = self.g;
+        let incident = g
             .pred_edges(n)
             .map(|(eid, _)| eid)
-            .chain(self.g.succ_edges(n).map(|(eid, _)| eid))
-            .collect();
+            .chain(g.succ_edges(n).map(|(eid, _)| eid));
         for eid in incident {
-            if let Some((producer, target)) = self.edge_uses.remove(&eid) {
+            if let Some((producer, target)) = self.edge_uses[eid.index()].take() {
                 let home = self
                     .map
                     .cluster_of(producer)
@@ -170,7 +175,7 @@ impl<'g> AssignState<'g> {
         }
         self.mrt.release(n);
         self.map.unassign(n);
-        self.seq_of.remove(&n);
+        self.seq_of[n.index()] = 0;
     }
 
     /// Distinct value-consuming successors of `n` that are not yet
@@ -225,7 +230,7 @@ impl<'g> AssignState<'g> {
             .filter(|&(_, cl)| cl == c)
             .map(|(n, _)| n)
             .collect();
-        v.sort_by_key(|n| std::cmp::Reverse(self.seq_of.get(n).copied().unwrap_or(0)));
+        v.sort_by_key(|n| std::cmp::Reverse(self.assign_seq(*n).unwrap_or(0)));
         v
     }
 }

@@ -1,0 +1,245 @@
+//! Amortized per-loop analysis: everything the assignment and scheduling
+//! phases derive from a dependence graph that does *not* depend on the
+//! initiation interval, computed once and reused across every II attempt.
+//!
+//! The seed pipeline recomputed the SCC decomposition and the swing order
+//! on every `assign`/`schedule` call — once per II escalation — and walked
+//! edges through two levels of indirection (`Vec<Vec<EdgeId>>` then the
+//! edge table). [`LoopAnalysis`] hoists all of that: one Tarjan pass, one
+//! swing ordering, one priority (position-in-order) array, and the
+//! predecessor/successor adjacency packed in CSR form so the scheduler's
+//! hot loops stream contiguous memory.
+//!
+//! # Invalidation
+//!
+//! A `LoopAnalysis` is a pure function of the graph it was computed from.
+//! It holds no reference to the graph, so nothing enforces freshness: any
+//! mutation of the graph (adding nodes, edges, or copies) invalidates the
+//! analysis, and the caller must recompute it. In the pipeline this is the
+//! boundary between the *source* graph (fixed for the whole compilation)
+//! and each *working* graph (fresh per assignment, analysed once each).
+
+use crate::graph::{Ddg, NodeId};
+use crate::mii::rec_mii_with;
+use crate::order::swing_order_with;
+use crate::scc::{find_sccs, SccInfo};
+
+/// One packed adjacency entry: the far endpoint of an edge plus the edge
+/// weights the schedulers read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdjEdge {
+    /// The other endpoint (the producer in a predecessor list, the
+    /// consumer in a successor list).
+    pub other: NodeId,
+    /// Dependence latency in cycles.
+    pub latency: u32,
+    /// Loop-carried distance in iterations.
+    pub distance: u32,
+}
+
+/// II-independent analysis of one loop graph, computed once per loop and
+/// shared by cluster assignment and modulo scheduling.
+///
+/// # Examples
+///
+/// ```
+/// use clasp_ddg::{Ddg, LoopAnalysis, OpKind};
+///
+/// let mut g = Ddg::new("pair");
+/// let a = g.add(OpKind::Load);
+/// let b = g.add(OpKind::FpAdd);
+/// g.add_dep(a, b);
+/// let la = LoopAnalysis::compute(&g);
+/// assert_eq!(la.order().len(), 2);
+/// assert_eq!(la.preds(b)[0].other, a);
+/// assert_eq!(la.position(la.order()[0]), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LoopAnalysis {
+    node_count: usize,
+    sccs: SccInfo,
+    rec_mii: u32,
+    order: Vec<NodeId>,
+    position: Vec<usize>,
+    pred_off: Vec<u32>,
+    pred_adj: Vec<AdjEdge>,
+    succ_off: Vec<u32>,
+    succ_adj: Vec<AdjEdge>,
+}
+
+impl LoopAnalysis {
+    /// Run every II-independent analysis of `g`: SCCs, RecMII, the §4.1
+    /// swing order, its inverse (the priority array), and CSR-packed
+    /// adjacency.
+    pub fn compute(g: &Ddg) -> Self {
+        let n = g.node_count();
+        let sccs = find_sccs(g);
+        let rec_mii = rec_mii_with(g, &sccs);
+        let order = swing_order_with(g, &sccs);
+        let mut position = vec![usize::MAX; n];
+        for (pos, &node) in order.iter().enumerate() {
+            position[node.index()] = pos;
+        }
+
+        let e = g.edge_count();
+        let mut pred_off = Vec::with_capacity(n + 1);
+        let mut pred_adj = Vec::with_capacity(e);
+        let mut succ_off = Vec::with_capacity(n + 1);
+        let mut succ_adj = Vec::with_capacity(e);
+        pred_off.push(0);
+        succ_off.push(0);
+        for v in g.node_ids() {
+            for (_, edge) in g.pred_edges(v) {
+                pred_adj.push(AdjEdge {
+                    other: edge.src,
+                    latency: edge.latency,
+                    distance: edge.distance,
+                });
+            }
+            pred_off.push(pred_adj.len() as u32);
+            for (_, edge) in g.succ_edges(v) {
+                succ_adj.push(AdjEdge {
+                    other: edge.dst,
+                    latency: edge.latency,
+                    distance: edge.distance,
+                });
+            }
+            succ_off.push(succ_adj.len() as u32);
+        }
+
+        LoopAnalysis {
+            node_count: n,
+            sccs,
+            rec_mii,
+            order,
+            position,
+            pred_off,
+            pred_adj,
+            succ_off,
+            succ_adj,
+        }
+    }
+
+    /// Number of nodes in the analysed graph.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// The SCC decomposition.
+    pub fn sccs(&self) -> &SccInfo {
+        &self.sccs
+    }
+
+    /// The recurrence-constrained MII.
+    pub fn rec_mii(&self) -> u32 {
+        self.rec_mii
+    }
+
+    /// The full §4.1 assignment/scheduling order (every node once).
+    pub fn order(&self) -> &[NodeId] {
+        &self.order
+    }
+
+    /// Position of `n` in [`LoopAnalysis::order`] (the scheduling
+    /// priority: lower is more urgent).
+    pub fn position(&self, n: NodeId) -> usize {
+        self.position[n.index()]
+    }
+
+    /// Incoming edges of `n`, packed contiguously (same multiset as
+    /// [`Ddg::pred_edges`], in the same order).
+    pub fn preds(&self, n: NodeId) -> &[AdjEdge] {
+        let i = n.index();
+        &self.pred_adj[self.pred_off[i] as usize..self.pred_off[i + 1] as usize]
+    }
+
+    /// Outgoing edges of `n`, packed contiguously (same multiset as
+    /// [`Ddg::succ_edges`], in the same order).
+    pub fn succs(&self, n: NodeId) -> &[AdjEdge] {
+        let i = n.index();
+        &self.succ_adj[self.succ_off[i] as usize..self.succ_off[i + 1] as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::OpKind;
+    use crate::order::swing_order;
+
+    fn fig6() -> Ddg {
+        let mut g = Ddg::new("fig6");
+        let a = g.add_named(OpKind::IntAlu, "A");
+        let b = g.add_named(OpKind::IntAlu, "B");
+        let c = g.add_named(OpKind::Load, "C");
+        let d = g.add_named(OpKind::IntAlu, "D");
+        let e = g.add_named(OpKind::IntAlu, "E");
+        let f = g.add_named(OpKind::IntAlu, "F");
+        g.add_dep(a, b);
+        g.add_dep(b, c);
+        g.add_dep(c, d);
+        g.add_dep(d, e);
+        g.add_dep(e, f);
+        g.add_dep_carried(d, b, 1);
+        g
+    }
+
+    #[test]
+    fn order_matches_standalone_swing_order() {
+        let g = fig6();
+        let la = LoopAnalysis::compute(&g);
+        assert_eq!(la.order(), swing_order(&g).as_slice());
+    }
+
+    #[test]
+    fn position_is_inverse_of_order() {
+        let g = fig6();
+        let la = LoopAnalysis::compute(&g);
+        for (pos, &v) in la.order().iter().enumerate() {
+            assert_eq!(la.position(v), pos);
+        }
+    }
+
+    #[test]
+    fn csr_matches_graph_adjacency() {
+        let g = fig6();
+        let la = LoopAnalysis::compute(&g);
+        for v in g.node_ids() {
+            let preds: Vec<AdjEdge> = g
+                .pred_edges(v)
+                .map(|(_, e)| AdjEdge {
+                    other: e.src,
+                    latency: e.latency,
+                    distance: e.distance,
+                })
+                .collect();
+            assert_eq!(la.preds(v), preds.as_slice());
+            let succs: Vec<AdjEdge> = g
+                .succ_edges(v)
+                .map(|(_, e)| AdjEdge {
+                    other: e.dst,
+                    latency: e.latency,
+                    distance: e.distance,
+                })
+                .collect();
+            assert_eq!(la.succs(v), succs.as_slice());
+        }
+    }
+
+    #[test]
+    fn recmii_and_sccs_cached() {
+        let g = fig6();
+        let la = LoopAnalysis::compute(&g);
+        assert_eq!(la.rec_mii(), crate::mii::rec_mii(&g));
+        assert_eq!(la.sccs().non_trivial_count(), 1);
+        assert_eq!(la.node_count(), 6);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Ddg::new("empty");
+        let la = LoopAnalysis::compute(&g);
+        assert_eq!(la.node_count(), 0);
+        assert!(la.order().is_empty());
+    }
+}

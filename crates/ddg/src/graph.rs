@@ -6,16 +6,13 @@
 //! intra-iteration dependence, >= 1 for a loop-carried recurrence edge).
 
 use crate::op::OpKind;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a node (operation) in a [`Ddg`].
 ///
 /// Node ids are dense indices assigned in insertion order, so they can be
 /// used directly to index side tables of length [`Ddg::node_count`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct NodeId(pub u32);
 
 impl NodeId {
@@ -33,9 +30,7 @@ impl fmt::Display for NodeId {
 }
 
 /// Identifier of an edge (dependence) in a [`Ddg`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct EdgeId(pub u32);
 
 impl EdgeId {
@@ -53,7 +48,7 @@ impl fmt::Display for EdgeId {
 }
 
 /// An operation node in the dependence graph.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Operation {
     /// What the operation does (and hence its latency and FU class).
     pub kind: OpKind,
@@ -84,7 +79,7 @@ impl Operation {
 /// A data dependence `src -> dst`.
 ///
 /// Scheduling constraint: `t(dst) >= t(src) + latency - distance * II`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DepEdge {
     /// Producer operation.
     pub src: NodeId,
@@ -125,7 +120,7 @@ pub struct DepEdge {
 /// assert_eq!(g.node_count(), 6);
 /// assert_eq!(g.edge_count(), 6);
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Ddg {
     name: String,
     nodes: Vec<Operation>,

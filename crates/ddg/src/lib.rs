@@ -35,12 +35,14 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod analysis;
 mod graph;
 mod mii;
 mod op;
 mod order;
 mod scc;
 
+pub use analysis::{AdjEdge, LoopAnalysis};
 pub use graph::{Ddg, DepEdge, EdgeId, GraphError, NodeId, Operation};
 pub use mii::{rec_mii, rec_mii_bruteforce, rec_mii_with, scc_rec_mii};
 pub use op::{FuClass, OpKind};

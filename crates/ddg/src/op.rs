@@ -1,6 +1,5 @@
 //! Operation kinds, latencies (paper Table 2), and resource classes.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The kind of an operation in a loop body.
@@ -18,7 +17,7 @@ use std::fmt;
 /// assert_eq!(OpKind::FpMult.latency(), 3);
 /// assert!(OpKind::Copy.is_copy());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum OpKind {
     /// Integer arithmetic/logic (add, sub, compare, ...). Latency 1.
     IntAlu,
@@ -54,7 +53,7 @@ pub enum OpKind {
 /// assert_eq!(OpKind::Load.fu_class(), Some(FuClass::Memory));
 /// assert_eq!(OpKind::Copy.fu_class(), None); // copies use no FU
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum FuClass {
     /// Memory unit: loads and stores.
     Memory,

@@ -28,6 +28,7 @@
 
 mod classics;
 mod kernels;
+pub mod rng;
 mod stats;
 mod synthetic;
 

@@ -1,0 +1,127 @@
+//! A small, self-contained deterministic PRNG.
+//!
+//! The corpus generator only needs reproducible, reasonably well-mixed
+//! streams — not cryptographic strength — so the workspace carries its own
+//! SplitMix64 generator instead of an external dependency. The container
+//! building this repo has no network access to a crates registry, so every
+//! randomized component (corpus generation, randomized tests, benchmarks)
+//! draws from this module.
+
+/// A SplitMix64 pseudo-random generator (Steele, Lea & Flood; the stream
+/// seeding function of xoshiro/xoroshiro). Deterministic for a given seed
+/// across platforms.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Create a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Rng { state: seed }
+    }
+
+    /// The next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform `f64` in `[0, 1)` (53 bits of precision).
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform `usize` in `[0, n)`; `n` must be positive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "empty range");
+        // Multiply-shift range reduction (Lemire); bias is < 2^-64 per
+        // draw, far below anything the corpus statistics can observe.
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
+    }
+
+    /// A uniform `usize` in `[lo, hi]` (inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range_inclusive(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo <= hi, "inverted range");
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = Rng::seed_from_u64(7);
+        let mut b = Rng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_give_distinct_streams() {
+        let mut a = Rng::seed_from_u64(1);
+        let mut b = Rng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn f64_stays_in_unit_interval() {
+        let mut r = Rng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn below_stays_in_range_and_covers() {
+        let mut r = Rng::seed_from_u64(4);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[r.below(10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn range_inclusive_hits_both_ends() {
+        let mut r = Rng::seed_from_u64(5);
+        let (mut lo, mut hi) = (false, false);
+        for _ in 0..500 {
+            match r.range_inclusive(2, 4) {
+                2 => lo = true,
+                4 => hi = true,
+                3 => {}
+                other => panic!("out of range: {other}"),
+            }
+        }
+        assert!(lo && hi);
+    }
+
+    #[test]
+    fn chance_rate_is_plausible() {
+        let mut r = Rng::seed_from_u64(6);
+        let hits = (0..10_000).filter(|_| r.chance(0.8)).count();
+        assert!((7500..8500).contains(&hits), "{hits}");
+    }
+}

@@ -19,9 +19,8 @@
 //! loop control means compiled bodies carry no induction-variable
 //! recurrence, which is why Table 1's SCC count can be zero.)
 
+use crate::rng::Rng;
 use clasp_ddg::{Ddg, NodeId, OpKind};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Corpus generation parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -57,7 +56,7 @@ impl Default for CorpusConfig {
 /// assert!(corpus.iter().all(|g| g.validate().is_ok()));
 /// ```
 pub fn generate_corpus(config: CorpusConfig) -> Vec<Ddg> {
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = Rng::seed_from_u64(config.seed);
     // Spread the recurrence-bearing loops evenly through the corpus.
     let mut out = Vec::with_capacity(config.loops);
     for i in 0..config.loops {
@@ -69,17 +68,17 @@ pub fn generate_corpus(config: CorpusConfig) -> Vec<Ddg> {
 }
 
 /// Log-normal-ish node count in `[2, 161]` with mean near 17.5.
-fn sample_node_count(rng: &mut StdRng) -> usize {
+fn sample_node_count(rng: &mut Rng) -> usize {
     // Box-Muller.
-    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
-    let u2: f64 = rng.gen_range(0.0..1.0);
+    let u1: f64 = rng.next_f64().max(f64::EPSILON);
+    let u2: f64 = rng.next_f64();
     let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
     let n = (2.43 + 0.86 * z).exp();
     (n.round() as i64).clamp(2, 161) as usize
 }
 
 /// One synthetic loop.
-pub fn generate_loop(rng: &mut StdRng, index: usize, with_scc: bool) -> Ddg {
+pub fn generate_loop(rng: &mut Rng, index: usize, with_scc: bool) -> Ddg {
     // Recurrence-bearing loops skew larger (they need room for their
     // SCCs; the original suite's recurrence loops average 9 SCC nodes).
     let n = if with_scc {
@@ -128,7 +127,7 @@ pub fn generate_loop(rng: &mut StdRng, index: usize, with_scc: bool) -> Ddg {
 
     // Forward data edges: each non-root picks 1-3 earlier value producers.
     for i in 1..n {
-        let preds = match rng.gen_range(0..100) {
+        let preds = match rng.below(100) {
             0..=74 => 1,
             75..=94 => 2,
             _ => 3,
@@ -138,7 +137,7 @@ pub fn generate_loop(rng: &mut StdRng, index: usize, with_scc: bool) -> Ddg {
             continue;
         }
         for _ in 0..preds {
-            let j = producers[rng.gen_range(0..producers.len())];
+            let j = producers[rng.below(producers.len())];
             g.add_dep(ids[j], ids[i]);
         }
     }
@@ -149,10 +148,10 @@ pub fn generate_loop(rng: &mut StdRng, index: usize, with_scc: bool) -> Ddg {
         for w in lo..hi - 1 {
             g.add_dep(ids[w], ids[w + 1]);
         }
-        let distance = if rng.gen_bool(0.8) {
+        let distance = if rng.chance(0.8) {
             1
         } else {
-            rng.gen_range(2..=4)
+            rng.range_inclusive(2, 4) as u32
         };
         g.add_dep_carried(ids[hi - 1], ids[lo], distance);
     }
@@ -162,13 +161,13 @@ pub fn generate_loop(rng: &mut StdRng, index: usize, with_scc: bool) -> Ddg {
 }
 
 /// Disjoint recurrence ranges: 1-6 SCCs, sizes 2..=10, total <= min(n, 48).
-fn plan_scc_ranges(rng: &mut StdRng, n: usize) -> Vec<(usize, usize)> {
+fn plan_scc_ranges(rng: &mut Rng, n: usize) -> Vec<(usize, usize)> {
     let budget = n.min(48);
     if budget < 2 {
         return Vec::new();
     }
     // Mostly one recurrence; occasionally several (Table 1 max: 6).
-    let want = match rng.gen_range(0..100) {
+    let want = match rng.below(100) {
         0..=49 => 1,
         50..=76 => 2,
         77..=89 => 3,
@@ -186,11 +185,11 @@ fn plan_scc_ranges(rng: &mut StdRng, n: usize) -> Vec<(usize, usize)> {
         }
         // Size distribution tuned to Table 1's 9.0 average nodes in
         // recurrences per SCC-bearing loop (max 48 total).
-        let desired = match rng.gen_range(0..100) {
-            0..=29 => rng.gen_range(2..=3),
-            30..=64 => rng.gen_range(4..=6),
-            65..=89 => rng.gen_range(7..=10),
-            _ => rng.gen_range(11..=16),
+        let desired = match rng.below(100) {
+            0..=29 => rng.range_inclusive(2, 3),
+            30..=64 => rng.range_inclusive(4, 6),
+            65..=89 => rng.range_inclusive(7, 10),
+            _ => rng.range_inclusive(11, 16),
         };
         let max_size = remaining.min(16).min(n - cursor);
         let size = desired.min(max_size);
@@ -200,7 +199,7 @@ fn plan_scc_ranges(rng: &mut StdRng, n: usize) -> Vec<(usize, usize)> {
         // Leave a gap before the next recurrence when room allows.
         let gap_room = n - cursor - size;
         let gap = if gap_room > 0 {
-            rng.gen_range(0..=gap_room.min(2))
+            rng.range_inclusive(0, gap_room.min(2))
         } else {
             0
         };
@@ -216,9 +215,9 @@ fn plan_scc_ranges(rng: &mut StdRng, n: usize) -> Vec<(usize, usize)> {
 }
 
 /// Operation mix of a strength-reduced Fortran inner loop.
-fn sample_kind(rng: &mut StdRng, must_produce_value: bool) -> OpKind {
+fn sample_kind(rng: &mut Rng, must_produce_value: bool) -> OpKind {
     loop {
-        let k = match rng.gen_range(0..100) {
+        let k = match rng.below(100) {
             0..=21 => OpKind::Load,
             22..=33 => OpKind::Store,
             34..=54 => OpKind::IntAlu,

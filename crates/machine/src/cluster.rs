@@ -1,13 +1,10 @@
 //! Cluster and function-unit descriptions (paper §2.1, Figure 1).
 
 use clasp_ddg::{FuClass, OpKind};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a cluster within a machine (dense index).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct ClusterId(pub u32);
 
 impl ClusterId {
@@ -46,7 +43,7 @@ impl fmt::Display for ClusterId {
 /// let fs = ClusterSpec::specialized(1, 2, 1); // paper's FS cluster
 /// assert_eq!(fs.issue_width(), 4);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct ClusterSpec {
     /// Number of general-purpose units (execute any operation).
     pub general: u32,

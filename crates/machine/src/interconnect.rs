@@ -11,14 +11,11 @@
 //!   clusters for one cycle; data reaches exactly the linked cluster.
 
 use crate::cluster::ClusterId;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a point-to-point link (dense index into the machine's
 /// link table).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct LinkId(pub u32);
 
 impl LinkId {
@@ -36,7 +33,7 @@ impl fmt::Display for LinkId {
 }
 
 /// A bidirectional dedicated connection between two clusters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Link {
     /// One endpoint.
     pub a: ClusterId,
@@ -63,7 +60,7 @@ impl Link {
 }
 
 /// The communication fabric of a clustered machine.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Interconnect {
     /// No inter-cluster communication (unified, single-cluster machines).
     None,

@@ -3,7 +3,6 @@
 use crate::cluster::{ClusterId, ClusterSpec};
 use crate::interconnect::Interconnect;
 use clasp_ddg::{rec_mii, Ddg, FuClass, OpKind};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A clustered (or unified) VLIW machine description.
@@ -20,7 +19,7 @@ use std::fmt;
 /// assert_eq!(u.cluster_count(), 1);
 /// assert_eq!(u.total_issue_width(), 8);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MachineSpec {
     name: String,
     clusters: Vec<ClusterSpec>,

@@ -10,7 +10,6 @@
 use crate::map::CopyMeta;
 use clasp_ddg::{FuClass, NodeId, OpKind};
 use clasp_machine::{ClusterId, Interconnect, LinkId, MachineSpec};
-use std::collections::HashMap;
 
 /// Error returned when a reservation does not fit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,30 +64,51 @@ struct ClusterCounts {
 /// assert!(mrt.can_reserve_op(c0, OpKind::IntAlu));
 /// ```
 #[derive(Debug, Clone)]
-pub struct CountMrt {
+pub struct CountMrt<'m> {
     ii: u32,
-    machine: MachineSpec,
+    /// Borrowed, not owned: the assigner clones this table on every
+    /// tentative placement, and a deep `MachineSpec` copy per tentative
+    /// dominated the assignment profile.
+    machine: &'m MachineSpec,
     clusters: Vec<ClusterCounts>,
     bus_used: u32,
     link_used: Vec<u32>,
-    reservations: HashMap<NodeId, Reservation>,
+    /// Dense, indexed by node id (original nodes and copy ids alike), so
+    /// the per-tentative clone is a flat copy rather than a hash rebuild.
+    reservations: Vec<Option<Reservation>>,
+    reserved: usize,
 }
 
-impl CountMrt {
+impl<'m> CountMrt<'m> {
     /// Create an empty table for `machine` at initiation interval `ii`.
     ///
     /// # Panics
     ///
     /// Panics if `ii == 0`.
-    pub fn new(machine: &MachineSpec, ii: u32) -> Self {
+    pub fn new(machine: &'m MachineSpec, ii: u32) -> Self {
         assert!(ii > 0, "II must be positive");
         CountMrt {
             ii,
-            machine: machine.clone(),
+            machine,
             clusters: vec![ClusterCounts::default(); machine.cluster_count()],
             bus_used: 0,
             link_used: vec![0; machine.interconnect().links().len()],
-            reservations: HashMap::new(),
+            reservations: Vec::new(),
+            reserved: 0,
+        }
+    }
+
+    fn reservation(&self, node: NodeId) -> Option<&Reservation> {
+        self.reservations.get(node.index()).and_then(|r| r.as_ref())
+    }
+
+    fn set_reservation(&mut self, node: NodeId, r: Reservation) {
+        let i = node.index();
+        if i >= self.reservations.len() {
+            self.reservations.resize(i + 1, None);
+        }
+        if self.reservations[i].replace(r).is_none() {
+            self.reserved += 1;
         }
     }
 
@@ -98,8 +118,8 @@ impl CountMrt {
     }
 
     /// The machine this table models.
-    pub fn machine(&self) -> &MachineSpec {
-        &self.machine
+    pub fn machine(&self) -> &'m MachineSpec {
+        self.machine
     }
 
     // ---- function-unit capacity ---------------------------------------
@@ -161,17 +181,13 @@ impl CountMrt {
     ///
     /// Panics if `node` already holds a reservation, or `kind` is a copy.
     pub fn reserve_op(&mut self, node: NodeId, c: ClusterId, kind: OpKind) -> Result<(), Full> {
-        assert!(
-            !self.reservations.contains_key(&node),
-            "{node} already reserved"
-        );
+        assert!(self.reservation(node).is_none(), "{node} already reserved");
         let class = kind.fu_class().expect("copies use reserve_copy");
         if self.free_class_slots(c, class) == 0 {
             return Err(Full);
         }
         self.clusters[c.index()].used[class.index()] += 1;
-        self.reservations
-            .insert(node, Reservation::Op { cluster: c, class });
+        self.set_reservation(node, Reservation::Op { cluster: c, class });
         Ok(())
     }
 
@@ -258,10 +274,7 @@ impl CountMrt {
         targets: &[ClusterId],
         link: Option<LinkId>,
     ) -> Result<(), Full> {
-        assert!(
-            !self.reservations.contains_key(&node),
-            "{node} already reserved"
-        );
+        assert!(self.reservation(node).is_none(), "{node} already reserved");
         assert!(!targets.is_empty(), "a copy needs a target");
         for (i, t) in targets.iter().enumerate() {
             assert!(*t != src, "copy target equals source");
@@ -278,7 +291,7 @@ impl CountMrt {
             Some(l) => self.link_used[l.index()] += 1,
             None => self.bus_used += 1,
         }
-        self.reservations.insert(
+        self.set_reservation(
             node,
             Reservation::Copy {
                 src,
@@ -306,7 +319,11 @@ impl CountMrt {
         if self.free_write_slots(target) == 0 {
             return Err(Full);
         }
-        let r = self.reservations.get_mut(&node).expect("copy not reserved");
+        let r = self
+            .reservations
+            .get_mut(node.index())
+            .and_then(|r| r.as_mut())
+            .expect("copy not reserved");
         match r {
             Reservation::Copy { src, targets, link } => {
                 assert!(link.is_none(), "p2p copies cannot broadcast");
@@ -328,7 +345,11 @@ impl CountMrt {
     /// `target`, or if removing `target` would leave the copy targetless
     /// (release the whole copy instead).
     pub fn remove_copy_target(&mut self, node: NodeId, target: ClusterId) {
-        let r = self.reservations.get_mut(&node).expect("copy not reserved");
+        let r = self
+            .reservations
+            .get_mut(node.index())
+            .and_then(|r| r.as_mut())
+            .expect("copy not reserved");
         match r {
             Reservation::Copy { targets, .. } => {
                 let pos = targets
@@ -345,7 +366,14 @@ impl CountMrt {
 
     /// Release whatever `node` holds (no-op if it holds nothing).
     pub fn release(&mut self, node: NodeId) {
-        match self.reservations.remove(&node) {
+        let taken = self
+            .reservations
+            .get_mut(node.index())
+            .and_then(|r| r.take());
+        if taken.is_some() {
+            self.reserved -= 1;
+        }
+        match taken {
             None => {}
             Some(Reservation::Op { cluster, class }) => {
                 self.clusters[cluster.index()].used[class.index()] -= 1;
@@ -365,12 +393,12 @@ impl CountMrt {
 
     /// Whether `node` currently holds a reservation.
     pub fn is_reserved(&self, node: NodeId) -> bool {
-        self.reservations.contains_key(&node)
+        self.reservation(node).is_some()
     }
 
     /// The copy metadata currently reserved for `node`, if it is a copy.
     pub fn reserved_copy(&self, node: NodeId) -> Option<CopyMeta> {
-        match self.reservations.get(&node) {
+        match self.reservation(node) {
             Some(Reservation::Copy { src, targets, link }) => Some(CopyMeta {
                 src: *src,
                 targets: targets.clone(),
@@ -382,7 +410,7 @@ impl CountMrt {
 
     /// Number of nodes holding reservations.
     pub fn reserved_count(&self) -> usize {
-        self.reservations.len()
+        self.reserved
     }
 }
 

@@ -24,4 +24,4 @@ mod table;
 
 pub use count::{CountMrt, Full};
 pub use map::{ClusterMap, CopyMeta};
-pub use table::{Conflict, SlotRequest, TimeMrt};
+pub use table::{Conflict, PlaceOutcome, SlotRequest, TimeMrt};

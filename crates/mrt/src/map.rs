@@ -8,7 +8,6 @@
 
 use clasp_ddg::NodeId;
 use clasp_machine::{ClusterId, LinkId};
-use std::collections::BTreeMap;
 
 /// Transport metadata for one copy node.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -37,10 +36,27 @@ pub struct CopyMeta {
 /// assert_eq!(map.cluster_of(NodeId(0)), Some(ClusterId(1)));
 /// assert_eq!(map.cluster_of(NodeId(9)), None);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+/// Dense storage: both tables are indexed by `NodeId` so that cloning —
+/// which the assigner does on every tentative placement — is a flat
+/// buffer copy instead of a tree walk. Iteration stays in ascending node
+/// order, matching the previous `BTreeMap` representation exactly.
+#[derive(Debug, Clone, Default, Eq)]
 pub struct ClusterMap {
-    cluster_of: BTreeMap<NodeId, ClusterId>,
-    copies: BTreeMap<NodeId, CopyMeta>,
+    cluster_of: Vec<Option<ClusterId>>,
+    assigned: usize,
+    copies: Vec<Option<CopyMeta>>,
+    copy_len: usize,
+}
+
+impl PartialEq for ClusterMap {
+    fn eq(&self, other: &Self) -> bool {
+        // Trailing `None` slack from different growth histories must not
+        // affect equality.
+        self.assigned == other.assigned
+            && self.copy_len == other.copy_len
+            && self.iter().eq(other.iter())
+            && self.copies().eq(other.copies())
+    }
 }
 
 impl ClusterMap {
@@ -52,65 +68,92 @@ impl ClusterMap {
     /// Record that `n` lives on cluster `c` (overwrites any previous
     /// assignment).
     pub fn assign(&mut self, n: NodeId, c: ClusterId) {
-        self.cluster_of.insert(n, c);
+        let i = n.index();
+        if i >= self.cluster_of.len() {
+            self.cluster_of.resize(i + 1, None);
+        }
+        if self.cluster_of[i].replace(c).is_none() {
+            self.assigned += 1;
+        }
     }
 
     /// Remove `n`'s assignment (and copy metadata if it was a copy).
     pub fn unassign(&mut self, n: NodeId) {
-        self.cluster_of.remove(&n);
-        self.copies.remove(&n);
+        let i = n.index();
+        if let Some(slot) = self.cluster_of.get_mut(i) {
+            if slot.take().is_some() {
+                self.assigned -= 1;
+            }
+        }
+        if let Some(slot) = self.copies.get_mut(i) {
+            if slot.take().is_some() {
+                self.copy_len -= 1;
+            }
+        }
     }
 
     /// The cluster `n` is assigned to, if any.
     pub fn cluster_of(&self, n: NodeId) -> Option<ClusterId> {
-        self.cluster_of.get(&n).copied()
+        self.cluster_of.get(n.index()).copied().flatten()
     }
 
     /// Whether `n` has been assigned.
     pub fn is_assigned(&self, n: NodeId) -> bool {
-        self.cluster_of.contains_key(&n)
+        self.cluster_of(n).is_some()
     }
 
     /// Attach copy metadata to a copy node (which must also be assigned a
     /// cluster — by convention its *source* cluster, where it consumes a
     /// read port).
     pub fn set_copy_meta(&mut self, n: NodeId, meta: CopyMeta) {
-        self.copies.insert(n, meta);
+        let i = n.index();
+        if i >= self.copies.len() {
+            self.copies.resize(i + 1, None);
+        }
+        if self.copies[i].replace(meta).is_none() {
+            self.copy_len += 1;
+        }
     }
 
     /// Copy metadata for `n`, if `n` is a copy node.
     pub fn copy_meta(&self, n: NodeId) -> Option<&CopyMeta> {
-        self.copies.get(&n)
+        self.copies.get(n.index()).and_then(|m| m.as_ref())
     }
 
     /// Mutable copy metadata for `n`.
     pub fn copy_meta_mut(&mut self, n: NodeId) -> Option<&mut CopyMeta> {
-        self.copies.get_mut(&n)
+        self.copies.get_mut(n.index()).and_then(|m| m.as_mut())
     }
 
     /// Iterate over all assigned `(node, cluster)` pairs in node order.
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, ClusterId)> + '_ {
-        self.cluster_of.iter().map(|(&n, &c)| (n, c))
+        self.cluster_of
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| c.map(|c| (NodeId(i as u32), c)))
     }
 
     /// Iterate over all copy nodes and their metadata in node order.
     pub fn copies(&self) -> impl Iterator<Item = (NodeId, &CopyMeta)> + '_ {
-        self.copies.iter().map(|(&n, m)| (n, m))
+        self.copies
+            .iter()
+            .enumerate()
+            .filter_map(|(i, m)| m.as_ref().map(|m| (NodeId(i as u32), m)))
     }
 
     /// Number of assigned nodes.
     pub fn len(&self) -> usize {
-        self.cluster_of.len()
+        self.assigned
     }
 
     /// Whether no node is assigned.
     pub fn is_empty(&self) -> bool {
-        self.cluster_of.is_empty()
+        self.assigned == 0
     }
 
     /// Number of copy nodes recorded.
     pub fn copy_count(&self) -> usize {
-        self.copies.len()
+        self.copy_len
     }
 }
 

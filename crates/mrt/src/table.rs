@@ -5,10 +5,16 @@
 //! link, and every bus/link read and write port of every cluster. The
 //! iterative modulo scheduler places operations at `cycle mod II`, and on
 //! conflict evicts the current holders (Rau's force-place).
+//!
+//! The table is a dense flat grid with a generation (epoch) counter:
+//! clearing or resizing to a new II is O(1) — the epoch is bumped and
+//! every cell of an older epoch reads as empty. Placement state, the
+//! planning scratch, and per-node column lists are all reused across
+//! attempts, so a warmed table performs no heap allocation on the
+//! place/evict/remove/reset path (see [`TimeMrt::reset`]).
 
 use clasp_ddg::{NodeId, OpKind};
 use clasp_machine::{ClusterId, LinkId, MachineSpec};
-use std::collections::HashMap;
 
 /// A resource request for placing one node at one row.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -107,20 +113,24 @@ impl Layout {
     }
 
     /// Column ranges an op of `kind` may use on `cluster`: dedicated class
-    /// instances first, then the GP pool.
-    fn fu_ranges(&self, cluster: ClusterId, kind: OpKind) -> Vec<(usize, usize)> {
+    /// instances first, then the GP pool. At most two groups; returns the
+    /// filled prefix length (no allocation).
+    fn fu_groups(&self, cluster: ClusterId, kind: OpKind) -> ([(usize, usize); 2], usize) {
         let ci = cluster.index();
-        let mut out = Vec::with_capacity(2);
+        let mut out = [(0usize, 0usize); 2];
+        let mut len = 0;
         if let Some(class) = kind.fu_class() {
             let k = class.index();
             if self.fu_count[ci][k] > 0 {
-                out.push((self.fu_base[ci][k], self.fu_count[ci][k]));
+                out[len] = (self.fu_base[ci][k], self.fu_count[ci][k]);
+                len += 1;
             }
             if self.fu_count[ci][3] > 0 {
-                out.push((self.fu_base[ci][3], self.fu_count[ci][3]));
+                out[len] = (self.fu_base[ci][3], self.fu_count[ci][3]);
+                len += 1;
             }
         }
-        out
+        (out, len)
     }
 
     fn read_range(&self, c: ClusterId) -> (usize, usize) {
@@ -150,7 +160,41 @@ pub struct Conflict {
     pub blockers: Vec<NodeId>,
 }
 
+/// Result of a non-allocating placement probe ([`TimeMrt::try_place_quiet`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlaceOutcome {
+    /// The node was placed; the resources are now held.
+    Placed,
+    /// Current holders block the placement (read them with
+    /// [`TimeMrt::last_blockers`] or evict via
+    /// [`TimeMrt::place_evicting_into`]).
+    Blocked,
+    /// The request can never fit on this machine (a needed resource has
+    /// zero instances).
+    Impossible,
+}
+
+/// One grid cell: occupied in epoch `epoch` by `holder`. A cell whose
+/// epoch differs from the table's current epoch is empty.
+#[derive(Debug, Clone, Copy)]
+struct Cell {
+    epoch: u32,
+    holder: NodeId,
+}
+
+const EMPTY_CELL: Cell = Cell {
+    epoch: 0,
+    holder: NodeId(0),
+};
+
+/// Sentinel for "not placed" in the per-node row table.
+const ROW_NONE: u32 = u32::MAX;
+
 /// Time-indexed MRT for `machine` at a fixed II.
+///
+/// Backed by a dense `columns x rows` grid with an epoch counter, so
+/// [`TimeMrt::clear`] and [`TimeMrt::reset`] are O(1) and a warmed table
+/// allocates nothing while scheduling.
 ///
 /// # Examples
 ///
@@ -167,15 +211,28 @@ pub struct Conflict {
 /// // Row 0 is full (2 GP units); a third op conflicts.
 /// assert!(mrt.try_place(NodeId(2), 0, &req).is_err());
 /// assert!(mrt.try_place(NodeId(2), 1, &req).is_ok());
+/// // Move to a different II without reallocating: old placements vanish.
+/// mrt.reset(3);
+/// assert_eq!(mrt.placed_count(), 0);
+/// assert!(mrt.try_place(NodeId(2), 2, &req).is_ok());
 /// ```
 #[derive(Debug, Clone)]
 pub struct TimeMrt {
     ii: u32,
     layout: Layout,
-    /// `grid[col][row]` = current holder.
-    grid: Vec<Vec<Option<NodeId>>>,
-    /// node -> (row, columns held).
-    placed: HashMap<NodeId, (u32, Vec<usize>)>,
+    /// Cells and nodes are live only when their epoch matches.
+    epoch: u32,
+    /// Allocated rows per column (`>= ii`; grows, never shrinks).
+    cap_rows: usize,
+    /// `grid[col * cap_rows + row]`.
+    grid: Vec<Cell>,
+    node_epoch: Vec<u32>,
+    node_row: Vec<u32>,
+    /// Columns held per node; inner capacity persists across epochs.
+    node_cols: Vec<Vec<usize>>,
+    placed: usize,
+    plan_cols: Vec<usize>,
+    plan_blockers: Vec<NodeId>,
 }
 
 impl TimeMrt {
@@ -187,11 +244,19 @@ impl TimeMrt {
     pub fn new(machine: &MachineSpec, ii: u32) -> Self {
         assert!(ii > 0, "II must be positive");
         let layout = Layout::new(machine);
+        let cap_rows = ii as usize;
         TimeMrt {
             ii,
-            grid: vec![vec![None; ii as usize]; layout.total],
+            grid: vec![EMPTY_CELL; layout.total * cap_rows],
             layout,
-            placed: HashMap::new(),
+            epoch: 1,
+            cap_rows,
+            node_epoch: Vec::new(),
+            node_row: Vec::new(),
+            node_cols: Vec::new(),
+            placed: 0,
+            plan_cols: Vec::new(),
+            plan_blockers: Vec::new(),
         }
     }
 
@@ -202,123 +267,237 @@ impl TimeMrt {
 
     /// The row (`cycle mod II`) and nothing else for a placed node.
     pub fn row_of(&self, node: NodeId) -> Option<u32> {
-        self.placed.get(&node).map(|&(r, _)| r)
+        let i = node.index();
+        if self.is_placed(i) {
+            Some(self.node_row[i])
+        } else {
+            None
+        }
     }
 
     /// Number of nodes currently placed.
     pub fn placed_count(&self) -> usize {
-        self.placed.len()
+        self.placed
+    }
+
+    /// Drop every placement and move the table to a new II, in O(1):
+    /// the epoch counter is bumped, invalidating all cells at once. The
+    /// backing grid only grows (doubling) when `ii` exceeds every II seen
+    /// before, so sweeping `ii = min..=max` over one table performs
+    /// O(log max) allocations total and none once warmed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ii == 0`.
+    pub fn reset(&mut self, ii: u32) {
+        assert!(ii > 0, "II must be positive");
+        self.ii = ii;
+        if ii as usize > self.cap_rows {
+            self.cap_rows = (self.cap_rows * 2).max(ii as usize);
+            self.grid.clear();
+            self.grid
+                .resize(self.layout.total * self.cap_rows, EMPTY_CELL);
+        }
+        self.bump_epoch();
+        self.placed = 0;
+    }
+
+    /// Clear all placements (keeps the II); O(1).
+    pub fn clear(&mut self) {
+        self.bump_epoch();
+        self.placed = 0;
+    }
+
+    /// Blockers recorded by the most recent [`TimeMrt::try_place_quiet`]
+    /// that returned [`PlaceOutcome::Blocked`] (deduplicated).
+    pub fn last_blockers(&self) -> &[NodeId] {
+        &self.plan_blockers
+    }
+
+    fn bump_epoch(&mut self) {
+        if self.epoch == u32::MAX {
+            // Epoch wraparound (once per 2^32 resets): physically clear.
+            for cell in &mut self.grid {
+                cell.epoch = 0;
+            }
+            for e in &mut self.node_epoch {
+                *e = 0;
+            }
+            self.epoch = 1;
+        } else {
+            self.epoch += 1;
+        }
+    }
+
+    fn is_placed(&self, idx: usize) -> bool {
+        idx < self.node_epoch.len()
+            && self.node_epoch[idx] == self.epoch
+            && self.node_row[idx] != ROW_NONE
+    }
+
+    fn ensure_node(&mut self, idx: usize) {
+        if idx >= self.node_epoch.len() {
+            self.node_epoch.resize(idx + 1, 0);
+            self.node_row.resize(idx + 1, ROW_NONE);
+            self.node_cols.resize_with(idx + 1, Vec::new);
+        }
+    }
+
+    fn holder(&self, col: usize, row: usize) -> Option<NodeId> {
+        let cell = self.grid[col * self.cap_rows + row];
+        if cell.epoch == self.epoch {
+            Some(cell.holder)
+        } else {
+            None
+        }
     }
 
     fn free_col_in(&self, base: usize, count: usize, row: usize) -> Option<usize> {
-        (base..base + count).find(|&c| self.grid[c][row].is_none())
+        (base..base + count).find(|&c| self.holder(c, row).is_none())
     }
 
-    /// Columns needed for `req` at `row`, or the blockers preventing it.
-    ///
-    /// Resource groups are claimed greedily: within a group the first free
-    /// instance; if none is free the group contributes its holders as
-    /// blockers (choosing the instance whose holder set is smallest, i.e.
-    /// one node).
-    fn plan(&self, row: usize, req: &SlotRequest) -> Result<Vec<usize>, Conflict> {
-        let mut cols = Vec::new();
-        let mut blockers: Vec<NodeId> = Vec::new();
-        let claim =
-            |groups: &[(usize, usize)], cols: &mut Vec<usize>, blockers: &mut Vec<NodeId>| {
-                // A request may span several eligible ranges (dedicated + GP):
-                // take the first free column across all of them.
-                let mut found = None;
-                for &(base, count) in groups {
-                    if let Some(c) = self.free_col_in(base, count, row) {
-                        if !cols.contains(&c) {
-                            found = Some(c);
-                            break;
-                        }
-                        // Column already claimed by this same request (e.g.
-                        // two targets on one cluster cannot share a port).
-                        if let Some(c2) = (base..base + count)
-                            .find(|&cc| self.grid[cc][row].is_none() && !cols.contains(&cc))
-                        {
-                            found = Some(c2);
-                            break;
-                        }
-                    }
+    /// Claim one column out of `groups` (a request may span several
+    /// eligible ranges, dedicated + GP): the first free column across all
+    /// of them not already claimed by this same request. On failure the
+    /// victim instance is the first column of the first non-empty group;
+    /// its holder is reported as a blocker.
+    fn claim_one(
+        &self,
+        row: usize,
+        groups: &[(usize, usize)],
+        cols: &mut Vec<usize>,
+        blockers: &mut Vec<NodeId>,
+    ) -> bool {
+        let mut found = None;
+        for &(base, count) in groups {
+            if let Some(c) = self.free_col_in(base, count, row) {
+                if !cols.contains(&c) {
+                    found = Some(c);
+                    break;
                 }
-                match found {
-                    Some(c) => {
-                        cols.push(c);
-                        true
-                    }
-                    None => {
-                        // Pick a victim instance: the first column of the first
-                        // non-empty group; report its holder.
-                        for &(base, count) in groups {
-                            if count > 0 {
-                                let victim_col = base;
-                                if let Some(owner) = self.grid[victim_col][row] {
-                                    if !blockers.contains(&owner) {
-                                        blockers.push(owner);
-                                    }
-                                }
-                                return false;
+                // Column already claimed by this same request (e.g. two
+                // targets on one cluster cannot share a port).
+                if let Some(c2) = (base..base + count)
+                    .find(|&cc| self.holder(cc, row).is_none() && !cols.contains(&cc))
+                {
+                    found = Some(c2);
+                    break;
+                }
+            }
+        }
+        match found {
+            Some(c) => {
+                cols.push(c);
+                true
+            }
+            None => {
+                for &(base, count) in groups {
+                    if count > 0 {
+                        if let Some(owner) = self.holder(base, row) {
+                            if !blockers.contains(&owner) {
+                                blockers.push(owner);
                             }
                         }
-                        false
+                        return false;
                     }
                 }
-            };
+                false
+            }
+        }
+    }
 
-        let ok = match req {
+    /// Plan the columns for `req` at `row` into `cols`, collecting
+    /// blockers. `Err(())` means structurally impossible (a needed
+    /// resource has zero instances); `Ok(false)` means blocked.
+    fn plan_into(
+        &self,
+        row: usize,
+        req: &SlotRequest,
+        cols: &mut Vec<usize>,
+        blockers: &mut Vec<NodeId>,
+    ) -> Result<bool, ()> {
+        match req {
             SlotRequest::Fu { cluster, kind } => {
-                let ranges = self.layout.fu_ranges(*cluster, *kind);
-                if ranges.is_empty() {
-                    return Err(Conflict {
-                        blockers: Vec::new(),
-                    });
+                let (groups, len) = self.layout.fu_groups(*cluster, *kind);
+                if len == 0 {
+                    return Err(());
                 }
-                claim(&ranges, &mut cols, &mut blockers)
+                Ok(self.claim_one(row, &groups[..len], cols, blockers))
             }
             SlotRequest::Copy { src, targets, link } => {
                 let mut ok = true;
                 let r = self.layout.read_range(*src);
                 if r.1 == 0 {
-                    return Err(Conflict {
-                        blockers: Vec::new(),
-                    });
+                    return Err(());
                 }
-                ok &= claim(&[r], &mut cols, &mut blockers);
+                ok &= self.claim_one(row, &[r], cols, blockers);
                 for &t in targets {
                     let w = self.layout.write_range(t);
                     if w.1 == 0 {
-                        return Err(Conflict {
-                            blockers: Vec::new(),
-                        });
+                        return Err(());
                     }
-                    ok &= claim(&[w], &mut cols, &mut blockers);
+                    ok &= self.claim_one(row, &[w], cols, blockers);
                 }
                 match link {
                     Some(l) => {
-                        ok &= claim(&[self.layout.link_col(*l)], &mut cols, &mut blockers);
+                        ok &= self.claim_one(row, &[self.layout.link_col(*l)], cols, blockers);
                     }
                     None => {
                         let b = self.layout.bus_range();
                         if b.1 == 0 {
-                            return Err(Conflict {
-                                blockers: Vec::new(),
-                            });
+                            return Err(());
                         }
-                        ok &= claim(&[b], &mut cols, &mut blockers);
+                        ok &= self.claim_one(row, &[b], cols, blockers);
                     }
                 }
-                ok
+                Ok(ok)
+            }
+        }
+    }
+
+    /// Non-allocating placement probe: like [`TimeMrt::try_place`] but
+    /// reports the outcome as a plain enum and keeps the blocker list in
+    /// internal scratch ([`TimeMrt::last_blockers`]). This is the hot path
+    /// of the iterative scheduler's window scan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= II` or `node` is already placed.
+    pub fn try_place_quiet(&mut self, node: NodeId, row: u32, req: &SlotRequest) -> PlaceOutcome {
+        assert!(row < self.ii, "row out of range");
+        let idx = node.index();
+        self.ensure_node(idx);
+        assert!(!self.is_placed(idx), "{node} already placed");
+
+        let mut cols = std::mem::take(&mut self.plan_cols);
+        let mut blockers = std::mem::take(&mut self.plan_blockers);
+        cols.clear();
+        blockers.clear();
+        let planned = self.plan_into(row as usize, req, &mut cols, &mut blockers);
+        let outcome = match planned {
+            Err(()) => PlaceOutcome::Impossible,
+            Ok(false) => PlaceOutcome::Blocked,
+            Ok(true) => {
+                for &c in &cols {
+                    let cell = &mut self.grid[c * self.cap_rows + row as usize];
+                    debug_assert!(cell.epoch != self.epoch);
+                    *cell = Cell {
+                        epoch: self.epoch,
+                        holder: node,
+                    };
+                }
+                self.node_epoch[idx] = self.epoch;
+                self.node_row[idx] = row;
+                let held = &mut self.node_cols[idx];
+                held.clear();
+                held.extend_from_slice(&cols);
+                self.placed += 1;
+                PlaceOutcome::Placed
             }
         };
-
-        if ok {
-            Ok(cols)
-        } else {
-            Err(Conflict { blockers })
-        }
+        self.plan_cols = cols;
+        self.plan_blockers = blockers;
+        outcome
     }
 
     /// Try to place `node` at `row` (must be `< II`). On success the
@@ -333,61 +512,83 @@ impl TimeMrt {
     ///
     /// Panics if `row >= II` or `node` is already placed.
     pub fn try_place(&mut self, node: NodeId, row: u32, req: &SlotRequest) -> Result<(), Conflict> {
-        assert!(row < self.ii, "row out of range");
-        assert!(!self.placed.contains_key(&node), "{node} already placed");
-        let cols = self.plan(row as usize, req)?;
-        for &c in &cols {
-            debug_assert!(self.grid[c][row as usize].is_none());
-            self.grid[c][row as usize] = Some(node);
+        match self.try_place_quiet(node, row, req) {
+            PlaceOutcome::Placed => Ok(()),
+            PlaceOutcome::Blocked => Err(Conflict {
+                blockers: self.plan_blockers.clone(),
+            }),
+            PlaceOutcome::Impossible => Err(Conflict {
+                blockers: Vec::new(),
+            }),
         }
-        self.placed.insert(node, (row, cols));
-        Ok(())
     }
 
-    /// Place `node` at `row`, evicting whoever is in the way; returns the
-    /// evicted nodes. The caller re-schedules them later (Rau's iterative
-    /// force-place).
+    /// Place `node` at `row`, evicting whoever is in the way; the evicted
+    /// nodes are appended to `evicted` (which is not cleared first). The
+    /// caller re-schedules them later (Rau's iterative force-place). Does
+    /// not allocate beyond `evicted`'s own growth.
     ///
     /// # Panics
     ///
     /// Panics if the request is structurally impossible (a needed resource
     /// has zero instances on this machine), if `row >= II`, or if `node`
     /// is already placed.
-    pub fn place_evicting(&mut self, node: NodeId, row: u32, req: &SlotRequest) -> Vec<NodeId> {
-        let mut evicted = Vec::new();
+    pub fn place_evicting_into(
+        &mut self,
+        node: NodeId,
+        row: u32,
+        req: &SlotRequest,
+        evicted: &mut Vec<NodeId>,
+    ) {
         loop {
-            match self.try_place(node, row, req) {
-                Ok(()) => return evicted,
-                Err(Conflict { blockers }) => {
-                    assert!(
-                        !blockers.is_empty(),
-                        "request impossible on this machine: {req:?}"
-                    );
-                    for b in blockers {
+            match self.try_place_quiet(node, row, req) {
+                PlaceOutcome::Placed => return,
+                PlaceOutcome::Blocked if !self.plan_blockers.is_empty() => {
+                    let mut blockers = std::mem::take(&mut self.plan_blockers);
+                    for &b in &blockers {
                         self.remove(b);
                         evicted.push(b);
                     }
+                    blockers.clear();
+                    self.plan_blockers = blockers;
+                }
+                PlaceOutcome::Blocked | PlaceOutcome::Impossible => {
+                    panic!("request impossible on this machine: {req:?}")
                 }
             }
         }
     }
 
-    /// Remove `node`'s placement (no-op if absent).
-    pub fn remove(&mut self, node: NodeId) {
-        if let Some((row, cols)) = self.placed.remove(&node) {
-            for c in cols {
-                debug_assert_eq!(self.grid[c][row as usize], Some(node));
-                self.grid[c][row as usize] = None;
-            }
-        }
+    /// Place `node` at `row`, evicting whoever is in the way; returns the
+    /// evicted nodes (allocating convenience wrapper over
+    /// [`TimeMrt::place_evicting_into`]).
+    ///
+    /// # Panics
+    ///
+    /// As [`TimeMrt::place_evicting_into`].
+    pub fn place_evicting(&mut self, node: NodeId, row: u32, req: &SlotRequest) -> Vec<NodeId> {
+        let mut evicted = Vec::new();
+        self.place_evicting_into(node, row, req, &mut evicted);
+        evicted
     }
 
-    /// Clear all placements.
-    pub fn clear(&mut self) {
-        for col in &mut self.grid {
-            col.fill(None);
+    /// Remove `node`'s placement (no-op if absent).
+    pub fn remove(&mut self, node: NodeId) {
+        let idx = node.index();
+        if !self.is_placed(idx) {
+            return;
         }
-        self.placed.clear();
+        let row = self.node_row[idx] as usize;
+        let cols = std::mem::take(&mut self.node_cols[idx]);
+        for &c in &cols {
+            let cell = &mut self.grid[c * self.cap_rows + row];
+            debug_assert!(cell.epoch == self.epoch && cell.holder == node);
+            cell.epoch = 0;
+        }
+        self.node_cols[idx] = cols;
+        self.node_cols[idx].clear();
+        self.node_row[idx] = ROW_NONE;
+        self.placed -= 1;
     }
 }
 
@@ -566,5 +767,74 @@ mod tests {
         let m = presets::unified_gp(1);
         let mut mrt = TimeMrt::new(&m, 2);
         let _ = mrt.try_place(NodeId(0), 2, &fu(0, OpKind::IntAlu));
+    }
+
+    #[test]
+    fn reset_drops_placements_and_changes_ii() {
+        let m = presets::unified_gp(2);
+        let mut mrt = TimeMrt::new(&m, 2);
+        mrt.try_place(NodeId(0), 1, &fu(0, OpKind::IntAlu)).unwrap();
+        mrt.try_place(NodeId(1), 0, &fu(0, OpKind::IntAlu)).unwrap();
+        mrt.reset(4);
+        assert_eq!(mrt.ii(), 4);
+        assert_eq!(mrt.placed_count(), 0);
+        assert_eq!(mrt.row_of(NodeId(0)), None);
+        // Fresh rows usable, including rows beyond the old II.
+        assert!(mrt.try_place(NodeId(0), 3, &fu(0, OpKind::IntAlu)).is_ok());
+        // Shrinking back also works without reallocation.
+        mrt.reset(1);
+        assert_eq!(mrt.placed_count(), 0);
+        assert!(mrt.try_place(NodeId(5), 0, &fu(0, OpKind::IntAlu)).is_ok());
+    }
+
+    #[test]
+    fn sweep_reuses_one_table() {
+        // Simulates the II sweep: many resets, placements stay coherent.
+        let m = presets::unified_gp(1);
+        let mut mrt = TimeMrt::new(&m, 1);
+        for ii in 1..=16u32 {
+            mrt.reset(ii);
+            for r in 0..ii {
+                assert!(mrt.try_place(NodeId(r), r, &fu(0, OpKind::IntAlu)).is_ok());
+            }
+            assert_eq!(mrt.placed_count(), ii as usize);
+            assert!(mrt
+                .try_place(NodeId(99), ii - 1, &fu(0, OpKind::IntAlu))
+                .is_err());
+        }
+    }
+
+    #[test]
+    fn quiet_probe_reports_outcomes_and_blockers() {
+        let m = presets::unified_gp(1);
+        let mut mrt = TimeMrt::new(&m, 1);
+        assert_eq!(
+            mrt.try_place_quiet(NodeId(0), 0, &fu(0, OpKind::IntAlu)),
+            PlaceOutcome::Placed
+        );
+        assert_eq!(
+            mrt.try_place_quiet(NodeId(1), 0, &fu(0, OpKind::Load)),
+            PlaceOutcome::Blocked
+        );
+        assert_eq!(mrt.last_blockers(), &[NodeId(0)]);
+        let req = SlotRequest::Copy {
+            src: ClusterId(0),
+            targets: vec![ClusterId(0)],
+            link: None,
+        };
+        assert_eq!(
+            mrt.try_place_quiet(NodeId(1), 0, &req),
+            PlaceOutcome::Impossible
+        );
+    }
+
+    #[test]
+    fn place_evicting_into_appends() {
+        let m = presets::unified_gp(1);
+        let mut mrt = TimeMrt::new(&m, 1);
+        mrt.try_place(NodeId(0), 0, &fu(0, OpKind::IntAlu)).unwrap();
+        let mut out = vec![NodeId(7)];
+        mrt.place_evicting_into(NodeId(1), 0, &fu(0, OpKind::Load), &mut out);
+        assert_eq!(out, vec![NodeId(7), NodeId(0)]);
     }
 }

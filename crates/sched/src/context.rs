@@ -1,0 +1,384 @@
+//! A reusable scheduling context: everything the iterative modulo
+//! scheduler needs that does not depend on the initiation interval,
+//! prepared once per (graph, machine, cluster map) and reused across the
+//! whole II sweep.
+//!
+//! The seed scheduler rebuilt the swing order, the priority array, the
+//! resource-request table, the reservation table, and four per-node
+//! scratch vectors on *every* II attempt. [`SchedContext`] hoists all of
+//! that out of the sweep: one [`LoopAnalysis`], one [`SlotRequest`] table,
+//! one epoch-counted [`TimeMrt`] whose `reset` is O(1), and scratch
+//! buffers that are cleared (not reallocated) between attempts. A warmed
+//! context performs no heap allocation during an II attempt until the
+//! final successful attempt materializes its [`Schedule`].
+//!
+//! Every attempt starts from fully reset state, so a context-driven sweep
+//! is decision-for-decision identical to scheduling each II with a fresh
+//! context (the `tests/context_equivalence.rs` regression pins this).
+
+use crate::iterative::SchedulerConfig;
+use crate::schedule::{slot_request, Schedule, ScheduleError};
+use clasp_ddg::{Ddg, LoopAnalysis, NodeId};
+use clasp_machine::MachineSpec;
+use clasp_mrt::{ClusterMap, PlaceOutcome, SlotRequest, TimeMrt};
+use std::collections::HashMap;
+
+enum AnalysisRef<'a> {
+    Owned(LoopAnalysis),
+    Borrowed(&'a LoopAnalysis),
+}
+
+/// Amortized state for scheduling one annotated graph on one machine at
+/// many candidate IIs.
+///
+/// # Examples
+///
+/// ```
+/// use clasp_ddg::{Ddg, OpKind};
+/// use clasp_machine::presets;
+/// use clasp_sched::{unified_map, SchedContext, SchedulerConfig};
+///
+/// let mut g = Ddg::new("pair");
+/// let a = g.add(OpKind::Load);
+/// let b = g.add(OpKind::FpAdd);
+/// g.add_dep(a, b);
+/// let m = presets::unified_gp(2);
+/// let map = unified_map(&g, &m);
+/// let mut ctx = SchedContext::new(&g, &m, &map).unwrap();
+/// let s = ctx.schedule_in_range(1, 8, SchedulerConfig::default()).unwrap();
+/// assert_eq!(s.ii(), 1);
+/// ```
+pub struct SchedContext<'a> {
+    g: &'a Ddg,
+    machine: &'a MachineSpec,
+    map: &'a ClusterMap,
+    analysis: AnalysisRef<'a>,
+    /// Resource request per node (indexed by `NodeId::index`).
+    requests: Vec<SlotRequest>,
+    mrt: TimeMrt,
+    time: Vec<Option<i64>>,
+    prev_time: Vec<i64>,
+    ever_scheduled: Vec<bool>,
+    evicted: Vec<NodeId>,
+}
+
+impl<'a> SchedContext<'a> {
+    /// Build a context, computing the [`LoopAnalysis`] internally.
+    ///
+    /// # Errors
+    ///
+    /// [`ScheduleError::MissingAssignment`] / [`ScheduleError::MissingCopyMeta`]
+    /// if some node is not fully annotated in `map`.
+    pub fn new(
+        g: &'a Ddg,
+        machine: &'a MachineSpec,
+        map: &'a ClusterMap,
+    ) -> Result<Self, ScheduleError> {
+        let analysis = LoopAnalysis::compute(g);
+        Self::build(g, machine, map, AnalysisRef::Owned(analysis))
+    }
+
+    /// Build a context around an analysis the caller already computed for
+    /// this exact graph (it must be fresh: recompute it after any graph
+    /// mutation).
+    ///
+    /// # Errors
+    ///
+    /// As [`SchedContext::new`].
+    pub fn with_analysis(
+        g: &'a Ddg,
+        machine: &'a MachineSpec,
+        map: &'a ClusterMap,
+        analysis: &'a LoopAnalysis,
+    ) -> Result<Self, ScheduleError> {
+        debug_assert_eq!(analysis.node_count(), g.node_count());
+        Self::build(g, machine, map, AnalysisRef::Borrowed(analysis))
+    }
+
+    fn build(
+        g: &'a Ddg,
+        machine: &'a MachineSpec,
+        map: &'a ClusterMap,
+        analysis: AnalysisRef<'a>,
+    ) -> Result<Self, ScheduleError> {
+        let n = g.node_count();
+        let mut requests = Vec::with_capacity(n);
+        for node in g.node_ids() {
+            requests.push(slot_request(g, map, node)?);
+        }
+        Ok(SchedContext {
+            g,
+            machine,
+            map,
+            analysis,
+            requests,
+            mrt: TimeMrt::new(machine, 1),
+            time: vec![None; n],
+            prev_time: vec![0; n],
+            ever_scheduled: vec![false; n],
+            evicted: Vec::new(),
+        })
+    }
+
+    /// The analysis driving the priority order.
+    pub fn analysis(&self) -> &LoopAnalysis {
+        match &self.analysis {
+            AnalysisRef::Owned(a) => a,
+            AnalysisRef::Borrowed(a) => a,
+        }
+    }
+
+    /// The machine this context schedules for.
+    pub fn machine(&self) -> &MachineSpec {
+        self.machine
+    }
+
+    /// The cluster annotation this context schedules under.
+    pub fn map(&self) -> &ClusterMap {
+        self.map
+    }
+
+    /// Attempt a modulo schedule at exactly `ii` (Rau's iterative modulo
+    /// scheduler). Decision-for-decision identical to
+    /// [`crate::iterative_schedule`]; every attempt starts from fully
+    /// reset state, so earlier attempts never leak into later ones.
+    ///
+    /// Returns `None` if the placement budget is exhausted or the graph
+    /// is structurally impossible on this machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ii == 0`.
+    pub fn attempt(&mut self, ii: u32, config: SchedulerConfig) -> Option<Schedule> {
+        let analysis: &LoopAnalysis = match &self.analysis {
+            AnalysisRef::Owned(a) => a,
+            AnalysisRef::Borrowed(a) => a,
+        };
+        let n = self.requests.len();
+        if n == 0 {
+            return Some(Schedule::new(ii, HashMap::new()));
+        }
+
+        // Reset all per-attempt state; no allocation, the MRT reset is
+        // O(1) via its epoch counter.
+        self.mrt.reset(ii);
+        self.time.fill(None);
+        self.prev_time.fill(0);
+        self.ever_scheduled.fill(false);
+        let time = &mut self.time;
+        let prev_time = &mut self.prev_time;
+        let ever_scheduled = &mut self.ever_scheduled;
+        let mrt = &mut self.mrt;
+        let evicted = &mut self.evicted;
+        let requests = &self.requests;
+        let order = analysis.order();
+
+        let mut unscheduled = n;
+        let mut budget = u64::from(config.budget_factor) * n as u64;
+        let ii_i = i64::from(ii);
+        // The ready cursor: every order position below it is scheduled, so
+        // the highest-priority unscheduled node is found by advancing past
+        // scheduled entries instead of rescanning the whole order. Evicted
+        // or displaced nodes pull the cursor back to their position.
+        let mut cursor = 0usize;
+
+        while unscheduled > 0 {
+            if budget == 0 {
+                return None;
+            }
+            budget -= 1;
+
+            // Highest-priority unscheduled node.
+            while cursor < n && time[order[cursor].index()].is_some() {
+                cursor += 1;
+            }
+            debug_assert!(cursor < n, "unscheduled > 0");
+            let node = order[cursor];
+            let vi = node.index();
+
+            // Earliest start from scheduled predecessors.
+            let mut estart: i64 = 0;
+            for e in analysis.preds(node) {
+                if let Some(tp) = time[e.other.index()] {
+                    estart = estart.max(tp + i64::from(e.latency) - i64::from(e.distance) * ii_i);
+                }
+            }
+
+            // Scan one full II window for a conflict-free slot.
+            let mut chosen: Option<i64> = None;
+            for t in estart..estart + ii_i {
+                let row = t.rem_euclid(ii_i) as u32;
+                match mrt.try_place_quiet(node, row, &requests[vi]) {
+                    PlaceOutcome::Placed => {
+                        chosen = Some(t);
+                        break;
+                    }
+                    PlaceOutcome::Blocked => {}
+                    PlaceOutcome::Impossible => {
+                        // Structurally impossible on this machine.
+                        return None;
+                    }
+                }
+            }
+
+            let t = match chosen {
+                Some(t) => t,
+                None => {
+                    // Forced placement (Rau): first attempt at estart,
+                    // later attempts strictly after the previous slot to
+                    // guarantee forward progress.
+                    let slot = if ever_scheduled[vi] {
+                        estart.max(prev_time[vi] + 1)
+                    } else {
+                        estart
+                    };
+                    let row = slot.rem_euclid(ii_i) as u32;
+                    evicted.clear();
+                    mrt.place_evicting_into(node, row, &requests[vi], evicted);
+                    for &ev in evicted.iter() {
+                        if time[ev.index()].take().is_some() {
+                            unscheduled += 1;
+                            cursor = cursor.min(analysis.position(ev));
+                        }
+                    }
+                    slot
+                }
+            };
+
+            time[vi] = Some(t);
+            prev_time[vi] = t;
+            ever_scheduled[vi] = true;
+            unscheduled -= 1;
+
+            // Displace scheduled successors whose dependence is now
+            // violated.
+            for e in analysis.succs(node) {
+                if e.other == node {
+                    continue; // self edge: t >= t + lat - dist*ii holds iff
+                              // lat <= dist*ii, guaranteed by ii >= RecMII
+                }
+                let di = e.other.index();
+                if let Some(td) = time[di] {
+                    if td < t + i64::from(e.latency) - i64::from(e.distance) * ii_i {
+                        mrt.remove(e.other);
+                        time[di] = None;
+                        unscheduled += 1;
+                        cursor = cursor.min(analysis.position(e.other));
+                    }
+                }
+            }
+        }
+
+        let result: HashMap<NodeId, i64> = self
+            .g
+            .node_ids()
+            .map(|v| (v, self.time[v.index()].expect("all scheduled")))
+            .collect();
+        Some(Schedule::new(ii, result))
+    }
+
+    /// Try `min_ii`, `min_ii + 1`, ... up to `max_ii` until one II
+    /// succeeds, amortizing all context state across the sweep. Returns
+    /// the same schedule as running [`crate::iterative_schedule`] per II.
+    pub fn schedule_in_range(
+        &mut self,
+        min_ii: u32,
+        max_ii: u32,
+        config: SchedulerConfig,
+    ) -> Option<Schedule> {
+        (min_ii.max(1)..=max_ii).find_map(|ii| self.attempt(ii, config))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iterative::{iterative_schedule, max_ii_bound};
+    use crate::schedule::{unified_map, validate_schedule};
+    use clasp_ddg::OpKind;
+    use clasp_machine::presets;
+
+    fn cfg() -> SchedulerConfig {
+        SchedulerConfig::default()
+    }
+
+    fn fig6() -> Ddg {
+        let mut g = Ddg::new("fig6");
+        let a = g.add(OpKind::IntAlu);
+        let b = g.add(OpKind::IntAlu);
+        let c = g.add(OpKind::Load);
+        let d = g.add(OpKind::IntAlu);
+        let e = g.add(OpKind::IntAlu);
+        let f = g.add(OpKind::IntAlu);
+        g.add_dep(a, b);
+        g.add_dep(b, c);
+        g.add_dep(c, d);
+        g.add_dep(d, e);
+        g.add_dep(e, f);
+        g.add_dep_carried(d, b, 1);
+        g
+    }
+
+    #[test]
+    fn context_sweep_matches_fresh_per_ii() {
+        let g = fig6();
+        let m = presets::unified_gp(2);
+        let map = unified_map(&g, &m);
+        let cap = max_ii_bound(&g, 1);
+        let mut ctx = SchedContext::new(&g, &m, &map).unwrap();
+        let swept = ctx.schedule_in_range(1, cap, cfg()).unwrap();
+        let fresh = (1..=cap)
+            .find_map(|ii| iterative_schedule(&g, &m, &map, ii, cfg()))
+            .unwrap();
+        assert_eq!(swept, fresh);
+        assert_eq!(validate_schedule(&g, &m, &map, &swept), Ok(()));
+    }
+
+    #[test]
+    fn repeated_attempts_are_deterministic() {
+        let g = fig6();
+        let m = presets::unified_gp(2);
+        let map = unified_map(&g, &m);
+        let mut ctx = SchedContext::new(&g, &m, &map).unwrap();
+        let a = ctx.attempt(4, cfg()).unwrap();
+        let b = ctx.attempt(4, cfg()).unwrap();
+        assert_eq!(a, b);
+        // A failing attempt in between must not perturb later ones.
+        assert!(ctx.attempt(1, cfg()).is_none());
+        let c = ctx.attempt(4, cfg()).unwrap();
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn empty_graph_schedules() {
+        let g = Ddg::new("empty");
+        let m = presets::unified_gp(2);
+        let map = unified_map(&g, &m);
+        let mut ctx = SchedContext::new(&g, &m, &map).unwrap();
+        assert!(ctx.attempt(1, cfg()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn external_analysis_is_reusable() {
+        let g = fig6();
+        let m = presets::unified_gp(2);
+        let map = unified_map(&g, &m);
+        let la = clasp_ddg::LoopAnalysis::compute(&g);
+        let mut ctx = SchedContext::with_analysis(&g, &m, &map, &la).unwrap();
+        let s = ctx.schedule_in_range(1, 16, cfg()).unwrap();
+        assert_eq!(s.ii(), 4);
+        assert_eq!(ctx.analysis().order().len(), 6);
+    }
+
+    #[test]
+    fn missing_assignment_errors() {
+        let mut g = Ddg::new("naked");
+        g.add(OpKind::IntAlu);
+        let m = presets::unified_gp(2);
+        let map = ClusterMap::new();
+        assert!(matches!(
+            SchedContext::new(&g, &m, &map),
+            Err(ScheduleError::MissingAssignment(_))
+        ));
+    }
+}

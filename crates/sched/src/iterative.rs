@@ -5,12 +5,17 @@
 //! of "phase 2": it reads cluster assignments and copy metadata from a
 //! [`ClusterMap`] and turns them into resource requests, but never makes a
 //! clustering decision itself.
+//!
+//! The algorithm lives in [`SchedContext::attempt`]; the free functions
+//! here are convenience wrappers that build a fresh context per call.
+//! Callers sweeping many IIs should hold one [`SchedContext`] instead —
+//! [`schedule_in_range`] and [`schedule_unified`] already do.
 
-use crate::schedule::{slot_request, unified_map, Schedule};
-use clasp_ddg::{swing_order, Ddg, NodeId};
+use crate::context::SchedContext;
+use crate::schedule::{unified_map, Schedule};
+use clasp_ddg::Ddg;
 use clasp_machine::MachineSpec;
-use clasp_mrt::{ClusterMap, TimeMrt};
-use std::collections::HashMap;
+use clasp_mrt::ClusterMap;
 
 /// Tuning knobs for the iterative scheduler.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,127 +65,14 @@ pub fn iterative_schedule(
     ii: u32,
     config: SchedulerConfig,
 ) -> Option<Schedule> {
-    let n = g.node_count();
-    if n == 0 {
-        return Some(Schedule::new(ii, HashMap::new()));
-    }
-    // Priority: position in the swing order (assignment order).
-    let order = swing_order(g);
-    let mut priority = vec![usize::MAX; n];
-    for (pos, &node) in order.iter().enumerate() {
-        priority[node.index()] = pos;
-    }
-
-    // Pre-build resource requests; bail early if any node is unannotated.
-    let mut requests = Vec::with_capacity(n);
-    for node in g.node_ids() {
-        match slot_request(g, map, node) {
-            Ok(r) => requests.push(r),
-            Err(_) => return None,
-        }
-    }
-
-    let mut mrt = TimeMrt::new(machine, ii);
-    let mut time: Vec<Option<i64>> = vec![None; n];
-    let mut prev_time: Vec<i64> = vec![0; n];
-    let mut ever_scheduled = vec![false; n];
-    let mut unscheduled = n;
-    let mut budget = u64::from(config.budget_factor) * n as u64;
-    let ii_i = i64::from(ii);
-
-    while unscheduled > 0 {
-        if budget == 0 {
-            return None;
-        }
-        budget -= 1;
-
-        // Highest-priority unscheduled node.
-        let node = order
-            .iter()
-            .copied()
-            .find(|v| time[v.index()].is_none())
-            .expect("unscheduled > 0");
-        let vi = node.index();
-
-        // Earliest start from scheduled predecessors.
-        let mut estart: i64 = 0;
-        for (_, e) in g.pred_edges(node) {
-            if let Some(tp) = time[e.src.index()] {
-                estart = estart.max(tp + i64::from(e.latency) - i64::from(e.distance) * ii_i);
-            }
-        }
-
-        // Scan one full II window for a conflict-free slot.
-        let mut chosen: Option<i64> = None;
-        for t in estart..estart + ii_i {
-            let row = t.rem_euclid(ii_i) as u32;
-            match mrt.try_place(node, row, &requests[vi]) {
-                Ok(()) => {
-                    chosen = Some(t);
-                    break;
-                }
-                Err(c) => {
-                    if c.blockers.is_empty() {
-                        // Structurally impossible on this machine.
-                        return None;
-                    }
-                }
-            }
-        }
-
-        let t = match chosen {
-            Some(t) => t,
-            None => {
-                // Forced placement (Rau): first attempt at estart, later
-                // attempts strictly after the previous slot to guarantee
-                // forward progress.
-                let slot = if ever_scheduled[vi] {
-                    estart.max(prev_time[vi] + 1)
-                } else {
-                    estart
-                };
-                let row = slot.rem_euclid(ii_i) as u32;
-                let evicted = mrt.place_evicting(node, row, &requests[vi]);
-                for ev in evicted {
-                    if time[ev.index()].take().is_some() {
-                        unscheduled += 1;
-                    }
-                }
-                slot
-            }
-        };
-
-        time[vi] = Some(t);
-        prev_time[vi] = t;
-        ever_scheduled[vi] = true;
-        unscheduled -= 1;
-
-        // Displace scheduled successors whose dependence is now violated.
-        for (_, e) in g.succ_edges(node) {
-            if e.dst == node {
-                continue; // self edge: t >= t + lat - dist*ii holds iff
-                          // lat <= dist*ii, guaranteed by ii >= RecMII
-            }
-            let di = e.dst.index();
-            if let Some(td) = time[di] {
-                if td < t + i64::from(e.latency) - i64::from(e.distance) * ii_i {
-                    mrt.remove(e.dst);
-                    time[di] = None;
-                    unscheduled += 1;
-                }
-            }
-        }
-    }
-
-    let result: HashMap<NodeId, i64> = g
-        .node_ids()
-        .map(|v| (v, time[v.index()].expect("all scheduled")))
-        .collect();
-    Some(Schedule::new(ii, result))
+    let mut ctx = SchedContext::new(g, machine, map).ok()?;
+    ctx.attempt(ii, config)
 }
 
 /// Schedule `g` on `machine` under `map`, trying `min_ii`, `min_ii + 1`,
-/// ... up to `max_ii` until one II succeeds.
+/// ... up to `max_ii` until one II succeeds. One [`SchedContext`] is
+/// amortized over the whole sweep; the result is identical to attempting
+/// each II with [`iterative_schedule`].
 ///
 /// Returns `None` if every II in the range fails.
 pub fn schedule_in_range(
@@ -191,7 +83,8 @@ pub fn schedule_in_range(
     max_ii: u32,
     config: SchedulerConfig,
 ) -> Option<Schedule> {
-    (min_ii.max(1)..=max_ii).find_map(|ii| iterative_schedule(g, machine, map, ii, config))
+    let mut ctx = SchedContext::new(g, machine, map).ok()?;
+    ctx.schedule_in_range(min_ii, max_ii, config)
 }
 
 /// Schedule a copy-free loop on a unified machine: computes `MII =
@@ -199,7 +92,7 @@ pub fn schedule_in_range(
 /// ("an equally wide non-clustered machine").
 ///
 /// Returns `None` only for pathological inputs (some operation kind has no
-/// unit anywhere, or `max_ii_factor * MII` attempts all fail).
+/// unit anywhere, or every II up to [`max_ii_bound`] fails).
 ///
 /// # Panics
 ///
@@ -218,13 +111,27 @@ pub fn schedule_unified(
     schedule_in_range(g, machine, &map, mii, max_ii, config)
 }
 
-/// A generous upper bound on the II search: every loop can be scheduled
-/// sequentially, so `MII + total latency + node count` always suffices.
+/// An upper bound on the II search, from the sequential-schedule argument:
+/// issuing the nodes one after another, each `max(1, max outgoing
+/// latency)` cycles after the previous one, satisfies every dependence
+/// (including loop-carried ones) once II reaches that total length, and
+/// uses each resource instance at most once per row. So `MII + Σ_v max(1,
+/// max outgoing latency of v)` always admits a schedule.
+///
+/// (The seed used `MII + Σ all edge latencies + node count`, which this
+/// bound never exceeds; a tighter cap means exhaustion fails faster.)
 pub fn max_ii_bound(g: &Ddg, mii: u32) -> u32 {
-    let total_lat: u32 = g.edges().map(|(_, e)| e.latency).sum();
-    mii.saturating_add(total_lat)
-        .saturating_add(g.node_count() as u32)
-        .max(mii + 1)
+    let seq: u32 = g
+        .node_ids()
+        .map(|v| {
+            g.succ_edges(v)
+                .map(|(_, e)| e.latency)
+                .max()
+                .unwrap_or(0)
+                .max(1)
+        })
+        .sum();
+    mii.saturating_add(seq).max(mii.saturating_add(1))
 }
 
 #[cfg(test)]
@@ -434,5 +341,53 @@ mod tests {
         let map = unified_map(&g, &m);
         assert_eq!(validate_schedule(&g, &m, &map, &s), Ok(()));
         assert_eq!(s.ii(), 2); // i1/i2 recurrence: 1+1 over 1
+    }
+
+    #[test]
+    fn max_ii_bound_is_tighter_than_seed_formula() {
+        let mut g = Ddg::new("chain");
+        let a = g.add(OpKind::Load); // lat 2
+        let b = g.add(OpKind::FpMult); // lat 3
+        let c = g.add(OpKind::FpDiv); // lat 8
+        let d = g.add(OpKind::Store);
+        g.add_dep(a, b);
+        g.add_dep(b, c);
+        g.add_dep(c, d);
+        // Sequential-length bound: 2 + 3 + 9 + 1 = 15, plus mii 1 = 16.
+        assert_eq!(max_ii_bound(&g, 1), 16);
+        // Seed formula was mii + total latency + node count = 1 + 14 + 4.
+        let seed = 1 + 14 + 4;
+        assert!(max_ii_bound(&g, 1) <= seed);
+    }
+
+    #[test]
+    fn max_ii_bound_always_exceeds_mii() {
+        let g = Ddg::new("empty");
+        assert_eq!(max_ii_bound(&g, 7), 8);
+    }
+
+    #[test]
+    fn bound_is_schedulable_on_one_wide_machine() {
+        // The sequential-schedule argument: at II = max_ii_bound every
+        // loop fits even on a single GP unit, so the search never
+        // exhausts spuriously.
+        let mut g = Ddg::new("mix");
+        let l = g.add(OpKind::Load);
+        let m1 = g.add(OpKind::FpMult);
+        let acc = g.add(OpKind::FpAdd);
+        let st = g.add(OpKind::Store);
+        let i1 = g.add(OpKind::IntAlu);
+        g.add_dep(l, m1);
+        g.add_dep(m1, acc);
+        g.add_dep_carried(acc, acc, 1);
+        g.add_dep(acc, st);
+        g.add_dep(i1, l);
+        g.add_dep_carried(st, i1, 2);
+        let m = presets::unified_gp(1);
+        let mii = m.mii(&g);
+        let cap = max_ii_bound(&g, mii);
+        let map = unified_map(&g, &m);
+        let s = iterative_schedule(&g, &m, &map, cap, cfg()).unwrap();
+        assert_eq!(validate_schedule(&g, &m, &map, &s), Ok(()));
     }
 }

@@ -32,10 +32,12 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod context;
 mod iterative;
 mod schedule;
 mod swing;
 
+pub use context::SchedContext;
 pub use iterative::{
     iterative_schedule, max_ii_bound, schedule_in_range, schedule_unified, SchedulerConfig,
 };

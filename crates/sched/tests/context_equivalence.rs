@@ -1,0 +1,128 @@
+//! Equivalence regression: a precomputed, reused [`SchedContext`] must
+//! produce bit-identical results to the per-II-recompute path
+//! ([`iterative_schedule`] called with a fresh everything at every II) —
+//! same successful II, same start cycle for every node — across a
+//! generated corpus, on both the unified machine and clustered working
+//! graphs produced by the real assigner.
+
+use clasp_core::{assign, AssignConfig};
+use clasp_ddg::LoopAnalysis;
+use clasp_loopgen::{generate_corpus, CorpusConfig};
+use clasp_machine::presets;
+use clasp_sched::{
+    iterative_schedule, max_ii_bound, unified_map, validate_schedule, SchedContext, SchedulerConfig,
+};
+
+fn corpus() -> Vec<clasp_ddg::Ddg> {
+    generate_corpus(CorpusConfig {
+        loops: 40,
+        scc_loops: 10,
+        seed: 0xE9E5_2026,
+    })
+}
+
+#[test]
+fn unified_sweep_is_bit_identical_to_per_ii_recompute() {
+    let machine = presets::unified_gp(8);
+    let cfg = SchedulerConfig::default();
+    for g in corpus() {
+        let map = unified_map(&g, &machine);
+        let mii = machine.mii(&g).max(1);
+        let cap = max_ii_bound(&g, mii);
+
+        let mut ctx = SchedContext::new(&g, &machine, &map).expect("context builds");
+        let swept = ctx.schedule_in_range(mii, cap, cfg);
+        let fresh = (mii..=cap).find_map(|ii| iterative_schedule(&g, &machine, &map, ii, cfg));
+
+        match (swept, fresh) {
+            (Some(a), Some(b)) => {
+                assert_eq!(a.ii(), b.ii(), "{}: II diverged", g.name());
+                for v in g.node_ids() {
+                    assert_eq!(
+                        a.start(v),
+                        b.start(v),
+                        "{}: start of {v} diverged",
+                        g.name()
+                    );
+                }
+                assert_eq!(
+                    validate_schedule(&g, &machine, &map, &a),
+                    Ok(()),
+                    "{}",
+                    g.name()
+                );
+            }
+            (a, b) => assert_eq!(
+                a.map(|s| s.ii()),
+                b.map(|s| s.ii()),
+                "{}: one path failed where the other succeeded",
+                g.name()
+            ),
+        }
+    }
+}
+
+#[test]
+fn clustered_sweep_is_bit_identical_to_per_ii_recompute() {
+    let machine = presets::four_cluster_gp(4, 2);
+    let cfg = SchedulerConfig::default();
+    for g in corpus() {
+        let Ok(asg) = assign(&g, &machine, AssignConfig::default()) else {
+            continue;
+        };
+        let cap = max_ii_bound(&asg.graph, asg.ii);
+
+        let mut ctx = SchedContext::new(&asg.graph, &machine, &asg.map).expect("context builds");
+        let swept = ctx.schedule_in_range(asg.ii, cap, cfg);
+        let fresh = (asg.ii..=cap)
+            .find_map(|ii| iterative_schedule(&asg.graph, &machine, &asg.map, ii, cfg));
+
+        match (swept, fresh) {
+            (Some(a), Some(b)) => {
+                assert_eq!(a.ii(), b.ii(), "{}: II diverged", g.name());
+                for v in asg.graph.node_ids() {
+                    assert_eq!(
+                        a.start(v),
+                        b.start(v),
+                        "{}: start of {v} diverged",
+                        g.name()
+                    );
+                }
+                assert_eq!(
+                    validate_schedule(&asg.graph, &machine, &asg.map, &a),
+                    Ok(()),
+                    "{}",
+                    g.name()
+                );
+            }
+            (a, b) => assert_eq!(
+                a.map(|s| s.ii()),
+                b.map(|s| s.ii()),
+                "{}: one path failed where the other succeeded",
+                g.name()
+            ),
+        }
+    }
+}
+
+/// A context built around a caller-supplied [`LoopAnalysis`] must behave
+/// exactly like one that computed the analysis itself.
+#[test]
+fn borrowed_analysis_matches_owned() {
+    let machine = presets::four_cluster_gp(4, 2);
+    let cfg = SchedulerConfig::default();
+    for g in corpus() {
+        let Ok(asg) = assign(&g, &machine, AssignConfig::default()) else {
+            continue;
+        };
+        let cap = max_ii_bound(&asg.graph, asg.ii);
+        let la = LoopAnalysis::compute(&asg.graph);
+
+        let mut owned = SchedContext::new(&asg.graph, &machine, &asg.map).unwrap();
+        let mut borrowed =
+            SchedContext::with_analysis(&asg.graph, &machine, &asg.map, &la).unwrap();
+        let a = owned.schedule_in_range(asg.ii, cap, cfg);
+        let b = borrowed.schedule_in_range(asg.ii, cap, cfg);
+        assert_eq!(a, b, "{}", g.name());
+    }
+}

@@ -2,11 +2,14 @@
 //! cluster assignment, then traditional modulo scheduling, escalating II
 //! and re-assigning from scratch whenever either phase fails.
 
-use clasp_core::{assign_from, post_scheduling_assign_from, AssignConfig, AssignError, Assignment};
-use clasp_ddg::Ddg;
+use clasp_core::{
+    assign_with_analysis, post_scheduling_assign_from, AssignConfig, AssignError, Assignment,
+};
+use clasp_ddg::{Ddg, LoopAnalysis};
 use clasp_machine::MachineSpec;
 use clasp_sched::{
-    max_ii_bound, schedule_unified, schedule_with, Schedule, SchedulerConfig, SchedulerKind,
+    max_ii_bound, schedule_unified, schedule_with, SchedContext, Schedule, SchedulerConfig,
+    SchedulerKind,
 };
 use std::fmt;
 
@@ -115,6 +118,20 @@ pub fn compile_loop(
     machine: &MachineSpec,
     config: PipelineConfig,
 ) -> Result<CompiledLoop, PipelineError> {
+    // The source graph never changes across II escalations, so its
+    // analysis (SCCs, swing order) is computed once and shared by every
+    // assignment attempt. Each escalation's *working* graph is new (fresh
+    // copies), so its analysis lives inside the scheduler's context.
+    let analysis = LoopAnalysis::compute(g);
+    compile_loop_with(g, machine, config, &analysis)
+}
+
+fn compile_loop_with(
+    g: &Ddg,
+    machine: &MachineSpec,
+    config: PipelineConfig,
+    analysis: &LoopAnalysis,
+) -> Result<CompiledLoop, PipelineError> {
     let unified_mii = machine.unified_equivalent().mii(g).max(1);
     let cap = config
         .assign
@@ -122,7 +139,7 @@ pub fn compile_loop(
         .unwrap_or_else(|| max_ii_bound(g, unified_mii));
     let mut min_ii = unified_mii;
     while min_ii <= cap {
-        let assignment = assign_from(g, machine, config.assign, min_ii)?;
+        let assignment = assign_with_analysis(g, machine, config.assign, min_ii, analysis)?;
         if let Some(schedule) = schedule_with(
             config.scheduler,
             &assignment.graph,
@@ -204,8 +221,22 @@ pub fn compare_with_unified(
     machine: &MachineSpec,
     config: PipelineConfig,
 ) -> Result<(u32, u32), PipelineError> {
-    let unified = unified_ii(g, machine, config.sched)
-        .ok_or(PipelineError::IiExhausted { max_ii: u32::MAX })?;
-    let compiled = compile_loop(g, machine, config)?;
+    // One analysis of the source graph serves both sides of the
+    // comparison (it depends only on the graph, not the machine).
+    let analysis = LoopAnalysis::compute(g);
+    let unified_machine = machine.unified_equivalent();
+    let mii = unified_machine.mii(g);
+    let unified = if mii == u32::MAX {
+        None
+    } else {
+        let map = clasp_sched::unified_map(g, &unified_machine);
+        let cap = max_ii_bound(g, mii);
+        SchedContext::with_analysis(g, &unified_machine, &map, &analysis)
+            .ok()
+            .and_then(|mut ctx| ctx.schedule_in_range(mii.max(1), cap, config.sched))
+            .map(|s| s.ii())
+    }
+    .ok_or(PipelineError::IiExhausted { max_ii: u32::MAX })?;
+    let compiled = compile_loop_with(g, machine, config, &analysis)?;
     Ok((compiled.ii(), unified))
 }

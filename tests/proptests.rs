@@ -1,13 +1,19 @@
-//! Property-based tests over randomly generated loops and reservation
+//! Randomized property tests over generated loops and reservation
 //! sequences: the core invariants of every layer.
+//!
+//! The build container has no crates-registry access, so instead of
+//! `proptest` these drive each property over a deterministic stream of
+//! random cases from the workspace's own SplitMix64 generator
+//! ([`clasp_loopgen::rng::Rng`]). Failures print the offending case seed;
+//! rerun with that seed to reproduce.
 
 use clasp::{compile_loop, PipelineConfig};
 use clasp_core::validate_assignment;
 use clasp_ddg::{find_sccs, rec_mii, rec_mii_bruteforce, swing_order, Ddg, NodeId, OpKind};
+use clasp_loopgen::rng::Rng;
 use clasp_machine::{presets, ClusterId, MachineSpec};
 use clasp_mrt::CountMrt;
 use clasp_sched::validate_schedule;
-use proptest::prelude::*;
 
 const KINDS: [OpKind; 9] = [
     OpKind::IntAlu,
@@ -21,130 +27,159 @@ const KINDS: [OpKind; 9] = [
     OpKind::FpSqrt,
 ];
 
-/// A random valid loop: forward data edges plus a few loop-carried edges.
-fn arb_ddg(max_nodes: usize) -> impl Strategy<Value = Ddg> {
-    (2..=max_nodes)
-        .prop_flat_map(move |n| {
-            let kinds = proptest::collection::vec(0..KINDS.len(), n);
-            // (src, dst) forward pairs, plus carried edges with distance.
-            let fwd = proptest::collection::vec((0..n, 0..n), 1..=(2 * n));
-            let carried = proptest::collection::vec((0..n, 0..n, 1u32..=3), 0..=3);
-            (Just(n), kinds, fwd, carried)
-        })
-        .prop_map(|(n, kinds, fwd, carried)| {
-            let mut g = Ddg::new("prop");
-            let ids: Vec<NodeId> = (0..n)
-                .map(|i| {
-                    // Keep at least one producer at the front.
-                    let mut k = KINDS[kinds[i]];
-                    if i == 0 && !k.produces_value() {
-                        k = OpKind::Load;
-                    }
-                    g.add(k)
-                })
-                .collect();
-            for (a, b) in fwd {
-                let (a, b) = (a.min(b), a.max(b));
-                if a != b {
-                    g.add_dep(ids[a], ids[b]);
-                }
+/// A random valid loop: forward data edges plus a few loop-carried edges
+/// (the same shape the proptest strategy generated).
+fn random_ddg(rng: &mut Rng, max_nodes: usize) -> Ddg {
+    let n = rng.range_inclusive(2, max_nodes);
+    let mut g = Ddg::new("prop");
+    let ids: Vec<NodeId> = (0..n)
+        .map(|i| {
+            // Keep at least one producer at the front.
+            let mut k = KINDS[rng.below(KINDS.len())];
+            if i == 0 && !k.produces_value() {
+                k = OpKind::Load;
             }
-            for (a, b, d) in carried {
-                g.add_dep_carried(ids[a], ids[b], d);
-            }
-            g
+            g.add(k)
         })
-}
-
-fn arb_machine() -> impl Strategy<Value = MachineSpec> {
-    prop_oneof![
-        Just(presets::two_cluster_gp(2, 1)),
-        Just(presets::four_cluster_gp(4, 2)),
-        Just(presets::two_cluster_fs(2, 1)),
-        Just(presets::four_cluster_fs(4, 2)),
-        Just(presets::four_cluster_grid(2)),
-        Just(presets::unified_gp(8)),
-    ]
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    #[test]
-    fn recmii_matches_bruteforce(g in arb_ddg(8)) {
-        prop_assume!(g.validate().is_ok());
-        prop_assert_eq!(rec_mii(&g), rec_mii_bruteforce(&g));
+        .collect();
+    let fwd = rng.range_inclusive(1, 2 * n);
+    for _ in 0..fwd {
+        let (a, b) = (rng.below(n), rng.below(n));
+        let (a, b) = (a.min(b), a.max(b));
+        if a != b {
+            g.add_dep(ids[a], ids[b]);
+        }
     }
+    let carried = rng.below(4);
+    for _ in 0..carried {
+        let (a, b) = (rng.below(n), rng.below(n));
+        let d = rng.range_inclusive(1, 3) as u32;
+        g.add_dep_carried(ids[a], ids[b], d);
+    }
+    g
+}
 
-    #[test]
-    fn swing_order_is_a_permutation(g in arb_ddg(24)) {
-        prop_assume!(g.validate().is_ok());
+fn random_machine(rng: &mut Rng) -> MachineSpec {
+    match rng.below(6) {
+        0 => presets::two_cluster_gp(2, 1),
+        1 => presets::four_cluster_gp(4, 2),
+        2 => presets::two_cluster_fs(2, 1),
+        3 => presets::four_cluster_fs(4, 2),
+        4 => presets::four_cluster_grid(2),
+        _ => presets::unified_gp(8),
+    }
+}
+
+/// Drive `body` over `cases` random cases; each case gets its own seeded
+/// generator so a failure message pinpoints one reproducible case.
+fn for_cases(test_seed: u64, cases: u64, mut body: impl FnMut(&mut Rng)) {
+    for case in 0..cases {
+        let seed = test_seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ case;
+        let mut rng = Rng::seed_from_u64(seed);
+        body(&mut rng);
+    }
+}
+
+/// `prop_assume!`-style guard: skip graphs the generator made invalid
+/// (e.g. a zero-distance cycle out of carried edges).
+fn valid(g: &Ddg) -> bool {
+    g.validate().is_ok()
+}
+
+#[test]
+fn recmii_matches_bruteforce() {
+    for_cases(1, 96, |rng| {
+        let g = random_ddg(rng, 8);
+        if !valid(&g) {
+            return;
+        }
+        assert_eq!(rec_mii(&g), rec_mii_bruteforce(&g));
+    });
+}
+
+#[test]
+fn swing_order_is_a_permutation() {
+    for_cases(2, 96, |rng| {
+        let g = random_ddg(rng, 24);
+        if !valid(&g) {
+            return;
+        }
         let mut order = swing_order(&g);
-        prop_assert_eq!(order.len(), g.node_count());
+        assert_eq!(order.len(), g.node_count());
         order.sort();
         order.dedup();
-        prop_assert_eq!(order.len(), g.node_count());
-    }
+        assert_eq!(order.len(), g.node_count());
+    });
+}
 
-    #[test]
-    fn scc_partition_is_total_and_disjoint(g in arb_ddg(24)) {
+#[test]
+fn scc_partition_is_total_and_disjoint() {
+    for_cases(3, 96, |rng| {
+        let g = random_ddg(rng, 24);
         let sccs = find_sccs(&g);
         let total: usize = sccs.sccs.iter().map(|s| s.len()).sum();
-        prop_assert_eq!(total, g.node_count());
+        assert_eq!(total, g.node_count());
         let mut seen = vec![false; g.node_count()];
         for scc in &sccs.sccs {
             for n in &scc.nodes {
-                prop_assert!(!seen[n.index()], "node in two components");
+                assert!(!seen[n.index()], "node in two components");
                 seen[n.index()] = true;
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn assignment_validates_on_random_loops(
-        g in arb_ddg(16),
-        m in arb_machine()
-    ) {
-        prop_assume!(g.validate().is_ok());
+#[test]
+fn assignment_validates_on_random_loops() {
+    for_cases(4, 96, |rng| {
+        let g = random_ddg(rng, 16);
+        let m = random_machine(rng);
+        if !valid(&g) {
+            return;
+        }
         let asg = clasp_core::assign(&g, &m, Default::default());
         let asg = asg.expect("assignment must succeed on feasible machines");
-        prop_assert!(validate_assignment(&g, &m, &asg).is_ok());
+        assert!(validate_assignment(&g, &m, &asg).is_ok());
         // II never below the unified machine's lower bound.
-        prop_assert!(asg.ii >= m.unified_equivalent().mii(&g));
-    }
+        assert!(asg.ii >= m.unified_equivalent().mii(&g));
+    });
+}
 
-    #[test]
-    fn full_pipeline_schedule_validates(
-        g in arb_ddg(14),
-        m in arb_machine()
-    ) {
-        prop_assume!(g.validate().is_ok());
-        let c = compile_loop(&g, &m, PipelineConfig::default())
-            .expect("pipeline must succeed");
-        prop_assert!(validate_schedule(
-            &c.assignment.graph, &m, &c.assignment.map, &c.schedule
-        ).is_ok());
+#[test]
+fn full_pipeline_schedule_validates() {
+    for_cases(5, 96, |rng| {
+        let g = random_ddg(rng, 14);
+        let m = random_machine(rng);
+        if !valid(&g) {
+            return;
+        }
+        let c = compile_loop(&g, &m, PipelineConfig::default()).expect("pipeline must succeed");
+        assert!(validate_schedule(&c.assignment.graph, &m, &c.assignment.map, &c.schedule).is_ok());
         // Working graph node count = originals + copies.
-        prop_assert_eq!(
+        assert_eq!(
             c.assignment.graph.node_count(),
             g.node_count() + c.assignment.copy_count()
         );
-    }
+    });
+}
 
-    #[test]
-    fn count_mrt_release_restores_capacity(
-        ops in proptest::collection::vec((0u32..2, 0..KINDS.len()), 1..24),
-        ii in 1u32..6
-    ) {
+#[test]
+fn count_mrt_release_restores_capacity() {
+    for_cases(6, 96, |rng| {
+        let ii = rng.range_inclusive(1, 5) as u32;
+        let n_ops = rng.range_inclusive(1, 23);
         let m = presets::two_cluster_gp(2, 1);
         let mut mrt = CountMrt::new(&m, ii);
         let baseline: Vec<u32> = m.cluster_ids().map(|c| mrt.free_fu_slots(c)).collect();
         let mut held = Vec::new();
-        for (i, (cl, ki)) in ops.iter().enumerate() {
-            let kind = KINDS[*ki];
-            if kind.fu_class().is_none() { continue; }
+        for i in 0..n_ops {
+            let cl = rng.below(2) as u32;
+            let kind = KINDS[rng.below(KINDS.len())];
+            if kind.fu_class().is_none() {
+                continue;
+            }
             let node = NodeId(i as u32);
-            if mrt.reserve_op(node, ClusterId(*cl), kind).is_ok() {
+            if mrt.reserve_op(node, ClusterId(cl), kind).is_ok() {
                 held.push(node);
             }
         }
@@ -152,114 +187,176 @@ proptest! {
             mrt.release(n);
         }
         let after: Vec<u32> = m.cluster_ids().map(|c| mrt.free_fu_slots(c)).collect();
-        prop_assert_eq!(baseline, after);
-    }
+        assert_eq!(baseline, after);
+    });
+}
 
-    #[test]
-    fn copy_reservations_roundtrip(
-        pairs in proptest::collection::vec((0u32..4, 0u32..4), 1..12),
-        ii in 1u32..5
-    ) {
+#[test]
+fn copy_reservations_roundtrip() {
+    for_cases(7, 96, |rng| {
+        let ii = rng.range_inclusive(1, 4) as u32;
+        let n_pairs = rng.range_inclusive(1, 11);
         let m = presets::four_cluster_gp(4, 2);
         let mut mrt = CountMrt::new(&m, ii);
         let bus0 = mrt.free_bus_slots();
         let mut held = Vec::new();
-        for (i, (s, t)) in pairs.iter().enumerate() {
-            if s == t { continue; }
+        for i in 0..n_pairs {
+            let (s, t) = (rng.below(4) as u32, rng.below(4) as u32);
+            if s == t {
+                continue;
+            }
             let node = NodeId(1000 + i as u32);
-            if mrt.reserve_copy(node, ClusterId(*s), &[ClusterId(*t)], None).is_ok() {
+            if mrt
+                .reserve_copy(node, ClusterId(s), &[ClusterId(t)], None)
+                .is_ok()
+            {
                 held.push(node);
             }
         }
         for n in held {
             mrt.release(n);
         }
-        prop_assert_eq!(mrt.free_bus_slots(), bus0);
+        assert_eq!(mrt.free_bus_slots(), bus0);
         for c in m.cluster_ids() {
-            prop_assert_eq!(mrt.free_read_slots(c), m.interconnect().read_ports() * ii);
-            prop_assert_eq!(mrt.free_write_slots(c), m.interconnect().write_ports() * ii);
+            assert_eq!(mrt.free_read_slots(c), m.interconnect().read_ports() * ii);
+            assert_eq!(mrt.free_write_slots(c), m.interconnect().write_ports() * ii);
         }
-    }
+    });
+}
 
-    #[test]
-    fn schedule_rows_stay_inside_ii(g in arb_ddg(12)) {
-        prop_assume!(g.validate().is_ok());
+#[test]
+fn schedule_rows_stay_inside_ii() {
+    for_cases(8, 96, |rng| {
+        let g = random_ddg(rng, 12);
+        if !valid(&g) {
+            return;
+        }
         let m = presets::unified_gp(4);
         let s = clasp_sched::schedule_unified(&g, &m, Default::default())
             .expect("unified scheduling succeeds");
         for n in g.node_ids() {
             let row = s.kernel_row(n).unwrap();
-            prop_assert!(row < s.ii());
+            assert!(row < s.ii());
         }
-    }
+    });
+}
 
-    #[test]
-    fn pipelined_execution_equals_sequential(
-        g in arb_ddg(12),
-        m in arb_machine()
-    ) {
+#[test]
+fn pipelined_execution_equals_sequential() {
+    for_cases(9, 96, |rng| {
+        let g = random_ddg(rng, 12);
+        let m = random_machine(rng);
         // The strongest property: compile, emit, execute, compare value
         // streams against sequential semantics.
-        prop_assume!(g.validate().is_ok());
-        let c = compile_loop(&g, &m, PipelineConfig::default())
-            .expect("pipeline succeeds");
-        clasp_kernel::verify_pipelined(
-            &c.assignment.graph,
-            &c.assignment.map,
-            &c.schedule,
-            9,
-        ).expect("pipelined == sequential");
-    }
+        if !valid(&g) {
+            return;
+        }
+        let c = compile_loop(&g, &m, PipelineConfig::default()).expect("pipeline succeeds");
+        clasp_kernel::verify_pipelined(&c.assignment.graph, &c.assignment.map, &c.schedule, 9)
+            .expect("pipelined == sequential");
+    });
+}
 
-    #[test]
-    fn stage_scheduling_preserves_validity_and_never_hurts(g in arb_ddg(12)) {
-        prop_assume!(g.validate().is_ok());
+#[test]
+fn stage_scheduling_preserves_validity_and_never_hurts() {
+    for_cases(10, 96, |rng| {
+        let g = random_ddg(rng, 12);
+        if !valid(&g) {
+            return;
+        }
         let m = presets::unified_gp(4);
         let map = clasp_sched::unified_map(&g, &m);
         let s = clasp_sched::schedule_unified(&g, &m, Default::default()).unwrap();
         let staged = clasp_kernel::stage_schedule(&g, &s);
-        prop_assert!(staged.lifetime_after <= staged.lifetime_before);
-        prop_assert!(validate_schedule(&g, &m, &map, &staged.schedule).is_ok());
+        assert!(staged.lifetime_after <= staged.lifetime_before);
+        assert!(validate_schedule(&g, &m, &map, &staged.schedule).is_ok());
         for n in g.node_ids() {
-            prop_assert_eq!(s.kernel_row(n), staged.schedule.kernel_row(n));
+            assert_eq!(s.kernel_row(n), staged.schedule.kernel_row(n));
         }
-    }
+    });
+}
 
-    #[test]
-    fn text_format_roundtrips(g in arb_ddg(20)) {
-        prop_assume!(g.validate().is_ok());
+#[test]
+fn text_format_roundtrips() {
+    for_cases(11, 96, |rng| {
+        let g = random_ddg(rng, 20);
+        if !valid(&g) {
+            return;
+        }
         let text = clasp_text::write_loop(&g);
         let back = clasp_text::parse_loop(&text).expect("round-trip parses");
-        prop_assert_eq!(back.node_count(), g.node_count());
-        prop_assert_eq!(back.edge_count(), g.edge_count());
-        prop_assert_eq!(rec_mii(&back), rec_mii(&g));
+        assert_eq!(back.node_count(), g.node_count());
+        assert_eq!(back.edge_count(), g.edge_count());
+        assert_eq!(rec_mii(&back), rec_mii(&g));
         // Kinds survive.
         for (n, op) in g.nodes() {
-            prop_assert_eq!(back.op(n).kind, op.kind);
+            assert_eq!(back.op(n).kind, op.kind);
         }
         // Edge multiset survives.
-        let mut a: Vec<_> = g.edges().map(|(_, e)| (e.src, e.dst, e.latency, e.distance)).collect();
-        let mut b: Vec<_> = back.edges().map(|(_, e)| (e.src, e.dst, e.latency, e.distance)).collect();
+        let mut a: Vec<_> = g
+            .edges()
+            .map(|(_, e)| (e.src, e.dst, e.latency, e.distance))
+            .collect();
+        let mut b: Vec<_> = back
+            .edges()
+            .map(|(_, e)| (e.src, e.dst, e.latency, e.distance))
+            .collect();
         a.sort();
         b.sort();
-        prop_assert_eq!(a, b);
-    }
+        assert_eq!(a, b);
+    });
+}
 
-    #[test]
-    fn swing_and_iterative_schedulers_agree_on_feasibility(g in arb_ddg(10)) {
-        prop_assume!(g.validate().is_ok());
+#[test]
+fn swing_and_iterative_schedulers_agree_on_feasibility() {
+    for_cases(12, 96, |rng| {
+        let g = random_ddg(rng, 10);
+        if !valid(&g) {
+            return;
+        }
         let m = presets::unified_gp(4);
         let map = clasp_sched::unified_map(&g, &m);
         let mii = m.mii(&g);
         let cap = clasp_sched::max_ii_bound(&g, mii);
         let cfg = clasp_sched::SchedulerConfig::default();
-        let it = (mii..=cap).find(|&ii| {
-            clasp_sched::iterative_schedule(&g, &m, &map, ii, cfg).is_some()
-        });
-        let sw = (mii..=cap).find(|&ii| {
-            clasp_sched::swing_schedule(&g, &m, &map, ii, cfg).is_some()
-        });
-        let (it, sw) = (it.expect("iterative finds an II"), sw.expect("swing finds an II"));
-        prop_assert!(it.abs_diff(sw) <= 1, "iterative {} vs swing {}", it, sw);
-    }
+        let it = (mii..=cap)
+            .find(|&ii| clasp_sched::iterative_schedule(&g, &m, &map, ii, cfg).is_some());
+        let sw =
+            (mii..=cap).find(|&ii| clasp_sched::swing_schedule(&g, &m, &map, ii, cfg).is_some());
+        let (it, sw) = (
+            it.expect("iterative finds an II"),
+            sw.expect("swing finds an II"),
+        );
+        assert!(it.abs_diff(sw) <= 1, "iterative {} vs swing {}", it, sw);
+    });
+}
+
+#[test]
+fn context_sweep_is_identical_to_per_ii_recompute() {
+    // The amortized SchedContext sweep must be decision-identical to
+    // attempting each II with a fresh scheduler (the seed's code path).
+    for_cases(13, 64, |rng| {
+        let g = random_ddg(rng, 12);
+        if !valid(&g) {
+            return;
+        }
+        let m = presets::unified_gp(4);
+        let map = clasp_sched::unified_map(&g, &m);
+        let mii = m.mii(&g);
+        let cap = clasp_sched::max_ii_bound(&g, mii);
+        let cfg = clasp_sched::SchedulerConfig::default();
+        let fresh = (mii.max(1)..=cap)
+            .find_map(|ii| clasp_sched::iterative_schedule(&g, &m, &map, ii, cfg));
+        let mut ctx = clasp_sched::SchedContext::new(&g, &m, &map).unwrap();
+        let swept = ctx.schedule_in_range(mii, cap, cfg);
+        match (fresh, swept) {
+            (Some(a), Some(b)) => {
+                assert_eq!(a.ii(), b.ii());
+                for n in g.node_ids() {
+                    assert_eq!(a.start(n), b.start(n));
+                }
+            }
+            (a, b) => panic!("feasibility diverged: fresh={:?} swept={:?}", a, b),
+        }
+    });
 }
