@@ -22,7 +22,7 @@ fn main() {
     run("sched/unified-16w-corpus-100", 20, || {
         corpus
             .iter()
-            .filter_map(|g| schedule_unified(g, &m, cfg))
+            .filter_map(|g| schedule_unified(g, &m, cfg).ok())
             .map(|s| u64::from(s.ii()))
             .sum::<u64>()
     });
@@ -41,7 +41,7 @@ fn main() {
     run("sched/clustered-4c-corpus-60", 20, || {
         assignments
             .iter()
-            .filter_map(|a| iterative_schedule(&a.graph, &m, &a.map, a.ii, cfg))
+            .filter_map(|a| iterative_schedule(&a.graph, &m, &a.map, a.ii, cfg).ok())
             .count()
     });
 
@@ -52,7 +52,7 @@ fn main() {
             .iter()
             .filter_map(|a| {
                 let cap = max_ii_bound(&a.graph, 1);
-                (1..=cap).find_map(|ii| iterative_schedule(&a.graph, &m, &a.map, ii, cfg))
+                (1..=cap).find_map(|ii| iterative_schedule(&a.graph, &m, &a.map, ii, cfg).ok())
             })
             .count()
     });
@@ -62,7 +62,7 @@ fn main() {
             .filter_map(|a| {
                 let mut ctx = SchedContext::new(&a.graph, &m, &a.map).ok()?;
                 let cap = max_ii_bound(&a.graph, 1);
-                ctx.schedule_in_range(1, cap, cfg)
+                ctx.schedule_in_range(1, cap, cfg).ok()
             })
             .count()
     });

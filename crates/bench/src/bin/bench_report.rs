@@ -15,10 +15,11 @@
 //!
 //! Run with `cargo run --release -p clasp-bench --bin bench-report`.
 
-use clasp::{compare_with_unified, PipelineConfig};
+use clasp::{compare_with_unified, compile_full, compile_loop, CompileRequest, PipelineConfig};
 use clasp_bench::{bench, fmt_ns, json_escape, seed, Timing};
 use clasp_core::{assign_from, assign_with_analysis, Assignment};
 use clasp_ddg::{Ddg, LoopAnalysis};
+use clasp_kernel::{emit_program_with, RegisterModel};
 use clasp_loopgen::{generate_corpus, CorpusConfig};
 use clasp_machine::{presets, MachineSpec};
 use clasp_sched::{max_ii_bound, unified_map, SchedContext, SchedulerConfig};
@@ -55,7 +56,9 @@ fn unified_ii_shared(g: &Ddg, machine: &MachineSpec, cfg: SchedulerConfig) -> Op
     }
     let cap = max_ii_bound(g, mii);
     let mut ctx = SchedContext::new(g, &unified, &map).ok()?;
-    ctx.schedule_in_range(mii.max(1), cap, cfg).map(|s| s.ii())
+    ctx.schedule_in_range(mii.max(1), cap, cfg)
+        .ok()
+        .map(|s| s.ii())
 }
 
 /// The seed pipeline shape: the seed assigner per escalation (re-deriving
@@ -221,7 +224,7 @@ fn main() {
                 .filter_map(|a| {
                     let cap = max_ii_bound(&a.graph, a.ii);
                     let mut ctx = SchedContext::new(&a.graph, &machine, &a.map).ok()?;
-                    ctx.schedule_in_range(a.ii, cap, sched_cfg)
+                    ctx.schedule_in_range(a.ii, cap, sched_cfg).ok()
                 })
                 .map(|s| s.ii())
                 .sum::<u32>()
@@ -263,7 +266,73 @@ fn main() {
         .collect();
     assert_eq!(baseline_iis, amortized_iis, "pipeline IIs diverged");
 
-    let stages = [&analysis, &assignment, &scheduling, &end_to_end];
+    // Full pipeline through kernel emission: the hand-composed stage
+    // sequence the staged driver replaced (compile, register model,
+    // emit) versus one `compile_full` call. The driver must first prove
+    // it emits bit-identical kernels before its timing means anything.
+    let full_req = CompileRequest {
+        pipeline: pipe_cfg,
+        restage: false,
+        iterations: 16,
+        verify: false,
+        ..CompileRequest::default()
+    };
+    for g in &corpus {
+        let glue = compile_loop(g, &machine, pipe_cfg).ok().map(|c| {
+            let model = RegisterModel::mve(&c.assignment.graph, &c.schedule);
+            emit_program_with(
+                &c.assignment.graph,
+                &c.assignment.map,
+                &c.schedule,
+                16,
+                &model,
+            )
+        });
+        let driver = compile_full(g, &machine, &full_req).ok().map(|a| a.program);
+        assert_eq!(
+            glue,
+            driver,
+            "driver kernel diverged from glue on {}",
+            g.name()
+        );
+    }
+    let full_pipeline = Stage {
+        name: "full-pipeline",
+        baseline: bench("full-pipeline/hand-composed", SAMPLES, || {
+            corpus
+                .iter()
+                .filter_map(|g| compile_loop(g, &machine, pipe_cfg).ok())
+                .map(|c| {
+                    let model = RegisterModel::mve(&c.assignment.graph, &c.schedule);
+                    let p = emit_program_with(
+                        &c.assignment.graph,
+                        &c.assignment.map,
+                        &c.schedule,
+                        16,
+                        &model,
+                    );
+                    p.issue_count()
+                })
+                .sum::<usize>()
+        }),
+        amortized: bench("full-pipeline/compile-full", SAMPLES, || {
+            corpus
+                .iter()
+                .filter_map(|g| compile_full(g, &machine, &full_req).ok())
+                .map(|a| a.program.issue_count())
+                .sum::<usize>()
+        }),
+    };
+    println!("{}", full_pipeline.baseline);
+    println!("{}", full_pipeline.amortized);
+
+    let stages = [
+        &analysis,
+        &assignment,
+        &scheduling,
+        &end_to_end,
+        &full_pipeline,
+    ];
     println!();
     for s in &stages {
         println!(

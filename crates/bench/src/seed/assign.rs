@@ -73,7 +73,7 @@ pub fn assign_from(
             return Ok(materialize(g, &state, ii, stats));
         }
     }
-    Err(AssignError::IiExhausted { max_ii })
+    Err(AssignError::IiExhausted { max_ii, last: None })
 }
 
 /// The seed's generous II cap: `mii + sum of all edge latencies + node

@@ -19,6 +19,66 @@ use clasp_machine::{ClusterId, MachineSpec};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 
+/// Why one assignment attempt at a fixed II gave up — the assigner-side
+/// mirror of `clasp-sched`'s `SchedFailure`, carrying the blocking node
+/// so the trace stream and the pipeline report tell one story.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AssignFailure {
+    /// The placement budget ran out at `ii` while `node` was the next
+    /// operation to place.
+    BudgetExhausted {
+        /// The II being attempted.
+        ii: u32,
+        /// The operation the assigner was about to (re)place.
+        node: NodeId,
+    },
+    /// `node` had no feasible cluster and the non-iterative variant does
+    /// not force placements.
+    NoFeasibleCluster {
+        /// The II being attempted.
+        ii: u32,
+        /// The operation with no feasible cluster.
+        node: NodeId,
+    },
+    /// Forced placement (Fig. 11) could not make room for `node`.
+    ForceFailed {
+        /// The II being attempted.
+        ii: u32,
+        /// The operation that could not be forced.
+        node: NodeId,
+    },
+}
+
+impl AssignFailure {
+    /// The operation the assigner was blocked on.
+    pub fn blocking_node(&self) -> NodeId {
+        match self {
+            AssignFailure::BudgetExhausted { node, .. }
+            | AssignFailure::NoFeasibleCluster { node, .. }
+            | AssignFailure::ForceFailed { node, .. } => *node,
+        }
+    }
+}
+
+impl fmt::Display for AssignFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AssignFailure::BudgetExhausted { ii, node } => {
+                write!(
+                    f,
+                    "assignment budget exhausted at II = {ii} (blocked on {node})"
+                )
+            }
+            AssignFailure::NoFeasibleCluster { ii, node } => {
+                write!(f, "no feasible cluster for {node} at II = {ii}")
+            }
+            AssignFailure::ForceFailed { ii, node } => {
+                write!(f, "forced placement of {node} failed at II = {ii}")
+            }
+        }
+    }
+}
+
 /// Errors from [`assign`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum AssignError {
@@ -30,6 +90,9 @@ pub enum AssignError {
     IiExhausted {
         /// Largest II attempted.
         max_ii: u32,
+        /// Why the final attempt failed (`None` when no attempt ran,
+        /// e.g. an empty II range).
+        last: Option<AssignFailure>,
     },
 }
 
@@ -40,8 +103,12 @@ impl fmt::Display for AssignError {
             AssignError::InfeasibleOp(n) => {
                 write!(f, "operation {n} cannot execute on any cluster")
             }
-            AssignError::IiExhausted { max_ii } => {
-                write!(f, "no assignment found up to II = {max_ii}")
+            AssignError::IiExhausted { max_ii, last } => {
+                write!(f, "no assignment found up to II = {max_ii}")?;
+                if let Some(last) = last {
+                    write!(f, " ({last})")?;
+                }
+                Ok(())
             }
         }
     }
@@ -208,16 +275,22 @@ fn assign_impl(
         .unwrap_or_else(|| clasp_sched_max_ii_bound(g, mii));
 
     let mut stats = AssignStats::default();
+    let mut last = None;
     for ii in mii..=max_ii {
         stats.ii_attempts += 1;
         sink.log(|| TraceEvent::IiAttempt { ii });
-        if let Some(state) = attempt(g, machine, sccs, order, ii, config, &mut stats, sink) {
-            stats.copies = state.cpm.live_count();
-            return Ok(materialize(g, &state, ii, stats));
+        match attempt(g, machine, sccs, order, ii, config, &mut stats, sink) {
+            Ok(state) => {
+                stats.copies = state.cpm.live_count();
+                return Ok(materialize(g, &state, ii, stats));
+            }
+            Err(reason) => {
+                sink.log(|| TraceEvent::AttemptFailed { ii, reason });
+                last = Some(reason);
+            }
         }
-        sink.log(|| TraceEvent::AttemptFailed { ii });
     }
-    Err(AssignError::IiExhausted { max_ii })
+    Err(AssignError::IiExhausted { max_ii, last })
 }
 
 /// II cap from the sequential-schedule argument (mirrors
@@ -239,7 +312,7 @@ fn clasp_sched_max_ii_bound(g: &Ddg, mii: u32) -> u32 {
 }
 
 /// One assignment attempt at a fixed II. Returns the completed state or
-/// `None` (bump II).
+/// the typed reason to bump II.
 #[allow(clippy::too_many_arguments)]
 fn attempt<'g>(
     g: &'g Ddg,
@@ -250,12 +323,12 @@ fn attempt<'g>(
     config: AssignConfig,
     stats: &mut AssignStats,
     sink: &mut Sink<'_>,
-) -> Option<AssignState<'g>> {
+) -> Result<AssignState<'g>, AssignFailure> {
     let mut st = AssignState::new(g, machine, ii);
     let mut history: HashMap<NodeId, HashSet<ClusterId>> = HashMap::new();
     let n = g.node_count();
     if n == 0 {
-        return Some(st);
+        return Ok(st);
     }
     let mut budget: u64 = u64::from(config.budget_factor).max(1) * n as u64;
 
@@ -270,11 +343,11 @@ fn attempt<'g>(
             cursor += 1;
         }
         if cursor == n {
-            return Some(st); // all assigned
+            return Ok(st); // all assigned
         }
         let node = order[cursor];
         if budget == 0 {
-            return None;
+            return Err(AssignFailure::BudgetExhausted { ii, node });
         }
         budget -= 1;
 
@@ -320,13 +393,14 @@ fn attempt<'g>(
 
         // No feasible cluster.
         if !config.iterative {
-            return None;
+            return Err(AssignFailure::NoFeasibleCluster { ii, node });
         }
         stats.forced += 1;
-        let c = choose_forced_cluster(node, &st, &history, &executing)?;
+        let c = choose_forced_cluster(node, &st, &history, &executing)
+            .ok_or(AssignFailure::ForceFailed { ii, node })?;
         sink.log(|| TraceEvent::Forced { node, cluster: c });
         if !force_assign(&mut st, node, c, stats, sink) {
-            return None;
+            return Err(AssignFailure::ForceFailed { ii, node });
         }
         record_history(&mut history, node, c, &executing);
         cursor = 0;

@@ -48,7 +48,9 @@ mod result;
 mod state;
 mod trace;
 
-pub use assign::{assign, assign_from, assign_traced, assign_with_analysis, AssignError};
+pub use assign::{
+    assign, assign_from, assign_traced, assign_with_analysis, AssignError, AssignFailure,
+};
 pub use config::{AssignConfig, Ordering, Variant};
 pub use copies::{CopyManager, CopyRecord};
 pub use post::{post_scheduling_assign, post_scheduling_assign_from};

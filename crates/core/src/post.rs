@@ -85,7 +85,7 @@ pub fn post_scheduling_assign_from(
             return Ok(materialize(g, &state, ii, stats));
         }
     }
-    Err(AssignError::IiExhausted { max_ii })
+    Err(AssignError::IiExhausted { max_ii, last: None })
 }
 
 /// One partition attempt: walk the issue order, dealing operations to

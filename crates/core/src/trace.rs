@@ -2,6 +2,7 @@
 //! selection-cascade filter, forced placement, and removal, for
 //! explaining *why* an operation landed on its cluster.
 
+use crate::assign::AssignFailure;
 use clasp_ddg::NodeId;
 use clasp_machine::ClusterId;
 use std::fmt;
@@ -56,11 +57,15 @@ pub enum TraceEvent {
         /// The cluster it was removed from.
         cluster: ClusterId,
     },
-    /// The attempt at this II gave up (budget exhausted or non-iterative
-    /// failure); the next event, if any, is a larger II attempt.
+    /// The attempt at this II gave up; the next event, if any, is a
+    /// larger II attempt. `reason` is the same typed failure the
+    /// assignment error carries, so trace and error tell one story.
     AttemptFailed {
         /// The II that failed.
         ii: u32,
+        /// Why the attempt gave up (budget, no feasible cluster, forced
+        /// placement failure), with the blocking node.
+        reason: AssignFailure,
     },
 }
 
@@ -93,7 +98,9 @@ impl fmt::Display for TraceEvent {
             TraceEvent::Removed { node, cluster } => {
                 write!(f, "{node}: removed from {cluster}")
             }
-            TraceEvent::AttemptFailed { ii } => write!(f, "== attempt at II = {ii} failed"),
+            TraceEvent::AttemptFailed { ii, reason } => {
+                write!(f, "== attempt at II = {ii} failed: {reason}")
+            }
         }
     }
 }
@@ -222,7 +229,16 @@ mod tests {
         };
         assert_eq!(e.to_string(), "n3: assigned to C1 (+2 copies)");
         let t = AssignTrace {
-            events: vec![e, TraceEvent::AttemptFailed { ii: 5 }],
+            events: vec![
+                e,
+                TraceEvent::AttemptFailed {
+                    ii: 5,
+                    reason: AssignFailure::BudgetExhausted {
+                        ii: 5,
+                        node: clasp_ddg::NodeId(3),
+                    },
+                },
+            ],
         };
         let text = t.to_string();
         assert!(text.contains("assigned to C1"));

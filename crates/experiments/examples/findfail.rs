@@ -9,8 +9,8 @@ fn main() {
         let u = unified_ii(g, &m, Default::default());
         let c = compile_loop(g, &m, PipelineConfig::default());
         match (&u, &c) {
-            (None, _) => println!(
-                "{}: BASELINE FAIL (n={}, e={})",
+            (Err(why), _) => println!(
+                "{}: BASELINE FAIL {why} (n={}, e={})",
                 g.name(),
                 g.node_count(),
                 g.edge_count()

@@ -334,8 +334,7 @@ pub fn ablate_sched(corpus: &[Ddg]) {
 /// Beyond the paper: register pressure across the corpus, and how much
 /// the stage-scheduling pass (Eichenberger & Davidson 1995) recovers.
 pub fn registers(corpus: &[Ddg]) {
-    use clasp::compile_loop;
-    use clasp_kernel::{max_live, register_requirement, stage_schedule, MveInfo, RrfInfo};
+    use clasp::{compile_full, CompileRequest};
     println!("\n=== Registers: pressure and stage scheduling (beyond the paper) ===");
     println!(
         "{:<14} {:>10} {:>10} {:>10} {:>12} {:>8} {:>9}",
@@ -353,22 +352,29 @@ pub fn registers(corpus: &[Ddg]) {
         let mut sum_unroll = 0u64;
         let mut sum_rrf = 0u64;
         let mut n = 0usize;
+        // One driver request per loop: restaging on, so the report's
+        // raw/final register statistics are exactly the before/after pair
+        // this table compares.
+        let req = CompileRequest {
+            pipeline: full(),
+            restage: true,
+            iterations: 1,
+            verify: false,
+            ..CompileRequest::default()
+        };
         for g in corpus {
-            let Ok(c) = compile_loop(g, &m, full()) else {
+            let Ok(a) = compile_full(g, &m, &req) else {
                 continue;
             };
-            let wg = &c.assignment.graph;
-            sum_live += u64::from(max_live(wg, &c.schedule));
-            let before = register_requirement(wg, &c.schedule);
-            let staged = stage_schedule(wg, &c.schedule);
-            let after = register_requirement(wg, &staged.schedule);
-            sum_req += u64::from(before);
-            sum_after += u64::from(after);
-            if after < before {
+            let r = &a.report;
+            sum_live += u64::from(r.registers_raw.max_live);
+            sum_req += u64::from(r.registers_raw.requirement);
+            sum_after += u64::from(r.registers_final.requirement);
+            if r.registers_final.requirement < r.registers_raw.requirement {
                 improved += 1;
             }
-            sum_unroll += u64::from(MveInfo::compute(wg, &c.schedule).unroll());
-            sum_rrf += RrfInfo::compute(wg, &c.schedule).size() as u64;
+            sum_unroll += u64::from(r.registers_raw.unroll);
+            sum_rrf += r.registers_raw.rrf_size as u64;
             n += 1;
         }
         let avg = |x: u64| x as f64 / n.max(1) as f64;
@@ -401,7 +407,7 @@ pub fn baseline_post(corpus: &[Ddg]) {
         let mut hist_post = std::collections::BTreeMap::new();
         let mut n = 0usize;
         for g in corpus {
-            let Some(u) = unified_ii(g, &m, Default::default()) else {
+            let Ok(u) = unified_ii(g, &m, Default::default()) else {
                 continue;
             };
             let (Ok(pre), Ok(post)) = (

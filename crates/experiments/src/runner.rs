@@ -65,7 +65,7 @@ fn unified_baseline(
     sched: SchedulerConfig,
 ) -> Vec<Option<u32>> {
     parallel_map(corpus, |g| {
-        schedule_unified(g, unified, sched).map(|s| s.ii())
+        schedule_unified(g, unified, sched).ok().map(|s| s.ii())
     })
 }
 

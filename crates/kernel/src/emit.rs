@@ -54,7 +54,7 @@ pub struct Bundle {
 }
 
 /// A fully emitted pipelined execution of `n_iterations` of the loop.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Program {
     /// Bundles in cycle order (cycles with no issue are omitted).
     pub bundles: Vec<Bundle>,

@@ -16,6 +16,7 @@
 //! is decision-for-decision identical to scheduling each II with a fresh
 //! context (the `tests/context_equivalence.rs` regression pins this).
 
+use crate::failure::SchedFailure;
 use crate::iterative::SchedulerConfig;
 use crate::schedule::{slot_request, Schedule, ScheduleError};
 use clasp_ddg::{Ddg, LoopAnalysis, NodeId};
@@ -143,20 +144,24 @@ impl<'a> SchedContext<'a> {
     /// [`crate::iterative_schedule`]; every attempt starts from fully
     /// reset state, so earlier attempts never leak into later ones.
     ///
-    /// Returns `None` if the placement budget is exhausted or the graph
-    /// is structurally impossible on this machine.
+    /// # Errors
+    ///
+    /// [`SchedFailure::BudgetExhausted`] when the placement budget runs
+    /// out, [`SchedFailure::ResourceImpossible`] when some node's request
+    /// can never be granted on this machine; both carry the blocking
+    /// node.
     ///
     /// # Panics
     ///
     /// Panics if `ii == 0`.
-    pub fn attempt(&mut self, ii: u32, config: SchedulerConfig) -> Option<Schedule> {
+    pub fn attempt(&mut self, ii: u32, config: SchedulerConfig) -> Result<Schedule, SchedFailure> {
         let analysis: &LoopAnalysis = match &self.analysis {
             AnalysisRef::Owned(a) => a,
             AnalysisRef::Borrowed(a) => a,
         };
         let n = self.requests.len();
         if n == 0 {
-            return Some(Schedule::new(ii, HashMap::new()));
+            return Ok(Schedule::new(ii, HashMap::new()));
         }
 
         // Reset all per-attempt state; no allocation, the MRT reset is
@@ -183,18 +188,20 @@ impl<'a> SchedContext<'a> {
         let mut cursor = 0usize;
 
         while unscheduled > 0 {
-            if budget == 0 {
-                return None;
-            }
-            budget -= 1;
-
-            // Highest-priority unscheduled node.
+            // Highest-priority unscheduled node. (Found before the budget
+            // check — the cursor advance has no scheduling effect — so a
+            // budget exhaustion can name the operation it was blocked on.)
             while cursor < n && time[order[cursor].index()].is_some() {
                 cursor += 1;
             }
             debug_assert!(cursor < n, "unscheduled > 0");
             let node = order[cursor];
             let vi = node.index();
+
+            if budget == 0 {
+                return Err(SchedFailure::BudgetExhausted { ii, node });
+            }
+            budget -= 1;
 
             // Earliest start from scheduled predecessors.
             let mut estart: i64 = 0;
@@ -216,7 +223,7 @@ impl<'a> SchedContext<'a> {
                     PlaceOutcome::Blocked => {}
                     PlaceOutcome::Impossible => {
                         // Structurally impossible on this machine.
-                        return None;
+                        return Err(SchedFailure::ResourceImpossible { ii, node });
                     }
                 }
             }
@@ -274,19 +281,36 @@ impl<'a> SchedContext<'a> {
             .node_ids()
             .map(|v| (v, self.time[v.index()].expect("all scheduled")))
             .collect();
-        Some(Schedule::new(ii, result))
+        Ok(Schedule::new(ii, result))
     }
 
     /// Try `min_ii`, `min_ii + 1`, ... up to `max_ii` until one II
     /// succeeds, amortizing all context state across the sweep. Returns
     /// the same schedule as running [`crate::iterative_schedule`] per II.
+    ///
+    /// # Errors
+    ///
+    /// [`SchedFailure::Exhausted`] carrying the last attempt's reason
+    /// when no II in the range succeeds.
     pub fn schedule_in_range(
         &mut self,
         min_ii: u32,
         max_ii: u32,
         config: SchedulerConfig,
-    ) -> Option<Schedule> {
-        (min_ii.max(1)..=max_ii).find_map(|ii| self.attempt(ii, config))
+    ) -> Result<Schedule, SchedFailure> {
+        let min_ii = min_ii.max(1);
+        let mut last = None;
+        for ii in min_ii..=max_ii {
+            match self.attempt(ii, config) {
+                Ok(s) => return Ok(s),
+                Err(f) => last = Some(Box::new(f)),
+            }
+        }
+        Err(SchedFailure::Exhausted {
+            min_ii,
+            max_ii,
+            last,
+        })
     }
 }
 
@@ -328,7 +352,7 @@ mod tests {
         let mut ctx = SchedContext::new(&g, &m, &map).unwrap();
         let swept = ctx.schedule_in_range(1, cap, cfg()).unwrap();
         let fresh = (1..=cap)
-            .find_map(|ii| iterative_schedule(&g, &m, &map, ii, cfg()))
+            .find_map(|ii| iterative_schedule(&g, &m, &map, ii, cfg()).ok())
             .unwrap();
         assert_eq!(swept, fresh);
         assert_eq!(validate_schedule(&g, &m, &map, &swept), Ok(()));
@@ -344,7 +368,10 @@ mod tests {
         let b = ctx.attempt(4, cfg()).unwrap();
         assert_eq!(a, b);
         // A failing attempt in between must not perturb later ones.
-        assert!(ctx.attempt(1, cfg()).is_none());
+        assert!(matches!(
+            ctx.attempt(1, cfg()),
+            Err(SchedFailure::BudgetExhausted { ii: 1, .. })
+        ));
         let c = ctx.attempt(4, cfg()).unwrap();
         assert_eq!(a, c);
     }

@@ -1,0 +1,177 @@
+//! Typed scheduling-failure reasons.
+//!
+//! The schedulers used to answer "no schedule at this II" with a bare
+//! `None`, which made II-escalation decisions unexplainable: a budget
+//! exhaustion (retry at a larger II may help), a structurally impossible
+//! resource request (no II will ever help), and a malformed annotation
+//! (caller bug) all looked identical. [`SchedFailure`] keeps them apart
+//! and records the *blocking node* — the operation the scheduler was
+//! working on when it gave up — so the pipeline report can say not just
+//! that II escalated but why.
+
+use crate::schedule::ScheduleError;
+use clasp_ddg::NodeId;
+use std::fmt;
+
+/// Why a modulo-scheduling attempt (or a whole II sweep) failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchedFailure {
+    /// The placement budget (Rau's `budget_ratio × nodes`) ran out at
+    /// `ii` while `node` was the highest-priority unscheduled operation.
+    /// A larger II usually relieves the contention.
+    BudgetExhausted {
+        /// The II being attempted.
+        ii: u32,
+        /// The operation the scheduler was about to (re)place.
+        node: NodeId,
+    },
+    /// No slot in `node`'s scan window was conflict-free at `ii` and
+    /// forced placement was not available to the scheduler.
+    WindowInfeasible {
+        /// The II being attempted.
+        ii: u32,
+        /// The operation that found no slot.
+        node: NodeId,
+    },
+    /// `node`'s resource request can never be granted: the reservation
+    /// table has no matching capacity in any row (e.g. its assigned
+    /// cluster has no unit of the required class). No II helps.
+    ResourceImpossible {
+        /// The II being attempted when the conflict was discovered.
+        ii: u32,
+        /// The operation with the unsatisfiable request.
+        node: NodeId,
+    },
+    /// MII is unbounded: some operation kind has no functional unit
+    /// anywhere on the machine, so no II search can even start.
+    MiiUnbounded,
+    /// The graph annotation is unusable — a node is missing its cluster
+    /// assignment or copy metadata. This is a caller error, not a
+    /// scheduling outcome.
+    Invalid(ScheduleError),
+    /// Every II in `min_ii..=max_ii` failed. `last` is the final
+    /// attempt's reason (`None` only when the range was empty).
+    Exhausted {
+        /// First II attempted.
+        min_ii: u32,
+        /// Last II attempted.
+        max_ii: u32,
+        /// The failure reported at `max_ii`.
+        last: Option<Box<SchedFailure>>,
+    },
+}
+
+impl SchedFailure {
+    /// The operation the scheduler was blocked on, when one is known.
+    /// For a range exhaustion this is the blocking node of the last
+    /// attempt.
+    pub fn blocking_node(&self) -> Option<NodeId> {
+        match self {
+            SchedFailure::BudgetExhausted { node, .. }
+            | SchedFailure::WindowInfeasible { node, .. }
+            | SchedFailure::ResourceImpossible { node, .. } => Some(*node),
+            SchedFailure::Exhausted { last, .. } => last.as_ref().and_then(|f| f.blocking_node()),
+            SchedFailure::MiiUnbounded | SchedFailure::Invalid(_) => None,
+        }
+    }
+
+    /// Whether escalating to a larger II could plausibly succeed.
+    /// Structural failures (impossible requests, unbounded MII, bad
+    /// annotations) return `false`.
+    pub fn retryable(&self) -> bool {
+        match self {
+            SchedFailure::BudgetExhausted { .. } | SchedFailure::WindowInfeasible { .. } => true,
+            SchedFailure::ResourceImpossible { .. }
+            | SchedFailure::MiiUnbounded
+            | SchedFailure::Invalid(_) => false,
+            SchedFailure::Exhausted { last, .. } => last.as_ref().is_some_and(|f| f.retryable()),
+        }
+    }
+}
+
+impl fmt::Display for SchedFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedFailure::BudgetExhausted { ii, node } => {
+                write!(
+                    f,
+                    "placement budget exhausted at II = {ii} (blocked on {node})"
+                )
+            }
+            SchedFailure::WindowInfeasible { ii, node } => {
+                write!(f, "no free slot in {node}'s scan window at II = {ii}")
+            }
+            SchedFailure::ResourceImpossible { ii, node } => {
+                write!(
+                    f,
+                    "{node}'s resource request is unsatisfiable at II = {ii} (no matching unit)"
+                )
+            }
+            SchedFailure::MiiUnbounded => {
+                write!(f, "MII is unbounded: some operation has no unit anywhere")
+            }
+            SchedFailure::Invalid(e) => write!(f, "graph annotation unusable: {e}"),
+            SchedFailure::Exhausted {
+                min_ii,
+                max_ii,
+                last,
+            } => {
+                write!(f, "every II in {min_ii}..={max_ii} failed")?;
+                if let Some(last) = last {
+                    write!(f, "; at II = {max_ii}: {last}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for SchedFailure {}
+
+impl From<ScheduleError> for SchedFailure {
+    fn from(e: ScheduleError) -> Self {
+        SchedFailure::Invalid(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocking_node_threads_through_exhaustion() {
+        let inner = SchedFailure::BudgetExhausted {
+            ii: 4,
+            node: NodeId(7),
+        };
+        let outer = SchedFailure::Exhausted {
+            min_ii: 2,
+            max_ii: 4,
+            last: Some(Box::new(inner)),
+        };
+        assert_eq!(outer.blocking_node(), Some(NodeId(7)));
+        assert!(outer.retryable());
+    }
+
+    #[test]
+    fn structural_failures_are_not_retryable() {
+        assert!(!SchedFailure::MiiUnbounded.retryable());
+        assert!(!SchedFailure::ResourceImpossible {
+            ii: 1,
+            node: NodeId(0)
+        }
+        .retryable());
+        assert_eq!(SchedFailure::MiiUnbounded.blocking_node(), None);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = SchedFailure::BudgetExhausted {
+            ii: 3,
+            node: NodeId(2),
+        }
+        .to_string();
+        assert!(s.contains("II = 3"));
+        assert!(s.contains("budget"));
+    }
+}

@@ -12,6 +12,7 @@
 //! [`schedule_in_range`] and [`schedule_unified`] already do.
 
 use crate::context::SchedContext;
+use crate::failure::SchedFailure;
 use crate::schedule::{unified_map, Schedule};
 use clasp_ddg::Ddg;
 use clasp_machine::MachineSpec;
@@ -38,9 +39,12 @@ impl Default for SchedulerConfig {
 /// Attempt a modulo schedule of the annotated graph `g` on `machine` at
 /// exactly the initiation interval `ii`.
 ///
-/// Every node must be assigned in `map` (copies with metadata). Returns
-/// `None` if the budget is exhausted or some node cannot execute on its
-/// assigned cluster.
+/// Every node must be assigned in `map` (copies with metadata).
+///
+/// # Errors
+///
+/// A [`SchedFailure`] naming the blocking node: budget exhaustion, an
+/// unsatisfiable resource request, or an unusable annotation.
 ///
 /// # Examples
 ///
@@ -64,8 +68,8 @@ pub fn iterative_schedule(
     map: &ClusterMap,
     ii: u32,
     config: SchedulerConfig,
-) -> Option<Schedule> {
-    let mut ctx = SchedContext::new(g, machine, map).ok()?;
+) -> Result<Schedule, SchedFailure> {
+    let mut ctx = SchedContext::new(g, machine, map).map_err(SchedFailure::Invalid)?;
     ctx.attempt(ii, config)
 }
 
@@ -74,7 +78,11 @@ pub fn iterative_schedule(
 /// amortized over the whole sweep; the result is identical to attempting
 /// each II with [`iterative_schedule`].
 ///
-/// Returns `None` if every II in the range fails.
+/// # Errors
+///
+/// [`SchedFailure::Exhausted`] (carrying the last attempt's reason) if
+/// every II in the range fails, [`SchedFailure::Invalid`] if the
+/// annotation is unusable.
 pub fn schedule_in_range(
     g: &Ddg,
     machine: &MachineSpec,
@@ -82,8 +90,8 @@ pub fn schedule_in_range(
     min_ii: u32,
     max_ii: u32,
     config: SchedulerConfig,
-) -> Option<Schedule> {
-    let mut ctx = SchedContext::new(g, machine, map).ok()?;
+) -> Result<Schedule, SchedFailure> {
+    let mut ctx = SchedContext::new(g, machine, map).map_err(SchedFailure::Invalid)?;
     ctx.schedule_in_range(min_ii, max_ii, config)
 }
 
@@ -91,8 +99,12 @@ pub fn schedule_in_range(
 /// max(RecMII, ResMII)` and searches upward. This is the paper's baseline
 /// ("an equally wide non-clustered machine").
 ///
-/// Returns `None` only for pathological inputs (some operation kind has no
-/// unit anywhere, or every II up to [`max_ii_bound`] fails).
+/// # Errors
+///
+/// Fails only on pathological inputs: [`SchedFailure::MiiUnbounded`]
+/// when some operation kind has no unit anywhere, or
+/// [`SchedFailure::Exhausted`] when every II up to [`max_ii_bound`]
+/// fails.
 ///
 /// # Panics
 ///
@@ -101,11 +113,11 @@ pub fn schedule_unified(
     g: &Ddg,
     machine: &MachineSpec,
     config: SchedulerConfig,
-) -> Option<Schedule> {
+) -> Result<Schedule, SchedFailure> {
     let map = unified_map(g, machine);
     let mii = machine.mii(g);
     if mii == u32::MAX {
-        return None;
+        return Err(SchedFailure::MiiUnbounded);
     }
     let max_ii = max_ii_bound(g, mii);
     schedule_in_range(g, machine, &map, mii, max_ii, config)
@@ -256,7 +268,10 @@ mod tests {
             vec![clasp_machine::ClusterSpec::specialized(1, 1, 0)],
             clasp_machine::Interconnect::None,
         );
-        assert!(schedule_unified(&g, &m, cfg()).is_none());
+        assert_eq!(
+            schedule_unified(&g, &m, cfg()),
+            Err(SchedFailure::MiiUnbounded)
+        );
     }
 
     #[test]
@@ -297,14 +312,17 @@ mod tests {
             g.add_dep(w[0], w[1]);
         }
         let m = presets::unified_gp(1);
-        let none = iterative_schedule(
+        let failed = iterative_schedule(
             &g,
             &m,
             &unified_map(&g, &m),
             20,
             SchedulerConfig { budget_factor: 0 },
         );
-        assert!(none.is_none());
+        assert!(matches!(
+            failed,
+            Err(SchedFailure::BudgetExhausted { ii: 20, .. })
+        ));
     }
 
     #[test]

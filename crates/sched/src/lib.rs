@@ -14,6 +14,11 @@
 //! - [`validate_schedule`]: independent checker for dependence and
 //!   resource correctness.
 //!
+//! Every scheduling entry point returns `Result<Schedule, SchedFailure>`:
+//! a failed attempt names its reason (budget exhausted, window
+//! infeasible, unsatisfiable resource request) and the blocking node, so
+//! II-escalation decisions upstream are explainable.
+//!
 //! # Examples
 //!
 //! ```
@@ -33,11 +38,13 @@
 #![forbid(unsafe_code)]
 
 mod context;
+mod failure;
 mod iterative;
 mod schedule;
 mod swing;
 
 pub use context::SchedContext;
+pub use failure::SchedFailure;
 pub use iterative::{
     iterative_schedule, max_ii_bound, schedule_in_range, schedule_unified, SchedulerConfig,
 };

@@ -8,6 +8,7 @@
 //! iterative flavour adds Rau-style force-placement with eviction when no
 //! slot in the window is free, instead of failing the II outright.
 
+use crate::failure::SchedFailure;
 use crate::iterative::SchedulerConfig;
 use crate::schedule::{slot_request, Schedule};
 use clasp_ddg::{swing_order, Ddg};
@@ -38,8 +39,10 @@ impl std::fmt::Display for SchedulerKind {
 /// `ii`. Like [`crate::iterative_schedule`], cluster assignments and copy
 /// metadata are consumed from `map`, never chosen.
 ///
-/// Returns `None` when the placement budget is exhausted or a node cannot
-/// execute on its assigned cluster.
+/// # Errors
+///
+/// A [`SchedFailure`] naming the blocking node when the placement budget
+/// is exhausted or a node cannot execute on its assigned cluster.
 ///
 /// # Examples
 ///
@@ -63,10 +66,10 @@ pub fn swing_schedule(
     map: &ClusterMap,
     ii: u32,
     config: SchedulerConfig,
-) -> Option<Schedule> {
+) -> Result<Schedule, SchedFailure> {
     let n = g.node_count();
     if n == 0 {
-        return Some(Schedule::new(ii, HashMap::new()));
+        return Ok(Schedule::new(ii, HashMap::new()));
     }
     let order = swing_order(g);
 
@@ -74,7 +77,7 @@ pub fn swing_schedule(
     for node in g.node_ids() {
         match slot_request(g, map, node) {
             Ok(r) => requests.push(r),
-            Err(_) => return None,
+            Err(e) => return Err(SchedFailure::Invalid(e)),
         }
     }
 
@@ -87,17 +90,19 @@ pub fn swing_schedule(
     let ii_i = i64::from(ii);
 
     while unscheduled > 0 {
-        if budget == 0 {
-            return None;
-        }
-        budget -= 1;
-
+        // The node lookup has no scheduling effect, so it runs before the
+        // budget check: an exhaustion names the operation it blocked on.
         let node = order
             .iter()
             .copied()
             .find(|v| time[v.index()].is_none())
             .expect("unscheduled > 0");
         let vi = node.index();
+
+        if budget == 0 {
+            return Err(SchedFailure::BudgetExhausted { ii, node });
+        }
+        budget -= 1;
 
         // Anchors from scheduled neighbours.
         let mut estart: Option<i64> = None;
@@ -145,7 +150,8 @@ pub fn swing_schedule(
                 }
                 Err(c) => {
                     if c.blockers.is_empty() {
-                        return None; // structurally impossible
+                        // Structurally impossible on this machine.
+                        return Err(SchedFailure::ResourceImpossible { ii, node });
                     }
                 }
             }
@@ -155,7 +161,7 @@ pub fn swing_schedule(
             Some(t) => t,
             None => {
                 if !config.iterative_fallback() {
-                    return None;
+                    return Err(SchedFailure::WindowInfeasible { ii, node });
                 }
                 // Iterative fallback: force-place like Rau, evicting the
                 // holders, strictly advancing on repeats.
@@ -215,7 +221,7 @@ pub fn swing_schedule(
         .node_ids()
         .map(|v| (v, time[v.index()].expect("all scheduled")))
         .collect();
-    Some(Schedule::new(ii, result))
+    Ok(Schedule::new(ii, result))
 }
 
 impl SchedulerConfig {
@@ -228,6 +234,10 @@ impl SchedulerConfig {
 }
 
 /// Dispatch to the configured phase-2 scheduler at a fixed II.
+///
+/// # Errors
+///
+/// The dispatched scheduler's [`SchedFailure`].
 pub fn schedule_with(
     kind: SchedulerKind,
     g: &Ddg,
@@ -235,7 +245,7 @@ pub fn schedule_with(
     map: &ClusterMap,
     ii: u32,
     config: SchedulerConfig,
-) -> Option<Schedule> {
+) -> Result<Schedule, SchedFailure> {
     match kind {
         SchedulerKind::Iterative => crate::iterative_schedule(g, machine, map, ii, config),
         SchedulerKind::Swing => swing_schedule(g, machine, map, ii, config),
@@ -256,7 +266,8 @@ mod tests {
     fn schedule_unified_swing(g: &Ddg, m: &MachineSpec) -> Option<Schedule> {
         let map = unified_map(g, m);
         let mii = m.mii(g);
-        (mii..=crate::max_ii_bound(g, mii)).find_map(|ii| swing_schedule(g, m, &map, ii, cfg()))
+        (mii..=crate::max_ii_bound(g, mii))
+            .find_map(|ii| swing_schedule(g, m, &map, ii, cfg()).ok())
     }
 
     #[test]
@@ -361,9 +372,9 @@ mod tests {
             let map = unified_map(&g, &m);
             let mii = m.mii(&g);
             let cap = crate::max_ii_bound(&g, mii);
-            let it = (mii..=cap)
-                .find(|&ii| crate::iterative_schedule(&g, &m, &map, ii, cfg()).is_some());
-            let sw = (mii..=cap).find(|&ii| swing_schedule(&g, &m, &map, ii, cfg()).is_some());
+            let it =
+                (mii..=cap).find(|&ii| crate::iterative_schedule(&g, &m, &map, ii, cfg()).is_ok());
+            let sw = (mii..=cap).find(|&ii| swing_schedule(&g, &m, &map, ii, cfg()).is_ok());
             let (it, sw) = (it.unwrap(), sw.unwrap());
             assert!(
                 sw.abs_diff(it) <= 1,

@@ -31,8 +31,8 @@ fn unified_sweep_is_bit_identical_to_per_ii_recompute() {
         let cap = max_ii_bound(&g, mii);
 
         let mut ctx = SchedContext::new(&g, &machine, &map).expect("context builds");
-        let swept = ctx.schedule_in_range(mii, cap, cfg);
-        let fresh = (mii..=cap).find_map(|ii| iterative_schedule(&g, &machine, &map, ii, cfg));
+        let swept = ctx.schedule_in_range(mii, cap, cfg).ok();
+        let fresh = (mii..=cap).find_map(|ii| iterative_schedule(&g, &machine, &map, ii, cfg).ok());
 
         match (swept, fresh) {
             (Some(a), Some(b)) => {
@@ -73,9 +73,9 @@ fn clustered_sweep_is_bit_identical_to_per_ii_recompute() {
         let cap = max_ii_bound(&asg.graph, asg.ii);
 
         let mut ctx = SchedContext::new(&asg.graph, &machine, &asg.map).expect("context builds");
-        let swept = ctx.schedule_in_range(asg.ii, cap, cfg);
+        let swept = ctx.schedule_in_range(asg.ii, cap, cfg).ok();
         let fresh = (asg.ii..=cap)
-            .find_map(|ii| iterative_schedule(&asg.graph, &machine, &asg.map, ii, cfg));
+            .find_map(|ii| iterative_schedule(&asg.graph, &machine, &asg.map, ii, cfg).ok());
 
         match (swept, fresh) {
             (Some(a), Some(b)) => {

@@ -8,7 +8,7 @@
 //!
 //! Run with: `cargo run --example grid_machine`
 
-use clasp::{compile_loop, PipelineConfig};
+use clasp::{compile_full, CompileRequest};
 use clasp_ddg::{Ddg, OpKind};
 use clasp_machine::presets;
 
@@ -43,13 +43,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         g.add_dep(a, s);
     }
 
-    let compiled = compile_loop(&g, &machine, PipelineConfig::default())?;
+    let compiled = compile_full(&g, &machine, &CompileRequest::default())?;
     let asg = &compiled.assignment;
     println!(
-        "\nassigned {} ops + {} copies at II = {}",
+        "\nassigned {} ops + {} copies at II = {} (kernel verified over {} iterations)",
         g.node_count(),
         asg.copy_count(),
-        compiled.ii()
+        compiled.ii(),
+        compiled.report.verified_iterations.unwrap_or(0)
     );
 
     println!("\nper-cluster placement:");

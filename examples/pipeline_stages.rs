@@ -1,19 +1,18 @@
-//! From schedule to executable pipelined code.
+//! From schedule to executable pipelined code, through the staged driver.
 //!
-//! Compiles a dot-product loop for a two-cluster machine, prints the
-//! kernel table, the register-pressure metrics, the modulo-variable-
-//! expansion plan, and the first cycles of the emitted VLIW program —
-//! then runs the functional simulator to prove the pipelined code
-//! computes exactly what the sequential loop computes.
+//! Compiles a dot-product loop for a two-cluster machine with
+//! [`clasp::compile_full`] — assignment, modulo scheduling, register
+//! modelling, emission, and functional verification in one call — then
+//! prints the kernel table, the register-pressure metrics, the
+//! modulo-variable-expansion plan, the first cycles of the emitted VLIW
+//! program, and the driver's own compile report. A second request swaps
+//! the register model for a rotating register file.
 //!
 //! Run with: `cargo run --example pipeline_stages`
 
-use clasp::{compile_loop, PipelineConfig};
+use clasp::{compile_full, CompileRequest, RegisterModelKind};
 use clasp_ddg::{Ddg, OpKind};
-use clasp_kernel::{
-    emit_program, kernel_table, lifetimes, max_live, register_requirement, verify_pipelined,
-    MveInfo,
-};
+use clasp_kernel::{lifetimes, RegisterModel};
 use clasp_machine::presets;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -32,23 +31,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     g.add_dep(acc, st);
 
     let machine = presets::two_cluster_gp(2, 1);
-    let compiled = compile_loop(&g, &machine, PipelineConfig::default())?;
-    let wg = &compiled.assignment.graph;
-    let map = &compiled.assignment.map;
-    let sched = &compiled.schedule;
+
+    // One driver call runs every stage and verifies the emitted kernel
+    // against sequential execution (a divergence would be an Err here).
+    let req = CompileRequest {
+        restage: false,
+        iterations: 25,
+        ..CompileRequest::default()
+    };
+    let artifact = compile_full(&g, &machine, &req)?;
+    let wg = &artifact.assignment.graph;
+    let sched = &artifact.schedule;
+    let report = &artifact.report;
 
     println!("machine: {machine}");
     println!(
         "II = {}, copies = {}, nodes in working graph = {}",
-        compiled.ii(),
-        compiled.assignment.copy_count(),
+        artifact.ii(),
+        artifact.assignment.copy_count(),
         wg.node_count()
     );
 
-    println!(
-        "\n{}",
-        kernel_table(wg, map, sched, machine.cluster_count())
-    );
+    println!("\n{}", artifact.kernel_table(&machine));
 
     println!("value lifetimes:");
     for lt in lifetimes(wg, sched) {
@@ -61,27 +65,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             lt.instances(sched.ii())
         );
     }
-    println!("MaxLive = {}", max_live(wg, sched));
+    println!("MaxLive = {}", report.registers_final.max_live);
     println!(
         "MVE register requirement = {}",
-        register_requirement(wg, sched)
+        report.registers_final.requirement
     );
 
-    let mve = MveInfo::compute(wg, sched);
-    println!(
-        "MVE: unroll the kernel {}x, {} registers allocated ({} minimal)",
-        mve.unroll(),
-        mve.total_regs(),
-        mve.minimal_regs()
-    );
+    if let RegisterModel::Mve(mve) = &artifact.register_model {
+        println!(
+            "MVE: unroll the kernel {}x, {} registers allocated ({} minimal)",
+            mve.unroll(),
+            mve.total_regs(),
+            mve.minimal_regs()
+        );
+    }
 
-    let n_iters = 6;
-    let program = emit_program(wg, map, sched, n_iters);
+    let program = &artifact.program;
     println!(
         "\nemitted program: {} bundles over {} cycles for {} iterations ({} stages):",
         program.bundles.len(),
         program.span(),
-        n_iters,
+        req.iterations,
         program.stages
     );
     for bundle in program.bundles.iter().take(8) {
@@ -103,20 +107,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  ... {} more bundles", program.bundles.len() - 8);
     }
 
-    print!("\nfunctional simulation vs sequential execution: ");
-    verify_pipelined(wg, map, sched, 25)?;
-    println!("identical store streams over 25 iterations ✓");
+    println!(
+        "\nfunctional simulation vs sequential execution: identical store \
+         streams over {} iterations ✓",
+        report.verified_iterations.expect("driver verified")
+    );
 
-    // The same schedule under a rotating register file (the Cydra 5 /
+    // The same loop under a rotating register file (the Cydra 5 /
     // Itanium mechanism): hardware renaming, no kernel unrolling.
-    let rot = clasp_kernel::RegisterModel::rotating(wg, sched);
-    let rrf = clasp_kernel::RrfInfo::compute(wg, sched);
-    clasp_kernel::verify_pipelined_with(wg, map, sched, 25, &rot)?;
+    let rotating = compile_full(
+        &g,
+        &machine,
+        &CompileRequest {
+            register_model: RegisterModelKind::Rotating,
+            ..req
+        },
+    )?;
     println!(
         "rotating register file: {} rotating registers, kernel unroll {}x (vs {}x under MVE) ✓",
-        rrf.size(),
-        rot.unroll(),
-        mve.unroll()
+        rotating.report.registers_final.rrf_size, rotating.report.unroll, report.unroll
     );
+
+    println!("\n{report}");
     Ok(())
 }

@@ -16,16 +16,17 @@
 //!   --variant <v>         simple | simple-iterative | heuristic |
 //!                         heuristic-iterative (default)
 //!   --scheduler <s>       iterative (default) | swing
+//!   --model <m>           mve (default) | rotating register naming
 //!   --iterations N        iterations to emit/simulate (default 16)
 //!   --dot                 dump the working graph as Graphviz DOT
 //!   --kernel              print the kernel table
-//!   --explain             print the assignment decision log
+//!   --explain             print the assignment decision log and the
+//!                         per-stage compile report
 //! ```
 
-use clasp::{compile_loop, unified_ii, PipelineConfig};
+use clasp::{compile_full, unified_ii, CompileRequest, PipelineConfig, RegisterModelKind};
 use clasp_core::Variant;
 use clasp_ddg::{find_sccs, rec_mii, swing_order, Ddg};
-use clasp_kernel::{kernel_table, max_live, register_requirement, verify_pipelined, MveInfo};
 use clasp_machine::{presets, MachineSpec};
 use clasp_sched::SchedulerKind;
 use std::process::ExitCode;
@@ -37,6 +38,7 @@ struct Options {
     ports: Option<u32>,
     variant: Variant,
     scheduler: SchedulerKind,
+    model: RegisterModelKind,
     iterations: i64,
     dot: bool,
     kernel: bool,
@@ -52,6 +54,7 @@ impl Default for Options {
             ports: None,
             variant: Variant::HeuristicIterative,
             scheduler: SchedulerKind::Iterative,
+            model: RegisterModelKind::Mve,
             iterations: 16,
             dot: false,
             kernel: false,
@@ -64,7 +67,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: clasp-cli <analyze|compile|simulate|machines> [loop.clasp] [options]\n\
          see `clasp-cli machines` for presets; options: --machine --buses --ports\n\
-         --variant --scheduler --iterations --dot --kernel --explain"
+         --variant --scheduler --model --iterations --dot --kernel --explain"
     );
     ExitCode::from(2)
 }
@@ -125,14 +128,28 @@ fn analyze(g: &Ddg) {
     println!("  assignment order: {}", order.join(", "));
 }
 
+/// The driver request both subcommands share: restaging off so the
+/// printed registers and kernel table describe the raw modulo schedule,
+/// exactly as the paper's tables do.
+fn request(opts: &Options, verify: bool) -> CompileRequest {
+    CompileRequest {
+        pipeline: PipelineConfig {
+            assign: opts.variant.into(),
+            scheduler: opts.scheduler,
+            ..PipelineConfig::default()
+        },
+        register_model: opts.model,
+        restage: false,
+        iterations: opts.iterations,
+        verify,
+    }
+}
+
 fn compile(g: &Ddg, opts: &Options) -> Result<(), String> {
     let machine = build_machine(opts)?;
-    let config = PipelineConfig {
-        assign: opts.variant.into(),
-        scheduler: opts.scheduler,
-        ..PipelineConfig::default()
-    };
+    let req = request(opts, false);
     if opts.explain {
+        let config = req.pipeline;
         let (res, trace) = clasp_core::assign_traced(g, &machine, config.assign, 1);
         res.map_err(|e| e.to_string())?;
         println!("assignment decision log:");
@@ -145,33 +162,33 @@ fn compile(g: &Ddg, opts: &Options) -> Result<(), String> {
         }
         println!();
     }
-    let compiled = compile_loop(g, &machine, config).map_err(|e| e.to_string())?;
-    let baseline = unified_ii(g, &machine, config.sched);
-    let wg = &compiled.assignment.graph;
-    let map = &compiled.assignment.map;
+    let artifact = compile_full(g, &machine, &req).map_err(|e| e.to_string())?;
+    let baseline = unified_ii(g, &machine, req.pipeline.sched);
+    let wg = &artifact.assignment.graph;
+    let report = &artifact.report;
 
     println!("machine:   {machine}");
     println!("variant:   {} / {} scheduler", opts.variant, opts.scheduler);
     println!(
         "II:        {} (unified baseline: {})",
-        compiled.ii(),
+        artifact.ii(),
         baseline.map_or("-".into(), |u| u.to_string())
     );
     println!(
         "copies:    {} inserted; II attempts {}, removals {}",
-        compiled.assignment.copy_count(),
-        compiled.assignment.stats.ii_attempts,
-        compiled.assignment.stats.removals
+        artifact.assignment.copy_count(),
+        artifact.assignment.stats.ii_attempts,
+        artifact.assignment.stats.removals
     );
     println!(
         "registers: MaxLive {}, MVE requirement {}, kernel unroll {}x",
-        max_live(wg, &compiled.schedule),
-        register_requirement(wg, &compiled.schedule),
-        MveInfo::compute(wg, &compiled.schedule).unroll()
+        report.registers_final.max_live,
+        report.registers_final.requirement,
+        report.registers_final.unroll
     );
     println!("\nplacement:");
     for c in machine.cluster_ids() {
-        let names: Vec<String> = compiled
+        let names: Vec<String> = artifact
             .assignment
             .nodes_on(c)
             .iter()
@@ -181,35 +198,23 @@ fn compile(g: &Ddg, opts: &Options) -> Result<(), String> {
     }
     if opts.kernel {
         println!();
-        print!(
-            "{}",
-            kernel_table(wg, map, &compiled.schedule, machine.cluster_count())
-        );
+        print!("{}", artifact.kernel_table(&machine));
     }
     if opts.dot {
         println!("\n{}", wg.to_dot());
+    }
+    if opts.explain {
+        println!("\n{report}");
     }
     Ok(())
 }
 
 fn simulate(g: &Ddg, opts: &Options) -> Result<(), String> {
     let machine = build_machine(opts)?;
-    let config = PipelineConfig {
-        assign: opts.variant.into(),
-        scheduler: opts.scheduler,
-        ..PipelineConfig::default()
-    };
-    let compiled = compile_loop(g, &machine, config).map_err(|e| e.to_string())?;
-    verify_pipelined(
-        &compiled.assignment.graph,
-        &compiled.assignment.map,
-        &compiled.schedule,
-        opts.iterations,
-    )
-    .map_err(|e| e.to_string())?;
+    let artifact = compile_full(g, &machine, &request(opts, true)).map_err(|e| e.to_string())?;
     println!(
         "ok: pipelined execution (II = {}) matches sequential execution over {} iterations",
-        compiled.ii(),
+        artifact.ii(),
         opts.iterations
     );
     Ok(())
@@ -280,6 +285,17 @@ fn main() -> ExitCode {
                     Ok(())
                 }
                 _ => Err("--scheduler is `iterative` or `swing`".into()),
+            },
+            "--model" => match take(&mut i).as_deref() {
+                Some("mve") => {
+                    opts.model = RegisterModelKind::Mve;
+                    Ok(())
+                }
+                Some("rotating") => {
+                    opts.model = RegisterModelKind::Rotating;
+                    Ok(())
+                }
+                _ => Err("--model is `mve` or `rotating`".into()),
             },
             "--iterations" => take(&mut i)
                 .and_then(|v| v.parse().ok())

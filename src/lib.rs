@@ -7,8 +7,13 @@
 //! operations, and hands any traditional modulo scheduler a graph it can
 //! schedule with no knowledge of clustering.
 //!
-//! This facade crate re-exports the workspace and hosts the two-phase
-//! pipeline of the paper's Figure 5:
+//! This facade crate re-exports the workspace and hosts the staged
+//! compile driver: [`compile_full`] runs assignment + modulo scheduling
+//! (the paper's Figure 5 escalation), stage scheduling, register
+//! modelling (MVE or rotating), kernel emission, and functional
+//! verification as explicit stages, returning a [`CompiledArtifact`]
+//! with a per-stage [`CompileReport`]. The lighter [`compile_loop`]
+//! stops after phase 2 for callers that only need an II.
 //!
 //! | crate | contents |
 //! |-------|----------|
@@ -48,8 +53,13 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod driver;
 mod pipeline;
 
+pub use driver::{
+    compile_full, CompileReport, CompileRequest, CompiledArtifact, IiStep, RegisterModelKind,
+    RegisterStats, StageTimings,
+};
 pub use pipeline::{
     compare_with_unified, compile_loop, compile_loop_post, unified_ii, CompiledLoop,
     PipelineConfig, PipelineError,

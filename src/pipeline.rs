@@ -1,6 +1,13 @@
 //! The full two-phase compilation pipeline of the paper's Figure 5:
 //! cluster assignment, then traditional modulo scheduling, escalating II
 //! and re-assigning from scratch whenever either phase fails.
+//!
+//! Every failure reaching [`PipelineError`] is typed: scheduler failures
+//! arrive as [`clasp_sched::SchedFailure`] (budget, window, resource —
+//! with the blocking node), assignment failures as
+//! [`clasp_core::AssignError`], and the unified baseline has its own
+//! variant so baseline pathology is never mistaken for clustered-machine
+//! exhaustion.
 
 use clasp_core::{
     assign_with_analysis, post_scheduling_assign_from, AssignConfig, AssignError, Assignment,
@@ -8,8 +15,8 @@ use clasp_core::{
 use clasp_ddg::{Ddg, LoopAnalysis};
 use clasp_machine::MachineSpec;
 use clasp_sched::{
-    max_ii_bound, schedule_unified, schedule_with, SchedContext, Schedule, SchedulerConfig,
-    SchedulerKind,
+    max_ii_bound, schedule_with, unified_map, SchedContext, SchedFailure, Schedule,
+    SchedulerConfig, SchedulerKind,
 };
 use std::fmt;
 
@@ -61,16 +68,34 @@ pub enum PipelineError {
     IiExhausted {
         /// Largest II attempted.
         max_ii: u32,
+        /// Why the scheduler rejected the final attempt (`None` when the
+        /// escalation range was empty and no attempt ever ran).
+        last: Option<SchedFailure>,
     },
+    /// The *unified baseline* (the equally wide non-clustered machine the
+    /// paper compares against) could not be scheduled — a corpus or
+    /// machine-model pathology, distinct from clustered exhaustion.
+    UnifiedBaselineFailed(SchedFailure),
+    /// The emitted kernel diverged from sequential semantics under the
+    /// functional simulator (driver verification stage).
+    Verify(clasp_kernel::SimError),
 }
 
 impl fmt::Display for PipelineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PipelineError::Assign(e) => write!(f, "assignment failed: {e}"),
-            PipelineError::IiExhausted { max_ii } => {
-                write!(f, "no schedule found up to II = {max_ii}")
+            PipelineError::IiExhausted { max_ii, last } => {
+                write!(f, "no schedule found up to II = {max_ii}")?;
+                if let Some(last) = last {
+                    write!(f, " (last failure: {last})")?;
+                }
+                Ok(())
             }
+            PipelineError::UnifiedBaselineFailed(e) => {
+                write!(f, "unified baseline failed: {e}")
+            }
+            PipelineError::Verify(e) => write!(f, "kernel verification failed: {e}"),
         }
     }
 }
@@ -126,11 +151,25 @@ pub fn compile_loop(
     compile_loop_with(g, machine, config, &analysis)
 }
 
-fn compile_loop_with(
+pub(crate) fn compile_loop_with(
     g: &Ddg,
     machine: &MachineSpec,
     config: PipelineConfig,
     analysis: &LoopAnalysis,
+) -> Result<CompiledLoop, PipelineError> {
+    compile_loop_observed(g, machine, config, analysis, |_, _, _| {})
+}
+
+/// The Figure 5 escalation loop, reporting every attempt to `on_attempt`
+/// as `(requested II, assignment, scheduler failure)` — `None` on the
+/// successful final attempt. The driver builds its II trajectory from
+/// these callbacks; `compile_loop` passes a no-op.
+pub(crate) fn compile_loop_observed(
+    g: &Ddg,
+    machine: &MachineSpec,
+    config: PipelineConfig,
+    analysis: &LoopAnalysis,
+    mut on_attempt: impl FnMut(u32, &Assignment, Option<&SchedFailure>),
 ) -> Result<CompiledLoop, PipelineError> {
     let unified_mii = machine.unified_equivalent().mii(g).max(1);
     let cap = config
@@ -138,9 +177,10 @@ fn compile_loop_with(
         .max_ii
         .unwrap_or_else(|| max_ii_bound(g, unified_mii));
     let mut min_ii = unified_mii;
+    let mut last = None;
     while min_ii <= cap {
         let assignment = assign_with_analysis(g, machine, config.assign, min_ii, analysis)?;
-        if let Some(schedule) = schedule_with(
+        match schedule_with(
             config.scheduler,
             &assignment.graph,
             machine,
@@ -148,17 +188,24 @@ fn compile_loop_with(
             assignment.ii,
             config.sched,
         ) {
-            return Ok(CompiledLoop {
-                assignment,
-                schedule,
-            });
+            Ok(schedule) => {
+                on_attempt(min_ii, &assignment, None);
+                return Ok(CompiledLoop {
+                    assignment,
+                    schedule,
+                });
+            }
+            Err(failure) => {
+                // Scheduler failed at the assignment's II: the paper
+                // restarts the whole process one II higher (a fresh
+                // assignment generally needs fewer copies at a larger II).
+                on_attempt(min_ii, &assignment, Some(&failure));
+                min_ii = assignment.ii + 1;
+                last = Some(failure);
+            }
         }
-        // Scheduler failed at the assignment's II: the paper restarts the
-        // whole process one II higher (a fresh assignment generally needs
-        // fewer copies at a larger II).
-        min_ii = assignment.ii + 1;
     }
-    Err(PipelineError::IiExhausted { max_ii: cap })
+    Err(PipelineError::IiExhausted { max_ii: cap, last })
 }
 
 /// Compile with the *post-scheduling partitioning* baseline (Capitanio
@@ -181,9 +228,10 @@ pub fn compile_loop_post(
         .max_ii
         .unwrap_or_else(|| max_ii_bound(g, unified_mii));
     let mut min_ii = unified_mii;
+    let mut last = None;
     while min_ii <= cap {
         let assignment = post_scheduling_assign_from(g, machine, config.assign, min_ii)?;
-        if let Some(schedule) = schedule_with(
+        match schedule_with(
             config.scheduler,
             &assignment.graph,
             machine,
@@ -191,21 +239,60 @@ pub fn compile_loop_post(
             assignment.ii,
             config.sched,
         ) {
-            return Ok(CompiledLoop {
-                assignment,
-                schedule,
-            });
+            Ok(schedule) => {
+                return Ok(CompiledLoop {
+                    assignment,
+                    schedule,
+                });
+            }
+            Err(failure) => {
+                min_ii = assignment.ii + 1;
+                last = Some(failure);
+            }
         }
-        min_ii = assignment.ii + 1;
     }
-    Err(PipelineError::IiExhausted { max_ii: cap })
+    Err(PipelineError::IiExhausted { max_ii: cap, last })
 }
 
 /// The paper's baseline: the II the same loop achieves on the equally
-/// wide *unified* machine. `None` for pathological inputs only.
-pub fn unified_ii(g: &Ddg, machine: &MachineSpec, sched: SchedulerConfig) -> Option<u32> {
+/// wide *unified* machine.
+///
+/// # Errors
+///
+/// Fails only on pathological inputs, with the typed reason: a
+/// [`SchedFailure::MiiUnbounded`] machine model, an unusable annotation,
+/// or a full-range exhaustion.
+pub fn unified_ii(
+    g: &Ddg,
+    machine: &MachineSpec,
+    sched: SchedulerConfig,
+) -> Result<u32, SchedFailure> {
+    unified_ii_impl(g, machine, sched, None)
+}
+
+/// Shared implementation: schedule `g` on `machine`'s unified equivalent,
+/// reusing a caller-held [`LoopAnalysis`] when one exists (it depends
+/// only on the graph, never the machine).
+fn unified_ii_impl(
+    g: &Ddg,
+    machine: &MachineSpec,
+    sched: SchedulerConfig,
+    analysis: Option<&LoopAnalysis>,
+) -> Result<u32, SchedFailure> {
     let unified = machine.unified_equivalent();
-    schedule_unified(g, &unified, sched).map(|s| s.ii())
+    let mii = unified.mii(g);
+    if mii == u32::MAX {
+        return Err(SchedFailure::MiiUnbounded);
+    }
+    let map = unified_map(g, &unified);
+    let cap = max_ii_bound(g, mii);
+    let mut ctx = match analysis {
+        Some(la) => SchedContext::with_analysis(g, &unified, &map, la),
+        None => SchedContext::new(g, &unified, &map),
+    }
+    .map_err(SchedFailure::Invalid)?;
+    ctx.schedule_in_range(mii.max(1), cap, sched)
+        .map(|s| s.ii())
 }
 
 /// Compile on the clustered machine *and* its unified equivalent,
@@ -214,8 +301,8 @@ pub fn unified_ii(g: &Ddg, machine: &MachineSpec, sched: SchedulerConfig) -> Opt
 ///
 /// # Errors
 ///
-/// See [`PipelineError`] (the unified baseline failing counts as
-/// exhaustion).
+/// [`PipelineError::UnifiedBaselineFailed`] when the baseline itself
+/// cannot be scheduled; otherwise see [`PipelineError`].
 pub fn compare_with_unified(
     g: &Ddg,
     machine: &MachineSpec,
@@ -224,19 +311,8 @@ pub fn compare_with_unified(
     // One analysis of the source graph serves both sides of the
     // comparison (it depends only on the graph, not the machine).
     let analysis = LoopAnalysis::compute(g);
-    let unified_machine = machine.unified_equivalent();
-    let mii = unified_machine.mii(g);
-    let unified = if mii == u32::MAX {
-        None
-    } else {
-        let map = clasp_sched::unified_map(g, &unified_machine);
-        let cap = max_ii_bound(g, mii);
-        SchedContext::with_analysis(g, &unified_machine, &map, &analysis)
-            .ok()
-            .and_then(|mut ctx| ctx.schedule_in_range(mii.max(1), cap, config.sched))
-            .map(|s| s.ii())
-    }
-    .ok_or(PipelineError::IiExhausted { max_ii: u32::MAX })?;
+    let unified = unified_ii_impl(g, machine, config.sched, Some(&analysis))
+        .map_err(PipelineError::UnifiedBaselineFailed)?;
     let compiled = compile_loop_with(g, machine, config, &analysis)?;
     Ok((compiled.ii(), unified))
 }

@@ -319,10 +319,9 @@ fn swing_and_iterative_schedulers_agree_on_feasibility() {
         let mii = m.mii(&g);
         let cap = clasp_sched::max_ii_bound(&g, mii);
         let cfg = clasp_sched::SchedulerConfig::default();
-        let it = (mii..=cap)
-            .find(|&ii| clasp_sched::iterative_schedule(&g, &m, &map, ii, cfg).is_some());
-        let sw =
-            (mii..=cap).find(|&ii| clasp_sched::swing_schedule(&g, &m, &map, ii, cfg).is_some());
+        let it =
+            (mii..=cap).find(|&ii| clasp_sched::iterative_schedule(&g, &m, &map, ii, cfg).is_ok());
+        let sw = (mii..=cap).find(|&ii| clasp_sched::swing_schedule(&g, &m, &map, ii, cfg).is_ok());
         let (it, sw) = (
             it.expect("iterative finds an II"),
             sw.expect("swing finds an II"),
@@ -346,9 +345,9 @@ fn context_sweep_is_identical_to_per_ii_recompute() {
         let cap = clasp_sched::max_ii_bound(&g, mii);
         let cfg = clasp_sched::SchedulerConfig::default();
         let fresh = (mii.max(1)..=cap)
-            .find_map(|ii| clasp_sched::iterative_schedule(&g, &m, &map, ii, cfg));
+            .find_map(|ii| clasp_sched::iterative_schedule(&g, &m, &map, ii, cfg).ok());
         let mut ctx = clasp_sched::SchedContext::new(&g, &m, &map).unwrap();
-        let swept = ctx.schedule_in_range(mii, cap, cfg);
+        let swept = ctx.schedule_in_range(mii, cap, cfg).ok();
         match (fresh, swept) {
             (Some(a), Some(b)) => {
                 assert_eq!(a.ii(), b.ii());
