@@ -326,6 +326,28 @@ fn main() {
     println!("{}", full_pipeline.baseline);
     println!("{}", full_pipeline.amortized);
 
+    // Fuzz stage: the differential oracle (compile + all invariant
+    // checks + dual-model simulation per case) over a bounded slice of
+    // the seed-0 case stream. Asserted clean — the report doubles as a
+    // correctness gate — and timed, so oracle throughput regressions
+    // show up in the tracked numbers.
+    const FUZZ_CASES: usize = 200;
+    let fuzz_cfg = clasp_oracle::FuzzConfig {
+        seed: 0,
+        cases: FUZZ_CASES,
+        ..clasp_oracle::FuzzConfig::default()
+    };
+    let fuzz = bench("fuzz/oracle", SAMPLES, || {
+        let report = clasp_oracle::run_fuzz(&fuzz_cfg, &clasp::oracle_pipeline);
+        assert!(
+            report.is_clean(),
+            "differential oracle found {} violating cases",
+            report.failures.len()
+        );
+        report.checked
+    });
+    println!("{fuzz}");
+
     let stages = [
         &analysis,
         &assignment,
@@ -365,7 +387,12 @@ fn main() {
             if i + 1 < stages.len() { "," } else { "" }
         ));
     }
-    json.push_str("  }\n}\n");
+    json.push_str("  },\n");
+    json.push_str(&format!(
+        "  \"fuzz\": {{\"cases\": {}, \"median_ns\": {}}}\n",
+        FUZZ_CASES, fuzz.median_ns
+    ));
+    json.push_str("}\n");
 
     let out = repo_root().join("BENCH_sched.json");
     std::fs::write(&out, json).expect("write BENCH_sched.json");

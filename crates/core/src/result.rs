@@ -151,44 +151,83 @@ pub(crate) fn materialize(
     }
 }
 
-/// Violations reported by [`validate_assignment`].
+/// Violations reported by [`validate_assignment`]. Every variant names
+/// the offending operation (mnemonic + node id), so a violation inside a
+/// thousand-case fuzz report reads without the graph at hand.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum AssignmentError {
     /// An original node is missing from the cluster map.
-    Unassigned(NodeId),
+    Unassigned {
+        /// The unassigned node.
+        node: NodeId,
+        /// Its operation kind.
+        op: OpKind,
+    },
     /// A node sits on a cluster that cannot execute its operation kind.
-    WrongClusterClass(NodeId),
+    WrongClusterClass {
+        /// The misplaced node.
+        node: NodeId,
+        /// Its operation kind.
+        op: OpKind,
+        /// The cluster it was assigned to.
+        cluster: ClusterId,
+    },
     /// An edge crosses clusters without a legal copy transport.
     IllegalCrossing {
         /// Edge source.
         src: NodeId,
+        /// The source's operation kind.
+        src_op: OpKind,
         /// Edge destination.
         dst: NodeId,
+        /// The destination's operation kind.
+        dst_op: OpKind,
     },
     /// The working graph's resources exceed machine capacity at the II.
-    OverCapacity(NodeId),
+    OverCapacity {
+        /// The node that failed to reserve a slot.
+        node: NodeId,
+        /// Its operation kind.
+        op: OpKind,
+    },
     /// The working graph is structurally invalid.
     BadGraph(clasp_ddg::GraphError),
     /// A point-to-point copy does not ride a link between its clusters.
-    BadLink(NodeId),
+    BadLink {
+        /// The offending copy node.
+        node: NodeId,
+        /// Its operation kind (always a copy).
+        op: OpKind,
+    },
 }
 
 impl fmt::Display for AssignmentError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            AssignmentError::Unassigned(n) => write!(f, "{n} is unassigned"),
-            AssignmentError::WrongClusterClass(n) => {
-                write!(f, "{n} sits on a cluster that cannot execute it")
+            AssignmentError::Unassigned { node, op } => write!(f, "{op} {node} is unassigned"),
+            AssignmentError::WrongClusterClass { node, op, cluster } => {
+                write!(f, "{op} {node} sits on {cluster}, which cannot execute it")
             }
-            AssignmentError::IllegalCrossing { src, dst } => {
-                write!(f, "edge {src} -> {dst} crosses clusters without a copy")
+            AssignmentError::IllegalCrossing {
+                src,
+                src_op,
+                dst,
+                dst_op,
+            } => {
+                write!(
+                    f,
+                    "edge {src_op} {src} -> {dst_op} {dst} crosses clusters without a copy"
+                )
             }
-            AssignmentError::OverCapacity(n) => {
-                write!(f, "{n} exceeds machine capacity at the assignment II")
+            AssignmentError::OverCapacity { node, op } => {
+                write!(
+                    f,
+                    "{op} {node} exceeds machine capacity at the assignment II"
+                )
             }
             AssignmentError::BadGraph(e) => write!(f, "working graph invalid: {e}"),
-            AssignmentError::BadLink(n) => {
-                write!(f, "copy {n} uses a link that does not join its clusters")
+            AssignmentError::BadLink { node, op } => {
+                write!(f, "{op} {node} uses a link that does not join its clusters")
             }
         }
     }
@@ -229,10 +268,17 @@ pub fn validate_assignment(
             "materialized graph must preserve original nodes"
         );
         let Some(c) = map.cluster_of(n) else {
-            return Err(AssignmentError::Unassigned(n));
+            return Err(AssignmentError::Unassigned {
+                node: n,
+                op: op.kind,
+            });
         };
         if !machine.cluster(c).can_execute(op.kind) {
-            return Err(AssignmentError::WrongClusterClass(n));
+            return Err(AssignmentError::WrongClusterClass {
+                node: n,
+                op: op.kind,
+                cluster: c,
+            });
         }
     }
     // Copies assigned and well-formed.
@@ -241,13 +287,24 @@ pub fn validate_assignment(
             continue;
         }
         let Some(c) = map.cluster_of(n) else {
-            return Err(AssignmentError::Unassigned(n));
+            return Err(AssignmentError::Unassigned {
+                node: n,
+                op: op.kind,
+            });
         };
         let Some(meta) = map.copy_meta(n) else {
-            return Err(AssignmentError::Unassigned(n));
+            return Err(AssignmentError::Unassigned {
+                node: n,
+                op: op.kind,
+            });
         };
         if meta.src != c || meta.targets.is_empty() || meta.targets.contains(&c) {
-            return Err(AssignmentError::IllegalCrossing { src: n, dst: n });
+            return Err(AssignmentError::IllegalCrossing {
+                src: n,
+                src_op: op.kind,
+                dst: n,
+                dst_op: op.kind,
+            });
         }
         match meta.link {
             Some(l) => {
@@ -256,12 +313,18 @@ pub fn validate_assignment(
                     .get(l.index())
                     .is_some_and(|lk| lk.touches(c) && meta.targets.iter().all(|t| lk.touches(*t)));
                 if !ok {
-                    return Err(AssignmentError::BadLink(n));
+                    return Err(AssignmentError::BadLink {
+                        node: n,
+                        op: op.kind,
+                    });
                 }
             }
             None => {
                 if machine.interconnect().bus_count() == 0 && !meta.targets.is_empty() {
-                    return Err(AssignmentError::BadLink(n));
+                    return Err(AssignmentError::BadLink {
+                        node: n,
+                        op: op.kind,
+                    });
                 }
             }
         }
@@ -269,7 +332,10 @@ pub fn validate_assignment(
     // Crossing edges are legal.
     for (eid, e) in g.edges() {
         let (Some(cs), Some(cd)) = (map.cluster_of(e.src), map.cluster_of(e.dst)) else {
-            return Err(AssignmentError::Unassigned(e.src));
+            return Err(AssignmentError::Unassigned {
+                node: e.src,
+                op: g.op(e.src).kind,
+            });
         };
         if cs == cd {
             continue;
@@ -284,7 +350,9 @@ pub fn validate_assignment(
         if !legal {
             return Err(AssignmentError::IllegalCrossing {
                 src: e.src,
+                src_op: g.op(e.src).kind,
                 dst: e.dst,
+                dst_op: g.op(e.dst).kind,
             });
         }
         let _ = eid;
@@ -300,7 +368,10 @@ pub fn validate_assignment(
             mrt.reserve_op(n, c, op.kind)
         };
         if fits.is_err() {
-            return Err(AssignmentError::OverCapacity(n));
+            return Err(AssignmentError::OverCapacity {
+                node: n,
+                op: op.kind,
+            });
         }
     }
     Ok(())
@@ -373,7 +444,10 @@ mod tests {
         };
         assert_eq!(
             validate_assignment(&g, &m, &asg),
-            Err(AssignmentError::Unassigned(a))
+            Err(AssignmentError::Unassigned {
+                node: a,
+                op: OpKind::IntAlu
+            })
         );
     }
 
@@ -416,7 +490,7 @@ mod tests {
         };
         assert!(matches!(
             validate_assignment(&g, &m, &asg),
-            Err(AssignmentError::OverCapacity(_))
+            Err(AssignmentError::OverCapacity { .. })
         ));
     }
 }

@@ -436,6 +436,54 @@ mod tests {
     }
 
     #[test]
+    fn zero_trip_count_verifies_under_both_register_models() {
+        // Trip count 0: the preheader primes live-ins but no kernel
+        // bundle may execute, under MVE and rotating renaming alike —
+        // even with a recurrence whose reach-back would read live-ins.
+        let mut g = Ddg::new("z0");
+        let a = g.add(OpKind::Load);
+        let acc = g.add(OpKind::FpAdd);
+        let st = g.add(OpKind::Store);
+        g.add_dep(a, acc);
+        g.add_dep_carried(acc, acc, 1);
+        g.add_dep(acc, st);
+        let m = presets::unified_gp(4);
+        let s = schedule_unified(&g, &m, SchedulerConfig::default()).unwrap();
+        let map = unified_map(&g, &m);
+        for model in [RegisterModel::mve(&g, &s), RegisterModel::rotating(&g, &s)] {
+            let program = emit_program_with(&g, &map, &s, 0, &model);
+            assert_eq!(run_program(&g, &program).unwrap(), vec![]);
+            verify_pipelined_with(&g, &map, &s, 0, &model).unwrap();
+        }
+    }
+
+    #[test]
+    fn single_cluster_zero_bus_machine_runs_end_to_end() {
+        // A unified machine with a zero-width bus: no value ever crosses
+        // clusters, so compilation and simulation must be oblivious to
+        // the missing bandwidth.
+        use clasp_machine::{ClusterSpec, Interconnect, MachineSpec};
+        let m = MachineSpec::new(
+            "solo-nobus",
+            vec![ClusterSpec::general(4)],
+            Interconnect::Bus {
+                buses: 0,
+                read_ports: 1,
+                write_ports: 1,
+            },
+        );
+        let mut g = Ddg::new("nobus");
+        let a = g.add(OpKind::Load);
+        let f = g.add(OpKind::FpMult);
+        let st = g.add(OpKind::Store);
+        g.add_dep(a, f);
+        g.add_dep(f, st);
+        let s = schedule_unified(&g, &m, SchedulerConfig::default()).unwrap();
+        let map = unified_map(&g, &m);
+        verify_pipelined(&g, &map, &s, 9).unwrap();
+    }
+
+    #[test]
     fn mismatch_detected_when_schedule_is_wrong() {
         // Hand-build an invalid schedule (consumer before producer value
         // is ready) and check the simulator catches it.

@@ -1,0 +1,117 @@
+//! Fuzz-case generation: a seeded stream of (loop, machine) pairs.
+//!
+//! Loops come from `loopgen`'s Table-1-calibrated synthetic generator,
+//! optionally with *latency perturbations*: random edges get latencies
+//! stretched beyond the producer's Table-2 value, modelling slow operand
+//! paths and conservative dependence distances. (Perturbations never
+//! *shorten* a data edge: the functional simulator models hardware write
+//! latencies, so a sub-latency edge would let a valid-looking schedule
+//! read a register before the machine writes it — generator noise, not a
+//! pipeline bug.) Machines come
+//! from [`crate::machgen::random_machine`]. Each case is derived from its
+//! own sub-seed so any case replays in isolation.
+
+use clasp_ddg::{Ddg, DepEdge};
+use clasp_loopgen::generate_loop;
+use clasp_loopgen::rng::Rng;
+use clasp_machine::MachineSpec;
+
+use crate::machgen::random_machine;
+
+/// One (loop, machine) fuzz input.
+#[derive(Debug, Clone)]
+pub struct FuzzCase {
+    /// Stream position the case was generated at.
+    pub index: usize,
+    /// The per-case sub-seed (replays the case without the whole stream).
+    pub case_seed: u64,
+    /// The loop body.
+    pub graph: Ddg,
+    /// The target machine.
+    pub machine: MachineSpec,
+}
+
+/// The sub-seed of case `index` under stream seed `seed` (golden-ratio
+/// sequence, the standard SplitMix64 stream split).
+pub fn case_seed(seed: u64, index: usize) -> u64 {
+    seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Rebuild `g` with randomly perturbed edge latencies: each edge keeps
+/// its endpoints and distance, but with probability ~1/4 its latency is
+/// stretched by 1-3 cycles beyond its current value.
+fn perturb_latencies(rng: &mut Rng, g: &Ddg) -> Ddg {
+    let mut out = Ddg::new(g.name());
+    for (_, op) in g.nodes() {
+        out.add_op(op.clone());
+    }
+    for (_, e) in g.edges() {
+        let latency = if rng.chance(0.25) {
+            e.latency + rng.range_inclusive(1, 3) as u32
+        } else {
+            e.latency
+        };
+        out.add_edge(DepEdge { latency, ..*e });
+    }
+    out
+}
+
+/// Generate case `index` of the stream with root seed `seed`.
+pub fn generate_case(seed: u64, index: usize) -> FuzzCase {
+    let sub = case_seed(seed, index);
+    let mut rng = Rng::seed_from_u64(sub);
+    // ~1 in 4 loops carries a recurrence, matching the corpus ratio
+    // (301 / 1327) closely enough for fuzzing purposes.
+    let with_scc = rng.chance(0.25);
+    let mut graph = generate_loop(&mut rng, index, with_scc);
+    if rng.chance(0.5) {
+        graph = perturb_latencies(&mut rng, &graph);
+    }
+    let machine = random_machine(&mut rng, index);
+    debug_assert!(graph.validate().is_ok());
+    FuzzCase {
+        index,
+        case_seed: sub,
+        graph,
+        machine,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cases_replay_from_their_sub_seed() {
+        let a = generate_case(42, 17);
+        let b = generate_case(42, 17);
+        assert_eq!(a.case_seed, b.case_seed);
+        assert_eq!(a.graph.node_count(), b.graph.node_count());
+        assert_eq!(a.machine, b.machine);
+        let ea: Vec<_> = a.graph.edges().map(|(_, e)| *e).collect();
+        let eb: Vec<_> = b.graph.edges().map(|(_, e)| *e).collect();
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn perturbed_latencies_keep_graphs_valid() {
+        for i in 0..200 {
+            let case = generate_case(7, i);
+            assert!(case.graph.validate().is_ok(), "case {i} invalid");
+        }
+    }
+
+    #[test]
+    fn stream_actually_perturbs_some_latency() {
+        let mut changed = false;
+        for i in 0..100 {
+            let case = generate_case(3, i);
+            for (_, e) in case.graph.edges() {
+                if e.latency != case.graph.op(e.src).kind.latency() {
+                    changed = true;
+                }
+            }
+        }
+        assert!(changed, "no perturbed latency in 100 cases");
+    }
+}

@@ -1,0 +1,92 @@
+//! Deliberate corruption of a compiled case, for testing the oracle
+//! itself (and CI's "does the fuzzer actually detect bugs" smoke check).
+//!
+//! A fault is applied to the *compiled artifact*, after the pipeline and
+//! before the invariant checks, so the pipeline stays untouched and every
+//! fault deterministically trips at least one invariant on any case it
+//! applies to. (Disabling a legal ablation knob — say PCR prediction —
+//! would not do: ablations still produce valid schedules.)
+
+use clasp_ddg::NodeId;
+use clasp_machine::{ClusterId, MachineSpec};
+use clasp_sched::Schedule;
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::oracle::CompiledCase;
+
+/// A deliberate post-compile corruption.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Fault {
+    /// No corruption (the production configuration).
+    #[default]
+    None,
+    /// Issue the first dependence's consumer one cycle too early — the
+    /// classic off-by-one a latency-table bug would produce. Trips
+    /// `validate_schedule` (negative slack) on any case with an edge.
+    SkewSchedule,
+    /// Move node 0 to the next cluster without inserting a copy — the
+    /// signature bug of a cluster-assignment rewrite. Trips
+    /// `validate_assignment` (illegal crossing / wrong class / capacity)
+    /// on any multi-cluster case.
+    MisplaceNode,
+}
+
+impl Fault {
+    /// Parse a CLI spelling (`none`, `skew`, `misplace`).
+    pub fn parse(s: &str) -> Option<Fault> {
+        match s {
+            "none" => Some(Fault::None),
+            "skew" => Some(Fault::SkewSchedule),
+            "misplace" => Some(Fault::MisplaceNode),
+            _ => None,
+        }
+    }
+
+    /// Apply the corruption in place. A fault that does not apply to this
+    /// case (no edges / single cluster) leaves it untouched.
+    pub fn apply(self, case: &mut CompiledCase, machine: &MachineSpec) {
+        match self {
+            Fault::None => {}
+            Fault::SkewSchedule => {
+                let wg = &case.assignment.graph;
+                // A self-edge cannot be skewed (moving the consumer moves
+                // the producer too), so take the first proper edge.
+                let Some((_, edge)) = wg.edges().find(|(_, e)| e.src != e.dst) else {
+                    return;
+                };
+                let (src, dst, latency, distance) =
+                    (edge.src, edge.dst, edge.latency, edge.distance);
+                let sched = &case.schedule;
+                let ii = i64::from(sched.ii());
+                let Some(ts) = sched.start(src) else { return };
+                // One cycle earlier than the dependence allows: slack -1.
+                let too_early = ts + i64::from(latency) - i64::from(distance) * ii - 1;
+                let mut time: HashMap<NodeId, i64> = sched.iter().collect();
+                time.insert(dst, too_early);
+                case.schedule = Schedule::new(sched.ii(), time);
+            }
+            Fault::MisplaceNode => {
+                if machine.cluster_count() < 2 {
+                    return;
+                }
+                let n = NodeId(0);
+                let Some(c) = case.assignment.map.cluster_of(n) else {
+                    return;
+                };
+                let next = ClusterId((c.0 + 1) % machine.cluster_count() as u32);
+                case.assignment.map.assign(n, next);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fault::None => write!(f, "none"),
+            Fault::SkewSchedule => write!(f, "skew"),
+            Fault::MisplaceNode => write!(f, "misplace"),
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! The fuzz loop: generate cases, check them, optionally shrink and
+//! write reproducers for the failures.
+
+use std::path::{Path, PathBuf};
+
+use crate::casegen::{generate_case, FuzzCase};
+use crate::fault::Fault;
+use crate::oracle::{check_case, OracleOptions, OracleViolation, PipelineFn};
+use crate::repro::write_repro;
+use crate::shrink::shrink_case;
+
+/// Fuzz-run configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FuzzConfig {
+    /// Root seed of the case stream.
+    pub seed: u64,
+    /// Number of (loop, machine) cases to check.
+    pub cases: usize,
+    /// Trip count for functional simulation.
+    pub iterations: i64,
+    /// Deliberate corruption (oracle self-test); [`Fault::None`] in
+    /// production runs.
+    pub fault: Fault,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        FuzzConfig {
+            seed: 0,
+            cases: 500,
+            iterations: 8,
+            fault: Fault::None,
+        }
+    }
+}
+
+/// One violating case, with everything needed to replay it.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// The generated case.
+    pub case: FuzzCase,
+    /// The violations it exhibits.
+    pub violations: Vec<OracleViolation>,
+}
+
+/// The outcome of a fuzz run.
+#[derive(Debug, Clone, Default)]
+pub struct FuzzReport {
+    /// Cases checked.
+    pub checked: usize,
+    /// The failing cases, in stream order.
+    pub failures: Vec<Failure>,
+    /// Reproducer files written by [`run_fuzz_with_repros`] (empty when
+    /// shrinking is off or nothing failed).
+    pub repro_files: Vec<PathBuf>,
+}
+
+impl FuzzReport {
+    /// Whether every case passed every invariant.
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Check `config.cases` generated cases against the oracle.
+pub fn run_fuzz(config: &FuzzConfig, pipeline: PipelineFn) -> FuzzReport {
+    let opts = OracleOptions {
+        iterations: config.iterations,
+        fault: config.fault,
+    };
+    let mut report = FuzzReport::default();
+    for index in 0..config.cases {
+        let case = generate_case(config.seed, index);
+        let violations = check_case(&case.graph, &case.machine, pipeline, &opts);
+        report.checked += 1;
+        if !violations.is_empty() {
+            report.failures.push(Failure { case, violations });
+        }
+    }
+    report
+}
+
+/// As [`run_fuzz`], then shrink each failure and write its reproducer
+/// pair under `repro_dir` (stems `case-<index>`). Shrinking failures are
+/// not fatal: a failure whose shrink hits the trial budget is written
+/// unreduced.
+///
+/// # Errors
+///
+/// Any filesystem error while writing reproducers.
+pub fn run_fuzz_with_repros(
+    config: &FuzzConfig,
+    pipeline: PipelineFn,
+    repro_dir: &Path,
+) -> std::io::Result<FuzzReport> {
+    let opts = OracleOptions {
+        iterations: config.iterations,
+        fault: config.fault,
+    };
+    let mut report = run_fuzz(config, pipeline);
+    for failure in &report.failures {
+        let stem = format!("case-{:04}", failure.case.index);
+        let (graph, machine, violations) =
+            match shrink_case(&failure.case.graph, &failure.case.machine, pipeline, &opts) {
+                Some(outcome) => (outcome.graph, outcome.machine, outcome.violations),
+                None => (
+                    failure.case.graph.clone(),
+                    failure.case.machine.clone(),
+                    failure.violations.clone(),
+                ),
+            };
+        let (lp, mp) = write_repro(
+            repro_dir,
+            &stem,
+            &graph,
+            &machine,
+            &violations,
+            failure.case.case_seed,
+        )?;
+        report.repro_files.push(lp);
+        report.repro_files.push(mp);
+    }
+    Ok(report)
+}

@@ -1,0 +1,50 @@
+//! # clasp-oracle — differential fuzzing oracle for the CLASP pipeline
+//!
+//! The paper's central claims are *structural invariants* of the
+//! compiled artifact: copies never land on critical recurrence SCCs
+//! (§4.1), the annotated DDG schedules on a clustering-unaware modulo
+//! scheduler (§3), and achieved II degrades gracefully against the
+//! unified machine (Figs. 12-19). This crate checks all of them — plus
+//! functional equivalence of the emitted kernels under both register
+//! models — over a seeded stream of random (loop, machine) pairs, and
+//! shrinks any violating pair to a minimal reproducer.
+//!
+//! Components:
+//!
+//! - [`machgen`]: random feasible clustered machines (cluster counts, GP /
+//!   FS / mixed unit mixes, bus and point-to-point fabrics);
+//! - [`casegen`]: the case stream, pairing `loopgen`'s Table-1-calibrated
+//!   loops (with latency perturbations) with random machines;
+//! - [`oracle`]: the per-case invariant pass, reporting typed
+//!   [`OracleViolation`]s;
+//! - [`fault`]: deliberate artifact corruption, proving the oracle and
+//!   the CI smoke job can actually detect bugs;
+//! - [`shrink`]: a delta-debugging minimizer preserving the violation
+//!   class;
+//! - [`fuzz`]: the driver loop writing `.clasp` + `.machine` reproducers.
+//!
+//! The compilation pipeline itself is *injected* as a [`PipelineFn`]
+//! closure: the root `clasp` crate (which depends on this one for its
+//! CLI) binds it to `compile_full`, and this crate's integration tests
+//! use the same binding through a dev-dependency.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod casegen;
+pub mod fault;
+pub mod fuzz;
+pub mod machgen;
+pub mod oracle;
+pub mod repro;
+pub mod shrink;
+
+pub use casegen::{case_seed, generate_case, FuzzCase};
+pub use fault::Fault;
+pub use fuzz::{run_fuzz, run_fuzz_with_repros, Failure, FuzzConfig, FuzzReport};
+pub use machgen::random_machine;
+pub use oracle::{
+    check_case, unified_baseline_ii, CompiledCase, OracleOptions, OracleViolation, PipelineFn,
+};
+pub use repro::{repro_loop_text, write_repro};
+pub use shrink::{shrink_case, ShrinkOutcome};

@@ -1,0 +1,203 @@
+//! Seeded random clustered-machine generator.
+//!
+//! `loopgen` synthesizes the paper's *loop* population; this module
+//! synthesizes its *machine* population: cluster counts and per-cluster
+//! function-unit mixes spanning the paper's GP and FS styles (§2.1,
+//! Figure 1), bused and point-to-point fabrics with varying bandwidth and
+//! port counts (Figures 2-4).
+//!
+//! Every generated machine is *feasible by construction* so that a
+//! pipeline failure on one is a real finding, never generator noise:
+//!
+//! - every cluster has at least one function unit, and every FU class is
+//!   executable somewhere on the machine (so no loop is structurally
+//!   uncompilable);
+//! - multi-cluster machines always have a connected fabric with nonzero
+//!   bandwidth (at least one bus, or a link spanning tree) and at least
+//!   one read and write port per cluster.
+
+use clasp_loopgen::rng::Rng;
+use clasp_machine::{ClusterId, ClusterSpec, Interconnect, Link, MachineSpec};
+
+/// One random cluster: GP, FS, or a mixed pool, never empty.
+fn random_cluster(rng: &mut Rng) -> ClusterSpec {
+    match rng.below(3) {
+        // General purpose, the paper's GP style (Fig. 1 left).
+        0 => ClusterSpec::general(rng.range_inclusive(1, 4) as u32),
+        // Fully specified, the paper's FS style (Fig. 1 right). At least
+        // one unit overall; per-class counts may be zero.
+        1 => loop {
+            let spec = ClusterSpec::specialized(
+                rng.below(3) as u32,
+                rng.below(3) as u32,
+                rng.below(3) as u32,
+            );
+            if spec.issue_width() > 0 {
+                return spec;
+            }
+        },
+        // Mixed: a small GP pool absorbing overflow from dedicated units.
+        _ => ClusterSpec {
+            general: rng.range_inclusive(1, 2) as u32,
+            memory: rng.below(2) as u32,
+            integer: rng.below(2) as u32,
+            float: rng.below(2) as u32,
+        },
+    }
+}
+
+/// A random connected point-to-point link table over `n` clusters: a
+/// random spanning tree plus a few extra chords.
+fn random_links(rng: &mut Rng, n: usize) -> Vec<Link> {
+    let mut links: Vec<Link> = Vec::new();
+    // Spanning tree: attach each cluster to a random earlier one.
+    for b in 1..n {
+        let a = rng.below(b);
+        links.push(Link {
+            a: ClusterId(a as u32),
+            b: ClusterId(b as u32),
+        });
+    }
+    // Extra chords, skipping duplicates.
+    let extras = rng.below(n);
+    for _ in 0..extras {
+        let a = rng.below(n);
+        let b = rng.below(n);
+        if a == b {
+            continue;
+        }
+        let (a, b) = (ClusterId(a as u32), ClusterId(b as u32));
+        let dup = links
+            .iter()
+            .any(|l| (l.a == a && l.b == b) || (l.a == b && l.b == a));
+        if !dup {
+            links.push(Link { a, b });
+        }
+    }
+    links
+}
+
+/// Generate a random feasible machine. `index` only names the machine;
+/// all structure comes from `rng`, so a caller-held stream stays
+/// reproducible across machines.
+pub fn random_machine(rng: &mut Rng, index: usize) -> MachineSpec {
+    let n = rng.range_inclusive(1, 6);
+    let mut clusters: Vec<ClusterSpec> = (0..n).map(|_| random_cluster(rng)).collect();
+    // Feasibility: every FU class must execute somewhere. A single GP
+    // unit anywhere covers all classes; otherwise patch missing classes
+    // into a random cluster.
+    let any_gp = clusters.iter().any(|c| c.general > 0);
+    if !any_gp {
+        let missing_mem = clusters.iter().all(|c| c.memory == 0);
+        let missing_int = clusters.iter().all(|c| c.integer == 0);
+        let missing_fp = clusters.iter().all(|c| c.float == 0);
+        let fix = rng.below(n);
+        if missing_mem {
+            clusters[fix].memory += 1;
+        }
+        if missing_int {
+            clusters[fix].integer += 1;
+        }
+        if missing_fp {
+            clusters[fix].float += 1;
+        }
+    }
+    let interconnect = if n == 1 {
+        // Unified machines occasionally carry a (useless) fabric so the
+        // oracle also covers the bus-width-0 and single-cluster corners.
+        match rng.below(3) {
+            0 => Interconnect::Bus {
+                buses: rng.below(3) as u32, // 0 is deliberate
+                read_ports: 1,
+                write_ports: 1,
+            },
+            _ => Interconnect::None,
+        }
+    } else if rng.chance(0.7) {
+        Interconnect::Bus {
+            buses: rng.range_inclusive(1, n) as u32,
+            read_ports: rng.range_inclusive(1, 2) as u32,
+            write_ports: rng.range_inclusive(1, 2) as u32,
+        }
+    } else {
+        Interconnect::PointToPoint {
+            links: random_links(rng, n),
+            read_ports: rng.range_inclusive(1, 2) as u32,
+            write_ports: rng.range_inclusive(1, 2) as u32,
+        }
+    };
+    MachineSpec::new(format!("fuzz-{index:04}"), clusters, interconnect)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clasp_ddg::{Ddg, OpKind};
+
+    fn all_kinds_loop() -> Ddg {
+        let mut g = Ddg::new("all");
+        for k in OpKind::REAL_OPS {
+            g.add(k);
+        }
+        g
+    }
+
+    #[test]
+    fn machines_are_always_feasible() {
+        let g = all_kinds_loop();
+        let mut rng = Rng::seed_from_u64(11);
+        for i in 0..500 {
+            let m = random_machine(&mut rng, i);
+            assert!(m.can_execute_all(&g), "machine {i} cannot run all kinds");
+            assert!(m.res_mii(&g) < u32::MAX);
+            for c in m.cluster_ids() {
+                assert!(m.cluster(c).issue_width() > 0, "empty cluster in {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_cluster_machines_are_connected() {
+        let mut rng = Rng::seed_from_u64(12);
+        for i in 0..500 {
+            let m = random_machine(&mut rng, i);
+            if m.cluster_count() < 2 {
+                continue;
+            }
+            for a in m.cluster_ids() {
+                for b in m.cluster_ids() {
+                    assert!(
+                        m.interconnect().route(a, b, m.cluster_count()).is_some(),
+                        "machine {i}: {a} cannot reach {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let ms_a: Vec<_> = {
+            let mut rng = Rng::seed_from_u64(7);
+            (0..50).map(|i| random_machine(&mut rng, i)).collect()
+        };
+        let ms_b: Vec<_> = {
+            let mut rng = Rng::seed_from_u64(7);
+            (0..50).map(|i| random_machine(&mut rng, i)).collect()
+        };
+        assert_eq!(ms_a, ms_b);
+    }
+
+    #[test]
+    fn population_spans_styles() {
+        let mut rng = Rng::seed_from_u64(13);
+        let ms: Vec<_> = (0..300).map(|i| random_machine(&mut rng, i)).collect();
+        assert!(ms.iter().any(|m| m.is_unified()));
+        assert!(ms.iter().any(|m| m.cluster_count() >= 4));
+        assert!(ms.iter().any(|m| m.interconnect().is_broadcast()));
+        assert!(ms.iter().any(|m| !m.interconnect().links().is_empty()));
+        assert!(ms
+            .iter()
+            .any(|m| m.total_general() == 0 && m.cluster_count() > 1));
+    }
+}

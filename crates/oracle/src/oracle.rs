@@ -1,0 +1,358 @@
+//! The cross-stage differential oracle.
+//!
+//! For one (loop, machine) pair the oracle runs the full compilation
+//! pipeline and checks every structural claim of the paper in one pass,
+//! reporting typed [`OracleViolation`]s instead of panicking:
+//!
+//! 1. the pipeline compiles the loop at all (the paper's §3 claim that a
+//!    clustering-unaware modulo scheduler accepts the annotated DDG);
+//! 2. [`validate_assignment`]: cluster classes, copy transport, capacity;
+//! 3. [`validate_schedule`]: dependences and kernel-row resources;
+//! 4. `II >= max(RecMII, ResMII)` of the original loop (§3);
+//! 5. copies never stretch a critical recurrence: the *working* graph's
+//!    RecMII still fits the achieved II (§4.1);
+//! 6. graceful degradation: clustered II is never better than the
+//!    unified-machine baseline II (Figs. 12-19 are ratios >= 1) — unless
+//!    the clustered schedule itself certifies the gap by projecting onto
+//!    the unified machine at its own II, which convicts the heuristic
+//!    unified sweep, not the pipeline;
+//! 7. the emitted kernel is functionally equivalent to sequential
+//!    semantics under *both* register models (MVE and rotating), and the
+//!    two models' store streams are equivalent to each other.
+//!
+//! The pipeline arrives as a caller-supplied closure ([`PipelineFn`]) so
+//! this crate never depends on the root `clasp` crate; `clasp` exposes
+//! [`compile_full`] bound to this signature (see `clasp::oracle_pipeline`).
+//!
+//! [`compile_full`]: https://docs.rs/clasp
+
+use clasp_core::{validate_assignment, Assignment, AssignmentError};
+use clasp_ddg::{rec_mii, Ddg, NodeId};
+use clasp_kernel::{emit_program_with, reference_stream, run_program, RegisterModel, StoreEvent};
+use clasp_machine::MachineSpec;
+use clasp_sched::{
+    max_ii_bound, unified_map, validate_schedule, SchedContext, Schedule, ScheduleError,
+    SchedulerConfig,
+};
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::fault::Fault;
+
+/// The pipeline output the oracle inspects: the cluster assignment and
+/// the final (restaged) schedule the kernel is emitted from.
+#[derive(Debug, Clone)]
+pub struct CompiledCase {
+    /// Phase-1 output: working graph (with copies) and cluster map.
+    pub assignment: Assignment,
+    /// The schedule the kernel is emitted from.
+    pub schedule: Schedule,
+}
+
+/// The compilation pipeline, injected by the caller. Errors are
+/// stringified: the oracle only needs to report them, never match on
+/// them.
+pub type PipelineFn<'a> = &'a dyn Fn(&Ddg, &MachineSpec) -> Result<CompiledCase, String>;
+
+/// Per-case oracle knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OracleOptions {
+    /// Trip count for functional simulation.
+    pub iterations: i64,
+    /// Deliberate corruption applied to the compiled case before the
+    /// invariant checks (testing the oracle itself; see [`Fault`]).
+    pub fault: Fault,
+}
+
+impl Default for OracleOptions {
+    fn default() -> Self {
+        OracleOptions {
+            iterations: 8,
+            fault: Fault::None,
+        }
+    }
+}
+
+/// One invariant breach found by [`check_case`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OracleViolation {
+    /// The pipeline refused the case outright.
+    PipelineFailed {
+        /// The pipeline's own error rendering.
+        reason: String,
+    },
+    /// The assignment fails [`validate_assignment`].
+    AssignmentInvalid {
+        /// The typed assignment violation.
+        error: AssignmentError,
+    },
+    /// The schedule fails [`validate_schedule`].
+    ScheduleInvalid {
+        /// The typed schedule violation.
+        error: ScheduleError,
+    },
+    /// The achieved II undercuts the loop's `max(RecMII, ResMII)`.
+    IiBelowMii {
+        /// Achieved II.
+        ii: u32,
+        /// The machine-wide lower bound for the original loop.
+        mii: u32,
+    },
+    /// Copies landed on a critical recurrence: the working graph's RecMII
+    /// exceeds the achieved II (§4.1's "copies off the critical SCC").
+    CopyOnCriticalRecurrence {
+        /// RecMII of the working graph (with copies).
+        working_rec_mii: u32,
+        /// Achieved II.
+        ii: u32,
+    },
+    /// The clustered II beats the unified baseline *and* the clustered
+    /// schedule does not even project onto the unified machine at its own
+    /// II. A bare `clustered < unified` gap is explainable (iterative
+    /// modulo scheduling is budget-bounded, so the unified sweep can miss
+    /// a feasible II); an unprojectable one is not.
+    ClusteredBeatsUnified {
+        /// Clustered II.
+        clustered: u32,
+        /// Unified-machine II.
+        unified: u32,
+    },
+    /// The emitted kernel diverged from sequential semantics.
+    FunctionalMismatch {
+        /// Register model that diverged (`"MVE"` or `"rotating"`).
+        model: &'static str,
+        /// The simulator's rendering of the divergence.
+        error: String,
+    },
+    /// The MVE and rotating kernels produced different store streams.
+    ModelDivergence {
+        /// Store events observed under MVE.
+        mve_events: usize,
+        /// Store events observed under the rotating file.
+        rotating_events: usize,
+    },
+}
+
+impl OracleViolation {
+    /// A stable label for the violation class; the shrinker preserves
+    /// this while minimizing (so a functional bug never "shrinks" into an
+    /// unrelated compile failure).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            OracleViolation::PipelineFailed { .. } => "pipeline-failed",
+            OracleViolation::AssignmentInvalid { .. } => "assignment-invalid",
+            OracleViolation::ScheduleInvalid { .. } => "schedule-invalid",
+            OracleViolation::IiBelowMii { .. } => "ii-below-mii",
+            OracleViolation::CopyOnCriticalRecurrence { .. } => "copy-on-critical-recurrence",
+            OracleViolation::ClusteredBeatsUnified { .. } => "clustered-beats-unified",
+            OracleViolation::FunctionalMismatch { .. } => "functional-mismatch",
+            OracleViolation::ModelDivergence { .. } => "model-divergence",
+        }
+    }
+}
+
+impl fmt::Display for OracleViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OracleViolation::PipelineFailed { reason } => write!(f, "pipeline failed: {reason}"),
+            OracleViolation::AssignmentInvalid { error } => {
+                write!(f, "assignment invalid: {error}")
+            }
+            OracleViolation::ScheduleInvalid { error } => write!(f, "schedule invalid: {error}"),
+            OracleViolation::IiBelowMii { ii, mii } => {
+                write!(f, "achieved II {ii} undercuts MII {mii}")
+            }
+            OracleViolation::CopyOnCriticalRecurrence {
+                working_rec_mii,
+                ii,
+            } => write!(
+                f,
+                "copies stretched a critical recurrence: working RecMII {working_rec_mii} > II {ii}"
+            ),
+            OracleViolation::ClusteredBeatsUnified { clustered, unified } => write!(
+                f,
+                "clustered II {clustered} beats the unified baseline II {unified}"
+            ),
+            OracleViolation::FunctionalMismatch { model, error } => {
+                write!(
+                    f,
+                    "{model} kernel diverged from sequential semantics: {error}"
+                )
+            }
+            OracleViolation::ModelDivergence {
+                mve_events,
+                rotating_events,
+            } => write!(
+                f,
+                "MVE and rotating kernels diverged ({mve_events} vs {rotating_events} store events)"
+            ),
+        }
+    }
+}
+
+/// The II the loop achieves on the machine's unified equivalent, or
+/// `None` when even the unified machine cannot schedule it (a corpus
+/// pathology, not a clustered-pipeline bug — the caller skips invariant
+/// 6 rather than reporting it).
+pub fn unified_baseline_ii(g: &Ddg, machine: &MachineSpec) -> Option<u32> {
+    let unified = machine.unified_equivalent();
+    let mii = unified.mii(g);
+    if mii == u32::MAX {
+        return None;
+    }
+    let map = unified_map(g, &unified);
+    let cap = max_ii_bound(g, mii);
+    let mut ctx = SchedContext::new(g, &unified, &map).ok()?;
+    ctx.schedule_in_range(mii.max(1), cap, SchedulerConfig::default())
+        .ok()
+        .map(|s| s.ii())
+}
+
+/// Whether the clustered schedule, restricted to the original nodes, is
+/// itself a valid unified-machine schedule at the same II. When it is,
+/// the unified optimum is provably <= the clustered II, so a heuristic
+/// unified baseline *above* the clustered II is scheduler weakness
+/// (bounded backtracking budget), not an invariant breach.
+fn projects_onto_unified(g: &Ddg, machine: &MachineSpec, sched: &Schedule) -> bool {
+    let unified = machine.unified_equivalent();
+    let map = unified_map(g, &unified);
+    let mut time = HashMap::new();
+    for n in g.node_ids() {
+        match sched.start(n) {
+            Some(t) => {
+                time.insert(n, t);
+            }
+            None => return false,
+        }
+    }
+    validate_schedule(g, &unified, &map, &Schedule::new(sched.ii(), time)).is_ok()
+}
+
+/// Compare two store streams as multisets keyed by `(node, iteration)`;
+/// `None` when equal, otherwise a description of the first divergence.
+fn diff_streams(got: &[StoreEvent], expected: &[StoreEvent]) -> Option<String> {
+    if got.len() != expected.len() {
+        return Some(format!(
+            "{} store events, expected {}",
+            got.len(),
+            expected.len()
+        ));
+    }
+    let index: HashMap<(NodeId, i64), u64> = expected
+        .iter()
+        .map(|e| ((e.node, e.iteration), e.value))
+        .collect();
+    for e in got {
+        match index.get(&(e.node, e.iteration)) {
+            Some(&v) if v == e.value => {}
+            Some(&v) => {
+                return Some(format!(
+                    "store {} iteration {}: got {:#x}, expected {v:#x}",
+                    e.node, e.iteration, e.value
+                ))
+            }
+            None => {
+                return Some(format!(
+                    "unexpected store event for {} iteration {}",
+                    e.node, e.iteration
+                ))
+            }
+        }
+    }
+    None
+}
+
+/// Run every invariant against one (loop, machine) pair. Returns all
+/// violations found (empty = the case is clean).
+///
+/// Structural violations (2-6) are collected together; the functional
+/// stage (7) only runs when the assignment and schedule validate, since
+/// emitting a kernel from a corrupt schedule exercises nothing but the
+/// corruption.
+pub fn check_case(
+    g: &Ddg,
+    machine: &MachineSpec,
+    pipeline: PipelineFn,
+    opts: &OracleOptions,
+) -> Vec<OracleViolation> {
+    let mut case = match pipeline(g, machine) {
+        Ok(c) => c,
+        Err(reason) => return vec![OracleViolation::PipelineFailed { reason }],
+    };
+    opts.fault.apply(&mut case, machine);
+
+    let mut violations = Vec::new();
+    let assignment_ok = match validate_assignment(g, machine, &case.assignment) {
+        Ok(()) => true,
+        Err(error) => {
+            violations.push(OracleViolation::AssignmentInvalid { error });
+            false
+        }
+    };
+    let wg = &case.assignment.graph;
+    let map = &case.assignment.map;
+    let sched = &case.schedule;
+    let ii = sched.ii();
+    let schedule_ok = match validate_schedule(wg, machine, map, sched) {
+        Ok(()) => true,
+        Err(error) => {
+            violations.push(OracleViolation::ScheduleInvalid { error });
+            false
+        }
+    };
+
+    let mii = machine.mii(g);
+    if mii != u32::MAX && ii < mii {
+        violations.push(OracleViolation::IiBelowMii { ii, mii });
+    }
+    let working_rec_mii = rec_mii(wg);
+    if working_rec_mii > ii {
+        violations.push(OracleViolation::CopyOnCriticalRecurrence {
+            working_rec_mii,
+            ii,
+        });
+    }
+    if let Some(unified) = unified_baseline_ii(g, machine) {
+        if ii < unified && !projects_onto_unified(g, machine, sched) {
+            violations.push(OracleViolation::ClusteredBeatsUnified {
+                clustered: ii,
+                unified,
+            });
+        }
+    }
+
+    if assignment_ok && schedule_ok {
+        let reference = reference_stream(wg, opts.iterations);
+        let mut streams: Vec<(&'static str, Option<Vec<StoreEvent>>)> = Vec::new();
+        for (name, model) in [
+            ("MVE", RegisterModel::mve(wg, sched)),
+            ("rotating", RegisterModel::rotating(wg, sched)),
+        ] {
+            let program = emit_program_with(wg, map, sched, opts.iterations, &model);
+            match run_program(wg, &program) {
+                Ok(events) => {
+                    if let Some(error) = diff_streams(&events, &reference) {
+                        violations.push(OracleViolation::FunctionalMismatch { model: name, error });
+                    }
+                    streams.push((name, Some(events)));
+                }
+                Err(error) => {
+                    violations.push(OracleViolation::FunctionalMismatch {
+                        model: name,
+                        error: error.to_string(),
+                    });
+                    streams.push((name, None));
+                }
+            }
+        }
+        if let [(_, Some(mve)), (_, Some(rot))] = &streams[..] {
+            if diff_streams(mve, rot).is_some() {
+                violations.push(OracleViolation::ModelDivergence {
+                    mve_events: mve.len(),
+                    rotating_events: rot.len(),
+                });
+            }
+        }
+    }
+    violations
+}

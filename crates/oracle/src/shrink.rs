@@ -1,0 +1,388 @@
+//! Delta-debugging shrinker for violating (loop, machine) pairs.
+//!
+//! Greedy reduction to a fixpoint: repeatedly try dropping DDG nodes,
+//! then DDG edges, then machine structure (clusters, function units,
+//! buses, links, ports), keeping a candidate only while the *same class*
+//! of violation still reproduces. Preserving the violation kind matters:
+//! without it a functional mismatch happily "shrinks" into a trivial
+//! uncompilable machine, which explains nothing.
+//!
+//! The shrinker is deterministic — candidates are tried in a fixed order
+//! and each trial re-runs the full oracle — so a reduced case replays
+//! bit-for-bit from its reproducer files.
+
+use clasp_ddg::{Ddg, DepEdge, NodeId};
+use clasp_machine::{ClusterId, ClusterSpec, Interconnect, Link, MachineSpec};
+
+use crate::oracle::{check_case, OracleOptions, OracleViolation, PipelineFn};
+
+/// Result of shrinking one violating case.
+#[derive(Debug, Clone)]
+pub struct ShrinkOutcome {
+    /// The reduced loop.
+    pub graph: Ddg,
+    /// The reduced machine.
+    pub machine: MachineSpec,
+    /// The violations the reduced case still exhibits.
+    pub violations: Vec<OracleViolation>,
+    /// The violation class being preserved.
+    pub kind: &'static str,
+    /// Oracle invocations spent.
+    pub trials: usize,
+}
+
+/// Budget on oracle invocations per shrink; generous — greedy passes on
+/// Table-1-sized loops use a few hundred.
+const MAX_TRIALS: usize = 10_000;
+
+/// `g` without node `victim`: survivors keep their relative order (ids
+/// are re-densified) and every edge not touching `victim` survives.
+fn drop_node(g: &Ddg, victim: NodeId) -> Ddg {
+    let mut out = Ddg::new(g.name());
+    let mut remap: Vec<Option<NodeId>> = vec![None; g.node_count()];
+    for (n, op) in g.nodes() {
+        if n != victim {
+            remap[n.index()] = Some(out.add_op(op.clone()));
+        }
+    }
+    for (_, e) in g.edges() {
+        if let (Some(src), Some(dst)) = (remap[e.src.index()], remap[e.dst.index()]) {
+            out.add_edge(DepEdge { src, dst, ..*e });
+        }
+    }
+    out
+}
+
+/// `g` without its `i`-th edge.
+fn drop_edge(g: &Ddg, i: usize) -> Ddg {
+    let mut out = Ddg::new(g.name());
+    for (_, op) in g.nodes() {
+        out.add_op(op.clone());
+    }
+    for (j, (_, e)) in g.edges().enumerate() {
+        if j != i {
+            out.add_edge(*e);
+        }
+    }
+    out
+}
+
+fn clusters_of(m: &MachineSpec) -> Vec<ClusterSpec> {
+    m.cluster_ids().map(|c| *m.cluster(c)).collect()
+}
+
+fn rebuild(m: &MachineSpec, clusters: Vec<ClusterSpec>, interconnect: Interconnect) -> MachineSpec {
+    MachineSpec::new(m.name().to_string(), clusters, interconnect)
+}
+
+/// `m` without cluster `victim`: later clusters shift down one id, links
+/// touching the victim disappear, surviving links are re-indexed. An
+/// emptied point-to-point fabric degenerates to `Interconnect::None` (the
+/// text format cannot express link-less point-to-point anyway).
+fn drop_cluster(m: &MachineSpec, victim: ClusterId) -> Option<MachineSpec> {
+    if m.cluster_count() < 2 {
+        return None;
+    }
+    let clusters: Vec<ClusterSpec> = m
+        .cluster_ids()
+        .filter(|&c| c != victim)
+        .map(|c| *m.cluster(c))
+        .collect();
+    let shift = |c: ClusterId| ClusterId(if c.0 > victim.0 { c.0 - 1 } else { c.0 });
+    let interconnect = match m.interconnect() {
+        Interconnect::PointToPoint {
+            links,
+            read_ports,
+            write_ports,
+        } => {
+            let kept: Vec<Link> = links
+                .iter()
+                .filter(|l| !l.touches(victim))
+                .map(|l| Link {
+                    a: shift(l.a),
+                    b: shift(l.b),
+                })
+                .collect();
+            if kept.is_empty() {
+                Interconnect::None
+            } else {
+                Interconnect::PointToPoint {
+                    links: kept,
+                    read_ports: *read_ports,
+                    write_ports: *write_ports,
+                }
+            }
+        }
+        other => other.clone(),
+    };
+    Some(rebuild(m, clusters, interconnect))
+}
+
+/// All single-step machine reductions, in a fixed order: drop a cluster,
+/// remove one function unit, drop a bus, drop a link, drop a port.
+fn machine_reductions(m: &MachineSpec) -> Vec<MachineSpec> {
+    let mut out = Vec::new();
+    for c in m.cluster_ids() {
+        if let Some(reduced) = drop_cluster(m, c) {
+            out.push(reduced);
+        }
+    }
+    // One unit less, per cluster and unit kind, keeping the cluster alive.
+    let base = clusters_of(m);
+    for (i, spec) in base.iter().enumerate() {
+        for field in 0..4u32 {
+            let mut s = *spec;
+            let slot = match field {
+                0 => &mut s.general,
+                1 => &mut s.memory,
+                2 => &mut s.integer,
+                _ => &mut s.float,
+            };
+            if *slot == 0 {
+                continue;
+            }
+            *slot -= 1;
+            if s.issue_width() == 0 {
+                continue;
+            }
+            let mut clusters = base.clone();
+            clusters[i] = s;
+            out.push(rebuild(m, clusters, m.interconnect().clone()));
+        }
+    }
+    match m.interconnect() {
+        Interconnect::None => {}
+        Interconnect::Bus {
+            buses,
+            read_ports,
+            write_ports,
+        } => {
+            if *buses > 0 {
+                out.push(rebuild(
+                    m,
+                    base.clone(),
+                    Interconnect::Bus {
+                        buses: buses - 1,
+                        read_ports: *read_ports,
+                        write_ports: *write_ports,
+                    },
+                ));
+            }
+            for (r, w) in [
+                (read_ports.saturating_sub(1), *write_ports),
+                (*read_ports, write_ports.saturating_sub(1)),
+            ] {
+                if (r, w) != (*read_ports, *write_ports) && r > 0 && w > 0 {
+                    out.push(rebuild(
+                        m,
+                        base.clone(),
+                        Interconnect::Bus {
+                            buses: *buses,
+                            read_ports: r,
+                            write_ports: w,
+                        },
+                    ));
+                }
+            }
+        }
+        Interconnect::PointToPoint {
+            links,
+            read_ports,
+            write_ports,
+        } => {
+            for drop in 0..links.len() {
+                let kept: Vec<Link> = links
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, _)| j != drop)
+                    .map(|(_, l)| *l)
+                    .collect();
+                let fabric = if kept.is_empty() {
+                    Interconnect::None
+                } else {
+                    Interconnect::PointToPoint {
+                        links: kept,
+                        read_ports: *read_ports,
+                        write_ports: *write_ports,
+                    }
+                };
+                out.push(rebuild(m, base.clone(), fabric));
+            }
+            for (r, w) in [
+                (read_ports.saturating_sub(1), *write_ports),
+                (*read_ports, write_ports.saturating_sub(1)),
+            ] {
+                if (r, w) != (*read_ports, *write_ports) && r > 0 && w > 0 {
+                    out.push(rebuild(
+                        m,
+                        base.clone(),
+                        Interconnect::PointToPoint {
+                            links: links.clone(),
+                            read_ports: r,
+                            write_ports: w,
+                        },
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Shrink a violating (loop, machine) pair to a local minimum while the
+/// original violation class reproduces. Returns `None` when the input
+/// case is clean (nothing to shrink).
+pub fn shrink_case(
+    graph: &Ddg,
+    machine: &MachineSpec,
+    pipeline: PipelineFn,
+    opts: &OracleOptions,
+) -> Option<ShrinkOutcome> {
+    let original = check_case(graph, machine, pipeline, opts);
+    let kind = original.first()?.kind();
+    let mut trials = 1usize;
+    let mut g = graph.clone();
+    let mut m = machine.clone();
+    let mut violations = original;
+
+    // `reproduces` also refuses structurally invalid graphs, so greedy
+    // candidates never feed the pipeline garbage.
+    let reproduces =
+        |g: &Ddg, m: &MachineSpec, trials: &mut usize| -> Option<Vec<OracleViolation>> {
+            if *trials >= MAX_TRIALS || g.node_count() == 0 || g.validate().is_err() {
+                return None;
+            }
+            *trials += 1;
+            let v = check_case(g, m, pipeline, opts);
+            if v.iter().any(|x| x.kind() == kind) {
+                Some(v)
+            } else {
+                None
+            }
+        };
+
+    loop {
+        let mut progressed = false;
+        // Pass 1: drop nodes (largest structural win first — later nodes
+        // are sinks more often, so scan from the back).
+        let mut i = g.node_count();
+        while i > 0 {
+            i -= 1;
+            if g.node_count() <= 1 {
+                break;
+            }
+            let candidate = drop_node(&g, NodeId(i as u32));
+            if let Some(v) = reproduces(&candidate, &m, &mut trials) {
+                g = candidate;
+                violations = v;
+                progressed = true;
+            }
+        }
+        // Pass 2: drop edges.
+        let mut i = g.edge_count();
+        while i > 0 {
+            i -= 1;
+            let candidate = drop_edge(&g, i);
+            if let Some(v) = reproduces(&candidate, &m, &mut trials) {
+                g = candidate;
+                violations = v;
+                progressed = true;
+            }
+        }
+        // Pass 3: machine reductions, restarted after every success so
+        // candidate lists are regenerated against the current machine.
+        let mut reduced_machine = true;
+        while reduced_machine {
+            reduced_machine = false;
+            for candidate in machine_reductions(&m) {
+                if let Some(v) = reproduces(&g, &candidate, &mut trials) {
+                    m = candidate;
+                    violations = v;
+                    progressed = true;
+                    reduced_machine = true;
+                    break;
+                }
+            }
+        }
+        if !progressed || trials >= MAX_TRIALS {
+            break;
+        }
+    }
+
+    Some(ShrinkOutcome {
+        graph: g,
+        machine: m,
+        violations,
+        kind,
+        trials,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clasp_ddg::OpKind;
+    use clasp_machine::presets;
+
+    #[test]
+    fn drop_node_remaps_edges() {
+        let mut g = Ddg::new("t");
+        let a = g.add(OpKind::Load);
+        let b = g.add(OpKind::IntAlu);
+        let c = g.add(OpKind::Store);
+        g.add_dep(a, b);
+        g.add_dep(b, c);
+        let out = drop_node(&g, b);
+        assert_eq!(out.node_count(), 2);
+        assert_eq!(out.edge_count(), 0);
+        let out = drop_node(&g, a);
+        assert_eq!(out.node_count(), 2);
+        assert_eq!(out.edge_count(), 1);
+        let (_, e) = out.edges().next().unwrap();
+        // b,c became n0,n1.
+        assert_eq!((e.src, e.dst), (NodeId(0), NodeId(1)));
+    }
+
+    #[test]
+    fn drop_cluster_reindexes_links() {
+        let m = presets::four_cluster_grid(1);
+        let reduced = drop_cluster(&m, ClusterId(0)).unwrap();
+        assert_eq!(reduced.cluster_count(), 3);
+        for l in reduced.interconnect().links() {
+            assert!(l.a.index() < 3 && l.b.index() < 3);
+        }
+        // Grid links 0-1, 0-2, 1-3, 2-3: dropping 0 keeps 1-3 and 2-3,
+        // re-indexed to 0-2 and 1-2.
+        assert_eq!(reduced.interconnect().links().len(), 2);
+    }
+
+    #[test]
+    fn drop_last_link_degenerates_to_none() {
+        let m = MachineSpec::new(
+            "two",
+            vec![ClusterSpec::general(2), ClusterSpec::general(2)],
+            Interconnect::PointToPoint {
+                links: vec![Link {
+                    a: ClusterId(0),
+                    b: ClusterId(1),
+                }],
+                read_ports: 1,
+                write_ports: 1,
+            },
+        );
+        let reductions = machine_reductions(&m);
+        assert!(reductions
+            .iter()
+            .any(|r| r.interconnect() == &Interconnect::None));
+    }
+
+    #[test]
+    fn machine_reductions_never_produce_empty_clusters() {
+        let m = presets::two_cluster_fs(2, 1);
+        for r in machine_reductions(&m) {
+            for c in r.cluster_ids() {
+                assert!(r.cluster(c).issue_width() > 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Integration tests: the oracle against the real `compile_full`
+//! pipeline (`clasp::oracle_pipeline`, dev-dependency binding).
+//!
+//! Covers the PR's acceptance criteria end to end: a deterministic
+//! seed-0 case stream with zero violations, deliberate fault injection
+//! that the oracle detects, shrinking of a faulty case to a handful of
+//! nodes, and bit-for-bit deterministic replay from reproducer text.
+
+use clasp::oracle_pipeline;
+use clasp_ddg::{Ddg, OpKind};
+use clasp_machine::presets;
+use clasp_oracle::{
+    check_case, run_fuzz, run_fuzz_with_repros, shrink_case, Fault, FuzzConfig, OracleOptions,
+};
+use clasp_text::{parse_loop, parse_machine, write_loop, write_machine};
+
+/// sum += x[i] * y[i], the crate-level doctest loop: small, has a
+/// recurrence, crosses clusters under any two-cluster split.
+fn dot_product() -> Ddg {
+    let mut g = Ddg::new("dot");
+    let x = g.add(OpKind::Load);
+    let y = g.add(OpKind::Load);
+    let m = g.add(OpKind::FpMult);
+    let s = g.add(OpKind::FpAdd);
+    let st = g.add(OpKind::Store);
+    g.add_dep(x, m);
+    g.add_dep(y, m);
+    g.add_dep(m, s);
+    g.add_dep(s, st);
+    g.add_dep_carried(s, s, 1);
+    g
+}
+
+#[test]
+fn seed_zero_stream_is_clean() {
+    // A slice of the CI smoke job's stream (which runs 500 via the CLI);
+    // enough to cover every generator style in-process.
+    let config = FuzzConfig {
+        seed: 0,
+        cases: 120,
+        ..FuzzConfig::default()
+    };
+    let report = run_fuzz(&config, &oracle_pipeline);
+    assert_eq!(report.checked, 120);
+    for failure in &report.failures {
+        eprintln!(
+            "case {} ({} nodes, machine {}):",
+            failure.case.index,
+            failure.case.graph.node_count(),
+            failure.case.machine.name()
+        );
+        for v in &failure.violations {
+            eprintln!("  [{}] {v}", v.kind());
+        }
+    }
+    assert!(
+        report.is_clean(),
+        "{} violating cases",
+        report.failures.len()
+    );
+}
+
+#[test]
+fn skew_fault_is_detected() {
+    let g = dot_product();
+    let machine = presets::two_cluster_gp(2, 1);
+    let opts = OracleOptions {
+        fault: Fault::SkewSchedule,
+        ..OracleOptions::default()
+    };
+    let violations = check_case(&g, &machine, &oracle_pipeline, &opts);
+    assert!(
+        violations.iter().any(|v| v.kind() == "schedule-invalid"),
+        "skew must break a dependence: {violations:?}"
+    );
+}
+
+#[test]
+fn misplace_fault_is_detected() {
+    let g = dot_product();
+    let machine = presets::two_cluster_gp(2, 1);
+    let opts = OracleOptions {
+        fault: Fault::MisplaceNode,
+        ..OracleOptions::default()
+    };
+    let violations = check_case(&g, &machine, &oracle_pipeline, &opts);
+    assert!(
+        !violations.is_empty(),
+        "moving node 0 across clusters must violate an invariant"
+    );
+}
+
+#[test]
+fn skew_fault_shrinks_small_and_replays_deterministically() {
+    let g = dot_product();
+    let machine = presets::two_cluster_gp(2, 1);
+    let opts = OracleOptions {
+        fault: Fault::SkewSchedule,
+        ..OracleOptions::default()
+    };
+
+    let outcome = shrink_case(&g, &machine, &oracle_pipeline, &opts)
+        .expect("faulty case must have something to shrink");
+    assert_eq!(outcome.kind, "schedule-invalid");
+    assert!(
+        outcome.graph.node_count() <= 8,
+        "shrinker left {} nodes",
+        outcome.graph.node_count()
+    );
+
+    // Determinism: a second shrink of the same case lands on the same
+    // reduced pair, textually.
+    let again = shrink_case(&g, &machine, &oracle_pipeline, &opts).unwrap();
+    assert_eq!(write_loop(&again.graph), write_loop(&outcome.graph));
+    assert_eq!(
+        write_machine(&again.machine),
+        write_machine(&outcome.machine)
+    );
+
+    // Replay: the reduced pair survives a text round-trip and still
+    // exhibits the same violation class.
+    let replayed_g = parse_loop(&write_loop(&outcome.graph)).unwrap();
+    let replayed_m = parse_machine(&write_machine(&outcome.machine)).unwrap();
+    let replayed = check_case(&replayed_g, &replayed_m, &oracle_pipeline, &opts);
+    assert!(
+        replayed.iter().any(|v| v.kind() == outcome.kind),
+        "reproducer must replay the original violation class: {replayed:?}"
+    );
+}
+
+#[test]
+fn faulty_fuzz_run_writes_reproducers() {
+    let dir = std::env::temp_dir().join("clasp-oracle-test-repros");
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = FuzzConfig {
+        seed: 7,
+        cases: 6,
+        fault: Fault::SkewSchedule,
+        ..FuzzConfig::default()
+    };
+    let report = run_fuzz_with_repros(&config, &oracle_pipeline, &dir).unwrap();
+    assert!(!report.is_clean(), "skewed schedules must fail the oracle");
+    assert_eq!(report.repro_files.len(), report.failures.len() * 2);
+    for path in &report.repro_files {
+        assert!(path.exists(), "missing reproducer {}", path.display());
+    }
+    // Reproducer loops parse back (comment header included).
+    let loop_file = report
+        .repro_files
+        .iter()
+        .find(|p| p.extension().is_some_and(|e| e == "clasp"))
+        .unwrap();
+    let text = std::fs::read_to_string(loop_file).unwrap();
+    assert!(text.starts_with("# fuzz reproducer"));
+    parse_loop(&text).unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -73,19 +73,39 @@ impl Schedule {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ScheduleError {
     /// A node has no scheduled cycle.
-    Unscheduled(NodeId),
+    Unscheduled {
+        /// The unscheduled node.
+        node: NodeId,
+        /// Its operation kind.
+        op: OpKind,
+    },
     /// A dependence `src -> dst` is violated:
     /// `t(dst) < t(src) + latency - distance * II`.
     DependenceViolated {
         /// Producer.
         src: NodeId,
+        /// The producer's operation kind.
+        src_op: OpKind,
+        /// Cycle the producer issues in.
+        src_cycle: i64,
         /// Consumer.
         dst: NodeId,
+        /// The consumer's operation kind.
+        dst_op: OpKind,
+        /// Cycle the consumer issues in.
+        dst_cycle: i64,
         /// Slack (negative by how many cycles).
         slack: i64,
     },
     /// Two or more nodes overuse a resource in some kernel row.
-    ResourceOveruse(NodeId),
+    ResourceOveruse {
+        /// The node that failed to place.
+        node: NodeId,
+        /// Its operation kind.
+        op: OpKind,
+        /// The kernel row (cycle mod II) it could not fit in.
+        row: u32,
+    },
     /// A node is assigned to no cluster in the map.
     MissingAssignment(NodeId),
     /// A copy node is missing its transport metadata.
@@ -95,12 +115,27 @@ pub enum ScheduleError {
 impl std::fmt::Display for ScheduleError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ScheduleError::Unscheduled(n) => write!(f, "{n} has no scheduled cycle"),
-            ScheduleError::DependenceViolated { src, dst, slack } => {
-                write!(f, "dependence {src} -> {dst} violated by {} cycles", -slack)
+            ScheduleError::Unscheduled { node, op } => {
+                write!(f, "{op} {node} has no scheduled cycle")
             }
-            ScheduleError::ResourceOveruse(n) => {
-                write!(f, "{n} overuses a resource in its kernel row")
+            ScheduleError::DependenceViolated {
+                src,
+                src_op,
+                src_cycle,
+                dst,
+                dst_op,
+                dst_cycle,
+                slack,
+            } => {
+                write!(
+                    f,
+                    "dependence {src_op} {src} (cycle {src_cycle}) -> {dst_op} {dst} \
+                     (cycle {dst_cycle}) violated by {} cycles",
+                    -slack
+                )
+            }
+            ScheduleError::ResourceOveruse { node, op, row } => {
+                write!(f, "{op} {node} overuses a resource in kernel row {row}")
             }
             ScheduleError::MissingAssignment(n) => write!(f, "{n} has no cluster"),
             ScheduleError::MissingCopyMeta(n) => write!(f, "copy {n} has no metadata"),
@@ -145,7 +180,10 @@ pub fn validate_schedule(
     let ii = i64::from(sched.ii());
     for n in g.node_ids() {
         if sched.start(n).is_none() {
-            return Err(ScheduleError::Unscheduled(n));
+            return Err(ScheduleError::Unscheduled {
+                node: n,
+                op: g.op(n).kind,
+            });
         }
     }
     for (_, e) in g.edges() {
@@ -155,7 +193,11 @@ pub fn validate_schedule(
         if slack < 0 {
             return Err(ScheduleError::DependenceViolated {
                 src: e.src,
+                src_op: g.op(e.src).kind,
+                src_cycle: ts,
                 dst: e.dst,
+                dst_op: g.op(e.dst).kind,
+                dst_cycle: td,
                 slack,
             });
         }
@@ -166,7 +208,11 @@ pub fn validate_schedule(
         let req = slot_request(g, map, n)?;
         let row = sched.kernel_row(n).expect("checked above");
         if mrt.try_place(n, row, &req).is_err() {
-            return Err(ScheduleError::ResourceOveruse(n));
+            return Err(ScheduleError::ResourceOveruse {
+                node: n,
+                op: g.op(n).kind,
+                row,
+            });
         }
     }
     Ok(())
@@ -256,7 +302,7 @@ mod tests {
         let s = Schedule::new(2, t);
         assert!(matches!(
             validate_schedule(&g, &m, &map, &s),
-            Err(ScheduleError::ResourceOveruse(_))
+            Err(ScheduleError::ResourceOveruse { .. })
         ));
     }
 
@@ -270,7 +316,7 @@ mod tests {
         let s = Schedule::new(1, t);
         assert!(matches!(
             validate_schedule(&g, &m, &map, &s),
-            Err(ScheduleError::Unscheduled(_))
+            Err(ScheduleError::Unscheduled { .. })
         ));
     }
 
@@ -303,5 +349,73 @@ mod tests {
         let s = Schedule::new(2, t);
         assert_eq!(s.kernel_row(NodeId(0)), Some(1));
         assert_eq!(s.stage(NodeId(0)), Some(-2));
+    }
+
+    #[test]
+    fn distance_zero_carried_edge_slack_boundary() {
+        // An explicitly carried edge at distance 0 is an ordinary
+        // intra-iteration constraint: the II term vanishes, so the exact
+        // latency boundary must be the accept/reject line at any II.
+        let mut g = Ddg::new("d0");
+        let a = g.add(OpKind::Load);
+        let b = g.add(OpKind::IntAlu);
+        g.add_dep_carried(a, b, 0);
+        let m = presets::unified_gp(4);
+        let map = unified_map(&g, &m);
+        let lat = i64::from(OpKind::Load.latency());
+
+        let mut t = HashMap::new();
+        t.insert(a, 0i64);
+        t.insert(b, lat); // exactly on time
+        assert_eq!(
+            validate_schedule(&g, &m, &map, &Schedule::new(7, t)),
+            Ok(())
+        );
+
+        let mut t = HashMap::new();
+        t.insert(a, 0i64);
+        t.insert(b, lat - 1); // one cycle early
+        match validate_schedule(&g, &m, &map, &Schedule::new(7, t)) {
+            Err(ScheduleError::DependenceViolated {
+                src_op,
+                src_cycle,
+                dst_op,
+                dst_cycle,
+                slack,
+                ..
+            }) => {
+                assert_eq!(src_op, OpKind::Load);
+                assert_eq!(dst_op, OpKind::IntAlu);
+                assert_eq!(src_cycle, 0);
+                assert_eq!(dst_cycle, lat - 1);
+                assert_eq!(slack, -1);
+            }
+            other => panic!("expected a dependence violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn single_cluster_zero_bus_machine_validates() {
+        // A unified machine whose interconnect is a zero-width bus: legal
+        // (nothing ever crosses clusters), and validation must not charge
+        // bus bandwidth for ordinary operations.
+        let m = MachineSpec::new(
+            "solo-nobus",
+            vec![clasp_machine::ClusterSpec::general(2)],
+            clasp_machine::Interconnect::Bus {
+                buses: 0,
+                read_ports: 1,
+                write_ports: 1,
+            },
+        );
+        let (g, a, b) = tiny();
+        let map = unified_map(&g, &m);
+        let mut t = HashMap::new();
+        t.insert(a, 0i64);
+        t.insert(b, 2i64);
+        assert_eq!(
+            validate_schedule(&g, &m, &map, &Schedule::new(1, t)),
+            Ok(())
+        );
     }
 }

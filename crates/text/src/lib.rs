@@ -22,6 +22,6 @@ mod machine;
 mod parse;
 mod write;
 
-pub use machine::{parse_machine, MachineParseError};
+pub use machine::{parse_machine, write_machine, MachineParseError};
 pub use parse::{parse_loop, ParseError, ParseErrorKind};
 pub use write::write_loop;

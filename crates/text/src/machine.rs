@@ -221,6 +221,97 @@ pub fn parse_machine(text: &str) -> Result<MachineSpec, MachineParseError> {
     Ok(MachineSpec::new(name, clusters, interconnect))
 }
 
+/// Render `machine` as a `.machine` description that [`parse_machine`]
+/// reproduces *exactly*: `parse_machine(&write_machine(m))? == m`.
+///
+/// Port counts are always written explicitly (never left to parser
+/// defaults) so the round-trip is equality, not merely equivalence. Two
+/// corners of [`MachineSpec`] are unrepresentable in the format and are
+/// written in their closest representable form:
+///
+/// - a machine name that is not a single `#`-free token is sanitized the
+///   same way loop names are;
+/// - a point-to-point fabric with an *empty* link table parses back as
+///   [`Interconnect::None`] (the format infers the fabric from `link`
+///   lines).
+///
+/// Clusters with zero function units cannot be expressed at all (the
+/// parser rejects them), matching the machines every generator in the
+/// workspace produces.
+///
+/// # Examples
+///
+/// ```
+/// use clasp_machine::presets;
+///
+/// let m = presets::four_cluster_grid(1);
+/// let text = clasp_text::write_machine(&m);
+/// assert_eq!(clasp_text::parse_machine(&text)?, m);
+/// # Ok::<(), clasp_text::MachineParseError>(())
+/// ```
+pub fn write_machine(machine: &MachineSpec) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(s, "machine {}", sanitize_name(machine.name()));
+    for c in machine.cluster_ids() {
+        let spec = machine.cluster(c);
+        let _ = write!(s, "cluster");
+        for (count, suffix) in [
+            (spec.general, "gp"),
+            (spec.memory, "m"),
+            (spec.integer, "i"),
+            (spec.float, "f"),
+        ] {
+            if count > 0 {
+                let _ = write!(s, " {count}{suffix}");
+            }
+        }
+        let _ = writeln!(s);
+    }
+    match machine.interconnect() {
+        Interconnect::None => {}
+        Interconnect::Bus {
+            buses,
+            read_ports,
+            write_ports,
+        } => {
+            let _ = writeln!(s, "bus {buses} ports {read_ports} {write_ports}");
+        }
+        Interconnect::PointToPoint {
+            links,
+            read_ports,
+            write_ports,
+        } => {
+            for l in links {
+                let _ = writeln!(s, "link {} {}", l.a.0, l.b.0);
+            }
+            if !links.is_empty() {
+                let _ = writeln!(s, "ports {read_ports} {write_ports}");
+            }
+        }
+    }
+    s
+}
+
+/// Machine names are single tokens in the format; collapse anything else.
+fn sanitize_name(name: &str) -> String {
+    let cleaned: String = name
+        .chars()
+        .map(|c| {
+            if c.is_whitespace() || c == '#' {
+                '_'
+            } else {
+                c
+            }
+        })
+        .collect();
+    if cleaned.is_empty() {
+        "machine".to_string()
+    } else {
+        cleaned
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -294,6 +385,62 @@ mod tests {
             .contains("distinct"));
         let e = parse_machine("cluster 4gp\nbus x\n").unwrap_err();
         assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn write_round_trips_presets_exactly() {
+        use clasp_machine::presets;
+        for m in [
+            presets::two_cluster_gp(2, 1),
+            presets::four_cluster_gp(4, 2),
+            presets::two_cluster_fs(2, 1),
+            presets::four_cluster_grid(1),
+            presets::unified_gp(8),
+        ] {
+            let text = write_machine(&m);
+            assert_eq!(parse_machine(&text).unwrap(), m, "in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn write_emits_explicit_ports() {
+        let m = MachineSpec::new(
+            "p",
+            vec![ClusterSpec::general(2), ClusterSpec::general(2)],
+            Interconnect::Bus {
+                buses: 3,
+                read_ports: 2,
+                write_ports: 1,
+            },
+        );
+        let text = write_machine(&m);
+        assert!(text.contains("bus 3 ports 2 1"), "{text}");
+        assert_eq!(parse_machine(&text).unwrap(), m);
+    }
+
+    #[test]
+    fn write_sanitizes_awkward_names() {
+        let m = MachineSpec::new(
+            "two words # hash",
+            vec![ClusterSpec::general(1)],
+            Interconnect::None,
+        );
+        let back = parse_machine(&write_machine(&m)).unwrap();
+        assert_eq!(back.name(), "two_words___hash");
+    }
+
+    #[test]
+    fn write_handles_zero_buses() {
+        let m = MachineSpec::new(
+            "dead",
+            vec![ClusterSpec::general(1), ClusterSpec::general(1)],
+            Interconnect::Bus {
+                buses: 0,
+                read_ports: 1,
+                write_ports: 1,
+            },
+        );
+        assert_eq!(parse_machine(&write_machine(&m)).unwrap(), m);
     }
 
     #[test]

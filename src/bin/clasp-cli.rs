@@ -5,7 +5,16 @@
 //! clasp-cli analyze  <loop.clasp>
 //! clasp-cli compile  <loop.clasp> [options]
 //! clasp-cli simulate <loop.clasp> [options] [--iterations N]
+//! clasp-cli fuzz     [--seed N] [--cases N] [--iterations N] [--shrink]
+//!                    [--fault none|skew|misplace] [--out DIR]
 //! clasp-cli machines
+//!
+//! `fuzz` runs the differential oracle over a seeded stream of random
+//! (loop, machine) pairs and exits non-zero on any invariant violation;
+//! with `--shrink`, violating cases are minimized and written as
+//! `.clasp` + `.machine` reproducer pairs under `--out` (default
+//! `results/repros`). `--fault` corrupts each compiled artifact on
+//! purpose — a self-test proving the oracle detects bugs.
 //!
 //! options:
 //!   --machine <preset>    2c-gp | 4c-gp | 6c-gp | 8c-gp | 2c-fs | 4c-fs |
@@ -65,9 +74,10 @@ impl Default for Options {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: clasp-cli <analyze|compile|simulate|machines> [loop.clasp] [options]\n\
+        "usage: clasp-cli <analyze|compile|simulate|fuzz|machines> [loop.clasp] [options]\n\
          see `clasp-cli machines` for presets; options: --machine --buses --ports\n\
-         --variant --scheduler --model --iterations --dot --kernel --explain"
+         --variant --scheduler --model --iterations --dot --kernel --explain\n\
+         fuzz options: --seed --cases --iterations --shrink --fault --out"
     );
     ExitCode::from(2)
 }
@@ -220,6 +230,83 @@ fn simulate(g: &Ddg, opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// `clasp-cli fuzz`: the differential oracle over a seeded case stream.
+/// Exits non-zero when any case violates an invariant, so CI can gate on
+/// it directly.
+fn fuzz(args: &[String]) -> Result<bool, String> {
+    let mut config = clasp_oracle::FuzzConfig::default();
+    let mut shrink = false;
+    let mut out = String::from("results/repros");
+    let mut i = 0;
+    while i < args.len() {
+        let take = |i: &mut usize| -> Option<String> {
+            *i += 1;
+            args.get(*i).cloned()
+        };
+        match args[i].as_str() {
+            "--seed" => {
+                config.seed = take(&mut i)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--seed needs a number")?;
+            }
+            "--cases" => {
+                config.cases = take(&mut i)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--cases needs a number")?;
+            }
+            "--iterations" => {
+                config.iterations = take(&mut i)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--iterations needs a number")?;
+            }
+            "--fault" => {
+                config.fault = take(&mut i)
+                    .and_then(|v| clasp_oracle::Fault::parse(&v))
+                    .ok_or("--fault is `none`, `skew` or `misplace`")?;
+            }
+            "--shrink" => shrink = true,
+            "--out" => out = take(&mut i).ok_or("--out needs a directory")?,
+            other => return Err(format!("unknown fuzz option `{other}`")),
+        }
+        i += 1;
+    }
+
+    let report = if shrink {
+        clasp_oracle::run_fuzz_with_repros(
+            &config,
+            &clasp::oracle_pipeline,
+            std::path::Path::new(&out),
+        )
+        .map_err(|e| format!("writing reproducers under {out}: {e}"))?
+    } else {
+        clasp_oracle::run_fuzz(&config, &clasp::oracle_pipeline)
+    };
+
+    for failure in &report.failures {
+        println!(
+            "case {:04} (seed {:#018x}, loop {}, machine {}):",
+            failure.case.index,
+            failure.case.case_seed,
+            failure.case.graph.name(),
+            failure.case.machine.name()
+        );
+        for v in &failure.violations {
+            println!("  [{}] {v}", v.kind());
+        }
+    }
+    for path in &report.repro_files {
+        println!("reproducer: {}", path.display());
+    }
+    println!(
+        "fuzz: {} cases checked (seed {}, fault {}), {} violating",
+        report.checked,
+        config.seed,
+        config.fault,
+        report.failures.len()
+    );
+    Ok(report.is_clean())
+}
+
 fn machines() {
     println!("presets (defaults in parentheses; override with --buses/--ports):");
     for (name, m) in [
@@ -244,6 +331,16 @@ fn main() -> ExitCode {
     if cmd == "machines" {
         machines();
         return ExitCode::SUCCESS;
+    }
+    if cmd == "fuzz" {
+        return match fuzz(&args[1..]) {
+            Ok(true) => ExitCode::SUCCESS,
+            Ok(false) => ExitCode::FAILURE,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::from(2)
+            }
+        };
     }
     let Some(path) = args.get(1) else {
         return usage();

@@ -412,3 +412,31 @@ pub fn compile_full(
         report,
     })
 }
+
+/// [`compile_full`] bound to the signature the differential fuzzing
+/// oracle expects ([`clasp_oracle::PipelineFn`]): default request with
+/// driver-side verification off, since the oracle performs its own
+/// functional verification differentially over *both* register models.
+///
+/// Pass as `&clasp::oracle_pipeline` to [`clasp_oracle::run_fuzz`],
+/// [`clasp_oracle::check_case`] or [`clasp_oracle::shrink_case`].
+///
+/// # Errors
+///
+/// The pipeline's [`PipelineError`], stringified (the oracle reports
+/// pipeline failures, it never matches on them).
+pub fn oracle_pipeline(
+    g: &Ddg,
+    machine: &MachineSpec,
+) -> Result<clasp_oracle::CompiledCase, String> {
+    let req = CompileRequest {
+        verify: false,
+        ..CompileRequest::default()
+    };
+    compile_full(g, machine, &req)
+        .map(|artifact| clasp_oracle::CompiledCase {
+            assignment: artifact.assignment,
+            schedule: artifact.schedule,
+        })
+        .map_err(|e| e.to_string())
+}

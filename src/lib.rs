@@ -57,8 +57,8 @@ mod driver;
 mod pipeline;
 
 pub use driver::{
-    compile_full, CompileReport, CompileRequest, CompiledArtifact, IiStep, RegisterModelKind,
-    RegisterStats, StageTimings,
+    compile_full, oracle_pipeline, CompileReport, CompileRequest, CompiledArtifact, IiStep,
+    RegisterModelKind, RegisterStats, StageTimings,
 };
 pub use pipeline::{
     compare_with_unified, compile_loop, compile_loop_post, unified_ii, CompiledLoop,
@@ -71,4 +71,5 @@ pub use clasp_kernel as kernel;
 pub use clasp_loopgen as loopgen;
 pub use clasp_machine as machine;
 pub use clasp_mrt as mrt;
+pub use clasp_oracle as oracle;
 pub use clasp_sched as sched;

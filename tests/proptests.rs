@@ -7,12 +7,13 @@
 //! ([`clasp_loopgen::rng::Rng`]). Failures print the offending case seed;
 //! rerun with that seed to reproduce.
 
-use clasp::{compile_loop, PipelineConfig};
+use clasp::oracle_pipeline;
 use clasp_core::validate_assignment;
 use clasp_ddg::{find_sccs, rec_mii, rec_mii_bruteforce, swing_order, Ddg, NodeId, OpKind};
 use clasp_loopgen::rng::Rng;
 use clasp_machine::{presets, ClusterId, MachineSpec};
 use clasp_mrt::CountMrt;
+use clasp_oracle::{check_case, OracleOptions};
 use clasp_sched::validate_schedule;
 
 const KINDS: [OpKind; 9] = [
@@ -145,20 +146,49 @@ fn assignment_validates_on_random_loops() {
     });
 }
 
+/// The heavy pipeline properties, routed through the differential
+/// oracle: one [`check_case`] call per case covers assignment validity,
+/// schedule validity, II lower bounds, copies-off-critical-recurrences,
+/// the unified-baseline comparison, and functional equivalence of the
+/// emitted kernels under *both* register models. Any failure arrives as
+/// a typed violation naming the offending op and cycle.
 #[test]
-fn full_pipeline_schedule_validates() {
+fn full_pipeline_passes_the_oracle() {
+    let opts = OracleOptions::default();
     for_cases(5, 96, |rng| {
         let g = random_ddg(rng, 14);
         let m = random_machine(rng);
         if !valid(&g) {
             return;
         }
-        let c = compile_loop(&g, &m, PipelineConfig::default()).expect("pipeline must succeed");
-        assert!(validate_schedule(&c.assignment.graph, &m, &c.assignment.map, &c.schedule).is_ok());
-        // Working graph node count = originals + copies.
-        assert_eq!(
-            c.assignment.graph.node_count(),
-            g.node_count() + c.assignment.copy_count()
+        let violations = check_case(&g, &m, &oracle_pipeline, &opts);
+        assert!(
+            violations.is_empty(),
+            "oracle violations on preset machine {}: {violations:?}",
+            m.name()
+        );
+    });
+}
+
+/// The same oracle pass over the fuzzer's own *random* machine models
+/// (cluster counts, FU mixes, bus vs point-to-point fabrics), not just
+/// the six presets.
+#[test]
+fn full_pipeline_passes_the_oracle_on_random_machines() {
+    let opts = OracleOptions::default();
+    let mut index = 0usize;
+    for_cases(14, 64, |rng| {
+        let g = random_ddg(rng, 12);
+        index += 1;
+        if !valid(&g) {
+            return;
+        }
+        let m = clasp_oracle::random_machine(rng, index);
+        let violations = check_case(&g, &m, &oracle_pipeline, &opts);
+        assert!(
+            violations.is_empty(),
+            "oracle violations on random machine {}: {violations:?}",
+            m.name()
         );
     });
 }
@@ -242,18 +272,17 @@ fn schedule_rows_stay_inside_ii() {
 }
 
 #[test]
-fn pipelined_execution_equals_sequential() {
-    for_cases(9, 96, |rng| {
-        let g = random_ddg(rng, 12);
-        let m = random_machine(rng);
-        // The strongest property: compile, emit, execute, compare value
-        // streams against sequential semantics.
-        if !valid(&g) {
-            return;
-        }
-        let c = compile_loop(&g, &m, PipelineConfig::default()).expect("pipeline succeeds");
-        clasp_kernel::verify_pipelined(&c.assignment.graph, &c.assignment.map, &c.schedule, 9)
-            .expect("pipelined == sequential");
+fn machine_text_roundtrips_exactly() {
+    // `parse(write(m)) == m`, structurally, over the fuzzer's machine
+    // population — the exactness contract `clasp_text::write_machine`
+    // documents.
+    let mut index = 0usize;
+    for_cases(9, 200, |rng| {
+        index += 1;
+        let m = clasp_oracle::random_machine(rng, index);
+        let text = clasp_text::write_machine(&m);
+        let back = clasp_text::parse_machine(&text).expect("written machine parses");
+        assert_eq!(back, m, "round-trip changed the machine:\n{text}");
     });
 }
 
