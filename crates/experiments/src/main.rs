@@ -8,8 +8,9 @@
 //! grid ablate-order ablate-pcr ablate-budget ablate-sched registers baseline-post
 //! all quick`
 //!
-//! Options: `--loops N` (corpus subset), `--seed S` (corpus seed).
-//! CSV output lands in `results/`.
+//! Options: `--loops N` (corpus subset), `--seed S` (corpus seed),
+//! `--threads T` (sweep workers, 0 = one per hardware thread; results
+//! are bit-identical for every T). CSV output lands in `results/`.
 
 mod experiments;
 mod runner;
@@ -45,6 +46,10 @@ fn main() {
             "--seed" => {
                 i += 1;
                 seed = Some(args[i].parse().expect("--seed takes a number"));
+            }
+            "--threads" => {
+                i += 1;
+                runner::set_threads(args[i].parse().expect("--threads takes a number"));
             }
             other => ids.push(other.to_string()),
         }

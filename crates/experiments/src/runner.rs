@@ -5,11 +5,27 @@
 
 use clasp::{compile_loop, PipelineConfig};
 use clasp_ddg::Ddg;
+use clasp_exec::{sweep, SweepPanic};
 use clasp_machine::MachineSpec;
 use clasp_sched::{schedule_unified, SchedulerConfig};
 use std::collections::BTreeMap;
 use std::io::Write as _;
 use std::path::Path;
+use std::sync::OnceLock;
+
+/// Worker-thread count for every sweep in this harness (0 = one worker
+/// per hardware thread). Set once from the command line before the first
+/// experiment runs.
+static THREADS: OnceLock<usize> = OnceLock::new();
+
+/// Fix the sweep thread count (`--threads`). First call wins.
+pub fn set_threads(n: usize) {
+    let _ = THREADS.set(n);
+}
+
+fn threads() -> usize {
+    *THREADS.get().unwrap_or(&0)
+}
 
 /// One experiment series (one line in a paper figure).
 #[derive(Debug, Clone)]
@@ -59,23 +75,39 @@ pub type SeriesSpec = (String, MachineSpec, PipelineConfig);
 
 /// Unified-baseline IIs for a corpus on one unified machine, computed in
 /// parallel.
+///
+/// # Errors
+///
+/// [`SweepPanic`] naming the loop whose baseline schedule panicked.
 fn unified_baseline(
     corpus: &[Ddg],
     unified: &MachineSpec,
     sched: SchedulerConfig,
-) -> Vec<Option<u32>> {
-    parallel_map(corpus, |g| {
-        schedule_unified(g, unified, sched).ok().map(|s| s.ii())
-    })
+) -> Result<Vec<Option<u32>>, SweepPanic> {
+    sweep(
+        threads(),
+        corpus,
+        |_, g| format!("loop {} on unified baseline {}", g.name(), unified.name()),
+        |_, g| schedule_unified(g, unified, sched).ok().map(|s| s.ii()),
+    )
 }
 
-/// Run every series over the corpus. All series must share the same
-/// unified equivalent (one baseline is computed and reused).
+/// Run every series over the corpus on the deterministic executor
+/// (`clasp-exec`): dynamically balanced workers, input-ordered results,
+/// bit-identical for any `--threads` value. All series must share the
+/// same unified equivalent (one baseline is computed and reused).
+///
+/// # Errors
+///
+/// [`SweepPanic`] when any single compile panics — the sweep finishes
+/// every other case first, then reports the lowest-indexed failing case
+/// with its loop and machine names. (The old chunked map aborted the
+/// whole run via `join().expect("worker panicked")` with no case label.)
 ///
 /// # Panics
 ///
 /// Panics if the series disagree on the unified-equivalent machine shape.
-pub fn run_experiment(corpus: &[Ddg], specs: &[SeriesSpec]) -> Vec<Series> {
+pub fn run_experiment(corpus: &[Ddg], specs: &[SeriesSpec]) -> Result<Vec<Series>, SweepPanic> {
     assert!(!specs.is_empty());
     let unified = specs[0].1.unified_equivalent();
     for (_, m, _) in specs {
@@ -85,14 +117,17 @@ pub fn run_experiment(corpus: &[Ddg], specs: &[SeriesSpec]) -> Vec<Series> {
             "series must share a baseline"
         );
     }
-    let baseline = unified_baseline(corpus, &unified, specs[0].2.sched);
+    let baseline = unified_baseline(corpus, &unified, specs[0].2.sched)?;
 
     specs
         .iter()
         .map(|(label, machine, config)| {
-            let deviations = parallel_map(corpus, |g| {
-                compile_loop(g, machine, *config).ok().map(|c| c.ii())
-            });
+            let deviations = sweep(
+                threads(),
+                corpus,
+                |_, g: &Ddg| format!("loop {} on {} ({label})", g.name(), machine.name()),
+                |_, g| compile_loop(g, machine, *config).ok().map(|c| c.ii()),
+            )?;
             let mut hist = BTreeMap::new();
             let mut fails = 0usize;
             for (dev, base) in deviations.iter().zip(&baseline) {
@@ -103,51 +138,14 @@ pub fn run_experiment(corpus: &[Ddg], specs: &[SeriesSpec]) -> Vec<Series> {
                     _ => fails += 1,
                 }
             }
-            Series {
+            Ok(Series {
                 label: label.clone(),
                 hist,
                 fails,
                 loops: corpus.len(),
-            }
+            })
         })
         .collect()
-}
-
-/// Chunked scoped-thread parallel map (keeps order).
-fn parallel_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(items.len().max(1));
-    if threads <= 1 || items.len() < 8 {
-        return items.iter().map(f).collect();
-    }
-    let chunk = items.len().div_ceil(threads);
-    let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
-    out.resize_with(items.len(), || None);
-    let slots: Vec<(usize, &[T])> = items.chunks(chunk).enumerate().collect();
-    let mut results: Vec<(usize, Vec<R>)> = Vec::new();
-    std::thread::scope(|s| {
-        let handles: Vec<_> = slots
-            .into_iter()
-            .map(|(i, part)| {
-                s.spawn({
-                    let f = &f;
-                    move || (i, part.iter().map(f).collect::<Vec<R>>())
-                })
-            })
-            .collect();
-        for h in handles {
-            results.push(h.join().expect("worker panicked"));
-        }
-    });
-    results.sort_by_key(|(i, _)| *i);
-    for (i, part) in results {
-        for (j, r) in part.into_iter().enumerate() {
-            out[i * chunk + j] = Some(r);
-        }
-    }
-    out.into_iter().map(|r| r.expect("filled")).collect()
 }
 
 /// Print a figure-style table: one row per series, percentage of loops at

@@ -129,12 +129,20 @@ impl Interconnect {
     }
 
     /// For point-to-point fabrics: the link connecting `from` and `to`,
-    /// if one exists.
+    /// if one exists. One linear scan of the link table; routing-heavy
+    /// callers should build an [`Adjacency`] once and use
+    /// [`Adjacency::link_between`] (degree-bounded) instead.
     pub fn link_between(&self, from: ClusterId, to: ClusterId) -> Option<LinkId> {
         self.links()
             .iter()
             .position(|l| (l.a == from && l.b == to) || (l.a == to && l.b == from))
             .map(|i| LinkId(i as u32))
+    }
+
+    /// Build the adjacency index of the fabric (empty for bused and
+    /// fabric-less machines — only point-to-point links have topology).
+    pub fn adjacency(&self, cluster_count: usize) -> Adjacency {
+        Adjacency::build(self.links(), cluster_count)
     }
 
     /// For point-to-point fabrics: the neighbours of cluster `c`.
@@ -157,11 +165,33 @@ impl Interconnect {
     /// BFS shortest hop path `from -> to` over the fabric, inclusive of
     /// both endpoints. Returns `None` when unreachable. On bused machines
     /// every distinct pair is `[from, to]`.
+    ///
+    /// Builds the [`Adjacency`] index for this one query; callers routing
+    /// many pairs on the same fabric should build it once and call
+    /// [`Interconnect::route_with`].
     pub fn route(
         &self,
         from: ClusterId,
         to: ClusterId,
         cluster_count: usize,
+    ) -> Option<Vec<ClusterId>> {
+        match self {
+            Interconnect::PointToPoint { links, .. } => {
+                self.route_with(&Adjacency::build(links, cluster_count), from, to)
+            }
+            _ => self.route_with(&Adjacency::default(), from, to),
+        }
+    }
+
+    /// [`Interconnect::route`] against a prebuilt [`Adjacency`] — the
+    /// allocation the old implementation paid per *visited node* (a fresh
+    /// neighbour `Vec` inside the BFS inner loop, O(V·E) per query on
+    /// point-to-point fabrics) is paid once per fabric instead.
+    pub fn route_with(
+        &self,
+        adj: &Adjacency,
+        from: ClusterId,
+        to: ClusterId,
     ) -> Option<Vec<ClusterId>> {
         if from == to {
             return Some(vec![from]);
@@ -176,6 +206,10 @@ impl Interconnect {
                 }
             }
             Interconnect::PointToPoint { .. } => {
+                let cluster_count = adj.cluster_count();
+                if from.index() >= cluster_count || to.index() >= cluster_count {
+                    return None;
+                }
                 let mut prev: Vec<Option<ClusterId>> = vec![None; cluster_count];
                 let mut seen = vec![false; cluster_count];
                 let mut queue = std::collections::VecDeque::new();
@@ -192,7 +226,7 @@ impl Interconnect {
                         path.reverse();
                         return Some(path);
                     }
-                    for nb in self.neighbors(c) {
+                    for &(nb, _) in adj.neighbors(c) {
                         if !seen[nb.index()] {
                             seen[nb.index()] = true;
                             prev[nb.index()] = Some(c);
@@ -203,6 +237,79 @@ impl Interconnect {
                 None
             }
         }
+    }
+}
+
+/// A CSR adjacency index over a point-to-point link table: for each
+/// cluster, its `(neighbour, link)` pairs in link-table order — the same
+/// neighbour order [`Interconnect::neighbors`] produces, so BFS routes
+/// over the index are identical to routes over the raw link table.
+///
+/// Build once per fabric ([`Interconnect::adjacency`]) and share across
+/// route queries; it turns the old O(V·E) per-query routing (a fresh
+/// neighbour `Vec` per visited node, a link-table scan per hop lookup)
+/// into O(V+E) with degree-bounded link lookups.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Adjacency {
+    /// `offsets[c] .. offsets[c + 1]` indexes `entries` for cluster `c`.
+    offsets: Vec<usize>,
+    /// Flattened `(neighbour, link)` pairs.
+    entries: Vec<(ClusterId, LinkId)>,
+}
+
+impl Adjacency {
+    /// Index `links` over `cluster_count` clusters.
+    pub fn build(links: &[Link], cluster_count: usize) -> Adjacency {
+        let mut degree = vec![0usize; cluster_count];
+        for l in links {
+            degree[l.a.index()] += 1;
+            if l.b != l.a {
+                degree[l.b.index()] += 1;
+            }
+        }
+        let mut offsets = Vec::with_capacity(cluster_count + 1);
+        let mut total = 0usize;
+        offsets.push(0);
+        for d in &degree {
+            total += d;
+            offsets.push(total);
+        }
+        let mut cursor = offsets[..cluster_count].to_vec();
+        let mut entries = vec![(ClusterId(0), LinkId(0)); total];
+        for (i, l) in links.iter().enumerate() {
+            let id = LinkId(i as u32);
+            entries[cursor[l.a.index()]] = (l.b, id);
+            cursor[l.a.index()] += 1;
+            if l.b != l.a {
+                entries[cursor[l.b.index()]] = (l.a, id);
+                cursor[l.b.index()] += 1;
+            }
+        }
+        Adjacency { offsets, entries }
+    }
+
+    /// Number of clusters the index was built over.
+    pub fn cluster_count(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// The `(neighbour, link)` pairs of cluster `c`, in link-table order.
+    pub fn neighbors(&self, c: ClusterId) -> &[(ClusterId, LinkId)] {
+        if c.index() + 1 >= self.offsets.len() {
+            return &[];
+        }
+        &self.entries[self.offsets[c.index()]..self.offsets[c.index() + 1]]
+    }
+
+    /// The lowest-indexed link joining `from` and `to`, scanning only
+    /// `from`'s neighbours (the old [`Interconnect::link_between`]
+    /// scanned the whole link table).
+    pub fn link_between(&self, from: ClusterId, to: ClusterId) -> Option<LinkId> {
+        self.neighbors(from)
+            .iter()
+            .filter(|&&(nb, _)| nb == to)
+            .map(|&(_, l)| l)
+            .min()
     }
 }
 
@@ -326,6 +433,134 @@ mod tests {
             write_ports: 1,
         };
         assert_eq!(g.route(ClusterId(0), ClusterId(2), 3), None);
+    }
+
+    /// The old `route` implementation, verbatim: `neighbors()` allocating
+    /// a fresh `Vec` per visited node inside the BFS. Kept as the
+    /// reference the indexed implementation must match path-for-path.
+    fn route_old(
+        ic: &Interconnect,
+        from: ClusterId,
+        to: ClusterId,
+        cluster_count: usize,
+    ) -> Option<Vec<ClusterId>> {
+        if from == to {
+            return Some(vec![from]);
+        }
+        match ic {
+            Interconnect::None => None,
+            Interconnect::Bus { buses, .. } => {
+                if *buses > 0 {
+                    Some(vec![from, to])
+                } else {
+                    None
+                }
+            }
+            Interconnect::PointToPoint { .. } => {
+                let mut prev: Vec<Option<ClusterId>> = vec![None; cluster_count];
+                let mut seen = vec![false; cluster_count];
+                let mut queue = std::collections::VecDeque::new();
+                seen[from.index()] = true;
+                queue.push_back(from);
+                while let Some(c) = queue.pop_front() {
+                    if c == to {
+                        let mut path = vec![to];
+                        let mut cur = to;
+                        while let Some(p) = prev[cur.index()] {
+                            path.push(p);
+                            cur = p;
+                        }
+                        path.reverse();
+                        return Some(path);
+                    }
+                    for nb in ic.neighbors(c) {
+                        if !seen[nb.index()] {
+                            seen[nb.index()] = true;
+                            prev[nb.index()] = Some(c);
+                            queue.push_back(nb);
+                        }
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    #[test]
+    fn indexed_route_equals_old_route_on_generated_grid() {
+        // The satellite's regression machine: a generated 4-cluster grid.
+        let g = crate::presets::four_cluster_grid(2);
+        let ic = g.interconnect();
+        let k = g.cluster_count();
+        let adj = ic.adjacency(k);
+        for a in 0..k {
+            for b in 0..k {
+                let (a, b) = (ClusterId(a as u32), ClusterId(b as u32));
+                assert_eq!(
+                    ic.route(a, b, k),
+                    route_old(ic, a, b, k),
+                    "route {a} -> {b} diverged"
+                );
+                assert_eq!(
+                    ic.route_with(&adj, a, b),
+                    route_old(ic, a, b, k),
+                    "route_with {a} -> {b} diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn indexed_route_equals_old_route_on_irregular_fabrics() {
+        // Beyond the grid: a line, a star, a fabric with an unreachable
+        // island, and parallel links between the same pair.
+        let fabrics = [
+            vec![(0, 1), (1, 2), (2, 3), (3, 4)],
+            vec![(0, 1), (0, 2), (0, 3), (0, 4)],
+            vec![(0, 1), (2, 3)],
+            vec![(0, 1), (0, 1), (1, 2)],
+        ];
+        for links in fabrics {
+            let k = 5;
+            let ic = Interconnect::PointToPoint {
+                links: links
+                    .iter()
+                    .map(|&(a, b)| Link {
+                        a: ClusterId(a),
+                        b: ClusterId(b),
+                    })
+                    .collect(),
+                read_ports: 1,
+                write_ports: 1,
+            };
+            let adj = ic.adjacency(k);
+            for a in 0..k {
+                for b in 0..k {
+                    let (a, b) = (ClusterId(a as u32), ClusterId(b as u32));
+                    assert_eq!(ic.route(a, b, k), route_old(&ic, a, b, k));
+                    assert_eq!(ic.route_with(&adj, a, b), route_old(&ic, a, b, k));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adjacency_matches_neighbors_and_link_between() {
+        let g = grid();
+        let adj = g.adjacency(4);
+        assert_eq!(adj.cluster_count(), 4);
+        for c in 0..4 {
+            let c = ClusterId(c);
+            let via_index: Vec<ClusterId> = adj.neighbors(c).iter().map(|&(nb, _)| nb).collect();
+            assert_eq!(via_index, g.neighbors(c), "neighbour order of {c}");
+            for o in 0..4 {
+                let o = ClusterId(o);
+                assert_eq!(adj.link_between(c, o), g.link_between(c, o));
+            }
+        }
+        // Out-of-range queries degrade gracefully.
+        assert_eq!(adj.neighbors(ClusterId(9)), &[]);
+        assert_eq!(adj.link_between(ClusterId(9), ClusterId(0)), None);
     }
 
     #[test]

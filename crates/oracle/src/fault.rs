@@ -30,15 +30,23 @@ pub enum Fault {
     /// `validate_assignment` (illegal crossing / wrong class / capacity)
     /// on any multi-cluster case.
     MisplaceNode,
+    /// Smear a carried crossing edge's distance one segment up its copy
+    /// chain (delivery -> consumer becomes distance 0, the feed into the
+    /// delivery copy picks it up). Total cycle distance is preserved, so
+    /// RecMII does not move — only the oracle's carried-distance-split
+    /// invariant catches it. Applies to any case whose working graph has
+    /// a carried copy-chain delivery.
+    SmearDistance,
 }
 
 impl Fault {
-    /// Parse a CLI spelling (`none`, `skew`, `misplace`).
+    /// Parse a CLI spelling (`none`, `skew`, `misplace`, `smear`).
     pub fn parse(s: &str) -> Option<Fault> {
         match s {
             "none" => Some(Fault::None),
             "skew" => Some(Fault::SkewSchedule),
             "misplace" => Some(Fault::MisplaceNode),
+            "smear" => Some(Fault::SmearDistance),
             _ => None,
         }
     }
@@ -77,6 +85,33 @@ impl Fault {
                 let next = ClusterId((c.0 + 1) % machine.cluster_count() as u32);
                 case.assignment.map.assign(n, next);
             }
+            Fault::SmearDistance => {
+                let wg = &case.assignment.graph;
+                let Some((delivery_id, distance, copy)) = wg
+                    .edges()
+                    .find(|(_, e)| e.distance > 0 && wg.op(e.src).kind.is_copy())
+                    .map(|(id, e)| (id, e.distance, e.src))
+                else {
+                    return;
+                };
+                let Some(feed_id) = wg.pred_edges(copy).next().map(|(id, _)| id) else {
+                    return;
+                };
+                let mut out = clasp_ddg::Ddg::new(wg.name());
+                for (_, op) in wg.nodes() {
+                    out.add_op(op.clone());
+                }
+                for (eid, e) in wg.edges() {
+                    let mut e = *e;
+                    if eid == delivery_id {
+                        e.distance = 0;
+                    } else if eid == feed_id {
+                        e.distance += distance;
+                    }
+                    out.add_edge(e);
+                }
+                case.assignment.graph = out;
+            }
         }
     }
 }
@@ -87,6 +122,7 @@ impl fmt::Display for Fault {
             Fault::None => write!(f, "none"),
             Fault::SkewSchedule => write!(f, "skew"),
             Fault::MisplaceNode => write!(f, "misplace"),
+            Fault::SmearDistance => write!(f, "smear"),
         }
     }
 }

@@ -1,5 +1,14 @@
-//! The fuzz loop: generate cases, check them, optionally shrink and
-//! write reproducers for the failures.
+//! The fuzz loop: generate cases, check them in parallel on the
+//! deterministic executor, optionally shrink and write reproducers for
+//! the failures.
+//!
+//! Cases are checked on [`clasp_exec::try_sweep`]: dynamically balanced
+//! workers, results collected in stream order, so the report — failures,
+//! their violations, and their ordering — is bit-identical for every
+//! thread count. A panic while checking one case no longer tears the
+//! whole sweep down: it is captured per case and reported as an
+//! [`OracleViolation::CheckPanicked`] failure at that case's stream
+//! position.
 
 use std::path::{Path, PathBuf};
 
@@ -21,6 +30,9 @@ pub struct FuzzConfig {
     /// Deliberate corruption (oracle self-test); [`Fault::None`] in
     /// production runs.
     pub fault: Fault,
+    /// Worker threads for case checking (0 = one per hardware thread).
+    /// The report is bit-identical for every value.
+    pub threads: usize,
 }
 
 impl Default for FuzzConfig {
@@ -30,6 +42,7 @@ impl Default for FuzzConfig {
             cases: 500,
             iterations: 8,
             fault: Fault::None,
+            threads: 0,
         }
     }
 }
@@ -62,22 +75,65 @@ impl FuzzReport {
     }
 }
 
-/// Check `config.cases` generated cases against the oracle.
+/// Check `config.cases` generated cases against the oracle, in parallel
+/// on `config.threads` workers. Failures land in stream order and the
+/// whole report is bit-identical for every thread count.
+///
+/// A panic inside one case's check is captured (the rest of the sweep
+/// still runs) and surfaces as a [`Failure`] whose single violation is
+/// [`OracleViolation::CheckPanicked`] carrying the panic payload.
 pub fn run_fuzz(config: &FuzzConfig, pipeline: PipelineFn) -> FuzzReport {
     let opts = OracleOptions {
         iterations: config.iterations,
         fault: config.fault,
     };
+    let indices: Vec<usize> = (0..config.cases).collect();
+    let results = clasp_exec::try_sweep(
+        config.threads,
+        &indices,
+        || (),
+        |(), _, &index| {
+            let case = generate_case(config.seed, index);
+            let violations = check_case(&case.graph, &case.machine, pipeline, &opts);
+            (case, violations)
+        },
+    );
     let mut report = FuzzReport::default();
-    for index in 0..config.cases {
-        let case = generate_case(config.seed, index);
-        let violations = check_case(&case.graph, &case.machine, pipeline, &opts);
+    for (index, result) in results.into_iter().enumerate() {
         report.checked += 1;
-        if !violations.is_empty() {
-            report.failures.push(Failure { case, violations });
+        match result {
+            Ok((case, violations)) => {
+                if !violations.is_empty() {
+                    report.failures.push(Failure { case, violations });
+                }
+            }
+            Err(payload) => {
+                // Regenerate the case so the failure is replayable. (If
+                // generation itself panicked we panic here too — exactly
+                // what the serial loop did.)
+                let case = generate_case(config.seed, index);
+                report.failures.push(Failure {
+                    case,
+                    violations: vec![OracleViolation::CheckPanicked { payload }],
+                });
+            }
         }
     }
     report
+}
+
+/// Remove reproducers left by prior runs (`case-*.clasp` /
+/// `case-*.machine`), leaving unrelated files alone.
+fn clean_stale_repros(repro_dir: &Path) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(repro_dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.starts_with("case-") && (name.ends_with(".clasp") || name.ends_with(".machine")) {
+            std::fs::remove_file(entry.path())?;
+        }
+    }
+    Ok(())
 }
 
 /// As [`run_fuzz`], then shrink each failure and write its reproducer
@@ -85,14 +141,22 @@ pub fn run_fuzz(config: &FuzzConfig, pipeline: PipelineFn) -> FuzzReport {
 /// not fatal: a failure whose shrink hits the trial budget is written
 /// unreduced.
 ///
+/// The directory is created up front and reproducers from prior runs are
+/// removed first, even when this run is clean — a green run after a red
+/// one must not leave the red run's case files behind to be mistaken for
+/// fresh failures.
+///
 /// # Errors
 ///
-/// Any filesystem error while writing reproducers.
+/// Any filesystem error while preparing the directory or writing
+/// reproducers.
 pub fn run_fuzz_with_repros(
     config: &FuzzConfig,
     pipeline: PipelineFn,
     repro_dir: &Path,
 ) -> std::io::Result<FuzzReport> {
+    std::fs::create_dir_all(repro_dir)?;
+    clean_stale_repros(repro_dir)?;
     let opts = OracleOptions {
         iterations: config.iterations,
         fault: config.fault,
@@ -121,4 +185,99 @@ pub fn run_fuzz_with_repros(
         report.repro_files.push(mp);
     }
     Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::CompiledCase;
+    use clasp_ddg::Ddg;
+    use clasp_machine::MachineSpec;
+
+    fn panicking(_: &Ddg, _: &MachineSpec) -> Result<CompiledCase, String> {
+        panic!("kaboom");
+    }
+
+    fn rejecting(_: &Ddg, _: &MachineSpec) -> Result<CompiledCase, String> {
+        Err("rejected".into())
+    }
+
+    #[test]
+    fn check_panics_are_captured_per_case_in_stream_order() {
+        let config = FuzzConfig {
+            cases: 5,
+            threads: 3,
+            ..FuzzConfig::default()
+        };
+        let report = run_fuzz(&config, &panicking);
+        assert_eq!(report.checked, 5);
+        assert_eq!(report.failures.len(), 5, "every case panics");
+        for (i, failure) in report.failures.iter().enumerate() {
+            assert_eq!(failure.case.index, i, "failures must be in stream order");
+            match &failure.violations[..] {
+                [OracleViolation::CheckPanicked { payload }] => {
+                    assert!(payload.contains("kaboom"), "payload: {payload}");
+                }
+                other => panic!("expected CheckPanicked, got {other:?}"),
+            }
+        }
+        // Bit-identical at any thread count.
+        let serial = run_fuzz(
+            &FuzzConfig {
+                threads: 1,
+                ..config
+            },
+            &panicking,
+        );
+        assert_eq!(serial.failures.len(), report.failures.len());
+    }
+
+    #[test]
+    fn repro_dir_is_created_and_stale_cases_cleaned() {
+        let dir = std::env::temp_dir().join("clasp-oracle-stale-repro-test");
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Red run: every case fails the pipeline, so reproducers land.
+        let config = FuzzConfig {
+            cases: 2,
+            threads: 1,
+            ..FuzzConfig::default()
+        };
+        let report = run_fuzz_with_repros(&config, &rejecting, &dir).unwrap();
+        assert!(!report.is_clean());
+        assert!(!report.repro_files.is_empty());
+        std::fs::write(dir.join("NOTES.md"), "keep me").unwrap();
+
+        // Green run: the directory must still be materialized, the prior
+        // run's case files gone, and unrelated files untouched.
+        let clean = FuzzConfig { cases: 0, ..config };
+        let report = run_fuzz_with_repros(&clean, &rejecting, &dir).unwrap();
+        assert!(report.is_clean());
+        assert!(dir.is_dir(), "repro dir must exist even on a clean run");
+        assert!(dir.join("NOTES.md").exists(), "unrelated files survive");
+        let stale: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n.starts_with("case-"))
+            .collect();
+        assert!(stale.is_empty(), "stale reproducers left behind: {stale:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fresh_run_writes_repros_into_a_missing_dir() {
+        let dir = std::env::temp_dir().join("clasp-oracle-fresh-repro-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = FuzzConfig {
+            cases: 1,
+            threads: 1,
+            ..FuzzConfig::default()
+        };
+        let report = run_fuzz_with_repros(&config, &rejecting, &dir).unwrap();
+        assert_eq!(report.repro_files.len(), 2);
+        for p in &report.repro_files {
+            assert!(p.exists());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }

@@ -18,7 +18,11 @@
 //!    unified sweep, not the pipeline;
 //! 7. the emitted kernel is functionally equivalent to sequential
 //!    semantics under *both* register models (MVE and rotating), and the
-//!    two models' store streams are equivalent to each other.
+//!    two models' store streams are equivalent to each other;
+//! 8. loop-carried distance across copy chains: a carried crossing
+//!    edge's distance rides exactly the final delivery -> consumer
+//!    segment (all upstream chain segments distance 0), and the working
+//!    graph's RecMII never drops below the original loop's.
 //!
 //! The pipeline arrives as a caller-supplied closure ([`PipelineFn`]) so
 //! this crate never depends on the root `clasp` crate; `clasp` exposes
@@ -51,8 +55,9 @@ pub struct CompiledCase {
 
 /// The compilation pipeline, injected by the caller. Errors are
 /// stringified: the oracle only needs to report them, never match on
-/// them.
-pub type PipelineFn<'a> = &'a dyn Fn(&Ddg, &MachineSpec) -> Result<CompiledCase, String>;
+/// them. `Sync` because the fuzz loop checks cases on the deterministic
+/// parallel executor (`clasp-exec`), sharing the closure across workers.
+pub type PipelineFn<'a> = &'a (dyn Fn(&Ddg, &MachineSpec) -> Result<CompiledCase, String> + Sync);
 
 /// Per-case oracle knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -131,6 +136,36 @@ pub enum OracleViolation {
         /// Store events observed under the rotating file.
         rotating_events: usize,
     },
+    /// A loop-carried crossing edge was rewired through a copy chain that
+    /// mishandles its distance. The contract (`clasp-core`'s
+    /// `materialize`) is that the full distance rides exactly the final
+    /// delivery -> consumer segment and every upstream chain segment is
+    /// distance 0 — smearing or duplicating it would shift the carried
+    /// dependence by whole iterations per hop.
+    CarriedDistanceSplit {
+        /// Producer of the original carried edge.
+        producer: NodeId,
+        /// Consumer of the original carried edge.
+        consumer: NodeId,
+        /// What exactly went wrong along the chain.
+        detail: String,
+    },
+    /// The working graph's RecMII dropped below the original loop's:
+    /// rewiring lost carried distance (or a whole recurrence edge), so a
+    /// schedule could undercut the true recurrence bound.
+    RecMiiDropped {
+        /// RecMII of the original loop.
+        original: u32,
+        /// RecMII of the working graph (with copies).
+        working: u32,
+    },
+    /// Checking the case panicked outright. The parallel fuzz loop
+    /// captures the panic per case (instead of tearing the whole sweep
+    /// down) and reports it here.
+    CheckPanicked {
+        /// The panic payload, stringified.
+        payload: String,
+    },
 }
 
 impl OracleViolation {
@@ -147,6 +182,9 @@ impl OracleViolation {
             OracleViolation::ClusteredBeatsUnified { .. } => "clustered-beats-unified",
             OracleViolation::FunctionalMismatch { .. } => "functional-mismatch",
             OracleViolation::ModelDivergence { .. } => "model-divergence",
+            OracleViolation::CarriedDistanceSplit { .. } => "carried-distance-split",
+            OracleViolation::RecMiiDropped { .. } => "rec-mii-dropped",
+            OracleViolation::CheckPanicked { .. } => "check-panicked",
         }
     }
 }
@@ -186,6 +224,21 @@ impl fmt::Display for OracleViolation {
                 f,
                 "MVE and rotating kernels diverged ({mve_events} vs {rotating_events} store events)"
             ),
+            OracleViolation::CarriedDistanceSplit {
+                producer,
+                consumer,
+                detail,
+            } => write!(
+                f,
+                "carried edge {producer} -> {consumer} mishandled across its copy chain: {detail}"
+            ),
+            OracleViolation::RecMiiDropped { original, working } => write!(
+                f,
+                "working-graph RecMII {working} dropped below the original loop's {original}"
+            ),
+            OracleViolation::CheckPanicked { payload } => {
+                write!(f, "case check panicked: {payload}")
+            }
         }
     }
 }
@@ -226,6 +279,104 @@ fn projects_onto_unified(g: &Ddg, machine: &MachineSpec, sched: &Schedule) -> bo
         }
     }
     validate_schedule(g, &unified, &map, &Schedule::new(sched.ii(), time)).is_ok()
+}
+
+/// The original (non-copy) node a copy chain is rooted at: walk feed
+/// edges backward until a non-copy node. `None` on a malformed chain
+/// (a copy with no feed, or a cycle of copies).
+fn chain_root(wg: &Ddg, copy: NodeId) -> Option<NodeId> {
+    let mut cur = copy;
+    let mut hops = 0usize;
+    while wg.op(cur).kind.is_copy() {
+        let (_, feed) = wg.pred_edges(cur).next()?;
+        cur = feed.src;
+        hops += 1;
+        if hops > wg.node_count() {
+            return None;
+        }
+    }
+    Some(cur)
+}
+
+/// Invariant 8 — carried distance across copy chains (§4.1's rewiring
+/// contract). Every loop-carried edge of the original graph must either
+/// survive verbatim in the working graph (same-cluster) or be rewired
+/// through a copy chain whose *final* delivery -> consumer segment
+/// carries the full original distance, with every upstream segment
+/// (producer -> copy, copy -> copy) at distance 0. Distance on more
+/// than one segment — or on the wrong one — shifts the dependence by
+/// whole iterations per hop, which RecMII and the functional simulator
+/// only catch indirectly (and only when the shift is observable at the
+/// tested trip count).
+fn check_carried_chains(g: &Ddg, wg: &Ddg) -> Vec<OracleViolation> {
+    let mut out = Vec::new();
+    for (_, e) in g.edges() {
+        if e.distance == 0 {
+            continue;
+        }
+        let kept_verbatim = wg
+            .edges()
+            .any(|(_, w)| w.src == e.src && w.dst == e.dst && w.distance == e.distance);
+        if kept_verbatim {
+            continue;
+        }
+        // Rewired: the consumer must receive the value from a copy chain
+        // rooted at the producer. Parallel original edges (same endpoints,
+        // different distances) are each rewired to their own delivery
+        // edge, so match the delivery by distance rather than taking the
+        // first chain into the consumer.
+        let candidates: Vec<clasp_ddg::DepEdge> = wg
+            .edges()
+            .filter(|(_, w)| {
+                w.dst == e.dst
+                    && wg.op(w.src).kind.is_copy()
+                    && chain_root(wg, w.src) == Some(e.src)
+            })
+            .map(|(_, w)| *w)
+            .collect();
+        if candidates.is_empty() {
+            out.push(OracleViolation::CarriedDistanceSplit {
+                producer: e.src,
+                consumer: e.dst,
+                detail: format!(
+                    "carried distance {} lost: neither a verbatim edge nor a copy-chain delivery",
+                    e.distance
+                ),
+            });
+            continue;
+        }
+        let Some(delivery) = candidates.iter().find(|w| w.distance == e.distance) else {
+            let seen: Vec<String> = candidates.iter().map(|w| w.distance.to_string()).collect();
+            out.push(OracleViolation::CarriedDistanceSplit {
+                producer: e.src,
+                consumer: e.dst,
+                detail: format!(
+                    "delivery segment carries distance {} instead of {}",
+                    seen.join("/"),
+                    e.distance
+                ),
+            });
+            continue;
+        };
+        let mut cur = delivery.src;
+        while wg.op(cur).kind.is_copy() {
+            let Some((_, feed)) = wg.pred_edges(cur).next() else {
+                break; // chain_root already vetted the chain shape
+            };
+            if feed.distance != 0 {
+                out.push(OracleViolation::CarriedDistanceSplit {
+                    producer: e.src,
+                    consumer: e.dst,
+                    detail: format!(
+                        "chain segment {} -> {} carries distance {} (must be 0)",
+                        feed.src, feed.dst, feed.distance
+                    ),
+                });
+            }
+            cur = feed.src;
+        }
+    }
+    out
 }
 
 /// Compare two store streams as multisets keyed by `(node, iteration)`;
@@ -312,6 +463,14 @@ pub fn check_case(
             ii,
         });
     }
+    let original_rec_mii = rec_mii(g);
+    if working_rec_mii < original_rec_mii {
+        violations.push(OracleViolation::RecMiiDropped {
+            original: original_rec_mii,
+            working: working_rec_mii,
+        });
+    }
+    violations.extend(check_carried_chains(g, wg));
     if let Some(unified) = unified_baseline_ii(g, machine) {
         if ii < unified && !projects_onto_unified(g, machine, sched) {
             violations.push(OracleViolation::ClusteredBeatsUnified {

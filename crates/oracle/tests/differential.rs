@@ -155,3 +155,168 @@ fn faulty_fuzz_run_writes_reproducers() {
     parse_loop(&text).unwrap();
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// Three clusters in a line (C0 - C1 - C2) with memory units only on C0
+/// and float units only on C2: any load -> float value must ride a
+/// two-hop copy chain through C1.
+fn three_cluster_line() -> clasp_machine::MachineSpec {
+    use clasp_machine::{ClusterId, ClusterSpec, Interconnect, Link, MachineSpec};
+    MachineSpec::new(
+        "3c-line",
+        vec![
+            ClusterSpec::specialized(2, 2, 0), // C0: memory + integer
+            ClusterSpec::specialized(0, 2, 0), // C1: integer only
+            ClusterSpec::specialized(0, 2, 2), // C2: integer + float
+        ],
+        Interconnect::PointToPoint {
+            links: vec![
+                Link {
+                    a: ClusterId(0),
+                    b: ClusterId(1),
+                },
+                Link {
+                    a: ClusterId(1),
+                    b: ClusterId(2),
+                },
+            ],
+            read_ports: 2,
+            write_ports: 2,
+        },
+    )
+}
+
+/// A loop whose carried load -> fadd edge is forced across the full
+/// line: the load can only live on C0, the fadd only on C2.
+fn line_carried_loop() -> (Ddg, clasp_ddg::NodeId, clasp_ddg::NodeId) {
+    let mut g = Ddg::new("line-carried");
+    let ld = g.add(OpKind::Load);
+    let f = g.add(OpKind::FpAdd);
+    let st = g.add(OpKind::Store);
+    g.add_dep_carried(ld, f, 2); // multi-hop carried crossing
+    g.add_dep_carried(f, f, 1); // recurrence: RecMII is nontrivial
+    g.add_dep(f, st);
+    (g, ld, f)
+}
+
+/// Regression (carried distance across multi-hop chains): the original
+/// distance lands on exactly the final delivery -> consumer segment of
+/// the chain, every upstream segment is distance 0, and the working
+/// graph's RecMII never drops below the original loop's.
+#[test]
+fn multi_hop_carried_chain_keeps_distance_on_final_segment() {
+    use clasp_ddg::rec_mii;
+
+    let (g, ld, f) = line_carried_loop();
+    let m = three_cluster_line();
+    let compiled = oracle_pipeline(&g, &m).expect("line machine must compile the loop");
+    let wg = &compiled.assignment.graph;
+
+    // The carried edge was rewired: its delivery into `f` keeps the full
+    // distance, and its source is a copy.
+    let delivery = wg
+        .edges()
+        .find(|(_, e)| e.dst == f && e.distance == 2)
+        .map(|(_, e)| *e)
+        .expect("carried delivery edge into the fadd");
+    assert!(
+        wg.op(delivery.src).kind.is_copy(),
+        "carried crossing edge must be fed by a copy"
+    );
+
+    // Walk the chain back to the producer: >= 2 copies (multi-hop), and
+    // every feed segment is distance 0.
+    let mut cur = delivery.src;
+    let mut hops = 0;
+    while wg.op(cur).kind.is_copy() {
+        let (_, feed) = wg.pred_edges(cur).next().expect("copy has a feed edge");
+        assert_eq!(
+            feed.distance, 0,
+            "chain segment {} -> {} must carry distance 0",
+            feed.src, feed.dst
+        );
+        cur = feed.src;
+        hops += 1;
+    }
+    assert_eq!(cur, ld, "chain must be rooted at the load");
+    assert!(hops >= 2, "C0 -> C2 needs at least two hops, got {hops}");
+
+    // RecMII preserved (the f -> f recurrence survives verbatim).
+    assert!(rec_mii(wg) >= rec_mii(&g));
+
+    // And the oracle agrees the case is clean end to end.
+    let violations = check_case(&g, &m, &oracle_pipeline, &OracleOptions::default());
+    assert!(violations.is_empty(), "{violations:?}");
+}
+
+/// Regression (case 0199 of the seed-0 stream): an edge whose latency
+/// exceeds its producer's kind latency — casegen's perturbations make
+/// these — must not lose the excess when rewired through a copy chain.
+/// The feed edge only carries the kind latency, so `materialize` tops up
+/// the delivery edge; dropping the excess shortened a carried dependence
+/// and let the working graph's RecMII fall below the loop's true bound.
+#[test]
+fn perturbed_edge_latency_survives_chain_rewiring() {
+    use clasp_ddg::{rec_mii, DepEdge};
+
+    let m = three_cluster_line();
+    let mut g = Ddg::new("perturbed");
+    let ld = g.add(OpKind::Load);
+    let f = g.add(OpKind::FpAdd);
+    let st = g.add(OpKind::Store);
+    let perturbed = OpKind::Load.latency() + 7;
+    g.add_edge(DepEdge {
+        src: ld,
+        dst: f,
+        latency: perturbed,
+        distance: 2,
+    });
+    g.add_dep_carried(f, f, 1);
+    g.add_dep(f, st);
+
+    let compiled = oracle_pipeline(&g, &m).expect("line machine must compile the loop");
+    let wg = &compiled.assignment.graph;
+
+    // Sum the rewired chain's latency end to end: delivery into `f`,
+    // then feed segments back to the load.
+    let delivery = wg
+        .edges()
+        .find(|(_, e)| e.dst == f && e.distance == 2)
+        .map(|(_, e)| *e)
+        .expect("carried delivery edge into the fadd");
+    let mut total = delivery.latency;
+    let mut cur = delivery.src;
+    while wg.op(cur).kind.is_copy() {
+        let (_, feed) = wg.pred_edges(cur).next().expect("copy has a feed edge");
+        total += feed.latency;
+        cur = feed.src;
+    }
+    assert_eq!(cur, ld);
+    assert!(
+        total >= perturbed,
+        "chain latency {total} dropped below the original edge's {perturbed}"
+    );
+    assert!(rec_mii(wg) >= rec_mii(&g));
+
+    let violations = check_case(&g, &m, &oracle_pipeline, &OracleOptions::default());
+    assert!(violations.is_empty(), "{violations:?}");
+}
+
+/// The smear fault moves carried distance one segment up the chain
+/// without changing total cycle distance — only the oracle's
+/// carried-distance invariant can catch that.
+#[test]
+fn smear_fault_is_detected() {
+    let (g, _, _) = line_carried_loop();
+    let m = three_cluster_line();
+    let opts = OracleOptions {
+        fault: Fault::SmearDistance,
+        ..OracleOptions::default()
+    };
+    let violations = check_case(&g, &m, &oracle_pipeline, &opts);
+    assert!(
+        violations
+            .iter()
+            .any(|v| v.kind() == "carried-distance-split"),
+        "smeared distance must trip the carried-distance invariant: {violations:?}"
+    );
+}

@@ -6,15 +6,28 @@
 //! clasp-cli compile  <loop.clasp> [options]
 //! clasp-cli simulate <loop.clasp> [options] [--iterations N]
 //! clasp-cli fuzz     [--seed N] [--cases N] [--iterations N] [--shrink]
-//!                    [--fault none|skew|misplace] [--out DIR]
+//!                    [--fault none|skew|misplace|smear] [--out DIR]
+//!                    [--threads N]
+//! clasp-cli batch    [--dir DIR] [--threads N]
 //! clasp-cli machines
 //!
 //! `fuzz` runs the differential oracle over a seeded stream of random
 //! (loop, machine) pairs and exits non-zero on any invariant violation;
 //! with `--shrink`, violating cases are minimized and written as
 //! `.clasp` + `.machine` reproducer pairs under `--out` (default
-//! `results/repros`). `--fault` corrupts each compiled artifact on
-//! purpose — a self-test proving the oracle detects bugs.
+//! `results/repros`; the directory is created and reproducers from
+//! prior runs are removed first). `--fault` corrupts each compiled
+//! artifact on purpose — a self-test proving the oracle detects bugs.
+//! Cases are checked on `--threads` workers (0 = one per hardware
+//! thread); the report is bit-identical for every value.
+//!
+//! `batch` compiles every `.clasp` loop under `--dir` (default `loops/`)
+//! against every preset machine, plus each pair's unified baseline, in
+//! one parallel sweep through the content-addressed compile cache. The
+//! report — one line per pair with the achieved II, baseline II, and a
+//! content hash of the emitted kernel, then the cache counters — goes to
+//! stdout and is bit-identical for every `--threads` value (timing goes
+//! to stderr), so CI can diff runs directly.
 //!
 //! options:
 //!   --machine <preset>    2c-gp | 4c-gp | 6c-gp | 8c-gp | 2c-fs | 4c-fs |
@@ -74,10 +87,11 @@ impl Default for Options {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: clasp-cli <analyze|compile|simulate|fuzz|machines> [loop.clasp] [options]\n\
+        "usage: clasp-cli <analyze|compile|simulate|fuzz|batch|machines> [loop.clasp] [options]\n\
          see `clasp-cli machines` for presets; options: --machine --buses --ports\n\
          --variant --scheduler --model --iterations --dot --kernel --explain\n\
-         fuzz options: --seed --cases --iterations --shrink --fault --out"
+         fuzz options: --seed --cases --iterations --shrink --fault --out --threads\n\
+         batch options: --dir --threads"
     );
     ExitCode::from(2)
 }
@@ -262,7 +276,12 @@ fn fuzz(args: &[String]) -> Result<bool, String> {
             "--fault" => {
                 config.fault = take(&mut i)
                     .and_then(|v| clasp_oracle::Fault::parse(&v))
-                    .ok_or("--fault is `none`, `skew` or `misplace`")?;
+                    .ok_or("--fault is `none`, `skew`, `misplace` or `smear`")?;
+            }
+            "--threads" => {
+                config.threads = take(&mut i)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--threads needs a number")?;
             }
             "--shrink" => shrink = true,
             "--out" => out = take(&mut i).ok_or("--out needs a directory")?,
@@ -307,9 +326,10 @@ fn fuzz(args: &[String]) -> Result<bool, String> {
     Ok(report.is_clean())
 }
 
-fn machines() {
-    println!("presets (defaults in parentheses; override with --buses/--ports):");
-    for (name, m) in [
+/// The preset list `batch` and `machines` share (name, spec), in the
+/// order they are printed.
+fn preset_list() -> Vec<(&'static str, MachineSpec)> {
+    vec![
         ("2c-gp", presets::two_cluster_gp(2, 1)),
         ("4c-gp", presets::four_cluster_gp(4, 2)),
         ("6c-gp", presets::six_cluster_gp(6, 3)),
@@ -318,7 +338,123 @@ fn machines() {
         ("4c-fs", presets::four_cluster_fs(4, 2)),
         ("grid", presets::four_cluster_grid(2)),
         ("unified", presets::unified_gp(8)),
-    ] {
+    ]
+}
+
+/// `clasp-cli batch`: every `.clasp` loop under `--dir` against every
+/// preset machine (clustered + unified baseline per pair) in one
+/// parallel sweep through the compile cache. Stdout is bit-identical
+/// for every `--threads` value; timing goes to stderr.
+fn batch(args: &[String]) -> Result<bool, String> {
+    let mut dir = String::from("loops");
+    let mut threads = 0usize;
+    let mut i = 0;
+    while i < args.len() {
+        let take = |i: &mut usize| -> Option<String> {
+            *i += 1;
+            args.get(*i).cloned()
+        };
+        match args[i].as_str() {
+            "--dir" => dir = take(&mut i).ok_or("--dir needs a directory")?,
+            "--threads" => {
+                threads = take(&mut i)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--threads needs a number")?;
+            }
+            other => return Err(format!("unknown batch option `{other}`")),
+        }
+        i += 1;
+    }
+
+    let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(&dir)
+        .map_err(|e| format!("{dir}: {e}"))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "clasp"))
+        .collect();
+    paths.sort(); // deterministic pair order regardless of readdir order
+    if paths.is_empty() {
+        return Err(format!("no .clasp loops under {dir}"));
+    }
+    let mut loops = Vec::new();
+    for p in &paths {
+        let stem = p
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        loops.push((stem, load_loop(&p.to_string_lossy())?));
+    }
+    let machines = preset_list();
+    let pairs: Vec<(usize, usize)> = (0..loops.len())
+        .flat_map(|l| (0..machines.len()).map(move |m| (l, m)))
+        .collect();
+
+    let cache = clasp::CompileCache::new();
+    let req = CompileRequest::default();
+    let t0 = std::time::Instant::now();
+    let rows = clasp_exec::sweep(
+        threads,
+        &pairs,
+        |_, &(l, m)| format!("loop {} on {}", loops[l].0, machines[m].0),
+        |_, &(l, m)| {
+            let (_, g) = &loops[l];
+            let (_, machine) = &machines[m];
+            let clustered = cache.compile(g, machine, &req);
+            let unified = cache.compile(g, &machine.unified_equivalent(), &req);
+            let baseline = match unified.as_ref() {
+                Ok(a) => a.ii().to_string(),
+                Err(_) => "-".into(),
+            };
+            match clustered.as_ref() {
+                Ok(a) => {
+                    // Content hash of the kernel: CI diffs batch output
+                    // across thread counts, so this certifies the whole
+                    // emitted kernel bit-for-bit, not just the II.
+                    let kernel = clasp_exec::CacheKey::of(&[&a.kernel_table(machine)]).to_string();
+                    Ok(format!(
+                        "II {:>2} (unified {:>2}), {} copies, kernel {}",
+                        a.ii(),
+                        baseline,
+                        a.assignment.copy_count(),
+                        kernel
+                    ))
+                }
+                Err(e) => Err(e.to_string()),
+            }
+        },
+    )
+    .map_err(|p| format!("batch sweep panicked: {p}"))?;
+    let elapsed = t0.elapsed();
+
+    let mut failed = 0usize;
+    for (&(l, m), row) in pairs.iter().zip(&rows) {
+        let label = format!("{} x {}", loops[l].0, machines[m].0);
+        match row {
+            Ok(line) => println!("{label:<24} {line}"),
+            Err(e) => {
+                failed += 1;
+                println!("{label:<24} FAILED: {e}");
+            }
+        }
+    }
+    let stats = cache.stats();
+    println!(
+        "batch: {} loops x {} machines = {} pairs, {} failed; cache {}",
+        loops.len(),
+        machines.len(),
+        pairs.len(),
+        failed,
+        stats
+    );
+    eprintln!(
+        "batch: {} workers, {elapsed:.1?}",
+        clasp_exec::resolve_threads(threads, pairs.len())
+    );
+    Ok(failed == 0)
+}
+
+fn machines() {
+    println!("presets (defaults in parentheses; override with --buses/--ports):");
+    for (name, m) in preset_list() {
         println!("  {name:<8} {m}");
     }
 }
@@ -332,8 +468,13 @@ fn main() -> ExitCode {
         machines();
         return ExitCode::SUCCESS;
     }
-    if cmd == "fuzz" {
-        return match fuzz(&args[1..]) {
+    if cmd == "fuzz" || cmd == "batch" {
+        let outcome = if cmd == "fuzz" {
+            fuzz(&args[1..])
+        } else {
+            batch(&args[1..])
+        };
+        return match outcome {
             Ok(true) => ExitCode::SUCCESS,
             Ok(false) => ExitCode::FAILURE,
             Err(e) => {

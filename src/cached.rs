@@ -1,0 +1,189 @@
+//! Content-addressed compile cache: memoized [`compile_full`].
+//!
+//! The key is a 128-bit FNV-1a hash over three canonical texts —
+//! [`clasp_text::write_loop`] of the graph, [`clasp_text::write_machine`]
+//! of the machine with its display name normalized out, and the
+//! `Debug` rendering of the [`CompileRequest`]. Two requests collide
+//! exactly when nothing the pipeline can observe differs:
+//!
+//! - the loop text is a lossless round-trip of the graph, so two graphs
+//!   with the same text compile identically;
+//! - the machine name is presentation only (no stage reads it), so
+//!   `4c-gp-4b-2p`'s unified equivalent and an identically shaped
+//!   `unified` preset share one entry;
+//! - `CompileRequest` is `Copy + Debug` with no interior state, so its
+//!   `Debug` text is a faithful rendering of every knob.
+//!
+//! Results (including failures) are memoized behind `Arc`, and hit/miss
+//! counters are deterministic even under thread contention — see
+//! [`clasp_exec::cache`] for the contention contract.
+
+use crate::driver::{compile_full, CompileRequest, CompiledArtifact};
+use crate::pipeline::PipelineError;
+use clasp_ddg::Ddg;
+use clasp_exec::{CacheKey, CacheStats, ContentCache};
+use clasp_machine::MachineSpec;
+use std::sync::Arc;
+
+/// A memoized result: the artifact or the pipeline's refusal.
+pub type CachedCompile = Arc<Result<CompiledArtifact, PipelineError>>;
+
+/// A shared, thread-safe memo table for [`compile_full`] keyed by
+/// compile content (canonical loop text, canonical machine text,
+/// request rendering). See the module docs for the collision contract.
+#[derive(Default)]
+pub struct CompileCache {
+    cache: ContentCache<Result<CompiledArtifact, PipelineError>>,
+}
+
+/// The machine with its display name replaced by a fixed placeholder:
+/// cache keys must not distinguish machines that differ only in name.
+fn nameless(machine: &MachineSpec) -> MachineSpec {
+    MachineSpec::new(
+        "#",
+        machine.cluster_ids().map(|c| *machine.cluster(c)).collect(),
+        machine.interconnect().clone(),
+    )
+}
+
+impl CompileCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        CompileCache::default()
+    }
+
+    /// The content key for one compile.
+    pub fn key(g: &Ddg, machine: &MachineSpec, req: &CompileRequest) -> CacheKey {
+        CacheKey::of(&[
+            &clasp_text::write_loop(g),
+            &clasp_text::write_machine(&nameless(machine)),
+            &format!("{req:?}"),
+        ])
+    }
+
+    /// Compile through the cache: the first request for a key runs
+    /// [`compile_full`] (a miss), every later request shares its result
+    /// (a hit). Concurrent requests for the same key block on the one
+    /// in-flight compile rather than recomputing.
+    pub fn compile(&self, g: &Ddg, machine: &MachineSpec, req: &CompileRequest) -> CachedCompile {
+        self.cache
+            .get_or_compute(Self::key(g, machine, req), || compile_full(g, machine, req))
+    }
+
+    /// Hit/miss/entry counters so far.
+    pub fn stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clasp_ddg::OpKind;
+    use clasp_machine::presets;
+
+    fn small_loop(name: &str) -> Ddg {
+        let mut g = Ddg::new(name);
+        let a = g.add(OpKind::Load);
+        let b = g.add(OpKind::IntAlu);
+        g.add_dep(a, b);
+        g
+    }
+
+    #[test]
+    fn second_compile_is_a_hit_and_shares_the_artifact() {
+        let cache = CompileCache::new();
+        let g = small_loop("memo");
+        let m = presets::two_cluster_gp(2, 1);
+        let req = CompileRequest::default();
+        let first = cache.compile(&g, &m, &req);
+        let second = cache.compile(&g, &m, &req);
+        assert!(Arc::ptr_eq(&first, &second), "hit must share the entry");
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert_eq!(
+            first.as_ref().as_ref().unwrap().ii(),
+            second.as_ref().as_ref().unwrap().ii()
+        );
+    }
+
+    #[test]
+    fn key_ignores_machine_name_but_not_shape() {
+        let g = small_loop("k");
+        let req = CompileRequest::default();
+        let m = presets::two_cluster_gp(2, 1);
+        let renamed = MachineSpec::new(
+            "same-shape-other-name",
+            m.cluster_ids().map(|c| *m.cluster(c)).collect(),
+            m.interconnect().clone(),
+        );
+        assert_eq!(
+            CompileCache::key(&g, &m, &req),
+            CompileCache::key(&g, &renamed, &req)
+        );
+        let wider = presets::four_cluster_gp(4, 2);
+        assert_ne!(
+            CompileCache::key(&g, &m, &req),
+            CompileCache::key(&g, &wider, &req)
+        );
+    }
+
+    #[test]
+    fn key_separates_loops_and_requests() {
+        let m = presets::two_cluster_gp(2, 1);
+        let req = CompileRequest::default();
+        let a = small_loop("a");
+        let b = small_loop("b");
+        assert_ne!(
+            CompileCache::key(&a, &m, &req),
+            CompileCache::key(&b, &m, &req)
+        );
+        let other_req = CompileRequest {
+            restage: false,
+            ..CompileRequest::default()
+        };
+        assert_ne!(
+            CompileCache::key(&a, &m, &req),
+            CompileCache::key(&a, &m, &other_req)
+        );
+    }
+
+    #[test]
+    fn unified_equivalent_hits_an_identically_shaped_preset() {
+        // The content-addressed promise: 2c-gp's unified equivalent (8
+        // GP units, no interconnect) is the same machine as the
+        // `unified` preset, whatever either is called.
+        let g = small_loop("u");
+        let req = CompileRequest::default();
+        let equiv = presets::two_cluster_gp(2, 1).unified_equivalent();
+        let preset = presets::unified_gp(8);
+        assert_eq!(
+            CompileCache::key(&g, &equiv, &req),
+            CompileCache::key(&g, &preset, &req)
+        );
+        let cache = CompileCache::new();
+        cache.compile(&g, &preset, &req);
+        cache.compile(&g, &equiv, &req);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn failures_are_memoized_too() {
+        // A float op on an integer-only machine fails; the second
+        // request must not re-run the pipeline.
+        let mut g = Ddg::new("fp");
+        g.add(OpKind::FpAdd);
+        let m = MachineSpec::new(
+            "int-only",
+            vec![clasp_machine::ClusterSpec::specialized(1, 2, 0)],
+            clasp_machine::Interconnect::None,
+        );
+        let cache = CompileCache::new();
+        let req = CompileRequest::default();
+        assert!(cache.compile(&g, &m, &req).is_err());
+        assert!(cache.compile(&g, &m, &req).is_err());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+}

@@ -53,9 +53,11 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod cached;
 mod driver;
 mod pipeline;
 
+pub use cached::{CachedCompile, CompileCache};
 pub use driver::{
     compile_full, oracle_pipeline, CompileReport, CompileRequest, CompiledArtifact, IiStep,
     RegisterModelKind, RegisterStats, StageTimings,

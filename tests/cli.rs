@@ -131,3 +131,81 @@ fn swing_scheduler_flag_works() {
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("swing scheduler"), "{text}");
 }
+
+#[test]
+fn batch_sweeps_all_loops_and_is_thread_count_deterministic() {
+    let run = |threads: &str| {
+        let out = cli()
+            .arg("batch")
+            .args(["--dir", loops_dir().to_str().unwrap(), "--threads", threads])
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    let serial = run("1");
+    assert!(serial.contains("dot_product x 2c-gp"), "{serial}");
+    assert!(serial.contains("x unified"), "{serial}");
+    assert!(serial.contains("0 failed"), "{serial}");
+    assert!(serial.contains("cache"), "{serial}");
+    // Unified baselines shared through the content cache produce hits.
+    assert!(!serial.contains(" 0 hits"), "{serial}");
+    // Stdout is bit-identical whatever the worker count.
+    let parallel = run("4");
+    assert_eq!(
+        serial, parallel,
+        "batch output must not depend on --threads"
+    );
+}
+
+#[test]
+fn fuzz_threads_flag_is_deterministic() {
+    let run = |threads: &str| {
+        let out = cli()
+            .args(["fuzz", "--seed", "3", "--cases", "20", "--threads", threads])
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    assert_eq!(
+        run("1"),
+        run("4"),
+        "fuzz report must not depend on --threads"
+    );
+}
+
+#[test]
+fn fuzz_out_dir_drops_stale_reproducers() {
+    let dir = std::env::temp_dir().join("clasp-cli-stale-repro-test");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    // A stale reproducer pair from a previous (red) run.
+    std::fs::write(dir.join("case-0007.clasp"), "# stale\n").unwrap();
+    std::fs::write(dir.join("case-0007.machine"), "stale").unwrap();
+    std::fs::write(dir.join("NOTES.md"), "keep me").unwrap();
+
+    // A clean shrink run must remove the stale pair but keep the rest.
+    let out = cli()
+        .args(["fuzz", "--seed", "0", "--cases", "3", "--shrink"])
+        .args(["--out", dir.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(!dir.join("case-0007.clasp").exists(), "stale repro kept");
+    assert!(!dir.join("case-0007.machine").exists(), "stale repro kept");
+    assert!(dir.join("NOTES.md").exists(), "unrelated file removed");
+    let _ = std::fs::remove_dir_all(&dir);
+}
