@@ -22,7 +22,11 @@
 //!
 //! Run with `cargo run --release -p clasp-bench --bin bench-report`.
 
-use clasp::{compare_with_unified, compile_full, compile_loop, CompileRequest, PipelineConfig};
+use clasp::obs::Obs;
+use clasp::{
+    compare_with_unified, compile_full, compile_full_observed, compile_loop, CompileRequest,
+    PipelineConfig,
+};
 use clasp_bench::{bench, fmt_ns, json_escape, seed, Timing};
 use clasp_core::{assign_from, assign_with_analysis, Assignment};
 use clasp_ddg::{Ddg, LoopAnalysis};
@@ -430,6 +434,21 @@ fn main() {
     println!("{}", fuzz.baseline);
     println!("{}", fuzz.amortized);
 
+    // Observability counters over the corpus: one instrumented compile
+    // pass. Every counter is deterministic for a fixed corpus (see
+    // `clasp-obs`), so these numbers are tracked facts about the
+    // workload — how many escalation attempts, conflicts, backtracks the
+    // corpus costs — not measurements subject to noise.
+    let obs = Obs::enabled();
+    for g in &corpus {
+        let _ = compile_full_observed(g, &machine, &full_req, &obs);
+    }
+    let obs_counters = obs.counters();
+    println!("\nobs counters over the corpus (deterministic):");
+    for (name, value) in &obs_counters {
+        println!("  {name} = {value}");
+    }
+
     let stages = [
         &analysis,
         &assignment,
@@ -479,14 +498,50 @@ fn main() {
         cache_stats.hits, cache_stats.misses, cache_stats.entries
     ));
     json.push_str(&format!(
-        "  \"fuzz\": {{\"cases\": {}, \"serial_median_ns\": {}, \"parallel_median_ns\": {}}}\n",
+        "  \"fuzz\": {{\"cases\": {}, \"serial_median_ns\": {}, \"parallel_median_ns\": {}}},\n",
         FUZZ_CASES, fuzz.baseline.median_ns, fuzz.amortized.median_ns
     ));
+    json.push_str("  \"obs\": {\"counters\": {\n");
+    for (i, (name, value)) in obs_counters.iter().enumerate() {
+        json.push_str(&format!(
+            "    \"{}\": {}{}\n",
+            json_escape(name),
+            value,
+            if i + 1 < obs_counters.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  }}\n");
     json.push_str("}\n");
 
     let out = repo_root().join("BENCH_sched.json");
+
+    // Obs-overhead gate: the timings above all run with the disabled
+    // sink, so comparing this run's end-to-end median against the
+    // committed one measures what instrumentation costs when it is off.
+    // CI greps this line and fails the build past +3%.
+    if let Some(committed) = committed_end_to_end_ns(&out) {
+        let now = end_to_end.amortized.median_ns as f64;
+        let delta = (now / committed as f64 - 1.0) * 100.0;
+        println!("\nend-to-end vs committed BENCH_sched.json: {delta:+.1}% (gate: < +3%)");
+    }
+
     std::fs::write(&out, json).expect("write BENCH_sched.json");
     println!("\nwrote {}", out.display());
+}
+
+/// The committed report's `end-to-end` amortized median, parsed with the
+/// same no-dependency discipline the writer uses: find the stage line,
+/// pull the `amortized_median_ns` integer out of it.
+fn committed_end_to_end_ns(path: &std::path::Path) -> Option<u64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let line = text.lines().find(|l| l.contains("\"end-to-end\""))?;
+    let field = "\"amortized_median_ns\": ";
+    let at = line.find(field)? + field.len();
+    let digits: String = line[at..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
 }
 
 fn repo_root() -> PathBuf {

@@ -226,6 +226,29 @@ pub fn assign_traced(
     (result, trace)
 }
 
+/// [`assign_traced`] with a caller-held [`LoopAnalysis`] (see
+/// [`assign_with_analysis`] for the reuse contract) — the variant the
+/// pipeline's observed escalation uses, so tracing never forfeits the
+/// analysis amortization.
+pub fn assign_traced_with_analysis(
+    g: &Ddg,
+    machine: &MachineSpec,
+    config: AssignConfig,
+    min_ii: u32,
+    analysis: &LoopAnalysis,
+) -> (Result<Assignment, AssignError>, AssignTrace) {
+    let mut trace = AssignTrace::default();
+    let result = assign_impl(
+        g,
+        machine,
+        config,
+        min_ii,
+        Some(analysis),
+        &mut Sink(Some(&mut trace)),
+    );
+    (result, trace)
+}
+
 fn assign_impl(
     g: &Ddg,
     machine: &MachineSpec,

@@ -49,7 +49,8 @@ mod state;
 mod trace;
 
 pub use assign::{
-    assign, assign_from, assign_traced, assign_with_analysis, AssignError, AssignFailure,
+    assign, assign_from, assign_traced, assign_traced_with_analysis, assign_with_analysis,
+    AssignError, AssignFailure,
 };
 pub use config::{AssignConfig, Ordering, Variant};
 pub use copies::{CopyManager, CopyRecord};

@@ -133,6 +133,19 @@ impl<V> ContentCache<V> {
     /// block on the installer rather than recomputing, so `compute` runs
     /// exactly once per key and the hit/miss counters are deterministic.
     pub fn get_or_compute(&self, key: CacheKey, compute: impl FnOnce() -> V) -> Arc<V> {
+        self.get_or_compute_info(key, compute).0
+    }
+
+    /// [`ContentCache::get_or_compute`], also reporting whether *this*
+    /// lookup was the key's one counted miss (`true`) or a hit
+    /// (`false`) — the hook callers use to fold per-lookup hit/miss
+    /// counts into an observability sink with the same determinism
+    /// contract as [`ContentCache::stats`].
+    pub fn get_or_compute_info(
+        &self,
+        key: CacheKey,
+        compute: impl FnOnce() -> V,
+    ) -> (Arc<V>, bool) {
         let (cell, installer) = {
             let mut map = self.map.lock().expect("cache map lock");
             match map.get(&key) {
@@ -149,7 +162,8 @@ impl<V> ContentCache<V> {
         } else {
             self.hits.fetch_add(1, Ordering::Relaxed);
         }
-        Arc::clone(cell.get_or_init(|| Arc::new(compute())))
+        let value = Arc::clone(cell.get_or_init(|| Arc::new(compute())));
+        (value, installer)
     }
 
     /// Sample the counters.

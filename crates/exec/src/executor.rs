@@ -33,6 +33,7 @@
 //! sweep still completes every other item first, so a multi-panic run
 //! reports deterministically (lowest index wins).
 
+use clasp_obs::{Counter, Obs};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -107,41 +108,80 @@ where
     T: Sync,
     R: Send,
 {
+    try_sweep_observed(threads, items, make_ctx, f, &Obs::disabled())
+}
+
+/// [`try_sweep`] recording into an observability sink: one
+/// `exec.sweep` span over the whole run, one `exec.worker` span per
+/// worker whose `items` argument is the number of items that worker
+/// pulled from the shared cursor (the per-worker distribution — a
+/// starved worker shows few items against a long span, which is what
+/// steal contention looks like under dynamic scheduling). Only the
+/// [`Counter::ExecItems`] total is deterministic; the per-worker
+/// distribution is inherently racy and stays in span args.
+pub fn try_sweep_observed<T, R, W>(
+    threads: usize,
+    items: &[T],
+    make_ctx: impl Fn() -> W + Sync,
+    f: impl Fn(&mut W, usize, &T) -> R + Sync,
+    obs: &Obs,
+) -> Vec<Result<R, String>>
+where
+    T: Sync,
+    R: Send,
+{
     let n = items.len();
     let threads = resolve_threads(threads, n);
-    if threads <= 1 {
+    let sweep_span = obs.begin("exec.sweep");
+    let results = if threads <= 1 {
+        let worker_span = obs.begin("exec.worker");
         let mut ctx = make_ctx();
-        return items
+        let out: Vec<Result<R, String>> = items
             .iter()
             .enumerate()
             .map(|(i, item)| {
-                catch_unwind(AssertUnwindSafe(|| f(&mut ctx, i, item))).map_err(render_payload)
+                let r =
+                    catch_unwind(AssertUnwindSafe(|| f(&mut ctx, i, item))).map_err(render_payload);
+                obs.add(Counter::ExecItems, 1);
+                r
             })
             .collect();
-    }
-
-    let cursor = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<Result<R, String>>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|s| {
-        for _ in 0..threads {
-            s.spawn(|| {
-                let mut ctx = make_ctx();
-                loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
+        obs.end_with(worker_span, || vec![("items", n.to_string())]);
+        out
+    } else {
+        let cursor = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Result<R, String>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| {
+                    let worker_span = obs.begin("exec.worker");
+                    let mut pulled = 0u64;
+                    let mut ctx = make_ctx();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        pulled += 1;
+                        let result = catch_unwind(AssertUnwindSafe(|| f(&mut ctx, i, &items[i])))
+                            .map_err(render_payload);
+                        obs.add(Counter::ExecItems, 1);
+                        *slots[i].lock().expect("slot lock") = Some(result);
                     }
-                    let result = catch_unwind(AssertUnwindSafe(|| f(&mut ctx, i, &items[i])))
-                        .map_err(render_payload);
-                    *slots[i].lock().expect("slot lock") = Some(result);
-                }
-            });
-        }
+                    obs.end_with(worker_span, || vec![("items", pulled.to_string())]);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("slot lock").expect("slot filled"))
+            .collect()
+    };
+    obs.end_with(sweep_span, || {
+        vec![("items", n.to_string()), ("threads", threads.to_string())]
     });
-    slots
-        .into_iter()
-        .map(|slot| slot.into_inner().expect("slot lock").expect("slot filled"))
-        .collect()
+    results
 }
 
 /// [`try_sweep`] with a per-worker context, failing the whole sweep with
@@ -162,8 +202,29 @@ where
     T: Sync,
     R: Send,
 {
+    sweep_with_observed(threads, items, make_ctx, label, f, &Obs::disabled())
+}
+
+/// [`sweep_with`] recording into an observability sink (see
+/// [`try_sweep_observed`] for what is recorded).
+///
+/// # Errors
+///
+/// [`SweepPanic`] for the lowest-indexed panicking item.
+pub fn sweep_with_observed<T, R, W>(
+    threads: usize,
+    items: &[T],
+    make_ctx: impl Fn() -> W + Sync,
+    label: impl Fn(usize, &T) -> String,
+    f: impl Fn(&mut W, usize, &T) -> R + Sync,
+    obs: &Obs,
+) -> Result<Vec<R>, SweepPanic>
+where
+    T: Sync,
+    R: Send,
+{
     let mut out = Vec::with_capacity(items.len());
-    for (i, result) in try_sweep(threads, items, make_ctx, f)
+    for (i, result) in try_sweep_observed(threads, items, make_ctx, f, obs)
         .into_iter()
         .enumerate()
     {
@@ -197,6 +258,26 @@ where
     R: Send,
 {
     sweep_with(threads, items, || (), label, |(), i, item| f(i, item))
+}
+
+/// [`sweep`] recording into an observability sink (see
+/// [`try_sweep_observed`] for what is recorded).
+///
+/// # Errors
+///
+/// [`SweepPanic`] for the lowest-indexed panicking item.
+pub fn sweep_observed<T, R>(
+    threads: usize,
+    items: &[T],
+    label: impl Fn(usize, &T) -> String,
+    f: impl Fn(usize, &T) -> R + Sync,
+    obs: &Obs,
+) -> Result<Vec<R>, SweepPanic>
+where
+    T: Sync,
+    R: Send,
+{
+    sweep_with_observed(threads, items, || (), label, |(), i, item| f(i, item), obs)
 }
 
 #[cfg(test)]

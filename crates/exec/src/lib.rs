@@ -33,4 +33,7 @@ pub mod cache;
 pub mod executor;
 
 pub use cache::{CacheKey, CacheStats, ContentCache};
-pub use executor::{resolve_threads, sweep, sweep_with, try_sweep, SweepPanic};
+pub use executor::{
+    resolve_threads, sweep, sweep_observed, sweep_with, sweep_with_observed, try_sweep,
+    try_sweep_observed, SweepPanic,
+};

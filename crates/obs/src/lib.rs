@@ -1,0 +1,572 @@
+//! Structured observability for the CLASP pipeline: spans, typed
+//! counters, and events, with no dependencies outside `std`.
+//!
+//! # Design contract
+//!
+//! - **One sink for everything.** The driver's stage timings, the
+//!   escalation loop's per-attempt records, the scheduler's conflict
+//!   statistics, the assigner's decision log, and the executor's
+//!   per-worker accounting all land in one [`Obs`], so a single trace
+//!   explains *where* an II attempt died and *why*.
+//! - **Disabled means free.** [`Obs::disabled`] records nothing and
+//!   allocates nothing: [`Obs::begin`] only reads the monotonic clock
+//!   (so [`Obs::end`] still returns a usable [`Duration`] for callers
+//!   that feed timing reports), counters are skipped, and the lazy
+//!   closures handed to [`Obs::event`] and [`Obs::end_with`] are never
+//!   invoked. The `alloc_free` integration test pins this with a
+//!   counting global allocator.
+//! - **Counters are deterministic; span args are not.** Anything folded
+//!   into a [`Counter`] must be independent of thread count and timing
+//!   (attempt counts, conflict counts, cache hits/misses). Wall-clock
+//!   durations, per-worker item distribution, and steal contention are
+//!   inherently racy and are only ever recorded as span attributes.
+//!   The CI determinism gate compares counter totals across thread
+//!   counts byte-for-byte.
+//!
+//! # Output
+//!
+//! [`Obs::chrome_trace`] serializes the record as Chrome trace-event
+//! JSON (loadable in `chrome://tracing` or Perfetto), with an extra
+//! top-level `"counters"` object holding the deterministic totals.
+//! [`Obs::render`] produces the human-readable span tree with counters
+//! inline — the `--explain` view.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::sync::Mutex;
+use std::thread::ThreadId;
+use std::time::{Duration, Instant};
+
+/// The typed counter catalogue. Every counter is deterministic: its
+/// total depends only on the work performed, never on thread count,
+/// scheduling order, or wall-clock time (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Counter {
+    /// Escalation attempts made by the Figure-5 pipeline loop
+    /// (assign + schedule pairs, successful or not).
+    PipelineAttempts,
+    /// Copies live in the working graphs produced by assignment
+    /// attempts, summed over attempts.
+    AssignCopies,
+    /// Assigner decision-log events (feasibility checks, selections,
+    /// forced placements, removals) wrapped into the obs stream.
+    AssignEvents,
+    /// Scheduling attempts (one per II the scheduler tried).
+    SchedAttempts,
+    /// Operations placed by the scheduler, including re-placements
+    /// after eviction.
+    SchedPlacements,
+    /// Scheduler backtracks: evictions plus successor displacements —
+    /// every time committed work was undone to make room.
+    SchedBacktracks,
+    /// Forced placements after a full conflict-free window scan failed.
+    SchedWindowRejections,
+    /// MRT conflicts on memory-class FUs (a candidate slot was busy).
+    SchedConflictMemory,
+    /// MRT conflicts on integer-class FUs.
+    SchedConflictInteger,
+    /// MRT conflicts on float-class FUs.
+    SchedConflictFloat,
+    /// MRT conflicts on the transport layer (copy ops vs. buses/links).
+    SchedConflictTransport,
+    /// Items completed by executor sweeps (the work count, not the
+    /// per-worker distribution — that lives in span args).
+    ExecItems,
+    /// Compile-cache hits.
+    CacheHits,
+    /// Compile-cache misses (exactly one per unique key, by the cache's
+    /// contention contract).
+    CacheMisses,
+}
+
+impl Counter {
+    /// Every counter, in catalogue order.
+    pub const ALL: [Counter; 14] = [
+        Counter::PipelineAttempts,
+        Counter::AssignCopies,
+        Counter::AssignEvents,
+        Counter::SchedAttempts,
+        Counter::SchedPlacements,
+        Counter::SchedBacktracks,
+        Counter::SchedWindowRejections,
+        Counter::SchedConflictMemory,
+        Counter::SchedConflictInteger,
+        Counter::SchedConflictFloat,
+        Counter::SchedConflictTransport,
+        Counter::ExecItems,
+        Counter::CacheHits,
+        Counter::CacheMisses,
+    ];
+
+    /// The stable dotted name used in traces and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::PipelineAttempts => "pipeline.attempts",
+            Counter::AssignCopies => "assign.copies",
+            Counter::AssignEvents => "assign.events",
+            Counter::SchedAttempts => "sched.attempts",
+            Counter::SchedPlacements => "sched.placements",
+            Counter::SchedBacktracks => "sched.backtracks",
+            Counter::SchedWindowRejections => "sched.window_rejections",
+            Counter::SchedConflictMemory => "sched.conflict.memory",
+            Counter::SchedConflictInteger => "sched.conflict.integer",
+            Counter::SchedConflictFloat => "sched.conflict.float",
+            Counter::SchedConflictTransport => "sched.conflict.transport",
+            Counter::ExecItems => "exec.items",
+            Counter::CacheHits => "cache.hits",
+            Counter::CacheMisses => "cache.misses",
+        }
+    }
+
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// One finished span: a named, timed interval on one thread, with
+/// optional string attributes. Timestamps are nanoseconds since the
+/// [`Obs`] was created — full clock resolution, so containment never
+/// ties at a truncation boundary; nesting is recovered from containment
+/// (spans on one thread are well nested because [`Span`] begin/end
+/// bracket call scopes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span name (static, dotted: `"stage.assign_sched"`).
+    pub name: &'static str,
+    /// Small integer id of the recording thread (0 = first thread seen).
+    pub tid: u32,
+    /// Start, ns since the sink's epoch.
+    pub start_ns: u64,
+    /// Duration in ns.
+    pub dur_ns: u64,
+    /// Attributes attached at [`Obs::end_with`] time.
+    pub args: Vec<(&'static str, String)>,
+}
+
+impl SpanRecord {
+    /// End of the span, ns since the epoch.
+    pub fn end_ns(&self) -> u64 {
+        self.start_ns.saturating_add(self.dur_ns)
+    }
+}
+
+/// One instant event (a point, not an interval) — e.g. a wrapped
+/// assigner decision-log entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventRecord {
+    /// Event name.
+    pub name: &'static str,
+    /// Small integer id of the recording thread.
+    pub tid: u32,
+    /// Timestamp, ns since the sink's epoch.
+    pub ts_ns: u64,
+    /// Free-form detail string.
+    pub detail: String,
+}
+
+/// Render `ns` as fractional microseconds (`"123.456"`) — the unit
+/// Chrome trace-event timestamps use.
+fn ns_as_us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+/// An open span, closed by [`Obs::end`] / [`Obs::end_with`]. Always
+/// carries the start instant, so `end` returns the elapsed [`Duration`]
+/// even on a disabled sink — callers keep one code path for timing.
+#[must_use = "a span is recorded when passed back to Obs::end"]
+pub struct Span {
+    name: &'static str,
+    start: Instant,
+}
+
+#[derive(Default)]
+struct State {
+    spans: Vec<SpanRecord>,
+    events: Vec<EventRecord>,
+    counters: [u64; Counter::ALL.len()],
+    threads: Vec<ThreadId>,
+}
+
+impl State {
+    fn tid(&mut self, id: ThreadId) -> u32 {
+        if let Some(i) = self.threads.iter().position(|&t| t == id) {
+            return i as u32;
+        }
+        self.threads.push(id);
+        (self.threads.len() - 1) as u32
+    }
+}
+
+struct Inner {
+    epoch: Instant,
+    state: Mutex<State>,
+}
+
+/// The observability sink. Thread-safe: one `Obs` is shared by
+/// reference across executor workers. Construct with [`Obs::enabled`]
+/// to record or [`Obs::disabled`] for the zero-cost no-op (see the
+/// module docs for the disabled-path contract).
+pub struct Obs {
+    inner: Option<Inner>,
+}
+
+impl Default for Obs {
+    fn default() -> Self {
+        Obs::disabled()
+    }
+}
+
+impl Obs {
+    /// A recording sink. The moment of creation is the trace epoch.
+    pub fn enabled() -> Obs {
+        Obs {
+            inner: Some(Inner {
+                epoch: Instant::now(),
+                state: Mutex::new(State::default()),
+            }),
+        }
+    }
+
+    /// The no-op sink: records nothing, allocates nothing.
+    pub fn disabled() -> Obs {
+        Obs { inner: None }
+    }
+
+    /// Whether this sink records.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Open a span. Reads the monotonic clock and nothing else — free
+    /// of allocation whether or not the sink records.
+    pub fn begin(&self, name: &'static str) -> Span {
+        Span {
+            name,
+            start: Instant::now(),
+        }
+    }
+
+    /// Close a span, returning its duration. Recorded only on an
+    /// enabled sink; the duration comes back either way.
+    pub fn end(&self, span: Span) -> Duration {
+        self.end_with(span, Vec::new)
+    }
+
+    /// Close a span with lazily built attributes. `args` runs only on
+    /// an enabled sink (the disabled path stays allocation-free).
+    pub fn end_with(
+        &self,
+        span: Span,
+        args: impl FnOnce() -> Vec<(&'static str, String)>,
+    ) -> Duration {
+        let elapsed = span.start.elapsed();
+        if let Some(inner) = &self.inner {
+            let start_ns = span.start.saturating_duration_since(inner.epoch).as_nanos() as u64;
+            let record = SpanRecord {
+                name: span.name,
+                tid: 0,
+                start_ns,
+                dur_ns: elapsed.as_nanos() as u64,
+                args: args(),
+            };
+            let mut state = inner.state.lock().expect("obs state");
+            let tid = state.tid(std::thread::current().id());
+            state.spans.push(SpanRecord { tid, ..record });
+        }
+        elapsed
+    }
+
+    /// Record an instant event. `detail` runs only on an enabled sink.
+    pub fn event(&self, name: &'static str, detail: impl FnOnce() -> String) {
+        if let Some(inner) = &self.inner {
+            let ts_ns = inner.epoch.elapsed().as_nanos() as u64;
+            let detail = detail();
+            let mut state = inner.state.lock().expect("obs state");
+            let tid = state.tid(std::thread::current().id());
+            state.events.push(EventRecord {
+                name,
+                tid,
+                ts_ns,
+                detail,
+            });
+        }
+    }
+
+    /// Add `n` to a counter. No-op on a disabled sink.
+    pub fn add(&self, counter: Counter, n: u64) {
+        if let Some(inner) = &self.inner {
+            let mut state = inner.state.lock().expect("obs state");
+            state.counters[counter.index()] += n;
+        }
+    }
+
+    /// Current value of one counter (0 on a disabled sink).
+    pub fn counter(&self, counter: Counter) -> u64 {
+        match &self.inner {
+            Some(inner) => inner.state.lock().expect("obs state").counters[counter.index()],
+            None => 0,
+        }
+    }
+
+    /// Snapshot of every counter in catalogue order.
+    pub fn counters(&self) -> Vec<(&'static str, u64)> {
+        let values = match &self.inner {
+            Some(inner) => inner.state.lock().expect("obs state").counters,
+            None => [0; Counter::ALL.len()],
+        };
+        Counter::ALL
+            .iter()
+            .map(|&c| (c.name(), values[c.index()]))
+            .collect()
+    }
+
+    /// Snapshot of every finished span, in completion order.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        match &self.inner {
+            Some(inner) => inner.state.lock().expect("obs state").spans.clone(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Snapshot of every event, in record order.
+    pub fn events(&self) -> Vec<EventRecord> {
+        match &self.inner {
+            Some(inner) => inner.state.lock().expect("obs state").events.clone(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Serialize as Chrome trace-event JSON: a `"traceEvents"` array of
+    /// `"X"` (complete) and `"i"` (instant) events — loadable in
+    /// `chrome://tracing` and Perfetto — plus a top-level `"counters"`
+    /// object with the deterministic totals in catalogue order. Only
+    /// the counters object is byte-stable across thread counts;
+    /// timestamps and event interleavings are not.
+    pub fn chrome_trace(&self) -> String {
+        let mut out = String::from("{\n\"traceEvents\": [\n");
+        let mut first = true;
+        for s in self.spans() {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            out.push_str(&format!(
+                "{{\"name\": {}, \"ph\": \"X\", \"pid\": 1, \"tid\": {}, \"ts\": {}, \"dur\": {}, \"args\": {{",
+                json_string(s.name),
+                s.tid,
+                ns_as_us(s.start_ns),
+                ns_as_us(s.dur_ns)
+            ));
+            for (i, (k, v)) in s.args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("{}: {}", json_string(k), json_string(v)));
+            }
+            out.push_str("}}");
+        }
+        for e in self.events() {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            out.push_str(&format!(
+                "{{\"name\": {}, \"ph\": \"i\", \"s\": \"t\", \"pid\": 1, \"tid\": {}, \"ts\": {}, \"args\": {{\"detail\": {}}}}}",
+                json_string(e.name),
+                e.tid,
+                ns_as_us(e.ts_ns),
+                json_string(&e.detail)
+            ));
+        }
+        out.push_str("\n],\n\"displayTimeUnit\": \"ms\",\n\"counters\": {\n");
+        for (i, (name, value)) in self.counters().into_iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            out.push_str(&format!("  {}: {}", json_string(name), value));
+        }
+        out.push_str("\n}\n}\n");
+        out
+    }
+
+    /// Render the span tree (nesting recovered from containment, one
+    /// tree per thread) with nonzero counters appended — the
+    /// `--explain` view.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let mut spans = self.spans();
+        // Containment sort: outer spans first at equal start.
+        spans.sort_by(|a, b| {
+            (a.tid, a.start_ns, std::cmp::Reverse(a.dur_ns)).cmp(&(
+                b.tid,
+                b.start_ns,
+                std::cmp::Reverse(b.dur_ns),
+            ))
+        });
+        let mut stack: Vec<(u32, u64)> = Vec::new(); // (tid, end_ns)
+        for s in &spans {
+            while let Some(&(tid, end)) = stack.last() {
+                if tid != s.tid || s.start_ns >= end {
+                    stack.pop();
+                } else {
+                    break;
+                }
+            }
+            out.push_str(&"  ".repeat(stack.len()));
+            out.push_str(s.name);
+            for (k, v) in &s.args {
+                out.push_str(&format!(" {k}={v}"));
+            }
+            out.push_str(&format!("  [{} µs]\n", s.dur_ns / 1_000));
+            stack.push((s.tid, s.end_ns()));
+        }
+        let nonzero: Vec<_> = self
+            .counters()
+            .into_iter()
+            .filter(|&(_, v)| v > 0)
+            .collect();
+        if !nonzero.is_empty() {
+            out.push_str("counters:\n");
+            for (name, value) in nonzero {
+                out.push_str(&format!("  {name} = {value}\n"));
+            }
+        }
+        out
+    }
+}
+
+/// Escape a string as a JSON string literal (quotes included).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_records_nothing_but_still_times() {
+        let obs = Obs::disabled();
+        let span = obs.begin("work");
+        std::thread::sleep(Duration::from_millis(1));
+        let dur = obs.end(span);
+        assert!(dur >= Duration::from_millis(1));
+        obs.add(Counter::CacheHits, 3);
+        obs.event("never", || {
+            unreachable!("lazy closure ran on disabled sink")
+        });
+        assert!(obs.spans().is_empty());
+        assert!(obs.events().is_empty());
+        assert_eq!(obs.counter(Counter::CacheHits), 0);
+    }
+
+    #[test]
+    fn span_nesting_and_timing_are_monotonic() {
+        let obs = Obs::enabled();
+        let outer = obs.begin("outer");
+        let inner = obs.begin("inner");
+        std::thread::sleep(Duration::from_millis(1));
+        obs.end(inner);
+        obs.end(outer);
+        let spans = obs.spans();
+        assert_eq!(spans.len(), 2);
+        let (i, o) = (&spans[0], &spans[1]);
+        assert_eq!((i.name, o.name), ("inner", "outer"));
+        assert!(o.start_ns <= i.start_ns, "outer starts first");
+        assert!(o.end_ns() >= i.end_ns(), "outer contains inner");
+        let rendered = obs.render();
+        let outer_at = rendered.find("outer").unwrap();
+        let inner_at = rendered.find("  inner").unwrap();
+        assert!(
+            outer_at < inner_at,
+            "tree shows outer above nested inner:\n{rendered}"
+        );
+    }
+
+    #[test]
+    fn counters_accumulate_and_list_in_catalogue_order() {
+        let obs = Obs::enabled();
+        obs.add(Counter::SchedBacktracks, 2);
+        obs.add(Counter::SchedBacktracks, 3);
+        obs.add(Counter::CacheMisses, 1);
+        assert_eq!(obs.counter(Counter::SchedBacktracks), 5);
+        let all = obs.counters();
+        assert_eq!(all.len(), Counter::ALL.len());
+        let names: Vec<_> = all.iter().map(|&(n, _)| n).collect();
+        assert_eq!(names[0], "pipeline.attempts");
+        assert!(all.contains(&("sched.backtracks", 5)));
+        assert!(all.contains(&("cache.misses", 1)));
+    }
+
+    #[test]
+    fn counters_sum_across_threads() {
+        let obs = Obs::enabled();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..100 {
+                        obs.add(Counter::ExecItems, 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(obs.counter(Counter::ExecItems), 400);
+    }
+
+    #[test]
+    fn chrome_trace_shape() {
+        let obs = Obs::enabled();
+        let span = obs.begin("stage.assign_sched");
+        obs.event("assign.select", || "node 3 -> cluster 1 \"quoted\"".into());
+        obs.end_with(span, || vec![("requested_ii", "4".into())]);
+        obs.add(Counter::PipelineAttempts, 1);
+        let json = obs.chrome_trace();
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"ph\": \"X\""));
+        assert!(json.contains("\"ph\": \"i\""));
+        assert!(json.contains("\"requested_ii\": \"4\""));
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.contains("\"pipeline.attempts\": 1"));
+        assert!(json.contains("\"sched.backtracks\": 0"));
+    }
+
+    #[test]
+    fn json_string_escapes() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn spans_carry_thread_ids() {
+        let obs = Obs::enabled();
+        let main = obs.begin("main");
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let w = obs.begin("worker");
+                obs.end(w);
+            });
+        });
+        obs.end(main);
+        let spans = obs.spans();
+        assert_eq!(spans.len(), 2);
+        assert_ne!(
+            spans[0].tid, spans[1].tid,
+            "distinct threads get distinct tids"
+        );
+    }
+}

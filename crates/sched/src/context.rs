@@ -19,6 +19,7 @@
 use crate::failure::SchedFailure;
 use crate::iterative::SchedulerConfig;
 use crate::schedule::{slot_request, Schedule, ScheduleError};
+use crate::stats::{conflict_index, AttemptStats};
 use clasp_ddg::{Ddg, LoopAnalysis, NodeId};
 use clasp_machine::MachineSpec;
 use clasp_mrt::{ClusterMap, PlaceOutcome, SlotRequest, TimeMrt};
@@ -56,11 +57,15 @@ pub struct SchedContext<'a> {
     analysis: AnalysisRef<'a>,
     /// Resource request per node (indexed by `NodeId::index`).
     requests: Vec<SlotRequest>,
+    /// [`AttemptStats::conflicts`] lane per node (indexed by
+    /// `NodeId::index`), precomputed so the hot loop only indexes.
+    conflict_lane: Vec<u8>,
     mrt: TimeMrt,
     time: Vec<Option<i64>>,
     prev_time: Vec<i64>,
     ever_scheduled: Vec<bool>,
     evicted: Vec<NodeId>,
+    stats: AttemptStats,
 }
 
 impl<'a> SchedContext<'a> {
@@ -104,8 +109,10 @@ impl<'a> SchedContext<'a> {
     ) -> Result<Self, ScheduleError> {
         let n = g.node_count();
         let mut requests = Vec::with_capacity(n);
+        let mut conflict_lane = Vec::with_capacity(n);
         for node in g.node_ids() {
             requests.push(slot_request(g, map, node)?);
+            conflict_lane.push(conflict_index(g.op(node).kind) as u8);
         }
         Ok(SchedContext {
             g,
@@ -113,11 +120,13 @@ impl<'a> SchedContext<'a> {
             map,
             analysis,
             requests,
+            conflict_lane,
             mrt: TimeMrt::new(machine, 1),
             time: vec![None; n],
             prev_time: vec![0; n],
             ever_scheduled: vec![false; n],
             evicted: Vec::new(),
+            stats: AttemptStats::default(),
         })
     }
 
@@ -137,6 +146,17 @@ impl<'a> SchedContext<'a> {
     /// The cluster annotation this context schedules under.
     pub fn map(&self) -> &ClusterMap {
         self.map
+    }
+
+    /// Statistics accumulated over every attempt so far (deterministic:
+    /// pure decision counts, no timing — see [`AttemptStats`]).
+    pub fn stats(&self) -> AttemptStats {
+        self.stats
+    }
+
+    /// Return the accumulated statistics and reset them to zero.
+    pub fn take_stats(&mut self) -> AttemptStats {
+        std::mem::take(&mut self.stats)
     }
 
     /// Attempt a modulo schedule at exactly `ii` (Rau's iterative modulo
@@ -159,6 +179,7 @@ impl<'a> SchedContext<'a> {
             AnalysisRef::Owned(a) => a,
             AnalysisRef::Borrowed(a) => a,
         };
+        self.stats.attempts += 1;
         let n = self.requests.len();
         if n == 0 {
             return Ok(Schedule::new(ii, HashMap::new()));
@@ -176,6 +197,8 @@ impl<'a> SchedContext<'a> {
         let mrt = &mut self.mrt;
         let evicted = &mut self.evicted;
         let requests = &self.requests;
+        let conflict_lane = &self.conflict_lane;
+        let stats = &mut self.stats;
         let order = analysis.order();
 
         let mut unscheduled = n;
@@ -220,7 +243,9 @@ impl<'a> SchedContext<'a> {
                         chosen = Some(t);
                         break;
                     }
-                    PlaceOutcome::Blocked => {}
+                    PlaceOutcome::Blocked => {
+                        stats.conflicts[conflict_lane[vi] as usize] += 1;
+                    }
                     PlaceOutcome::Impossible => {
                         // Structurally impossible on this machine.
                         return Err(SchedFailure::ResourceImpossible { ii, node });
@@ -234,6 +259,7 @@ impl<'a> SchedContext<'a> {
                     // Forced placement (Rau): first attempt at estart,
                     // later attempts strictly after the previous slot to
                     // guarantee forward progress.
+                    stats.window_rejections += 1;
                     let slot = if ever_scheduled[vi] {
                         estart.max(prev_time[vi] + 1)
                     } else {
@@ -245,6 +271,7 @@ impl<'a> SchedContext<'a> {
                     for &ev in evicted.iter() {
                         if time[ev.index()].take().is_some() {
                             unscheduled += 1;
+                            stats.backtracks += 1;
                             cursor = cursor.min(analysis.position(ev));
                         }
                     }
@@ -256,6 +283,7 @@ impl<'a> SchedContext<'a> {
             prev_time[vi] = t;
             ever_scheduled[vi] = true;
             unscheduled -= 1;
+            stats.placements += 1;
 
             // Displace scheduled successors whose dependence is now
             // violated.
@@ -270,6 +298,7 @@ impl<'a> SchedContext<'a> {
                         mrt.remove(e.other);
                         time[di] = None;
                         unscheduled += 1;
+                        stats.backtracks += 1;
                         cursor = cursor.min(analysis.position(e.other));
                     }
                 }

@@ -41,6 +41,7 @@ mod context;
 mod failure;
 mod iterative;
 mod schedule;
+mod stats;
 mod swing;
 
 pub use context::SchedContext;
@@ -49,4 +50,5 @@ pub use iterative::{
     iterative_schedule, max_ii_bound, schedule_in_range, schedule_unified, SchedulerConfig,
 };
 pub use schedule::{slot_request, unified_map, validate_schedule, Schedule, ScheduleError};
-pub use swing::{schedule_with, swing_schedule, SchedulerKind};
+pub use stats::{AttemptStats, CONFLICT_CLASSES};
+pub use swing::{schedule_with, schedule_with_stats, swing_schedule, SchedulerKind};

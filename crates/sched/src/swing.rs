@@ -11,6 +11,7 @@
 use crate::failure::SchedFailure;
 use crate::iterative::SchedulerConfig;
 use crate::schedule::{slot_request, Schedule};
+use crate::stats::{conflict_index, AttemptStats};
 use clasp_ddg::{swing_order, Ddg};
 use clasp_machine::MachineSpec;
 use clasp_mrt::{ClusterMap, TimeMrt};
@@ -67,6 +68,18 @@ pub fn swing_schedule(
     ii: u32,
     config: SchedulerConfig,
 ) -> Result<Schedule, SchedFailure> {
+    swing_schedule_impl(g, machine, map, ii, config, &mut AttemptStats::default())
+}
+
+fn swing_schedule_impl(
+    g: &Ddg,
+    machine: &MachineSpec,
+    map: &ClusterMap,
+    ii: u32,
+    config: SchedulerConfig,
+    stats: &mut AttemptStats,
+) -> Result<Schedule, SchedFailure> {
+    stats.attempts += 1;
     let n = g.node_count();
     if n == 0 {
         return Ok(Schedule::new(ii, HashMap::new()));
@@ -74,11 +87,13 @@ pub fn swing_schedule(
     let order = swing_order(g);
 
     let mut requests = Vec::with_capacity(n);
+    let mut conflict_lane = Vec::with_capacity(n);
     for node in g.node_ids() {
         match slot_request(g, map, node) {
             Ok(r) => requests.push(r),
             Err(e) => return Err(SchedFailure::Invalid(e)),
         }
+        conflict_lane.push(conflict_index(g.op(node).kind));
     }
 
     let mut mrt = TimeMrt::new(machine, ii);
@@ -153,6 +168,7 @@ pub fn swing_schedule(
                         // Structurally impossible on this machine.
                         return Err(SchedFailure::ResourceImpossible { ii, node });
                     }
+                    stats.conflicts[conflict_lane[vi]] += 1;
                 }
             }
         }
@@ -160,6 +176,7 @@ pub fn swing_schedule(
         let t = match placed_at {
             Some(t) => t,
             None => {
+                stats.window_rejections += 1;
                 if !config.iterative_fallback() {
                     return Err(SchedFailure::WindowInfeasible { ii, node });
                 }
@@ -176,6 +193,7 @@ pub fn swing_schedule(
                 for ev in evicted {
                     if time[ev.index()].take().is_some() {
                         unscheduled += 1;
+                        stats.backtracks += 1;
                     }
                 }
                 slot
@@ -186,6 +204,7 @@ pub fn swing_schedule(
         prev_time[vi] = t;
         ever[vi] = true;
         unscheduled -= 1;
+        stats.placements += 1;
 
         // Displace scheduled neighbours whose dependence is now violated
         // (can happen after a backward or forced placement).
@@ -199,6 +218,7 @@ pub fn swing_schedule(
                     mrt.remove(e.dst);
                     time[di] = None;
                     unscheduled += 1;
+                    stats.backtracks += 1;
                 }
             }
         }
@@ -212,6 +232,7 @@ pub fn swing_schedule(
                     mrt.remove(e.src);
                     time[pi] = None;
                     unscheduled += 1;
+                    stats.backtracks += 1;
                 }
             }
         }
@@ -249,6 +270,35 @@ pub fn schedule_with(
     match kind {
         SchedulerKind::Iterative => crate::iterative_schedule(g, machine, map, ii, config),
         SchedulerKind::Swing => swing_schedule(g, machine, map, ii, config),
+    }
+}
+
+/// [`schedule_with`], also returning the attempt's [`AttemptStats`] —
+/// the hook the pipeline uses to fold scheduler effort into an
+/// observability sink. Decision-for-decision identical to
+/// [`schedule_with`] (the stats are pure counts; they never influence a
+/// placement).
+pub fn schedule_with_stats(
+    kind: SchedulerKind,
+    g: &Ddg,
+    machine: &MachineSpec,
+    map: &ClusterMap,
+    ii: u32,
+    config: SchedulerConfig,
+) -> (Result<Schedule, SchedFailure>, AttemptStats) {
+    match kind {
+        SchedulerKind::Iterative => match crate::SchedContext::new(g, machine, map) {
+            Ok(mut ctx) => {
+                let result = ctx.attempt(ii, config);
+                (result, ctx.stats())
+            }
+            Err(e) => (Err(SchedFailure::Invalid(e)), AttemptStats::default()),
+        },
+        SchedulerKind::Swing => {
+            let mut stats = AttemptStats::default();
+            let result = swing_schedule_impl(g, machine, map, ii, config, &mut stats);
+            (result, stats)
+        }
     }
 }
 

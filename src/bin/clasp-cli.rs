@@ -25,9 +25,12 @@
 //! against every preset machine, plus each pair's unified baseline, in
 //! one parallel sweep through the content-addressed compile cache. The
 //! report — one line per pair with the achieved II, baseline II, and a
-//! content hash of the emitted kernel, then the cache counters — goes to
-//! stdout and is bit-identical for every `--threads` value (timing goes
-//! to stderr), so CI can diff runs directly.
+//! content hash of the emitted kernel, then the cache and observability
+//! counters — goes to stdout and is bit-identical for every `--threads`
+//! value (timing goes to stderr), so CI can diff runs directly. The
+//! printed counters stay thread-count independent because every counted
+//! quantity depends only on work done, never on how workers interleave
+//! (see `clasp-obs`).
 //!
 //! options:
 //!   --machine <preset>    2c-gp | 4c-gp | 6c-gp | 8c-gp | 2c-fs | 4c-fs |
@@ -42,14 +45,19 @@
 //!   --iterations N        iterations to emit/simulate (default 16)
 //!   --dot                 dump the working graph as Graphviz DOT
 //!   --kernel              print the kernel table
-//!   --explain             print the assignment decision log and the
-//!                         per-stage compile report
+//!   --explain             print the assignment decision log, the
+//!                         per-stage compile report, and the
+//!                         observability span tree with counters
+//!   --trace-json <path>   write a Chrome trace-event JSON file
+//!                         (load in Perfetto / chrome://tracing); also
+//!                         accepted by `batch`
 //! ```
 
-use clasp::{compile_full, unified_ii, CompileRequest, PipelineConfig, RegisterModelKind};
+use clasp::{compile_full_observed, unified_ii, CompileRequest, PipelineConfig, RegisterModelKind};
 use clasp_core::Variant;
 use clasp_ddg::{find_sccs, rec_mii, swing_order, Ddg};
 use clasp_machine::{presets, MachineSpec};
+use clasp_obs::Obs;
 use clasp_sched::SchedulerKind;
 use std::process::ExitCode;
 
@@ -65,6 +73,7 @@ struct Options {
     dot: bool,
     kernel: bool,
     explain: bool,
+    trace_json: Option<String>,
 }
 
 impl Default for Options {
@@ -81,6 +90,7 @@ impl Default for Options {
             dot: false,
             kernel: false,
             explain: false,
+            trace_json: None,
         }
     }
 }
@@ -89,9 +99,9 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: clasp-cli <analyze|compile|simulate|fuzz|batch|machines> [loop.clasp] [options]\n\
          see `clasp-cli machines` for presets; options: --machine --buses --ports\n\
-         --variant --scheduler --model --iterations --dot --kernel --explain\n\
+         --variant --scheduler --model --iterations --dot --kernel --explain --trace-json\n\
          fuzz options: --seed --cases --iterations --shrink --fault --out --threads\n\
-         batch options: --dir --threads"
+         batch options: --dir --threads --trace-json"
     );
     ExitCode::from(2)
 }
@@ -169,6 +179,26 @@ fn request(opts: &Options, verify: bool) -> CompileRequest {
     }
 }
 
+/// The sink `compile`/`simulate` record into: enabled only when some
+/// output (`--explain` span tree, `--trace-json` file) will consume it,
+/// so plain compiles keep the allocation-free disabled path.
+fn make_obs(opts: &Options) -> Obs {
+    if opts.explain || opts.trace_json.is_some() {
+        Obs::enabled()
+    } else {
+        Obs::disabled()
+    }
+}
+
+/// Write the sink's Chrome trace-event JSON to `path` if requested.
+fn write_trace(trace_json: Option<&str>, obs: &Obs) -> Result<(), String> {
+    if let Some(path) = trace_json {
+        std::fs::write(path, obs.chrome_trace()).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("trace written to {path}");
+    }
+    Ok(())
+}
+
 fn compile(g: &Ddg, opts: &Options) -> Result<(), String> {
     let machine = build_machine(opts)?;
     let req = request(opts, false);
@@ -186,7 +216,10 @@ fn compile(g: &Ddg, opts: &Options) -> Result<(), String> {
         }
         println!();
     }
-    let artifact = compile_full(g, &machine, &req).map_err(|e| e.to_string())?;
+    let obs = make_obs(opts);
+    let compiled = compile_full_observed(g, &machine, &req, &obs);
+    write_trace(opts.trace_json.as_deref(), &obs)?;
+    let artifact = compiled.map_err(|e| e.to_string())?;
     let baseline = unified_ii(g, &machine, req.pipeline.sched);
     let wg = &artifact.assignment.graph;
     let report = &artifact.report;
@@ -229,13 +262,18 @@ fn compile(g: &Ddg, opts: &Options) -> Result<(), String> {
     }
     if opts.explain {
         println!("\n{report}");
+        println!("\nobservability:");
+        print!("{}", obs.render());
     }
     Ok(())
 }
 
 fn simulate(g: &Ddg, opts: &Options) -> Result<(), String> {
     let machine = build_machine(opts)?;
-    let artifact = compile_full(g, &machine, &request(opts, true)).map_err(|e| e.to_string())?;
+    let obs = make_obs(opts);
+    let compiled = compile_full_observed(g, &machine, &request(opts, true), &obs);
+    write_trace(opts.trace_json.as_deref(), &obs)?;
+    let artifact = compiled.map_err(|e| e.to_string())?;
     println!(
         "ok: pipelined execution (II = {}) matches sequential execution over {} iterations",
         artifact.ii(),
@@ -348,6 +386,7 @@ fn preset_list() -> Vec<(&'static str, MachineSpec)> {
 fn batch(args: &[String]) -> Result<bool, String> {
     let mut dir = String::from("loops");
     let mut threads = 0usize;
+    let mut trace_json: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         let take = |i: &mut usize| -> Option<String> {
@@ -361,6 +400,7 @@ fn batch(args: &[String]) -> Result<bool, String> {
                     .and_then(|v| v.parse().ok())
                     .ok_or("--threads needs a number")?;
             }
+            "--trace-json" => trace_json = Some(take(&mut i).ok_or("--trace-json needs a path")?),
             other => return Err(format!("unknown batch option `{other}`")),
         }
         i += 1;
@@ -390,16 +430,17 @@ fn batch(args: &[String]) -> Result<bool, String> {
 
     let cache = clasp::CompileCache::new();
     let req = CompileRequest::default();
+    let obs = Obs::enabled();
     let t0 = std::time::Instant::now();
-    let rows = clasp_exec::sweep(
+    let rows = clasp_exec::sweep_observed(
         threads,
         &pairs,
         |_, &(l, m)| format!("loop {} on {}", loops[l].0, machines[m].0),
         |_, &(l, m)| {
             let (_, g) = &loops[l];
             let (_, machine) = &machines[m];
-            let clustered = cache.compile(g, machine, &req);
-            let unified = cache.compile(g, &machine.unified_equivalent(), &req);
+            let clustered = cache.compile_observed(g, machine, &req, &obs);
+            let unified = cache.compile_observed(g, &machine.unified_equivalent(), &req, &obs);
             let baseline = match unified.as_ref() {
                 Ok(a) => a.ii().to_string(),
                 Err(_) => "-".into(),
@@ -421,9 +462,11 @@ fn batch(args: &[String]) -> Result<bool, String> {
                 Err(e) => Err(e.to_string()),
             }
         },
+        &obs,
     )
     .map_err(|p| format!("batch sweep panicked: {p}"))?;
     let elapsed = t0.elapsed();
+    write_trace(trace_json.as_deref(), &obs)?;
 
     let mut failed = 0usize;
     for (&(l, m), row) in pairs.iter().zip(&rows) {
@@ -445,6 +488,12 @@ fn batch(args: &[String]) -> Result<bool, String> {
         failed,
         stats
     );
+    // Every counter depends only on work done, never on worker
+    // interleaving, so this block is part of the bit-identical report.
+    println!("counters:");
+    for (name, value) in obs.counters() {
+        println!("  {name} = {value}");
+    }
     eprintln!(
         "batch: {} workers, {elapsed:.1?}",
         clasp_exec::resolve_threads(threads, pairs.len())
@@ -551,6 +600,9 @@ fn main() -> ExitCode {
                 opts.explain = true;
                 Ok(())
             }
+            "--trace-json" => take(&mut i)
+                .map(|v| opts.trace_json = Some(v))
+                .ok_or("--trace-json needs a path".into()),
             other => Err(format!("unknown option `{other}`")),
         };
         if let Err(e) = result {

@@ -1,4 +1,4 @@
-//! Content-addressed compile cache: memoized [`compile_full`].
+//! Content-addressed compile cache: memoized [`compile_full`](crate::compile_full).
 //!
 //! The key is a 128-bit FNV-1a hash over three canonical texts —
 //! [`clasp_text::write_loop`] of the graph, [`clasp_text::write_machine`]
@@ -18,11 +18,12 @@
 //! counters are deterministic even under thread contention — see
 //! [`clasp_exec::cache`] for the contention contract.
 
-use crate::driver::{compile_full, CompileRequest, CompiledArtifact};
+use crate::driver::{compile_full_observed, CompileRequest, CompiledArtifact};
 use crate::pipeline::PipelineError;
 use clasp_ddg::Ddg;
 use clasp_exec::{CacheKey, CacheStats, ContentCache};
 use clasp_machine::MachineSpec;
+use clasp_obs::{Counter, Obs};
 use std::sync::Arc;
 
 /// A memoized result: the artifact or the pipeline's refusal.
@@ -62,12 +63,49 @@ impl CompileCache {
     }
 
     /// Compile through the cache: the first request for a key runs
-    /// [`compile_full`] (a miss), every later request shares its result
-    /// (a hit). Concurrent requests for the same key block on the one
-    /// in-flight compile rather than recomputing.
+    /// [`compile_full`](crate::compile_full) (a miss), every later
+    /// request shares its result (a hit). Concurrent requests for the
+    /// same key block on the one in-flight compile rather than
+    /// recomputing.
     pub fn compile(&self, g: &Ddg, machine: &MachineSpec, req: &CompileRequest) -> CachedCompile {
-        self.cache
-            .get_or_compute(Self::key(g, machine, req), || compile_full(g, machine, req))
+        self.compile_observed(g, machine, req, &Obs::disabled())
+    }
+
+    /// [`CompileCache::compile`] recording into an observability sink: a
+    /// `cache.lookup` span per lookup (with the key and `hit`/`miss`
+    /// outcome — its duration is the lookup latency, which for a cold
+    /// key includes the compile itself), one [`Counter::CacheHits`] or
+    /// [`Counter::CacheMisses`] tick, and the compile's own spans and
+    /// counters on the miss path. Because `compute` runs exactly once
+    /// per key (see [`clasp_exec::cache`]), the folded pipeline counters
+    /// stay deterministic across thread counts.
+    pub fn compile_observed(
+        &self,
+        g: &Ddg,
+        machine: &MachineSpec,
+        req: &CompileRequest,
+        obs: &Obs,
+    ) -> CachedCompile {
+        let key = Self::key(g, machine, req);
+        let span = obs.begin("cache.lookup");
+        let (value, missed) = self
+            .cache
+            .get_or_compute_info(key, || compile_full_observed(g, machine, req, obs));
+        obs.add(
+            if missed {
+                Counter::CacheMisses
+            } else {
+                Counter::CacheHits
+            },
+            1,
+        );
+        obs.end_with(span, || {
+            vec![
+                ("key", key.to_string()),
+                ("outcome", if missed { "miss" } else { "hit" }.to_string()),
+            ]
+        });
+        value
     }
 
     /// Hit/miss/entry counters so far.

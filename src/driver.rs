@@ -23,9 +23,10 @@ use clasp_kernel::{
     verify_pipelined_with, MveInfo, Program, RegisterModel, RrfInfo,
 };
 use clasp_machine::MachineSpec;
+use clasp_obs::Obs;
 use clasp_sched::{SchedFailure, Schedule, SchedulerKind};
 use std::fmt;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Which register-naming model the driver should emit under.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -307,17 +308,40 @@ pub fn compile_full(
     machine: &MachineSpec,
     req: &CompileRequest,
 ) -> Result<CompiledArtifact, PipelineError> {
-    let t = Instant::now();
-    let analysis = LoopAnalysis::compute(g);
-    let analysis_t = t.elapsed();
+    compile_full_observed(g, machine, req, &Obs::disabled())
+}
 
-    let t = Instant::now();
+/// [`compile_full`] recording into an observability sink: one span per
+/// driver stage (replacing the report's hand-rolled stopwatch pairs —
+/// the [`StageTimings`] now *are* the span durations), one
+/// `pipeline.attempt` span per Figure 5 escalation, the assigner's
+/// decision log as events, and the deterministic counters of
+/// [`clasp_obs::Counter`]. With [`Obs::disabled`] this is exactly
+/// [`compile_full`]: the sink records nothing and allocates nothing.
+///
+/// # Errors
+///
+/// See [`compile_full`].
+pub fn compile_full_observed(
+    g: &Ddg,
+    machine: &MachineSpec,
+    req: &CompileRequest,
+    obs: &Obs,
+) -> Result<CompiledArtifact, PipelineError> {
+    let compile_span = obs.begin("compile");
+
+    let span = obs.begin("stage.analysis");
+    let analysis = LoopAnalysis::compute(g);
+    let analysis_t = obs.end(span);
+
+    let span = obs.begin("stage.assign_sched");
     let mut trajectory = Vec::new();
-    let compiled = compile_loop_observed(
+    let result = compile_loop_observed(
         g,
         machine,
         req.pipeline,
         &analysis,
+        obs,
         |requested_ii, assignment: &Assignment, failure: Option<&SchedFailure>| {
             trajectory.push(IiStep {
                 requested_ii,
@@ -326,19 +350,26 @@ pub fn compile_full(
                 failure: failure.cloned(),
             });
         },
-    )?;
-    let assign_sched_t = t.elapsed();
+    );
+    let assign_sched_t = obs.end_with(span, || vec![("attempts", trajectory.len().to_string())]);
+    let compiled = match result {
+        Ok(c) => c,
+        Err(e) => {
+            obs.end_with(compile_span, || vec![("result", format!("failed: {e}"))]);
+            return Err(e);
+        }
+    };
     let assignment = compiled.assignment;
     let raw = compiled.schedule;
     let wg = &assignment.graph;
 
     // Raw-schedule register statistics are recorded before restaging so
     // the report can show what the stage scheduler bought.
-    let t = Instant::now();
+    let span = obs.begin("stage.registers_raw");
     let registers_raw = RegisterStats::compute(wg, &raw);
-    let registers_raw_t = t.elapsed();
+    let registers_raw_t = obs.end(span);
 
-    let t = Instant::now();
+    let span = obs.begin("stage.restage");
     let (schedule, stage_moves, lifetime_before, lifetime_after) = if req.restage {
         let staged = stage_schedule(wg, &raw);
         (
@@ -351,9 +382,9 @@ pub fn compile_full(
         let total: i64 = lifetimes(wg, &raw).iter().map(|lt| lt.len()).sum();
         (raw, 0, total, total)
     };
-    let restage_t = t.elapsed();
+    let restage_t = obs.end(span);
 
-    let t = Instant::now();
+    let span = obs.begin("stage.registers_model");
     let registers_final = if req.restage {
         RegisterStats::compute(wg, &schedule)
     } else {
@@ -363,21 +394,37 @@ pub fn compile_full(
         RegisterModelKind::Mve => RegisterModel::mve(wg, &schedule),
         RegisterModelKind::Rotating => RegisterModel::rotating(wg, &schedule),
     };
-    let registers_t = registers_raw_t + t.elapsed();
+    let registers_t = registers_raw_t + obs.end(span);
 
-    let t = Instant::now();
+    let span = obs.begin("stage.emit");
     let program = emit_program_with(wg, &assignment.map, &schedule, req.iterations, &model);
-    let emit_t = t.elapsed();
+    let emit_t = obs.end(span);
 
-    let t = Instant::now();
+    let span = obs.begin("stage.verify");
     let verified_iterations = if req.verify {
-        verify_pipelined_with(wg, &assignment.map, &schedule, req.iterations, &model)
-            .map_err(PipelineError::Verify)?;
+        match verify_pipelined_with(wg, &assignment.map, &schedule, req.iterations, &model) {
+            Ok(()) => {}
+            Err(e) => {
+                obs.end(span);
+                obs.end_with(compile_span, || {
+                    vec![("result", format!("verify failed: {e}"))]
+                });
+                return Err(PipelineError::Verify(e));
+            }
+        }
         Some(req.iterations)
     } else {
         None
     };
-    let verify_t = t.elapsed();
+    let verify_t = obs.end(span);
+
+    obs.end_with(compile_span, || {
+        vec![
+            ("loop", g.name().to_string()),
+            ("machine", machine.name().to_string()),
+            ("ii", schedule.ii().to_string()),
+        ]
+    });
 
     let report = CompileReport {
         loop_name: g.name().to_string(),

@@ -24,6 +24,7 @@
 //! | [`sched`] | Rau's iterative modulo scheduler (phase 2) |
 //! | [`loopgen`] | the synthetic loop corpus and Livermore kernels |
 //! | [`kernel`] | lifetimes, MVE, kernel emission, functional simulation |
+//! | [`obs`] | spans, deterministic counters, Chrome trace output |
 //!
 //! # Quickstart
 //!
@@ -59,12 +60,12 @@ mod pipeline;
 
 pub use cached::{CachedCompile, CompileCache};
 pub use driver::{
-    compile_full, oracle_pipeline, CompileReport, CompileRequest, CompiledArtifact, IiStep,
-    RegisterModelKind, RegisterStats, StageTimings,
+    compile_full, compile_full_observed, oracle_pipeline, CompileReport, CompileRequest,
+    CompiledArtifact, IiStep, RegisterModelKind, RegisterStats, StageTimings,
 };
 pub use pipeline::{
-    compare_with_unified, compile_loop, compile_loop_post, unified_ii, CompiledLoop,
-    PipelineConfig, PipelineError,
+    compare_with_unified, compile_loop, compile_loop_post, compile_loop_post_observed, unified_ii,
+    CompiledLoop, PipelineConfig, PipelineError,
 };
 
 pub use clasp_core as core;
@@ -73,5 +74,6 @@ pub use clasp_kernel as kernel;
 pub use clasp_loopgen as loopgen;
 pub use clasp_machine as machine;
 pub use clasp_mrt as mrt;
+pub use clasp_obs as obs;
 pub use clasp_oracle as oracle;
 pub use clasp_sched as sched;

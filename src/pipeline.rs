@@ -10,13 +10,15 @@
 //! exhaustion.
 
 use clasp_core::{
-    assign_with_analysis, post_scheduling_assign_from, AssignConfig, AssignError, Assignment,
+    assign_traced_with_analysis, assign_with_analysis, post_scheduling_assign_from, AssignConfig,
+    AssignError, Assignment,
 };
 use clasp_ddg::{Ddg, LoopAnalysis};
 use clasp_machine::MachineSpec;
+use clasp_obs::{Counter, Obs};
 use clasp_sched::{
-    max_ii_bound, schedule_with, unified_map, SchedContext, SchedFailure, Schedule,
-    SchedulerConfig, SchedulerKind,
+    max_ii_bound, schedule_with_stats, unified_map, AttemptStats, SchedContext, SchedFailure,
+    Schedule, SchedulerConfig, SchedulerKind,
 };
 use std::fmt;
 
@@ -66,7 +68,11 @@ pub enum PipelineError {
     Assign(AssignError),
     /// No II up to the cap produced both a valid assignment and schedule.
     IiExhausted {
-        /// Largest II attempted.
+        /// Largest II *actually* attempted. Escalation advances by the
+        /// assignment's achieved II plus one, which can skip values, so
+        /// this is tracked per attempt rather than assumed to be the
+        /// cap. When the escalation range was empty and no attempt ever
+        /// ran (`last` is `None`), this falls back to the range cap.
         max_ii: u32,
         /// Why the scheduler rejected the final attempt (`None` when the
         /// escalation range was empty and no attempt ever ran).
@@ -74,7 +80,10 @@ pub enum PipelineError {
     },
     /// The *unified baseline* (the equally wide non-clustered machine the
     /// paper compares against) could not be scheduled — a corpus or
-    /// machine-model pathology, distinct from clustered exhaustion.
+    /// machine-model pathology, distinct from clustered exhaustion. Also
+    /// raised (as [`SchedFailure::MiiUnbounded`]) when the machine model
+    /// cannot execute some operation class at all: the unified MII is
+    /// unbounded, so no escalation range exists for any entry point.
     UnifiedBaselineFailed(SchedFailure),
     /// The emitted kernel diverged from sequential semantics under the
     /// functional simulator (driver verification stage).
@@ -157,37 +166,124 @@ pub(crate) fn compile_loop_with(
     config: PipelineConfig,
     analysis: &LoopAnalysis,
 ) -> Result<CompiledLoop, PipelineError> {
-    compile_loop_observed(g, machine, config, analysis, |_, _, _| {})
+    compile_loop_observed(g, machine, config, analysis, &Obs::disabled(), |_, _, _| {})
+}
+
+/// The II search range shared by every escalation site: guard an
+/// unbounded MII (the machine cannot execute some operation class at
+/// all — escalation would start at `u32::MAX`), clamp the degenerate
+/// `mii == 0` to 1, and only then derive the default cap, so the range
+/// is computed identically whether the caller clamps or not.
+///
+/// Returns `(first II to try, inclusive cap)`.
+fn ii_search_range(
+    g: &Ddg,
+    raw_mii: u32,
+    configured_cap: Option<u32>,
+) -> Result<(u32, u32), SchedFailure> {
+    if raw_mii == u32::MAX {
+        return Err(SchedFailure::MiiUnbounded);
+    }
+    let start = raw_mii.max(1);
+    let cap = configured_cap.unwrap_or_else(|| max_ii_bound(g, start));
+    Ok((start, cap))
+}
+
+/// Fold one scheduling attempt's deterministic statistics into the sink.
+fn fold_sched_stats(obs: &Obs, stats: &AttemptStats) {
+    obs.add(Counter::SchedAttempts, stats.attempts);
+    obs.add(Counter::SchedPlacements, stats.placements);
+    obs.add(Counter::SchedBacktracks, stats.backtracks);
+    obs.add(Counter::SchedWindowRejections, stats.window_rejections);
+    obs.add(Counter::SchedConflictMemory, stats.conflicts[0]);
+    obs.add(Counter::SchedConflictInteger, stats.conflicts[1]);
+    obs.add(Counter::SchedConflictFloat, stats.conflicts[2]);
+    obs.add(Counter::SchedConflictTransport, stats.conflicts[3]);
+}
+
+/// Run one escalation attempt's assignment, routing the assigner's
+/// decision log into the sink when it records (the traced and untraced
+/// assigners are decision-for-decision identical).
+fn assign_observed(
+    g: &Ddg,
+    machine: &MachineSpec,
+    config: AssignConfig,
+    min_ii: u32,
+    analysis: &LoopAnalysis,
+    obs: &Obs,
+) -> Result<Assignment, AssignError> {
+    if !obs.is_enabled() {
+        return assign_with_analysis(g, machine, config, min_ii, analysis);
+    }
+    let (result, trace) = assign_traced_with_analysis(g, machine, config, min_ii, analysis);
+    obs.add(Counter::AssignEvents, trace.events.len() as u64);
+    for ev in &trace.events {
+        obs.event("assign", || ev.to_string());
+    }
+    result
 }
 
 /// The Figure 5 escalation loop, reporting every attempt to `on_attempt`
 /// as `(requested II, assignment, scheduler failure)` — `None` on the
-/// successful final attempt. The driver builds its II trajectory from
-/// these callbacks; `compile_loop` passes a no-op.
+/// successful final attempt — and to `obs` as one `pipeline.attempt`
+/// span per iteration carrying the requested II, the achieved II, the
+/// copies inserted, and the typed failure. The driver builds its II
+/// trajectory from these callbacks; `compile_loop` passes a no-op.
 pub(crate) fn compile_loop_observed(
     g: &Ddg,
     machine: &MachineSpec,
     config: PipelineConfig,
     analysis: &LoopAnalysis,
+    obs: &Obs,
     mut on_attempt: impl FnMut(u32, &Assignment, Option<&SchedFailure>),
 ) -> Result<CompiledLoop, PipelineError> {
-    let unified_mii = machine.unified_equivalent().mii(g).max(1);
-    let cap = config
-        .assign
-        .max_ii
-        .unwrap_or_else(|| max_ii_bound(g, unified_mii));
-    let mut min_ii = unified_mii;
+    let (start, cap) =
+        ii_search_range(g, machine.unified_equivalent().mii(g), config.assign.max_ii)
+            .map_err(PipelineError::UnifiedBaselineFailed)?;
+    let mut min_ii = start;
     let mut last = None;
+    let mut attempted_max = None;
     while min_ii <= cap {
-        let assignment = assign_with_analysis(g, machine, config.assign, min_ii, analysis)?;
-        match schedule_with(
+        let span = obs.begin("pipeline.attempt");
+        let assignment = match assign_observed(g, machine, config.assign, min_ii, analysis, obs) {
+            Ok(a) => a,
+            Err(e) => {
+                obs.end_with(span, || {
+                    vec![
+                        ("requested_ii", min_ii.to_string()),
+                        ("result", format!("assign failed: {e}")),
+                    ]
+                });
+                return Err(e.into());
+            }
+        };
+        let (result, stats) = schedule_with_stats(
             config.scheduler,
             &assignment.graph,
             machine,
             &assignment.map,
             assignment.ii,
             config.sched,
-        ) {
+        );
+        obs.add(Counter::PipelineAttempts, 1);
+        obs.add(Counter::AssignCopies, assignment.copy_count() as u64);
+        fold_sched_stats(obs, &stats);
+        attempted_max = Some(assignment.ii);
+        obs.end_with(span, || {
+            vec![
+                ("requested_ii", min_ii.to_string()),
+                ("assigned_ii", assignment.ii.to_string()),
+                ("copies", assignment.copy_count().to_string()),
+                (
+                    "result",
+                    match &result {
+                        Ok(_) => "ok".to_string(),
+                        Err(f) => f.to_string(),
+                    },
+                ),
+            ]
+        });
+        match result {
             Ok(schedule) => {
                 on_attempt(min_ii, &assignment, None);
                 return Ok(CompiledLoop {
@@ -205,7 +301,10 @@ pub(crate) fn compile_loop_observed(
             }
         }
     }
-    Err(PipelineError::IiExhausted { max_ii: cap, last })
+    Err(PipelineError::IiExhausted {
+        max_ii: attempted_max.unwrap_or(cap),
+        last,
+    })
 }
 
 /// Compile with the *post-scheduling partitioning* baseline (Capitanio
@@ -222,23 +321,68 @@ pub fn compile_loop_post(
     machine: &MachineSpec,
     config: PipelineConfig,
 ) -> Result<CompiledLoop, PipelineError> {
-    let unified_mii = machine.unified_equivalent().mii(g).max(1);
-    let cap = config
-        .assign
-        .max_ii
-        .unwrap_or_else(|| max_ii_bound(g, unified_mii));
-    let mut min_ii = unified_mii;
+    compile_loop_post_observed(g, machine, config, &Obs::disabled())
+}
+
+/// [`compile_loop_post`] recording each escalation attempt into `obs`
+/// (same span and counter taxonomy as the paper's own pipeline).
+///
+/// # Errors
+///
+/// See [`PipelineError`].
+pub fn compile_loop_post_observed(
+    g: &Ddg,
+    machine: &MachineSpec,
+    config: PipelineConfig,
+    obs: &Obs,
+) -> Result<CompiledLoop, PipelineError> {
+    let (start, cap) =
+        ii_search_range(g, machine.unified_equivalent().mii(g), config.assign.max_ii)
+            .map_err(PipelineError::UnifiedBaselineFailed)?;
+    let mut min_ii = start;
     let mut last = None;
+    let mut attempted_max = None;
     while min_ii <= cap {
-        let assignment = post_scheduling_assign_from(g, machine, config.assign, min_ii)?;
-        match schedule_with(
+        let span = obs.begin("pipeline.attempt");
+        let assignment = match post_scheduling_assign_from(g, machine, config.assign, min_ii) {
+            Ok(a) => a,
+            Err(e) => {
+                obs.end_with(span, || {
+                    vec![
+                        ("requested_ii", min_ii.to_string()),
+                        ("result", format!("assign failed: {e}")),
+                    ]
+                });
+                return Err(e.into());
+            }
+        };
+        let (result, stats) = schedule_with_stats(
             config.scheduler,
             &assignment.graph,
             machine,
             &assignment.map,
             assignment.ii,
             config.sched,
-        ) {
+        );
+        obs.add(Counter::PipelineAttempts, 1);
+        obs.add(Counter::AssignCopies, assignment.copy_count() as u64);
+        fold_sched_stats(obs, &stats);
+        attempted_max = Some(assignment.ii);
+        obs.end_with(span, || {
+            vec![
+                ("requested_ii", min_ii.to_string()),
+                ("assigned_ii", assignment.ii.to_string()),
+                ("copies", assignment.copy_count().to_string()),
+                (
+                    "result",
+                    match &result {
+                        Ok(_) => "ok".to_string(),
+                        Err(f) => f.to_string(),
+                    },
+                ),
+            ]
+        });
+        match result {
             Ok(schedule) => {
                 return Ok(CompiledLoop {
                     assignment,
@@ -251,7 +395,10 @@ pub fn compile_loop_post(
             }
         }
     }
-    Err(PipelineError::IiExhausted { max_ii: cap, last })
+    Err(PipelineError::IiExhausted {
+        max_ii: attempted_max.unwrap_or(cap),
+        last,
+    })
 }
 
 /// The paper's baseline: the II the same loop achieves on the equally
@@ -280,19 +427,14 @@ fn unified_ii_impl(
     analysis: Option<&LoopAnalysis>,
 ) -> Result<u32, SchedFailure> {
     let unified = machine.unified_equivalent();
-    let mii = unified.mii(g);
-    if mii == u32::MAX {
-        return Err(SchedFailure::MiiUnbounded);
-    }
+    let (start, cap) = ii_search_range(g, unified.mii(g), None)?;
     let map = unified_map(g, &unified);
-    let cap = max_ii_bound(g, mii);
     let mut ctx = match analysis {
         Some(la) => SchedContext::with_analysis(g, &unified, &map, la),
         None => SchedContext::new(g, &unified, &map),
     }
     .map_err(SchedFailure::Invalid)?;
-    ctx.schedule_in_range(mii.max(1), cap, sched)
-        .map(|s| s.ii())
+    ctx.schedule_in_range(start, cap, sched).map(|s| s.ii())
 }
 
 /// Compile on the clustered machine *and* its unified equivalent,

@@ -91,6 +91,29 @@ fn explain_prints_cascade() {
 }
 
 #[test]
+fn trace_json_flag_writes_a_chrome_trace() {
+    let path = std::env::temp_dir().join("clasp-cli-trace-test.json");
+    let _ = std::fs::remove_file(&path);
+    let out = cli()
+        .arg("compile")
+        .arg(loops_dir().join("tridiag.clasp"))
+        .args(["--machine", "2c-gp", "--trace-json", path.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let trace = std::fs::read_to_string(&path).expect("trace file written");
+    assert!(trace.contains("\"traceEvents\""), "{trace}");
+    assert!(trace.contains("\"ph\": \"X\""), "{trace}");
+    assert!(trace.contains("\"counters\""), "{trace}");
+    assert!(trace.contains("\"pipeline.attempts\""), "{trace}");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
 fn bad_input_fails_cleanly() {
     let out = cli()
         .arg("analyze")
