@@ -78,6 +78,18 @@ fn unified_ii_shared(g: &Ddg, machine: &MachineSpec, cfg: SchedulerConfig) -> Op
 /// per-II unified baseline.
 fn end_to_end_seed(g: &Ddg, machine: &MachineSpec, config: PipelineConfig) -> Option<(u32, u32)> {
     let unified = unified_ii_seed(g, machine, config.sched)?;
+    let (schedule, _) = clustered_seed(g, machine, config)?;
+    Some((schedule.ii(), unified))
+}
+
+/// The seed's clustered compile alone (Figure-5 escalation over the seed
+/// assigner and seed scheduler, from-scratch at every II), returning the
+/// final schedule and its assignment.
+fn clustered_seed(
+    g: &Ddg,
+    machine: &MachineSpec,
+    config: PipelineConfig,
+) -> Option<(clasp_sched::Schedule, Assignment)> {
     let unified_mii = machine.unified_equivalent().mii(g).max(1);
     let cap = config
         .assign
@@ -93,11 +105,30 @@ fn end_to_end_seed(g: &Ddg, machine: &MachineSpec, config: PipelineConfig) -> Op
             assignment.ii,
             config.sched,
         ) {
-            return Some((schedule.ii(), unified));
+            return Some((schedule, assignment));
         }
         min_ii = assignment.ii + 1;
     }
     None
+}
+
+/// The seed's *full* pipeline: the from-scratch clustered escalation
+/// above, then register modelling and kernel emission — the shape
+/// `compile_full` replaced, with the seed phases underneath.
+fn full_pipeline_seed(
+    g: &Ddg,
+    machine: &MachineSpec,
+    config: PipelineConfig,
+) -> Option<clasp_kernel::Program> {
+    let (schedule, assignment) = clustered_seed(g, machine, config)?;
+    let model = RegisterModel::mve(&assignment.graph, &schedule);
+    Some(emit_program_with(
+        &assignment.graph,
+        &assignment.map,
+        &schedule,
+        16,
+        &model,
+    ))
 }
 
 struct Stage {
@@ -277,10 +308,12 @@ fn main() {
         .collect();
     assert_eq!(baseline_iis, amortized_iis, "pipeline IIs diverged");
 
-    // Full pipeline through kernel emission: the hand-composed stage
-    // sequence the staged driver replaced (compile, register model,
-    // emit) versus one `compile_full` call. The driver must first prove
-    // it emits bit-identical kernels before its timing means anything.
+    // Full pipeline through kernel emission: the seed phases composed
+    // into the same compile-register-emit sequence versus one
+    // `compile_full` call (carried assigner workspace, packed MRT,
+    // arena-backed materialization underneath). Both sides must first
+    // prove they emit bit-identical kernels — and the driver must match
+    // the hand-composed glue — before the timings mean anything.
     let full_req = CompileRequest {
         pipeline: pipe_cfg,
         restage: false,
@@ -306,24 +339,21 @@ fn main() {
             "driver kernel diverged from glue on {}",
             g.name()
         );
+        let seeded = full_pipeline_seed(g, &machine, pipe_cfg);
+        assert_eq!(
+            seeded,
+            driver,
+            "driver kernel diverged from seed pipeline on {}",
+            g.name()
+        );
     }
     let full_pipeline = Stage {
         name: "full-pipeline",
-        baseline: bench("full-pipeline/hand-composed", SAMPLES, || {
+        baseline: bench("full-pipeline/seed", SAMPLES, || {
             corpus
                 .iter()
-                .filter_map(|g| compile_loop(g, &machine, pipe_cfg).ok())
-                .map(|c| {
-                    let model = RegisterModel::mve(&c.assignment.graph, &c.schedule);
-                    let p = emit_program_with(
-                        &c.assignment.graph,
-                        &c.assignment.map,
-                        &c.schedule,
-                        16,
-                        &model,
-                    );
-                    p.issue_count()
-                })
+                .filter_map(|g| full_pipeline_seed(g, &machine, pipe_cfg))
+                .map(|p| p.issue_count())
                 .sum::<usize>()
         }),
         amortized: bench("full-pipeline/compile-full", SAMPLES, || {
@@ -443,6 +473,34 @@ fn main() {
     for g in &corpus {
         let _ = compile_full_observed(g, &machine, &full_req, &obs);
     }
+    // The executor and cache counters come from one instrumented pass
+    // through each of those subsystems — an observed corpus sweep (one
+    // `exec.items` tick per loop) and an observed cold-then-warm cache
+    // replay (one miss then one hit per loop). They record into their own
+    // sink so the pipeline counters above stay exactly one compile pass
+    // worth of facts, then only the executor/cache totals are folded in.
+    let subsystem_obs = Obs::enabled();
+    clasp_exec::sweep_with_observed(
+        threads,
+        &corpus,
+        || (),
+        |_, g: &Ddg| g.name().to_string(),
+        |(), _, g| compile_ii(g),
+        &subsystem_obs,
+    )
+    .expect("observed corpus sweep must not panic");
+    let observed_cache = clasp::CompileCache::new();
+    for g in &corpus {
+        let _ = observed_cache.compile_observed(g, &machine, &full_req, &subsystem_obs);
+        let _ = observed_cache.compile_observed(g, &machine, &full_req, &subsystem_obs);
+    }
+    for c in [
+        clasp::obs::Counter::ExecItems,
+        clasp::obs::Counter::CacheHits,
+        clasp::obs::Counter::CacheMisses,
+    ] {
+        obs.add(c, subsystem_obs.counter(c));
+    }
     let obs_counters = obs.counters();
     println!("\nobs counters over the corpus (deterministic):");
     for (name, value) in &obs_counters {
@@ -519,22 +577,37 @@ fn main() {
     // sink, so comparing this run's end-to-end median against the
     // committed one measures what instrumentation costs when it is off.
     // CI greps this line and fails the build past +3%.
-    if let Some(committed) = committed_end_to_end_ns(&out) {
+    if let Some(committed) = committed_stage_ns(&out, "end-to-end") {
         let now = end_to_end.amortized.median_ns as f64;
         let delta = (now / committed as f64 - 1.0) * 100.0;
         println!("\nend-to-end vs committed BENCH_sched.json: {delta:+.1}% (gate: < +3%)");
+    }
+
+    // Per-stage regression lines against the committed report: CI greps
+    // the full-pipeline and assignment lines and fails the build if
+    // either amortized median regressed more than 3% since the last
+    // committed numbers.
+    for s in &stages {
+        if let Some(committed) = committed_stage_ns(&out, s.name) {
+            let delta = (s.amortized.median_ns as f64 / committed as f64 - 1.0) * 100.0;
+            println!(
+                "stage {} vs committed BENCH_sched.json: {delta:+.1}%",
+                s.name
+            );
+        }
     }
 
     std::fs::write(&out, json).expect("write BENCH_sched.json");
     println!("\nwrote {}", out.display());
 }
 
-/// The committed report's `end-to-end` amortized median, parsed with the
-/// same no-dependency discipline the writer uses: find the stage line,
-/// pull the `amortized_median_ns` integer out of it.
-fn committed_end_to_end_ns(path: &std::path::Path) -> Option<u64> {
+/// The committed report's amortized median for one stage, parsed with
+/// the same no-dependency discipline the writer uses: find the stage
+/// line, pull the `amortized_median_ns` integer out of it.
+fn committed_stage_ns(path: &std::path::Path, stage: &str) -> Option<u64> {
     let text = std::fs::read_to_string(path).ok()?;
-    let line = text.lines().find(|l| l.contains("\"end-to-end\""))?;
+    let needle = format!("\"{stage}\"");
+    let line = text.lines().find(|l| l.contains(&needle))?;
     let field = "\"amortized_median_ns\": ";
     let at = line.find(field)? + field.len();
     let digits: String = line[at..]

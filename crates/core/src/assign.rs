@@ -7,16 +7,19 @@
 //! cluster, either fail the II (non-iterative) or force it onto the
 //! cluster chosen by Fig. 11, removing the conflicting nodes (§4.3.1),
 //! with the anti-repetition rule A (§4.3.2) and a finite budget keeping
-//! the process out of cycles. A failed II attempt restarts from scratch at
-//! II + 1.
+//! the process out of cycles. A failed II attempt retries at II + 1 over
+//! the same [`Assigner`] workspace: the working state is reset in place
+//! (allocation-free once warmed) and tentative placements are journaled
+//! and rolled back instead of cloned, while making exactly the decisions
+//! a from-scratch run would make.
 
 use crate::config::AssignConfig;
-use crate::result::{materialize, AssignStats, Assignment};
+use crate::result::{materialize_into, AssignStats, Assignment};
 use crate::state::{edge_needs_copy, AssignState};
 use crate::trace::{AssignTrace, Sink, TraceEvent};
 use clasp_ddg::{find_sccs, swing_order_with, Ddg, LoopAnalysis, NodeId, SccInfo};
 use clasp_machine::{ClusterId, MachineSpec};
-use std::collections::{HashMap, HashSet};
+use clasp_mrt::ClusterMap;
 use std::fmt;
 
 /// Why one assignment attempt at a fixed II gave up — the assigner-side
@@ -116,14 +119,72 @@ impl fmt::Display for AssignError {
 
 impl std::error::Error for AssignError {}
 
-/// One tentative placement: a fully applied state snapshot plus the
-/// metrics the selection cascade reads.
-struct Tentative<'g> {
+/// One tentative placement: the cluster plus the metrics the selection
+/// cascade reads. The placement itself is rolled back after the metrics
+/// are taken and deterministically replayed for the winning cluster, so
+/// no state snapshot is carried.
+#[derive(Debug, Clone, Copy)]
+struct Tentative {
     cluster: ClusterId,
-    state: AssignState<'g>,
     new_copies: u32,
     pcr_ok: bool,
     free_fu: u32,
+}
+
+/// Rule A bookkeeping (§4.3.2) as dense per-(node, cluster) bits instead
+/// of a `HashMap<NodeId, HashSet<ClusterId>>` rebuilt every attempt.
+/// `visited` remembers the clusters a node has been assigned to; once a
+/// node has visited every cluster that can execute it, its row is
+/// cleared. `recorded` stays set so the cascade applies rule A exactly
+/// when the map representation held an entry (even a cleared one).
+#[derive(Debug, Clone)]
+struct History {
+    clusters: usize,
+    visited: Vec<bool>,
+    count: Vec<u32>,
+    recorded: Vec<bool>,
+}
+
+impl History {
+    fn new(nodes: usize, clusters: usize) -> Self {
+        History {
+            clusters,
+            visited: vec![false; nodes * clusters],
+            count: vec![0; nodes],
+            recorded: vec![false; nodes],
+        }
+    }
+
+    fn reset(&mut self) {
+        self.visited.iter_mut().for_each(|v| *v = false);
+        self.count.iter_mut().for_each(|c| *c = 0);
+        self.recorded.iter_mut().for_each(|r| *r = false);
+    }
+
+    fn recorded(&self, n: NodeId) -> bool {
+        self.recorded[n.index()]
+    }
+
+    fn visited(&self, n: NodeId, c: ClusterId) -> bool {
+        self.visited[n.index() * self.clusters + c.index()]
+    }
+
+    /// Remember the cluster; once `n` has visited every executing
+    /// cluster, clear its row.
+    fn record(&mut self, n: NodeId, cluster: ClusterId, executing: &[ClusterId]) {
+        self.recorded[n.index()] = true;
+        let i = n.index() * self.clusters + cluster.index();
+        if !self.visited[i] {
+            self.visited[i] = true;
+            self.count[n.index()] += 1;
+        }
+        if self.count[n.index()] as usize == executing.len() {
+            for &c in executing {
+                self.visited[n.index() * self.clusters + c.index()] = false;
+            }
+            self.count[n.index()] = 0;
+        }
+    }
 }
 
 /// The paper's `Select(LIST, criteria)` (Fig. 9): filter, but keep the old
@@ -257,63 +318,206 @@ fn assign_impl(
     analysis: Option<&LoopAnalysis>,
     sink: &mut Sink<'_>,
 ) -> Result<Assignment, AssignError> {
-    g.validate().map_err(AssignError::BadGraph)?;
-    for (n, op) in g.nodes() {
-        if !machine
-            .cluster_ids()
-            .any(|c| machine.cluster(c).can_execute(op.kind))
-        {
-            return Err(AssignError::InfeasibleOp(n));
-        }
+    let mut assigner = Assigner::build(g, machine, config, analysis)?;
+    assigner.assign_min_with(min_ii, sink)
+}
+
+/// A reusable assignment workspace for one loop.
+///
+/// Construction validates the graph and computes the II-independent
+/// priority order once. Each [`Assigner::assign_min`] call then runs the
+/// Fig. 5 escalation from `min_ii` upward on a *carried* working state:
+/// the counting MRT, cluster map, copy manager, and rule-A history are
+/// reset in place (allocation-free once warmed) instead of rebuilt, and
+/// tentative placements are journaled and rolled back instead of cloning
+/// the whole state. The pipeline keeps one `Assigner` per loop across
+/// scheduler-driven II escalations and returns discarded assignments via
+/// [`Assigner::recycle`] so materialization reuses their buffers.
+///
+/// Decisions are bit-identical to the from-scratch path: every call
+/// replays the same cascade over state that `reset` restores exactly.
+pub struct Assigner<'g> {
+    g: &'g Ddg,
+    machine: &'g MachineSpec,
+    config: AssignConfig,
+    sccs: SccInfo,
+    order: Vec<NodeId>,
+    /// MII of the equally wide unified machine (II-independent).
+    base_mii: u32,
+    st: AssignState<'g>,
+    history: History,
+    /// Scratch: clusters that can execute the node under placement.
+    executing: Vec<ClusterId>,
+    /// Scratch: the feasible tentatives of the node under placement.
+    cands: Vec<Tentative>,
+    /// Recycled materialization buffers (see [`Assigner::recycle`]).
+    arena_graph: Ddg,
+    arena_map: ClusterMap,
+}
+
+impl<'g> Assigner<'g> {
+    /// Build a workspace for `g` on `machine`, computing SCCs and the
+    /// priority order here.
+    ///
+    /// # Errors
+    ///
+    /// [`AssignError::BadGraph`] / [`AssignError::InfeasibleOp`] — the
+    /// same validation [`assign`] performs.
+    pub fn new(
+        g: &'g Ddg,
+        machine: &'g MachineSpec,
+        config: AssignConfig,
+    ) -> Result<Self, AssignError> {
+        Self::build(g, machine, config, None)
     }
 
-    // SCCs and the priority order are II-independent: take them from the
-    // caller's LoopAnalysis when one is supplied, otherwise compute here.
-    // (A cached analysis only carries the default SccSwing order; other
-    // orderings recompute the order but still reuse the SCCs.)
-    let local_sccs;
-    let local_order;
-    let (sccs, order): (&SccInfo, &[NodeId]) = match (analysis, config.ordering) {
-        (Some(la), crate::config::Ordering::SccSwing) => (la.sccs(), la.order()),
-        (maybe_la, ordering) => {
-            let sccs = match maybe_la {
-                Some(la) => la.sccs(),
-                None => {
-                    local_sccs = find_sccs(g);
-                    &local_sccs
+    /// As [`Assigner::new`], reusing a precomputed [`LoopAnalysis`] of
+    /// `g` (see [`assign_with_analysis`] for the reuse contract).
+    ///
+    /// # Errors
+    ///
+    /// See [`Assigner::new`].
+    pub fn with_analysis(
+        g: &'g Ddg,
+        machine: &'g MachineSpec,
+        config: AssignConfig,
+        analysis: &LoopAnalysis,
+    ) -> Result<Self, AssignError> {
+        Self::build(g, machine, config, Some(analysis))
+    }
+
+    fn build(
+        g: &'g Ddg,
+        machine: &'g MachineSpec,
+        config: AssignConfig,
+        analysis: Option<&LoopAnalysis>,
+    ) -> Result<Self, AssignError> {
+        g.validate().map_err(AssignError::BadGraph)?;
+        for (n, op) in g.nodes() {
+            if !machine
+                .cluster_ids()
+                .any(|c| machine.cluster(c).can_execute(op.kind))
+            {
+                return Err(AssignError::InfeasibleOp(n));
+            }
+        }
+        // SCCs and the priority order are II-independent: take them from
+        // the caller's LoopAnalysis when one is supplied, otherwise
+        // compute here. (A cached analysis only carries the default
+        // SccSwing order; other orderings recompute the order but still
+        // reuse the SCCs.)
+        let (sccs, order) = match (analysis, config.ordering) {
+            (Some(la), crate::config::Ordering::SccSwing) => {
+                (la.sccs().clone(), la.order().to_vec())
+            }
+            (maybe_la, ordering) => {
+                let sccs = match maybe_la {
+                    Some(la) => la.sccs().clone(),
+                    None => find_sccs(g),
+                };
+                let order = match ordering {
+                    crate::config::Ordering::SccSwing => swing_order_with(g, &sccs),
+                    crate::config::Ordering::SwingOnly => clasp_ddg::swing_order_flat(g),
+                    crate::config::Ordering::BottomUp => clasp_ddg::bottom_up_order(g),
+                };
+                (sccs, order)
+            }
+        };
+        let base_mii = machine.unified_equivalent().mii(g).max(1);
+        Ok(Assigner {
+            g,
+            machine,
+            config,
+            sccs,
+            order,
+            base_mii,
+            st: AssignState::new(g, machine, 1),
+            history: History::new(g.node_count(), machine.cluster_count()),
+            executing: Vec::with_capacity(machine.cluster_count()),
+            cands: Vec::with_capacity(machine.cluster_count()),
+            arena_graph: Ddg::default(),
+            arena_map: ClusterMap::new(),
+        })
+    }
+
+    /// Run the Fig. 5 II escalation starting no lower than `min_ii`.
+    ///
+    /// # Errors
+    ///
+    /// See [`AssignError`].
+    pub fn assign_min(&mut self, min_ii: u32) -> Result<Assignment, AssignError> {
+        self.assign_min_with(min_ii, &mut Sink(None))
+    }
+
+    /// As [`Assigner::assign_min`], additionally appending the decision
+    /// log to `trace`.
+    ///
+    /// # Errors
+    ///
+    /// See [`AssignError`].
+    pub fn assign_min_traced(
+        &mut self,
+        min_ii: u32,
+        trace: &mut AssignTrace,
+    ) -> Result<Assignment, AssignError> {
+        self.assign_min_with(min_ii, &mut Sink(Some(trace)))
+    }
+
+    /// Return a no-longer-needed assignment's graph and map buffers to
+    /// the workspace; the next successful [`Assigner::assign_min`]
+    /// materializes into them instead of allocating fresh ones. The
+    /// pipeline calls this with the assignment whose schedule failed.
+    pub fn recycle(&mut self, assignment: Assignment) {
+        self.arena_graph = assignment.graph;
+        self.arena_map = assignment.map;
+    }
+
+    fn assign_min_with(
+        &mut self,
+        min_ii: u32,
+        sink: &mut Sink<'_>,
+    ) -> Result<Assignment, AssignError> {
+        // Fig. 5: start from the MII of the equally wide unified machine.
+        let mii = self.base_mii.max(min_ii);
+        let max_ii = self
+            .config
+            .max_ii
+            .unwrap_or_else(|| clasp_sched_max_ii_bound(self.g, mii));
+
+        let mut stats = AssignStats::default();
+        let mut last = None;
+        for ii in mii..=max_ii {
+            stats.ii_attempts += 1;
+            sink.log(|| TraceEvent::IiAttempt { ii });
+            self.st.reset(ii);
+            self.history.reset();
+            match attempt(
+                &mut self.st,
+                &mut self.history,
+                &mut self.executing,
+                &mut self.cands,
+                self.machine,
+                &self.sccs,
+                &self.order,
+                ii,
+                self.config,
+                &mut stats,
+                sink,
+            ) {
+                Ok(()) => {
+                    stats.copies = self.st.cpm.live_count();
+                    let graph = std::mem::take(&mut self.arena_graph);
+                    let map = std::mem::take(&mut self.arena_map);
+                    return Ok(materialize_into(self.g, &self.st, ii, stats, graph, map));
                 }
-            };
-            local_order = match ordering {
-                crate::config::Ordering::SccSwing => swing_order_with(g, sccs),
-                crate::config::Ordering::SwingOnly => clasp_ddg::swing_order_flat(g),
-                crate::config::Ordering::BottomUp => clasp_ddg::bottom_up_order(g),
-            };
-            (sccs, local_order.as_slice())
-        }
-    };
-    // Fig. 5: start from the MII of the equally wide unified machine.
-    let mii = machine.unified_equivalent().mii(g).max(1).max(min_ii);
-    let max_ii = config
-        .max_ii
-        .unwrap_or_else(|| clasp_sched_max_ii_bound(g, mii));
-
-    let mut stats = AssignStats::default();
-    let mut last = None;
-    for ii in mii..=max_ii {
-        stats.ii_attempts += 1;
-        sink.log(|| TraceEvent::IiAttempt { ii });
-        match attempt(g, machine, sccs, order, ii, config, &mut stats, sink) {
-            Ok(state) => {
-                stats.copies = state.cpm.live_count();
-                return Ok(materialize(g, &state, ii, stats));
-            }
-            Err(reason) => {
-                sink.log(|| TraceEvent::AttemptFailed { ii, reason });
-                last = Some(reason);
+                Err(reason) => {
+                    sink.log(|| TraceEvent::AttemptFailed { ii, reason });
+                    last = Some(reason);
+                }
             }
         }
+        Err(AssignError::IiExhausted { max_ii, last })
     }
-    Err(AssignError::IiExhausted { max_ii, last })
 }
 
 /// II cap from the sequential-schedule argument (mirrors
@@ -334,24 +538,28 @@ fn clasp_sched_max_ii_bound(g: &Ddg, mii: u32) -> u32 {
     mii.saturating_add(seq).max(mii.saturating_add(1))
 }
 
-/// One assignment attempt at a fixed II. Returns the completed state or
-/// the typed reason to bump II.
+/// One assignment attempt at a fixed II over a pre-reset working state
+/// (`st.reset(ii)` / `history.reset()` are the caller's responsibility).
+/// On success `st` holds the completed assignment with an empty journal;
+/// on failure its contents are garbage for the caller to reset again.
 #[allow(clippy::too_many_arguments)]
-fn attempt<'g>(
-    g: &'g Ddg,
-    machine: &'g MachineSpec,
+fn attempt(
+    st: &mut AssignState<'_>,
+    history: &mut History,
+    executing: &mut Vec<ClusterId>,
+    cands: &mut Vec<Tentative>,
+    machine: &MachineSpec,
     sccs: &SccInfo,
     order: &[NodeId],
     ii: u32,
     config: AssignConfig,
     stats: &mut AssignStats,
     sink: &mut Sink<'_>,
-) -> Result<AssignState<'g>, AssignFailure> {
-    let mut st = AssignState::new(g, machine, ii);
-    let mut history: HashMap<NodeId, HashSet<ClusterId>> = HashMap::new();
+) -> Result<(), AssignFailure> {
+    let g = st.graph();
     let n = g.node_count();
     if n == 0 {
-        return Ok(st);
+        return Ok(());
     }
     let mut budget: u64 = u64::from(config.budget_factor).max(1) * n as u64;
 
@@ -366,7 +574,8 @@ fn attempt<'g>(
             cursor += 1;
         }
         if cursor == n {
-            return Ok(st); // all assigned
+            st.commit();
+            return Ok(()); // all assigned
         }
         let node = order[cursor];
         if budget == 0 {
@@ -375,27 +584,30 @@ fn attempt<'g>(
         budget -= 1;
 
         let kind = g.op(node).kind;
-        let executing: Vec<ClusterId> = machine
-            .cluster_ids()
-            .filter(|&c| machine.cluster(c).can_execute(kind))
-            .collect();
+        executing.clear();
+        executing.extend(
+            machine
+                .cluster_ids()
+                .filter(|&c| machine.cluster(c).can_execute(kind)),
+        );
 
         // Tentatively place on every cluster (Fig. 10 line 1: feasible =
-        // the operation plus all required copies fit).
-        let mut cands: Vec<Tentative<'g>> = Vec::with_capacity(executing.len());
-        for &c in &executing {
-            let mut s2 = st.clone();
-            if let Ok(new_copies) = s2.try_assign(node, c) {
-                let pcr_ok = s2.pcr(c) <= s2.mrt.mrc(c);
-                let free_fu = s2.mrt.free_fu_slots(c);
+        // the operation plus all required copies fit), taking the
+        // cascade's metrics and rolling each placement back.
+        cands.clear();
+        for &c in executing.iter() {
+            let mark = st.mark();
+            if let Ok(new_copies) = st.try_assign(node, c) {
                 cands.push(Tentative {
                     cluster: c,
-                    state: s2,
                     new_copies,
-                    pcr_ok,
-                    free_fu,
+                    pcr_ok: st.pcr(c) <= st.mrt.mrc(c),
+                    free_fu: st.mrt.free_fu_slots(c),
                 });
             }
+            // A failed try_assign also leaves partial reservations to
+            // unwind, so roll back on both paths.
+            st.rollback_to(mark);
         }
 
         if !cands.is_empty() {
@@ -403,14 +615,18 @@ fn attempt<'g>(
                 node,
                 clusters: cands.iter().map(|t| t.cluster).collect(),
             });
-            let chosen = choose(node, cands, &st, sccs, config, &history, sink);
+            let chosen = choose(node, cands, st, sccs, config, history, sink);
+            // Replay the winning tentative for real: try_assign is
+            // deterministic, so this reproduces the probed placement.
+            st.try_assign(node, chosen.cluster)
+                .expect("replay of feasible tentative succeeds");
+            st.commit();
             sink.log(|| TraceEvent::Assigned {
                 node,
                 cluster: chosen.cluster,
                 new_copies: chosen.new_copies,
             });
-            record_history(&mut history, node, chosen.cluster, &executing);
-            st = chosen.state;
+            history.record(node, chosen.cluster, executing);
             continue;
         }
 
@@ -419,46 +635,31 @@ fn attempt<'g>(
             return Err(AssignFailure::NoFeasibleCluster { ii, node });
         }
         stats.forced += 1;
-        let c = choose_forced_cluster(node, &st, &history, &executing)
+        let c = choose_forced_cluster(node, st, history, executing)
             .ok_or(AssignFailure::ForceFailed { ii, node })?;
         sink.log(|| TraceEvent::Forced { node, cluster: c });
-        if !force_assign(&mut st, node, c, stats, sink) {
+        if !force_assign(st, node, c, stats, sink) {
             return Err(AssignFailure::ForceFailed { ii, node });
         }
-        record_history(&mut history, node, c, &executing);
+        st.commit();
+        history.record(node, c, executing);
         cursor = 0;
-    }
-}
-
-/// Rule A bookkeeping (§4.3.2): remember the cluster; once a node has
-/// visited every executing cluster, clear its list.
-fn record_history(
-    history: &mut HashMap<NodeId, HashSet<ClusterId>>,
-    node: NodeId,
-    cluster: ClusterId,
-    executing: &[ClusterId],
-) {
-    let set = history.entry(node).or_default();
-    set.insert(cluster);
-    if executing.iter().all(|c| set.contains(c)) {
-        set.clear();
     }
 }
 
 /// The selection cascade of Fig. 10 (plus rule A) over feasible
 /// tentatives. `cands` is in cluster-index order, so "first in LIST" is
 /// the front element after filtering.
-#[allow(clippy::too_many_arguments)]
-fn choose<'g>(
+fn choose(
     node: NodeId,
-    mut cands: Vec<Tentative<'g>>,
-    before: &AssignState<'g>,
+    cands: &mut Vec<Tentative>,
+    before: &AssignState<'_>,
     sccs: &SccInfo,
     config: AssignConfig,
-    history: &HashMap<NodeId, HashSet<ClusterId>>,
+    history: &History,
     sink: &mut Sink<'_>,
-) -> Tentative<'g> {
-    let log_stage = |rule: &'static str, cands: &[Tentative<'g>], sink: &mut Sink<'_>| {
+) -> Tentative {
+    let log_stage = |rule: &'static str, cands: &[Tentative], sink: &mut Sink<'_>| {
         sink.log(|| TraceEvent::Select {
             node,
             rule,
@@ -466,52 +667,53 @@ fn choose<'g>(
         });
     };
     // (A) avoid clusters this node was previously assigned to.
-    if config.iterative {
-        if let Some(visited) = history.get(&node) {
-            select(&mut cands, |t| !visited.contains(&t.cluster));
-            log_stage("rule A (anti-repetition)", &cands, sink);
-        }
+    if config.iterative && history.recorded(node) {
+        select(cands, |t| !history.visited(node, t.cluster));
+        log_stage("rule A (anti-repetition)", cands, sink);
     }
     if config.heuristic {
         // Line 4: keep SCCs together.
         if sccs.in_recurrence(node) {
             let members = &sccs.sccs[sccs.component(node)].nodes;
-            let on: HashSet<ClusterId> = members
+            let any_placed = members
                 .iter()
-                .filter(|&&m| m != node)
-                .filter_map(|&m| before.cluster_of(m))
-                .collect();
-            if !on.is_empty() {
-                select(&mut cands, |t| on.contains(&t.cluster));
-                log_stage("SCC together (line 4)", &cands, sink);
+                .any(|&m| m != node && before.cluster_of(m).is_some());
+            if any_placed {
+                select(cands, |t| {
+                    members
+                        .iter()
+                        .any(|&m| m != node && before.cluster_of(m) == Some(t.cluster))
+                });
+                log_stage("SCC together (line 4)", cands, sink);
             }
         }
         // Line 6: predicted copy requests within reservable room.
         if config.pcr_prediction {
-            select(&mut cands, |t| t.pcr_ok);
-            log_stage("PCR <= MRC (line 6)", &cands, sink);
+            select(cands, |t| t.pcr_ok);
+            log_stage("PCR <= MRC (line 6)", cands, sink);
         }
         // Line 7: fewest required copies generated.
         if let Some(min_copies) = cands.iter().map(|t| t.new_copies).min() {
-            select(&mut cands, |t| t.new_copies == min_copies);
-            log_stage("fewest copies (line 7)", &cands, sink);
+            select(cands, |t| t.new_copies == min_copies);
+            log_stage("fewest copies (line 7)", cands, sink);
         }
         // Line 8: most free resources.
         if let Some(max_free) = cands.iter().map(|t| t.free_fu).max() {
-            select(&mut cands, |t| t.free_fu == max_free);
-            log_stage("most free resources (line 8)", &cands, sink);
+            select(cands, |t| t.free_fu == max_free);
+            log_stage("most free resources (line 8)", cands, sink);
         }
     }
-    cands.into_iter().next().expect("cands non-empty")
+    *cands.first().expect("cands non-empty")
 }
 
 /// Fig. 11: choose the cluster to force `node` onto when nothing is
 /// feasible. Returns `None` only if the node can execute nowhere (caught
-/// earlier, defensive here).
+/// earlier, defensive here). Takes `st` mutably for the journaled
+/// conflict probes; the state is left exactly as found.
 fn choose_forced_cluster(
     node: NodeId,
-    st: &AssignState<'_>,
-    history: &HashMap<NodeId, HashSet<ClusterId>>,
+    st: &mut AssignState<'_>,
+    history: &History,
     executing: &[ClusterId],
 ) -> Option<ClusterId> {
     let mut list: Vec<ClusterId> = executing.to_vec();
@@ -519,8 +721,8 @@ fn choose_forced_cluster(
         return None;
     }
     // (A) anti-repetition.
-    if let Some(visited) = history.get(&node) {
-        select(&mut list, |c| !visited.contains(c));
+    if history.recorded(node) {
+        select(&mut list, |&c| !history.visited(node, c));
     }
     // Line 3: clusters where the operation itself fits.
     let kind = st.graph().op(node).kind;
@@ -543,21 +745,23 @@ fn choose_forced_cluster(
 
 /// How many already-assigned value-carrying neighbours of `node` would
 /// need removal if `node` were forced onto `c`: those whose required copy
-/// cannot be reserved (evaluated sequentially on a scratch state).
-fn conflict_count(st: &AssignState<'_>, node: NodeId, c: ClusterId) -> u32 {
+/// cannot be reserved. The probe reserves copies sequentially on the real
+/// state (matching the cumulative-pressure semantics of the old
+/// scratch-clone evaluation) and rolls everything back before returning.
+fn conflict_count(st: &mut AssignState<'_>, node: NodeId, c: ClusterId) -> u32 {
     let g = st.graph();
     let machine = st.machine();
-    let mut scratch = st.clone();
+    let mark = st.mark();
     let mut conflicts = 0u32;
     for (eid, e) in g.pred_edges(node) {
         if !edge_needs_copy(g, eid) {
             continue;
         }
-        if let Some(home) = scratch.cluster_of(e.src) {
+        if let Some(home) = st.cluster_of(e.src) {
             if home != c
-                && scratch
+                && st
                     .cpm
-                    .ensure_value_at(&mut scratch.mrt, machine, e.src, home, c)
+                    .ensure_value_at(&mut st.mrt, machine, e.src, home, c)
                     .is_err()
             {
                 conflicts += 1;
@@ -568,17 +772,18 @@ fn conflict_count(st: &AssignState<'_>, node: NodeId, c: ClusterId) -> u32 {
         if !edge_needs_copy(g, eid) {
             continue;
         }
-        if let Some(tc) = scratch.cluster_of(e.dst) {
+        if let Some(tc) = st.cluster_of(e.dst) {
             if tc != c
-                && scratch
+                && st
                     .cpm
-                    .ensure_value_at(&mut scratch.mrt, machine, node, c, tc)
+                    .ensure_value_at(&mut st.mrt, machine, node, c, tc)
                     .is_err()
             {
                 conflicts += 1;
             }
         }
     }
+    st.rollback_to(mark);
     conflicts
 }
 
@@ -601,7 +806,7 @@ fn force_assign(
     // Make room for the operation itself: evict the most recently
     // assigned occupants until it fits.
     while !st.mrt.can_reserve_op(c, kind) {
-        let Some(victim) = st.assigned_on(c).into_iter().next() else {
+        let Some(victim) = st.most_recent_on(c) else {
             return false; // empty cluster yet no room: capacity is zero
         };
         sink.log(|| TraceEvent::Removed {
@@ -613,13 +818,11 @@ fn force_assign(
     }
     // Place, removing copy-conflicting neighbours until it sticks.
     loop {
-        let mut s2 = st.clone();
-        match s2.try_assign(node, c) {
-            Ok(_) => {
-                *st = s2;
-                return true;
-            }
+        let mark = st.mark();
+        match st.try_assign(node, c) {
+            Ok(_) => return true,
             Err(_) => {
+                st.rollback_to(mark);
                 // Remove the most recently assigned crossing neighbour.
                 let mut neighbors: Vec<NodeId> = Vec::new();
                 for (eid, e) in g.pred_edges(node).chain(g.succ_edges(node)) {
@@ -657,6 +860,7 @@ mod tests {
     use crate::result::validate_assignment;
     use clasp_ddg::OpKind;
     use clasp_machine::presets;
+    use std::collections::HashSet;
 
     fn fig6() -> Ddg {
         let mut g = Ddg::new("fig6");

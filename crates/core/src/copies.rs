@@ -42,6 +42,47 @@ enum Delivery {
     Copy(NodeId),
 }
 
+/// One reversible step in the manager's mutation journal.
+#[derive(Debug, Clone)]
+enum CopyUndo {
+    /// A use count was incremented.
+    UseBumped(NodeId, ClusterId),
+    /// A use count was decremented (without reaching zero).
+    UseDropped(NodeId, ClusterId),
+    /// An existing broadcast copy gained `target` (pushed last).
+    TargetExtended {
+        producer: NodeId,
+        copy: NodeId,
+        target: ClusterId,
+    },
+    /// A brand-new copy was created delivering `producer` to `target`.
+    /// Undone in LIFO order, so `next_id -= 1` restores the id counter.
+    Created {
+        producer: NodeId,
+        copy: NodeId,
+        target: ClusterId,
+    },
+    /// A broadcast copy lost `target` (its last use released) at
+    /// position `pos` of its target list.
+    TargetCut {
+        producer: NodeId,
+        copy: NodeId,
+        target: ClusterId,
+        pos: usize,
+    },
+    /// A whole copy was freed (its last use released).
+    Freed {
+        producer: NodeId,
+        copy: NodeId,
+        target: ClusterId,
+        record: CopyRecord,
+    },
+}
+
+/// A position in the mutation journal; see [`CopyManager::mark`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CopyMark(usize);
+
 /// Tracks all live copies, value availability, and per-target use counts.
 ///
 /// All resource effects go through the [`CountMrt`] passed to each call,
@@ -57,6 +98,9 @@ pub struct CopyManager {
     /// (copy, target cluster) -> number of uses (consumer edges + chained
     /// hops).
     users: HashMap<(NodeId, ClusterId), u32>,
+    /// Undo log of every mutation since the last [`CopyManager::commit`];
+    /// lets tentative work be rolled back instead of cloning the manager.
+    journal: Vec<CopyUndo>,
 }
 
 impl CopyManager {
@@ -67,6 +111,88 @@ impl CopyManager {
             next_id: first_copy_id,
             ..Self::default()
         }
+    }
+
+    /// Drop every live copy and restart id allocation at `first_copy_id`,
+    /// retaining map capacity for reuse.
+    pub fn reset(&mut self, first_copy_id: u32) {
+        self.next_id = first_copy_id;
+        self.copies.clear();
+        self.avail.clear();
+        self.users.clear();
+        self.journal.clear();
+    }
+
+    /// Snapshot the journal position; [`CopyManager::rollback_to`]
+    /// restores the manager to exactly this state.
+    pub fn mark(&self) -> CopyMark {
+        CopyMark(self.journal.len())
+    }
+
+    /// Undo every mutation made since `mark`, in reverse order. MRT-side
+    /// effects are journaled by the [`CountMrt`] itself and must be rolled
+    /// back there.
+    pub fn rollback_to(&mut self, mark: CopyMark) {
+        while self.journal.len() > mark.0 {
+            match self.journal.pop().expect("journal entry") {
+                CopyUndo::UseBumped(copy, target) => {
+                    *self.users.get_mut(&(copy, target)).expect("user entry") -= 1;
+                }
+                CopyUndo::UseDropped(copy, target) => {
+                    *self.users.get_mut(&(copy, target)).expect("user entry") += 1;
+                }
+                CopyUndo::TargetExtended {
+                    producer,
+                    copy,
+                    target,
+                } => {
+                    let record = self.copies.get_mut(&copy).expect("live copy");
+                    let popped = record.targets.pop().expect("extended target");
+                    debug_assert_eq!(popped, target);
+                    self.avail.remove(&(producer, target));
+                    self.users.remove(&(copy, target));
+                }
+                CopyUndo::Created {
+                    producer,
+                    copy,
+                    target,
+                } => {
+                    self.copies.remove(&copy);
+                    self.avail.remove(&(producer, target));
+                    self.users.remove(&(copy, target));
+                    // LIFO rollback: `copy` was the most recent allocation.
+                    debug_assert_eq!(copy.0 + 1, self.next_id);
+                    self.next_id = copy.0;
+                }
+                CopyUndo::TargetCut {
+                    producer,
+                    copy,
+                    target,
+                    pos,
+                } => {
+                    let record = self.copies.get_mut(&copy).expect("live copy");
+                    record.targets.insert(pos, target);
+                    self.avail.insert((producer, target), Delivery::Copy(copy));
+                    self.users.insert((copy, target), 1);
+                }
+                CopyUndo::Freed {
+                    producer,
+                    copy,
+                    target,
+                    record,
+                } => {
+                    self.copies.insert(copy, record);
+                    self.avail.insert((producer, target), Delivery::Copy(copy));
+                    self.users.insert((copy, target), 1);
+                }
+            }
+        }
+    }
+
+    /// Discard the undo log: everything done so far becomes permanent and
+    /// earlier marks become invalid.
+    pub fn commit(&mut self) {
+        self.journal.clear();
     }
 
     /// Number of live copy operations.
@@ -127,7 +253,9 @@ impl CopyManager {
     ) -> Result<u32, Full> {
         assert_ne!(target, home, "value already lives on {target}");
         if let Some(Delivery::Copy(id)) = self.avail.get(&(producer, target)) {
-            *self.users.get_mut(&(*id, target)).expect("user entry") += 1;
+            let id = *id;
+            *self.users.get_mut(&(id, target)).expect("user entry") += 1;
+            self.journal.push(CopyUndo::UseBumped(id, target));
             return Ok(0);
         }
         match machine.interconnect() {
@@ -149,11 +277,21 @@ impl CopyManager {
                             .push(target);
                         self.avail.insert((producer, target), Delivery::Copy(id));
                         self.users.insert((id, target), 1);
+                        self.journal.push(CopyUndo::TargetExtended {
+                            producer,
+                            copy: id,
+                            target,
+                        });
                         Ok(0)
                     }
                     None => {
-                        let id = self.alloc_id();
+                        // Reserve under the peeked id first: a failed
+                        // reservation must not consume an id, or a rolled
+                        // back attempt would drift copy ids versus a
+                        // from-scratch replay.
+                        let id = NodeId(self.next_id);
                         mrt.reserve_copy(id, home, &[target], None)?;
+                        self.next_id += 1;
                         self.copies.insert(
                             id,
                             CopyRecord {
@@ -165,6 +303,11 @@ impl CopyManager {
                         );
                         self.avail.insert((producer, target), Delivery::Copy(id));
                         self.users.insert((id, target), 1);
+                        self.journal.push(CopyUndo::Created {
+                            producer,
+                            copy: id,
+                            target,
+                        });
                         Ok(1)
                     }
                 }
@@ -191,15 +334,19 @@ impl CopyManager {
         // per visited node and scanned the link table per hop).
         let adj = ic.adjacency(machine.cluster_count());
         // Candidate sources: home plus every cluster with a delivery.
+        // Sorted so the scan below is deterministic regardless of hash
+        // iteration order: home first (it wins length ties), then
+        // ascending cluster id.
         let mut sources = vec![home];
         for &(p, c) in self.avail.keys() {
             if p == producer {
                 sources.push(c);
             }
         }
-        // Shortest path among all candidate sources; ties prefer sources
-        // that already hold the value via a copy (cheaper bookkeeping is
-        // identical, but fewer upstream uses), then lower cluster id.
+        sources[1..].sort_unstable();
+        // Shortest path among all candidate sources; strictly shorter
+        // paths win, so ties go to home first, then the lowest cluster id
+        // already holding the value.
         let mut best: Option<Vec<ClusterId>> = None;
         for &s in &sources {
             if let Some(path) = ic.route_with(&adj, s, target) {
@@ -224,8 +371,11 @@ impl CopyManager {
                 continue;
             }
             let link = adj.link_between(u, v).expect("path follows links");
-            let id = self.alloc_id();
+            // Peek the id; a failed reservation must not consume it (see
+            // the bus path above).
+            let id = NodeId(self.next_id);
             mrt.reserve_copy(id, u, &[v], Some(link))?;
+            self.next_id += 1;
             self.copies.insert(
                 id,
                 CopyRecord {
@@ -237,20 +387,29 @@ impl CopyManager {
             );
             self.avail.insert((producer, v), Delivery::Copy(id));
             // Interior hops start with zero uses; the next hop (or the
-            // final consumer, below) registers the actual use.
+            // final consumer, below) registers the actual use. The
+            // journal's `Created` undo removes this zero-use entry.
             self.users.insert((id, v), 0);
+            self.journal.push(CopyUndo::Created {
+                producer,
+                copy: id,
+                target: v,
+            });
             created += 1;
             // The hop reads the value at `u`: that is a use of u's
             // delivery (unless u is the home cluster).
             if u != home {
                 if let Some(Delivery::Copy(up)) = self.avail.get(&(producer, u)) {
-                    *self.users.get_mut(&(*up, u)).expect("chain upstream") += 1;
+                    let up = *up;
+                    *self.users.get_mut(&(up, u)).expect("chain upstream") += 1;
+                    self.journal.push(CopyUndo::UseBumped(up, u));
                 }
             }
         }
         // Register the final consumer's use at the target.
         let Delivery::Copy(last) = self.avail[&(producer, target)];
         *self.users.get_mut(&(last, target)).expect("final hop") += 1;
+        self.journal.push(CopyUndo::UseBumped(last, target));
         Ok(created)
     }
 
@@ -274,6 +433,7 @@ impl CopyManager {
         let n = self.users.get_mut(&(id, target)).expect("user entry");
         *n -= 1;
         if *n > 0 {
+            self.journal.push(CopyUndo::UseDropped(id, target));
             return;
         }
         self.users.remove(&(id, target));
@@ -288,21 +448,29 @@ impl CopyManager {
                 .expect("target present");
             record.targets.remove(pos);
             mrt.remove_copy_target(id, target);
+            self.journal.push(CopyUndo::TargetCut {
+                producer,
+                copy: id,
+                target,
+                pos,
+            });
         } else {
             let src = record.src;
-            self.copies.remove(&id);
+            let record = self.copies.remove(&id).expect("live copy");
             mrt.release(id);
+            self.journal.push(CopyUndo::Freed {
+                producer,
+                copy: id,
+                target,
+                record,
+            });
             // A chain hop read the value at `src`: release that use too.
+            // Its journal entries land after `Freed`, so LIFO rollback
+            // restores upstream state first, then this copy.
             if src != home && self.avail.contains_key(&(producer, src)) {
                 self.release_value_use(mrt, producer, home, src);
             }
         }
-    }
-
-    fn alloc_id(&mut self) -> NodeId {
-        let id = NodeId(self.next_id);
-        self.next_id += 1;
-        id
     }
 }
 
@@ -483,6 +651,105 @@ mod tests {
         cpm.ensure_value_at(&mut mrt, &m, p, ClusterId(0), ClusterId(2))
             .unwrap();
         assert_eq!(cpm.rc(p), 2);
+    }
+
+    type StateKey = (
+        u32,
+        Vec<(NodeId, CopyRecord)>,
+        Vec<((NodeId, ClusterId), u32)>,
+    );
+
+    fn state_key(cpm: &CopyManager) -> StateKey {
+        let copies: Vec<_> = cpm.iter().map(|(id, r)| (id, r.clone())).collect();
+        let mut users: Vec<_> = cpm.users.iter().map(|(&k, &v)| (k, v)).collect();
+        users.sort();
+        (cpm.next_id, copies, users)
+    }
+
+    #[test]
+    fn rollback_undoes_bus_copy_lifecycle() {
+        let m = presets::four_cluster_gp(4, 2);
+        let (mut mrt, mut cpm) = setup_bus(&m);
+        let p = NodeId(0);
+        let home = ClusterId(0);
+        cpm.ensure_value_at(&mut mrt, &m, p, home, ClusterId(1))
+            .unwrap();
+        cpm.commit();
+        mrt.commit();
+        let before = state_key(&cpm);
+
+        let mark = cpm.mark();
+        let mmark = mrt.mark();
+        // Exercise every journal arm: bump, extend, create, drop, cut, free.
+        cpm.ensure_value_at(&mut mrt, &m, p, home, ClusterId(1))
+            .unwrap(); // bump
+        cpm.ensure_value_at(&mut mrt, &m, p, home, ClusterId(2))
+            .unwrap(); // extend
+        cpm.ensure_value_at(&mut mrt, &m, NodeId(1), ClusterId(3), ClusterId(0))
+            .unwrap(); // create
+        cpm.release_value_use(&mut mrt, p, home, ClusterId(1)); // drop
+        cpm.release_value_use(&mut mrt, p, home, ClusterId(2)); // cut
+        cpm.release_value_use(&mut mrt, NodeId(1), ClusterId(3), ClusterId(0)); // free
+        cpm.rollback_to(mark);
+        mrt.rollback_to(mmark);
+
+        assert_eq!(state_key(&cpm), before);
+        assert_eq!(mrt.reserved_count(), 1);
+    }
+
+    #[test]
+    fn rollback_undoes_p2p_chain_and_restores_ids() {
+        let m = presets::four_cluster_grid(2);
+        let mut mrt = CountMrt::new(&m, 4);
+        let mut cpm = CopyManager::new(100);
+        let p = NodeId(0);
+        let before = state_key(&cpm);
+        let mark = cpm.mark();
+        let mmark = mrt.mark();
+        cpm.ensure_value_at(&mut mrt, &m, p, ClusterId(0), ClusterId(3))
+            .unwrap();
+        assert_eq!(cpm.live_count(), 2);
+        cpm.rollback_to(mark);
+        mrt.rollback_to(mmark);
+        assert_eq!(state_key(&cpm), before);
+        assert_eq!(mrt.reserved_count(), 0);
+        // Ids fully recycled: a replay allocates the same ones.
+        cpm.ensure_value_at(&mut mrt, &m, p, ClusterId(0), ClusterId(3))
+            .unwrap();
+        assert_eq!(cpm.next_id, 102);
+    }
+
+    #[test]
+    fn rollback_undoes_cascading_release() {
+        let m = presets::four_cluster_grid(2);
+        let mut mrt = CountMrt::new(&m, 4);
+        let mut cpm = CopyManager::new(100);
+        let p = NodeId(0);
+        cpm.ensure_value_at(&mut mrt, &m, p, ClusterId(0), ClusterId(3))
+            .unwrap();
+        cpm.commit();
+        mrt.commit();
+        let before = state_key(&cpm);
+        let mark = cpm.mark();
+        let mmark = mrt.mark();
+        cpm.release_value_use(&mut mrt, p, ClusterId(0), ClusterId(3));
+        assert_eq!(cpm.live_count(), 0);
+        cpm.rollback_to(mark);
+        mrt.rollback_to(mmark);
+        assert_eq!(state_key(&cpm), before);
+        assert_eq!(cpm.live_count(), 2);
+    }
+
+    #[test]
+    fn reset_recycles_ids() {
+        let m = presets::four_cluster_gp(4, 2);
+        let (mut mrt, mut cpm) = setup_bus(&m);
+        cpm.ensure_value_at(&mut mrt, &m, NodeId(0), ClusterId(0), ClusterId(1))
+            .unwrap();
+        cpm.reset(100);
+        assert_eq!(cpm.live_count(), 0);
+        assert_eq!(cpm.next_id, 100);
+        assert_eq!(cpm.delivery(NodeId(0), ClusterId(1)), None);
     }
 
     #[test]

@@ -50,7 +50,7 @@ mod trace;
 
 pub use assign::{
     assign, assign_from, assign_traced, assign_traced_with_analysis, assign_with_analysis,
-    AssignError, AssignFailure,
+    AssignError, AssignFailure, Assigner,
 };
 pub use config::{AssignConfig, Ordering, Variant};
 pub use copies::{CopyManager, CopyRecord};

@@ -78,26 +78,26 @@ pub fn post_scheduling_assign_from(
 
     let mut stats = AssignStats::default();
     let clusters: Vec<ClusterId> = machine.cluster_ids().collect();
+    // One working state serves the whole internal escalation: each II
+    // resets it in place instead of rebuilding it.
+    let mut st = AssignState::new(g, machine, mii);
     for ii in mii..=max_ii {
         stats.ii_attempts += 1;
-        if let Some(state) = partition_attempt(g, machine, &order, &clusters, ii) {
-            stats.copies = state.cpm.live_count();
-            return Ok(materialize(g, &state, ii, stats));
+        st.reset(ii);
+        if partition_attempt(&mut st, &order, &clusters) {
+            stats.copies = st.cpm.live_count();
+            return Ok(materialize(g, &st, ii, stats));
         }
     }
     Err(AssignError::IiExhausted { max_ii, last: None })
 }
 
-/// One partition attempt: walk the issue order, dealing operations to
-/// clusters round-robin (first-fit on resources, copies included).
-fn partition_attempt<'g>(
-    g: &'g Ddg,
-    machine: &'g MachineSpec,
-    order: &[NodeId],
-    clusters: &[ClusterId],
-    ii: u32,
-) -> Option<AssignState<'g>> {
-    let mut st = AssignState::new(g, machine, ii);
+/// One partition attempt over a pre-reset state: walk the issue order,
+/// dealing operations to clusters round-robin (first-fit on resources,
+/// copies included). Failed probes are journaled and rolled back.
+fn partition_attempt(st: &mut AssignState<'_>, order: &[NodeId], clusters: &[ClusterId]) -> bool {
+    let g = st.graph();
+    let machine = st.machine();
     let k = clusters.len();
     for (pos, &node) in order.iter().enumerate() {
         // Round-robin slice: the pos-th op of the word goes to cluster
@@ -109,18 +109,19 @@ fn partition_attempt<'g>(
             if !machine.cluster(c).can_execute(g.op(node).kind) {
                 continue;
             }
-            let mut s2 = st.clone();
-            if s2.try_assign(node, c).is_ok() {
-                st = s2;
+            let mark = st.mark();
+            if st.try_assign(node, c).is_ok() {
+                st.commit();
                 placed = true;
                 break;
             }
+            st.rollback_to(mark);
         }
         if !placed {
-            return None; // no repair: bump II
+            return false; // no repair: bump II
         }
     }
-    Some(st)
+    true
 }
 
 #[cfg(test)]

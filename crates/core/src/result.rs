@@ -64,7 +64,24 @@ pub(crate) fn materialize(
     ii: u32,
     stats: AssignStats,
 ) -> Assignment {
-    let mut out = Ddg::new(g.name());
+    materialize_into(g, st, ii, stats, Ddg::default(), ClusterMap::new())
+}
+
+/// [`materialize`] into caller-supplied `out`/`map` buffers — typically
+/// the graph and map of a discarded assignment handed back through
+/// `Assigner::recycle` — so the escalation loop's rebuild is a buffer
+/// refill, not a reallocation. Both are cleared here; any capacity they
+/// carry is reused.
+pub(crate) fn materialize_into(
+    g: &Ddg,
+    st: &AssignState<'_>,
+    ii: u32,
+    stats: AssignStats,
+    mut out: Ddg,
+    mut map: ClusterMap,
+) -> Assignment {
+    out.reset(g.name());
+    map.clear();
     for (_, op) in g.nodes() {
         out.add_op(op.clone());
     }
@@ -76,7 +93,6 @@ pub(crate) fn materialize(
         new_id.insert(cid, id);
     }
 
-    let mut map = ClusterMap::new();
     for (n, c) in st.map.iter() {
         map.assign(n, c);
     }

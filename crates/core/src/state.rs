@@ -1,14 +1,16 @@
 //! Mutable assignment state: the counting MRT, the cluster map, the copy
 //! manager, and per-edge use bookkeeping.
 //!
-//! The assigner snapshots this state (it is `Clone`) before every
-//! tentative placement, so failed tentatives are discarded wholesale
-//! rather than unwound action by action.
+//! The assigner brackets every tentative placement with
+//! [`AssignState::mark`] / [`AssignState::rollback_to`]: all three
+//! mutable layers (MRT, copy manager, and this state's own map/edge
+//! bookkeeping) keep undo journals, so a failed tentative is unwound
+//! action by action instead of restored from a whole-state clone.
 
-use crate::copies::CopyManager;
+use crate::copies::{CopyManager, CopyMark};
 use clasp_ddg::{Ddg, EdgeId, NodeId};
 use clasp_machine::{ClusterId, MachineSpec};
-use clasp_mrt::{ClusterMap, CountMrt, Full};
+use clasp_mrt::{ClusterMap, CountMark, CountMrt, Full};
 
 /// Whether a dependence edge carries a register value that must be copied
 /// when its endpoints land on different clusters. Stores and branches
@@ -16,6 +18,28 @@ use clasp_mrt::{ClusterMap, CountMrt, Full};
 pub fn edge_needs_copy(g: &Ddg, eid: EdgeId) -> bool {
     let e = g.edge(eid);
     e.src != e.dst && g.op(e.src).kind.produces_value()
+}
+
+/// One reversible step in the state's own mutation journal (the MRT and
+/// copy manager journal their layers themselves).
+#[derive(Debug, Clone)]
+enum StateUndo {
+    /// `try_assign` recorded a delivery use for this edge.
+    EdgeUseSet(EdgeId),
+    /// `unassign` cleared this edge's delivery use.
+    EdgeUseCleared(EdgeId, (NodeId, ClusterId)),
+    /// `try_assign` completed for this node (undo decrements `seq`).
+    Assigned(NodeId),
+    /// `unassign` removed this node from `cluster` at sequence `seq`.
+    Unassigned(NodeId, ClusterId, u64),
+}
+
+/// A snapshot of all three mutation journals; see [`AssignState::mark`].
+#[derive(Debug, Clone, Copy)]
+pub struct StateMark {
+    mrt: CountMark,
+    cpm: CopyMark,
+    journal: usize,
 }
 
 /// The assigner's working state at one initiation interval.
@@ -36,6 +60,8 @@ pub struct AssignState<'g> {
     seq: u64,
     /// Assignment sequence number per original node; 0 = unassigned.
     seq_of: Vec<u64>,
+    /// Undo log of edge-use and map mutations since the last commit.
+    journal: Vec<StateUndo>,
 }
 
 impl<'g> AssignState<'g> {
@@ -50,7 +76,69 @@ impl<'g> AssignState<'g> {
             edge_uses: vec![None; g.edge_count()],
             seq: 0,
             seq_of: vec![0; g.node_count()],
+            journal: Vec::new(),
         }
+    }
+
+    /// Empty the state and rebase it to a new initiation interval, keeping
+    /// every buffer's capacity so a warmed state resets cheaply.
+    pub fn reset(&mut self, ii: u32) {
+        self.mrt.reset(ii);
+        self.map.clear();
+        self.cpm.reset(self.g.node_count() as u32);
+        for u in &mut self.edge_uses {
+            *u = None;
+        }
+        self.seq = 0;
+        for s in &mut self.seq_of {
+            *s = 0;
+        }
+        self.journal.clear();
+    }
+
+    /// Snapshot all three mutation journals; [`AssignState::rollback_to`]
+    /// restores the state to exactly this point.
+    pub fn mark(&self) -> StateMark {
+        StateMark {
+            mrt: self.mrt.mark(),
+            cpm: self.cpm.mark(),
+            journal: self.journal.len(),
+        }
+    }
+
+    /// Undo every mutation made since `mark`, across the MRT, the copy
+    /// manager, and the map/edge bookkeeping.
+    pub fn rollback_to(&mut self, mark: StateMark) {
+        while self.journal.len() > mark.journal {
+            match self.journal.pop().expect("journal entry") {
+                StateUndo::EdgeUseSet(eid) => {
+                    self.edge_uses[eid.index()] = None;
+                }
+                StateUndo::EdgeUseCleared(eid, val) => {
+                    self.edge_uses[eid.index()] = Some(val);
+                }
+                StateUndo::Assigned(n) => {
+                    self.map.unassign(n);
+                    self.seq_of[n.index()] = 0;
+                    // LIFO rollback: this was the most recent increment.
+                    self.seq -= 1;
+                }
+                StateUndo::Unassigned(n, c, seq) => {
+                    self.map.assign(n, c);
+                    self.seq_of[n.index()] = seq;
+                }
+            }
+        }
+        self.mrt.rollback_to(mark.mrt);
+        self.cpm.rollback_to(mark.cpm);
+    }
+
+    /// Discard all three undo logs: everything done so far becomes
+    /// permanent and earlier marks become invalid.
+    pub fn commit(&mut self) {
+        self.journal.clear();
+        self.mrt.commit();
+        self.cpm.commit();
     }
 
     /// The graph being assigned.
@@ -95,8 +183,9 @@ impl<'g> AssignState<'g> {
     /// # Errors
     ///
     /// [`Full`] when the operation or any required copy does not fit. The
-    /// state is left partially modified — callers clone before trying
-    /// (tentative-assignment discipline).
+    /// state is left partially modified — callers bracket the call with
+    /// [`AssignState::mark`] / [`AssignState::rollback_to`] (tentative-
+    /// assignment discipline).
     ///
     /// # Panics
     ///
@@ -125,6 +214,7 @@ impl<'g> AssignState<'g> {
                         self.cpm
                             .ensure_value_at(&mut self.mrt, self.machine, src, home, c)?;
                     self.edge_uses[eid.index()] = Some((src, c));
+                    self.journal.push(StateUndo::EdgeUseSet(eid));
                 }
             }
         }
@@ -140,12 +230,14 @@ impl<'g> AssignState<'g> {
                         .cpm
                         .ensure_value_at(&mut self.mrt, self.machine, n, c, tc)?;
                     self.edge_uses[eid.index()] = Some((n, tc));
+                    self.journal.push(StateUndo::EdgeUseSet(eid));
                 }
             }
         }
         self.map.assign(n, c);
         self.seq += 1;
         self.seq_of[n.index()] = self.seq;
+        self.journal.push(StateUndo::Assigned(n));
         Ok(created)
     }
 
@@ -165,6 +257,8 @@ impl<'g> AssignState<'g> {
             .chain(g.succ_edges(n).map(|(eid, _)| eid));
         for eid in incident {
             if let Some((producer, target)) = self.edge_uses[eid.index()].take() {
+                self.journal
+                    .push(StateUndo::EdgeUseCleared(eid, (producer, target)));
                 let home = self
                     .map
                     .cluster_of(producer)
@@ -174,8 +268,10 @@ impl<'g> AssignState<'g> {
             }
         }
         self.mrt.release(n);
+        let c = self.map.cluster_of(n).expect("assigned");
         self.map.unassign(n);
-        self.seq_of[n.index()] = 0;
+        let seq = std::mem::replace(&mut self.seq_of[n.index()], 0);
+        self.journal.push(StateUndo::Unassigned(n, c, seq));
     }
 
     /// Distinct value-consuming successors of `n` that are not yet
@@ -222,16 +318,34 @@ impl<'g> AssignState<'g> {
             .sum()
     }
 
+    /// Nodes currently assigned to cluster `c`, most recent first,
+    /// collected into `buf` (cleared first). Allocation-free once `buf`
+    /// has capacity — use this in hot loops.
+    pub fn assigned_on_into(&self, c: ClusterId, buf: &mut Vec<NodeId>) {
+        buf.clear();
+        buf.extend(self.map.iter().filter(|&(_, cl)| cl == c).map(|(n, _)| n));
+        buf.sort_unstable_by_key(|n| std::cmp::Reverse(self.assign_seq(*n).unwrap_or(0)));
+    }
+
     /// Nodes currently assigned to cluster `c`, most recent first.
+    ///
+    /// Allocates a fresh `Vec`; hot paths use
+    /// [`AssignState::assigned_on_into`] or
+    /// [`AssignState::most_recent_on`] instead.
     pub fn assigned_on(&self, c: ClusterId) -> Vec<NodeId> {
-        let mut v: Vec<NodeId> = self
-            .map
+        let mut v = Vec::new();
+        self.assigned_on_into(c, &mut v);
+        v
+    }
+
+    /// The most recently assigned node on cluster `c`, if any —
+    /// `assigned_on(c).first()` without the allocation.
+    pub fn most_recent_on(&self, c: ClusterId) -> Option<NodeId> {
+        self.map
             .iter()
             .filter(|&(_, cl)| cl == c)
             .map(|(n, _)| n)
-            .collect();
-        v.sort_by_key(|n| std::cmp::Reverse(self.assign_seq(*n).unwrap_or(0)));
-        v
+            .max_by_key(|n| self.assign_seq(*n).unwrap_or(0))
     }
 }
 
@@ -377,6 +491,93 @@ mod tests {
         assert_eq!(st.try_assign(f, ClusterId(0)), Err(Full));
         // State untouched enough to use the other cluster.
         assert!(st.try_assign(f, ClusterId(1)).is_ok());
+    }
+
+    #[test]
+    fn rollback_restores_assignments_and_copies() {
+        let g = cross_pair();
+        let m = presets::two_cluster_gp(2, 1);
+        let mut st = AssignState::new(&g, &m, 2);
+        st.try_assign(NodeId(0), ClusterId(0)).unwrap();
+        st.commit();
+        let free_bus = st.mrt.free_bus_slots();
+
+        let mark = st.mark();
+        st.try_assign(NodeId(1), ClusterId(1)).unwrap();
+        assert_eq!(st.cpm.live_count(), 1);
+        st.unassign(NodeId(0));
+        st.rollback_to(mark);
+
+        assert_eq!(st.cluster_of(NodeId(0)), Some(ClusterId(0)));
+        assert_eq!(st.cluster_of(NodeId(1)), None);
+        assert_eq!(st.cpm.live_count(), 0);
+        assert_eq!(st.mrt.free_bus_slots(), free_bus);
+        // Sequence counter rewound: a replay yields identical seq numbers.
+        st.try_assign(NodeId(1), ClusterId(1)).unwrap();
+        assert_eq!(st.assign_seq(NodeId(1)), Some(2));
+    }
+
+    #[test]
+    fn rollback_after_failed_tentative_cleans_partial_state() {
+        // One bus slot: the second crossing edge cannot reserve its copy,
+        // leaving try_assign partially applied; rollback must clean it.
+        let mut g = Ddg::new("vee");
+        let a = g.add(OpKind::IntAlu);
+        let b = g.add(OpKind::IntAlu);
+        let c = g.add(OpKind::IntAlu);
+        g.add_dep(a, c);
+        g.add_dep(b, c);
+        let m = presets::two_cluster_gp(1, 1);
+        let mut st = AssignState::new(&g, &m, 1);
+        st.try_assign(a, ClusterId(0)).unwrap();
+        st.try_assign(b, ClusterId(0)).unwrap();
+        st.commit();
+        let mark = st.mark();
+        assert_eq!(st.try_assign(c, ClusterId(1)), Err(Full));
+        st.rollback_to(mark);
+        assert_eq!(st.cpm.live_count(), 0);
+        assert_eq!(st.mrt.free_bus_slots(), 1);
+        assert!(!st.map.is_assigned(c));
+        // The same cluster as the producers still works.
+        assert_eq!(st.try_assign(c, ClusterId(0)).unwrap(), 0);
+    }
+
+    #[test]
+    fn reset_rebases_state_to_new_ii() {
+        let g = cross_pair();
+        let m = presets::two_cluster_gp(2, 1);
+        let mut st = AssignState::new(&g, &m, 2);
+        st.try_assign(NodeId(0), ClusterId(0)).unwrap();
+        st.try_assign(NodeId(1), ClusterId(1)).unwrap();
+        st.reset(3);
+        assert_eq!(st.ii(), 3);
+        assert_eq!(st.assigned_count(), 0);
+        assert_eq!(st.cpm.live_count(), 0);
+        assert_eq!(st.assign_seq(NodeId(0)), None);
+        // Fully usable after reset, ids allocated from the graph size.
+        st.try_assign(NodeId(0), ClusterId(0)).unwrap();
+        assert_eq!(st.try_assign(NodeId(1), ClusterId(1)).unwrap(), 1);
+        assert_eq!(st.assign_seq(NodeId(0)), Some(1));
+    }
+
+    #[test]
+    fn most_recent_on_matches_assigned_on_head() {
+        let mut g = Ddg::new("three");
+        let a = g.add(OpKind::IntAlu);
+        let b = g.add(OpKind::IntAlu);
+        let m = presets::two_cluster_gp(2, 1);
+        let mut st = AssignState::new(&g, &m, 2);
+        assert_eq!(st.most_recent_on(ClusterId(0)), None);
+        st.try_assign(a, ClusterId(0)).unwrap();
+        st.try_assign(b, ClusterId(0)).unwrap();
+        assert_eq!(st.most_recent_on(ClusterId(0)), Some(b));
+        assert_eq!(
+            st.most_recent_on(ClusterId(0)),
+            st.assigned_on(ClusterId(0)).first().copied()
+        );
+        let mut buf = Vec::new();
+        st.assigned_on_into(ClusterId(0), &mut buf);
+        assert_eq!(buf, vec![b, a]);
     }
 
     #[test]

@@ -175,9 +175,30 @@ impl Ddg {
     pub fn add_op(&mut self, op: Operation) -> NodeId {
         let id = NodeId(u32::try_from(self.nodes.len()).expect("node count overflow"));
         self.nodes.push(op);
-        self.succ.push(Vec::new());
-        self.pred.push(Vec::new());
+        // After `reset` the adjacency vectors keep cleared slots around;
+        // only grow them once the recycled capacity is used up.
+        if self.succ.len() < self.nodes.len() {
+            self.succ.push(Vec::new());
+            self.pred.push(Vec::new());
+        }
         id
+    }
+
+    /// Empty the graph and rename it, retaining every buffer — including
+    /// each node's adjacency vector — so a recycled graph is refilled
+    /// without touching the allocator. Trailing adjacency slots beyond the
+    /// refilled node count are harmless: all indexing is bounded by live
+    /// node ids.
+    pub fn reset(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+        self.nodes.clear();
+        self.edges.clear();
+        for v in &mut self.succ {
+            v.clear();
+        }
+        for v in &mut self.pred {
+            v.clear();
+        }
     }
 
     /// Add an intra-iteration data dependence with the producer's result

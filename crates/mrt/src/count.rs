@@ -36,6 +36,23 @@ enum Reservation {
     },
 }
 
+/// One reversible step in the table's mutation journal.
+#[derive(Debug, Clone)]
+enum CountUndo {
+    /// `reserve_op`/`reserve_copy` succeeded for this node.
+    Reserved(NodeId),
+    /// `release` took this reservation out of the table.
+    Released(NodeId, Reservation),
+    /// `add_copy_target` appended one target to this copy.
+    TargetAdded(NodeId),
+    /// `remove_copy_target` removed `ClusterId` at this target position.
+    TargetRemoved(NodeId, ClusterId, usize),
+}
+
+/// A position in the mutation journal; see [`CountMrt::mark`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CountMark(usize);
+
 #[derive(Debug, Clone, Default)]
 struct ClusterCounts {
     /// Operations placed per FU class.
@@ -77,6 +94,10 @@ pub struct CountMrt<'m> {
     /// the per-tentative clone is a flat copy rather than a hash rebuild.
     reservations: Vec<Option<Reservation>>,
     reserved: usize,
+    /// Undo log of every mutation since the last [`CountMrt::commit`];
+    /// lets a tentative placement be rolled back instead of cloning the
+    /// whole table.
+    journal: Vec<CountUndo>,
 }
 
 impl<'m> CountMrt<'m> {
@@ -95,7 +116,132 @@ impl<'m> CountMrt<'m> {
             link_used: vec![0; machine.interconnect().links().len()],
             reservations: Vec::new(),
             reserved: 0,
+            journal: Vec::new(),
         }
+    }
+
+    /// Empty the table and rebase it to a new initiation interval, keeping
+    /// every buffer's capacity so a warmed table resets without touching
+    /// the allocator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ii == 0`.
+    pub fn reset(&mut self, ii: u32) {
+        assert!(ii > 0, "II must be positive");
+        self.ii = ii;
+        for c in &mut self.clusters {
+            c.used = [0; 3];
+            c.read_used = 0;
+            c.write_used = 0;
+        }
+        self.bus_used = 0;
+        for l in &mut self.link_used {
+            *l = 0;
+        }
+        for r in &mut self.reservations {
+            *r = None;
+        }
+        self.reserved = 0;
+        self.journal.clear();
+    }
+
+    // ---- mutation journal ----------------------------------------------
+
+    /// Snapshot the journal position; [`CountMrt::rollback_to`] restores
+    /// the table to exactly this state.
+    pub fn mark(&self) -> CountMark {
+        CountMark(self.journal.len())
+    }
+
+    /// Undo every mutation made since `mark`, in reverse order.
+    pub fn rollback_to(&mut self, mark: CountMark) {
+        while self.journal.len() > mark.0 {
+            match self.journal.pop().expect("journal entry") {
+                CountUndo::Reserved(n) => {
+                    let _ = self.take_reservation(n);
+                }
+                CountUndo::Released(n, r) => self.restore_reservation(n, r),
+                CountUndo::TargetAdded(n) => {
+                    let r = self
+                        .reservations
+                        .get_mut(n.index())
+                        .and_then(|r| r.as_mut())
+                        .expect("journaled copy present");
+                    match r {
+                        Reservation::Copy { targets, .. } => {
+                            let t = targets.pop().expect("journaled target present");
+                            self.clusters[t.index()].write_used -= 1;
+                        }
+                        Reservation::Op { .. } => unreachable!("journaled node is a copy"),
+                    }
+                }
+                CountUndo::TargetRemoved(n, t, pos) => {
+                    let r = self
+                        .reservations
+                        .get_mut(n.index())
+                        .and_then(|r| r.as_mut())
+                        .expect("journaled copy present");
+                    match r {
+                        Reservation::Copy { targets, .. } => targets.insert(pos, t),
+                        Reservation::Op { .. } => unreachable!("journaled node is a copy"),
+                    }
+                    self.clusters[t.index()].write_used += 1;
+                }
+            }
+        }
+    }
+
+    /// Discard the undo log: everything done so far becomes permanent and
+    /// earlier marks become invalid.
+    pub fn commit(&mut self) {
+        self.journal.clear();
+    }
+
+    fn restore_reservation(&mut self, node: NodeId, r: Reservation) {
+        match &r {
+            Reservation::Op { cluster, class } => {
+                self.clusters[cluster.index()].used[class.index()] += 1;
+            }
+            Reservation::Copy { src, targets, link } => {
+                self.clusters[src.index()].read_used += 1;
+                for t in targets {
+                    self.clusters[t.index()].write_used += 1;
+                }
+                match link {
+                    Some(l) => self.link_used[l.index()] += 1,
+                    None => self.bus_used += 1,
+                }
+            }
+        }
+        self.set_reservation(node, r);
+    }
+
+    fn take_reservation(&mut self, node: NodeId) -> Option<Reservation> {
+        let taken = self
+            .reservations
+            .get_mut(node.index())
+            .and_then(|r| r.take());
+        if taken.is_some() {
+            self.reserved -= 1;
+        }
+        match &taken {
+            None => {}
+            Some(Reservation::Op { cluster, class }) => {
+                self.clusters[cluster.index()].used[class.index()] -= 1;
+            }
+            Some(Reservation::Copy { src, targets, link }) => {
+                self.clusters[src.index()].read_used -= 1;
+                for t in targets {
+                    self.clusters[t.index()].write_used -= 1;
+                }
+                match link {
+                    Some(l) => self.link_used[l.index()] -= 1,
+                    None => self.bus_used -= 1,
+                }
+            }
+        }
+        taken
     }
 
     fn reservation(&self, node: NodeId) -> Option<&Reservation> {
@@ -188,6 +334,7 @@ impl<'m> CountMrt<'m> {
         }
         self.clusters[c.index()].used[class.index()] += 1;
         self.set_reservation(node, Reservation::Op { cluster: c, class });
+        self.journal.push(CountUndo::Reserved(node));
         Ok(())
     }
 
@@ -299,6 +446,7 @@ impl<'m> CountMrt<'m> {
                 link,
             },
         );
+        self.journal.push(CountUndo::Reserved(node));
         Ok(())
     }
 
@@ -334,6 +482,7 @@ impl<'m> CountMrt<'m> {
             Reservation::Op { .. } => panic!("{node} is not a copy"),
         }
         self.clusters[target.index()].write_used += 1;
+        self.journal.push(CountUndo::TargetAdded(node));
         Ok(())
     }
 
@@ -350,7 +499,7 @@ impl<'m> CountMrt<'m> {
             .get_mut(node.index())
             .and_then(|r| r.as_mut())
             .expect("copy not reserved");
-        match r {
+        let pos = match r {
             Reservation::Copy { targets, .. } => {
                 let pos = targets
                     .iter()
@@ -358,36 +507,19 @@ impl<'m> CountMrt<'m> {
                     .expect("target not present");
                 assert!(targets.len() > 1, "cannot remove last target");
                 targets.remove(pos);
+                pos
             }
             Reservation::Op { .. } => panic!("{node} is not a copy"),
-        }
+        };
         self.clusters[target.index()].write_used -= 1;
+        self.journal
+            .push(CountUndo::TargetRemoved(node, target, pos));
     }
 
     /// Release whatever `node` holds (no-op if it holds nothing).
     pub fn release(&mut self, node: NodeId) {
-        let taken = self
-            .reservations
-            .get_mut(node.index())
-            .and_then(|r| r.take());
-        if taken.is_some() {
-            self.reserved -= 1;
-        }
-        match taken {
-            None => {}
-            Some(Reservation::Op { cluster, class }) => {
-                self.clusters[cluster.index()].used[class.index()] -= 1;
-            }
-            Some(Reservation::Copy { src, targets, link }) => {
-                self.clusters[src.index()].read_used -= 1;
-                for t in targets {
-                    self.clusters[t.index()].write_used -= 1;
-                }
-                match link {
-                    Some(l) => self.link_used[l.index()] -= 1,
-                    None => self.bus_used -= 1,
-                }
-            }
+        if let Some(r) = self.take_reservation(node) {
+            self.journal.push(CountUndo::Released(node, r));
         }
     }
 
@@ -587,6 +719,77 @@ mod tests {
         let mut mrt = CountMrt::new(&m, 2);
         mrt.release(NodeId(42)); // no-op
         assert_eq!(mrt.reserved_count(), 0);
+    }
+
+    type Snapshot = (Vec<(u32, u32, u32)>, u32, Vec<u32>, usize);
+
+    fn snapshot(mrt: &CountMrt<'_>) -> Snapshot {
+        (
+            mrt.clusters
+                .iter()
+                .map(|c| (c.used.iter().sum(), c.read_used, c.write_used))
+                .collect(),
+            mrt.bus_used,
+            mrt.link_used.clone(),
+            mrt.reserved,
+        )
+    }
+
+    #[test]
+    fn rollback_undoes_reserve_release_and_target_edits() {
+        let m = presets::four_cluster_gp(4, 2);
+        let mut mrt = CountMrt::new(&m, 2);
+        let (c0, c1, c2) = (ClusterId(0), ClusterId(1), ClusterId(2));
+        mrt.reserve_op(NodeId(0), c0, OpKind::IntAlu).unwrap();
+        mrt.reserve_copy(NodeId(1), c0, &[c1], None).unwrap();
+        mrt.commit();
+        let before = snapshot(&mrt);
+
+        let mark = mrt.mark();
+        mrt.reserve_op(NodeId(2), c1, OpKind::Load).unwrap();
+        mrt.add_copy_target(NodeId(1), c2).unwrap();
+        mrt.remove_copy_target(NodeId(1), c2);
+        mrt.release(NodeId(0));
+        mrt.reserve_copy(NodeId(3), c2, &[c0], None).unwrap();
+        mrt.rollback_to(mark);
+
+        assert_eq!(snapshot(&mrt), before);
+        assert!(mrt.is_reserved(NodeId(0)));
+        assert!(!mrt.is_reserved(NodeId(2)));
+        assert!(!mrt.is_reserved(NodeId(3)));
+        assert_eq!(mrt.reserved_copy(NodeId(1)).unwrap().targets, vec![c1]);
+    }
+
+    #[test]
+    fn nested_marks_rollback_in_order() {
+        let m = presets::two_cluster_gp(2, 1);
+        let mut mrt = CountMrt::new(&m, 2);
+        let c0 = ClusterId(0);
+        let outer = mrt.mark();
+        mrt.reserve_op(NodeId(0), c0, OpKind::IntAlu).unwrap();
+        let inner = mrt.mark();
+        mrt.reserve_op(NodeId(1), c0, OpKind::IntAlu).unwrap();
+        mrt.rollback_to(inner);
+        assert!(mrt.is_reserved(NodeId(0)));
+        assert!(!mrt.is_reserved(NodeId(1)));
+        mrt.rollback_to(outer);
+        assert_eq!(mrt.reserved_count(), 0);
+    }
+
+    #[test]
+    fn reset_rebases_ii_and_clears_reservations() {
+        let m = presets::two_cluster_gp(2, 1);
+        let mut mrt = CountMrt::new(&m, 1);
+        let c0 = ClusterId(0);
+        mrt.reserve_op(NodeId(0), c0, OpKind::IntAlu).unwrap();
+        mrt.reserve_copy(NodeId(1), c0, &[ClusterId(1)], None)
+            .unwrap();
+        mrt.reset(3);
+        assert_eq!(mrt.ii(), 3);
+        assert_eq!(mrt.reserved_count(), 0);
+        assert!(!mrt.is_reserved(NodeId(0)));
+        assert_eq!(mrt.free_fu_slots(c0), 4 * 3);
+        assert_eq!(mrt.free_bus_slots(), 2 * 3);
     }
 
     #[test]

@@ -22,6 +22,6 @@ mod count;
 mod map;
 mod table;
 
-pub use count::{CountMrt, Full};
+pub use count::{CountMark, CountMrt, Full};
 pub use map::{ClusterMap, CopyMeta};
 pub use table::{Conflict, PlaceOutcome, SlotRequest, TimeMrt};

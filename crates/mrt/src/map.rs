@@ -155,6 +155,19 @@ impl ClusterMap {
     pub fn copy_count(&self) -> usize {
         self.copy_len
     }
+
+    /// Remove every assignment and copy record, retaining both buffers'
+    /// capacity so a warmed map clears without touching the allocator.
+    pub fn clear(&mut self) {
+        for c in &mut self.cluster_of {
+            *c = None;
+        }
+        self.assigned = 0;
+        for m in &mut self.copies {
+            *m = None;
+        }
+        self.copy_len = 0;
+    }
 }
 
 #[cfg(test)]

@@ -7,8 +7,11 @@
 //! conflict evicts the current holders (Rau's force-place).
 //!
 //! The table is a dense flat grid with a generation (epoch) counter:
-//! clearing or resizing to a new II is O(1) — the epoch is bumped and
-//! every cell of an older epoch reads as empty. Placement state, the
+//! clearing or resizing to a new II bumps the epoch so every cell of an
+//! older epoch reads as empty. Occupancy is additionally mirrored in
+//! `u64`-word bitset rows, so the scheduler's free-column probes are mask
+//! tests and trailing-zero scans instead of per-slot holder walks (the
+//! grid itself is only consulted to name blockers). Placement state, the
 //! planning scratch, and per-node column lists are all reused across
 //! attempts, so a warmed table performs no heap allocation on the
 //! place/evict/remove/reset path (see [`TimeMrt::reset`]).
@@ -226,6 +229,14 @@ pub struct TimeMrt {
     cap_rows: usize,
     /// `grid[col * cap_rows + row]`.
     grid: Vec<Cell>,
+    /// `u64` words per packed occupancy row (`ceil(layout.total / 64)`).
+    words: usize,
+    /// Packed occupancy, row-major: bit `col % 64` of
+    /// `occ[row * words + col / 64]` is set iff `col` is held at `row` in
+    /// the current epoch. Rows `>= ii` may hold stale bits — they are
+    /// never probed, and [`TimeMrt::reset`] re-zeroes every row of the
+    /// new II before they come back into range.
+    occ: Vec<u64>,
     node_epoch: Vec<u32>,
     node_row: Vec<u32>,
     /// Columns held per node; inner capacity persists across epochs.
@@ -245,12 +256,15 @@ impl TimeMrt {
         assert!(ii > 0, "II must be positive");
         let layout = Layout::new(machine);
         let cap_rows = ii as usize;
+        let words = layout.total.div_ceil(64);
         TimeMrt {
             ii,
             grid: vec![EMPTY_CELL; layout.total * cap_rows],
             layout,
             epoch: 1,
             cap_rows,
+            words,
+            occ: vec![0; words * cap_rows],
             node_epoch: Vec::new(),
             node_row: Vec::new(),
             node_cols: Vec::new(),
@@ -280,11 +294,12 @@ impl TimeMrt {
         self.placed
     }
 
-    /// Drop every placement and move the table to a new II, in O(1):
-    /// the epoch counter is bumped, invalidating all cells at once. The
-    /// backing grid only grows (doubling) when `ii` exceeds every II seen
-    /// before, so sweeping `ii = min..=max` over one table performs
-    /// O(log max) allocations total and none once warmed.
+    /// Drop every placement and move the table to a new II: the epoch
+    /// counter is bumped, invalidating all cells at once, and the packed
+    /// occupancy rows of the new II are zeroed (a handful of words per
+    /// row). The backing buffers only grow (doubling) when `ii` exceeds
+    /// every II seen before, so sweeping `ii = min..=max` over one table
+    /// performs O(log max) allocations total and none once warmed.
     ///
     /// # Panics
     ///
@@ -297,15 +312,26 @@ impl TimeMrt {
             self.grid.clear();
             self.grid
                 .resize(self.layout.total * self.cap_rows, EMPTY_CELL);
+            self.occ.clear();
+            self.occ.resize(self.words * self.cap_rows, 0);
         }
         self.bump_epoch();
+        self.clear_occ_rows();
         self.placed = 0;
     }
 
-    /// Clear all placements (keeps the II); O(1).
+    /// Clear all placements (keeps the II).
     pub fn clear(&mut self) {
         self.bump_epoch();
+        self.clear_occ_rows();
         self.placed = 0;
+    }
+
+    /// Zero the packed occupancy of every row in `0..ii` (rows beyond the
+    /// II are cleaned up by whichever future `reset` brings them back
+    /// into range).
+    fn clear_occ_rows(&mut self) {
+        self.occ[..self.words * self.ii as usize].fill(0);
     }
 
     /// Blockers recorded by the most recent [`TimeMrt::try_place_quiet`]
@@ -323,6 +349,7 @@ impl TimeMrt {
             for e in &mut self.node_epoch {
                 *e = 0;
             }
+            self.occ.fill(0);
             self.epoch = 1;
         } else {
             self.epoch += 1;
@@ -352,8 +379,40 @@ impl TimeMrt {
         }
     }
 
-    fn free_col_in(&self, base: usize, count: usize, row: usize) -> Option<usize> {
-        (base..base + count).find(|&c| self.holder(c, row).is_none())
+    /// First free column in `[base, base + count)` at `row` that is not in
+    /// `claimed` (columns this same request already took — e.g. two
+    /// targets on one cluster cannot share a port). A packed scan: each
+    /// occupancy word is inverted, masked to the range, and walked by
+    /// trailing-zero bits; `claimed` is tiny, so its membership test is a
+    /// linear probe.
+    fn first_free_in(
+        &self,
+        base: usize,
+        count: usize,
+        row: usize,
+        claimed: &[usize],
+    ) -> Option<usize> {
+        let end = base + count;
+        let occ = &self.occ[row * self.words..(row + 1) * self.words];
+        let (first, last) = (base / 64, (end - 1) / 64);
+        for (w, word) in occ.iter().enumerate().take(last + 1).skip(first) {
+            let lo = w * 64;
+            let mut free = !word;
+            if lo < base {
+                free &= !0u64 << (base - lo);
+            }
+            if lo + 64 > end {
+                free &= !0u64 >> (lo + 64 - end);
+            }
+            while free != 0 {
+                let c = lo + free.trailing_zeros() as usize;
+                if !claimed.contains(&c) {
+                    return Some(c);
+                }
+                free &= free - 1;
+            }
+        }
+        None
     }
 
     /// Claim one column out of `groups` (a request may span several
@@ -368,42 +427,23 @@ impl TimeMrt {
         cols: &mut Vec<usize>,
         blockers: &mut Vec<NodeId>,
     ) -> bool {
-        let mut found = None;
         for &(base, count) in groups {
-            if let Some(c) = self.free_col_in(base, count, row) {
-                if !cols.contains(&c) {
-                    found = Some(c);
-                    break;
-                }
-                // Column already claimed by this same request (e.g. two
-                // targets on one cluster cannot share a port).
-                if let Some(c2) = (base..base + count)
-                    .find(|&cc| self.holder(cc, row).is_none() && !cols.contains(&cc))
-                {
-                    found = Some(c2);
-                    break;
-                }
+            if let Some(c) = self.first_free_in(base, count, row, cols) {
+                cols.push(c);
+                return true;
             }
         }
-        match found {
-            Some(c) => {
-                cols.push(c);
-                true
-            }
-            None => {
-                for &(base, count) in groups {
-                    if count > 0 {
-                        if let Some(owner) = self.holder(base, row) {
-                            if !blockers.contains(&owner) {
-                                blockers.push(owner);
-                            }
-                        }
-                        return false;
+        for &(base, count) in groups {
+            if count > 0 {
+                if let Some(owner) = self.holder(base, row) {
+                    if !blockers.contains(&owner) {
+                        blockers.push(owner);
                     }
                 }
-                false
+                return false;
             }
         }
+        false
     }
 
     /// Plan the columns for `req` at `row` into `cols`, collecting
@@ -485,6 +525,9 @@ impl TimeMrt {
                         epoch: self.epoch,
                         holder: node,
                     };
+                    let word = &mut self.occ[row as usize * self.words + c / 64];
+                    debug_assert!(*word & (1 << (c % 64)) == 0);
+                    *word |= 1 << (c % 64);
                 }
                 self.node_epoch[idx] = self.epoch;
                 self.node_row[idx] = row;
@@ -584,6 +627,7 @@ impl TimeMrt {
             let cell = &mut self.grid[c * self.cap_rows + row];
             debug_assert!(cell.epoch == self.epoch && cell.holder == node);
             cell.epoch = 0;
+            self.occ[row * self.words + c / 64] &= !(1 << (c % 64));
         }
         self.node_cols[idx] = cols;
         self.node_cols[idx].clear();
@@ -826,6 +870,47 @@ mod tests {
             mrt.try_place_quiet(NodeId(1), 0, &req),
             PlaceOutcome::Impossible
         );
+    }
+
+    #[test]
+    fn packed_rows_span_word_boundaries() {
+        // 8 clusters x (4 GP FUs + 4 read + 4 write ports) + 8 buses =
+        // 104 columns: occupancy rows span two u64 words. Saturate one
+        // cluster whose columns straddle nothing, then one whose port
+        // columns live in the second word, and check conflicts land
+        // exactly where the unpacked scan put them.
+        let m = presets::n_cluster_gp(8, 8, 4);
+        let mut mrt = TimeMrt::new(&m, 1);
+        for i in 0..4u32 {
+            assert!(mrt.try_place(NodeId(i), 0, &fu(7, OpKind::IntAlu)).is_ok());
+        }
+        let e = mrt
+            .try_place(NodeId(9), 0, &fu(7, OpKind::Load))
+            .unwrap_err();
+        assert_eq!(e.blockers, vec![NodeId(0)]);
+        // Copies from the last cluster claim ports deep in the row.
+        let req = SlotRequest::Copy {
+            src: ClusterId(7),
+            targets: vec![ClusterId(6)],
+            link: None,
+        };
+        for i in 10..14u32 {
+            assert!(mrt.try_place(NodeId(i), 0, &req).is_ok());
+        }
+        // 4 read ports on cluster 7 exhausted.
+        assert!(mrt.try_place(NodeId(20), 0, &req).is_err());
+    }
+
+    #[test]
+    fn reset_clears_stale_packed_bits() {
+        // Shrink the II below a row that holds placements, then grow back
+        // past it: the stale row must probe as empty again.
+        let m = presets::unified_gp(1);
+        let mut mrt = TimeMrt::new(&m, 4);
+        mrt.try_place(NodeId(0), 3, &fu(0, OpKind::IntAlu)).unwrap();
+        mrt.reset(2); // row 3 out of range, bits left stale
+        mrt.reset(4); // back in range: must have been re-zeroed
+        assert!(mrt.try_place(NodeId(1), 3, &fu(0, OpKind::IntAlu)).is_ok());
     }
 
     #[test]

@@ -1,6 +1,9 @@
 //! The full two-phase compilation pipeline of the paper's Figure 5:
 //! cluster assignment, then traditional modulo scheduling, escalating II
-//! and re-assigning from scratch whenever either phase fails.
+//! whenever either phase fails. Escalation re-enters a per-loop
+//! [`Assigner`] workspace that resets its working state in place and
+//! recycles the failed attempt's buffers, rather than re-assigning from
+//! scratch — with decisions bit-identical to a from-scratch run.
 //!
 //! Every failure reaching [`PipelineError`] is typed: scheduler failures
 //! arrive as [`clasp_sched::SchedFailure`] (budget, window, resource —
@@ -10,8 +13,7 @@
 //! exhaustion.
 
 use clasp_core::{
-    assign_traced_with_analysis, assign_with_analysis, post_scheduling_assign_from, AssignConfig,
-    AssignError, Assignment,
+    post_scheduling_assign_from, AssignConfig, AssignError, AssignTrace, Assigner, Assignment,
 };
 use clasp_ddg::{Ddg, LoopAnalysis};
 use clasp_machine::MachineSpec;
@@ -201,21 +203,20 @@ fn fold_sched_stats(obs: &Obs, stats: &AttemptStats) {
     obs.add(Counter::SchedConflictTransport, stats.conflicts[3]);
 }
 
-/// Run one escalation attempt's assignment, routing the assigner's
-/// decision log into the sink when it records (the traced and untraced
-/// assigners are decision-for-decision identical).
+/// Run one escalation attempt's assignment on the loop's carried
+/// [`Assigner`] workspace, routing the assigner's decision log into the
+/// sink when it records (the traced and untraced assigners are
+/// decision-for-decision identical).
 fn assign_observed(
-    g: &Ddg,
-    machine: &MachineSpec,
-    config: AssignConfig,
+    assigner: &mut Assigner<'_>,
     min_ii: u32,
-    analysis: &LoopAnalysis,
     obs: &Obs,
 ) -> Result<Assignment, AssignError> {
     if !obs.is_enabled() {
-        return assign_with_analysis(g, machine, config, min_ii, analysis);
+        return assigner.assign_min(min_ii);
     }
-    let (result, trace) = assign_traced_with_analysis(g, machine, config, min_ii, analysis);
+    let mut trace = AssignTrace::default();
+    let result = assigner.assign_min_traced(min_ii, &mut trace);
     obs.add(Counter::AssignEvents, trace.events.len() as u64);
     for ev in &trace.events {
         obs.event("assign", || ev.to_string());
@@ -240,12 +241,17 @@ pub(crate) fn compile_loop_observed(
     let (start, cap) =
         ii_search_range(g, machine.unified_equivalent().mii(g), config.assign.max_ii)
             .map_err(PipelineError::UnifiedBaselineFailed)?;
+    // One assignment workspace serves every escalation attempt of this
+    // loop: scheduler-driven retries re-enter it at a larger II with the
+    // working state reset in place and the failed attempt's assignment
+    // buffers recycled, instead of rebuilding everything from scratch.
+    let mut assigner = Assigner::with_analysis(g, machine, config.assign, analysis)?;
     let mut min_ii = start;
     let mut last = None;
     let mut attempted_max = None;
     while min_ii <= cap {
         let span = obs.begin("pipeline.attempt");
-        let assignment = match assign_observed(g, machine, config.assign, min_ii, analysis, obs) {
+        let assignment = match assign_observed(&mut assigner, min_ii, obs) {
             Ok(a) => a,
             Err(e) => {
                 obs.end_with(span, || {
@@ -270,7 +276,7 @@ pub(crate) fn compile_loop_observed(
         fold_sched_stats(obs, &stats);
         attempted_max = Some(assignment.ii);
         obs.end_with(span, || {
-            vec![
+            let mut args = vec![
                 ("requested_ii", min_ii.to_string()),
                 ("assigned_ii", assignment.ii.to_string()),
                 ("copies", assignment.copy_count().to_string()),
@@ -281,7 +287,11 @@ pub(crate) fn compile_loop_observed(
                         Err(f) => f.to_string(),
                     },
                 ),
-            ]
+            ];
+            if let Some(n) = result.as_ref().err().and_then(|f| f.blocking_node()) {
+                args.push(("blocked_on", n.to_string()));
+            }
+            args
         });
         match result {
             Ok(schedule) => {
@@ -295,8 +305,11 @@ pub(crate) fn compile_loop_observed(
                 // Scheduler failed at the assignment's II: the paper
                 // restarts the whole process one II higher (a fresh
                 // assignment generally needs fewer copies at a larger II).
+                // The discarded assignment's buffers go back to the
+                // workspace for the next attempt's materialization.
                 on_attempt(min_ii, &assignment, Some(&failure));
                 min_ii = assignment.ii + 1;
+                assigner.recycle(assignment);
                 last = Some(failure);
             }
         }
@@ -369,7 +382,7 @@ pub fn compile_loop_post_observed(
         fold_sched_stats(obs, &stats);
         attempted_max = Some(assignment.ii);
         obs.end_with(span, || {
-            vec![
+            let mut args = vec![
                 ("requested_ii", min_ii.to_string()),
                 ("assigned_ii", assignment.ii.to_string()),
                 ("copies", assignment.copy_count().to_string()),
@@ -380,7 +393,11 @@ pub fn compile_loop_post_observed(
                         Err(f) => f.to_string(),
                     },
                 ),
-            ]
+            ];
+            if let Some(n) = result.as_ref().err().and_then(|f| f.blocking_node()) {
+                args.push(("blocked_on", n.to_string()));
+            }
+            args
         });
         match result {
             Ok(schedule) => {
