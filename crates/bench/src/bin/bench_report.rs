@@ -15,17 +15,20 @@
 //!
 //! On top of the amortized stages, the report times the deterministic
 //! parallel executor (`clasp-exec`) over the corpus and the fuzz stream
-//! — asserting the parallel results bit-identical to serial first — and
-//! the content-addressed compile cache (cold corpus compile vs a warmed
-//! replay), recording the worker count and cache hit/miss counters in
-//! `BENCH_sched.json`.
+//! — asserting the parallel results bit-identical to serial first — the
+//! content-addressed compile cache (cold corpus compile vs a warmed
+//! replay, both through the `CompileService` facade), and the
+//! `clasp-serve` wire path (cold corpus over TCP against a fresh daemon
+//! vs warm-hit round-trips against a pre-warmed one), recording the
+//! worker count and cache hit/miss counters in `BENCH_sched.json`.
 //!
 //! Run with `cargo run --release -p clasp-bench --bin bench-report`.
 
 use clasp::obs::Obs;
+use clasp::serve::{Client, Server};
 use clasp::{
     compare_with_unified, compile_full, compile_full_observed, compile_loop, CompileRequest,
-    PipelineConfig,
+    CompileService, PipelineConfig, ServiceRequest,
 };
 use clasp_bench::{bench, fmt_ns, json_escape, seed, Timing};
 use clasp_core::{assign_from, assign_with_analysis, Assignment};
@@ -408,25 +411,33 @@ fn main() {
     println!("{}", corpus_sweep.baseline);
     println!("{}", corpus_sweep.amortized);
 
-    // Content-addressed compile cache: the cold corpus compile versus
-    // replaying it against a warmed cache (every request a hit).
-    let warm = clasp::CompileCache::new();
+    // Content-addressed compile cache behind the service facade: the
+    // cold corpus compile versus replaying it against a warmed service
+    // (every request a memory hit).
+    let quiet = Obs::disabled();
+    let warm = CompileService::in_memory();
     for g in &corpus {
-        warm.compile(g, &machine, &full_req);
+        warm.compile_artifact(g, &machine, &full_req, &quiet);
     }
     let compile_cache = Stage {
         name: "compile-cache",
         baseline: bench("cache/cold", SAMPLES, || {
-            let cold = clasp::CompileCache::new();
+            let cold = CompileService::in_memory();
             corpus
                 .iter()
-                .filter(|g| cold.compile(g, &machine, &full_req).is_ok())
+                .filter(|g| {
+                    cold.compile_artifact(g, &machine, &full_req, &quiet)
+                        .is_ok()
+                })
                 .count()
         }),
         amortized: bench("cache/warm", SAMPLES, || {
             corpus
                 .iter()
-                .filter(|g| warm.compile(g, &machine, &full_req).is_ok())
+                .filter(|g| {
+                    warm.compile_artifact(g, &machine, &full_req, &quiet)
+                        .is_ok()
+                })
                 .count()
         }),
     };
@@ -448,7 +459,13 @@ fn main() {
             threads,
             ..clasp_oracle::FuzzConfig::default()
         };
-        let report = clasp_oracle::run_fuzz(&cfg, &clasp::oracle_pipeline);
+        // A fresh service per run keeps every case a cold compile (the
+        // stream never repeats a loop), so the timing still measures
+        // oracle throughput while exercising the service-routed
+        // pipeline the CLI's fuzz command uses.
+        let service = CompileService::in_memory();
+        let pipeline = |g: &Ddg, m: &MachineSpec| service.oracle_case(g, m);
+        let report = clasp_oracle::run_fuzz(&cfg, &pipeline);
         assert!(
             report.is_clean(),
             "differential oracle found {} violating cases",
@@ -463,6 +480,82 @@ fn main() {
     };
     println!("{}", fuzz.baseline);
     println!("{}", fuzz.amortized);
+
+    // The wire path: the same corpus compiled through a `clasp-serve`
+    // daemon over localhost TCP. Correctness gate first: the daemon's
+    // reply bytes must equal the in-process service's for the same wire
+    // text (the daemon adds transport, never new behavior), and the
+    // served schedule must reach the II of the direct compile. (Full
+    // artifact equality would be too strong here: the wire round-trips
+    // the loop through `.clasp` text, which canonicalizes node labels
+    // the loopgen corpus leaves empty.)
+    let machine_text = clasp_text::write_machine(&machine);
+    let wire_requests: Vec<String> = corpus
+        .iter()
+        .map(|g| {
+            let mut sreq = ServiceRequest::new(clasp_text::write_loop(g), machine_text.clone());
+            sreq.request = full_req;
+            sreq.render()
+        })
+        .collect();
+    let warm_server = Server::start(
+        "127.0.0.1:0",
+        std::sync::Arc::new(CompileService::in_memory()),
+    )
+    .expect("bind ephemeral port");
+    let mut warm_client = Client::connect(warm_server.addr()).expect("connect warm daemon");
+    let gate_service = CompileService::in_memory();
+    for (g, wire) in corpus.iter().zip(&wire_requests) {
+        let reply = warm_client.roundtrip(wire).expect("serve round-trip");
+        assert_eq!(
+            reply,
+            gate_service.respond(wire),
+            "daemon reply diverged from the in-process service on {}",
+            g.name()
+        );
+        let served = clasp::ServiceReply::parse(&reply)
+            .expect("healthy reply")
+            .decode()
+            .expect("artifact payload");
+        let local = compile_full(g, &machine, &full_req);
+        assert_eq!(
+            served.as_ref().ok().map(|a| a.ii()),
+            local.as_ref().ok().map(|a| a.ii()),
+            "served II diverged from the direct compile on {}",
+            g.name()
+        );
+    }
+    let serve = Stage {
+        name: "serve",
+        baseline: bench("serve/cold", SAMPLES, || {
+            // A fresh daemon per sample: every request is a true miss
+            // compiled behind the wire, plus daemon start and shutdown.
+            let server = Server::start(
+                "127.0.0.1:0",
+                std::sync::Arc::new(CompileService::in_memory()),
+            )
+            .expect("bind ephemeral port");
+            let mut client = Client::connect(server.addr()).expect("connect cold daemon");
+            let served = wire_requests
+                .iter()
+                .filter(|wire| client.roundtrip(wire).is_ok())
+                .count();
+            server.shutdown().expect("graceful shutdown");
+            served
+        }),
+        amortized: bench("serve/warm", SAMPLES, || {
+            // Steady state: every request a memory hit on the warmed
+            // daemon — framing + lookup + canonical payload, no compile.
+            wire_requests
+                .iter()
+                .filter(|wire| warm_client.roundtrip(wire).is_ok())
+                .count()
+        }),
+    };
+    println!("{}", serve.baseline);
+    println!("{}", serve.amortized);
+    drop(warm_client);
+    warm_server.shutdown().expect("graceful warm shutdown");
 
     // Observability counters over the corpus: one instrumented compile
     // pass. Every counter is deterministic for a fixed corpus (see
@@ -489,10 +582,10 @@ fn main() {
         &subsystem_obs,
     )
     .expect("observed corpus sweep must not panic");
-    let observed_cache = clasp::CompileCache::new();
+    let observed_service = CompileService::in_memory();
     for g in &corpus {
-        let _ = observed_cache.compile_observed(g, &machine, &full_req, &subsystem_obs);
-        let _ = observed_cache.compile_observed(g, &machine, &full_req, &subsystem_obs);
+        let _ = observed_service.compile_artifact(g, &machine, &full_req, &subsystem_obs);
+        let _ = observed_service.compile_artifact(g, &machine, &full_req, &subsystem_obs);
     }
     for c in [
         clasp::obs::Counter::ExecItems,
@@ -516,6 +609,7 @@ fn main() {
         &corpus_sweep,
         &compile_cache,
         &fuzz,
+        &serve,
     ];
     println!();
     for s in &stages {

@@ -24,16 +24,21 @@
 //! keyed by an FNV-1a hash of canonical input texts, with deterministic
 //! hit/miss counters (exactly one miss per distinct key, no matter how
 //! many threads race to it). Grid sweeps that revisit the same
-//! loop × machine pair compile it once.
+//! loop × machine pair compile it once. The [`tier`] module layers a
+//! persistent [`DiskTier`] below it (memory-over-disk via
+//! [`TieredCache`]) so warm answers survive a process restart, and the
+//! cache itself can be byte-budget bounded for long-running daemons.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod cache;
 pub mod executor;
+pub mod tier;
 
-pub use cache::{CacheKey, CacheStats, ContentCache};
+pub use cache::{CacheKey, CacheStats, ContentCache, KeyBuilder, KeySink};
 pub use executor::{
     resolve_threads, sweep, sweep_observed, sweep_with, sweep_with_observed, try_sweep,
     try_sweep_observed, SweepPanic,
 };
+pub use tier::{CacheTier, DiskTier, TierGrade, TierLoad, TierStats, TieredCache, TieredStats};

@@ -3,11 +3,11 @@
 //! equally wide unified machine — the metric every figure of the paper's
 //! evaluation reports.
 
-use clasp::{compile_loop, PipelineConfig};
+use clasp::{CompileService, PipelineConfig};
 use clasp_ddg::Ddg;
 use clasp_exec::{sweep, SweepPanic};
 use clasp_machine::MachineSpec;
-use clasp_sched::{schedule_unified, SchedulerConfig};
+use clasp_sched::SchedulerConfig;
 use std::collections::BTreeMap;
 use std::io::Write as _;
 use std::path::Path;
@@ -25,6 +25,15 @@ pub fn set_threads(n: usize) {
 
 fn threads() -> usize {
     *THREADS.get().unwrap_or(&0)
+}
+
+/// The compile service every experiment shares: the phase-2 II memo
+/// tables mean a (loop, machine, config) pair swept by two figures is
+/// compiled once, and ablation series that differ only in label never
+/// recompute shared baselines.
+fn service() -> &'static CompileService {
+    static SERVICE: OnceLock<CompileService> = OnceLock::new();
+    SERVICE.get_or_init(CompileService::in_memory)
 }
 
 /// One experiment series (one line in a paper figure).
@@ -88,7 +97,7 @@ fn unified_baseline(
         threads(),
         corpus,
         |_, g| format!("loop {} on unified baseline {}", g.name(), unified.name()),
-        |_, g| schedule_unified(g, unified, sched).ok().map(|s| s.ii()),
+        |_, g| service().unified_ii_of(g, unified, sched),
     )
 }
 
@@ -126,7 +135,7 @@ pub fn run_experiment(corpus: &[Ddg], specs: &[SeriesSpec]) -> Result<Vec<Series
                 threads(),
                 corpus,
                 |_, g: &Ddg| format!("loop {} on {} ({label})", g.name(), machine.name()),
-                |_, g| compile_loop(g, machine, *config).ok().map(|c| c.ii()),
+                |_, g| service().ii_of(g, machine, *config),
             )?;
             let mut hist = BTreeMap::new();
             let mut fails = 0usize;

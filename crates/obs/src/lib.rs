@@ -73,16 +73,26 @@ pub enum Counter {
     /// Items completed by executor sweeps (the work count, not the
     /// per-worker distribution — that lives in span args).
     ExecItems,
-    /// Compile-cache hits.
+    /// Compile-cache hits served by the in-memory tier.
     CacheHits,
     /// Compile-cache misses (exactly one per unique key, by the cache's
     /// contention contract).
     CacheMisses,
+    /// Compile-cache lookups served by decoding a persisted payload
+    /// from the disk tier.
+    CacheDiskHits,
+    /// Disk-tier failures (truncated/corrupt shard files, I/O errors,
+    /// undecodable payloads) — each degraded to a miss, never a panic.
+    CacheDiskErrors,
+    /// Disk-tier payloads promoted into the in-memory tier.
+    CachePromotions,
+    /// In-memory entries removed by the byte-budget eviction policy.
+    CacheEvictions,
 }
 
 impl Counter {
     /// Every counter, in catalogue order.
-    pub const ALL: [Counter; 14] = [
+    pub const ALL: [Counter; 18] = [
         Counter::PipelineAttempts,
         Counter::AssignCopies,
         Counter::AssignEvents,
@@ -97,6 +107,10 @@ impl Counter {
         Counter::ExecItems,
         Counter::CacheHits,
         Counter::CacheMisses,
+        Counter::CacheDiskHits,
+        Counter::CacheDiskErrors,
+        Counter::CachePromotions,
+        Counter::CacheEvictions,
     ];
 
     /// The stable dotted name used in traces and reports.
@@ -116,6 +130,10 @@ impl Counter {
             Counter::ExecItems => "exec.items",
             Counter::CacheHits => "cache.hits",
             Counter::CacheMisses => "cache.misses",
+            Counter::CacheDiskHits => "cache.disk_hits",
+            Counter::CacheDiskErrors => "cache.disk_errors",
+            Counter::CachePromotions => "cache.promotions",
+            Counter::CacheEvictions => "cache.evictions",
         }
     }
 

@@ -22,6 +22,8 @@ mod machine;
 mod parse;
 mod write;
 
-pub use machine::{parse_machine, write_machine, MachineParseError};
+pub use machine::{
+    parse_machine, write_machine, write_machine_into, write_machine_named_into, MachineParseError,
+};
 pub use parse::{parse_loop, ParseError, ParseErrorKind};
-pub use write::write_loop;
+pub use write::{write_loop, write_loop_into};

@@ -250,12 +250,33 @@ pub fn parse_machine(text: &str) -> Result<MachineSpec, MachineParseError> {
 /// # Ok::<(), clasp_text::MachineParseError>(())
 /// ```
 pub fn write_machine(machine: &MachineSpec) -> String {
-    use std::fmt::Write as _;
     let mut s = String::new();
-    let _ = writeln!(s, "machine {}", sanitize_name(machine.name()));
+    let _ = write_machine_into(machine, &mut s);
+    s
+}
+
+/// [`write_machine`] streamed into any [`fmt::Write`] sink.
+pub fn write_machine_into<W: std::fmt::Write>(
+    machine: &MachineSpec,
+    w: &mut W,
+) -> std::fmt::Result {
+    write_machine_named_into(machine, machine.name(), w)
+}
+
+/// [`write_machine_into`] with the display name overridden — the hook
+/// the compile cache uses to stream a name-normalized rendering straight
+/// into its key hash without cloning the `MachineSpec`.
+pub fn write_machine_named_into<W: std::fmt::Write>(
+    machine: &MachineSpec,
+    name: &str,
+    w: &mut W,
+) -> std::fmt::Result {
+    write!(w, "machine ")?;
+    crate::write::sanitize_into(name, "machine", w)?;
+    writeln!(w)?;
     for c in machine.cluster_ids() {
         let spec = machine.cluster(c);
-        let _ = write!(s, "cluster");
+        write!(w, "cluster")?;
         for (count, suffix) in [
             (spec.general, "gp"),
             (spec.memory, "m"),
@@ -263,10 +284,10 @@ pub fn write_machine(machine: &MachineSpec) -> String {
             (spec.float, "f"),
         ] {
             if count > 0 {
-                let _ = write!(s, " {count}{suffix}");
+                write!(w, " {count}{suffix}")?;
             }
         }
-        let _ = writeln!(s);
+        writeln!(w)?;
     }
     match machine.interconnect() {
         Interconnect::None => {}
@@ -275,7 +296,7 @@ pub fn write_machine(machine: &MachineSpec) -> String {
             read_ports,
             write_ports,
         } => {
-            let _ = writeln!(s, "bus {buses} ports {read_ports} {write_ports}");
+            writeln!(w, "bus {buses} ports {read_ports} {write_ports}")?;
         }
         Interconnect::PointToPoint {
             links,
@@ -283,33 +304,14 @@ pub fn write_machine(machine: &MachineSpec) -> String {
             write_ports,
         } => {
             for l in links {
-                let _ = writeln!(s, "link {} {}", l.a.0, l.b.0);
+                writeln!(w, "link {} {}", l.a.0, l.b.0)?;
             }
             if !links.is_empty() {
-                let _ = writeln!(s, "ports {read_ports} {write_ports}");
+                writeln!(w, "ports {read_ports} {write_ports}")?;
             }
         }
     }
-    s
-}
-
-/// Machine names are single tokens in the format; collapse anything else.
-fn sanitize_name(name: &str) -> String {
-    let cleaned: String = name
-        .chars()
-        .map(|c| {
-            if c.is_whitespace() || c == '#' {
-                '_'
-            } else {
-                c
-            }
-        })
-        .collect();
-    if cleaned.is_empty() {
-        "machine".to_string()
-    } else {
-        cleaned
-    }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -89,6 +89,9 @@ fn kind_of(token: &str) -> Option<OpKind> {
         "fmul" => OpKind::FpMult,
         "fdiv" => OpKind::FpDiv,
         "fsqrt" => OpKind::FpSqrt,
+        // Emitted only by the writer for working graphs (the artifact
+        // codec round-trips them); accepted on input for symmetry.
+        "cp" | "copy" => OpKind::Copy,
         _ => return None,
     })
 }

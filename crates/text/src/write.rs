@@ -1,8 +1,8 @@
 //! Writer for the `.clasp` loop format: renders a [`Ddg`] back to text
 //! that [`crate::parse_loop`] reproduces exactly (up to generated ids).
 
-use clasp_ddg::{Ddg, NodeId, OpKind};
-use std::fmt::Write as _;
+use clasp_ddg::{Ddg, OpKind};
+use std::fmt;
 
 fn kind_token(k: OpKind) -> &'static str {
     match k {
@@ -15,20 +15,20 @@ fn kind_token(k: OpKind) -> &'static str {
         OpKind::FpMult => "fmul",
         OpKind::FpDiv => "fdiv",
         OpKind::FpSqrt => "fsqrt",
-        OpKind::Copy => "alu", // copies are not part of the input format
+        // Copies never appear in hand-written input, but working graphs
+        // (and the persisted-artifact codec) round-trip through the
+        // writer, so they get their own token rather than masquerading
+        // as `alu`.
+        OpKind::Copy => "cp",
     }
-}
-
-fn ident(n: NodeId) -> String {
-    format!("n{}", n.0)
 }
 
 /// Render `g` as a `.clasp` loop description.
 ///
 /// Node ids are generated (`n0`, `n1`, ...); human labels are preserved
 /// as quoted strings. Copy nodes (never present in hand-written input)
-/// are rendered as `alu` ops so round-tripping a *working* graph still
-/// yields a valid parse, though normally only original loops are written.
+/// are rendered as `cp` ops so round-tripping a *working* graph yields
+/// the same graph back, though normally only original loops are written.
 ///
 /// # Examples
 ///
@@ -47,45 +47,57 @@ fn ident(n: NodeId) -> String {
 /// ```
 pub fn write_loop(g: &Ddg) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "loop {}", sanitize(g.name()));
-    let _ = writeln!(s);
-    for (n, op) in g.nodes() {
-        let _ = write!(s, "op {} {}", ident(n), kind_token(op.kind));
-        if let Some(name) = &op.name {
-            let _ = write!(s, " \"{}\"", name.replace('"', "'"));
-        }
-        let _ = writeln!(s);
-    }
-    let _ = writeln!(s);
-    for (_, e) in g.edges() {
-        let _ = write!(s, "dep {} -> {}", ident(e.src), ident(e.dst));
-        if e.distance != 0 {
-            let _ = write!(s, " @{}", e.distance);
-        }
-        if e.latency != g.op(e.src).kind.latency() {
-            let _ = write!(s, " !{}", e.latency);
-        }
-        let _ = writeln!(s);
-    }
+    let _ = write_loop_into(g, &mut s);
     s
 }
 
-fn sanitize(name: &str) -> String {
-    let cleaned: String = name
-        .chars()
-        .map(|c| {
-            if c.is_whitespace() || c == '#' {
-                '_'
-            } else {
-                c
+/// [`write_loop`] streamed into any [`fmt::Write`] sink — the
+/// allocation-free path used when the rendering is consumed on the fly
+/// (e.g. folded straight into a cache-key hash).
+pub fn write_loop_into<W: fmt::Write>(g: &Ddg, w: &mut W) -> fmt::Result {
+    write!(w, "loop ")?;
+    sanitize_into(g.name(), "loop", w)?;
+    writeln!(w)?;
+    writeln!(w)?;
+    for (n, op) in g.nodes() {
+        write!(w, "op n{} {}", n.0, kind_token(op.kind))?;
+        if let Some(name) = &op.name {
+            write!(w, " \"")?;
+            for c in name.chars() {
+                w.write_char(if c == '"' { '\'' } else { c })?;
             }
-        })
-        .collect();
-    if cleaned.is_empty() {
-        "loop".to_string()
-    } else {
-        cleaned
+            write!(w, "\"")?;
+        }
+        writeln!(w)?;
     }
+    writeln!(w)?;
+    for (_, e) in g.edges() {
+        write!(w, "dep n{} -> n{}", e.src.0, e.dst.0)?;
+        if e.distance != 0 {
+            write!(w, " @{}", e.distance)?;
+        }
+        if e.latency != g.op(e.src).kind.latency() {
+            write!(w, " !{}", e.latency)?;
+        }
+        writeln!(w)?;
+    }
+    Ok(())
+}
+
+/// Stream `name` with whitespace and `#` collapsed to `_`, falling back
+/// to `fallback` for an empty name.
+pub(crate) fn sanitize_into<W: fmt::Write>(name: &str, fallback: &str, w: &mut W) -> fmt::Result {
+    if name.is_empty() {
+        return w.write_str(fallback);
+    }
+    for c in name.chars() {
+        w.write_char(if c.is_whitespace() || c == '#' {
+            '_'
+        } else {
+            c
+        })?;
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -137,6 +149,32 @@ mod tests {
         g.add(OpKind::Load);
         let back = roundtrip(&g);
         assert_eq!(back.name(), "has_spaces___and_hash");
+    }
+
+    #[test]
+    fn copies_round_trip_as_cp() {
+        let mut g = Ddg::new("wg");
+        let a = g.add(OpKind::Load);
+        let c = g.add(OpKind::Copy);
+        let b = g.add(OpKind::FpAdd);
+        g.add_dep(a, c);
+        g.add_dep(c, b);
+        let text = write_loop(&g);
+        assert!(text.contains(" cp"), "{text}");
+        let back = roundtrip(&g);
+        assert_eq!(back.op(c).kind, OpKind::Copy);
+    }
+
+    #[test]
+    fn streamed_writer_matches_string_writer() {
+        let mut g = Ddg::new("streamed name");
+        let a = g.add_named(OpKind::Load, "x\"q\"");
+        let b = g.add(OpKind::FpMult);
+        g.add_dep(a, b);
+        g.add_dep_carried(b, b, 3);
+        let mut streamed = String::new();
+        write_loop_into(&g, &mut streamed).unwrap();
+        assert_eq!(streamed, write_loop(&g));
     }
 
     #[test]

@@ -11,6 +11,16 @@
 //! clasp-cli batch    [--dir DIR] [--threads N]
 //! clasp-cli machines
 //!
+//! Every compile — `compile`, `simulate`, `batch`, and the fuzz
+//! oracle's — goes through the `CompileService` facade: a tiered
+//! content-addressed cache (`--cache-dir` adds a persistent tier whose
+//! artifacts survive the process; `--memory-budget` bounds the
+//! in-memory tier in bytes) behind an admission gate. With
+//! `--server HOST:PORT`, `compile`, `simulate` and `batch` send their
+//! requests to a running `clasp-serve` daemon instead and print from
+//! the returned canonical artifact — the output is bit-identical to a
+//! local run.
+//!
 //! `fuzz` runs the differential oracle over a seeded stream of random
 //! (loop, machine) pairs and exits non-zero on any invariant violation;
 //! with `--shrink`, violating cases are minimized and written as
@@ -51,9 +61,14 @@
 //!   --trace-json <path>   write a Chrome trace-event JSON file
 //!                         (load in Perfetto / chrome://tracing); also
 //!                         accepted by `batch`
+//!   --cache-dir <dir>     persistent compile-cache tier (also `batch`)
+//!   --memory-budget <n>   in-memory cache byte budget (also `batch`)
+//!   --server <host:port>  compile on a `clasp-serve` daemon (also `batch`)
 //! ```
 
-use clasp::{compile_full_observed, unified_ii, CompileRequest, PipelineConfig, RegisterModelKind};
+use clasp::serve::Client;
+use clasp::service::{CompileService, ServiceConfig, ServiceRequest};
+use clasp::{unified_ii, CompileRequest, CompiledArtifact, PipelineConfig, RegisterModelKind};
 use clasp_core::Variant;
 use clasp_ddg::{find_sccs, rec_mii, swing_order, Ddg};
 use clasp_machine::{presets, MachineSpec};
@@ -74,6 +89,9 @@ struct Options {
     kernel: bool,
     explain: bool,
     trace_json: Option<String>,
+    cache_dir: Option<String>,
+    memory_budget: Option<usize>,
+    server: Option<String>,
 }
 
 impl Default for Options {
@@ -91,8 +109,54 @@ impl Default for Options {
             kernel: false,
             explain: false,
             trace_json: None,
+            cache_dir: None,
+            memory_budget: None,
+            server: None,
         }
     }
+}
+
+/// The local compile service for one CLI invocation: persistent tier
+/// and memory budget straight from the flags, admission left at one
+/// compile per hardware thread.
+fn local_service(
+    cache_dir: Option<&str>,
+    memory_budget: Option<usize>,
+) -> Result<CompileService, String> {
+    CompileService::new(ServiceConfig {
+        threads: 0,
+        memory_budget,
+        cache_dir: cache_dir.map(Into::into),
+    })
+    .map_err(|e| format!("opening cache dir: {e}"))
+}
+
+/// One compile on a `clasp-serve` daemon: canonical texts over the
+/// wire, canonical artifact back (with the trace JSON when `trace` is
+/// set). The decoded artifact is bit-identical to a local compile.
+fn remote_compile(
+    addr: &str,
+    g: &Ddg,
+    machine: &MachineSpec,
+    req: &CompileRequest,
+    trace: bool,
+) -> Result<
+    (
+        Result<CompiledArtifact, clasp::PipelineError>,
+        Option<String>,
+    ),
+    String,
+> {
+    let mut client = Client::connect(addr).map_err(|e| format!("{addr}: {e}"))?;
+    let mut sreq = ServiceRequest::new(
+        clasp_text::write_loop(g),
+        clasp_text::write_machine(machine),
+    );
+    sreq.request = *req;
+    sreq.capture_trace = trace;
+    let reply = client.compile(&sreq).map_err(|e| format!("{addr}: {e}"))?;
+    let result = reply.decode().map_err(|e| format!("{addr}: {e}"))?;
+    Ok((result, reply.trace))
 }
 
 fn usage() -> ExitCode {
@@ -100,8 +164,10 @@ fn usage() -> ExitCode {
         "usage: clasp-cli <analyze|compile|simulate|fuzz|batch|machines> [loop.clasp] [options]\n\
          see `clasp-cli machines` for presets; options: --machine --buses --ports\n\
          --variant --scheduler --model --iterations --dot --kernel --explain --trace-json\n\
+         --cache-dir --memory-budget --server\n\
          fuzz options: --seed --cases --iterations --shrink --fault --out --threads\n\
-         batch options: --dir --threads --trace-json"
+         --cache-dir --memory-budget\n\
+         batch options: --dir --threads --trace-json --cache-dir --memory-budget --server"
     );
     ExitCode::from(2)
 }
@@ -216,9 +282,27 @@ fn compile(g: &Ddg, opts: &Options) -> Result<(), String> {
         }
         println!();
     }
-    let obs = make_obs(opts);
-    let compiled = compile_full_observed(g, &machine, &req, &obs);
-    write_trace(opts.trace_json.as_deref(), &obs)?;
+    let mut obs_render = None;
+    let compiled = if let Some(addr) = &opts.server {
+        let (result, trace) = remote_compile(addr, g, &machine, &req, opts.trace_json.is_some())?;
+        if let (Some(path), Some(trace)) = (&opts.trace_json, &trace) {
+            std::fs::write(path, trace).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!("trace written to {path}");
+        }
+        result
+    } else {
+        let service = local_service(opts.cache_dir.as_deref(), opts.memory_budget)?;
+        let obs = make_obs(opts);
+        let result = service
+            .compile_artifact(g, &machine, &req, &obs)
+            .as_ref()
+            .clone();
+        write_trace(opts.trace_json.as_deref(), &obs)?;
+        if opts.explain {
+            obs_render = Some(obs.render());
+        }
+        result
+    };
     let artifact = compiled.map_err(|e| e.to_string())?;
     let baseline = unified_ii(g, &machine, req.pipeline.sched);
     let wg = &artifact.assignment.graph;
@@ -262,17 +346,39 @@ fn compile(g: &Ddg, opts: &Options) -> Result<(), String> {
     }
     if opts.explain {
         println!("\n{report}");
-        println!("\nobservability:");
-        print!("{}", obs.render());
+        match &obs_render {
+            Some(rendered) => {
+                println!("\nobservability:");
+                print!("{rendered}");
+            }
+            // Remote compiles do not ship the span tree; the trace JSON
+            // (`--trace-json`) carries the same spans.
+            None => println!("\nobservability: recorded on the server (use --trace-json)"),
+        }
     }
     Ok(())
 }
 
 fn simulate(g: &Ddg, opts: &Options) -> Result<(), String> {
     let machine = build_machine(opts)?;
-    let obs = make_obs(opts);
-    let compiled = compile_full_observed(g, &machine, &request(opts, true), &obs);
-    write_trace(opts.trace_json.as_deref(), &obs)?;
+    let req = request(opts, true);
+    let compiled = if let Some(addr) = &opts.server {
+        let (result, trace) = remote_compile(addr, g, &machine, &req, opts.trace_json.is_some())?;
+        if let (Some(path), Some(trace)) = (&opts.trace_json, &trace) {
+            std::fs::write(path, trace).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!("trace written to {path}");
+        }
+        result
+    } else {
+        let service = local_service(opts.cache_dir.as_deref(), opts.memory_budget)?;
+        let obs = make_obs(opts);
+        let result = service
+            .compile_artifact(g, &machine, &req, &obs)
+            .as_ref()
+            .clone();
+        write_trace(opts.trace_json.as_deref(), &obs)?;
+        result
+    };
     let artifact = compiled.map_err(|e| e.to_string())?;
     println!(
         "ok: pipelined execution (II = {}) matches sequential execution over {} iterations",
@@ -289,6 +395,8 @@ fn fuzz(args: &[String]) -> Result<bool, String> {
     let mut config = clasp_oracle::FuzzConfig::default();
     let mut shrink = false;
     let mut out = String::from("results/repros");
+    let mut cache_dir: Option<String> = None;
+    let mut memory_budget: Option<usize> = None;
     let mut i = 0;
     while i < args.len() {
         let take = |i: &mut usize| -> Option<String> {
@@ -323,20 +431,29 @@ fn fuzz(args: &[String]) -> Result<bool, String> {
             }
             "--shrink" => shrink = true,
             "--out" => out = take(&mut i).ok_or("--out needs a directory")?,
+            "--cache-dir" => cache_dir = Some(take(&mut i).ok_or("--cache-dir needs a directory")?),
+            "--memory-budget" => {
+                memory_budget = Some(
+                    take(&mut i)
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--memory-budget needs a byte count")?,
+                );
+            }
             other => return Err(format!("unknown fuzz option `{other}`")),
         }
         i += 1;
     }
 
+    // The oracle's pipeline goes through the compile service: a case
+    // recompiled while shrinking is a cache hit, and with `--cache-dir`
+    // repeated fuzz runs share artifacts across processes.
+    let service = local_service(cache_dir.as_deref(), memory_budget)?;
+    let pipeline = |g: &Ddg, m: &MachineSpec| service.oracle_case(g, m);
     let report = if shrink {
-        clasp_oracle::run_fuzz_with_repros(
-            &config,
-            &clasp::oracle_pipeline,
-            std::path::Path::new(&out),
-        )
-        .map_err(|e| format!("writing reproducers under {out}: {e}"))?
+        clasp_oracle::run_fuzz_with_repros(&config, &pipeline, std::path::Path::new(&out))
+            .map_err(|e| format!("writing reproducers under {out}: {e}"))?
     } else {
-        clasp_oracle::run_fuzz(&config, &clasp::oracle_pipeline)
+        clasp_oracle::run_fuzz(&config, &pipeline)
     };
 
     for failure in &report.failures {
@@ -383,10 +500,43 @@ fn preset_list() -> Vec<(&'static str, MachineSpec)> {
 /// preset machine (clustered + unified baseline per pair) in one
 /// parallel sweep through the compile cache. Stdout is bit-identical
 /// for every `--threads` value; timing goes to stderr.
+/// One batch report row from the pair's two compile results — shared
+/// verbatim between the local sweep and the `--server` path so the
+/// printed rows are bit-identical wherever the compile ran.
+fn batch_row(
+    clustered: &Result<CompiledArtifact, clasp::PipelineError>,
+    unified: &Result<CompiledArtifact, clasp::PipelineError>,
+    machine: &MachineSpec,
+) -> Result<String, String> {
+    let baseline = match unified {
+        Ok(a) => a.ii().to_string(),
+        Err(_) => "-".into(),
+    };
+    match clustered {
+        Ok(a) => {
+            // Content hash of the kernel: CI diffs batch output
+            // across thread counts, so this certifies the whole
+            // emitted kernel bit-for-bit, not just the II.
+            let kernel = clasp_exec::CacheKey::of(&[&a.kernel_table(machine)]).to_string();
+            Ok(format!(
+                "II {:>2} (unified {:>2}), {} copies, kernel {}",
+                a.ii(),
+                baseline,
+                a.assignment.copy_count(),
+                kernel
+            ))
+        }
+        Err(e) => Err(e.to_string()),
+    }
+}
+
 fn batch(args: &[String]) -> Result<bool, String> {
     let mut dir = String::from("loops");
     let mut threads = 0usize;
     let mut trace_json: Option<String> = None;
+    let mut cache_dir: Option<String> = None;
+    let mut memory_budget: Option<usize> = None;
+    let mut server: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         let take = |i: &mut usize| -> Option<String> {
@@ -401,6 +551,15 @@ fn batch(args: &[String]) -> Result<bool, String> {
                     .ok_or("--threads needs a number")?;
             }
             "--trace-json" => trace_json = Some(take(&mut i).ok_or("--trace-json needs a path")?),
+            "--cache-dir" => cache_dir = Some(take(&mut i).ok_or("--cache-dir needs a directory")?),
+            "--memory-budget" => {
+                memory_budget = Some(
+                    take(&mut i)
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--memory-budget needs a byte count")?,
+                );
+            }
+            "--server" => server = Some(take(&mut i).ok_or("--server needs host:port")?),
             other => return Err(format!("unknown batch option `{other}`")),
         }
         i += 1;
@@ -428,45 +587,55 @@ fn batch(args: &[String]) -> Result<bool, String> {
         .flat_map(|l| (0..machines.len()).map(move |m| (l, m)))
         .collect();
 
-    let cache = clasp::CompileCache::new();
     let req = CompileRequest::default();
-    let obs = Obs::enabled();
     let t0 = std::time::Instant::now();
-    let rows = clasp_exec::sweep_observed(
-        threads,
-        &pairs,
-        |_, &(l, m)| format!("loop {} on {}", loops[l].0, machines[m].0),
-        |_, &(l, m)| {
+    let (rows, footer) = if let Some(addr) = &server {
+        // Remote mode: one connection, pairs in deterministic order.
+        // Rows come from the daemon's canonical artifacts and print
+        // bit-identically to a local run; the footer skips local cache
+        // state (the daemon owns it — ask via the `stats` verb).
+        let mut client = Client::connect(addr).map_err(|e| format!("{addr}: {e}"))?;
+        let mut compile = |g: &Ddg, machine: &MachineSpec| {
+            let mut sreq = ServiceRequest::new(
+                clasp_text::write_loop(g),
+                clasp_text::write_machine(machine),
+            );
+            sreq.request = req;
+            let reply = client.compile(&sreq).map_err(|e| format!("{addr}: {e}"))?;
+            reply.decode().map_err(|e| format!("{addr}: {e}"))
+        };
+        let mut rows = Vec::with_capacity(pairs.len());
+        for &(l, m) in &pairs {
             let (_, g) = &loops[l];
             let (_, machine) = &machines[m];
-            let clustered = cache.compile_observed(g, machine, &req, &obs);
-            let unified = cache.compile_observed(g, &machine.unified_equivalent(), &req, &obs);
-            let baseline = match unified.as_ref() {
-                Ok(a) => a.ii().to_string(),
-                Err(_) => "-".into(),
-            };
-            match clustered.as_ref() {
-                Ok(a) => {
-                    // Content hash of the kernel: CI diffs batch output
-                    // across thread counts, so this certifies the whole
-                    // emitted kernel bit-for-bit, not just the II.
-                    let kernel = clasp_exec::CacheKey::of(&[&a.kernel_table(machine)]).to_string();
-                    Ok(format!(
-                        "II {:>2} (unified {:>2}), {} copies, kernel {}",
-                        a.ii(),
-                        baseline,
-                        a.assignment.copy_count(),
-                        kernel
-                    ))
-                }
-                Err(e) => Err(e.to_string()),
-            }
-        },
-        &obs,
-    )
-    .map_err(|p| format!("batch sweep panicked: {p}"))?;
+            let clustered = compile(g, machine)?;
+            let unified = compile(g, &machine.unified_equivalent())?;
+            rows.push(batch_row(&clustered, &unified, machine));
+        }
+        (rows, None)
+    } else {
+        let service =
+            local_service(cache_dir.as_deref(), memory_budget).map(std::sync::Arc::new)?;
+        let obs = Obs::enabled();
+        let rows = clasp_exec::sweep_observed(
+            threads,
+            &pairs,
+            |_, &(l, m)| format!("loop {} on {}", loops[l].0, machines[m].0),
+            |_, &(l, m)| {
+                let (_, g) = &loops[l];
+                let (_, machine) = &machines[m];
+                let clustered = service.compile_artifact(g, machine, &req, &obs);
+                let unified =
+                    service.compile_artifact(g, &machine.unified_equivalent(), &req, &obs);
+                batch_row(clustered.as_ref(), unified.as_ref(), machine)
+            },
+            &obs,
+        )
+        .map_err(|p| format!("batch sweep panicked: {p}"))?;
+        write_trace(trace_json.as_deref(), &obs)?;
+        (rows, Some((service, obs)))
+    };
     let elapsed = t0.elapsed();
-    write_trace(trace_json.as_deref(), &obs)?;
 
     let mut failed = 0usize;
     for (&(l, m), row) in pairs.iter().zip(&rows) {
@@ -479,20 +648,33 @@ fn batch(args: &[String]) -> Result<bool, String> {
             }
         }
     }
-    let stats = cache.stats();
-    println!(
-        "batch: {} loops x {} machines = {} pairs, {} failed; cache {}",
-        loops.len(),
-        machines.len(),
-        pairs.len(),
-        failed,
-        stats
-    );
-    // Every counter depends only on work done, never on worker
-    // interleaving, so this block is part of the bit-identical report.
-    println!("counters:");
-    for (name, value) in obs.counters() {
-        println!("  {name} = {value}");
+    match &footer {
+        Some((service, obs)) => {
+            println!(
+                "batch: {} loops x {} machines = {} pairs, {} failed; cache {}",
+                loops.len(),
+                machines.len(),
+                pairs.len(),
+                failed,
+                service.stats()
+            );
+            // Every counter depends only on work done, never on worker
+            // interleaving, so this block is part of the bit-identical
+            // report.
+            println!("counters:");
+            for (name, value) in obs.counters() {
+                println!("  {name} = {value}");
+            }
+        }
+        None => {
+            println!(
+                "batch: {} loops x {} machines = {} pairs, {} failed; server",
+                loops.len(),
+                machines.len(),
+                pairs.len(),
+                failed
+            );
+        }
     }
     eprintln!(
         "batch: {} workers, {elapsed:.1?}",
@@ -603,6 +785,16 @@ fn main() -> ExitCode {
             "--trace-json" => take(&mut i)
                 .map(|v| opts.trace_json = Some(v))
                 .ok_or("--trace-json needs a path".into()),
+            "--cache-dir" => take(&mut i)
+                .map(|v| opts.cache_dir = Some(v))
+                .ok_or("--cache-dir needs a directory".into()),
+            "--memory-budget" => take(&mut i)
+                .and_then(|v| v.parse().ok())
+                .map(|v| opts.memory_budget = Some(v))
+                .ok_or("--memory-budget needs a byte count".into()),
+            "--server" => take(&mut i)
+                .map(|v| opts.server = Some(v))
+                .ok_or("--server needs host:port".into()),
             other => Err(format!("unknown option `{other}`")),
         };
         if let Err(e) = result {

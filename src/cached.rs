@@ -1,13 +1,18 @@
-//! Content-addressed compile cache: memoized [`compile_full`](crate::compile_full).
+//! Content-addressed compile cache: memoized [`compile_full`](crate::compile_full)
+//! over an in-memory tier with an optional persistent disk tier.
 //!
-//! The key is a 128-bit FNV-1a hash over three canonical texts —
-//! [`clasp_text::write_loop`] of the graph, [`clasp_text::write_machine`]
-//! of the machine with its display name normalized out, and the
-//! `Debug` rendering of the [`CompileRequest`]. Two requests collide
+//! The key is a 128-bit FNV-1a hash-of-hashes over three canonical
+//! texts — [`clasp_text::write_loop`] of the graph, the machine
+//! description with its display name normalized out, and the `Debug`
+//! rendering of the [`CompileRequest`]. All three are *streamed* into
+//! the hasher ([`clasp_exec::KeyBuilder`]): a warm lookup allocates
+//! nothing, which `tests/alloc_free.rs` pins. Two requests collide
 //! exactly when nothing the pipeline can observe differs:
 //!
-//! - the loop text is a lossless round-trip of the graph, so two graphs
-//!   with the same text compile identically;
+//! - the loop text round-trips everything the pipeline reads (ops,
+//!   kinds, dependences, distances), so two graphs with the same text
+//!   compile identically — display labels are canonicalized by the
+//!   rendering and may be served from whichever caller compiled first;
 //! - the machine name is presentation only (no stage reads it), so
 //!   `4c-gp-4b-2p`'s unified equivalent and an identically shaped
 //!   `unified` preset share one entry;
@@ -16,12 +21,21 @@
 //!
 //! Results (including failures) are memoized behind `Arc`, and hit/miss
 //! counters are deterministic even under thread contention — see
-//! [`clasp_exec::cache`] for the contention contract.
+//! [`clasp_exec::cache`] for the contention contract. With a disk tier
+//! attached (see [`CompileCache::with_limits`]), every computed result
+//! is persisted through the [`crate::codec`] canonical serialization
+//! and later processes are served from disk (a *promotion*), with the
+//! outcome ticked into [`Counter::CacheDiskHits`],
+//! [`Counter::CacheDiskErrors`], [`Counter::CachePromotions`] and
+//! [`Counter::CacheEvictions`].
 
+use crate::codec;
 use crate::driver::{compile_full_observed, CompileRequest, CompiledArtifact};
 use crate::pipeline::PipelineError;
 use clasp_ddg::Ddg;
-use clasp_exec::{CacheKey, CacheStats, ContentCache};
+use clasp_exec::{
+    CacheKey, CacheStats, ContentCache, DiskTier, KeyBuilder, TierGrade, TieredCache, TieredStats,
+};
 use clasp_machine::MachineSpec;
 use clasp_obs::{Counter, Obs};
 use std::sync::Arc;
@@ -32,34 +46,67 @@ pub type CachedCompile = Arc<Result<CompiledArtifact, PipelineError>>;
 /// A shared, thread-safe memo table for [`compile_full`] keyed by
 /// compile content (canonical loop text, canonical machine text,
 /// request rendering). See the module docs for the collision contract.
-#[derive(Default)]
+///
+/// [`compile_full`]: crate::compile_full
 pub struct CompileCache {
-    cache: ContentCache<Result<CompiledArtifact, PipelineError>>,
+    cache: TieredCache<Result<CompiledArtifact, PipelineError>>,
 }
 
-/// The machine with its display name replaced by a fixed placeholder:
-/// cache keys must not distinguish machines that differ only in name.
-fn nameless(machine: &MachineSpec) -> MachineSpec {
-    MachineSpec::new(
-        "#",
-        machine.cluster_ids().map(|c| *machine.cluster(c)).collect(),
-        machine.interconnect().clone(),
-    )
+impl Default for CompileCache {
+    fn default() -> Self {
+        CompileCache::new()
+    }
 }
 
 impl CompileCache {
-    /// An empty cache.
+    /// An empty, memory-only, unbounded cache.
     pub fn new() -> Self {
-        CompileCache::default()
+        CompileCache {
+            cache: TieredCache::memory_only(ContentCache::new()),
+        }
     }
 
-    /// The content key for one compile.
+    /// A cache with an optional memory byte budget (encoded-payload
+    /// bytes; `None` = unbounded) and an optional persistent disk tier.
+    pub fn with_limits(memory_budget: Option<usize>, disk: Option<Arc<DiskTier>>) -> Self {
+        let memory = ContentCache::with_budget(memory_budget);
+        CompileCache {
+            cache: match disk {
+                Some(d) => TieredCache::over(memory, d),
+                None => TieredCache::memory_only(memory),
+            },
+        }
+    }
+
+    /// Open (or create) a persistent tier rooted at `dir`, tagged with
+    /// the [`crate::ARTIFACT_FORMAT`] version so stale payloads from an
+    /// older codec read as misses, never as corruption.
+    pub fn open_disk_tier(dir: &std::path::Path) -> std::io::Result<Arc<DiskTier>> {
+        Ok(Arc::new(DiskTier::open(dir, codec::ARTIFACT_FORMAT)?))
+    }
+
+    /// Whether a persistent tier is attached.
+    pub fn has_disk(&self) -> bool {
+        self.cache.has_disk()
+    }
+
+    /// The content key for one compile. Streams every canonical text
+    /// straight into the hasher — no intermediate strings.
     pub fn key(g: &Ddg, machine: &MachineSpec, req: &CompileRequest) -> CacheKey {
-        CacheKey::of(&[
-            &clasp_text::write_loop(g),
-            &clasp_text::write_machine(&nameless(machine)),
-            &format!("{req:?}"),
-        ])
+        let mut kb = KeyBuilder::new();
+        kb.stream(|s| {
+            let _ = clasp_text::write_loop_into(g, s);
+        });
+        // The display name is presentation only: normalize it out so
+        // identically shaped machines share an entry.
+        kb.stream(|s| {
+            let _ = clasp_text::write_machine_named_into(machine, "#", s);
+        });
+        kb.stream(|s| {
+            use std::fmt::Write as _;
+            let _ = write!(s, "{req:?}");
+        });
+        kb.finish()
     }
 
     /// Compile through the cache: the first request for a key runs
@@ -72,13 +119,13 @@ impl CompileCache {
     }
 
     /// [`CompileCache::compile`] recording into an observability sink: a
-    /// `cache.lookup` span per lookup (with the key and `hit`/`miss`
-    /// outcome — its duration is the lookup latency, which for a cold
-    /// key includes the compile itself), one [`Counter::CacheHits`] or
-    /// [`Counter::CacheMisses`] tick, and the compile's own spans and
-    /// counters on the miss path. Because `compute` runs exactly once
-    /// per key (see [`clasp_exec::cache`]), the folded pipeline counters
-    /// stay deterministic across thread counts.
+    /// `cache.lookup` span per lookup (with the key and
+    /// `hit`/`disk`/`miss` outcome — its duration is the lookup latency,
+    /// which for a cold key includes the compile itself), the matching
+    /// cache counters, and the compile's own spans and counters on the
+    /// miss path. Because `compute` runs exactly once per key (see
+    /// [`clasp_exec::cache`]), the folded pipeline counters stay
+    /// deterministic across thread counts.
     pub fn compile_observed(
         &self,
         g: &Ddg,
@@ -88,28 +135,47 @@ impl CompileCache {
     ) -> CachedCompile {
         let key = Self::key(g, machine, req);
         let span = obs.begin("cache.lookup");
-        let (value, missed) = self
-            .cache
-            .get_or_compute_info(key, || compile_full_observed(g, machine, req, obs));
-        obs.add(
-            if missed {
-                Counter::CacheMisses
-            } else {
-                Counter::CacheHits
-            },
-            1,
+        let iterations = req.iterations;
+        let (value, grade, evicted) = self.cache.get_or_compute(
+            key,
+            |payload| codec::decode(payload).ok(),
+            |result| codec::encode(result, iterations),
+            || compile_full_observed(g, machine, req, obs),
         );
+        let outcome = match grade {
+            TierGrade::Memory => {
+                obs.add(Counter::CacheHits, 1);
+                "hit"
+            }
+            TierGrade::Disk => {
+                obs.add(Counter::CacheDiskHits, 1);
+                obs.add(Counter::CachePromotions, 1);
+                "disk"
+            }
+            TierGrade::Computed { disk_error } => {
+                obs.add(Counter::CacheMisses, 1);
+                if disk_error {
+                    obs.add(Counter::CacheDiskErrors, 1);
+                }
+                "miss"
+            }
+        };
+        if evicted > 0 {
+            obs.add(Counter::CacheEvictions, evicted);
+        }
         obs.end_with(span, || {
-            vec![
-                ("key", key.to_string()),
-                ("outcome", if missed { "miss" } else { "hit" }.to_string()),
-            ]
+            vec![("key", key.to_string()), ("outcome", outcome.to_string())]
         });
         value
     }
 
-    /// Hit/miss/entry counters so far.
+    /// In-memory hit/miss/entry counters so far.
     pub fn stats(&self) -> CacheStats {
+        self.cache.stats().memory
+    }
+
+    /// Counters for every tier (memory, disk, promotions).
+    pub fn tiered_stats(&self) -> TieredStats {
         self.cache.stats()
     }
 }
@@ -126,6 +192,12 @@ mod tests {
         let b = g.add(OpKind::IntAlu);
         g.add_dep(a, b);
         g
+    }
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("clasp-cached-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
     }
 
     #[test]
@@ -223,5 +295,52 @@ mod tests {
         assert!(cache.compile(&g, &m, &req).is_err());
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn disk_tier_serves_a_second_cache_instance() {
+        // Two cache instances sharing one directory model a process
+        // restart: the second is served by promotion, not recompute,
+        // and the served artifact is bit-identical to the computed one.
+        let dir = tmpdir("restart");
+        let g = small_loop("persist");
+        let m = presets::two_cluster_gp(2, 1);
+        let req = CompileRequest::default();
+
+        let tier = CompileCache::open_disk_tier(&dir).unwrap();
+        let cold = CompileCache::with_limits(None, Some(tier));
+        let first = cold.compile(&g, &m, &req);
+        assert_eq!(cold.tiered_stats().disk.misses, 1);
+
+        let tier = CompileCache::open_disk_tier(&dir).unwrap();
+        let warm = CompileCache::with_limits(None, Some(tier));
+        let second = warm.compile(&g, &m, &req);
+        let stats = warm.tiered_stats();
+        assert_eq!((stats.disk.hits, stats.promotions), (1, 1));
+        assert_eq!(stats.memory.misses, 1, "memory tier still misses once");
+        let a = first.as_ref().as_ref().unwrap();
+        let b = second.as_ref().as_ref().unwrap();
+        assert_eq!(
+            codec::encode(&Ok(a.clone()), req.iterations),
+            codec::encode(&Ok(b.clone()), req.iterations),
+            "promoted artifact must round-trip bit-identically"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn streamed_key_matches_eager_texts() {
+        // The streaming KeyBuilder must key on exactly the canonical
+        // texts the eager path would produce.
+        let g = small_loop("stream");
+        let m = presets::four_cluster_gp(4, 2);
+        let req = CompileRequest::default();
+        let mut kb = KeyBuilder::new();
+        kb.text(&clasp_text::write_loop(&g));
+        let mut machine_text = String::new();
+        clasp_text::write_machine_named_into(&m, "#", &mut machine_text).unwrap();
+        kb.text(&machine_text);
+        kb.text(&format!("{req:?}"));
+        assert_eq!(CompileCache::key(&g, &m, &req), kb.finish());
     }
 }

@@ -55,10 +55,14 @@
 #![forbid(unsafe_code)]
 
 mod cached;
+pub mod codec;
 mod driver;
 mod pipeline;
+pub mod serve;
+pub mod service;
 
 pub use cached::{CachedCompile, CompileCache};
+pub use codec::{CodecError, ARTIFACT_FORMAT};
 pub use driver::{
     compile_full, compile_full_observed, oracle_pipeline, CompileReport, CompileRequest,
     CompiledArtifact, IiStep, RegisterModelKind, RegisterStats, StageTimings,
@@ -67,6 +71,7 @@ pub use pipeline::{
     compare_with_unified, compile_loop, compile_loop_post, compile_loop_post_observed, unified_ii,
     CompiledLoop, PipelineConfig, PipelineError,
 };
+pub use service::{CompileService, ServiceConfig, ServiceError, ServiceReply, ServiceRequest};
 
 pub use clasp_core as core;
 pub use clasp_ddg as ddg;

@@ -1,0 +1,742 @@
+//! The compile *service*: one facade every entry point (CLI, daemon,
+//! experiments, benchmarks) drives instead of wiring caches and the
+//! driver together by hand.
+//!
+//! A [`CompileService`] owns:
+//!
+//! - the tiered [`CompileCache`](crate::CompileCache) for full-driver
+//!   artifacts (memory over an optional persistent directory),
+//! - two phase-2 memo tables for callers that only need IIs (the
+//!   experiment harness compiles thousands of loops but never emits a
+//!   kernel — caching the full artifact would be pure waste),
+//! - an admission gate bounding how many compiles run at once, so a
+//!   daemon under fan-in degrades to queueing rather than thrashing.
+//!
+//! The service also defines the *wire* request/response shape shared
+//! with the `clasp-serve` daemon: a [`ServiceRequest`] carries the
+//! `.clasp` loop text, the `.machine` description, every
+//! [`CompileRequest`] knob, and an optional trace-capture flag; a
+//! [`ServiceReply`] carries the [`crate::codec`] canonical artifact
+//! payload (bit-identical whether computed, served from memory, or
+//! promoted from disk) plus the optional Chrome trace JSON. Both render
+//! to and parse from plain text, so the TCP layer in [`crate::serve`]
+//! only moves opaque frames.
+
+use crate::cached::{CachedCompile, CompileCache};
+use crate::codec;
+use crate::driver::{CompileRequest, RegisterModelKind};
+use crate::pipeline::{compile_loop, unified_ii, PipelineConfig};
+use clasp_core::Ordering;
+use clasp_ddg::Ddg;
+use clasp_exec::{ContentCache, KeyBuilder, TieredStats};
+use clasp_machine::MachineSpec;
+use clasp_obs::Obs;
+use clasp_sched::{SchedulerConfig, SchedulerKind};
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::{Condvar, Mutex};
+
+/// First line of every wire request and reply.
+pub const PROTOCOL: &str = "clasp-serve/1";
+
+/// How to build a [`CompileService`].
+#[derive(Debug, Clone, Default)]
+pub struct ServiceConfig {
+    /// Maximum concurrent compiles admitted (0 = one per hardware
+    /// thread). Requests beyond the limit queue deterministically on
+    /// the gate rather than oversubscribing the machine.
+    pub threads: usize,
+    /// Byte budget for the in-memory artifact tier (`None` = unbounded).
+    pub memory_budget: Option<usize>,
+    /// Directory for the persistent artifact tier (`None` = memory only).
+    pub cache_dir: Option<PathBuf>,
+}
+
+/// A request-level failure: the wire text, the loop, or the machine
+/// could not be parsed. Pipeline failures are *not* service errors —
+/// they travel inside the artifact payload as typed results.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceError(pub String);
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+fn bad(msg: impl Into<String>) -> ServiceError {
+    ServiceError(msg.into())
+}
+
+/// A counting semaphore: `acquire` blocks while `permits` is zero. The
+/// queue order is whatever the platform condvar provides; determinism
+/// of *results* never depends on admission order because every cached
+/// quantity depends only on work done.
+struct Gate {
+    permits: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl Gate {
+    fn new(width: usize) -> Gate {
+        Gate {
+            permits: Mutex::new(width.max(1)),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn acquire(&self) -> GatePermit<'_> {
+        let mut permits = self.permits.lock().unwrap();
+        while *permits == 0 {
+            permits = self.cv.wait(permits).unwrap();
+        }
+        *permits -= 1;
+        GatePermit { gate: self }
+    }
+}
+
+struct GatePermit<'a> {
+    gate: &'a Gate,
+}
+
+impl Drop for GatePermit<'_> {
+    fn drop(&mut self) {
+        *self.gate.permits.lock().unwrap() += 1;
+        self.gate.cv.notify_one();
+    }
+}
+
+/// The service facade: tiered artifact cache + phase-2 II memo tables +
+/// admission gate. See the module docs.
+pub struct CompileService {
+    full: CompileCache,
+    phase2: ContentCache<Option<u32>>,
+    unified: ContentCache<Option<u32>>,
+    gate: Gate,
+}
+
+impl fmt::Debug for CompileService {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CompileService")
+            .field("stats", &self.tiered_stats())
+            .field("has_disk", &self.has_disk())
+            .finish()
+    }
+}
+
+impl CompileService {
+    /// Build a service from `config`, opening (or creating) the
+    /// persistent tier when a directory is configured.
+    ///
+    /// # Errors
+    ///
+    /// An [`std::io::Error`] if the cache directory cannot be created.
+    pub fn new(config: ServiceConfig) -> std::io::Result<CompileService> {
+        let disk = match &config.cache_dir {
+            Some(dir) => Some(CompileCache::open_disk_tier(dir)?),
+            None => None,
+        };
+        let width = if config.threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            config.threads
+        };
+        Ok(CompileService {
+            full: CompileCache::with_limits(config.memory_budget, disk),
+            phase2: ContentCache::new(),
+            unified: ContentCache::new(),
+            gate: Gate::new(width),
+        })
+    }
+
+    /// A memory-only service admitting one compile per hardware thread.
+    pub fn in_memory() -> CompileService {
+        CompileService::new(ServiceConfig::default()).expect("no IO without a cache dir")
+    }
+
+    /// Whether a persistent tier is attached.
+    pub fn has_disk(&self) -> bool {
+        self.full.has_disk()
+    }
+
+    /// Full-driver compile through the tiered cache (see
+    /// [`CompileCache::compile_observed`]), gated by admission.
+    pub fn compile_artifact(
+        &self,
+        g: &Ddg,
+        machine: &MachineSpec,
+        req: &CompileRequest,
+        obs: &Obs,
+    ) -> CachedCompile {
+        let _permit = self.gate.acquire();
+        self.full.compile_observed(g, machine, req, obs)
+    }
+
+    /// Phase-1+2 II only (no emission, no artifact): the experiment
+    /// harness's workload, memoized separately so a corpus sweep never
+    /// pays for (or evicts) full artifacts. `None` memoizes pipeline
+    /// failure.
+    pub fn ii_of(&self, g: &Ddg, machine: &MachineSpec, config: PipelineConfig) -> Option<u32> {
+        let key = phase2_key("ii", g, machine, &format!("{config:?}"));
+        let _permit = self.gate.acquire();
+        *self.phase2.get_or_compute(key, || {
+            compile_loop(g, machine, config).ok().map(|c| c.ii())
+        })
+    }
+
+    /// The unified-baseline II for `machine`'s equally wide unified
+    /// equivalent, memoized like [`CompileService::ii_of`].
+    pub fn unified_ii_of(
+        &self,
+        g: &Ddg,
+        machine: &MachineSpec,
+        sched: SchedulerConfig,
+    ) -> Option<u32> {
+        let key = phase2_key("unified", g, machine, &format!("{sched:?}"));
+        let _permit = self.gate.acquire();
+        *self
+            .unified
+            .get_or_compute(key, || unified_ii(g, machine, sched).ok())
+    }
+
+    /// The differential-oracle pipeline routed through the service
+    /// cache: a fuzz case compiled twice (e.g. while shrinking) is
+    /// served from memory. Matches [`clasp_oracle::PipelineFn`].
+    ///
+    /// # Errors
+    ///
+    /// The pipeline's error, stringified (the oracle reports pipeline
+    /// failures, it never matches on them).
+    pub fn oracle_case(
+        &self,
+        g: &Ddg,
+        machine: &MachineSpec,
+    ) -> Result<clasp_oracle::CompiledCase, String> {
+        // Driver-side verification off: the oracle performs its own
+        // functional verification differentially over both register
+        // models.
+        let req = CompileRequest {
+            verify: false,
+            ..CompileRequest::default()
+        };
+        match self
+            .compile_artifact(g, machine, &req, &Obs::disabled())
+            .as_ref()
+        {
+            Ok(artifact) => Ok(clasp_oracle::CompiledCase {
+                assignment: artifact.assignment.clone(),
+                schedule: artifact.schedule.clone(),
+            }),
+            Err(e) => Err(e.to_string()),
+        }
+    }
+
+    /// Handle one parsed wire request end-to-end: parse the texts,
+    /// compile through the cache, render the canonical artifact payload
+    /// (and the trace, when captured).
+    pub fn handle(&self, sreq: &ServiceRequest) -> ServiceReply {
+        let g = match clasp_text::parse_loop(&sreq.loop_text) {
+            Ok(g) => g,
+            Err(e) => return ServiceReply::bad_request(format!("loop: {e}")),
+        };
+        let machine = match clasp_text::parse_machine(&sreq.machine_text) {
+            Ok(m) => m,
+            Err(e) => return ServiceReply::bad_request(format!("machine: {e}")),
+        };
+        let obs = if sreq.capture_trace {
+            Obs::enabled()
+        } else {
+            Obs::disabled()
+        };
+        let result = self.compile_artifact(&g, &machine, &sreq.request, &obs);
+        ServiceReply {
+            outcome: Ok(codec::encode(&result, sreq.request.iterations)),
+            trace: sreq.capture_trace.then(|| obs.chrome_trace()),
+        }
+    }
+
+    /// Handle one raw wire request: parse, dispatch, render. Any parse
+    /// failure becomes a `bad-request` reply — the connection survives.
+    pub fn respond(&self, wire: &str) -> String {
+        match ServiceRequest::parse(wire) {
+            Ok(sreq) => self.handle(&sreq).render(),
+            Err(e) => ServiceReply::bad_request(e.0).render(),
+        }
+    }
+
+    /// In-memory artifact-tier counters.
+    pub fn stats(&self) -> clasp_exec::CacheStats {
+        self.full.stats()
+    }
+
+    /// Counters for every artifact tier.
+    pub fn tiered_stats(&self) -> TieredStats {
+        self.full.tiered_stats()
+    }
+
+    /// One-line counter rendering for the daemon's `stats` verb.
+    pub fn stats_line(&self) -> String {
+        let t = self.tiered_stats();
+        format!(
+            "memory {} hits {} misses {} entries; disk {} hits {} misses {} errors; {} promotions",
+            t.memory.hits,
+            t.memory.misses,
+            t.memory.entries,
+            t.disk.hits,
+            t.disk.misses,
+            t.disk.errors,
+            t.promotions
+        )
+    }
+}
+
+/// The phase-2 memo key: kind discriminator, loop text, nameless
+/// machine text, config rendering — all streamed.
+fn phase2_key(
+    kind: &str,
+    g: &Ddg,
+    machine: &MachineSpec,
+    config_text: &str,
+) -> clasp_exec::CacheKey {
+    let mut kb = KeyBuilder::new();
+    kb.text(kind);
+    kb.stream(|s| {
+        let _ = clasp_text::write_loop_into(g, s);
+    });
+    kb.stream(|s| {
+        let _ = clasp_text::write_machine_named_into(machine, "#", s);
+    });
+    kb.text(config_text);
+    kb.finish()
+}
+
+/// One compile over the wire: the two canonical texts plus every
+/// request knob. Renders to / parses from the plain-text frame body the
+/// daemon speaks (see the module docs for the layout).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceRequest {
+    /// `.clasp` loop description.
+    pub loop_text: String,
+    /// `.machine` machine description.
+    pub machine_text: String,
+    /// Driver knobs.
+    pub request: CompileRequest,
+    /// Capture a Chrome trace of this compile into the reply.
+    pub capture_trace: bool,
+}
+
+fn flag(b: bool) -> &'static str {
+    if b {
+        "1"
+    } else {
+        "0"
+    }
+}
+
+fn parse_flag(tok: &str, what: &str) -> Result<bool, ServiceError> {
+    match tok {
+        "1" => Ok(true),
+        "0" => Ok(false),
+        other => Err(bad(format!("{what}: expected 0 or 1, got `{other}`"))),
+    }
+}
+
+impl ServiceRequest {
+    /// A request with default knobs and no trace capture.
+    pub fn new(loop_text: impl Into<String>, machine_text: impl Into<String>) -> ServiceRequest {
+        ServiceRequest {
+            loop_text: loop_text.into(),
+            machine_text: machine_text.into(),
+            request: CompileRequest::default(),
+            capture_trace: false,
+        }
+    }
+
+    /// Render the wire text (one frame body).
+    pub fn render(&self) -> String {
+        let r = &self.request;
+        let a = &r.pipeline.assign;
+        let mut s = String::new();
+        s.push_str(PROTOCOL);
+        s.push_str(" compile\n");
+        s.push_str(&format!(
+            "assign {} {} {} {} {} {}\n",
+            flag(a.iterative),
+            flag(a.heuristic),
+            flag(a.pcr_prediction),
+            match a.ordering {
+                Ordering::SccSwing => "scc-swing",
+                Ordering::SwingOnly => "swing-only",
+                Ordering::BottomUp => "bottom-up",
+            },
+            a.budget_factor,
+            a.max_ii.map_or("-".to_string(), |v| v.to_string()),
+        ));
+        s.push_str(&format!("sched {}\n", r.pipeline.sched.budget_factor));
+        s.push_str(&format!(
+            "scheduler {}\n",
+            match r.pipeline.scheduler {
+                SchedulerKind::Iterative => "iterative",
+                SchedulerKind::Swing => "swing",
+            }
+        ));
+        s.push_str(&format!(
+            "model {}\n",
+            match r.register_model {
+                RegisterModelKind::Mve => "mve",
+                RegisterModelKind::Rotating => "rotating",
+            }
+        ));
+        s.push_str(&format!("restage {}\n", flag(r.restage)));
+        s.push_str(&format!("iterations {}\n", r.iterations));
+        s.push_str(&format!("verify {}\n", flag(r.verify)));
+        s.push_str(&format!("trace {}\n", flag(self.capture_trace)));
+        s.push_str("-- machine\n");
+        s.push_str(&self.machine_text);
+        if !self.machine_text.ends_with('\n') {
+            s.push('\n');
+        }
+        s.push_str("-- loop\n");
+        s.push_str(&self.loop_text);
+        s
+    }
+
+    /// Parse a wire frame body.
+    ///
+    /// # Errors
+    ///
+    /// A [`ServiceError`] naming the malformed header or section.
+    pub fn parse(text: &str) -> Result<ServiceRequest, ServiceError> {
+        let mut lines = text.lines();
+        let head = lines.next().ok_or_else(|| bad("empty request"))?;
+        let mut head_toks = head.split_ascii_whitespace();
+        if head_toks.next() != Some(PROTOCOL) {
+            return Err(bad(format!("not a {PROTOCOL} request: `{head}`")));
+        }
+        match head_toks.next() {
+            Some("compile") => {}
+            Some(other) => return Err(bad(format!("unknown verb `{other}`"))),
+            None => return Err(bad("missing verb")),
+        }
+
+        let mut request = CompileRequest::default();
+        let mut capture_trace = false;
+        loop {
+            let line = lines
+                .next()
+                .ok_or_else(|| bad("missing `-- machine` section"))?;
+            if line == "-- machine" {
+                break;
+            }
+            let mut toks = line.split_ascii_whitespace();
+            let next = |toks: &mut std::str::SplitAsciiWhitespace<'_>, what: &str| {
+                toks.next()
+                    .map(str::to_string)
+                    .ok_or_else(|| bad(format!("{what}: missing token in `{line}`")))
+            };
+            match toks.next() {
+                Some("assign") => {
+                    let a = &mut request.pipeline.assign;
+                    a.iterative = parse_flag(&next(&mut toks, "assign")?, "assign iterative")?;
+                    a.heuristic = parse_flag(&next(&mut toks, "assign")?, "assign heuristic")?;
+                    a.pcr_prediction = parse_flag(&next(&mut toks, "assign")?, "assign pcr")?;
+                    a.ordering = match next(&mut toks, "assign")?.as_str() {
+                        "scc-swing" => Ordering::SccSwing,
+                        "swing-only" => Ordering::SwingOnly,
+                        "bottom-up" => Ordering::BottomUp,
+                        other => return Err(bad(format!("unknown ordering `{other}`"))),
+                    };
+                    a.budget_factor = next(&mut toks, "assign")?
+                        .parse()
+                        .map_err(|_| bad("assign: bad budget factor"))?;
+                    a.max_ii = match next(&mut toks, "assign")?.as_str() {
+                        "-" => None,
+                        v => Some(v.parse().map_err(|_| bad("assign: bad max II"))?),
+                    };
+                }
+                Some("sched") => {
+                    request.pipeline.sched.budget_factor = next(&mut toks, "sched")?
+                        .parse()
+                        .map_err(|_| bad("sched: bad budget factor"))?;
+                }
+                Some("scheduler") => {
+                    request.pipeline.scheduler = match next(&mut toks, "scheduler")?.as_str() {
+                        "iterative" => SchedulerKind::Iterative,
+                        "swing" => SchedulerKind::Swing,
+                        other => return Err(bad(format!("unknown scheduler `{other}`"))),
+                    };
+                }
+                Some("model") => {
+                    request.register_model = match next(&mut toks, "model")?.as_str() {
+                        "mve" => RegisterModelKind::Mve,
+                        "rotating" => RegisterModelKind::Rotating,
+                        other => return Err(bad(format!("unknown register model `{other}`"))),
+                    };
+                }
+                Some("restage") => {
+                    request.restage = parse_flag(&next(&mut toks, "restage")?, "restage")?;
+                }
+                Some("iterations") => {
+                    request.iterations = next(&mut toks, "iterations")?
+                        .parse()
+                        .map_err(|_| bad("iterations: bad count"))?;
+                }
+                Some("verify") => {
+                    request.verify = parse_flag(&next(&mut toks, "verify")?, "verify")?;
+                }
+                Some("trace") => {
+                    capture_trace = parse_flag(&next(&mut toks, "trace")?, "trace")?;
+                }
+                Some(other) => return Err(bad(format!("unknown header `{other}`"))),
+                None => {} // blank line between headers is fine
+            }
+        }
+
+        let mut machine_text = String::new();
+        let mut saw_loop = false;
+        for line in lines.by_ref() {
+            if line == "-- loop" {
+                saw_loop = true;
+                break;
+            }
+            machine_text.push_str(line);
+            machine_text.push('\n');
+        }
+        if !saw_loop {
+            return Err(bad("missing `-- loop` section"));
+        }
+        let mut loop_text = String::new();
+        for line in lines {
+            loop_text.push_str(line);
+            loop_text.push('\n');
+        }
+        Ok(ServiceRequest {
+            loop_text,
+            machine_text,
+            request,
+            capture_trace,
+        })
+    }
+}
+
+/// The daemon's answer to one [`ServiceRequest`]: the canonical
+/// artifact payload (which itself encodes compile success *or* the
+/// typed pipeline failure) or a request-level rejection, plus the
+/// optional trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceReply {
+    /// `Ok(payload)` — a [`crate::codec`] artifact payload;
+    /// `Err(message)` — the request itself was malformed.
+    pub outcome: Result<String, String>,
+    /// Chrome trace JSON when the request asked for capture.
+    pub trace: Option<String>,
+}
+
+impl ServiceReply {
+    /// A request-level rejection (newlines flattened to keep the status
+    /// line single-line).
+    pub fn bad_request(message: impl Into<String>) -> ServiceReply {
+        ServiceReply {
+            outcome: Err(message.into().replace('\n', "; ")),
+            trace: None,
+        }
+    }
+
+    /// Decode the artifact payload back into the driver's typed result.
+    ///
+    /// # Errors
+    ///
+    /// The request-level rejection as a [`ServiceError`], or a
+    /// [`codec::CodecError`] rendered into one.
+    pub fn decode(
+        &self,
+    ) -> Result<Result<crate::CompiledArtifact, crate::PipelineError>, ServiceError> {
+        match &self.outcome {
+            Ok(payload) => codec::decode(payload).map_err(|e| bad(format!("reply payload: {e}"))),
+            Err(message) => Err(bad(message.clone())),
+        }
+    }
+
+    /// Render the wire text (one frame body).
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str(PROTOCOL);
+        match &self.outcome {
+            Ok(payload) => {
+                s.push_str(" reply ok\n-- artifact\n");
+                s.push_str(payload);
+                if !payload.ends_with('\n') {
+                    s.push('\n');
+                }
+            }
+            Err(message) => {
+                s.push_str(" reply bad-request\n");
+                s.push_str(message);
+                s.push('\n');
+            }
+        }
+        if let Some(trace) = &self.trace {
+            s.push_str("-- trace\n");
+            s.push_str(trace);
+            if !trace.ends_with('\n') {
+                s.push('\n');
+            }
+        }
+        s
+    }
+
+    /// Parse a wire frame body.
+    ///
+    /// # Errors
+    ///
+    /// A [`ServiceError`] naming the malformed line.
+    pub fn parse(text: &str) -> Result<ServiceReply, ServiceError> {
+        let mut lines = text.lines();
+        let head = lines.next().ok_or_else(|| bad("empty reply"))?;
+        let mut toks = head.split_ascii_whitespace();
+        if toks.next() != Some(PROTOCOL) || toks.next() != Some("reply") {
+            return Err(bad(format!("not a {PROTOCOL} reply: `{head}`")));
+        }
+        let status = toks.next().ok_or_else(|| bad("reply missing status"))?;
+        let mut body = String::new();
+        let mut trace: Option<String> = None;
+        let mut in_trace = false;
+        let mut saw_artifact = false;
+        for line in lines {
+            match line {
+                "-- artifact" if !in_trace => {
+                    saw_artifact = true;
+                    continue;
+                }
+                "-- trace" => {
+                    in_trace = true;
+                    trace = Some(String::new());
+                    continue;
+                }
+                _ => {}
+            }
+            let sink = if in_trace {
+                trace.as_mut().expect("set on `-- trace`")
+            } else {
+                &mut body
+            };
+            sink.push_str(line);
+            sink.push('\n');
+        }
+        match status {
+            "ok" => {
+                if !saw_artifact {
+                    return Err(bad("ok reply without an artifact section"));
+                }
+                Ok(ServiceReply {
+                    outcome: Ok(body),
+                    trace,
+                })
+            }
+            "bad-request" => Ok(ServiceReply {
+                outcome: Err(body.trim_end().to_string()),
+                trace,
+            }),
+            other => Err(bad(format!("unknown reply status `{other}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clasp_machine::presets;
+
+    const LOOP: &str = "loop dot\n\nop n0 load\nop n1 load\nop n2 fmul\nop n3 fadd\n\ndep n0 -> n2\ndep n1 -> n2\ndep n2 -> n3\ndep n3 -> n3 @1\n";
+
+    fn machine_text() -> String {
+        clasp_text::write_machine(&presets::two_cluster_gp(2, 1))
+    }
+
+    #[test]
+    fn request_round_trips_through_the_wire() {
+        let mut sreq = ServiceRequest::new(LOOP, machine_text());
+        sreq.request.restage = false;
+        sreq.request.iterations = 7;
+        sreq.request.register_model = RegisterModelKind::Rotating;
+        sreq.request.pipeline.assign.max_ii = Some(40);
+        sreq.capture_trace = true;
+        let back = ServiceRequest::parse(&sreq.render()).unwrap();
+        assert_eq!(back, sreq);
+    }
+
+    #[test]
+    fn handle_compiles_and_reply_round_trips() {
+        let service = CompileService::in_memory();
+        let sreq = ServiceRequest::new(LOOP, machine_text());
+        let reply = service.handle(&sreq);
+        let back = ServiceReply::parse(&reply.render()).unwrap();
+        assert_eq!(back, reply);
+        let artifact = back.decode().unwrap().unwrap();
+        let g = clasp_text::parse_loop(LOOP).unwrap();
+        let m = presets::two_cluster_gp(2, 1);
+        let local = crate::compile_full(&g, &m, &CompileRequest::default()).unwrap();
+        assert_eq!(artifact.ii(), local.ii());
+    }
+
+    #[test]
+    fn replies_are_bit_identical_across_cache_temperature() {
+        let service = CompileService::in_memory();
+        let sreq = ServiceRequest::new(LOOP, machine_text());
+        let cold = service.handle(&sreq).render();
+        let warm = service.handle(&sreq).render();
+        assert_eq!(cold, warm, "hit and miss must render identically");
+        let stats = service.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn malformed_inputs_become_bad_request_not_panic() {
+        let service = CompileService::in_memory();
+        for wire in [
+            "",
+            "nonsense",
+            "clasp-serve/1 explode\n",
+            "clasp-serve/1 compile\nassign yes\n-- machine\n-- loop\n",
+            "clasp-serve/1 compile\n-- machine\nbroken !!\n-- loop\nloop x\n",
+            "clasp-serve/1 compile\n-- machine\ncluster 2gp\n-- loop\nnot a loop\n",
+        ] {
+            let reply = ServiceReply::parse(&service.respond(wire)).unwrap();
+            assert!(reply.outcome.is_err(), "{wire:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn trace_capture_rides_the_reply() {
+        let service = CompileService::in_memory();
+        let mut sreq = ServiceRequest::new(LOOP, machine_text());
+        sreq.capture_trace = true;
+        let reply = service.handle(&sreq);
+        let trace = reply.trace.as_deref().expect("trace requested");
+        assert!(trace.contains("traceEvents"), "chrome trace expected");
+        let back = ServiceReply::parse(&reply.render()).unwrap();
+        assert_eq!(
+            back.trace.as_deref().map(str::trim_end),
+            Some(trace.trim_end())
+        );
+    }
+
+    #[test]
+    fn phase2_caches_memoize_iis() {
+        let service = CompileService::in_memory();
+        let g = clasp_text::parse_loop(LOOP).unwrap();
+        let m = presets::two_cluster_gp(2, 1);
+        let a = service.ii_of(&g, &m, PipelineConfig::default());
+        let b = service.ii_of(&g, &m, PipelineConfig::default());
+        assert_eq!(a, b);
+        assert!(a.is_some());
+        let u1 = service.unified_ii_of(&g, &m, SchedulerConfig::default());
+        let u2 = service.unified_ii_of(&g, &m, SchedulerConfig::default());
+        assert_eq!(u1, u2);
+        assert!(u1.is_some());
+        // Full-artifact tier untouched by phase-2 queries.
+        assert_eq!(service.stats().misses, 0);
+    }
+}
