@@ -1,0 +1,919 @@
+//! A from-scratch CDCL SAT solver, small and strictly deterministic.
+//!
+//! The classic architecture — two-watched-literal propagation, first-UIP
+//! conflict analysis, VSIDS-style variable activities, phase saving, and
+//! Luby restarts — with every tie broken by variable index so two runs on
+//! the same clause stream make bit-identical decisions. No clause
+//! deletion: the encoder produces formulas small enough (tens of
+//! thousands of clauses) that keeping every learnt clause is cheaper than
+//! the bookkeeping to age them out, and it keeps the learnt-clause
+//! soundness test able to audit everything the solver ever derived.
+//!
+//! The solver is *bounded*: [`Solver::solve`] takes a conflict budget and
+//! returns [`Outcome::Unknown`] when it is spent, which the II-iteration
+//! driver surfaces as a typed budget failure rather than a wrong answer.
+
+use std::fmt;
+
+/// A propositional variable, numbered from 0.
+pub type Var = u32;
+
+/// A literal: variable plus sign, packed as `var << 1 | sign`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// The positive literal of `v`.
+    pub fn pos(v: Var) -> Lit {
+        Lit(v << 1)
+    }
+
+    /// The negative literal of `v`.
+    pub fn neg(v: Var) -> Lit {
+        Lit((v << 1) | 1)
+    }
+
+    /// The underlying variable.
+    pub fn var(self) -> Var {
+        self.0 >> 1
+    }
+
+    /// Whether this is the negated polarity.
+    pub fn is_neg(self) -> bool {
+        self.0 & 1 != 0
+    }
+
+    fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_neg() {
+            write!(f, "-x{}", self.var())
+        } else {
+            write!(f, "x{}", self.var())
+        }
+    }
+}
+
+/// Result of a bounded solve.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// Satisfiable; the model maps every variable to a value (variables
+    /// untouched by any clause read `false`).
+    Sat(Vec<bool>),
+    /// Proved unsatisfiable.
+    Unsat,
+    /// Conflict budget exhausted before an answer.
+    Unknown,
+}
+
+const VAL_FALSE: u8 = 0;
+const VAL_TRUE: u8 = 1;
+const VAL_UNDEF: u8 = 2;
+
+/// Sentinel clause index for "no reason" (decisions, level-0 facts).
+const NO_REASON: u32 = u32::MAX;
+
+/// Restart interval base, multiplied by the Luby sequence.
+const RESTART_BASE: u64 = 100;
+
+/// Activity bump decay: bumps grow by `1 / DECAY` per conflict.
+const DECAY: f64 = 0.95;
+
+#[derive(Debug)]
+struct Clause {
+    lits: Vec<Lit>,
+    learnt: bool,
+}
+
+/// The CDCL solver. Build the formula with [`Solver::new_var`] and
+/// [`Solver::add_clause`], then call [`Solver::solve`] once.
+#[derive(Debug, Default)]
+pub struct Solver {
+    clauses: Vec<Clause>,
+    /// `watches[l.idx()]`: indices of clauses currently watching `l`.
+    watches: Vec<Vec<u32>>,
+    /// Per-variable truth value (`VAL_*`).
+    assigns: Vec<u8>,
+    /// Per-variable saved phase for decisions.
+    polarity: Vec<bool>,
+    /// Per-variable VSIDS activity.
+    activity: Vec<f64>,
+    /// Per-variable decision level (valid while assigned).
+    level: Vec<u32>,
+    /// Per-variable reason clause (valid while assigned).
+    reason: Vec<u32>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    /// Binary max-heap of unassigned decision candidates.
+    heap: Vec<Var>,
+    /// Position of each var in `heap` (`usize::MAX` = absent).
+    heap_pos: Vec<usize>,
+    var_inc: f64,
+    conflicts: u64,
+    /// `false` once a top-level contradiction is known.
+    ok: bool,
+    /// Scratch for conflict analysis.
+    seen: Vec<bool>,
+}
+
+impl Solver {
+    /// An empty solver with no variables.
+    pub fn new() -> Solver {
+        Solver {
+            var_inc: 1.0,
+            ok: true,
+            ..Solver::default()
+        }
+    }
+
+    /// Allocate a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = self.assigns.len() as Var;
+        self.assigns.push(VAL_UNDEF);
+        self.polarity.push(false);
+        self.activity.push(0.0);
+        self.level.push(0);
+        self.reason.push(NO_REASON);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.seen.push(false);
+        self.heap_pos.push(usize::MAX);
+        self.heap_insert(v);
+        v
+    }
+
+    /// Number of allocated variables.
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// Total conflicts across all `solve` calls.
+    pub fn conflicts(&self) -> u64 {
+        self.conflicts
+    }
+
+    /// Every clause learnt so far (diagnostics / soundness audits).
+    pub fn learnt_clauses(&self) -> impl Iterator<Item = &[Lit]> + '_ {
+        self.clauses
+            .iter()
+            .filter(|c| c.learnt)
+            .map(|c| c.lits.as_slice())
+    }
+
+    fn lit_value(&self, l: Lit) -> u8 {
+        let v = self.assigns[l.var() as usize];
+        if v == VAL_UNDEF {
+            VAL_UNDEF
+        } else {
+            v ^ (l.is_neg() as u8)
+        }
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    /// Add a clause (callable only before [`Solver::solve`], i.e. at
+    /// decision level 0). Returns `false` once the formula is known
+    /// unsatisfiable at top level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called below decision level 0 is impossible; panics if a
+    /// literal references an unallocated variable.
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        assert_eq!(self.decision_level(), 0, "clauses are added at level 0");
+        if !self.ok {
+            return false;
+        }
+        let mut c: Vec<Lit> = lits.to_vec();
+        c.sort_unstable();
+        c.dedup();
+        // Tautology or already-satisfied clause: drop it.
+        for w in c.windows(2) {
+            if w[0].var() == w[1].var() {
+                return true;
+            }
+        }
+        c.retain(|&l| {
+            assert!((l.var() as usize) < self.assigns.len(), "unknown variable");
+            self.lit_value(l) != VAL_FALSE
+        });
+        if c.iter().any(|&l| self.lit_value(l) == VAL_TRUE) {
+            return true;
+        }
+        match c.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.unchecked_enqueue(c[0], NO_REASON);
+                self.ok = self.propagate().is_none();
+                self.ok
+            }
+            _ => {
+                let ci = self.clauses.len() as u32;
+                self.watch(c[0], ci);
+                self.watch(c[1], ci);
+                self.clauses.push(Clause {
+                    lits: c,
+                    learnt: false,
+                });
+                true
+            }
+        }
+    }
+
+    fn watch(&mut self, l: Lit, ci: u32) {
+        self.watches[l.idx()].push(ci);
+    }
+
+    fn unchecked_enqueue(&mut self, l: Lit, reason: u32) {
+        debug_assert_eq!(self.lit_value(l), VAL_UNDEF);
+        let v = l.var() as usize;
+        self.assigns[v] = if l.is_neg() { VAL_FALSE } else { VAL_TRUE };
+        self.level[v] = self.decision_level();
+        self.reason[v] = reason;
+        self.trail.push(l);
+    }
+
+    /// Unit propagation; returns the conflicting clause index, if any.
+    fn propagate(&mut self) -> Option<u32> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            let watch_lit = !p;
+            let mut ws = std::mem::take(&mut self.watches[watch_lit.idx()]);
+            let mut i = 0;
+            while i < ws.len() {
+                let ci = ws[i];
+                // Make sure the false literal sits at position 1.
+                let cl = &mut self.clauses[ci as usize];
+                if cl.lits[0] == watch_lit {
+                    cl.lits.swap(0, 1);
+                }
+                debug_assert_eq!(cl.lits[1], watch_lit);
+                let first = cl.lits[0];
+                if self.lit_value(first) == VAL_TRUE {
+                    i += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                let mut moved = false;
+                for k in 2..self.clauses[ci as usize].lits.len() {
+                    let l = self.clauses[ci as usize].lits[k];
+                    if self.lit_value(l) != VAL_FALSE {
+                        self.clauses[ci as usize].lits.swap(1, k);
+                        self.watches[l.idx()].push(ci);
+                        ws.swap_remove(i);
+                        moved = true;
+                        break;
+                    }
+                }
+                if moved {
+                    continue;
+                }
+                // Unit or conflict.
+                if self.lit_value(first) == VAL_FALSE {
+                    self.watches[watch_lit.idx()] = ws;
+                    self.qhead = self.trail.len();
+                    return Some(ci);
+                }
+                self.unchecked_enqueue(first, ci);
+                i += 1;
+            }
+            self.watches[watch_lit.idx()] = ws;
+        }
+        None
+    }
+
+    /// First-UIP conflict analysis. Returns the learnt clause (asserting
+    /// literal first, a highest-level remainder literal second) and the
+    /// backtrack level.
+    fn analyze(&mut self, mut confl: u32) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit(0)];
+        let mut counter = 0usize;
+        let mut index = self.trail.len();
+        let mut cleared: Vec<Var> = Vec::new();
+        let mut p: Option<Lit> = None;
+        loop {
+            let start = usize::from(p.is_some());
+            for k in start..self.clauses[confl as usize].lits.len() {
+                let q = self.clauses[confl as usize].lits[k];
+                let v = q.var() as usize;
+                if !self.seen[v] && self.level[v] > 0 {
+                    self.seen[v] = true;
+                    cleared.push(q.var());
+                    self.bump(q.var());
+                    if self.level[v] >= self.decision_level() {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Next trail literal contributing to the conflict.
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var() as usize] {
+                    break;
+                }
+            }
+            let pl = self.trail[index];
+            self.seen[pl.var() as usize] = false;
+            counter -= 1;
+            if counter == 0 {
+                learnt[0] = !pl;
+                break;
+            }
+            p = Some(pl);
+            confl = self.reason[pl.var() as usize];
+            debug_assert_ne!(confl, NO_REASON);
+        }
+        for v in cleared {
+            self.seen[v as usize] = false;
+        }
+        let bt = if learnt.len() == 1 {
+            0
+        } else {
+            // Move a maximum-level remainder literal into slot 1 so the
+            // learnt clause's watches are coherent after backtracking.
+            let mut max_i = 1;
+            for k in 2..learnt.len() {
+                if self.level[learnt[k].var() as usize] > self.level[learnt[max_i].var() as usize] {
+                    max_i = k;
+                }
+            }
+            learnt.swap(1, max_i);
+            self.level[learnt[1].var() as usize]
+        };
+        (learnt, bt)
+    }
+
+    fn backtrack(&mut self, target: u32) {
+        while self.decision_level() > target {
+            let lim = self.trail_lim.pop().expect("level > 0");
+            while self.trail.len() > lim {
+                let l = self.trail.pop().expect("trail non-empty");
+                let v = l.var() as usize;
+                self.polarity[v] = self.assigns[v] == VAL_TRUE;
+                self.assigns[v] = VAL_UNDEF;
+                self.reason[v] = NO_REASON;
+                self.heap_insert(l.var());
+            }
+        }
+        self.qhead = self.trail.len();
+    }
+
+    fn bump(&mut self, v: Var) {
+        let a = &mut self.activity[v as usize];
+        *a += self.var_inc;
+        if *a > 1e100 {
+            for act in &mut self.activity {
+                *act *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        if self.heap_pos[v as usize] != usize::MAX {
+            self.heap_sift_up(self.heap_pos[v as usize]);
+        }
+    }
+
+    fn decay(&mut self) {
+        self.var_inc /= DECAY;
+    }
+
+    // --- decision heap: max by (activity, lowest index wins ties) ---
+
+    fn heap_better(&self, a: Var, b: Var) -> bool {
+        let (aa, ab) = (self.activity[a as usize], self.activity[b as usize]);
+        aa > ab || (aa == ab && a < b)
+    }
+
+    fn heap_insert(&mut self, v: Var) {
+        if self.heap_pos[v as usize] != usize::MAX {
+            return;
+        }
+        self.heap_pos[v as usize] = self.heap.len();
+        self.heap.push(v);
+        self.heap_sift_up(self.heap.len() - 1);
+    }
+
+    fn heap_sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.heap_better(self.heap[i], self.heap[parent]) {
+                self.heap_swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn heap_sift_down(&mut self, mut i: usize) {
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut best = i;
+            if l < self.heap.len() && self.heap_better(self.heap[l], self.heap[best]) {
+                best = l;
+            }
+            if r < self.heap.len() && self.heap_better(self.heap[r], self.heap[best]) {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.heap_swap(i, best);
+            i = best;
+        }
+    }
+
+    fn heap_swap(&mut self, i: usize, j: usize) {
+        self.heap.swap(i, j);
+        self.heap_pos[self.heap[i] as usize] = i;
+        self.heap_pos[self.heap[j] as usize] = j;
+    }
+
+    fn heap_pop(&mut self) -> Option<Var> {
+        let top = *self.heap.first()?;
+        self.heap_pos[top as usize] = usize::MAX;
+        let last = self.heap.pop().expect("non-empty");
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.heap_pos[last as usize] = 0;
+            self.heap_sift_down(0);
+        }
+        Some(top)
+    }
+
+    /// Highest-activity unassigned variable (deterministic).
+    fn pick_branch(&mut self) -> Option<Var> {
+        while let Some(v) = self.heap_pop() {
+            if self.assigns[v as usize] == VAL_UNDEF {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    fn record_learnt(&mut self, learnt: Vec<Lit>) {
+        let asserting = learnt[0];
+        if learnt.len() == 1 {
+            self.unchecked_enqueue(asserting, NO_REASON);
+            return;
+        }
+        let ci = self.clauses.len() as u32;
+        self.watch(learnt[0], ci);
+        self.watch(learnt[1], ci);
+        self.clauses.push(Clause {
+            lits: learnt,
+            learnt: true,
+        });
+        self.unchecked_enqueue(asserting, ci);
+    }
+
+    /// Solve the formula under a conflict budget.
+    pub fn solve(&mut self, max_conflicts: u64) -> Outcome {
+        if !self.ok {
+            return Outcome::Unsat;
+        }
+        if self.propagate().is_some() {
+            self.ok = false;
+            return Outcome::Unsat;
+        }
+        let start_conflicts = self.conflicts;
+        let mut restarts = 0u64;
+        let mut since_restart = 0u64;
+        let mut limit = RESTART_BASE * luby(restarts);
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.conflicts += 1;
+                since_restart += 1;
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    return Outcome::Unsat;
+                }
+                let (learnt, bt) = self.analyze(confl);
+                self.backtrack(bt);
+                self.record_learnt(learnt);
+                self.decay();
+                if self.conflicts - start_conflicts >= max_conflicts {
+                    self.backtrack(0);
+                    return Outcome::Unknown;
+                }
+            } else if since_restart >= limit {
+                restarts += 1;
+                since_restart = 0;
+                limit = RESTART_BASE * luby(restarts);
+                self.backtrack(0);
+            } else {
+                match self.pick_branch() {
+                    None => {
+                        let model = self
+                            .assigns
+                            .iter()
+                            .map(|&v| v == VAL_TRUE)
+                            .collect::<Vec<bool>>();
+                        self.backtrack(0);
+                        return Outcome::Sat(model);
+                    }
+                    Some(v) => {
+                        self.trail_lim.push(self.trail.len());
+                        let l = if self.polarity[v as usize] {
+                            Lit::pos(v)
+                        } else {
+                            Lit::neg(v)
+                        };
+                        self.unchecked_enqueue(l, NO_REASON);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The Luby restart sequence (0-based): 1, 1, 2, 1, 1, 2, 4, ...
+fn luby(mut x: u64) -> u64 {
+    let mut size = 1u64;
+    let mut seq = 0u32;
+    while size < x + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    while size - 1 != x {
+        size = (size - 1) / 2;
+        seq -= 1;
+        x %= size;
+    }
+    1u64 << seq
+}
+
+/// Encode "at most `k` of `lits` are true" with the sequential-counter
+/// (Sinz) encoding; allocates auxiliary variables in `s`.
+pub fn add_at_most_k(s: &mut Solver, lits: &[Lit], k: usize) {
+    if lits.len() <= k {
+        return;
+    }
+    if k == 0 {
+        for &l in lits {
+            s.add_clause(&[!l]);
+        }
+        return;
+    }
+    let n = lits.len();
+    // reg[i][j]: among lits[0..=i], at least j+1 are true (j < k).
+    let mut prev: Vec<Lit> = Vec::with_capacity(k);
+    for (i, &x) in lits.iter().enumerate() {
+        if i + 1 == n {
+            // Last element only needs the overflow clause.
+            s.add_clause(&[!x, !prev[k - 1]]);
+            break;
+        }
+        let row: Vec<Lit> = (0..k).map(|_| Lit::pos(s.new_var())).collect();
+        // x_i -> row[0]
+        s.add_clause(&[!x, row[0]]);
+        if i > 0 {
+            for j in 0..k {
+                // prev[j] -> row[j]
+                s.add_clause(&[!prev[j], row[j]]);
+            }
+            for j in 1..k {
+                // x_i & prev[j-1] -> row[j]
+                s.add_clause(&[!x, !prev[j - 1], row[j]]);
+            }
+            // x_i & prev[k-1] -> conflict
+            s.add_clause(&[!x, !prev[k - 1]]);
+        }
+        prev = row;
+    }
+}
+
+/// Encode "exactly one of `lits` is true".
+pub fn add_exactly_one(s: &mut Solver, lits: &[Lit]) {
+    assert!(!lits.is_empty(), "exactly-one over an empty set is UNSAT");
+    s.add_clause(lits);
+    if lits.len() <= 5 {
+        for i in 0..lits.len() {
+            for j in i + 1..lits.len() {
+                s.add_clause(&[!lits[i], !lits[j]]);
+            }
+        }
+    } else {
+        add_at_most_k(s, lits, 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic xorshift64* for formula generation.
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.0 = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+        fn below(&mut self, n: u64) -> u64 {
+            self.next() % n
+        }
+    }
+
+    /// Brute-force satisfiability over `n` vars; returns a model if any.
+    fn brute_force(n: usize, clauses: &[Vec<Lit>]) -> Option<Vec<bool>> {
+        'outer: for bits in 0u32..(1 << n) {
+            for c in clauses {
+                let sat = c.iter().any(|l| {
+                    let v = bits >> l.var() & 1 == 1;
+                    v != l.is_neg()
+                });
+                if !sat {
+                    continue 'outer;
+                }
+            }
+            return Some((0..n).map(|i| bits >> i & 1 == 1).collect());
+        }
+        None
+    }
+
+    fn check_model(clauses: &[Vec<Lit>], model: &[bool]) -> bool {
+        clauses
+            .iter()
+            .all(|c| c.iter().any(|l| model[l.var() as usize] != l.is_neg()))
+    }
+
+    fn solve_formula(n: usize, clauses: &[Vec<Lit>]) -> (Outcome, Solver) {
+        let mut s = Solver::new();
+        for _ in 0..n {
+            s.new_var();
+        }
+        let mut ok = true;
+        for c in clauses {
+            ok &= s.add_clause(c);
+        }
+        if !ok {
+            return (Outcome::Unsat, s);
+        }
+        let out = s.solve(u64::MAX);
+        (out, s)
+    }
+
+    /// Cross-check CDCL against brute force on one formula, and audit
+    /// every learnt clause against every brute-force model (a learnt
+    /// clause that excludes a model would be an unsoundness).
+    fn cross_check(n: usize, clauses: &[Vec<Lit>]) {
+        let (out, s) = solve_formula(n, clauses);
+        let reference = brute_force(n, clauses);
+        match (&out, &reference) {
+            (Outcome::Sat(model), Some(_)) => {
+                assert!(check_model(clauses, model), "bogus model for {clauses:?}");
+            }
+            (Outcome::Unsat, None) => {}
+            _ => panic!("solver/brute-force disagree on {clauses:?}: {out:?} vs {reference:?}"),
+        }
+        // Learnt-clause soundness: every model of the formula satisfies
+        // every learnt clause.
+        for bits in 0u32..(1 << n) {
+            let model: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+            if check_model(clauses, &model) {
+                for learnt in s.learnt_clauses() {
+                    assert!(
+                        learnt.iter().any(|l| model[l.var() as usize] != l.is_neg()),
+                        "learnt clause {learnt:?} drops model {model:?} of {clauses:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Every clause with up to 3 literals over 3 vars (no tautologies,
+    /// no duplicate vars), in a fixed order.
+    fn all_small_clauses() -> Vec<Vec<Lit>> {
+        let mut out = Vec::new();
+        let lits: Vec<Lit> = (0..3).flat_map(|v| [Lit::pos(v), Lit::neg(v)]).collect();
+        for i in 0..lits.len() {
+            out.push(vec![lits[i]]);
+            for j in i + 1..lits.len() {
+                if lits[i].var() == lits[j].var() {
+                    continue;
+                }
+                out.push(vec![lits[i], lits[j]]);
+                for k in j + 1..lits.len() {
+                    if lits[k].var() == lits[i].var() || lits[k].var() == lits[j].var() {
+                        continue;
+                    }
+                    out.push(vec![lits[i], lits[j], lits[k]]);
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn exhaustive_pairs_and_triples_of_small_clauses() {
+        let pool = all_small_clauses();
+        // Every single clause and every pair; triples sampled densely by
+        // a fixed stride to keep the test under a second.
+        for i in 0..pool.len() {
+            cross_check(3, &[pool[i].clone()]);
+            for j in i..pool.len() {
+                cross_check(3, &[pool[i].clone(), pool[j].clone()]);
+            }
+        }
+        let mut idx = 0usize;
+        while idx < pool.len() * pool.len() * pool.len() {
+            let (i, j, k) = (
+                idx / (pool.len() * pool.len()),
+                idx / pool.len() % pool.len(),
+                idx % pool.len(),
+            );
+            cross_check(3, &[pool[i].clone(), pool[j].clone(), pool[k].clone()]);
+            idx += 97; // prime stride: 26^3/97 ≈ 180 triples
+        }
+    }
+
+    #[test]
+    fn random_formulas_up_to_4_vars_6_clauses() {
+        let mut rng = Rng(0x9E3779B97F4A7C15);
+        for _ in 0..4000 {
+            let n = 1 + rng.below(4) as usize;
+            let m = 1 + rng.below(6) as usize;
+            let clauses: Vec<Vec<Lit>> = (0..m)
+                .map(|_| {
+                    let w = 1 + rng.below(4) as usize;
+                    (0..w)
+                        .map(|_| {
+                            let v = rng.below(n as u64) as Var;
+                            if rng.below(2) == 0 {
+                                Lit::pos(v)
+                            } else {
+                                Lit::neg(v)
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            cross_check(n, &clauses);
+        }
+    }
+
+    #[test]
+    fn unit_propagation_fixes_implied_chain() {
+        // x0 & (x0 -> x1) & (x1 -> x2): all forced at level 0.
+        let clauses = vec![
+            vec![Lit::pos(0)],
+            vec![Lit::neg(0), Lit::pos(1)],
+            vec![Lit::neg(1), Lit::pos(2)],
+        ];
+        let (out, s) = solve_formula(3, &clauses);
+        match out {
+            Outcome::Sat(m) => assert_eq!(m, vec![true, true, true]),
+            other => panic!("expected SAT, got {other:?}"),
+        }
+        // Decided by propagation alone: no conflicts needed.
+        assert_eq!(s.conflicts(), 0);
+    }
+
+    #[test]
+    fn determinism_across_runs_and_restarts() {
+        // A formula hard enough to trigger restarts (pigeonhole 7 into 6),
+        // solved twice: identical outcome and identical learnt clauses.
+        let mut runs = Vec::new();
+        for _ in 0..2 {
+            let mut s = Solver::new();
+            let holes = 6u32;
+            let pigeons = 7u32;
+            let var = |p: u32, h: u32| p * holes + h;
+            for _ in 0..pigeons * holes {
+                s.new_var();
+            }
+            for p in 0..pigeons {
+                let c: Vec<Lit> = (0..holes).map(|h| Lit::pos(var(p, h))).collect();
+                s.add_clause(&c);
+            }
+            for h in 0..holes {
+                for p1 in 0..pigeons {
+                    for p2 in p1 + 1..pigeons {
+                        s.add_clause(&[Lit::neg(var(p1, h)), Lit::neg(var(p2, h))]);
+                    }
+                }
+            }
+            let out = s.solve(u64::MAX);
+            assert_eq!(out, Outcome::Unsat);
+            let learnt: Vec<Vec<Lit>> = s.learnt_clauses().map(|c| c.to_vec()).collect();
+            assert!(s.conflicts() > RESTART_BASE, "restarts never exercised");
+            runs.push((s.conflicts(), learnt));
+        }
+        assert_eq!(runs[0], runs[1], "solver is not deterministic");
+    }
+
+    #[test]
+    fn budget_returns_unknown() {
+        // Pigeonhole 7 into 6 needs far more than 3 conflicts.
+        let mut s = Solver::new();
+        let holes = 6u32;
+        let pigeons = 7u32;
+        let var = |p: u32, h: u32| p * holes + h;
+        for _ in 0..pigeons * holes {
+            s.new_var();
+        }
+        for p in 0..pigeons {
+            let c: Vec<Lit> = (0..holes).map(|h| Lit::pos(var(p, h))).collect();
+            s.add_clause(&c);
+        }
+        for h in 0..holes {
+            for p1 in 0..pigeons {
+                for p2 in p1 + 1..pigeons {
+                    s.add_clause(&[Lit::neg(var(p1, h)), Lit::neg(var(p2, h))]);
+                }
+            }
+        }
+        assert_eq!(s.solve(3), Outcome::Unknown);
+        assert!(s.conflicts() >= 3);
+    }
+
+    #[test]
+    fn at_most_k_counts() {
+        for n in 1..=6usize {
+            for k in 0..=n {
+                let mut s = Solver::new();
+                let lits: Vec<Lit> = (0..n).map(|_| Lit::pos(s.new_var())).collect();
+                add_at_most_k(&mut s, &lits, k);
+                // Force k of them true: SAT. Force k+1 true: UNSAT.
+                for (i, &l) in lits.iter().enumerate() {
+                    if i < k {
+                        s.add_clause(&[l]);
+                    }
+                }
+                assert!(
+                    matches!(s.solve(u64::MAX), Outcome::Sat(_)),
+                    "at_most({k}) over {n} rejected {k} trues"
+                );
+                if k < n {
+                    let mut s2 = Solver::new();
+                    let lits: Vec<Lit> = (0..n).map(|_| Lit::pos(s2.new_var())).collect();
+                    add_at_most_k(&mut s2, &lits, k);
+                    for &l in lits.iter().take(k + 1) {
+                        s2.add_clause(&[l]);
+                    }
+                    assert_eq!(
+                        s2.solve(u64::MAX),
+                        Outcome::Unsat,
+                        "at_most({k}) over {n} allowed {} trues",
+                        k + 1
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exactly_one_counts() {
+        for n in 1..=8usize {
+            let mut s = Solver::new();
+            let lits: Vec<Lit> = (0..n).map(|_| Lit::pos(s.new_var())).collect();
+            add_exactly_one(&mut s, &lits);
+            match s.solve(u64::MAX) {
+                Outcome::Sat(m) => {
+                    let trues = lits.iter().filter(|l| m[l.var() as usize]).count();
+                    assert_eq!(trues, 1, "exactly-one over {n} gave {trues} trues");
+                }
+                other => panic!("exactly-one over {n}: {other:?}"),
+            }
+            // Two forced true: UNSAT.
+            if n >= 2 {
+                let mut s2 = Solver::new();
+                let lits: Vec<Lit> = (0..n).map(|_| Lit::pos(s2.new_var())).collect();
+                add_exactly_one(&mut s2, &lits);
+                s2.add_clause(&[lits[0]]);
+                s2.add_clause(&[lits[n - 1]]);
+                assert_eq!(s2.solve(u64::MAX), Outcome::Unsat);
+            }
+        }
+    }
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let want = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        let got: Vec<u64> = (0..want.len() as u64).map(luby).collect();
+        assert_eq!(got, want);
+    }
+}

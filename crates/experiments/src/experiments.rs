@@ -1,6 +1,8 @@
 //! One function per paper table/figure, plus the ablations.
 
-use crate::runner::{print_series, run_experiment, write_csv, Series, SeriesSpec};
+use crate::runner::{
+    print_series, run_experiment, run_gap_experiment, write_csv, Series, SeriesSpec,
+};
 use clasp::PipelineConfig;
 use clasp_core::{AssignConfig, Ordering, Variant};
 use clasp_ddg::{Ddg, OpKind};
@@ -101,6 +103,64 @@ pub fn fig13(corpus: &[Ddg]) -> Vec<Series> {
         corpus,
         specs,
     )
+}
+
+/// Optimality-gap table: the Fig. 12/13 heuristic variants against the
+/// exact SAT backend's proven minimal II, on the corpus's small loops
+/// (the exact bound is only tractable up to
+/// [`clasp::oracle::EXACT_ORACLE_NODE_CAP`] nodes). Deviation buckets
+/// are `heuristic II - exact II`: the x=0 column is the fraction of
+/// small loops each variant schedules provably optimally.
+pub fn gap(corpus: &[Ddg]) -> Vec<Series> {
+    let cap = clasp::oracle::EXACT_ORACLE_NODE_CAP;
+    let small: Vec<Ddg> = corpus
+        .iter()
+        .filter(|g| g.node_count() <= cap)
+        .cloned()
+        .collect();
+    println!(
+        "\ngap: {} of {} corpus loops have <= {cap} nodes",
+        small.len(),
+        corpus.len()
+    );
+    let mut all = Vec::new();
+    for (id, title, m) in [
+        (
+            "gap12",
+            "Gap vs exact: 2 clusters x 4 GP (2 buses, 1 port), small loops",
+            presets::two_cluster_gp(2, 1),
+        ),
+        (
+            "gap13",
+            "Gap vs exact: 4 clusters x 4 GP (4 buses, 2 ports), small loops",
+            presets::four_cluster_gp(4, 2),
+        ),
+    ] {
+        let specs: Vec<SeriesSpec> = Variant::ALL
+            .iter()
+            .map(|&v| (v.label().to_string(), m.clone(), cfg(v)))
+            .collect();
+        let t0 = std::time::Instant::now();
+        let series = match run_gap_experiment(&small, &specs) {
+            Ok(series) => series,
+            Err(panic) => {
+                eprintln!("experiment {id} failed: {panic}");
+                std::process::exit(1);
+            }
+        };
+        print_series(title, &series);
+        println!(
+            "[{id}] {} loops x {} series in {:.1?}",
+            small.len(),
+            specs.len(),
+            t0.elapsed()
+        );
+        if let Err(e) = write_csv(id, &series) {
+            eprintln!("warning: could not write results/{id}.csv: {e}");
+        }
+        all.extend(series);
+    }
+    all
 }
 
 /// Figure 14: bus count sweep on the 2-cluster GP machine.

@@ -4,9 +4,13 @@
 //! 1998). Run with `cargo run -p clasp-experiments --release -- <id>`,
 //! where `<id>` is one of:
 //!
-//! `table1 table2 fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19 table3
-//! grid ablate-order ablate-pcr ablate-budget ablate-sched registers baseline-post
-//! all quick`
+//! `table1 table2 fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19 gap
+//! table3 grid ablate-order ablate-pcr ablate-budget ablate-sched registers
+//! baseline-post all quick`
+//!
+//! `gap` is the optimality table: the Fig. 12/13 variants' II gap
+//! against the exact SAT backend's proven minimum on small loops
+//! (`results/gap12.csv`, `results/gap13.csv`).
 //!
 //! Options: `--loops N` (corpus subset), `--seed S` (corpus seed),
 //! `--threads T` (sweep workers, 0 = one per hardware thread; results
@@ -94,6 +98,9 @@ fn main() {
             }
             "fig19" => {
                 experiments::fig19(&corpus);
+            }
+            "gap" => {
+                experiments::gap(&corpus);
             }
             "table3" => experiments::table3(&corpus),
             "grid" => {

@@ -101,6 +101,71 @@ fn unified_baseline(
     )
 }
 
+/// Exact-backend minimal IIs for a corpus on one machine, computed in
+/// parallel (`None` = instance refused, budget blown, or infeasible).
+///
+/// # Errors
+///
+/// [`SweepPanic`] naming the loop whose exact solve panicked.
+fn exact_baseline(corpus: &[Ddg], machine: &MachineSpec) -> Result<Vec<Option<u32>>, SweepPanic> {
+    sweep(
+        threads(),
+        corpus,
+        |_, g| format!("loop {} exact on {}", g.name(), machine.name()),
+        |_, g| clasp::oracle::exact_minimal_ii(g, machine),
+    )
+}
+
+/// As [`run_experiment`], but the histogram baseline is the exact SAT
+/// backend's proven minimal II instead of the unified-machine II: each
+/// series' deviation is `heuristic II - exact II`, the optimality gap.
+/// Every spec must name the same machine (the exact bound is computed
+/// once and shared). Loops where either side fails count as `fails`.
+///
+/// # Errors
+///
+/// [`SweepPanic`] as in [`run_experiment`].
+///
+/// # Panics
+///
+/// Panics if the series disagree on the machine.
+pub fn run_gap_experiment(corpus: &[Ddg], specs: &[SeriesSpec]) -> Result<Vec<Series>, SweepPanic> {
+    assert!(!specs.is_empty());
+    let machine = &specs[0].1;
+    for (_, m, _) in specs {
+        assert_eq!(m, machine, "gap series must share the machine");
+    }
+    let baseline = exact_baseline(corpus, machine)?;
+
+    specs
+        .iter()
+        .map(|(label, machine, config)| {
+            let iis = sweep(
+                threads(),
+                corpus,
+                |_, g: &Ddg| format!("loop {} on {} ({label})", g.name(), machine.name()),
+                |_, g| service().ii_of(g, machine, *config),
+            )?;
+            let mut hist = BTreeMap::new();
+            let mut fails = 0usize;
+            for (ii, exact) in iis.iter().zip(&baseline) {
+                match (ii, exact) {
+                    (Some(c), Some(e)) => {
+                        *hist.entry(i64::from(*c) - i64::from(*e)).or_insert(0) += 1;
+                    }
+                    _ => fails += 1,
+                }
+            }
+            Ok(Series {
+                label: label.clone(),
+                hist,
+                fails,
+                loops: corpus.len(),
+            })
+        })
+        .collect()
+}
+
 /// Run every series over the corpus on the deterministic executor
 /// (`clasp-exec`): dynamically balanced workers, input-ordered results,
 /// bit-identical for any `--threads` value. All series must share the

@@ -14,9 +14,11 @@ use std::path::{Path, PathBuf};
 
 use crate::casegen::{generate_case, FuzzCase};
 use crate::fault::Fault;
-use crate::oracle::{check_case, OracleOptions, OracleViolation, PipelineFn};
-use crate::repro::write_repro;
-use crate::shrink::shrink_case;
+use crate::oracle::{
+    check_case, exact_minimal_ii, OracleOptions, OracleViolation, PipelineFn, EXACT_ORACLE_NODE_CAP,
+};
+use crate::repro::{write_hard_case, write_repro};
+use crate::shrink::{shrink_case, shrink_while};
 
 /// Fuzz-run configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,6 +35,11 @@ pub struct FuzzConfig {
     /// Worker threads for case checking (0 = one per hardware thread).
     /// The report is bit-identical for every value.
     pub threads: usize,
+    /// Cross-check small loops against the exact SAT backend (invariant
+    /// 9, `heuristic II >= exact II`) and collect *hard instances* —
+    /// cases where the heuristic's II strictly exceeds the proven
+    /// minimum — into [`FuzzReport::hard`].
+    pub exact: bool,
 }
 
 impl Default for FuzzConfig {
@@ -43,6 +50,7 @@ impl Default for FuzzConfig {
             iterations: 8,
             fault: Fault::None,
             threads: 0,
+            exact: false,
         }
     }
 }
@@ -56,6 +64,20 @@ pub struct Failure {
     pub violations: Vec<OracleViolation>,
 }
 
+/// A mined hard instance: the heuristic settled on a strictly larger II
+/// than the exact backend proved minimal. Not a violation — a heuristic
+/// is allowed to be suboptimal — but exactly the corpus that stresses
+/// it.
+#[derive(Debug, Clone)]
+pub struct HardCase {
+    /// The generated case.
+    pub case: FuzzCase,
+    /// The heuristic's achieved II.
+    pub heuristic: u32,
+    /// The exact backend's proven minimal II.
+    pub exact: u32,
+}
+
 /// The outcome of a fuzz run.
 #[derive(Debug, Clone, Default)]
 pub struct FuzzReport {
@@ -66,6 +88,9 @@ pub struct FuzzReport {
     /// Reproducer files written by [`run_fuzz_with_repros`] (empty when
     /// shrinking is off or nothing failed).
     pub repro_files: Vec<PathBuf>,
+    /// Hard instances found by the exact cross-check
+    /// ([`FuzzConfig::exact`]), in stream order.
+    pub hard: Vec<HardCase>,
 }
 
 impl FuzzReport {
@@ -86,6 +111,7 @@ pub fn run_fuzz(config: &FuzzConfig, pipeline: PipelineFn) -> FuzzReport {
     let opts = OracleOptions {
         iterations: config.iterations,
         fault: config.fault,
+        exact: config.exact,
     };
     let indices: Vec<usize> = (0..config.cases).collect();
     let results = clasp_exec::try_sweep(
@@ -95,14 +121,29 @@ pub fn run_fuzz(config: &FuzzConfig, pipeline: PipelineFn) -> FuzzReport {
         |(), _, &index| {
             let case = generate_case(config.seed, index);
             let violations = check_case(&case.graph, &case.machine, pipeline, &opts);
-            (case, violations)
+            let gap = if config.exact
+                && violations.is_empty()
+                && case.graph.node_count() <= EXACT_ORACLE_NODE_CAP
+            {
+                positive_gap(&case.graph, &case.machine, pipeline)
+            } else {
+                None
+            };
+            (case, violations, gap)
         },
     );
     let mut report = FuzzReport::default();
     for (index, result) in results.into_iter().enumerate() {
         report.checked += 1;
         match result {
-            Ok((case, violations)) => {
+            Ok((case, violations, gap)) => {
+                if let Some((heuristic, exact)) = gap {
+                    report.hard.push(HardCase {
+                        case: case.clone(),
+                        heuristic,
+                        exact,
+                    });
+                }
                 if !violations.is_empty() {
                     report.failures.push(Failure { case, violations });
                 }
@@ -120,6 +161,66 @@ pub fn run_fuzz(config: &FuzzConfig, pipeline: PipelineFn) -> FuzzReport {
         }
     }
     report
+}
+
+/// `(heuristic II, exact II)` when the pipeline schedules the pair at a
+/// strictly larger II than the exact backend proves minimal; `None` when
+/// either side fails, the solve is refused, or there is no gap.
+fn positive_gap(
+    g: &clasp_ddg::Ddg,
+    machine: &clasp_machine::MachineSpec,
+    pipeline: PipelineFn,
+) -> Option<(u32, u32)> {
+    let heuristic = pipeline(g, machine).ok()?.schedule.ii();
+    let exact = exact_minimal_ii(g, machine)?;
+    (heuristic > exact).then_some((heuristic, exact))
+}
+
+/// Predicate-call budget per hard-case shrink: each trial costs a full
+/// compile *and* a SAT solve, so the budget is much tighter than the
+/// violation shrinker's.
+const HARD_SHRINK_TRIALS: usize = 500;
+
+/// Shrink each of `report.hard`'s instances while its heuristic-vs-exact
+/// gap stays positive, and write the reduced pairs into `dir` (stems
+/// `hard-<index>`, gap recorded in the `.clasp` header). Prior
+/// `hard-*` files in `dir` are removed first. Returns the written paths.
+///
+/// # Errors
+///
+/// Any filesystem error preparing the directory or writing the files.
+pub fn mine_hard_cases(
+    report: &FuzzReport,
+    pipeline: PipelineFn,
+    dir: &Path,
+) -> std::io::Result<Vec<PathBuf>> {
+    std::fs::create_dir_all(dir)?;
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.starts_with("hard-") && (name.ends_with(".clasp") || name.ends_with(".machine")) {
+            std::fs::remove_file(entry.path())?;
+        }
+    }
+    let mut written = Vec::new();
+    for hard in &report.hard {
+        let (g, m, _) = shrink_while(
+            &hard.case.graph,
+            &hard.case.machine,
+            HARD_SHRINK_TRIALS,
+            |g, m| positive_gap(g, m, pipeline).is_some(),
+        );
+        // Re-measure on the reduced pair: shrinking preserves *positivity*
+        // of the gap, not its magnitude.
+        let (heuristic, exact) =
+            positive_gap(&g, &m, pipeline).expect("shrink_while preserves the predicate");
+        let stem = format!("hard-{:04}", hard.case.index);
+        let (lp, mp) = write_hard_case(dir, &stem, &g, &m, heuristic, exact, hard.case.case_seed)?;
+        written.push(lp);
+        written.push(mp);
+    }
+    Ok(written)
 }
 
 /// Remove reproducers left by prior runs (`case-*.clasp` /
@@ -160,6 +261,7 @@ pub fn run_fuzz_with_repros(
     let opts = OracleOptions {
         iterations: config.iterations,
         fault: config.fault,
+        exact: config.exact,
     };
     let mut report = run_fuzz(config, pipeline);
     for failure in &report.failures {

@@ -41,10 +41,13 @@ pub mod shrink;
 
 pub use casegen::{case_seed, generate_case, FuzzCase};
 pub use fault::Fault;
-pub use fuzz::{run_fuzz, run_fuzz_with_repros, Failure, FuzzConfig, FuzzReport};
+pub use fuzz::{
+    mine_hard_cases, run_fuzz, run_fuzz_with_repros, Failure, FuzzConfig, FuzzReport, HardCase,
+};
 pub use machgen::random_machine;
 pub use oracle::{
-    check_case, unified_baseline_ii, CompiledCase, OracleOptions, OracleViolation, PipelineFn,
+    check_case, exact_minimal_ii, unified_baseline_ii, CompiledCase, OracleOptions,
+    OracleViolation, PipelineFn, EXACT_ORACLE_NODE_CAP,
 };
-pub use repro::{repro_loop_text, write_repro};
-pub use shrink::{shrink_case, ShrinkOutcome};
+pub use repro::{hard_loop_text, parse_gap_header, repro_loop_text, write_hard_case, write_repro};
+pub use shrink::{shrink_case, shrink_while, ShrinkOutcome};

@@ -67,6 +67,11 @@ pub struct OracleOptions {
     /// Deliberate corruption applied to the compiled case before the
     /// invariant checks (testing the oracle itself; see [`Fault`]).
     pub fault: Fault,
+    /// Cross-check the achieved II against the exact SAT backend
+    /// (`clasp-exact`) on small loops: invariant 9,
+    /// `heuristic II >= exact II`. Off by default — each check costs a
+    /// SAT solve per candidate II.
+    pub exact: bool,
 }
 
 impl Default for OracleOptions {
@@ -74,9 +79,15 @@ impl Default for OracleOptions {
         OracleOptions {
             iterations: 8,
             fault: Fault::None,
+            exact: false,
         }
     }
 }
+
+/// Node cap for the exact cross-check: past this the SAT solve is not
+/// worth a fuzz case's budget (tighter than `clasp-exact`'s own default
+/// cap, which serves interactive compiles).
+pub const EXACT_ORACLE_NODE_CAP: usize = 12;
 
 /// One invariant breach found by [`check_case`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -166,6 +177,18 @@ pub enum OracleViolation {
         /// The panic payload, stringified.
         payload: String,
     },
+    /// The heuristic achieved an II *below* what the exact SAT backend
+    /// proved minimal — impossible for a sound exact backend, so one of
+    /// the two is wrong. Only reported when the heuristic's own routing
+    /// is chain-free (single-hop copies), since the exact encoding does
+    /// not model multi-hop copy chains and its "minimal" II is only a
+    /// bound over chain-free schedules.
+    HeuristicBeatsExact {
+        /// The heuristic's achieved II.
+        heuristic: u32,
+        /// The II the exact backend proved minimal.
+        exact: u32,
+    },
 }
 
 impl OracleViolation {
@@ -185,6 +208,7 @@ impl OracleViolation {
             OracleViolation::CarriedDistanceSplit { .. } => "carried-distance-split",
             OracleViolation::RecMiiDropped { .. } => "rec-mii-dropped",
             OracleViolation::CheckPanicked { .. } => "check-panicked",
+            OracleViolation::HeuristicBeatsExact { .. } => "heuristic-beats-exact",
         }
     }
 }
@@ -239,6 +263,10 @@ impl fmt::Display for OracleViolation {
             OracleViolation::CheckPanicked { payload } => {
                 write!(f, "case check panicked: {payload}")
             }
+            OracleViolation::HeuristicBeatsExact { heuristic, exact } => write!(
+                f,
+                "heuristic II {heuristic} beats the exact backend's proven minimum {exact}"
+            ),
         }
     }
 }
@@ -379,7 +407,31 @@ fn check_carried_chains(g: &Ddg, wg: &Ddg) -> Vec<OracleViolation> {
     out
 }
 
-/// Compare two store streams as multisets keyed by `(node, iteration)`;
+/// Whether the working graph routes every crossing value in a single
+/// hop: no edge connects two copy nodes. The exact encoding only models
+/// single-hop routing, so its minimal II is incomparable with a
+/// heuristic schedule that leaned on copy *chains*.
+fn chain_free(wg: &Ddg) -> bool {
+    !wg.edges()
+        .any(|(_, e)| wg.op(e.src).kind.is_copy() && wg.op(e.dst).kind.is_copy())
+}
+
+/// The exact backend's resource caps as the oracle uses them: the
+/// tighter [`EXACT_ORACLE_NODE_CAP`] instead of the interactive default.
+fn exact_oracle_config() -> clasp_exact::ExactConfig {
+    clasp_exact::ExactConfig {
+        max_nodes: EXACT_ORACLE_NODE_CAP,
+        ..clasp_exact::ExactConfig::default()
+    }
+}
+
+/// The provably minimal chain-free II of `g` on `machine`, or `None`
+/// when the instance is over the oracle's node cap, the solve blows its
+/// conflict budget, or no feasible II exists in the search range. Used
+/// both by invariant 9 and by the fuzz loop's hard-instance mining.
+pub fn exact_minimal_ii(g: &Ddg, machine: &MachineSpec) -> Option<u32> {
+    clasp_exact::exact_ii(g, machine, exact_oracle_config()).ok()
+}
 /// `None` when equal, otherwise a description of the first divergence.
 fn diff_streams(got: &[StoreEvent], expected: &[StoreEvent]) -> Option<String> {
     if got.len() != expected.len() {
@@ -477,6 +529,22 @@ pub fn check_case(
                 clustered: ii,
                 unified,
             });
+        }
+    }
+
+    // Invariant 9 — optimality oracle: the exact SAT backend's proven
+    // minimal II lower-bounds any valid heuristic schedule that the
+    // encoding can express (chain-free routing). Skipped when the solve
+    // is refused or blows its budget (`exact_minimal_ii` -> None): an
+    // unproved bound convicts nobody.
+    if opts.exact && assignment_ok && schedule_ok && chain_free(wg) {
+        if let Some(exact) = exact_minimal_ii(g, machine) {
+            if ii < exact {
+                violations.push(OracleViolation::HeuristicBeatsExact {
+                    heuristic: ii,
+                    exact,
+                });
+            }
         }
     }
 

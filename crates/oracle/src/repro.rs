@@ -56,12 +56,75 @@ pub fn write_repro(
     Ok((loop_path, machine_path))
 }
 
+/// Render the `.clasp` text of a mined *hard instance*: a case where the
+/// heuristic's achieved II strictly exceeds the exact backend's proven
+/// minimum. The gap header is machine-readable (see [`parse_gap_header`])
+/// so the regression suite can assert the gap never grows.
+pub fn hard_loop_text(graph: &Ddg, heuristic: u32, exact: u32, case_seed: u64) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "# hard instance (case seed {case_seed:#x})");
+    let _ = writeln!(s, "# gap: heuristic II {heuristic}, exact II {exact}");
+    s.push_str(&write_loop(graph));
+    s
+}
+
+/// Recover `(heuristic, exact)` from a [`hard_loop_text`] gap header.
+pub fn parse_gap_header(text: &str) -> Option<(u32, u32)> {
+    let line = text.lines().find(|l| l.starts_with("# gap:"))?;
+    let mut nums = line
+        .split(|c: char| !c.is_ascii_digit())
+        .filter(|t| !t.is_empty())
+        .map(str::parse);
+    let heuristic = nums.next()?.ok()?;
+    let exact = nums.next()?.ok()?;
+    Some((heuristic, exact))
+}
+
+/// Write the hard-instance pair `<stem>.clasp` / `<stem>.machine` into
+/// `dir`, creating it as needed. Returns both paths.
+///
+/// # Errors
+///
+/// Any filesystem error creating the directory or writing the files.
+pub fn write_hard_case(
+    dir: &Path,
+    stem: &str,
+    graph: &Ddg,
+    machine: &MachineSpec,
+    heuristic: u32,
+    exact: u32,
+    case_seed: u64,
+) -> io::Result<(PathBuf, PathBuf)> {
+    fs::create_dir_all(dir)?;
+    let loop_path = dir.join(format!("{stem}.clasp"));
+    let machine_path = dir.join(format!("{stem}.machine"));
+    fs::write(
+        &loop_path,
+        hard_loop_text(graph, heuristic, exact, case_seed),
+    )?;
+    fs::write(&machine_path, write_machine(machine))?;
+    Ok((loop_path, machine_path))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use clasp_ddg::OpKind;
     use clasp_machine::presets;
     use clasp_text::{parse_loop, parse_machine};
+
+    #[test]
+    fn hard_case_text_round_trips_gap_and_loop() {
+        let mut g = Ddg::new("h");
+        let a = g.add(OpKind::Load);
+        let b = g.add(OpKind::IntAlu);
+        g.add_dep(a, b);
+        let text = hard_loop_text(&g, 5, 3, 0x42);
+        assert_eq!(parse_gap_header(&text), Some((5, 3)));
+        let back = parse_loop(&text).unwrap();
+        assert_eq!(back.node_count(), 2);
+        assert_eq!(parse_gap_header("loop x\n"), None);
+    }
 
     #[test]
     fn repro_text_parses_back() {

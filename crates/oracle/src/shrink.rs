@@ -229,37 +229,34 @@ fn machine_reductions(m: &MachineSpec) -> Vec<MachineSpec> {
     out
 }
 
-/// Shrink a violating (loop, machine) pair to a local minimum while the
-/// original violation class reproduces. Returns `None` when the input
-/// case is clean (nothing to shrink).
-pub fn shrink_case(
+/// Greedily reduce a (loop, machine) pair to a local minimum of the
+/// caller's predicate: a candidate reduction is kept only while `holds`
+/// still accepts it. The pair passed in is assumed to satisfy the
+/// predicate; the returned pair always does.
+///
+/// The reduction order is fixed (nodes from the back, then edges, then
+/// machine structure, to a fixpoint) and each candidate costs one
+/// predicate call, so the result is deterministic for a deterministic
+/// predicate. Structurally invalid candidates (empty or cyclic graphs)
+/// are never offered to the predicate. Returns the reduced pair and the
+/// number of predicate calls spent (capped at `max_trials`).
+pub fn shrink_while(
     graph: &Ddg,
     machine: &MachineSpec,
-    pipeline: PipelineFn,
-    opts: &OracleOptions,
-) -> Option<ShrinkOutcome> {
-    let original = check_case(graph, machine, pipeline, opts);
-    let kind = original.first()?.kind();
-    let mut trials = 1usize;
+    max_trials: usize,
+    mut holds: impl FnMut(&Ddg, &MachineSpec) -> bool,
+) -> (Ddg, MachineSpec, usize) {
+    let mut trials = 0usize;
     let mut g = graph.clone();
     let mut m = machine.clone();
-    let mut violations = original;
 
-    // `reproduces` also refuses structurally invalid graphs, so greedy
-    // candidates never feed the pipeline garbage.
-    let reproduces =
-        |g: &Ddg, m: &MachineSpec, trials: &mut usize| -> Option<Vec<OracleViolation>> {
-            if *trials >= MAX_TRIALS || g.node_count() == 0 || g.validate().is_err() {
-                return None;
-            }
-            *trials += 1;
-            let v = check_case(g, m, pipeline, opts);
-            if v.iter().any(|x| x.kind() == kind) {
-                Some(v)
-            } else {
-                None
-            }
-        };
+    let mut keep = |g: &Ddg, m: &MachineSpec, trials: &mut usize| -> bool {
+        if *trials >= max_trials || g.node_count() == 0 || g.validate().is_err() {
+            return false;
+        }
+        *trials += 1;
+        holds(g, m)
+    };
 
     loop {
         let mut progressed = false;
@@ -272,9 +269,8 @@ pub fn shrink_case(
                 break;
             }
             let candidate = drop_node(&g, NodeId(i as u32));
-            if let Some(v) = reproduces(&candidate, &m, &mut trials) {
+            if keep(&candidate, &m, &mut trials) {
                 g = candidate;
-                violations = v;
                 progressed = true;
             }
         }
@@ -283,9 +279,8 @@ pub fn shrink_case(
         while i > 0 {
             i -= 1;
             let candidate = drop_edge(&g, i);
-            if let Some(v) = reproduces(&candidate, &m, &mut trials) {
+            if keep(&candidate, &m, &mut trials) {
                 g = candidate;
-                violations = v;
                 progressed = true;
             }
         }
@@ -295,26 +290,48 @@ pub fn shrink_case(
         while reduced_machine {
             reduced_machine = false;
             for candidate in machine_reductions(&m) {
-                if let Some(v) = reproduces(&g, &candidate, &mut trials) {
+                if keep(&g, &candidate, &mut trials) {
                     m = candidate;
-                    violations = v;
                     progressed = true;
                     reduced_machine = true;
                     break;
                 }
             }
         }
-        if !progressed || trials >= MAX_TRIALS {
+        if !progressed || trials >= max_trials {
             break;
         }
     }
 
+    (g, m, trials)
+}
+
+/// Shrink a violating (loop, machine) pair to a local minimum while the
+/// original violation class reproduces. Returns `None` when the input
+/// case is clean (nothing to shrink).
+pub fn shrink_case(
+    graph: &Ddg,
+    machine: &MachineSpec,
+    pipeline: PipelineFn,
+    opts: &OracleOptions,
+) -> Option<ShrinkOutcome> {
+    let original = check_case(graph, machine, pipeline, opts);
+    let kind = original.first()?.kind();
+    let mut violations = original;
+    let (g, m, trials) = shrink_while(graph, machine, MAX_TRIALS, |g, m| {
+        let v = check_case(g, m, pipeline, opts);
+        let reproduces = v.iter().any(|x| x.kind() == kind);
+        if reproduces {
+            violations = v;
+        }
+        reproduces
+    });
     Some(ShrinkOutcome {
         graph: g,
         machine: m,
         violations,
         kind,
-        trials,
+        trials: trials + 1,
     })
 }
 

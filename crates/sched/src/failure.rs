@@ -42,6 +42,24 @@ pub enum SchedFailure {
         /// The operation with the unsatisfiable request.
         node: NodeId,
     },
+    /// An exact (SAT-based) backend spent its solver resource budget
+    /// before reaching an answer. Distinct from [`SchedFailure::
+    /// BudgetExhausted`]: that is a heuristic placement budget at one II,
+    /// this is a proof-search cap — the II in question is neither proved
+    /// feasible nor infeasible.
+    Budget {
+        /// Solver conflicts spent before giving up.
+        conflicts: u64,
+        /// Node count of the instance (the per-instance size cap also
+        /// surfaces here, with `conflicts == 0`).
+        nodes: usize,
+    },
+    /// An exact backend *proved* there is no schedule at `ii` (an UNSAT
+    /// certificate, not a search giving up). A larger II may exist.
+    Infeasible {
+        /// The II proved infeasible.
+        ii: u32,
+    },
     /// MII is unbounded: some operation kind has no functional unit
     /// anywhere on the machine, so no II search can even start.
     MiiUnbounded,
@@ -71,7 +89,10 @@ impl SchedFailure {
             | SchedFailure::WindowInfeasible { node, .. }
             | SchedFailure::ResourceImpossible { node, .. } => Some(*node),
             SchedFailure::Exhausted { last, .. } => last.as_ref().and_then(|f| f.blocking_node()),
-            SchedFailure::MiiUnbounded | SchedFailure::Invalid(_) => None,
+            SchedFailure::Budget { .. }
+            | SchedFailure::Infeasible { .. }
+            | SchedFailure::MiiUnbounded
+            | SchedFailure::Invalid(_) => None,
         }
     }
 
@@ -80,8 +101,11 @@ impl SchedFailure {
     /// annotations) return `false`.
     pub fn retryable(&self) -> bool {
         match self {
-            SchedFailure::BudgetExhausted { .. } | SchedFailure::WindowInfeasible { .. } => true,
-            SchedFailure::ResourceImpossible { .. }
+            SchedFailure::BudgetExhausted { .. }
+            | SchedFailure::WindowInfeasible { .. }
+            | SchedFailure::Infeasible { .. } => true,
+            SchedFailure::Budget { .. }
+            | SchedFailure::ResourceImpossible { .. }
             | SchedFailure::MiiUnbounded
             | SchedFailure::Invalid(_) => false,
             SchedFailure::Exhausted { last, .. } => last.as_ref().is_some_and(|f| f.retryable()),
@@ -106,6 +130,23 @@ impl fmt::Display for SchedFailure {
                     f,
                     "{node}'s resource request is unsatisfiable at II = {ii} (no matching unit)"
                 )
+            }
+            SchedFailure::Budget { conflicts, nodes } => {
+                if *conflicts == 0 {
+                    write!(
+                        f,
+                        "exact backend refused the instance: {nodes} nodes exceed the size cap"
+                    )
+                } else {
+                    write!(
+                        f,
+                        "exact solver budget spent ({conflicts} conflicts, {nodes} nodes) \
+                         with no answer"
+                    )
+                }
+            }
+            SchedFailure::Infeasible { ii } => {
+                write!(f, "proved infeasible at II = {ii} (UNSAT)")
             }
             SchedFailure::MiiUnbounded => {
                 write!(f, "MII is unbounded: some operation has no unit anywhere")
@@ -162,6 +203,25 @@ mod tests {
         }
         .retryable());
         assert_eq!(SchedFailure::MiiUnbounded.blocking_node(), None);
+    }
+
+    #[test]
+    fn solver_budget_and_infeasible_shapes() {
+        let b = SchedFailure::Budget {
+            conflicts: 1000,
+            nodes: 12,
+        };
+        assert_eq!(b.blocking_node(), None);
+        assert!(!b.retryable(), "a spent proof budget is not an II problem");
+        assert!(b.to_string().contains("1000 conflicts"));
+        let cap = SchedFailure::Budget {
+            conflicts: 0,
+            nodes: 99,
+        };
+        assert!(cap.to_string().contains("size cap"));
+        let inf = SchedFailure::Infeasible { ii: 3 };
+        assert!(inf.retryable(), "UNSAT at one II says nothing about II+1");
+        assert!(inf.to_string().contains("II = 3"));
     }
 
     #[test]

@@ -7,8 +7,8 @@
 //! clasp-cli simulate <loop.clasp> [options] [--iterations N]
 //! clasp-cli fuzz     [--seed N] [--cases N] [--iterations N] [--shrink]
 //!                    [--fault none|skew|misplace|smear] [--out DIR]
-//!                    [--threads N]
-//! clasp-cli batch    [--dir DIR] [--threads N]
+//!                    [--threads N] [--exact] [--hard-out DIR]
+//! clasp-cli batch    [--dir DIR] [--backend B] [--threads N]
 //! clasp-cli machines
 //!
 //! Every compile — `compile`, `simulate`, `batch`, and the fuzz
@@ -40,7 +40,8 @@
 //! value (timing goes to stderr), so CI can diff runs directly. The
 //! printed counters stay thread-count independent because every counted
 //! quantity depends only on work done, never on how workers interleave
-//! (see `clasp-obs`).
+//! (see `clasp-obs`). `--backend exact` routes every pair (unified
+//! baselines included) through the SAT backend instead.
 //!
 //! options:
 //!   --machine <preset>    2c-gp | 4c-gp | 6c-gp | 8c-gp | 2c-fs | 4c-fs |
@@ -51,6 +52,10 @@
 //!   --variant <v>         simple | simple-iterative | heuristic |
 //!                         heuristic-iterative (default)
 //!   --scheduler <s>       iterative (default) | swing
+//!   --backend <b>         heuristic (default) | exact — the exact
+//!                         backend proves the minimal II by SAT on
+//!                         small loops; past its node/conflict budget
+//!                         it fails with a typed `Budget` reason
 //!   --model <m>           mve (default) | rotating register naming
 //!   --iterations N        iterations to emit/simulate (default 16)
 //!   --dot                 dump the working graph as Graphviz DOT
@@ -68,7 +73,9 @@
 
 use clasp::serve::Client;
 use clasp::service::{CompileService, ServiceConfig, ServiceRequest};
-use clasp::{unified_ii, CompileRequest, CompiledArtifact, PipelineConfig, RegisterModelKind};
+use clasp::{
+    unified_ii, BackendKind, CompileRequest, CompiledArtifact, PipelineConfig, RegisterModelKind,
+};
 use clasp_core::Variant;
 use clasp_ddg::{find_sccs, rec_mii, swing_order, Ddg};
 use clasp_machine::{presets, MachineSpec};
@@ -83,6 +90,7 @@ struct Options {
     ports: Option<u32>,
     variant: Variant,
     scheduler: SchedulerKind,
+    backend: BackendKind,
     model: RegisterModelKind,
     iterations: i64,
     dot: bool,
@@ -103,6 +111,7 @@ impl Default for Options {
             ports: None,
             variant: Variant::HeuristicIterative,
             scheduler: SchedulerKind::Iterative,
+            backend: BackendKind::Heuristic,
             model: RegisterModelKind::Mve,
             iterations: 16,
             dot: false,
@@ -163,11 +172,13 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: clasp-cli <analyze|compile|simulate|fuzz|batch|machines> [loop.clasp] [options]\n\
          see `clasp-cli machines` for presets; options: --machine --buses --ports\n\
-         --variant --scheduler --model --iterations --dot --kernel --explain --trace-json\n\
+         --variant --scheduler --backend --model --iterations --dot --kernel --explain\n\
+         --trace-json\n\
          --cache-dir --memory-budget --server\n\
          fuzz options: --seed --cases --iterations --shrink --fault --out --threads\n\
-         --cache-dir --memory-budget\n\
-         batch options: --dir --threads --trace-json --cache-dir --memory-budget --server"
+         --exact --hard-out --cache-dir --memory-budget\n\
+         batch options: --dir --backend --threads --trace-json --cache-dir --memory-budget\n\
+         --server"
     );
     ExitCode::from(2)
 }
@@ -233,6 +244,7 @@ fn analyze(g: &Ddg) {
 /// exactly as the paper's tables do.
 fn request(opts: &Options, verify: bool) -> CompileRequest {
     CompileRequest {
+        backend: opts.backend,
         pipeline: PipelineConfig {
             assign: opts.variant.into(),
             scheduler: opts.scheduler,
@@ -268,7 +280,11 @@ fn write_trace(trace_json: Option<&str>, obs: &Obs) -> Result<(), String> {
 fn compile(g: &Ddg, opts: &Options) -> Result<(), String> {
     let machine = build_machine(opts)?;
     let req = request(opts, false);
-    if opts.explain {
+    // The decision log narrates the heuristic assigner's selection
+    // cascade; under `--backend exact` the artifact comes from the SAT
+    // model instead, so printing it would describe a different
+    // assignment than the one shown below.
+    if opts.explain && opts.backend == BackendKind::Heuristic {
         let config = req.pipeline;
         let (res, trace) = clasp_core::assign_traced(g, &machine, config.assign, 1);
         res.map_err(|e| e.to_string())?;
@@ -309,7 +325,12 @@ fn compile(g: &Ddg, opts: &Options) -> Result<(), String> {
     let report = &artifact.report;
 
     println!("machine:   {machine}");
-    println!("variant:   {} / {} scheduler", opts.variant, opts.scheduler);
+    match opts.backend {
+        BackendKind::Heuristic => {
+            println!("variant:   {} / {} scheduler", opts.variant, opts.scheduler)
+        }
+        BackendKind::Exact => println!("variant:   exact SAT backend (proven minimal II)"),
+    }
     println!(
         "II:        {} (unified baseline: {})",
         artifact.ii(),
@@ -395,6 +416,7 @@ fn fuzz(args: &[String]) -> Result<bool, String> {
     let mut config = clasp_oracle::FuzzConfig::default();
     let mut shrink = false;
     let mut out = String::from("results/repros");
+    let mut hard_out: Option<String> = None;
     let mut cache_dir: Option<String> = None;
     let mut memory_budget: Option<usize> = None;
     let mut i = 0;
@@ -430,7 +452,9 @@ fn fuzz(args: &[String]) -> Result<bool, String> {
                     .ok_or("--threads needs a number")?;
             }
             "--shrink" => shrink = true,
+            "--exact" => config.exact = true,
             "--out" => out = take(&mut i).ok_or("--out needs a directory")?,
+            "--hard-out" => hard_out = Some(take(&mut i).ok_or("--hard-out needs a directory")?),
             "--cache-dir" => cache_dir = Some(take(&mut i).ok_or("--cache-dir needs a directory")?),
             "--memory-budget" => {
                 memory_budget = Some(
@@ -471,13 +495,38 @@ fn fuzz(args: &[String]) -> Result<bool, String> {
     for path in &report.repro_files {
         println!("reproducer: {}", path.display());
     }
-    println!(
+    for hard in &report.hard {
+        println!(
+            "hard case {:04}: heuristic II {} vs exact II {} ({} nodes, loop {}, machine {})",
+            hard.case.index,
+            hard.heuristic,
+            hard.exact,
+            hard.case.graph.node_count(),
+            hard.case.graph.name(),
+            hard.case.machine.name()
+        );
+    }
+    if let Some(dir) = &hard_out {
+        if !config.exact {
+            return Err("--hard-out requires --exact".into());
+        }
+        let written = clasp_oracle::mine_hard_cases(&report, &pipeline, std::path::Path::new(dir))
+            .map_err(|e| format!("mining hard cases under {dir}: {e}"))?;
+        for path in &written {
+            println!("hard instance: {}", path.display());
+        }
+    }
+    print!(
         "fuzz: {} cases checked (seed {}, fault {}), {} violating",
         report.checked,
         config.seed,
         config.fault,
         report.failures.len()
     );
+    if config.exact {
+        print!(", {} hard", report.hard.len());
+    }
+    println!();
     Ok(report.is_clean())
 }
 
@@ -532,6 +581,7 @@ fn batch_row(
 
 fn batch(args: &[String]) -> Result<bool, String> {
     let mut dir = String::from("loops");
+    let mut backend = BackendKind::Heuristic;
     let mut threads = 0usize;
     let mut trace_json: Option<String> = None;
     let mut cache_dir: Option<String> = None;
@@ -545,6 +595,11 @@ fn batch(args: &[String]) -> Result<bool, String> {
         };
         match args[i].as_str() {
             "--dir" => dir = take(&mut i).ok_or("--dir needs a directory")?,
+            "--backend" => match take(&mut i).as_deref() {
+                Some("heuristic") => backend = BackendKind::Heuristic,
+                Some("exact") => backend = BackendKind::Exact,
+                _ => return Err("--backend is `heuristic` or `exact`".into()),
+            },
             "--threads" => {
                 threads = take(&mut i)
                     .and_then(|v| v.parse().ok())
@@ -587,7 +642,10 @@ fn batch(args: &[String]) -> Result<bool, String> {
         .flat_map(|l| (0..machines.len()).map(move |m| (l, m)))
         .collect();
 
-    let req = CompileRequest::default();
+    let req = CompileRequest {
+        backend,
+        ..CompileRequest::default()
+    };
     let t0 = std::time::Instant::now();
     let (rows, footer) = if let Some(addr) = &server {
         // Remote mode: one connection, pairs in deterministic order.
@@ -754,6 +812,17 @@ fn main() -> ExitCode {
                     Ok(())
                 }
                 _ => Err("--scheduler is `iterative` or `swing`".into()),
+            },
+            "--backend" => match take(&mut i).as_deref() {
+                Some("heuristic") => {
+                    opts.backend = BackendKind::Heuristic;
+                    Ok(())
+                }
+                Some("exact") => {
+                    opts.backend = BackendKind::Exact;
+                    Ok(())
+                }
+                _ => Err("--backend is `heuristic` or `exact`".into()),
             },
             "--model" => match take(&mut i).as_deref() {
                 Some("mve") => {

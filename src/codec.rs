@@ -48,7 +48,7 @@ use std::fmt::Write as _;
 /// Version tag of the payload format. Used as the first-line version
 /// marker *and* as the persistent tier's format tag; bump it whenever
 /// the encoding (or anything it transitively renders) changes shape.
-pub const ARTIFACT_FORMAT: &str = "clasp-artifact/1";
+pub const ARTIFACT_FORMAT: &str = "clasp-artifact/2";
 
 /// A payload that could not be decoded (wrong version, malformed line,
 /// out-of-range value). The persistent tier treats this as corruption:
@@ -262,6 +262,12 @@ fn write_sched_failure(f: &SchedFailure, out: &mut String) {
         SchedFailure::ResourceImpossible { ii, node } => {
             let _ = write!(out, "resource {ii} {}", node.0);
         }
+        SchedFailure::Budget { conflicts, nodes } => {
+            let _ = write!(out, "solver-budget {conflicts} {nodes}");
+        }
+        SchedFailure::Infeasible { ii } => {
+            let _ = write!(out, "infeasible {ii}");
+        }
         SchedFailure::MiiUnbounded => {
             let _ = write!(out, "mii-unbounded");
         }
@@ -299,6 +305,11 @@ fn read_sched_failure(t: &mut Tokens<'_>) -> Result<SchedFailure, CodecError> {
             ii: t.parse()?,
             node: NodeId(t.parse()?),
         },
+        "solver-budget" => SchedFailure::Budget {
+            conflicts: t.parse()?,
+            nodes: t.parse()?,
+        },
+        "infeasible" => SchedFailure::Infeasible { ii: t.parse()? },
         "mii-unbounded" => SchedFailure::MiiUnbounded,
         "invalid" => SchedFailure::Invalid(read_schedule_error(t)?),
         "exhausted" => {
@@ -1037,6 +1048,22 @@ mod tests {
                 last: None,
             },
             PipelineError::UnifiedBaselineFailed(SchedFailure::MiiUnbounded),
+            PipelineError::UnifiedBaselineFailed(SchedFailure::Budget {
+                conflicts: 200_000,
+                nodes: 14,
+            }),
+            PipelineError::UnifiedBaselineFailed(SchedFailure::Budget {
+                conflicts: 0,
+                nodes: 40,
+            }),
+            PipelineError::IiExhausted {
+                max_ii: 12,
+                last: Some(SchedFailure::Exhausted {
+                    min_ii: 3,
+                    max_ii: 12,
+                    last: Some(Box::new(SchedFailure::Infeasible { ii: 12 })),
+                }),
+            },
             PipelineError::UnifiedBaselineFailed(SchedFailure::Invalid(
                 ScheduleError::DependenceViolated {
                     src: NodeId(1),

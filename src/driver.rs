@@ -15,15 +15,16 @@
 //! *nothing* by hand; they issue a [`CompileRequest`] and read the
 //! artifact.
 
-use crate::pipeline::{compile_loop_observed, PipelineConfig, PipelineError};
+use crate::pipeline::{compile_loop_observed, CompiledLoop, PipelineConfig, PipelineError};
 use clasp_core::Assignment;
 use clasp_ddg::{Ddg, LoopAnalysis};
+use clasp_exact::ExactConfig;
 use clasp_kernel::{
     emit_program_with, kernel_table, lifetimes, max_live, register_requirement, stage_schedule,
     verify_pipelined_with, MveInfo, Program, RegisterModel, RrfInfo,
 };
 use clasp_machine::MachineSpec;
-use clasp_obs::Obs;
+use clasp_obs::{Counter, Obs};
 use clasp_sched::{SchedFailure, Schedule, SchedulerKind};
 use std::fmt;
 use std::time::Duration;
@@ -48,10 +49,34 @@ impl fmt::Display for RegisterModelKind {
     }
 }
 
+/// Which phase-1+2 backend solves assignment and modulo scheduling.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum BackendKind {
+    /// The paper's Figure 5 heuristic escalation loop.
+    #[default]
+    Heuristic,
+    /// The exact SAT backend (`clasp-exact`): provably minimal II on
+    /// small loops, [`SchedFailure::Budget`] past its resource caps.
+    Exact,
+}
+
+impl fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BackendKind::Heuristic => write!(f, "heuristic"),
+            BackendKind::Exact => write!(f, "exact"),
+        }
+    }
+}
+
 /// What to compile and how. The driver's single input besides the loop
 /// and the machine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CompileRequest {
+    /// Which backend solves assignment + scheduling. The exact backend
+    /// ignores the Figure 5 knobs in `pipeline.assign` and is only
+    /// viable on small loops (see [`clasp_exact::ExactConfig`]).
+    pub backend: BackendKind,
     /// Assignment + scheduling configuration (Figure 5 knobs).
     pub pipeline: PipelineConfig,
     /// Register-naming model for emission.
@@ -69,6 +94,7 @@ pub struct CompileRequest {
 impl Default for CompileRequest {
     fn default() -> Self {
         CompileRequest {
+            backend: BackendKind::Heuristic,
             pipeline: PipelineConfig::default(),
             register_model: RegisterModelKind::Mve,
             restage: true,
@@ -336,21 +362,24 @@ pub fn compile_full_observed(
 
     let span = obs.begin("stage.assign_sched");
     let mut trajectory = Vec::new();
-    let result = compile_loop_observed(
-        g,
-        machine,
-        req.pipeline,
-        &analysis,
-        obs,
-        |requested_ii, assignment: &Assignment, failure: Option<&SchedFailure>| {
-            trajectory.push(IiStep {
-                requested_ii,
-                assigned_ii: assignment.ii,
-                copies: assignment.copy_count(),
-                failure: failure.cloned(),
-            });
-        },
-    );
+    let result = match req.backend {
+        BackendKind::Heuristic => compile_loop_observed(
+            g,
+            machine,
+            req.pipeline,
+            &analysis,
+            obs,
+            |requested_ii, assignment: &Assignment, failure: Option<&SchedFailure>| {
+                trajectory.push(IiStep {
+                    requested_ii,
+                    assigned_ii: assignment.ii,
+                    copies: assignment.copy_count(),
+                    failure: failure.cloned(),
+                });
+            },
+        ),
+        BackendKind::Exact => compile_exact_observed(g, machine, obs, &mut trajectory),
+    };
     let assign_sched_t = obs.end_with(span, || vec![("attempts", trajectory.len().to_string())]);
     let compiled = match result {
         Ok(c) => c,
@@ -458,6 +487,78 @@ pub fn compile_full_observed(
         program,
         report,
     })
+}
+
+/// The exact-backend counterpart of `compile_loop_observed`: iterate II
+/// upward via [`clasp_exact::exact_schedule_with`], recording one
+/// [`IiStep`] and one `pipeline.attempt` span per fixed-II attempt
+/// (carrying the CNF size and conflict count instead of the heuristic's
+/// copy statistics), then map the solver's terminal [`SchedFailure`]s
+/// onto the pipeline's error shapes.
+fn compile_exact_observed(
+    g: &Ddg,
+    machine: &MachineSpec,
+    obs: &Obs,
+    trajectory: &mut Vec<IiStep>,
+) -> Result<CompiledLoop, PipelineError> {
+    let config = ExactConfig::default();
+    let result = clasp_exact::exact_schedule_with(g, machine, config, &mut |at| {
+        let span = obs.begin("pipeline.attempt");
+        obs.add(Counter::PipelineAttempts, 1);
+        let failure = match at.outcome {
+            clasp_exact::IiOutcome::Feasible => None,
+            clasp_exact::IiOutcome::Infeasible => Some(SchedFailure::Infeasible { ii: at.ii }),
+            clasp_exact::IiOutcome::Budget => Some(SchedFailure::Budget {
+                conflicts: at.conflicts,
+                nodes: g.node_count(),
+            }),
+        };
+        trajectory.push(IiStep {
+            requested_ii: at.ii,
+            assigned_ii: at.ii,
+            copies: 0,
+            failure: failure.clone(),
+        });
+        obs.end_with(span, || {
+            vec![
+                ("requested_ii", at.ii.to_string()),
+                ("assigned_ii", at.ii.to_string()),
+                ("conflicts", at.conflicts.to_string()),
+                ("vars", at.vars.to_string()),
+                ("horizon", at.horizon.to_string()),
+                (
+                    "result",
+                    match &failure {
+                        None => "sat".to_string(),
+                        Some(f) => format!("rejected: {f}"),
+                    },
+                ),
+            ]
+        });
+    });
+    match result {
+        Ok((assignment, schedule)) => {
+            if let Some(step) = trajectory.last_mut() {
+                step.copies = assignment.copy_count();
+            }
+            obs.add(Counter::AssignCopies, assignment.copy_count() as u64);
+            Ok(CompiledLoop {
+                assignment,
+                schedule,
+            })
+        }
+        Err(SchedFailure::MiiUnbounded) => Err(PipelineError::UnifiedBaselineFailed(
+            SchedFailure::MiiUnbounded,
+        )),
+        Err(SchedFailure::Exhausted { max_ii, last, .. }) => Err(PipelineError::IiExhausted {
+            max_ii,
+            last: last.map(|b| *b),
+        }),
+        Err(failure) => Err(PipelineError::IiExhausted {
+            max_ii: trajectory.last().map_or(0, |s| s.assigned_ii),
+            last: Some(failure),
+        }),
+    }
 }
 
 /// [`compile_full`] bound to the signature the differential fuzzing

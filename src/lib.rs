@@ -64,8 +64,8 @@ pub mod service;
 pub use cached::{CachedCompile, CompileCache};
 pub use codec::{CodecError, ARTIFACT_FORMAT};
 pub use driver::{
-    compile_full, compile_full_observed, oracle_pipeline, CompileReport, CompileRequest,
-    CompiledArtifact, IiStep, RegisterModelKind, RegisterStats, StageTimings,
+    compile_full, compile_full_observed, oracle_pipeline, BackendKind, CompileReport,
+    CompileRequest, CompiledArtifact, IiStep, RegisterModelKind, RegisterStats, StageTimings,
 };
 pub use pipeline::{
     compare_with_unified, compile_loop, compile_loop_post, compile_loop_post_observed, unified_ii,
@@ -75,6 +75,7 @@ pub use service::{CompileService, ServiceConfig, ServiceError, ServiceReply, Ser
 
 pub use clasp_core as core;
 pub use clasp_ddg as ddg;
+pub use clasp_exact as exact;
 pub use clasp_kernel as kernel;
 pub use clasp_loopgen as loopgen;
 pub use clasp_machine as machine;

@@ -24,7 +24,7 @@
 
 use crate::cached::{CachedCompile, CompileCache};
 use crate::codec;
-use crate::driver::{CompileRequest, RegisterModelKind};
+use crate::driver::{BackendKind, CompileRequest, RegisterModelKind};
 use crate::pipeline::{compile_loop, unified_ii, PipelineConfig};
 use clasp_core::Ordering;
 use clasp_ddg::Ddg;
@@ -376,6 +376,13 @@ impl ServiceRequest {
         ));
         s.push_str(&format!("sched {}\n", r.pipeline.sched.budget_factor));
         s.push_str(&format!(
+            "backend {}\n",
+            match r.backend {
+                BackendKind::Heuristic => "heuristic",
+                BackendKind::Exact => "exact",
+            }
+        ));
+        s.push_str(&format!(
             "scheduler {}\n",
             match r.pipeline.scheduler {
                 SchedulerKind::Iterative => "iterative",
@@ -460,6 +467,13 @@ impl ServiceRequest {
                     request.pipeline.sched.budget_factor = next(&mut toks, "sched")?
                         .parse()
                         .map_err(|_| bad("sched: bad budget factor"))?;
+                }
+                Some("backend") => {
+                    request.backend = match next(&mut toks, "backend")?.as_str() {
+                        "heuristic" => BackendKind::Heuristic,
+                        "exact" => BackendKind::Exact,
+                        other => return Err(bad(format!("unknown backend `{other}`"))),
+                    };
                 }
                 Some("scheduler") => {
                     request.pipeline.scheduler = match next(&mut toks, "scheduler")?.as_str() {
@@ -721,6 +735,24 @@ mod tests {
             back.trace.as_deref().map(str::trim_end),
             Some(trace.trim_end())
         );
+    }
+
+    #[test]
+    fn exact_backend_rides_the_wire_and_compiles() {
+        let mut sreq = ServiceRequest::new(LOOP, machine_text());
+        sreq.request.backend = BackendKind::Exact;
+        let back = ServiceRequest::parse(&sreq.render()).unwrap();
+        assert_eq!(back, sreq);
+        let service = CompileService::in_memory();
+        let exact = service.handle(&sreq).decode().unwrap().unwrap();
+        let heuristic = service
+            .handle(&ServiceRequest::new(LOOP, machine_text()))
+            .decode()
+            .unwrap()
+            .unwrap();
+        assert!(exact.ii() <= heuristic.ii(), "exact II is a lower bound");
+        // Distinct backends must occupy distinct cache entries.
+        assert_eq!(service.stats().misses, 2);
     }
 
     #[test]

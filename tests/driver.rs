@@ -3,7 +3,7 @@
 //! with the hand-composed stage sequence the driver replaced.
 
 use clasp::{
-    compare_with_unified, compile_full, compile_loop, CompileRequest, PipelineConfig,
+    compare_with_unified, compile_full, compile_loop, BackendKind, CompileRequest, PipelineConfig,
     PipelineError, RegisterModelKind,
 };
 use clasp_ddg::{Ddg, OpKind};
@@ -144,6 +144,43 @@ fn unified_baseline_failure_is_distinct_from_exhaustion() {
             assert_eq!(reason, clasp_sched::SchedFailure::MiiUnbounded);
         }
         other => panic!("expected UnifiedBaselineFailed, got {other:?}"),
+    }
+}
+
+#[test]
+fn exact_backend_compiles_verifies_and_lower_bounds_the_heuristic() {
+    let machine = presets::two_cluster_gp(2, 1);
+    for g in sample().into_iter().filter(|g| g.node_count() <= 12) {
+        let exact_req = CompileRequest {
+            backend: BackendKind::Exact,
+            iterations: 8,
+            ..CompileRequest::default()
+        };
+        let exact = compile_full(&g, &machine, &exact_req)
+            .unwrap_or_else(|e| panic!("{} exact: {e}", g.name()));
+        // The whole point of the exact backend: its kernel still passes
+        // functional verification, and its II lower-bounds the heuristic's.
+        assert_eq!(exact.report.verified_iterations, Some(8));
+        let heuristic = compile_full(&g, &machine, &CompileRequest::default())
+            .unwrap_or_else(|e| panic!("{} heuristic: {e}", g.name()));
+        assert!(
+            exact.ii() <= heuristic.ii(),
+            "{}: exact II {} > heuristic II {}",
+            g.name(),
+            exact.ii(),
+            heuristic.ii()
+        );
+        // Trajectory shape: failed attempts carry Infeasible (never a
+        // budget blow on these tiny loops), the final attempt succeeds.
+        let (last, failed) = exact.report.trajectory.split_last().unwrap();
+        assert!(last.failure.is_none());
+        assert_eq!(last.assigned_ii, exact.ii());
+        for step in failed {
+            assert!(matches!(
+                step.failure,
+                Some(clasp_sched::SchedFailure::Infeasible { .. })
+            ));
+        }
     }
 }
 

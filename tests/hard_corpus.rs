@@ -1,0 +1,74 @@
+//! Regression suite over the mined hard-instance corpus in
+//! `results/hard/`: loops where the heuristic pipeline settles on a
+//! strictly larger II than the exact SAT backend proves minimal. Each
+//! `.clasp` file records the gap observed when the case was mined; the
+//! suite asserts the exact bound still holds, the heuristic still
+//! schedules the loop, and the gap never *grows* — a heuristic change
+//! may close a gap (update the header when it does), but silently
+//! regressing on a known-hard instance fails here.
+
+use clasp::{compile_loop, PipelineConfig};
+use clasp_oracle::{exact_minimal_ii, parse_gap_header};
+use std::path::{Path, PathBuf};
+
+fn corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("results/hard")
+}
+
+/// Every `hard-*.clasp` in the corpus, sorted for deterministic order.
+fn corpus_cases() -> Vec<PathBuf> {
+    let mut cases: Vec<PathBuf> = std::fs::read_dir(corpus_dir())
+        .expect("results/hard/ must exist (committed corpus)")
+        .map(|e| e.unwrap().path())
+        .filter(|p| {
+            p.extension().is_some_and(|x| x == "clasp")
+                && p.file_name()
+                    .is_some_and(|n| n.to_string_lossy().starts_with("hard-"))
+        })
+        .collect();
+    cases.sort();
+    cases
+}
+
+#[test]
+fn hard_corpus_gaps_never_grow() {
+    let cases = corpus_cases();
+    assert!(!cases.is_empty(), "the mined corpus must not be empty");
+    for loop_path in cases {
+        let name = loop_path
+            .file_stem()
+            .unwrap()
+            .to_string_lossy()
+            .into_owned();
+        let text = std::fs::read_to_string(&loop_path).unwrap();
+        let (recorded_heuristic, recorded_exact) =
+            parse_gap_header(&text).unwrap_or_else(|| panic!("{name}: missing `# gap:` header"));
+        let g = clasp_text::parse_loop(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let machine_text = std::fs::read_to_string(loop_path.with_extension("machine")).unwrap();
+        let m = clasp_text::parse_machine(&machine_text).unwrap_or_else(|e| panic!("{name}: {e}"));
+
+        // The exact bound is a property of the instance: it must
+        // reproduce exactly, else the encoder changed meaning.
+        let exact = exact_minimal_ii(&g, &m)
+            .unwrap_or_else(|| panic!("{name}: exact solve refused a corpus-sized instance"));
+        assert_eq!(
+            exact, recorded_exact,
+            "{name}: proven minimal II moved from {recorded_exact} to {exact}"
+        );
+
+        let heuristic = compile_loop(&g, &m, PipelineConfig::default())
+            .unwrap_or_else(|e| panic!("{name}: heuristic no longer compiles: {e}"))
+            .ii();
+        assert!(
+            heuristic >= exact,
+            "{name}: heuristic II {heuristic} undercuts the proven minimum {exact}"
+        );
+        let gap = heuristic - exact;
+        let recorded_gap = recorded_heuristic - recorded_exact;
+        assert!(
+            gap <= recorded_gap,
+            "{name}: gap grew from {recorded_gap} (II {recorded_heuristic} vs {recorded_exact}) \
+             to {gap} (II {heuristic} vs {exact})"
+        );
+    }
+}

@@ -103,6 +103,28 @@ fn full_algorithm_never_splits_the_critical_scc_here() {
 }
 
 #[test]
+fn exact_backend_proves_four_is_minimal_on_the_worked_example() {
+    // The SAT backend turns §3's arithmetic into a proof: every II below
+    // the MII of 4 is rejected by UNSAT, and 4 itself is feasible — so
+    // the heuristic's II 4 on this machine is not just good, it is
+    // optimal.
+    let g = fig6();
+    let m = section3_machine();
+    let config = clasp::exact::ExactConfig::default();
+    for ii in 1..4 {
+        match clasp::exact::exact_at_ii(&g, &m, ii, config) {
+            Err(clasp_sched::SchedFailure::Infeasible { ii: proved }) => assert_eq!(proved, ii),
+            other => panic!("II {ii} must be proved infeasible, got {other:?}"),
+        }
+    }
+    let (assignment, schedule) = clasp::exact::exact_at_ii(&g, &m, 4, config).unwrap();
+    assert_eq!(schedule.ii(), 4);
+    assert_eq!(assignment.ii, 4);
+    // And the iterating search lands on the same answer.
+    assert_eq!(clasp::exact::exact_ii(&g, &m, config).unwrap(), 4);
+}
+
+#[test]
 fn observation_two_quantified() {
     // If the SCC were split with two copies on the critical cycle, RecMII
     // would become 6 — reproduce the arithmetic by splicing copies in by
