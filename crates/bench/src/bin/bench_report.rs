@@ -22,6 +22,12 @@
 //! vs warm-hit round-trips against a pre-warmed one), recording the
 //! worker count and cache hit/miss counters in `BENCH_sched.json`.
 //!
+//! A final `load` stage runs the `clasp-load` traffic harness over the
+//! full (transport × clients × mix) matrix and writes the latency
+//! percentiles to `BENCH_load.json`, gating on zero load errors, zero
+//! fd growth, and each cell's p99 staying within a loose factor of the
+//! committed baseline.
+//!
 //! Run with `cargo run --release -p clasp-bench --bin bench-report`.
 
 use clasp::obs::Obs;
@@ -693,6 +699,76 @@ fn main() {
 
     std::fs::write(&out, json).expect("write BENCH_sched.json");
     println!("\nwrote {}", out.display());
+
+    load_stage();
+}
+
+/// The load stage: the traffic-shaped harness over the full
+/// (transport × clients × mix) matrix, written to `BENCH_load.json`.
+/// Hard gates: zero load errors and no fd growth across the run. Soft
+/// gate against the committed baseline: each cell's p99 must stay
+/// within `LOAD_GATE_FACTOR`× of the committed number, with the
+/// committed value clamped up to `clasp_load::GATE_FLOOR_NS` so a
+/// µs-scale hot-cell baseline can't turn one scheduler hiccup into a
+/// 100x "regression" — latency percentiles on shared CI hardware are
+/// far noisier than medians, so the factor is loose; the gate exists
+/// to catch order-of-magnitude collapses (a lost cache tier, an
+/// accidental sync point), not single-digit drift.
+fn load_stage() {
+    const LOAD_GATE_FACTOR: f64 = 8.0;
+
+    let profile = clasp::load::LoadProfile {
+        hard_dir: Some(repo_root().join("results/hard")),
+        ..clasp::load::LoadProfile::default()
+    };
+    println!(
+        "\nload: {} requests/cell, seed {}, {} cells",
+        profile.requests_per_cell,
+        profile.seed,
+        profile.transports.len() * profile.clients.len() * profile.mixes.len()
+    );
+    let suite = match clasp::load::run_load_suite(&profile, &Obs::disabled()) {
+        Ok(suite) => suite,
+        Err(e) => {
+            eprintln!("load stage failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    for cell in &suite.cells {
+        println!("{}", cell.human_line());
+    }
+    assert_eq!(suite.total_errors(), 0, "load errors during the suite");
+    if let Some(growth) = suite.watermark.fd_growth() {
+        assert!(growth <= 4, "load stage leaked {growth} fds");
+    }
+
+    let out = repo_root().join("BENCH_load.json");
+    if let Ok(committed) = std::fs::read_to_string(&out) {
+        let mut violations = 0usize;
+        for cell in &suite.cells {
+            let Some(base) = clasp_load::committed_cell_field(&committed, &cell.name, "p99_ns")
+            else {
+                continue;
+            };
+            if base == 0 {
+                continue;
+            }
+            let ratio = clasp_load::gate_ratio(cell.report.overall.percentile(0.99), base);
+            println!(
+                "load cell {} p99 vs committed BENCH_load.json: {ratio:.2}x (gate: < {LOAD_GATE_FACTOR}x)",
+                cell.name
+            );
+            if ratio > LOAD_GATE_FACTOR {
+                violations += 1;
+            }
+        }
+        assert_eq!(
+            violations, 0,
+            "load p99 regressed past {LOAD_GATE_FACTOR}x of the committed baseline"
+        );
+    }
+    std::fs::write(&out, suite.render_json()).expect("write BENCH_load.json");
+    println!("wrote {}", out.display());
 }
 
 /// The committed report's amortized median for one stage, parsed with

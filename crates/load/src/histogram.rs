@@ -1,0 +1,223 @@
+//! A fixed-bucket log-linear latency histogram.
+//!
+//! Every recorded nanosecond value lands in exactly one of a fixed set
+//! of buckets — no sampling, no reservoir, no decay — so two runs that
+//! observe the same latencies produce bit-identical histograms and the
+//! recorded distribution is mergeable across worker threads by plain
+//! bucket-wise addition.
+//!
+//! The bucket layout is log-linear (the HdrHistogram idea, sized for
+//! `u64` nanoseconds): values below 2^[`SUB_BITS`] get one bucket each;
+//! above that, every power-of-two octave is split into 2^[`SUB_BITS`]
+//! equal sub-buckets. Relative quantization error is bounded by
+//! 2^-[`SUB_BITS`] (about 3%), which is far below run-to-run latency
+//! noise, and the whole table is ~1.9k buckets — small enough to sit in
+//! every worker thread and merge at the end.
+
+/// Sub-bucket resolution: each power-of-two octave splits into
+/// `2^SUB_BITS` linear sub-buckets.
+pub const SUB_BITS: u32 = 5;
+
+const SUB: u64 = 1 << SUB_BITS;
+
+/// Number of buckets needed to cover all of `u64`.
+const BUCKETS: usize = ((64 - SUB_BITS as usize) * SUB as usize) + SUB as usize;
+
+/// Bucket index for a nanosecond value. Total order preserving:
+/// `a <= b` implies `bucket_of(a) <= bucket_of(b)`.
+fn bucket_of(ns: u64) -> usize {
+    if ns < SUB {
+        return ns as usize;
+    }
+    let octave = 63 - u64::from(ns.leading_zeros());
+    let shift = octave - u64::from(SUB_BITS);
+    ((octave - u64::from(SUB_BITS) + 1) * SUB + (ns >> shift) - SUB) as usize
+}
+
+/// Inclusive upper bound of a bucket (the value a percentile reports).
+fn bucket_high(index: usize) -> u64 {
+    let index = index as u64;
+    if index < SUB {
+        return index;
+    }
+    let octave = (index / SUB) + u64::from(SUB_BITS) - 1;
+    let sub = index % SUB;
+    let shift = octave - u64::from(SUB_BITS);
+    // Highest value whose top SUB_BITS+1 bits match this sub-bucket.
+    // The very top bucket's exclusive bound is 2^64: the wrapping
+    // arithmetic turns it into u64::MAX exactly.
+    (SUB + sub + 1).wrapping_shl(shift as u32).wrapping_sub(1)
+}
+
+/// The histogram: fixed bucket counts plus exact min/max/sum/total.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+    min_ns: u64,
+    max_ns: u64,
+    sum_ns: u128,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            counts: vec![0; BUCKETS],
+            total: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+            sum_ns: 0,
+        }
+    }
+
+    /// Record one latency.
+    pub fn record(&mut self, ns: u64) {
+        self.counts[bucket_of(ns)] += 1;
+        self.total += 1;
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+        self.sum_ns += u128::from(ns);
+    }
+
+    /// Fold `other` into `self` (bucket-wise addition).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+        self.sum_ns += other.sum_ns;
+    }
+
+    /// Number of recorded values.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min_ns(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min_ns
+        }
+    }
+
+    /// Largest recorded value.
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// Mean of the recorded values (exact, not bucketed; 0 when empty).
+    pub fn mean_ns(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            (self.sum_ns / u128::from(self.total)) as u64
+        }
+    }
+
+    /// The latency at quantile `q` in `[0, 1]`: the upper bound of the
+    /// first bucket whose cumulative count reaches `ceil(q * total)`,
+    /// clamped to the exact recorded maximum. Returns 0 when empty.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_high(i).min(self.max_ns).max(self.min_ns);
+            }
+        }
+        self.max_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_monotone_and_self_consistent() {
+        let mut prev = 0usize;
+        for ns in (0..2048u64).chain((0..54).map(|i| 1u64 << i)) {
+            let b = bucket_of(ns);
+            assert!(b >= prev || ns < 2048, "bucket order broken at {ns}");
+            assert!(
+                bucket_high(b) >= ns,
+                "value {ns} above its bucket bound {}",
+                bucket_high(b)
+            );
+            // The bound itself must land in the same bucket.
+            assert_eq!(bucket_of(bucket_high(b)), b, "bound escapes bucket at {ns}");
+            prev = b.max(prev);
+        }
+        assert!(bucket_of(u64::MAX) < BUCKETS);
+    }
+
+    #[test]
+    fn quantization_error_is_bounded() {
+        for ns in [100u64, 1_000, 10_000, 1_000_000, 123_456_789] {
+            let mut h = Histogram::new();
+            h.record(ns);
+            let p = h.percentile(0.5);
+            assert!(p >= ns, "percentile below recorded value");
+            assert!(
+                (p - ns) as f64 <= ns as f64 / SUB as f64 + 1.0,
+                "error too large: {ns} -> {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn percentiles_on_a_known_distribution() {
+        let mut h = Histogram::new();
+        for i in 1..=1000u64 {
+            h.record(i * 1000); // 1us .. 1ms, uniform
+        }
+        assert_eq!(h.total(), 1000);
+        assert_eq!(h.min_ns(), 1000);
+        assert_eq!(h.max_ns(), 1_000_000);
+        let p50 = h.percentile(0.50);
+        let p99 = h.percentile(0.99);
+        let p999 = h.percentile(0.999);
+        assert!((450_000..=550_000).contains(&p50), "p50 = {p50}");
+        assert!((950_000..=1_000_000).contains(&p99), "p99 = {p99}");
+        assert!(p999 >= p99, "p999 {p999} below p99 {p99}");
+        assert!(h.mean_ns() > 490_000 && h.mean_ns() < 510_000);
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut whole = Histogram::new();
+        for i in 0..500u64 {
+            let v = (i * 7919) % 100_000;
+            if i % 2 == 0 { &mut a } else { &mut b }.record(v);
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = Histogram::new();
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.percentile(0.99), 0);
+        assert_eq!(h.min_ns(), 0);
+        assert_eq!(h.mean_ns(), 0);
+    }
+}

@@ -1,0 +1,46 @@
+//! # clasp-load — traffic-shaped load harness
+//!
+//! Replays a configurable synthetic request mix against a CLASP compile
+//! endpoint and reports the latency *distribution* — p50/p90/p99/p99.9
+//! from a fixed-bucket histogram — plus throughput, error counts, and
+//! fd/RSS watermarks. Medians hide exactly the traffic this system
+//! worries about (exact-backend solves are heavy-tailed, cold compiles
+//! are 100× a cache hit), so every number the harness emits is a
+//! percentile over a deterministic request schedule.
+//!
+//! The crate is transport-agnostic by construction: it knows nothing of
+//! `CompileService` or the `clasp-serve` wire protocol. Wire rendering
+//! is injected into [`build_schedule`] and clients are injected into
+//! [`run_cell`] as closures; the root crate binds both (in-process
+//! facade and TCP daemon) in its `load` module, the same
+//! dependency-inversion used by `clasp-oracle`.
+//!
+//! Layers, bottom up:
+//!
+//! - [`histogram`] — deterministic log-linear latency histogram,
+//!   mergeable across worker threads;
+//! - [`mix`] — the request classes (hot / cold / hard / exact), named
+//!   mixes, and the seeded schedule builder;
+//! - [`runner`] — closed- and open-loop replay at configurable client
+//!   concurrency;
+//! - [`resources`] — `/proc/self` fd and RSS watermarks, the leak
+//!   gates;
+//! - [`report`] — per-cell summaries, the `BENCH_load.json` renderer,
+//!   and the committed-baseline reader the regression gate uses.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod histogram;
+pub mod mix;
+pub mod report;
+pub mod resources;
+pub mod runner;
+
+pub use histogram::Histogram;
+pub use mix::{build_schedule, CaseSpec, LoadRequest, Mix, MixConfig, ReqClass, Schedule};
+pub use report::{
+    committed_cell_field, fmt_ns, gate_ratio, CellSummary, SuiteReport, GATE_FLOOR_NS,
+};
+pub use resources::{sample, ResourceSample, Watermark};
+pub use runner::{prewarm, run_cell, CellReport, ReplyOutcome, RunConfig};

@@ -9,6 +9,10 @@
 //!                    [--fault none|skew|misplace|smear] [--out DIR]
 //!                    [--threads N] [--exact] [--hard-out DIR]
 //! clasp-cli batch    [--dir DIR] [--backend B] [--threads N]
+//! clasp-cli load     [--mix M] [--transport T] [--clients N] [--requests N]
+//!                    [--seed N] [--rate R] [--hard-dir DIR]
+//!                    [--server HOST:PORT] [--json PATH] [--trace-json PATH]
+//!                    [--gate PATH] [--gate-factor F]
 //! clasp-cli machines
 //!
 //! Every compile — `compile`, `simulate`, `batch`, and the fuzz
@@ -42,6 +46,17 @@
 //! quantity depends only on work done, never on how workers interleave
 //! (see `clasp-obs`). `--backend exact` routes every pair (unified
 //! baselines included) through the SAT backend instead.
+//!
+//! `load` replays a deterministic synthetic request mix (hot cache
+//! repeats / cold uniques / fuzz-mined hard pairs / exact-backend
+//! solves) against the in-process service and/or a `clasp-serve`
+//! daemon, at each configured client concurrency, and prints
+//! p50/p99/p99.9 latency, throughput, and error counts per cell plus
+//! fd/RSS watermarks. `--rate` switches from closed- to open-loop
+//! arrivals (latency then includes queueing delay). `--json` writes the
+//! `BENCH_load.json` report; `--gate` compares each cell's p99 against
+//! a committed baseline and fails past `--gate-factor`. Exits non-zero
+//! on any load error, fd leak, or gate violation.
 //!
 //! options:
 //!   --machine <preset>    2c-gp | 4c-gp | 6c-gp | 8c-gp | 2c-fs | 4c-fs |
@@ -170,7 +185,7 @@ fn remote_compile(
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: clasp-cli <analyze|compile|simulate|fuzz|batch|machines> [loop.clasp] [options]\n\
+        "usage: clasp-cli <analyze|compile|simulate|fuzz|batch|load|machines> [loop.clasp] [options]\n\
          see `clasp-cli machines` for presets; options: --machine --buses --ports\n\
          --variant --scheduler --backend --model --iterations --dot --kernel --explain\n\
          --trace-json\n\
@@ -178,7 +193,9 @@ fn usage() -> ExitCode {
          fuzz options: --seed --cases --iterations --shrink --fault --out --threads\n\
          --exact --hard-out --cache-dir --memory-budget\n\
          batch options: --dir --backend --threads --trace-json --cache-dir --memory-budget\n\
-         --server"
+         --server\n\
+         load options: --mix --transport --clients --requests --seed --rate --hard-dir\n\
+         --server --json --trace-json --gate --gate-factor"
     );
     ExitCode::from(2)
 }
@@ -748,6 +765,158 @@ fn machines() {
     }
 }
 
+fn load(args: &[String]) -> Result<bool, String> {
+    use clasp::load::{run_load_suite, LoadProfile, Transport};
+    use clasp_load::{committed_cell_field, Mix};
+
+    let mut profile = LoadProfile {
+        hard_dir: Some("results/hard".into()),
+        ..LoadProfile::default()
+    };
+    let mut trace_json: Option<String> = None;
+    let mut json_out: Option<String> = None;
+    let mut gate: Option<String> = None;
+    let mut gate_factor = 8.0f64;
+    let mut i = 0;
+    while i < args.len() {
+        let take = |i: &mut usize| -> Option<String> {
+            *i += 1;
+            args.get(*i).cloned()
+        };
+        match args[i].as_str() {
+            "--mix" => match take(&mut i).as_deref() {
+                Some("all") => {}
+                Some(name) => {
+                    profile.mixes = vec![Mix::parse(name).ok_or(format!("unknown mix `{name}`"))?];
+                }
+                None => return Err("--mix needs hot|cold|mixed|all".into()),
+            },
+            "--transport" => match take(&mut i).as_deref() {
+                Some("all") => {}
+                Some(name) => {
+                    profile.transports =
+                        vec![Transport::parse(name).ok_or(format!("unknown transport `{name}`"))?];
+                }
+                None => return Err("--transport needs inproc|tcp|all".into()),
+            },
+            "--clients" => match take(&mut i).as_deref() {
+                Some("all") => {}
+                Some(n) => {
+                    profile.clients = vec![n.parse().map_err(|_| "--clients needs a number")?];
+                }
+                None => return Err("--clients needs a number or `all`".into()),
+            },
+            "--requests" => {
+                profile.requests_per_cell = take(&mut i)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--requests needs a number")?;
+            }
+            "--seed" => {
+                profile.seed = take(&mut i)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--seed needs a number")?;
+            }
+            "--rate" => {
+                profile.rate = take(&mut i)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--rate needs requests/second")?;
+            }
+            "--hard-dir" => {
+                profile.hard_dir = Some(take(&mut i).ok_or("--hard-dir needs a directory")?.into());
+            }
+            "--server" => {
+                use std::net::ToSocketAddrs;
+                let addr = take(&mut i).ok_or("--server needs host:port")?;
+                profile.server = Some(
+                    addr.to_socket_addrs()
+                        .map_err(|e| format!("{addr}: {e}"))?
+                        .next()
+                        .ok_or(format!("{addr}: no address"))?,
+                );
+                profile.transports = vec![Transport::Tcp];
+            }
+            "--json" => json_out = Some(take(&mut i).ok_or("--json needs a path")?),
+            "--trace-json" => trace_json = Some(take(&mut i).ok_or("--trace-json needs a path")?),
+            "--gate" => gate = Some(take(&mut i).ok_or("--gate needs a BENCH_load.json path")?),
+            "--gate-factor" => {
+                gate_factor = take(&mut i)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--gate-factor needs a number")?;
+            }
+            other => return Err(format!("unknown load option `{other}`")),
+        }
+        i += 1;
+    }
+
+    let obs = if trace_json.is_some() {
+        Obs::enabled()
+    } else {
+        Obs::disabled()
+    };
+    let suite = run_load_suite(&profile, &obs)?;
+    if let Some(path) = &trace_json {
+        std::fs::write(path, obs.chrome_trace()).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("trace: {path}");
+    }
+
+    for cell in &suite.cells {
+        println!("{}", cell.human_line());
+    }
+    let w = &suite.watermark;
+    let opt = |v: Option<u64>| v.map_or("n/a".to_string(), |v| v.to_string());
+    println!(
+        "resources: fd {} -> peak {} -> {}; rss peak {} KiB",
+        opt(w.before.fds),
+        opt(w.fd_peak),
+        opt(w.after.fds),
+        opt(w.rss_peak_kb)
+    );
+    if let Some(path) = &json_out {
+        std::fs::write(path, suite.render_json()).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("report: {path}");
+    }
+
+    let mut ok = true;
+    let errors = suite.total_errors();
+    if errors > 0 {
+        println!("FAIL: {errors} load errors");
+        ok = false;
+    }
+    // A handful of fds of slack: the trace/report files and allocator
+    // pools opened during the run, never per-connection growth.
+    if let Some(growth) = w.fd_growth() {
+        if growth > 4 {
+            println!("FAIL: fd leak — {growth} more fds open after the run than before");
+            ok = false;
+        }
+    }
+    if let Some(gate_path) = &gate {
+        let committed =
+            std::fs::read_to_string(gate_path).map_err(|e| format!("{gate_path}: {e}"))?;
+        for cell in &suite.cells {
+            let p99 = cell.report.overall.percentile(0.99);
+            match committed_cell_field(&committed, &cell.name, "p99_ns") {
+                Some(base) if base > 0 => {
+                    // Committed baseline clamped up to the noise floor:
+                    // µs-scale hot-cell p99s are hiccup-dominated, so a
+                    // raw ratio against a lucky baseline is meaningless.
+                    let ratio = clasp_load::gate_ratio(p99, base);
+                    let verdict = if ratio > gate_factor { "FAIL" } else { "ok" };
+                    println!(
+                        "gate {:<18} p99 {:.2}x committed ({verdict}, factor {gate_factor})",
+                        cell.name, ratio
+                    );
+                    if ratio > gate_factor {
+                        ok = false;
+                    }
+                }
+                _ => println!("gate {:<18} no committed baseline — skipped", cell.name),
+            }
+        }
+    }
+    Ok(ok)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
@@ -757,11 +926,11 @@ fn main() -> ExitCode {
         machines();
         return ExitCode::SUCCESS;
     }
-    if cmd == "fuzz" || cmd == "batch" {
-        let outcome = if cmd == "fuzz" {
-            fuzz(&args[1..])
-        } else {
-            batch(&args[1..])
+    if cmd == "fuzz" || cmd == "batch" || cmd == "load" {
+        let outcome = match cmd.as_str() {
+            "fuzz" => fuzz(&args[1..]),
+            "batch" => batch(&args[1..]),
+            _ => load(&args[1..]),
         };
         return match outcome {
             Ok(true) => ExitCode::SUCCESS,

@@ -57,6 +57,7 @@
 mod cached;
 pub mod codec;
 mod driver;
+pub mod load;
 mod pipeline;
 pub mod serve;
 pub mod service;

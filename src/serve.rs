@@ -30,15 +30,21 @@
 //! (see [`crate::codec`]). CI's determinism gate diffs exactly this.
 
 use crate::service::{CompileService, ServiceReply, ServiceRequest, PROTOCOL};
+use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 /// Upper bound on one frame body; a peer announcing more is closed
 /// rather than trusted to allocate.
 pub const MAX_FRAME_BYTES: usize = 64 << 20;
+
+/// Frame bodies are read in chunks of at most this size, so a reader's
+/// allocation grows with bytes actually received — a peer announcing a
+/// 64 MiB body but sending one byte holds one chunk, not 64 MiB.
+pub const FRAME_CHUNK_BYTES: usize = 64 << 10;
 
 /// Write one length-prefixed frame.
 ///
@@ -79,17 +85,93 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<String>> {
             format!("frame of {len} bytes exceeds the {MAX_FRAME_BYTES} byte cap"),
         ));
     }
-    let mut body = vec![0u8; len];
-    r.read_exact(&mut body)?;
+    // Bounded-chunk body read: never trust the announced length for the
+    // up-front allocation. The buffer grows only as bytes arrive, capped
+    // one chunk ahead, so a truncated or malicious announcement costs at
+    // most `FRAME_CHUNK_BYTES` of memory before the read fails.
+    let mut body = Vec::with_capacity(len.min(FRAME_CHUNK_BYTES));
+    while body.len() < len {
+        let chunk = (len - body.len()).min(FRAME_CHUNK_BYTES);
+        let start = body.len();
+        body.resize(start + chunk, 0);
+        r.read_exact(&mut body[start..])?;
+    }
     String::from_utf8(body)
         .map(Some)
         .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame is not UTF-8"))
+}
+
+/// State shared between the accept loop, every connection handler, and
+/// the [`Server`] handle: the stop flag, the connection registry (one
+/// read-side clone per *open* connection, pruned by handlers on exit),
+/// and handler accounting.
+struct ServerState {
+    stop: AtomicBool,
+    /// Open connections by id. A handler registers its stream clone on
+    /// accept and removes it on every exit path (including panic, via
+    /// [`Deregister`]), so a long-running daemon holds one entry — and
+    /// one fd — per *currently open* connection, never per connection
+    /// ever accepted. `shutdown` walks the live entries to close their
+    /// read sides.
+    connections: Mutex<HashMap<u64, TcpStream>>,
+    next_conn: AtomicU64,
+    accepted: AtomicU64,
+    panics: AtomicU64,
+}
+
+impl ServerState {
+    fn new() -> ServerState {
+        ServerState {
+            stop: AtomicBool::new(false),
+            connections: Mutex::new(HashMap::new()),
+            next_conn: AtomicU64::new(0),
+            accepted: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+        }
+    }
+
+    /// Register a read-side clone of `stream`; `None` if the clone
+    /// fails (the connection is still served, just not shutdown-able).
+    fn register(&self, stream: &TcpStream) -> Option<u64> {
+        let clone = stream.try_clone().ok()?;
+        let id = self.next_conn.fetch_add(1, Ordering::SeqCst);
+        self.connections.lock().unwrap().insert(id, clone);
+        Some(id)
+    }
+
+    fn deregister(&self, id: u64) {
+        self.connections.lock().unwrap().remove(&id);
+    }
+
+    /// Close the read side of every open connection so idle handlers
+    /// observe EOF (in-flight replies still go out on the write side).
+    fn close_all_reads(&self) {
+        for conn in self.connections.lock().unwrap().values() {
+            let _ = conn.shutdown(std::net::Shutdown::Read);
+        }
+    }
+}
+
+/// Removes a connection's registry entry when dropped — the handler's
+/// every exit path, panic unwinding included, prunes the registry.
+struct Deregister<'a> {
+    state: &'a ServerState,
+    id: Option<u64>,
+}
+
+impl Drop for Deregister<'_> {
+    fn drop(&mut self) {
+        if let Some(id) = self.id {
+            self.state.deregister(id);
+        }
+    }
 }
 
 /// A running `clasp-serve` daemon bound to a local address.
 pub struct Server {
     addr: SocketAddr,
     accept: JoinHandle<()>,
+    state: Arc<ServerState>,
 }
 
 impl Server {
@@ -102,14 +184,39 @@ impl Server {
     pub fn start(addr: impl ToSocketAddrs, service: Arc<CompileService>) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
-        let accept = std::thread::spawn(move || run(listener, service));
-        Ok(Server { addr, accept })
+        let state = Arc::new(ServerState::new());
+        let run_state = Arc::clone(&state);
+        let accept = std::thread::spawn(move || run_with(listener, service, &run_state));
+        Ok(Server {
+            addr,
+            accept,
+            state,
+        })
     }
 
     /// The bound address (with the actual port when an ephemeral one
     /// was requested).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Number of currently open connections (registry size). Bounded by
+    /// the number of connected clients at any instant — a closed
+    /// connection leaves the registry as soon as its handler exits.
+    pub fn open_connections(&self) -> usize {
+        self.state.connections.lock().unwrap().len()
+    }
+
+    /// Total connections accepted since start.
+    pub fn connections_accepted(&self) -> u64 {
+        self.state.accepted.load(Ordering::SeqCst)
+    }
+
+    /// Number of connection handlers that panicked. Panics are joined,
+    /// counted, and logged by the accept loop — never silently dropped
+    /// with the handle.
+    pub fn handler_panics(&self) -> u64 {
+        self.state.panics.load(Ordering::SeqCst)
     }
 
     /// Ask the daemon to shut down gracefully and wait for it.
@@ -137,28 +244,55 @@ impl Server {
 /// the accept loop is woken, and every handler is joined before the
 /// listener disappears.
 pub fn run(listener: TcpListener, service: Arc<CompileService>) {
-    let stop = Arc::new(AtomicBool::new(false));
-    let connections: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+    run_with(listener, service, &Arc::new(ServerState::new()));
+}
+
+fn run_with(listener: TcpListener, service: Arc<CompileService>, state: &Arc<ServerState>) {
     let mut workers: Vec<JoinHandle<()>> = Vec::new();
     for conn in listener.incoming() {
-        if stop.load(Ordering::SeqCst) {
+        if state.stop.load(Ordering::SeqCst) {
             break;
         }
         let Ok(stream) = conn else { continue };
         let _ = stream.set_nodelay(true);
-        if let Ok(clone) = stream.try_clone() {
-            connections.lock().unwrap().push(clone);
-        }
+        state.accepted.fetch_add(1, Ordering::SeqCst);
+        let conn_id = state.register(&stream);
         let service = Arc::clone(&service);
-        let stop = Arc::clone(&stop);
-        let connections = Arc::clone(&connections);
+        let conn_state = Arc::clone(state);
         workers.push(std::thread::spawn(move || {
-            serve_connection(stream, &service, &stop, &connections);
+            // The guard prunes the registry on every exit path —
+            // return, error, or panic — so a long-running daemon never
+            // accumulates entries (or fds) for closed connections.
+            let _prune = Deregister {
+                state: &conn_state,
+                id: conn_id,
+            };
+            serve_connection(stream, &service, &conn_state);
         }));
-        workers.retain(|w| !w.is_finished());
+        // Reap finished handlers: join them, so a panicking handler is
+        // observed, counted, and logged — not silently discarded with
+        // its handle.
+        let (done, live): (Vec<_>, Vec<_>) = workers.drain(..).partition(|w| w.is_finished());
+        workers = live;
+        for w in done {
+            join_handler(w, state);
+        }
     }
     for w in workers {
-        let _ = w.join();
+        join_handler(w, state);
+    }
+}
+
+/// Join one handler thread, counting and logging a panic.
+fn join_handler(worker: JoinHandle<()>, state: &ServerState) {
+    if let Err(payload) = worker.join() {
+        state.panics.fetch_add(1, Ordering::SeqCst);
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        eprintln!("clasp-serve: connection handler panicked: {msg}");
     }
 }
 
@@ -166,12 +300,7 @@ pub fn run(listener: TcpListener, service: Arc<CompileService>) {
 /// When `shutdown` arrives, the stop flag is set, every open
 /// connection's read side is closed so idle handlers see EOF, and the
 /// accept loop is woken with a throwaway connection.
-fn serve_connection(
-    mut stream: TcpStream,
-    service: &CompileService,
-    stop: &AtomicBool,
-    connections: &Mutex<Vec<TcpStream>>,
-) {
+fn serve_connection(mut stream: TcpStream, service: &CompileService, state: &ServerState) {
     let listen_addr = stream.local_addr().ok();
     loop {
         let body = match read_frame(&mut stream) {
@@ -185,10 +314,8 @@ fn serve_connection(
             Some("stats") => format!("{PROTOCOL} stats {}", service.stats_line()),
             Some("shutdown") => {
                 let _ = write_frame(&mut stream, &format!("{PROTOCOL} bye"));
-                stop.store(true, Ordering::SeqCst);
-                for conn in connections.lock().unwrap().iter() {
-                    let _ = conn.shutdown(std::net::Shutdown::Read);
-                }
+                state.stop.store(true, Ordering::SeqCst);
+                state.close_all_reads();
                 // Wake the blocked accept() so it observes the flag.
                 if let Some(addr) = listen_addr {
                     let _ = TcpStream::connect(addr);
@@ -320,6 +447,29 @@ mod tests {
     }
 
     #[test]
+    fn frames_larger_than_one_chunk_round_trip() {
+        // A body spanning several read chunks must arrive intact.
+        let body = "chunked-frame-bytes.".repeat((3 * FRAME_CHUNK_BYTES) / 20);
+        assert!(body.len() > 2 * FRAME_CHUNK_BYTES);
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &body).unwrap();
+        let mut r = io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(body.as_str()));
+    }
+
+    #[test]
+    fn huge_announcement_with_tiny_body_fails_without_ballooning() {
+        // A frame announcing MAX_FRAME_BYTES but carrying one byte must
+        // fail on the truncated read; the chunked reader allocates at
+        // most one chunk up front, never the announced 64 MiB.
+        let mut lying = Vec::new();
+        lying.extend_from_slice(&(MAX_FRAME_BYTES as u32).to_be_bytes());
+        lying.push(b'x');
+        let err = read_frame(&mut io::Cursor::new(lying)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
     fn oversized_and_truncated_frames_are_errors() {
         let mut huge = Vec::new();
         huge.extend_from_slice(&(u32::MAX).to_be_bytes());
@@ -375,6 +525,33 @@ mod tests {
         }
         let mut client = Client::connect(server.addr()).unwrap();
         assert!(client.ping().unwrap());
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn connection_registry_is_pruned_as_clients_leave() {
+        let server = start_in_memory();
+        // Sequential connect/use/close cycles: a daemon that leaked one
+        // registry entry (and fd) per accepted connection would end
+        // this loop with 40 entries; the pruned registry ends empty.
+        for i in 0..40 {
+            let mut client = Client::connect(server.addr()).unwrap();
+            if i % 2 == 0 {
+                assert!(client.ping().unwrap());
+            }
+            // Odd cycles drop without a single frame: abrupt close.
+        }
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while server.open_connections() > 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "registry still holds {} entries after 40 closed connections",
+                server.open_connections()
+            );
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        assert_eq!(server.connections_accepted(), 40);
+        assert_eq!(server.handler_panics(), 0);
         server.shutdown().unwrap();
     }
 
