@@ -606,6 +606,43 @@ fn main() {
         println!("  {name} = {value}");
     }
 
+    // Strata sweep: the {preset × stratum} II-degradation table over the
+    // CGRA-style presets, through the service on the deterministic
+    // executor. Determinism gate first — a cold parallel sweep and a
+    // warm serial one must render byte-identical reports — then the
+    // table goes to `results/strata.csv` and the `strata` block below.
+    let strata_cfg = clasp::strata::SweepConfig::default();
+    let strata_service = CompileService::in_memory();
+    let strata = clasp::strata::run_sweep(&strata_cfg, &strata_service)
+        .expect("strata sweep over default presets");
+    let strata_serial = clasp::strata::run_sweep(
+        &clasp::strata::SweepConfig {
+            threads: 1,
+            ..strata_cfg.clone()
+        },
+        &strata_service,
+    )
+    .expect("serial strata sweep");
+    assert_eq!(
+        strata.render_csv(),
+        strata_serial.render_csv(),
+        "strata sweep diverged across thread counts / cache temperature"
+    );
+    println!("\nstrata sweep (clustered II / unified II, per stratum):");
+    for r in &strata.rows {
+        println!(
+            "  {:<12} {:<16} {:>3}/{:<3} compiled, degradation {}",
+            r.preset,
+            r.stratum.name(),
+            r.compiled,
+            r.loops,
+            r.degradation().map_or("-".into(), |d| format!("{d:.4}"))
+        );
+    }
+    let strata_csv = repo_root().join("results/strata.csv");
+    std::fs::write(&strata_csv, strata.render_csv()).expect("write results/strata.csv");
+    println!("wrote {}", strata_csv.display());
+
     let stages = [
         &analysis,
         &assignment,
@@ -659,6 +696,7 @@ fn main() {
         "  \"fuzz\": {{\"cases\": {}, \"serial_median_ns\": {}, \"parallel_median_ns\": {}}},\n",
         FUZZ_CASES, fuzz.baseline.median_ns, fuzz.amortized.median_ns
     ));
+    json.push_str(&format!("  \"strata\": {},\n", strata.render_json_block()));
     json.push_str("  \"obs\": {\"counters\": {\n");
     for (i, (name, value)) in obs_counters.iter().enumerate() {
         json.push_str(&format!(

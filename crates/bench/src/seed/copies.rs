@@ -158,7 +158,7 @@ impl CopyManager {
         }
         let mut best: Option<Vec<ClusterId>> = None;
         for &s in &sources {
-            if let Some(path) = ic.route(s, target, k) {
+            if let Ok(path) = ic.route(s, target, k) {
                 let better = match &best {
                     None => true,
                     Some(b) => path.len() < b.len(),

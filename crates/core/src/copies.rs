@@ -349,7 +349,7 @@ impl CopyManager {
         // already holding the value.
         let mut best: Option<Vec<ClusterId>> = None;
         for &s in &sources {
-            if let Some(path) = ic.route_with(&adj, s, target) {
+            if let Ok(path) = ic.route_with(&adj, s, target) {
                 let better = match &best {
                     None => true,
                     Some(b) => path.len() < b.len(),

@@ -21,8 +21,8 @@
 //! rendering is injected (see [`CaseSpec`] and the `render` parameter):
 //! the harness never depends on the root crate's `ServiceRequest`.
 
-use clasp_loopgen::rng::Rng;
-use clasp_loopgen::{generate_corpus, generate_loop, CorpusConfig};
+use clasp_loopgen::rng::{fold_seed, Rng};
+use clasp_loopgen::{generate_corpus, CorpusConfig, LoopStream, Stratum};
 use std::path::{Path, PathBuf};
 
 /// The class of one request in a schedule.
@@ -236,17 +236,18 @@ pub fn build_schedule(config: &MixConfig, render: impl Fn(&CaseSpec) -> String) 
         })
         .collect();
 
-    // Cold stream: unique loops, indices offset past the hot pool so
-    // loop names (and therefore cache keys) never collide with it.
-    let mut cold_rng = Rng::seed_from_u64(config.cell_seed ^ 0xC01D_C01D_C01D_C01D);
-    let mut cold_index = 1_000_000usize;
-    let mut next_cold = move || {
-        let g = generate_loop(&mut cold_rng, cold_index, cold_index.is_multiple_of(4));
-        cold_index += 1;
-        render(&case(clasp_text::write_loop(&g), false))
-    };
+    // Cold stream: unique loops from the stratified stream API, drawn
+    // from the cell's own stratum. The stream seed FNV-folds the cell
+    // seed, the "cold" role, *and* the stratum name — the old
+    // `cell_seed ^ CONST` derivation let a cold stream alias another
+    // role's stream whenever two cell seeds differed by the XOR of the
+    // role constants, and folded no stratum at all.
+    let stratum = Stratum::SYNTHETIC
+        [(fold_seed(config.cell_seed, "cold-stratum") % Stratum::SYNTHETIC.len() as u64) as usize];
+    let mut cold = LoopStream::new(stratum, config.cell_seed, "cold");
+    let mut next_cold = move || render(&case(clasp_text::write_loop(&cold.next_loop()), false));
 
-    let mut draw_rng = Rng::seed_from_u64(config.cell_seed ^ 0xD4A3_D4A3_D4A3_D4A3);
+    let mut draw_rng = Rng::seed_from_u64(fold_seed(config.cell_seed, "draw"));
     let mut requests = Vec::with_capacity(config.requests);
     let mut class_counts = [0usize; 4];
     for _ in 0..config.requests {
@@ -357,6 +358,23 @@ mod tests {
         assert!(b.requests.iter().all(|r| !a_set.contains(&r.wire)));
         // Same pool seed: identical hot pools either way.
         assert_eq!(a.hot_wires, b.hot_wires);
+    }
+
+    #[test]
+    fn xor_colliding_cell_seeds_stay_disjoint() {
+        // Under the old `cell_seed ^ CONST` derivation these two cells
+        // aliased: their seeds differ by exactly the XOR of the cold and
+        // draw role constants, so one cell's cold stream replayed the
+        // other's class-draw stream. The FNV fold keeps every stream of
+        // both cells disjoint.
+        let mut ca = config(Mix::Cold);
+        ca.cell_seed = 0x1111;
+        let mut cb = config(Mix::Cold);
+        cb.cell_seed = 0x1111 ^ 0xC01D_C01D_C01D_C01D ^ 0xD4A3_D4A3_D4A3_D4A3;
+        let a = build_schedule(&ca, render);
+        let b = build_schedule(&cb, render);
+        let a_set: std::collections::HashSet<_> = a.requests.iter().map(|r| &r.wire).collect();
+        assert!(b.requests.iter().all(|r| !a_set.contains(&r.wire)));
     }
 
     #[test]

@@ -30,9 +30,14 @@ mod classics;
 mod kernels;
 pub mod rng;
 mod stats;
+pub mod strata;
 mod synthetic;
 
 pub use classics::{all_classics, classic, CLASSIC_NAMES};
 pub use kernels::{all_livermore, livermore};
 pub use stats::{corpus_stats, CorpusStats, Row};
+pub use strata::{
+    fingerprint, generate_strata_corpus, generate_stratum, strata_manifest, stratum_seed,
+    LoopStream, StrataConfig, Stratum,
+};
 pub use synthetic::{generate_corpus, generate_loop, CorpusConfig};

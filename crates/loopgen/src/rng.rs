@@ -7,6 +7,37 @@
 //! randomized component (corpus generation, randomized tests, benchmarks)
 //! draws from this module.
 
+/// Derive a sub-stream seed by folding a textual tag into `base` with
+/// FNV-1a: the base seed's bytes and then the tag's bytes all pass through
+/// the FNV multiply, so every byte of both perturbs every bit of the
+/// result. Plain XOR folding (`base ^ CONST`, `hash(tag) ^ base`) is *not*
+/// enough — two (base, tag) pairs whose XOR differences cancel replay the
+/// same stream, which is exactly how two load cells once shared a cold
+/// loop stream. Chain calls to fold several tags:
+/// `fold_seed(fold_seed(seed, cell), stratum)`.
+///
+/// # Examples
+///
+/// ```
+/// use clasp_loopgen::rng::fold_seed;
+///
+/// let a = fold_seed(fold_seed(7, "cell-a"), "memory-bound");
+/// let b = fold_seed(fold_seed(7, "cell-b"), "memory-bound");
+/// let c = fold_seed(fold_seed(7, "cell-a"), "copy-bound");
+/// assert_ne!(a, b);
+/// assert_ne!(a, c);
+/// ```
+pub fn fold_seed(base: u64, tag: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in base.to_le_bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    for b in tag.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 /// A SplitMix64 pseudo-random generator (Steele, Lea & Flood; the stream
 /// seeding function of xoshiro/xoroshiro). Deterministic for a given seed
 /// across platforms.
@@ -123,5 +154,20 @@ mod tests {
         let mut r = Rng::seed_from_u64(6);
         let hits = (0..10_000).filter(|_| r.chance(0.8)).count();
         assert!((7500..8500).contains(&hits), "{hits}");
+    }
+
+    #[test]
+    fn fold_seed_separates_base_and_tag() {
+        // The weak XOR fold collides when base differences cancel tag
+        // differences; the FNV fold must not.
+        assert_ne!(fold_seed(1, "x"), fold_seed(2, "x"));
+        assert_ne!(fold_seed(1, "x"), fold_seed(1, "y"));
+        // Concatenation boundary matters: ("ab", "c") != ("a", "bc").
+        assert_ne!(
+            fold_seed(fold_seed(0, "ab"), "c"),
+            fold_seed(fold_seed(0, "a"), "bc")
+        );
+        // Deterministic.
+        assert_eq!(fold_seed(42, "tag"), fold_seed(42, "tag"));
     }
 }

@@ -1,0 +1,646 @@
+//! The stratified corpus: named loop families that stress one scheduling
+//! pressure each.
+//!
+//! The synthetic corpus of [`crate::generate_corpus`] is calibrated to the
+//! paper's Table 1 *averages*, which makes it a poor probe for behaviours
+//! that only show up in a tail — deep recurrences, wide fan-out, memory
+//! saturation, or transport-bound loops on point-to-point fabrics. This
+//! module generates loops in named *strata*, each skewed hard toward one
+//! of those pressures, plus the fixed Livermore/classic anchor set:
+//!
+//! - `recurrence-heavy`: every loop carries recurrences, with most of the
+//!   body inside SCCs — RecMII-dominated.
+//! - `fan-out-heavy`: a few hub producers feed most of the body — high
+//!   out-degree values that broadcast badly on point-to-point fabrics.
+//! - `memory-bound`: ~70% loads/stores — ResMII-dominated on machines
+//!   with few memory units.
+//! - `copy-bound`: dense many-predecessor dataflow across all FU classes —
+//!   cluster assignment pays maximal inter-cluster copy traffic.
+//! - `livermore`: the 24 Livermore kernels plus the ten classic DSP loops,
+//!   as fixed (non-seeded) anchors.
+//!
+//! Every stratum draws from its own seed, derived by FNV-folding the
+//! stratum name (and, for streams, the consumer's stream id) into the base
+//! seed with [`fold_seed`] — two strata or two stream consumers can never
+//! replay each other's loops. [`strata_manifest`] renders the corpus
+//! fingerprint that `results/strata-manifest.txt` commits and CI checks
+//! for drift.
+
+use crate::rng::{fold_seed, Rng};
+use crate::synthetic::{plan_scc_ranges, sample_kind, sample_node_count};
+use clasp_ddg::{Ddg, NodeId, OpKind};
+use std::fmt;
+
+/// One stratum of the stratified corpus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stratum {
+    /// Every loop carries recurrences covering most of its body.
+    RecurrenceHeavy,
+    /// A few hub producers feed most consumers.
+    FanOutHeavy,
+    /// Loads and stores dominate the operation mix.
+    MemoryBound,
+    /// Dense cross-class dataflow maximizing inter-cluster copies.
+    CopyBound,
+    /// The fixed Livermore + classic kernel anchors.
+    Livermore,
+}
+
+impl Stratum {
+    /// Every stratum, in canonical (manifest) order.
+    pub const ALL: [Stratum; 5] = [
+        Stratum::RecurrenceHeavy,
+        Stratum::FanOutHeavy,
+        Stratum::MemoryBound,
+        Stratum::CopyBound,
+        Stratum::Livermore,
+    ];
+
+    /// The seeded synthetic strata (everything but the fixed anchors).
+    pub const SYNTHETIC: [Stratum; 4] = [
+        Stratum::RecurrenceHeavy,
+        Stratum::FanOutHeavy,
+        Stratum::MemoryBound,
+        Stratum::CopyBound,
+    ];
+
+    /// Canonical name, as used in manifests, CLI flags, and seeds.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stratum::RecurrenceHeavy => "recurrence-heavy",
+            Stratum::FanOutHeavy => "fan-out-heavy",
+            Stratum::MemoryBound => "memory-bound",
+            Stratum::CopyBound => "copy-bound",
+            Stratum::Livermore => "livermore",
+        }
+    }
+
+    /// Short loop-name prefix (`rec-0001`, `mem-0420`, ...).
+    fn prefix(self) -> &'static str {
+        match self {
+            Stratum::RecurrenceHeavy => "rec",
+            Stratum::FanOutHeavy => "fan",
+            Stratum::MemoryBound => "mem",
+            Stratum::CopyBound => "cpy",
+            Stratum::Livermore => "liv",
+        }
+    }
+
+    /// Parse a canonical stratum name.
+    pub fn parse(s: &str) -> Option<Stratum> {
+        Stratum::ALL.into_iter().find(|st| st.name() == s)
+    }
+}
+
+impl fmt::Display for Stratum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The seed a stratum's corpus slice draws from: the stratum name
+/// FNV-folded into the base seed.
+pub fn stratum_seed(base: u64, stratum: Stratum) -> u64 {
+    fold_seed(base, stratum.name())
+}
+
+/// Stratified corpus parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StrataConfig {
+    /// Loops per *synthetic* stratum; the `livermore` stratum is the fixed
+    /// anchor set and caps at its own size.
+    pub loops_per_stratum: usize,
+    /// Base seed; per-stratum seeds derive from it via [`stratum_seed`].
+    pub seed: u64,
+}
+
+impl Default for StrataConfig {
+    /// The committed 10k corpus: 2500 loops in each of the four synthetic
+    /// strata plus the 34 fixed anchors.
+    fn default() -> Self {
+        StrataConfig {
+            loops_per_stratum: 2500,
+            seed: 0x1998_C1A5,
+        }
+    }
+}
+
+/// An unbounded, seeded stream of loops from one stratum.
+///
+/// The stream's seed FNV-folds both the consumer's `stream_id` (e.g. a
+/// load-cell name) *and* the stratum name into the base seed, so no two
+/// (stream, stratum) pairs replay the same loop sequence. The `livermore`
+/// stratum cycles its fixed anchor set.
+#[derive(Debug, Clone)]
+pub struct LoopStream {
+    stratum: Stratum,
+    rng: Rng,
+    index: usize,
+}
+
+impl LoopStream {
+    /// A stream of `stratum` loops owned by `stream_id`, derived from
+    /// `base_seed`.
+    pub fn new(stratum: Stratum, base_seed: u64, stream_id: &str) -> LoopStream {
+        LoopStream {
+            stratum,
+            rng: Rng::seed_from_u64(fold_seed(fold_seed(base_seed, stream_id), stratum.name())),
+            index: 0,
+        }
+    }
+
+    /// The next loop in the stream.
+    pub fn next_loop(&mut self) -> Ddg {
+        let i = self.index;
+        self.index += 1;
+        match self.stratum {
+            Stratum::Livermore => {
+                let anchors = anchor_count();
+                anchor(i % anchors)
+            }
+            s => {
+                let name = format!("{}-{i:04}", s.prefix());
+                synth_loop(&mut self.rng, s, name)
+            }
+        }
+    }
+}
+
+impl Iterator for LoopStream {
+    type Item = Ddg;
+
+    fn next(&mut self) -> Option<Ddg> {
+        Some(self.next_loop())
+    }
+}
+
+fn anchor_count() -> usize {
+    crate::kernels::all_livermore().len() + crate::classics::all_classics().len()
+}
+
+fn anchor(i: usize) -> Ddg {
+    let livermore = crate::kernels::all_livermore();
+    if i < livermore.len() {
+        livermore.into_iter().nth(i).expect("index in range")
+    } else {
+        crate::classics::all_classics()
+            .into_iter()
+            .nth(i - livermore.len())
+            .expect("index in range")
+    }
+}
+
+/// Generate `count` loops of one stratum from `base_seed` (the fixed
+/// `livermore` stratum caps at its anchor-set size).
+pub fn generate_stratum(stratum: Stratum, count: usize, base_seed: u64) -> Vec<Ddg> {
+    match stratum {
+        Stratum::Livermore => {
+            let mut v = crate::kernels::all_livermore();
+            v.extend(crate::classics::all_classics());
+            v.truncate(count);
+            v
+        }
+        s => LoopStream::new(s, base_seed, "corpus")
+            .take(count)
+            .collect(),
+    }
+}
+
+/// Generate the whole stratified corpus, in manifest order.
+pub fn generate_strata_corpus(config: StrataConfig) -> Vec<(Stratum, Vec<Ddg>)> {
+    Stratum::ALL
+        .into_iter()
+        .map(|s| {
+            (
+                s,
+                generate_stratum(s, config.loops_per_stratum, config.seed),
+            )
+        })
+        .collect()
+}
+
+/// A structural FNV-1a fingerprint of one loop: name, node kinds, and
+/// every edge's endpoints, latency, and distance. Two loops fingerprint
+/// equal exactly when they are structurally identical, so a manifest of
+/// fingerprints pins the corpus bit-for-bit.
+pub fn fingerprint(g: &Ddg) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut fold = |v: u64| {
+        for b in v.to_le_bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+        }
+    };
+    for b in g.name().bytes() {
+        fold(u64::from(b));
+    }
+    fold(g.node_count() as u64);
+    for (_, op) in g.nodes() {
+        fold(op.kind as u64);
+    }
+    fold(g.edge_count() as u64);
+    for (_, e) in g.edges() {
+        fold(e.src.index() as u64);
+        fold(e.dst.index() as u64);
+        fold(u64::from(e.latency));
+        fold(u64::from(e.distance));
+    }
+    h
+}
+
+/// Render the corpus manifest: a line-based, diff-friendly digest of the
+/// whole stratified corpus. The committed copy (`results/
+/// strata-manifest.txt`) and this function must agree byte-for-byte; CI
+/// fails on drift, so any intentional generator change must recommit the
+/// manifest.
+///
+/// Format (`#` lines are comments):
+///
+/// ```text
+/// # clasp stratified corpus manifest v1
+/// seed 0x1998c1a5
+/// loops-per-stratum 2500
+/// stratum <name> seed 0x<hex> loops <n> nodes <n> edges <n> fingerprint 0x<hex>
+/// ```
+pub fn strata_manifest(config: StrataConfig) -> String {
+    let mut out = String::from("# clasp stratified corpus manifest v1\n");
+    out.push_str(&format!("seed 0x{:x}\n", config.seed));
+    out.push_str(&format!("loops-per-stratum {}\n", config.loops_per_stratum));
+    for (stratum, loops) in generate_strata_corpus(config) {
+        let nodes: usize = loops.iter().map(Ddg::node_count).sum();
+        let edges: usize = loops.iter().map(Ddg::edge_count).sum();
+        // Fold the per-loop fingerprints in order.
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for g in &loops {
+            for b in fingerprint(g).to_le_bytes() {
+                h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+            }
+        }
+        out.push_str(&format!(
+            "stratum {} seed 0x{:x} loops {} nodes {} edges {} fingerprint 0x{:016x}\n",
+            stratum.name(),
+            stratum_seed(config.seed, stratum),
+            loops.len(),
+            nodes,
+            edges,
+            h
+        ));
+    }
+    out
+}
+
+// ---- per-stratum generators ------------------------------------------------
+
+fn synth_loop(rng: &mut Rng, stratum: Stratum, name: String) -> Ddg {
+    match stratum {
+        Stratum::RecurrenceHeavy => recurrence_loop(rng, name),
+        Stratum::FanOutHeavy => fan_out_loop(rng, name),
+        Stratum::MemoryBound => memory_loop(rng, name),
+        Stratum::CopyBound => copy_bound_loop(rng, name),
+        Stratum::Livermore => unreachable!("anchors are not synthesized"),
+    }
+}
+
+/// Keep at most one branch per loop (as the base corpus does), and make it
+/// the only one by demoting the rest to integer ALU ops.
+fn dedup_branches(kinds: &mut [OpKind]) {
+    let mut seen = false;
+    for k in kinds.iter_mut() {
+        if *k == OpKind::Branch {
+            if seen {
+                *k = OpKind::IntAlu;
+            }
+            seen = true;
+        }
+    }
+}
+
+/// Forward data edges: each non-root draws `preds(rng)` predecessors from
+/// `producers(i)`, the value-producing candidates before node `i`.
+fn forward_edges(
+    g: &mut Ddg,
+    ids: &[NodeId],
+    kinds: &[OpKind],
+    rng: &mut Rng,
+    mut preds: impl FnMut(&mut Rng) -> usize,
+    mut pick: impl FnMut(&mut Rng, &[usize]) -> usize,
+) {
+    let mut producers: Vec<usize> = Vec::with_capacity(kinds.len());
+    for i in 1..kinds.len() {
+        if kinds[i - 1].produces_value() {
+            producers.push(i - 1);
+        }
+        if producers.is_empty() {
+            continue;
+        }
+        for _ in 0..preds(rng) {
+            let j = pick(rng, &producers);
+            g.add_dep(ids[j], ids[i]);
+        }
+    }
+}
+
+/// Recurrence-heavy: every loop carries SCCs, sized so most of the body is
+/// inside one; RecMII dominates.
+fn recurrence_loop(rng: &mut Rng, name: String) -> Ddg {
+    let n = sample_node_count(rng).max(sample_node_count(rng)).max(6);
+    let mut g = Ddg::new(name);
+    // The base planner already caps at min(n, 48) SCC nodes; retry until
+    // it yields at least one range (it can only come up empty for n < 2).
+    let mut scc_ranges = plan_scc_ranges(rng, n);
+    while scc_ranges.is_empty() {
+        scc_ranges = plan_scc_ranges(rng, n);
+    }
+    let mut in_scc = vec![false; n];
+    for &(lo, hi) in &scc_ranges {
+        for slot in in_scc.iter_mut().take(hi).skip(lo) {
+            *slot = true;
+        }
+    }
+    let mut kinds: Vec<OpKind> = (0..n)
+        .map(|i| sample_kind(rng, in_scc[i] || i == 0))
+        .collect();
+    dedup_branches(&mut kinds);
+    let ids: Vec<NodeId> = kinds.iter().map(|&k| g.add(k)).collect();
+    forward_edges(
+        &mut g,
+        &ids,
+        &kinds,
+        rng,
+        |r| match r.below(100) {
+            0..=74 => 1,
+            75..=94 => 2,
+            _ => 3,
+        },
+        |r, producers| producers[r.below(producers.len())],
+    );
+    for &(lo, hi) in &scc_ranges {
+        for w in lo..hi - 1 {
+            g.add_dep(ids[w], ids[w + 1]);
+        }
+        // Mostly distance-1 carries: the tightest recurrences.
+        let distance = if rng.chance(0.9) {
+            1
+        } else {
+            rng.range_inclusive(2, 3) as u32
+        };
+        g.add_dep_carried(ids[hi - 1], ids[lo], distance);
+    }
+    debug_assert!(g.validate().is_ok());
+    g
+}
+
+/// Fan-out-heavy: the first few producers are hubs that feed ~3/4 of all
+/// consumers, so a handful of values need delivery nearly everywhere.
+fn fan_out_loop(rng: &mut Rng, name: String) -> Ddg {
+    let n = sample_node_count(rng).max(8);
+    let mut g = Ddg::new(name);
+    let mut kinds: Vec<OpKind> = (0..n).map(|i| sample_kind(rng, i == 0)).collect();
+    dedup_branches(&mut kinds);
+    let ids: Vec<NodeId> = kinds.iter().map(|&k| g.add(k)).collect();
+    let hubs = (n / 8).max(1);
+    forward_edges(
+        &mut g,
+        &ids,
+        &kinds,
+        rng,
+        |r| if r.chance(0.3) { 2 } else { 1 },
+        move |r, producers| {
+            // 3/4 of edges source from the hub producers.
+            let pool = if r.chance(0.75) {
+                &producers[..producers.len().min(hubs)]
+            } else {
+                producers
+            };
+            pool[r.below(pool.len())]
+        },
+    );
+    debug_assert!(g.validate().is_ok());
+    g
+}
+
+/// Memory-bound operation mix: ~70% loads and stores.
+fn memory_kind(rng: &mut Rng, must_produce_value: bool) -> OpKind {
+    loop {
+        let k = match rng.below(100) {
+            0..=44 => OpKind::Load,
+            45..=69 => OpKind::Store,
+            70..=84 => OpKind::IntAlu,
+            85..=89 => OpKind::Shift,
+            90..=95 => OpKind::FpAdd,
+            _ => OpKind::FpMult,
+        };
+        if !must_produce_value || k.produces_value() {
+            return k;
+        }
+    }
+}
+
+/// Memory-bound: ResMII-dominated on machines with few memory units.
+fn memory_loop(rng: &mut Rng, name: String) -> Ddg {
+    let n = sample_node_count(rng);
+    let mut g = Ddg::new(name);
+    let kinds: Vec<OpKind> = (0..n).map(|i| memory_kind(rng, i == 0)).collect();
+    let ids: Vec<NodeId> = kinds.iter().map(|&k| g.add(k)).collect();
+    forward_edges(
+        &mut g,
+        &ids,
+        &kinds,
+        rng,
+        |r| if r.chance(0.25) { 2 } else { 1 },
+        |r, producers| producers[r.below(producers.len())],
+    );
+    debug_assert!(g.validate().is_ok());
+    g
+}
+
+/// Copy-bound operation mix: all FU classes, no branch — so any class
+/// specialization splits the body across clusters.
+fn copy_kind(rng: &mut Rng, must_produce_value: bool) -> OpKind {
+    loop {
+        let k = match rng.below(100) {
+            0..=19 => OpKind::Load,
+            20..=27 => OpKind::Store,
+            28..=47 => OpKind::IntAlu,
+            48..=55 => OpKind::Shift,
+            56..=75 => OpKind::FpAdd,
+            76..=91 => OpKind::FpMult,
+            92..=95 => OpKind::FpDiv,
+            _ => OpKind::FpSqrt,
+        };
+        if !must_produce_value || k.produces_value() {
+            return k;
+        }
+    }
+}
+
+/// Copy-bound: dense many-predecessor dataflow, classes interleaved, so
+/// cluster assignment moves many values across the fabric.
+fn copy_bound_loop(rng: &mut Rng, name: String) -> Ddg {
+    let n = sample_node_count(rng).max(10);
+    let mut g = Ddg::new(name);
+    let kinds: Vec<OpKind> = (0..n).map(|i| copy_kind(rng, i == 0)).collect();
+    let ids: Vec<NodeId> = kinds.iter().map(|&k| g.add(k)).collect();
+    forward_edges(
+        &mut g,
+        &ids,
+        &kinds,
+        rng,
+        |r| match r.below(100) {
+            0..=49 => 2,
+            50..=79 => 3,
+            _ => 4,
+        },
+        |r, producers| producers[r.below(producers.len())],
+    );
+    debug_assert!(g.validate().is_ok());
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clasp_ddg::find_sccs;
+
+    #[test]
+    fn strata_are_reproducible() {
+        for s in Stratum::ALL {
+            let a = generate_stratum(s, 40, 7);
+            let b = generate_stratum(s, 40, 7);
+            assert_eq!(a.len(), b.len(), "{s}");
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(fingerprint(x), fingerprint(y), "{s}: {}", x.name());
+            }
+        }
+    }
+
+    #[test]
+    fn strata_loops_are_valid() {
+        for s in Stratum::ALL {
+            for g in generate_stratum(s, 60, 3) {
+                g.validate()
+                    .unwrap_or_else(|e| panic!("{s}/{}: {e}", g.name()));
+                assert!(g.node_count() >= 2, "{s}/{}", g.name());
+                assert!(g.edge_count() >= 1, "{s}/{}", g.name());
+            }
+        }
+    }
+
+    #[test]
+    fn recurrence_stratum_always_carries_sccs() {
+        for g in generate_stratum(Stratum::RecurrenceHeavy, 80, 11) {
+            assert!(
+                find_sccs(&g).non_trivial_count() > 0,
+                "{} has no recurrence",
+                g.name()
+            );
+        }
+    }
+
+    #[test]
+    fn memory_stratum_is_memory_dominated() {
+        let loops = generate_stratum(Stratum::MemoryBound, 80, 11);
+        let (mut mem, mut total) = (0usize, 0usize);
+        for g in &loops {
+            for (_, op) in g.nodes() {
+                total += 1;
+                if matches!(op.kind, OpKind::Load | OpKind::Store) {
+                    mem += 1;
+                }
+            }
+        }
+        let frac = mem as f64 / total as f64;
+        assert!(frac > 0.6, "memory fraction {frac:.2}");
+    }
+
+    #[test]
+    fn fan_out_stratum_has_hub_producers() {
+        // The max out-degree should dwarf the base corpus's: hubs feed
+        // most of the body.
+        let loops = generate_stratum(Stratum::FanOutHeavy, 40, 5);
+        let mut hubby = 0usize;
+        for g in &loops {
+            let max_out = g.node_ids().map(|n| g.out_degree(n)).max().unwrap_or(0);
+            if max_out * 3 >= g.node_count() {
+                hubby += 1;
+            }
+        }
+        assert!(hubby * 2 > loops.len(), "{hubby}/{} hub loops", loops.len());
+    }
+
+    #[test]
+    fn copy_stratum_is_edge_dense() {
+        let copy = generate_stratum(Stratum::CopyBound, 40, 5);
+        let density = |loops: &[Ddg]| {
+            loops
+                .iter()
+                .map(|g| g.edge_count() as f64 / g.node_count() as f64)
+                .sum::<f64>()
+                / loops.len() as f64
+        };
+        assert!(density(&copy) > 2.0, "density {:.2}", density(&copy));
+    }
+
+    #[test]
+    fn livermore_stratum_is_the_fixed_anchor_set() {
+        let a = generate_stratum(Stratum::Livermore, 10_000, 1);
+        let b = generate_stratum(Stratum::Livermore, 10_000, 999);
+        assert_eq!(a.len(), anchor_count());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(fingerprint(x), fingerprint(y));
+        }
+    }
+
+    #[test]
+    fn streams_are_disjoint_across_strata_and_ids() {
+        // The satellite-3 pin: no two (stream id, stratum) pairs may
+        // replay the same loop sequence.
+        let take = |stratum, id: &str| -> Vec<u64> {
+            LoopStream::new(stratum, 0x1998, id)
+                .take(12)
+                .map(|g| fingerprint(&g))
+                .collect()
+        };
+        let mut seqs = Vec::new();
+        for s in Stratum::SYNTHETIC {
+            for id in ["cell-a", "cell-b", "cell-c"] {
+                seqs.push(take(s, id));
+            }
+        }
+        for i in 0..seqs.len() {
+            for j in i + 1..seqs.len() {
+                assert_ne!(seqs[i], seqs[j], "streams {i} and {j} coincide");
+            }
+        }
+    }
+
+    #[test]
+    fn manifest_is_stable_and_complete() {
+        let cfg = StrataConfig {
+            loops_per_stratum: 30,
+            seed: 0xABCD,
+        };
+        let m1 = strata_manifest(cfg);
+        let m2 = strata_manifest(cfg);
+        assert_eq!(m1, m2);
+        for s in Stratum::ALL {
+            assert!(m1.contains(&format!("stratum {}", s.name())), "{s}");
+        }
+        // A different seed changes every synthetic fingerprint line.
+        let m3 = strata_manifest(StrataConfig {
+            loops_per_stratum: 30,
+            seed: 0xABCE,
+        });
+        assert_ne!(m1, m3);
+    }
+
+    #[test]
+    fn stratum_names_parse_back() {
+        for s in Stratum::ALL {
+            assert_eq!(Stratum::parse(s.name()), Some(s));
+        }
+        assert_eq!(Stratum::parse("no-such-stratum"), None);
+    }
+}

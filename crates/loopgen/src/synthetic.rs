@@ -68,7 +68,7 @@ pub fn generate_corpus(config: CorpusConfig) -> Vec<Ddg> {
 }
 
 /// Log-normal-ish node count in `[2, 161]` with mean near 17.5.
-fn sample_node_count(rng: &mut Rng) -> usize {
+pub(crate) fn sample_node_count(rng: &mut Rng) -> usize {
     // Box-Muller.
     let u1: f64 = rng.next_f64().max(f64::EPSILON);
     let u2: f64 = rng.next_f64();
@@ -161,7 +161,7 @@ pub fn generate_loop(rng: &mut Rng, index: usize, with_scc: bool) -> Ddg {
 }
 
 /// Disjoint recurrence ranges: 1-6 SCCs, sizes 2..=10, total <= min(n, 48).
-fn plan_scc_ranges(rng: &mut Rng, n: usize) -> Vec<(usize, usize)> {
+pub(crate) fn plan_scc_ranges(rng: &mut Rng, n: usize) -> Vec<(usize, usize)> {
     let budget = n.min(48);
     if budget < 2 {
         return Vec::new();
@@ -215,7 +215,7 @@ fn plan_scc_ranges(rng: &mut Rng, n: usize) -> Vec<(usize, usize)> {
 }
 
 /// Operation mix of a strength-reduced Fortran inner loop.
-fn sample_kind(rng: &mut Rng, must_produce_value: bool) -> OpKind {
+pub(crate) fn sample_kind(rng: &mut Rng, must_produce_value: bool) -> OpKind {
     loop {
         let k = match rng.below(100) {
             0..=21 => OpKind::Load,

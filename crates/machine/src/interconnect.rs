@@ -59,6 +59,46 @@ impl Link {
     }
 }
 
+/// Why no route could be produced between two clusters.
+///
+/// Returned by [`Interconnect::route`] / [`Interconnect::route_with`];
+/// callers that only care about feasibility can `.ok()` the result, while
+/// diagnostics keep the precise cause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteError {
+    /// The machine has no inter-cluster fabric at all (no links and no
+    /// usable bus), so no distinct pair of clusters can communicate.
+    NoFabric,
+    /// An endpoint lies outside the range of clusters the fabric spans.
+    OutOfRange {
+        /// The offending endpoint.
+        cluster: ClusterId,
+    },
+    /// The fabric exists but no sequence of links joins the pair.
+    Unreachable {
+        /// Source cluster of the failed query.
+        from: ClusterId,
+        /// Destination cluster of the failed query.
+        to: ClusterId,
+    },
+}
+
+impl fmt::Display for RouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteError::NoFabric => write!(f, "machine has no inter-cluster fabric"),
+            RouteError::OutOfRange { cluster } => {
+                write!(f, "cluster {cluster} lies outside the fabric")
+            }
+            RouteError::Unreachable { from, to } => {
+                write!(f, "no route from {from} to {to}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
 /// The communication fabric of a clustered machine.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Interconnect {
@@ -163,18 +203,29 @@ impl Interconnect {
     }
 
     /// BFS shortest hop path `from -> to` over the fabric, inclusive of
-    /// both endpoints. Returns `None` when unreachable. On bused machines
-    /// every distinct pair is `[from, to]`.
+    /// both endpoints. On bused machines every distinct pair is
+    /// `[from, to]`.
+    ///
+    /// Tied shortest paths resolve deterministically by
+    /// (hop count, lowest link id): at every hop the route takes the
+    /// lowest-numbered link leading one hop closer to `to`. The previous
+    /// implementation followed BFS queue order, which made mesh/torus
+    /// routes depend on link-table insertion order.
     ///
     /// Builds the [`Adjacency`] index for this one query; callers routing
     /// many pairs on the same fabric should build it once and call
     /// [`Interconnect::route_with`].
+    ///
+    /// # Errors
+    ///
+    /// A typed [`RouteError`] when the pair cannot communicate: no fabric,
+    /// an endpoint out of range, or an unreachable destination.
     pub fn route(
         &self,
         from: ClusterId,
         to: ClusterId,
         cluster_count: usize,
-    ) -> Option<Vec<ClusterId>> {
+    ) -> Result<Vec<ClusterId>, RouteError> {
         match self {
             Interconnect::PointToPoint { links, .. } => {
                 self.route_with(&Adjacency::build(links, cluster_count), from, to)
@@ -187,54 +238,75 @@ impl Interconnect {
     /// allocation the old implementation paid per *visited node* (a fresh
     /// neighbour `Vec` inside the BFS inner loop, O(V·E) per query on
     /// point-to-point fabrics) is paid once per fabric instead.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`RouteError`] when the pair cannot communicate.
     pub fn route_with(
         &self,
         adj: &Adjacency,
         from: ClusterId,
         to: ClusterId,
-    ) -> Option<Vec<ClusterId>> {
+    ) -> Result<Vec<ClusterId>, RouteError> {
         if from == to {
-            return Some(vec![from]);
+            return Ok(vec![from]);
         }
         match self {
-            Interconnect::None => None,
+            Interconnect::None => Err(RouteError::NoFabric),
             Interconnect::Bus { buses, .. } => {
                 if *buses > 0 {
-                    Some(vec![from, to])
+                    Ok(vec![from, to])
                 } else {
-                    None
+                    Err(RouteError::NoFabric)
                 }
             }
             Interconnect::PointToPoint { .. } => {
                 let cluster_count = adj.cluster_count();
-                if from.index() >= cluster_count || to.index() >= cluster_count {
-                    return None;
+                for c in [from, to] {
+                    if c.index() >= cluster_count {
+                        return Err(RouteError::OutOfRange { cluster: c });
+                    }
                 }
-                let mut prev: Vec<Option<ClusterId>> = vec![None; cluster_count];
-                let mut seen = vec![false; cluster_count];
+                // Phase 1: hop distances *to the destination* via plain
+                // BFS from `to`. Distances are a pure function of the
+                // topology, so no ordering sensitivity can enter here.
+                let mut dist: Vec<u32> = vec![u32::MAX; cluster_count];
                 let mut queue = std::collections::VecDeque::new();
-                seen[from.index()] = true;
-                queue.push_back(from);
+                dist[to.index()] = 0;
+                queue.push_back(to);
                 while let Some(c) = queue.pop_front() {
-                    if c == to {
-                        let mut path = vec![to];
-                        let mut cur = to;
-                        while let Some(p) = prev[cur.index()] {
-                            path.push(p);
-                            cur = p;
-                        }
-                        path.reverse();
-                        return Some(path);
+                    if c == from {
+                        break;
                     }
                     for &(nb, _) in adj.neighbors(c) {
-                        if !seen[nb.index()] {
-                            seen[nb.index()] = true;
-                            prev[nb.index()] = Some(c);
+                        if dist[nb.index()] == u32::MAX {
+                            dist[nb.index()] = dist[c.index()] + 1;
                             queue.push_back(nb);
                         }
                     }
                 }
-                None
+                if dist[from.index()] == u32::MAX {
+                    return Err(RouteError::Unreachable { from, to });
+                }
+                // Phase 2: walk forward, at every hop taking the
+                // lowest-numbered link that moves one hop closer —
+                // the (hop count, lowest link id) tie-break.
+                let mut path = Vec::with_capacity(dist[from.index()] as usize + 1);
+                let mut cur = from;
+                path.push(cur);
+                while cur != to {
+                    let d = dist[cur.index()];
+                    let (next, _) = adj
+                        .neighbors(cur)
+                        .iter()
+                        .filter(|&&(nb, _)| dist[nb.index()] == d - 1)
+                        .map(|&(nb, l)| (nb, l))
+                        .min_by_key(|&(nb, l)| (l, nb))
+                        .expect("a cluster on a shortest path has a closer neighbour");
+                    path.push(next);
+                    cur = next;
+                }
+                Ok(path)
             }
         }
     }
@@ -376,7 +448,7 @@ mod tests {
         assert!(b.directly_connected(ClusterId(0), ClusterId(1)));
         assert_eq!(
             b.route(ClusterId(0), ClusterId(1), 2),
-            Some(vec![ClusterId(0), ClusterId(1)])
+            Ok(vec![ClusterId(0), ClusterId(1)])
         );
     }
 
@@ -413,13 +485,29 @@ mod tests {
     fn none_has_no_connectivity() {
         let n = Interconnect::None;
         assert!(!n.directly_connected(ClusterId(0), ClusterId(1)));
-        assert_eq!(n.route(ClusterId(0), ClusterId(1), 2), None);
+        assert_eq!(
+            n.route(ClusterId(0), ClusterId(1), 2),
+            Err(RouteError::NoFabric)
+        );
         assert_eq!(
             n.route(ClusterId(0), ClusterId(0), 1),
-            Some(vec![ClusterId(0)])
+            Ok(vec![ClusterId(0)])
         );
         assert_eq!(n.bus_count(), 0);
         assert_eq!(n.read_ports(), 0);
+    }
+
+    #[test]
+    fn zero_bus_fabric_routes_nothing() {
+        let b = Interconnect::Bus {
+            buses: 0,
+            read_ports: 1,
+            write_ports: 1,
+        };
+        assert_eq!(
+            b.route(ClusterId(0), ClusterId(1), 2),
+            Err(RouteError::NoFabric)
+        );
     }
 
     #[test]
@@ -432,12 +520,26 @@ mod tests {
             read_ports: 1,
             write_ports: 1,
         };
-        assert_eq!(g.route(ClusterId(0), ClusterId(2), 3), None);
+        assert_eq!(
+            g.route(ClusterId(0), ClusterId(2), 3),
+            Err(RouteError::Unreachable {
+                from: ClusterId(0),
+                to: ClusterId(2),
+            })
+        );
+        assert_eq!(
+            g.route(ClusterId(7), ClusterId(1), 3),
+            Err(RouteError::OutOfRange {
+                cluster: ClusterId(7),
+            })
+        );
     }
 
     /// The old `route` implementation, verbatim: `neighbors()` allocating
-    /// a fresh `Vec` per visited node inside the BFS. Kept as the
-    /// reference the indexed implementation must match path-for-path.
+    /// a fresh `Vec` per visited node inside the BFS. Kept as a reference;
+    /// on the tie-free fabrics below (and on the 2x2 grid, whose only tie
+    /// resolves the same way) the deterministic implementation must match
+    /// it path-for-path.
     fn route_old(
         ic: &Interconnect,
         from: ClusterId,
@@ -497,12 +599,12 @@ mod tests {
             for b in 0..k {
                 let (a, b) = (ClusterId(a as u32), ClusterId(b as u32));
                 assert_eq!(
-                    ic.route(a, b, k),
+                    ic.route(a, b, k).ok(),
                     route_old(ic, a, b, k),
                     "route {a} -> {b} diverged"
                 );
                 assert_eq!(
-                    ic.route_with(&adj, a, b),
+                    ic.route_with(&adj, a, b).ok(),
                     route_old(ic, a, b, k),
                     "route_with {a} -> {b} diverged"
                 );
@@ -537,8 +639,8 @@ mod tests {
             for a in 0..k {
                 for b in 0..k {
                     let (a, b) = (ClusterId(a as u32), ClusterId(b as u32));
-                    assert_eq!(ic.route(a, b, k), route_old(&ic, a, b, k));
-                    assert_eq!(ic.route_with(&adj, a, b), route_old(&ic, a, b, k));
+                    assert_eq!(ic.route(a, b, k).ok(), route_old(&ic, a, b, k));
+                    assert_eq!(ic.route_with(&adj, a, b).ok(), route_old(&ic, a, b, k));
                 }
             }
         }
@@ -561,6 +663,139 @@ mod tests {
         // Out-of-range queries degrade gracefully.
         assert_eq!(adj.neighbors(ClusterId(9)), &[]);
         assert_eq!(adj.link_between(ClusterId(9), ClusterId(0)), None);
+    }
+
+    fn ids(path: &[u32]) -> Vec<ClusterId> {
+        path.iter().map(|&c| ClusterId(c)).collect()
+    }
+
+    #[test]
+    fn mesh_ties_take_the_lowest_link_id() {
+        // 3x3 mesh, canonical row-major link table:
+        //   C0 - C1 - C2      L0=(0,1)  L1=(0,3)  L2=(1,2)  L3=(1,4)
+        //   |    |    |       L4=(2,5)  L5=(3,4)  L6=(3,6)  L7=(4,5)
+        //   C3 - C4 - C5      L8=(4,7)  L9=(5,8)  L10=(6,7) L11=(7,8)
+        //   |    |    |
+        //   C6 - C7 - C8
+        let m = crate::presets::mesh(3, 3);
+        let ic = m.interconnect();
+        let adj = ic.adjacency(9);
+        // 0 -> 4 ties between 0-1-4 and 0-3-4; L0 beats L1 at the first
+        // hop, so the route goes through C1.
+        assert_eq!(
+            ic.route_with(&adj, ClusterId(0), ClusterId(4)).unwrap(),
+            ids(&[0, 1, 4])
+        );
+        // 0 -> 8 has six tied 4-hop paths; greedy lowest-link-id picks the
+        // top edge: L0 to C1, then L2 to C2, L4 to C5, L9 to C8.
+        assert_eq!(
+            ic.route_with(&adj, ClusterId(0), ClusterId(8)).unwrap(),
+            ids(&[0, 1, 2, 5, 8])
+        );
+    }
+
+    #[test]
+    fn mesh_route_is_a_pure_function_of_the_link_table() {
+        // Reversing the link table renumbers every link; the route must
+        // still follow the (hop count, lowest link id) rule of the
+        // *reversed* table — not whatever order BFS happens to visit in.
+        let m = crate::presets::mesh(3, 3);
+        let mut links: Vec<Link> = m.interconnect().links().to_vec();
+        links.reverse();
+        let ic = Interconnect::PointToPoint {
+            links,
+            read_ports: 2,
+            write_ports: 2,
+        };
+        let adj = ic.adjacency(9);
+        // Reversed ids: L0=(7,8), L1=(6,7), L5=(3,6), L10=(0,3), L11=(0,1).
+        // Forward from C0 the lowest link is now L10 to C3, then L5 to C6,
+        // L1 to C7, L0 to C8.
+        assert_eq!(
+            ic.route_with(&adj, ClusterId(0), ClusterId(8)).unwrap(),
+            ids(&[0, 3, 6, 7, 8])
+        );
+        // Repeated queries are bit-identical.
+        for _ in 0..4 {
+            assert_eq!(
+                ic.route_with(&adj, ClusterId(0), ClusterId(8)).unwrap(),
+                ids(&[0, 3, 6, 7, 8])
+            );
+        }
+    }
+
+    #[test]
+    fn mesh_with_removed_link_reroutes_or_reports_unreachable() {
+        // The satellite regression: a 3x3 mesh with links removed. Dropping
+        // one link must reroute around the hole; isolating a corner must
+        // yield a typed error, not a panic or a loop.
+        let m = crate::presets::mesh(3, 3);
+        let full: Vec<Link> = m.interconnect().links().to_vec();
+
+        // Remove L0 = (0,1): 0 -> 1 now goes around through C3/C4.
+        let holed: Vec<Link> = full
+            .iter()
+            .copied()
+            .filter(|l| !(l.a == ClusterId(0) && l.b == ClusterId(1)))
+            .collect();
+        let ic = Interconnect::PointToPoint {
+            links: holed,
+            read_ports: 2,
+            write_ports: 2,
+        };
+        let adj = ic.adjacency(9);
+        let path = ic.route_with(&adj, ClusterId(0), ClusterId(1)).unwrap();
+        assert_eq!(path, ids(&[0, 3, 4, 1]));
+
+        // Remove both links touching the C8 corner: 8 becomes an island.
+        let isolated: Vec<Link> = full
+            .iter()
+            .copied()
+            .filter(|l| !l.touches(ClusterId(8)))
+            .collect();
+        let ic = Interconnect::PointToPoint {
+            links: isolated,
+            read_ports: 2,
+            write_ports: 2,
+        };
+        let adj = ic.adjacency(9);
+        assert_eq!(
+            ic.route_with(&adj, ClusterId(0), ClusterId(8)),
+            Err(RouteError::Unreachable {
+                from: ClusterId(0),
+                to: ClusterId(8),
+            })
+        );
+        assert_eq!(
+            ic.route_with(&adj, ClusterId(8), ClusterId(4)),
+            Err(RouteError::Unreachable {
+                from: ClusterId(8),
+                to: ClusterId(4),
+            })
+        );
+    }
+
+    #[test]
+    fn route_error_displays() {
+        assert_eq!(
+            RouteError::NoFabric.to_string(),
+            "machine has no inter-cluster fabric"
+        );
+        assert_eq!(
+            RouteError::Unreachable {
+                from: ClusterId(0),
+                to: ClusterId(8),
+            }
+            .to_string(),
+            "no route from C0 to C8"
+        );
+        assert_eq!(
+            RouteError::OutOfRange {
+                cluster: ClusterId(7),
+            }
+            .to_string(),
+            "cluster C7 lies outside the fabric"
+        );
     }
 
     #[test]

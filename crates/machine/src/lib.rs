@@ -31,5 +31,5 @@ mod machine;
 pub mod presets;
 
 pub use cluster::{ClusterId, ClusterSpec};
-pub use interconnect::{Adjacency, Interconnect, Link, LinkId};
+pub use interconnect::{Adjacency, Interconnect, Link, LinkId, RouteError};
 pub use machine::MachineSpec;

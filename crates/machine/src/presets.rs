@@ -121,6 +121,288 @@ pub fn unified_gp(width: u32) -> MachineSpec {
     )
 }
 
+// ---- CGRA-style fabrics ---------------------------------------------------
+//
+// The SAT-MapIt line of work maps modulo-scheduled loops onto coarse-grained
+// reconfigurable arrays: meshes of 1-wide processing elements where
+// inter-cluster transport, not FU capacity, bounds the II. The presets below
+// approximate that regime inside the paper's machine model. Every preset is
+// a pure function of its name (plus the seed embedded in `het` names), so
+// experiments naming a preset are reproducible bit-for-bit.
+
+/// The canonical link table of a `rows x cols` mesh, row-major: each cell
+/// links to its right neighbour, then to its neighbour below. Link ids are
+/// therefore a fixed function of the dimensions, which the deterministic
+/// (hop count, lowest link id) router relies on.
+fn mesh_links(rows: u32, cols: u32) -> Vec<Link> {
+    let cell = |r: u32, c: u32| ClusterId(r * cols + c);
+    let mut links = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                links.push(Link {
+                    a: cell(r, c),
+                    b: cell(r, c + 1),
+                });
+            }
+            if r + 1 < rows {
+                links.push(Link {
+                    a: cell(r, c),
+                    b: cell(r + 1, c),
+                });
+            }
+        }
+    }
+    links
+}
+
+/// A `rows x cols` mesh of 1-wide GP processing elements — `mesh{R}x{C}` —
+/// joined by point-to-point links between horizontal and vertical
+/// neighbours only (2 read/write link ports per PE). Cross-fabric values
+/// travel hop by hop, so transport pressure grows with Manhattan distance.
+///
+/// # Panics
+///
+/// Panics unless both dimensions are at least 2 (a 1x1 "mesh" has no
+/// fabric; use [`unified_gp`]).
+pub fn mesh(rows: u32, cols: u32) -> MachineSpec {
+    assert!(rows >= 2 && cols >= 2, "a mesh needs both dimensions >= 2");
+    MachineSpec::new(
+        format!("mesh{rows}x{cols}"),
+        (0..rows * cols).map(|_| ClusterSpec::general(1)).collect(),
+        Interconnect::PointToPoint {
+            links: mesh_links(rows, cols),
+            read_ports: 2,
+            write_ports: 2,
+        },
+    )
+}
+
+/// A `rows x cols` torus — `torus{R}x{C}` — the mesh of [`mesh`] plus
+/// wrap-around links closing each row and column, which halves the worst
+/// hop distance. Wrap links come after the mesh links in the table (row
+/// wraps first, then column wraps); a dimension of 2 adds no wrap link,
+/// since the pair is already directly connected.
+///
+/// # Panics
+///
+/// Panics unless both dimensions are at least 2.
+pub fn torus(rows: u32, cols: u32) -> MachineSpec {
+    assert!(rows >= 2 && cols >= 2, "a torus needs both dimensions >= 2");
+    let cell = |r: u32, c: u32| ClusterId(r * cols + c);
+    let mut links = mesh_links(rows, cols);
+    if cols > 2 {
+        for r in 0..rows {
+            links.push(Link {
+                a: cell(r, cols - 1),
+                b: cell(r, 0),
+            });
+        }
+    }
+    if rows > 2 {
+        for c in 0..cols {
+            links.push(Link {
+                a: cell(rows - 1, c),
+                b: cell(0, c),
+            });
+        }
+    }
+    MachineSpec::new(
+        format!("torus{rows}x{cols}"),
+        (0..rows * cols).map(|_| ClusterSpec::general(1)).collect(),
+        Interconnect::PointToPoint {
+            links,
+            read_ports: 2,
+            write_ports: 2,
+        },
+    )
+}
+
+/// A `rows x cols` mesh of *specialized* 1-wide processing elements —
+/// `pe-grid{R}x{C}` — cycling GP / memory / integer / float down the
+/// row-major cell order, with a single read/write link port per PE. The
+/// FU mix forces class-driven placement on top of the routing pressure.
+///
+/// # Panics
+///
+/// Panics unless both dimensions are at least 2 and the grid has at least
+/// 4 cells (so every FU class exists somewhere).
+pub fn pe_grid(rows: u32, cols: u32) -> MachineSpec {
+    assert!(
+        rows >= 2 && cols >= 2,
+        "a pe-grid needs both dimensions >= 2"
+    );
+    let pe = |i: u32| match i % 4 {
+        0 => ClusterSpec::general(1),
+        1 => ClusterSpec::specialized(1, 0, 0),
+        2 => ClusterSpec::specialized(0, 1, 0),
+        _ => ClusterSpec::specialized(0, 0, 1),
+    };
+    MachineSpec::new(
+        format!("pe-grid{rows}x{cols}"),
+        (0..rows * cols).map(pe).collect(),
+        Interconnect::PointToPoint {
+            links: mesh_links(rows, cols),
+            read_ports: 1,
+            write_ports: 1,
+        },
+    )
+}
+
+/// SplitMix64, private to the heterogeneous presets so the machine crate
+/// needs no RNG dependency. Same constants as `clasp_loopgen::Rng`.
+struct Sm64(u64);
+
+impl Sm64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw below `n` (Lemire multiply-shift).
+    fn below(&mut self, n: u32) -> u32 {
+        ((u128::from(self.next()) * u128::from(n)) >> 64) as u32
+    }
+
+    fn range(&mut self, lo: u32, hi: u32) -> u32 {
+        lo + self.below(hi - lo + 1)
+    }
+}
+
+/// A heterogeneous `clusters`-cluster machine — `het{N}c-s{SEED}` — with
+/// the per-cluster FU mixes and spanning-tree-plus-chords fabric of the
+/// fuzz machine generator, promoted to a named preset: the same `clusters`
+/// and `seed` always produce the same machine, so a fuzz-shaped
+/// configuration can be named in an experiment and reproduced anywhere.
+///
+/// Every FU class is guaranteed executable on some cluster.
+///
+/// # Panics
+///
+/// Panics unless `clusters >= 2`.
+pub fn het(clusters: u32, seed: u64) -> MachineSpec {
+    assert!(clusters >= 2, "a heterogeneous machine needs >= 2 clusters");
+    // Fold the cluster count into the stream so het4c-s7 and het6c-s7
+    // share nothing beyond the digits of their names.
+    let mut rng = Sm64(seed ^ (u64::from(clusters)).wrapping_mul(0x0000_0100_0000_01b3));
+    let mut specs: Vec<ClusterSpec> = (0..clusters)
+        .map(|_| match rng.below(3) {
+            0 => ClusterSpec::general(rng.range(1, 4)),
+            1 => loop {
+                let s = ClusterSpec::specialized(rng.below(3), rng.below(3), rng.below(3));
+                if s.issue_width() > 0 {
+                    break s;
+                }
+            },
+            _ => ClusterSpec {
+                general: rng.range(1, 2),
+                memory: rng.below(2),
+                integer: rng.below(2),
+                float: rng.below(2),
+            },
+        })
+        .collect();
+    // Feasibility patch, as in the fuzz generator: with no GP pool
+    // anywhere, every class must have a dedicated unit somewhere.
+    if !specs.iter().any(|c| c.general > 0) {
+        let idx = rng.below(clusters) as usize;
+        if !specs.iter().any(|c| c.memory > 0) {
+            specs[idx].memory = 1;
+        }
+        if !specs.iter().any(|c| c.integer > 0) {
+            specs[idx].integer = 1;
+        }
+        if !specs.iter().any(|c| c.float > 0) {
+            specs[idx].float = 1;
+        }
+    }
+    // Spanning tree (cluster b attaches to a random earlier cluster) plus
+    // up to `clusters` deduplicated chords.
+    let mut links: Vec<Link> = (1..clusters)
+        .map(|b| Link {
+            a: ClusterId(rng.below(b)),
+            b: ClusterId(b),
+        })
+        .collect();
+    for _ in 0..clusters {
+        let a = ClusterId(rng.below(clusters));
+        let b = ClusterId(rng.below(clusters));
+        if a != b
+            && !links
+                .iter()
+                .any(|l| (l.a == a && l.b == b) || (l.a == b && l.b == a))
+        {
+            links.push(Link { a, b });
+        }
+    }
+    let ports = rng.range(1, 2);
+    MachineSpec::new(
+        format!("het{clusters}c-s{seed:x}"),
+        specs,
+        Interconnect::PointToPoint {
+            links,
+            read_ports: ports,
+            write_ports: ports,
+        },
+    )
+}
+
+/// Rebuild a preset from its canonical name, for every family this module
+/// defines: `mesh{R}x{C}`, `torus{R}x{C}`, `pe-grid{R}x{C}`,
+/// `het{N}c-s{SEED}` (seed in lowercase hex), `{N}c-gp-{B}b-{P}p`,
+/// `{N}c-fs-{B}b-{P}p`, `4c-grid-{P}p`, and `unified-{W}gp`. Returns
+/// `None` for names outside these families or with out-of-range
+/// dimensions, so `by_name(m.name())` round-trips every preset.
+pub fn by_name(name: &str) -> Option<MachineSpec> {
+    fn dims(s: &str) -> Option<(u32, u32)> {
+        let (r, c) = s.split_once('x')?;
+        Some((r.parse().ok()?, c.parse().ok()?))
+    }
+    if let Some(rest) = name.strip_prefix("mesh") {
+        let (r, c) = dims(rest)?;
+        return (r >= 2 && c >= 2 && r * c <= 256).then(|| mesh(r, c));
+    }
+    if let Some(rest) = name.strip_prefix("torus") {
+        let (r, c) = dims(rest)?;
+        return (r >= 2 && c >= 2 && r * c <= 256).then(|| torus(r, c));
+    }
+    if let Some(rest) = name.strip_prefix("pe-grid") {
+        let (r, c) = dims(rest)?;
+        return (r >= 2 && c >= 2 && r * c <= 256).then(|| pe_grid(r, c));
+    }
+    if let Some(rest) = name.strip_prefix("het") {
+        let (n, seed) = rest.split_once("c-s")?;
+        let n: u32 = n.parse().ok()?;
+        let seed = u64::from_str_radix(seed, 16).ok()?;
+        return (2..=64).contains(&n).then(|| het(n, seed));
+    }
+    if let Some(rest) = name.strip_prefix("unified-") {
+        let w: u32 = rest.strip_suffix("gp")?.parse().ok()?;
+        return (w >= 1).then(|| unified_gp(w));
+    }
+    if let Some(rest) = name.strip_prefix("4c-grid-") {
+        let p: u32 = rest.strip_suffix('p')?.parse().ok()?;
+        return (p >= 1).then(|| four_cluster_grid(p));
+    }
+    // "{N}c-gp-{B}b-{P}p" / "{N}c-fs-{B}b-{P}p".
+    let mut parts = name.split('-');
+    let n: u32 = parts.next()?.strip_suffix('c')?.parse().ok()?;
+    let family = parts.next()?;
+    let b: u32 = parts.next()?.strip_suffix('b')?.parse().ok()?;
+    let p: u32 = parts.next()?.strip_suffix('p')?.parse().ok()?;
+    if parts.next().is_some() || n == 0 || p == 0 {
+        return None;
+    }
+    match family {
+        "gp" => Some(n_cluster_gp(n, b, p)),
+        "fs" => Some(n_cluster_fs(n, b, p)),
+        _ => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -176,5 +458,110 @@ mod tests {
         let u = unified_gp(8);
         assert!(u.is_unified());
         assert_eq!(u.total_issue_width(), 8);
+    }
+
+    #[test]
+    fn mesh_shape() {
+        let m = mesh(3, 3);
+        assert_eq!(m.name(), "mesh3x3");
+        assert_eq!(m.cluster_count(), 9);
+        assert_eq!(m.total_issue_width(), 9); // 1-wide PEs
+        assert_eq!(m.interconnect().links().len(), 12);
+        // Interior cell C4 has four neighbours, corner C0 has two.
+        assert_eq!(m.interconnect().neighbors(ClusterId(4)).len(), 4);
+        assert_eq!(m.interconnect().neighbors(ClusterId(0)).len(), 2);
+        // Opposite corners are 4 hops apart.
+        let path = m
+            .interconnect()
+            .route(ClusterId(0), ClusterId(8), 9)
+            .unwrap();
+        assert_eq!(path.len(), 5);
+    }
+
+    #[test]
+    fn torus_wraps() {
+        let t = torus(3, 3);
+        assert_eq!(t.name(), "torus3x3");
+        // 12 mesh links + 3 row wraps + 3 column wraps.
+        assert_eq!(t.interconnect().links().len(), 18);
+        // Every PE now has exactly four neighbours.
+        for c in t.cluster_ids() {
+            assert_eq!(t.interconnect().neighbors(c).len(), 4, "{c}");
+        }
+        // Opposite corners are 2 hops on the torus (4 on the mesh).
+        let path = t
+            .interconnect()
+            .route(ClusterId(0), ClusterId(8), 9)
+            .unwrap();
+        assert_eq!(path.len(), 3);
+        // A dimension of 2 adds no duplicate wrap link.
+        assert_eq!(torus(2, 2).interconnect().links().len(), 4);
+        assert_eq!(torus(2, 3).interconnect().links().len(), 7 + 2);
+    }
+
+    #[test]
+    fn pe_grid_covers_every_class() {
+        use clasp_ddg::FuClass;
+        let g = pe_grid(2, 2);
+        assert_eq!(g.name(), "pe-grid2x2");
+        assert_eq!(g.total_issue_width(), 4);
+        for class in FuClass::ALL {
+            assert!(
+                g.cluster_ids()
+                    .any(|c| g.cluster(c).general > 0 || g.cluster(c).dedicated(class) > 0),
+                "{class:?} has no unit"
+            );
+        }
+    }
+
+    #[test]
+    fn het_is_reproducible_and_connected() {
+        let a = het(4, 0xC6A4);
+        let b = het(4, 0xC6A4);
+        assert_eq!(a, b);
+        assert_ne!(het(4, 0xC6A5), a);
+        assert_ne!(het(5, 0xC6A4).cluster_count(), 4);
+        // The spanning tree guarantees every pair routes.
+        for m in [het(2, 1), het(4, 2), het(6, 3)] {
+            let k = m.cluster_count();
+            for from in m.cluster_ids() {
+                for to in m.cluster_ids() {
+                    assert!(m.interconnect().route(from, to, k).is_ok(), "{from}->{to}");
+                }
+            }
+            // Every FU class is executable somewhere.
+            use clasp_ddg::FuClass;
+            for class in FuClass::ALL {
+                assert!(m
+                    .cluster_ids()
+                    .any(|c| m.cluster(c).general > 0 || m.cluster(c).dedicated(class) > 0));
+            }
+        }
+    }
+
+    #[test]
+    fn by_name_round_trips_every_family() {
+        let presets = [
+            mesh(3, 3),
+            mesh(4, 4),
+            torus(3, 3),
+            torus(4, 4),
+            pe_grid(2, 3),
+            het(4, 0x1998),
+            het(6, 0xC1A5),
+            two_cluster_gp(2, 1),
+            four_cluster_gp(4, 2),
+            n_cluster_fs(6, 3, 2),
+            four_cluster_grid(2),
+            unified_gp(8),
+        ];
+        for m in presets {
+            assert_eq!(by_name(m.name()), Some(m.clone()), "{}", m.name());
+        }
+        assert_eq!(by_name("mesh1x9"), None);
+        assert_eq!(by_name("mesh3x"), None);
+        assert_eq!(by_name("het1c-s4"), None);
+        assert_eq!(by_name("9c-zz-1b-1p"), None);
+        assert_eq!(by_name("not-a-preset"), None);
     }
 }

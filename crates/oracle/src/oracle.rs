@@ -22,7 +22,11 @@
 //! 8. loop-carried distance across copy chains: a carried crossing
 //!    edge's distance rides exactly the final delivery -> consumer
 //!    segment (all upstream chain segments distance 0), and the working
-//!    graph's RecMII never drops below the original loop's.
+//!    graph's RecMII never drops below the original loop's;
+//! 10. per-hop link occupancy: on point-to-point fabrics every traversed
+//!     link row is claimed by at most one copy — recounted directly from
+//!     the final schedule and the copy metadata, independent of the MRT
+//!     bookkeeping the scheduler and `validate_schedule` share.
 //!
 //! The pipeline arrives as a caller-supplied closure ([`PipelineFn`]) so
 //! this crate never depends on the root `clasp` crate; `clasp` exposes
@@ -33,7 +37,8 @@
 use clasp_core::{validate_assignment, Assignment, AssignmentError};
 use clasp_ddg::{rec_mii, Ddg, NodeId};
 use clasp_kernel::{emit_program_with, reference_stream, run_program, RegisterModel, StoreEvent};
-use clasp_machine::MachineSpec;
+use clasp_machine::{Interconnect, LinkId, MachineSpec};
+use clasp_mrt::ClusterMap;
 use clasp_sched::{
     max_ii_bound, unified_map, validate_schedule, SchedContext, Schedule, ScheduleError,
     SchedulerConfig,
@@ -177,6 +182,21 @@ pub enum OracleViolation {
         /// The panic payload, stringified.
         payload: String,
     },
+    /// Two or more copies claim the same point-to-point link in the same
+    /// kernel row. Each link moves one value per cycle, so every hop of a
+    /// multi-hop route must hold its own (link, row) slot; sharing one
+    /// means the emitted kernel would serialize transfers the schedule
+    /// promised were parallel. Recounted directly from the final schedule
+    /// and copy metadata — deliberately *not* through the MRT, so a
+    /// shared undercounting bug cannot hide itself.
+    LinkOverCapacity {
+        /// The oversubscribed link.
+        link: LinkId,
+        /// The kernel row (cycle mod II) it is oversubscribed in.
+        row: u32,
+        /// Copies claiming the link in that row.
+        used: u32,
+    },
     /// The heuristic achieved an II *below* what the exact SAT backend
     /// proved minimal — impossible for a sound exact backend, so one of
     /// the two is wrong. Only reported when the heuristic's own routing
@@ -208,6 +228,7 @@ impl OracleViolation {
             OracleViolation::CarriedDistanceSplit { .. } => "carried-distance-split",
             OracleViolation::RecMiiDropped { .. } => "rec-mii-dropped",
             OracleViolation::CheckPanicked { .. } => "check-panicked",
+            OracleViolation::LinkOverCapacity { .. } => "link-over-capacity",
             OracleViolation::HeuristicBeatsExact { .. } => "heuristic-beats-exact",
         }
     }
@@ -263,6 +284,10 @@ impl fmt::Display for OracleViolation {
             OracleViolation::CheckPanicked { payload } => {
                 write!(f, "case check panicked: {payload}")
             }
+            OracleViolation::LinkOverCapacity { link, row, used } => write!(
+                f,
+                "{used} copies claim link {link} in kernel row {row} (capacity 1)"
+            ),
             OracleViolation::HeuristicBeatsExact { heuristic, exact } => write!(
                 f,
                 "heuristic II {heuristic} beats the exact backend's proven minimum {exact}"
@@ -407,6 +432,42 @@ fn check_carried_chains(g: &Ddg, wg: &Ddg) -> Vec<OracleViolation> {
     out
 }
 
+/// Invariant 10 — per-hop link occupancy. On point-to-point fabrics
+/// every copy claims exactly one link for the kernel row it issues in,
+/// and a link moves one value per cycle; a multi-hop route therefore
+/// holds one (link, row) slot per traversed hop. This recounts occupancy
+/// directly from the final schedule and the copy metadata rather than
+/// replaying an MRT, so it cross-checks the CountMrt/TimeMrt bookkeeping
+/// instead of inheriting its bugs. Unscheduled copies are skipped —
+/// invariant 3 already reports those.
+fn check_link_occupancy(
+    machine: &MachineSpec,
+    map: &ClusterMap,
+    sched: &Schedule,
+) -> Vec<OracleViolation> {
+    if !matches!(machine.interconnect(), Interconnect::PointToPoint { .. }) {
+        return Vec::new();
+    }
+    let mut used: HashMap<(LinkId, u32), u32> = HashMap::new();
+    for (copy, meta) in map.copies() {
+        let Some(link) = meta.link else { continue };
+        let Some(row) = sched.kernel_row(copy) else {
+            continue;
+        };
+        *used.entry((link, row)).or_insert(0) += 1;
+    }
+    let mut out: Vec<OracleViolation> = used
+        .into_iter()
+        .filter(|&(_, n)| n > 1)
+        .map(|((link, row), used)| OracleViolation::LinkOverCapacity { link, row, used })
+        .collect();
+    out.sort_by_key(|v| match v {
+        OracleViolation::LinkOverCapacity { link, row, .. } => (*link, *row),
+        _ => unreachable!("only link violations collected here"),
+    });
+    out
+}
+
 /// Whether the working graph routes every crossing value in a single
 /// hop: no edge connects two copy nodes. The exact encoding only models
 /// single-hop routing, so its minimal II is incomparable with a
@@ -523,6 +584,7 @@ pub fn check_case(
         });
     }
     violations.extend(check_carried_chains(g, wg));
+    violations.extend(check_link_occupancy(machine, map, sched));
     if let Some(unified) = unified_baseline_ii(g, machine) {
         if ii < unified && !projects_onto_unified(g, machine, sched) {
             violations.push(OracleViolation::ClusteredBeatsUnified {

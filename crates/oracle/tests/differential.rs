@@ -301,6 +301,99 @@ fn perturbed_edge_latency_survives_chain_rewiring() {
     assert!(violations.is_empty(), "{violations:?}");
 }
 
+/// Regression (per-hop link occupancy): on mesh/torus presets — 1-wide
+/// PEs, so crossings are constant and routes are multi-hop — every
+/// compiled case passes the oracle, including invariant 10's direct
+/// per-(link, row) recount of copy link claims.
+#[test]
+fn mesh_presets_never_oversubscribe_links() {
+    use clasp_loopgen::rng::Rng;
+    use clasp_loopgen::{generate_stratum, Stratum};
+
+    let opts = OracleOptions::default();
+    for machine in [presets::mesh(3, 3), presets::torus(3, 3)] {
+        let loops = generate_stratum(Stratum::CopyBound, 6, 0xFAB);
+        for g in loops.iter().chain(std::iter::once(&dot_product())) {
+            let violations = check_case(g, &machine, &oracle_pipeline, &opts);
+            assert!(
+                violations.is_empty(),
+                "{} on {}: {violations:?}",
+                g.name(),
+                machine.name()
+            );
+        }
+    }
+    // A couple of random shapes for edge-case coverage beyond the stratum.
+    let mut rng = Rng::seed_from_u64(0xFAB);
+    let m = presets::mesh(3, 3);
+    for _ in 0..4 {
+        let mut g = Ddg::new("mesh-rand");
+        let n = 6 + rng.below(6);
+        let ids: Vec<_> = (0..n)
+            .map(|i| {
+                g.add(match i % 4 {
+                    0 => OpKind::Load,
+                    1 => OpKind::IntAlu,
+                    2 => OpKind::FpAdd,
+                    _ => OpKind::Store,
+                })
+            })
+            .collect();
+        for b in 1..n {
+            let a = rng.below(b);
+            g.add_dep(ids[a], ids[b]);
+        }
+        if g.validate().is_err() {
+            continue;
+        }
+        let violations = check_case(&g, &m, &oracle_pipeline, &opts);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+}
+
+/// The oracle's invariant 10 is a direct recount, so it must fire even
+/// when handed a schedule the MRT never saw: compile on the mesh, then
+/// retime one link-claiming copy onto another's kernel row on the same
+/// link.
+#[test]
+fn link_collision_trips_the_occupancy_invariant() {
+    use clasp_ddg::NodeId;
+    use clasp_sched::Schedule;
+    use std::collections::HashMap;
+
+    let m = presets::mesh(3, 3);
+    let g = dot_product();
+    let collide = |g: &Ddg, m: &clasp_machine::MachineSpec| {
+        let mut case = oracle_pipeline(g, m)?;
+        // Pick any copy holding a link, then force a second copy onto the
+        // same link and kernel row.
+        let copies: Vec<(NodeId, clasp_machine::LinkId)> = case
+            .assignment
+            .map
+            .copies()
+            .filter_map(|(n, meta)| meta.link.map(|l| (n, l)))
+            .collect();
+        let Some(&(victim, link)) = copies.first() else {
+            return Err("no link copies to collide".to_string());
+        };
+        let Some((other, _)) = copies.iter().find(|&&(n, _)| n != victim) else {
+            return Err("need two link copies".to_string());
+        };
+        let other = *other;
+        case.assignment.map.copy_meta_mut(other).unwrap().link = Some(link);
+        let row = case.schedule.kernel_row(victim).unwrap();
+        let mut time: HashMap<NodeId, i64> = case.schedule.iter().collect();
+        time.insert(other, i64::from(row));
+        case.schedule = Schedule::new(case.schedule.ii(), time);
+        Ok(case)
+    };
+    let violations = check_case(&g, &m, &collide, &OracleOptions::default());
+    assert!(
+        violations.iter().any(|v| v.kind() == "link-over-capacity"),
+        "a shared (link, row) slot must trip invariant 10: {violations:?}"
+    );
+}
+
 /// The smear fault moves carried distance one segment up the chain
 /// without changing total cycle distance — only the oracle's
 /// carried-distance invariant can catch that.

@@ -398,9 +398,22 @@ mod tests {
             presets::two_cluster_fs(2, 1),
             presets::four_cluster_grid(1),
             presets::unified_gp(8),
+            presets::mesh(3, 3),
+            presets::mesh(4, 4),
+            presets::torus(3, 3),
+            presets::torus(2, 4),
+            presets::pe_grid(2, 3),
+            presets::het(4, 0x1998),
+            presets::het(6, 0x2a),
         ] {
             let text = write_machine(&m);
             assert_eq!(parse_machine(&text).unwrap(), m, "in:\n{text}");
+            // The parameterized families also round-trip through their
+            // *names*: the preset is a pure function of the name, so the
+            // text format and the name lookup must pin the same machine.
+            if let Some(by_name) = presets::by_name(m.name()) {
+                assert_eq!(by_name, m, "by_name diverged for {}", m.name());
+            }
         }
     }
 

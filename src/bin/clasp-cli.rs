@@ -9,10 +9,14 @@
 //!                    [--fault none|skew|misplace|smear] [--out DIR]
 //!                    [--threads N] [--exact] [--hard-out DIR]
 //! clasp-cli batch    [--dir DIR] [--backend B] [--threads N]
+//!                    [--preset NAME]... [--stratum S|all] [--stratum-loops N]
+//!                    [--seed N] [--strata-csv PATH]
 //! clasp-cli load     [--mix M] [--transport T] [--clients N] [--requests N]
 //!                    [--seed N] [--rate R] [--hard-dir DIR]
 //!                    [--server HOST:PORT] [--json PATH] [--trace-json PATH]
 //!                    [--gate PATH] [--gate-factor F]
+//! clasp-cli corpus   [--seed N] [--loops-per-stratum N] [--out PATH]
+//!                    [--check PATH]
 //! clasp-cli machines
 //!
 //! Every compile — `compile`, `simulate`, `batch`, and the fuzz
@@ -45,7 +49,18 @@
 //! printed counters stay thread-count independent because every counted
 //! quantity depends only on work done, never on how workers interleave
 //! (see `clasp-obs`). `--backend exact` routes every pair (unified
-//! baselines included) through the SAT backend instead.
+//! baselines included) through the SAT backend instead. `--preset NAME`
+//! (repeatable) restricts the machine set to named presets — classic
+//! spellings or the parameterized families (`mesh4x4`, `torus3x3`,
+//! `pe-grid2x3`, `het4c-s1998`, ...); `--stratum S` (or `all`) swaps the
+//! `--dir` loops for `--stratum-loops` generated loops per stratum at
+//! `--seed`; `--strata-csv PATH` additionally writes the aggregated
+//! per-stratum II-vs-unified degradation table (see `clasp::strata`).
+//!
+//! `corpus` renders the stratified-corpus manifest (seed, per-stratum
+//! seeds, loop counts, structural fingerprints); `--check` compares the
+//! generator's output against the committed
+//! `results/strata-manifest.txt` and exits non-zero on drift.
 //!
 //! `load` replays a deterministic synthetic request mix (hot cache
 //! repeats / cold uniques / fuzz-mined hard pairs / exact-backend
@@ -185,7 +200,7 @@ fn remote_compile(
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: clasp-cli <analyze|compile|simulate|fuzz|batch|load|machines> [loop.clasp] [options]\n\
+        "usage: clasp-cli <analyze|compile|simulate|fuzz|batch|load|corpus|machines> [loop.clasp] [options]\n\
          see `clasp-cli machines` for presets; options: --machine --buses --ports\n\
          --variant --scheduler --backend --model --iterations --dot --kernel --explain\n\
          --trace-json\n\
@@ -193,9 +208,10 @@ fn usage() -> ExitCode {
          fuzz options: --seed --cases --iterations --shrink --fault --out --threads\n\
          --exact --hard-out --cache-dir --memory-budget\n\
          batch options: --dir --backend --threads --trace-json --cache-dir --memory-budget\n\
-         --server\n\
+         --server --preset --stratum --stratum-loops --seed --strata-csv\n\
          load options: --mix --transport --clients --requests --seed --rate --hard-dir\n\
-         --server --json --trace-json --gate --gate-factor"
+         --server --json --trace-json --gate --gate-factor\n\
+         corpus options: --seed --loops-per-stratum --out --check"
     );
     ExitCode::from(2)
 }
@@ -216,7 +232,13 @@ fn build_machine(opts: &Options) -> Result<MachineSpec, String> {
         "4c-fs" => presets::four_cluster_fs(b(4), p(2)),
         "grid" => presets::four_cluster_grid(p(2)),
         "unified" => presets::unified_gp(8),
-        other => return Err(format!("unknown machine preset `{other}`")),
+        // The parameterized families (mesh4x4, torus3x3, pe-grid2x3,
+        // het6c-s2a, ...) are pure functions of their name — no
+        // --buses/--ports overrides, exactly as `.machine` text pins them.
+        other => {
+            return clasp::strata::machine_by_name(other)
+                .ok_or_else(|| format!("unknown machine preset `{other}`"))
+        }
     })
 }
 
@@ -547,6 +569,79 @@ fn fuzz(args: &[String]) -> Result<bool, String> {
     Ok(report.is_clean())
 }
 
+/// Parse a seed as decimal or `0x`-prefixed hex.
+fn parse_seed(s: &str) -> Option<u64> {
+    match s.strip_prefix("0x") {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => s.parse().ok(),
+    }
+}
+
+/// `clasp-cli corpus`: render the stratified-corpus manifest, or check
+/// the committed copy for drift. The manifest is a pure function of
+/// (seed, loops-per-stratum); CI regenerates it and `cmp`s against
+/// `results/strata-manifest.txt`, so any intentional generator change
+/// must recommit that file.
+fn corpus_cmd(args: &[String]) -> Result<bool, String> {
+    use clasp_loopgen::{strata_manifest, StrataConfig};
+
+    let mut config = StrataConfig::default();
+    let mut out: Option<String> = None;
+    let mut check: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let take = |i: &mut usize| -> Option<String> {
+            *i += 1;
+            args.get(*i).cloned()
+        };
+        match args[i].as_str() {
+            "--seed" => {
+                config.seed = take(&mut i)
+                    .as_deref()
+                    .and_then(parse_seed)
+                    .ok_or("--seed needs a number (decimal or 0x hex)")?;
+            }
+            "--loops-per-stratum" => {
+                config.loops_per_stratum = take(&mut i)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--loops-per-stratum needs a number")?;
+            }
+            "--out" => out = Some(take(&mut i).ok_or("--out needs a path")?),
+            "--check" => check = Some(take(&mut i).ok_or("--check needs a manifest path")?),
+            other => return Err(format!("unknown corpus option `{other}`")),
+        }
+        i += 1;
+    }
+
+    let manifest = strata_manifest(config);
+    if let Some(path) = &check {
+        let committed = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        if committed == manifest {
+            println!("corpus manifest {path}: ok");
+            return Ok(true);
+        }
+        eprintln!(
+            "corpus manifest drift against {path} — regenerate with\n\
+             `clasp-cli corpus --seed 0x{:x} --loops-per-stratum {} --out {path}`",
+            config.seed, config.loops_per_stratum
+        );
+        for (a, b) in manifest.lines().zip(committed.lines()) {
+            if a != b {
+                eprintln!("  generated: {a}\n  committed: {b}");
+            }
+        }
+        return Ok(false);
+    }
+    match &out {
+        Some(path) => {
+            std::fs::write(path, &manifest).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!("manifest written to {path}");
+        }
+        None => print!("{manifest}"),
+    }
+    Ok(true)
+}
+
 /// The preset list `batch` and `machines` share (name, spec), in the
 /// order they are printed.
 fn preset_list() -> Vec<(&'static str, MachineSpec)> {
@@ -597,6 +692,9 @@ fn batch_row(
 }
 
 fn batch(args: &[String]) -> Result<bool, String> {
+    use clasp::strata::{machine_by_name, run_sweep, SweepConfig};
+    use clasp_loopgen::{generate_stratum, Stratum};
+
     let mut dir = String::from("loops");
     let mut backend = BackendKind::Heuristic;
     let mut threads = 0usize;
@@ -604,6 +702,11 @@ fn batch(args: &[String]) -> Result<bool, String> {
     let mut cache_dir: Option<String> = None;
     let mut memory_budget: Option<usize> = None;
     let mut server: Option<String> = None;
+    let mut preset_names: Vec<String> = Vec::new();
+    let mut strata: Vec<Stratum> = Vec::new();
+    let mut stratum_loops = 40usize;
+    let mut seed = 0x1998_C1A5u64;
+    let mut strata_csv: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         let take = |i: &mut usize| -> Option<String> {
@@ -632,29 +735,76 @@ fn batch(args: &[String]) -> Result<bool, String> {
                 );
             }
             "--server" => server = Some(take(&mut i).ok_or("--server needs host:port")?),
+            "--preset" => {
+                let name = take(&mut i).ok_or("--preset needs a machine preset name")?;
+                if machine_by_name(&name).is_none() {
+                    return Err(format!("unknown machine preset `{name}`"));
+                }
+                preset_names.push(name);
+            }
+            "--stratum" => match take(&mut i).as_deref() {
+                Some("all") => strata = Stratum::ALL.to_vec(),
+                Some(name) => {
+                    strata.push(Stratum::parse(name).ok_or(format!("unknown stratum `{name}`"))?);
+                }
+                None => return Err("--stratum needs a stratum name or `all`".into()),
+            },
+            "--stratum-loops" => {
+                stratum_loops = take(&mut i)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--stratum-loops needs a number")?;
+            }
+            "--seed" => {
+                seed = take(&mut i)
+                    .as_deref()
+                    .and_then(parse_seed)
+                    .ok_or("--seed needs a number (decimal or 0x hex)")?;
+            }
+            "--strata-csv" => strata_csv = Some(take(&mut i).ok_or("--strata-csv needs a path")?),
             other => return Err(format!("unknown batch option `{other}`")),
         }
         i += 1;
     }
 
-    let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(&dir)
-        .map_err(|e| format!("{dir}: {e}"))?
-        .filter_map(|e| e.ok().map(|e| e.path()))
-        .filter(|p| p.extension().is_some_and(|x| x == "clasp"))
-        .collect();
-    paths.sort(); // deterministic pair order regardless of readdir order
-    if paths.is_empty() {
-        return Err(format!("no .clasp loops under {dir}"));
-    }
+    // Loop set: generated strata when any --stratum is given, the .clasp
+    // files under --dir otherwise.
     let mut loops = Vec::new();
-    for p in &paths {
-        let stem = p
-            .file_stem()
-            .map(|s| s.to_string_lossy().into_owned())
-            .unwrap_or_default();
-        loops.push((stem, load_loop(&p.to_string_lossy())?));
+    if strata.is_empty() {
+        let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(&dir)
+            .map_err(|e| format!("{dir}: {e}"))?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "clasp"))
+            .collect();
+        paths.sort(); // deterministic pair order regardless of readdir order
+        if paths.is_empty() {
+            return Err(format!("no .clasp loops under {dir}"));
+        }
+        for p in &paths {
+            let stem = p
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            loops.push((stem, load_loop(&p.to_string_lossy())?));
+        }
+    } else {
+        for &s in &strata {
+            for g in generate_stratum(s, stratum_loops, seed) {
+                loops.push((g.name().to_string(), g));
+            }
+        }
     }
-    let machines = preset_list();
+    // Machine set: the named --preset machines, or the classic list.
+    let machines: Vec<(String, MachineSpec)> = if preset_names.is_empty() {
+        preset_list()
+            .into_iter()
+            .map(|(n, m)| (n.to_string(), m))
+            .collect()
+    } else {
+        preset_names
+            .iter()
+            .map(|n| (n.clone(), machine_by_name(n).expect("validated above")))
+            .collect()
+    };
     let pairs: Vec<(usize, usize)> = (0..loops.len())
         .flat_map(|l| (0..machines.len()).map(move |m| (l, m)))
         .collect();
@@ -751,6 +901,23 @@ fn batch(args: &[String]) -> Result<bool, String> {
             );
         }
     }
+    if let Some(csv_path) = &strata_csv {
+        let Some((service, _)) = &footer else {
+            return Err("--strata-csv needs a local sweep (drop --server)".into());
+        };
+        // The aggregated {preset × stratum} degradation report. Pairs the
+        // batch already compiled come back as cache hits, so this adds
+        // only the strata/presets the row sweep above skipped.
+        let sweep_cfg = SweepConfig {
+            presets: machines.iter().map(|(n, _)| n.clone()).collect(),
+            loops_per_stratum: stratum_loops,
+            seed,
+            threads,
+        };
+        let report = run_sweep(&sweep_cfg, service)?;
+        std::fs::write(csv_path, report.render_csv()).map_err(|e| format!("{csv_path}: {e}"))?;
+        println!("strata csv: {csv_path} ({} rows)", report.rows.len());
+    }
     eprintln!(
         "batch: {} workers, {elapsed:.1?}",
         clasp_exec::resolve_threads(threads, pairs.len())
@@ -762,6 +929,19 @@ fn machines() {
     println!("presets (defaults in parentheses; override with --buses/--ports):");
     for (name, m) in preset_list() {
         println!("  {name:<8} {m}");
+    }
+    println!(
+        "\nparameterized families (pure functions of the name; no overrides):\n\
+         \x20 mesh{{R}}x{{C}}     R x C grid of 1-wide PEs, p2p mesh links\n\
+         \x20 torus{{R}}x{{C}}    mesh plus row/column wraparound links\n\
+         \x20 pe-grid{{R}}x{{C}}  mesh fabric over a heterogeneous PE cycle\n\
+         \x20 het{{N}}c-s{{SEED}} N clusters with a machgen-style FU mix from hex SEED"
+    );
+    println!("examples:");
+    for name in clasp::strata::DEFAULT_SWEEP_PRESETS {
+        if let Some(m) = clasp::strata::machine_by_name(name) {
+            println!("  {name:<12} {m}");
+        }
     }
 }
 
@@ -926,10 +1106,11 @@ fn main() -> ExitCode {
         machines();
         return ExitCode::SUCCESS;
     }
-    if cmd == "fuzz" || cmd == "batch" || cmd == "load" {
+    if cmd == "fuzz" || cmd == "batch" || cmd == "load" || cmd == "corpus" {
         let outcome = match cmd.as_str() {
             "fuzz" => fuzz(&args[1..]),
             "batch" => batch(&args[1..]),
+            "corpus" => corpus_cmd(&args[1..]),
             _ => load(&args[1..]),
         };
         return match outcome {

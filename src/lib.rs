@@ -61,6 +61,7 @@ pub mod load;
 mod pipeline;
 pub mod serve;
 pub mod service;
+pub mod strata;
 
 pub use cached::{CachedCompile, CompileCache};
 pub use codec::{CodecError, ARTIFACT_FORMAT};

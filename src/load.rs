@@ -156,15 +156,13 @@ pub fn classify_reply(text: &str) -> Result<ReplyOutcome, String> {
     }
 }
 
-/// Derive the per-cell seed: base seed mixed with an FNV-1a hash of the
-/// cell name, so each cell's cold stream is disjoint by construction.
+/// Derive the per-cell seed: the base seed and the cell name both
+/// FNV-folded, so each cell's cold stream is disjoint by construction.
+/// The previous derivation hashed only the name and XORed the base in at
+/// the end — two (base, name) pairs whose XOR differences cancelled
+/// replayed the same streams.
 fn cell_seed(base: u64, name: &str) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for b in name.bytes() {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h ^ base
+    clasp_loopgen::rng::fold_seed(base, name)
 }
 
 fn build_cell_schedule(config: &CellConfig) -> Schedule {

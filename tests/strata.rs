@@ -1,0 +1,44 @@
+//! Strata sweep determinism on the mesh presets (ISSUE 10 acceptance):
+//! 50 loops from every stratum compiled on `mesh3x3`, with the per-loop
+//! (clustered II, unified II) pairs bit-identical at 1 vs 4 executor
+//! workers and across a cache-warm rerun.
+
+use clasp::strata::sweep_pair_iis;
+use clasp::{CompileRequest, CompileService};
+use clasp_loopgen::{generate_stratum, Stratum};
+use clasp_machine::presets;
+
+#[test]
+fn mesh_strata_iis_are_thread_and_cache_invariant() {
+    let machine = presets::mesh(3, 3);
+    let req = CompileRequest::default();
+    let seed = 0x1998_C1A5;
+
+    for stratum in Stratum::ALL {
+        let loops = generate_stratum(stratum, 50, seed);
+
+        // Two cold services, different worker counts: the executor must
+        // return the serial results regardless of interleaving.
+        let cold_1 = CompileService::in_memory();
+        let cold_4 = CompileService::in_memory();
+        let at_1 = sweep_pair_iis(&cold_1, &machine, &loops, 1, &req).unwrap();
+        let at_4 = sweep_pair_iis(&cold_4, &machine, &loops, 4, &req).unwrap();
+        assert_eq!(
+            at_1, at_4,
+            "{stratum}: IIs diverged between 1 and 4 workers"
+        );
+
+        // Warm rerun on the same service: every request a cache hit, and
+        // the decoded IIs still bit-identical to the cold compile.
+        let warm = sweep_pair_iis(&cold_4, &machine, &loops, 4, &req).unwrap();
+        assert_eq!(at_4, warm, "{stratum}: IIs changed on a cache-warm rerun");
+
+        // The sweep must actually compile the stratum, not skip it.
+        let compiled = at_1.iter().flatten().count();
+        assert!(
+            compiled == loops.len(),
+            "{stratum}: only {compiled}/{} loops compiled on mesh3x3",
+            loops.len()
+        );
+    }
+}
